@@ -1,0 +1,26 @@
+//! Criterion benchmark behind the SPEC-style allocator experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcr_workload::{run_alloc_bench, AllocBenchSpec};
+use std::time::Duration;
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_instrumentation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for spec in AllocBenchSpec::spec_suite(5) {
+        for instrumented in [false, true] {
+            let label = if instrumented { "instr" } else { "base" };
+            group.bench_with_input(
+                BenchmarkId::new(&spec.name, label),
+                &(spec.clone(), instrumented),
+                |b, (spec, instrumented)| {
+                    b.iter(|| run_alloc_bench(spec, *instrumented));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

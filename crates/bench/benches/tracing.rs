@@ -1,0 +1,22 @@
+//! Criterion benchmark behind Table 2: mutable tracing of a loaded server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcr_bench::{boot_program, run_standard_workload, trace_instance};
+use mcr_typemeta::InstrumentationConfig;
+use std::time::Duration;
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_tracing");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for program in ["httpd", "nginx", "vsftpd", "sshd"] {
+        let (mut kernel, mut instance) = boot_program(program, 1, InstrumentationConfig::full());
+        run_standard_workload(&mut kernel, &mut instance, program, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(program), &(), |b, ()| {
+            b.iter(|| trace_instance(&kernel, &instance));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

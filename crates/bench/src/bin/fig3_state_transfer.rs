@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: state-transfer time vs. number of open connections.
+fn main() {
+    println!("Figure 3 — state transfer time vs open connections");
+    print!("{}", mcr_bench::figure3_report(&[0, 10, 25, 50, 75, 100], 10));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the memory-usage evaluation of §8.
+fn main() {
+    println!("Memory usage: MCR-instrumented resident set vs baseline");
+    print!("{}", mcr_bench::memory_report(50));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the SPEC CPU2006-style allocator instrumentation experiment.
+fn main() {
+    println!("Allocator instrumentation overhead (SPEC-style microbenchmarks)");
+    print!("{}", mcr_bench::spec_alloc_report(20, 3));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: programs, updates and engineering effort.
+fn main() {
+    println!("Table 1 — programs, updates and engineering effort");
+    print!("{}", mcr_bench::table1_report(20));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2: mutable tracing statistics after the benchmarks.
+fn main() {
+    println!("Table 2 — mutable tracing statistics (precise vs likely pointers)");
+    print!("{}", mcr_bench::table2_report(30));
+}

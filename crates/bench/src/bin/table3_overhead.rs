@@ -1,0 +1,5 @@
+//! Regenerates Table 3: run-time overhead normalized against the baseline.
+fn main() {
+    println!("Table 3 — run-time overhead normalized against the baseline");
+    print!("{}", mcr_bench::table3_report(200, 3));
+}

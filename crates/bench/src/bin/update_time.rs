@@ -1,0 +1,6 @@
+//! Regenerates the update-time breakdown of §8 (quiescence, control
+//! migration, state transfer).
+fn main() {
+    println!("Update time breakdown (quiescence / control migration / state transfer)");
+    print!("{}", mcr_bench::update_time_report(20));
+}

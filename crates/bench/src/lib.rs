@@ -1,0 +1,426 @@
+//! # mcr-bench — harnesses regenerating every table and figure of the paper
+//!
+//! Each public function reproduces one experiment of the evaluation section
+//! (§8) against the simulated servers and returns the formatted rows it
+//! prints, so the binaries under `src/bin/` stay thin and the Criterion
+//! benches can reuse the same building blocks.
+//!
+//! | Experiment | Function | Binary |
+//! |---|---|---|
+//! | Table 1 (programs, updates, engineering effort) | [`table1_report`] | `table1_effort` |
+//! | Table 2 (mutable tracing statistics) | [`table2_report`] | `table2_tracing` |
+//! | Table 3 (run-time overhead) | [`table3_report`] | `table3_overhead` |
+//! | SPEC-style allocator microbenchmark | [`spec_alloc_report`] | `spec_alloc` |
+//! | Update time (quiescence / control migration / state transfer) | [`update_time_report`] | `update_time` |
+//! | Figure 3 (state-transfer time vs. open connections) | [`figure3_report`] | `fig3_state_transfer` |
+//! | Memory usage | [`memory_report`] | `memory_usage` |
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use mcr_core::runtime::{boot, live_update, BootOptions, McrInstance, MemoryReport, UpdateOptions, UpdateOutcome};
+use mcr_core::{QuiescenceProfiler, TraceOptions, TracingStats};
+use mcr_procsim::Kernel;
+use mcr_servers::{install_standard_files, paper_catalog, program_by_name};
+use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
+use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
+
+/// The four evaluated program names, in the paper's order.
+pub const PROGRAMS: [&str; 4] = ["httpd", "nginx", "vsftpd", "sshd"];
+
+/// Boots generation `generation` of `program` on a fresh kernel with the
+/// given instrumentation configuration.
+///
+/// # Panics
+///
+/// Panics if the simulated server fails to boot (a bug in the harness).
+pub fn boot_program(program: &str, generation: u32, config: InstrumentationConfig) -> (Kernel, McrInstance) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let opts = BootOptions { config, layout_slide: 0, start_quiesced: false };
+    let instance = boot(&mut kernel, Box::new(program_by_name(program, generation)), &opts)
+        .unwrap_or_else(|e| panic!("{program} failed to boot: {e}"));
+    (kernel, instance)
+}
+
+/// Runs the program's standard workload and returns the wall-clock seconds it
+/// took (the quantity normalized in Table 3).
+///
+/// # Panics
+///
+/// Panics if the workload cannot run.
+pub fn run_standard_workload(kernel: &mut Kernel, instance: &mut McrInstance, program: &str, requests: u64) -> f64 {
+    let spec = workload_for(program, requests);
+    let result = run_workload(kernel, instance, &spec).expect("workload runs");
+    result.wall_time.as_secs_f64().max(1e-9)
+}
+
+/// Performs a live update from `generation` to `generation + 1` with `open`
+/// extra idle connections established first, returning the outcome.
+///
+/// # Panics
+///
+/// Panics if the server fails to boot or the workload cannot run.
+pub fn update_with_connections(
+    program: &str,
+    generation: u32,
+    requests: u64,
+    open: usize,
+    config: InstrumentationConfig,
+) -> UpdateOutcome {
+    let (mut kernel, mut v1) = boot_program(program, generation, config);
+    run_standard_workload(&mut kernel, &mut v1, program, requests);
+    let port = workload_for(program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, open).expect("idle connections");
+    let (_v2, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(program, generation + 1)),
+        config,
+        &UpdateOptions::default(),
+    );
+    outcome
+}
+
+/// Traces every process of an instance and merges the per-process statistics.
+pub fn trace_instance(kernel: &Kernel, instance: &McrInstance) -> TracingStats {
+    let mut stats = TracingStats::default();
+    for &pid in &instance.state.processes {
+        if let Ok(result) =
+            mcr_core::tracing::trace_process(kernel, &instance.state, pid, TraceOptions::default())
+        {
+            stats.merge(&result.stats);
+        }
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — programs, updates and engineering effort
+// ---------------------------------------------------------------------------
+
+/// Regenerates Table 1: quiescence-profiling results measured on the
+/// simulated programs next to the update-catalogue and engineering-effort
+/// figures the paper reports.
+pub fn table1_report(profile_requests: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>3} {:>3} {:>3} {:>4} {:>4} | {:>4} {:>7} | {:>5} {:>4} {:>5} | {:>8} {:>7}",
+        "program", "SL", "LL", "QP", "Per", "Vol", "Num", "LOC", "Fun", "Var", "Type", "Ann LOC", "ST LOC"
+    );
+    let catalog = paper_catalog();
+    let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize);
+    for program in PROGRAMS {
+        let (mut kernel, mut instance) = boot_program(program, 1, InstrumentationConfig::full());
+        run_standard_workload(&mut kernel, &mut instance, program, profile_requests);
+        let report = QuiescenceProfiler::analyze(&kernel, &instance.state);
+        let entry = catalog.iter().find(|e| e.program == program).expect("catalogued program");
+        let (sl, ll, qp, per, vol) = (
+            report.short_lived_classes(),
+            report.long_lived_classes(),
+            report.quiescent_points(),
+            report.persistent_points(),
+            report.volatile_points(),
+        );
+        totals.0 += sl;
+        totals.1 += ll;
+        totals.2 += qp;
+        totals.3 += per;
+        totals.4 += vol;
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>3} {:>3} {:>3} {:>4} {:>4} | {:>4} {:>7} | {:>5} {:>4} {:>5} | {:>8} {:>7}",
+            program,
+            sl,
+            ll,
+            qp,
+            per,
+            vol,
+            entry.updates,
+            entry.changed_loc,
+            entry.changed_functions,
+            entry.changed_variables,
+            entry.changed_types,
+            instance.state.annotations.annotation_loc().max(u64::from(entry.annotation_loc)),
+            entry.state_transfer_loc,
+        );
+    }
+    let t = mcr_servers::totals(&catalog);
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>3} {:>3} {:>3} {:>4} {:>4} | {:>4} {:>7} | {:>5} {:>4} {:>5} | {:>8} {:>7}",
+        "Total", totals.0, totals.1, totals.2, totals.3, totals.4,
+        t.updates, t.changed_loc, t.changed_functions, t.changed_variables, t.changed_types,
+        t.annotation_loc, t.state_transfer_loc
+    );
+    let _ = writeln!(out, "(paper totals: SL 6, LL 18, QP 18, Per 9, Vol 9, 40 updates, 40725 LOC, Ann 334, ST 793)");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — mutable tracing statistics
+// ---------------------------------------------------------------------------
+
+/// Regenerates Table 2: precise and likely pointers by source/target region,
+/// aggregated after the execution of the standard workload. `nginxreg` is
+/// nginx with its region allocator instrumented.
+pub fn table2_report(requests: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>7}",
+        "program", "prec", "p.srcSt", "p.srcDy", "p.tgLib", "likely", "l.srcSt", "l.srcDy", "l.tgLib", "immut", "immut%"
+    );
+    let mut configs: Vec<(String, &str, InstrumentationConfig)> = PROGRAMS
+        .iter()
+        .map(|&p| (p.to_string(), p, InstrumentationConfig::full()))
+        .collect();
+    configs.insert(2, ("nginxreg".to_string(), "nginx", InstrumentationConfig::full_with_region_instrumentation()));
+    for (label, program, config) in configs {
+        let (mut kernel, mut instance) = boot_program(program, 1, config);
+        run_standard_workload(&mut kernel, &mut instance, program, requests);
+        let stats = trace_instance(&kernel, &instance);
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6.1}%",
+            label,
+            stats.precise.total,
+            stats.precise.src_static,
+            stats.precise.src_dynamic,
+            stats.precise.targ_lib,
+            stats.likely.total,
+            stats.likely.src_static,
+            stats.likely.src_dynamic,
+            stats.likely.targ_lib,
+            stats.immutable_objects,
+            stats.immutable_fraction() * 100.0,
+        );
+    }
+    let _ = writeln!(out, "(paper: httpd 2373 precise / 16252 likely; nginx 1242/4049; nginxreg 2049/3522; vsftpd 149/6; sshd 237/56)");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — run-time overhead
+// ---------------------------------------------------------------------------
+
+/// Regenerates Table 3: run time of the standard benchmark normalized
+/// against the uninstrumented baseline, for each cumulative instrumentation
+/// level (plus the `nginxreg` configuration).
+pub fn table3_report(requests: u64, repeats: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>8} {:>8} {:>8} {:>8}",
+        "program", "Unblock", "+SInstr", "+DInstr", "+QDet"
+    );
+    let mut rows: Vec<(String, &str, bool)> = PROGRAMS.iter().map(|&p| (p.to_string(), p, false)).collect();
+    rows.insert(2, ("nginxreg".to_string(), "nginx", true));
+    for (label, program, region_instr) in rows {
+        let mut medians = Vec::new();
+        for level in InstrumentationLevel::ALL {
+            let mut samples = Vec::new();
+            for _ in 0..repeats.max(1) {
+                let config = InstrumentationConfig {
+                    level,
+                    instrument_region_allocator: region_instr && level >= InstrumentationLevel::StaticInstr,
+                };
+                let (mut kernel, mut instance) = boot_program(program, 1, config);
+                samples.push(run_standard_workload(&mut kernel, &mut instance, program, requests));
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            medians.push(samples[samples.len() / 2]);
+        }
+        let baseline = medians[0];
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            label,
+            medians[1] / baseline,
+            medians[2] / baseline,
+            medians[3] / baseline,
+            medians[4] / baseline,
+        );
+    }
+    let _ = writeln!(out, "(paper: httpd 0.977/1.040/1.043/1.047, nginx 1.000 across, nginxreg 1.000/1.175/1.192/1.186, vsftpd ~1.03, sshd ~1.00)");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SPEC-style allocator microbenchmark (§8, in-text)
+// ---------------------------------------------------------------------------
+
+/// Regenerates the SPEC CPU2006-style allocator-instrumentation experiment.
+pub fn spec_alloc_report(scale: u64, repeats: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} | {:>10} | {:>10}", "benchmark", "overhead", "allocs");
+    for spec in AllocBenchSpec::spec_suite(scale) {
+        let mut ratios = Vec::new();
+        let mut allocs = 0;
+        for _ in 0..repeats.max(1) {
+            let base = run_alloc_bench(&spec, false);
+            let instr = run_alloc_bench(&spec, true);
+            allocs = instr.allocations;
+            ratios.push(mcr_workload::overhead_ratio(&base, &instr));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let _ = writeln!(out, "{:<16} | {:>9.2}x | {:>10}", spec.name, ratios[ratios.len() / 2], allocs);
+    }
+    let _ = writeln!(out, "(paper: 5% worst case across SPEC, except perlbench at 36%)");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Update time (§8) and Figure 3
+// ---------------------------------------------------------------------------
+
+/// Regenerates the update-time breakdown: quiescence time, control-migration
+/// time (and its overhead over the original startup), and state-transfer
+/// time, per program.
+pub fn update_time_report(requests: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>12} {:>16} {:>12} {:>12} | {:>10} {:>9}",
+        "program", "quiesce(ms)", "ctl-migrate(ms)", "replay-ovh", "st(ms)", "total(ms)", "dirty-red"
+    );
+    for program in PROGRAMS {
+        let outcome = update_with_connections(program, 1, requests, 10, InstrumentationConfig::full());
+        assert!(outcome.is_committed(), "{program}: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>12.3} {:>16.3} {:>11.1}% {:>12.3} | {:>10.3} {:>8.1}%",
+            program,
+            report.timings.quiescence.as_millis_f64(),
+            report.timings.control_migration.as_millis_f64(),
+            report.replay_overhead_fraction() * 100.0,
+            report.timings.state_transfer.as_millis_f64(),
+            report.timings.total.as_millis_f64(),
+            report.dirty_reduction() * 100.0,
+        );
+    }
+    let _ = writeln!(out, "(paper: quiescence < 100 ms, control migration < 50 ms with 1-45% replay overhead, state transfer 28-187 ms at 0 connections)");
+    out
+}
+
+/// One point of the Figure 3 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Point {
+    /// Open connections at update time.
+    pub connections: usize,
+    /// State-transfer time in milliseconds (parallel per-process strategy).
+    pub state_transfer_ms: f64,
+    /// Fraction of state skipped thanks to dirty-object tracking.
+    pub dirty_reduction: f64,
+}
+
+/// Computes the Figure 3 series for one program.
+pub fn figure3_series(program: &str, connections: &[usize], requests: u64) -> Vec<Fig3Point> {
+    connections
+        .iter()
+        .map(|&n| {
+            let outcome = update_with_connections(program, 1, requests, n, InstrumentationConfig::full());
+            let report = outcome.report();
+            Fig3Point {
+                connections: n,
+                state_transfer_ms: report.timings.state_transfer.as_millis_f64(),
+                dirty_reduction: report.dirty_reduction(),
+            }
+        })
+        .collect()
+}
+
+/// Regenerates Figure 3: state-transfer time as a function of the number of
+/// open connections, for all four programs (plus the dirty-tracking
+/// reduction quoted in the text).
+pub fn figure3_report(connections: &[usize], requests: u64) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<12}", "conns");
+    for &c in connections {
+        let _ = write!(out, " | {c:>10}");
+    }
+    let _ = writeln!(out);
+    for program in PROGRAMS {
+        let series = figure3_series(program, connections, requests);
+        let _ = write!(out, "{program:<12}");
+        for point in &series {
+            let _ = write!(out, " | {:>7.3} ms", point.state_transfer_ms);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<12}", "  dirty-red");
+        for point in &series {
+            let _ = write!(out, " | {:>9.0}%", point.dirty_reduction * 100.0);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "(paper: 28-187 ms at 0 connections, ~+371 ms on average at 100 connections; 68-86% dirty-tracking reduction)");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Memory usage (§8)
+// ---------------------------------------------------------------------------
+
+/// Regenerates the memory-usage evaluation: resident set of the fully
+/// instrumented build relative to the baseline build after the standard
+/// workload.
+pub fn memory_report(requests: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} | {:>14} {:>14} {:>9} | {:>14}",
+        "program", "baseline(B)", "mcr(B)", "overhead", "metadata(B)"
+    );
+    let mut ratios = Vec::new();
+    for program in PROGRAMS {
+        let (mut bk, mut bi) = boot_program(program, 1, InstrumentationConfig::baseline());
+        run_standard_workload(&mut bk, &mut bi, program, requests);
+        let baseline = MemoryReport::measure(&bk, &bi);
+        let (mut mk, mut mi) = boot_program(program, 1, InstrumentationConfig::full());
+        run_standard_workload(&mut mk, &mut mi, program, requests);
+        let full = MemoryReport::measure(&mk, &mi);
+        let ratio = full.overhead_over(&baseline);
+        ratios.push(ratio);
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>14} {:>14} {:>8.2}x | {:>14}",
+            program, baseline.resident_bytes, full.resident_bytes, ratio, full.metadata_bytes
+        );
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let _ = writeln!(out, "average overhead: {avg:.2}x (paper: 1.10x-4.84x RSS, 2.89x-3.9x average)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reports_are_nonempty_and_cover_all_programs() {
+        let t1 = table1_report(3);
+        for p in PROGRAMS {
+            assert!(t1.contains(p), "table1 misses {p}");
+        }
+        let t2 = table2_report(3);
+        assert!(t2.contains("nginxreg"));
+        let mem = memory_report(3);
+        assert!(mem.contains("average overhead"));
+    }
+
+    #[test]
+    fn figure3_series_scales_with_connections() {
+        let series = figure3_series("vsftpd", &[0, 10], 2);
+        assert_eq!(series.len(), 2);
+        assert!(series[1].state_transfer_ms >= series[0].state_transfer_ms);
+    }
+
+    #[test]
+    fn update_time_report_commits_every_program() {
+        let report = update_time_report(2);
+        assert!(report.contains("httpd") && report.contains("sshd"));
+    }
+}

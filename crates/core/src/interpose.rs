@@ -1,0 +1,630 @@
+//! Library-call interposition: recording and mutable replay of startup
+//! operations.
+//!
+//! The [`Interposer`] sits between a simulated program and the kernel, in the
+//! position the paper's `libmcr.so` occupies between a C server and libc.
+//! In the *old* version it records every successful startup-time call into
+//! the startup log. In the *new* version it matches calls against that log by
+//! call-stack ID and deep argument comparison, replaying the operations that
+//! refer to immutable state objects and executing everything else live —
+//! flagging a conflict whenever the conservative matching rules are violated
+//! (paper §5).
+//!
+//! Process-id virtualization stands in for the Linux pid-namespace trick: the
+//! new version observes the *old* pids (so pid values stored in transferred
+//! data structures remain meaningful) while the kernel keeps assigning fresh
+//! real pids.
+
+use std::collections::BTreeMap;
+
+use mcr_procsim::{FdPlacement, Kernel, Pid, SimError, Syscall, SyscallPort, SyscallRet, Tid};
+
+use crate::annotations::{AnnotationRegistry, ReinitDecision};
+use crate::callstack::CallStackId;
+use crate::error::{Conflict, McrError, McrResult};
+use crate::log::{is_replay_eligible, LogEntry, StartupLog};
+
+/// Operating mode of the interposer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterposeMode {
+    /// Record startup operations (old version).
+    Record,
+    /// Replay against an inherited startup log (new version).
+    Replay,
+}
+
+/// Counters describing the interposer's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterposeStats {
+    /// Calls recorded into the startup log.
+    pub recorded: u64,
+    /// Calls satisfied from the log without touching the kernel.
+    pub replayed: u64,
+    /// Calls executed live while in replay mode.
+    pub executed_live: u64,
+    /// Calls resolved by a user reinitialization handler.
+    pub handler_resolved: u64,
+}
+
+/// The record/replay engine.
+#[derive(Debug)]
+pub struct Interposer {
+    mode: InterposeMode,
+    /// Log being recorded (Record mode).
+    log: StartupLog,
+    /// Log inherited from the old version (Replay mode).
+    replay_entries: Vec<LogEntry>,
+    consumed: Vec<bool>,
+    pid_virt_to_actual: BTreeMap<u32, u32>,
+    pid_actual_to_virt: BTreeMap<u32, u32>,
+    stats: InterposeStats,
+}
+
+impl Interposer {
+    /// Creates an interposer that records a fresh startup log.
+    pub fn recorder() -> Self {
+        Interposer {
+            mode: InterposeMode::Record,
+            log: StartupLog::new(),
+            replay_entries: Vec::new(),
+            consumed: Vec::new(),
+            pid_virt_to_actual: BTreeMap::new(),
+            pid_actual_to_virt: BTreeMap::new(),
+            stats: InterposeStats::default(),
+        }
+    }
+
+    /// Creates an interposer that replays against `old_log`.
+    pub fn replayer(old_log: &StartupLog) -> Self {
+        let replay_entries = old_log.entries().to_vec();
+        let consumed = vec![false; replay_entries.len()];
+        Interposer {
+            mode: InterposeMode::Replay,
+            log: StartupLog::new(),
+            replay_entries,
+            consumed,
+            pid_virt_to_actual: BTreeMap::new(),
+            pid_actual_to_virt: BTreeMap::new(),
+            stats: InterposeStats::default(),
+        }
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> InterposeMode {
+        self.mode
+    }
+
+    /// The startup log recorded so far (Record mode).
+    pub fn recorded_log(&self) -> &StartupLog {
+        &self.log
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> InterposeStats {
+        self.stats
+    }
+
+    /// Registers an explicit virtual→actual pid mapping (used by the
+    /// controller to seed the mapping for the new version's first process).
+    pub fn map_pid(&mut self, virtual_pid: Pid, actual_pid: Pid) {
+        self.pid_virt_to_actual.insert(virtual_pid.0, actual_pid.0);
+        self.pid_actual_to_virt.insert(actual_pid.0, virtual_pid.0);
+    }
+
+    /// The virtual pid the program observes for an actual kernel pid.
+    pub fn virtual_pid(&self, actual: Pid) -> Pid {
+        Pid(self.pid_actual_to_virt.get(&actual.0).copied().unwrap_or(actual.0))
+    }
+
+    /// The actual kernel pid behind a virtual pid.
+    pub fn actual_pid(&self, virt: Pid) -> Pid {
+        Pid(self.pid_virt_to_actual.get(&virt.0).copied().unwrap_or(virt.0))
+    }
+
+    fn find_entry(&self, virt_pid: Pid, callstack: CallStackId, call: &Syscall) -> Option<usize> {
+        // Exact match first: same process, same call stack, same call with
+        // deeply-equal arguments.
+        self.replay_entries.iter().enumerate().position(|(i, e)| {
+            !self.consumed[i] && e.pid == virt_pid && e.callstack == callstack && e.call == *call
+        })
+    }
+
+    fn find_name_match(&self, virt_pid: Pid, callstack: CallStackId, call: &Syscall) -> Option<usize> {
+        self.replay_entries.iter().enumerate().position(|(i, e)| {
+            !self.consumed[i]
+                && e.pid == virt_pid
+                && e.callstack == callstack
+                && e.call.name() == call.name()
+        })
+    }
+
+    fn creates_fd(call: &Syscall) -> bool {
+        matches!(
+            call,
+            Syscall::Socket | Syscall::Open { .. } | Syscall::UnixBind { .. } | Syscall::UnixConnect { .. }
+        )
+    }
+
+    fn execute_live(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        tid: Tid,
+        call: Syscall,
+    ) -> Result<SyscallRet, SimError> {
+        let is_fork = matches!(call, Syscall::Fork);
+        let is_getpid = matches!(call, Syscall::Getpid);
+        let ret = kernel.syscall(pid, tid, call)?;
+        if is_fork {
+            if let SyscallRet::Pid(child) = ret {
+                // Identity mapping unless overridden by replay.
+                self.pid_virt_to_actual.entry(child.0).or_insert(child.0);
+                self.pid_actual_to_virt.entry(child.0).or_insert(child.0);
+            }
+        }
+        if is_getpid {
+            if let SyscallRet::Pid(p) = ret {
+                return Ok(SyscallRet::Pid(self.virtual_pid(p)));
+            }
+        }
+        Ok(ret)
+    }
+
+    /// Executes a replayed entry's side effects when the operation cannot be
+    /// satisfied purely from the log (fork must really create a process,
+    /// mmap must really map memory).
+    fn replay_entry(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        tid: Tid,
+        idx: usize,
+        call: Syscall,
+    ) -> McrResult<SyscallRet> {
+        self.consumed[idx] = true;
+        self.stats.replayed += 1;
+        let logged_ret = self.replay_entries[idx].ret.clone();
+        match call {
+            Syscall::Fork => {
+                let ret = self
+                    .execute_live(kernel, pid, tid, Syscall::Fork)
+                    .map_err(|e| startup_failure("fork", e))?;
+                let actual_child = ret.as_pid().expect("fork returns a pid");
+                let virtual_child = logged_ret.as_pid().unwrap_or(actual_child);
+                self.pid_virt_to_actual.insert(virtual_child.0, actual_child.0);
+                self.pid_actual_to_virt.insert(actual_child.0, virtual_child.0);
+                Ok(SyscallRet::Pid(virtual_child))
+            }
+            Syscall::SpawnThread { name } => {
+                let ret = self
+                    .execute_live(kernel, pid, tid, Syscall::SpawnThread { name })
+                    .map_err(|e| startup_failure("pthread_create", e))?;
+                Ok(ret)
+            }
+            Syscall::Mmap { size, name, .. } => {
+                // Pin the mapping at the address recorded in the old version
+                // (MAP_FIXED-style global reallocation of memory objects).
+                let fixed = logged_ret.as_addr();
+                let ret = self
+                    .execute_live(kernel, pid, tid, Syscall::Mmap { size, name, fixed })
+                    .map_err(|e| startup_failure("mmap", e))?;
+                Ok(ret)
+            }
+            _ => Ok(logged_ret),
+        }
+    }
+
+    /// Handles one system call issued by the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel's error for live-executed calls, and
+    /// [`McrError::Conflicts`] when the conservative matching rules detect a
+    /// replay conflict that no reinitialization handler resolves.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        tid: Tid,
+        thread_name: &str,
+        callstack: CallStackId,
+        call: Syscall,
+        in_startup: bool,
+        annotations: &AnnotationRegistry,
+    ) -> McrResult<SyscallRet> {
+        let virt_pid = self.virtual_pid(pid);
+        match self.mode {
+            InterposeMode::Record => {
+                let ret = self.execute_live(kernel, pid, tid, call.clone()).map_err(McrError::Sim)?;
+                if in_startup {
+                    self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
+                    self.stats.recorded += 1;
+                }
+                Ok(ret)
+            }
+            InterposeMode::Replay => {
+                if !in_startup {
+                    self.stats.executed_live += 1;
+                    return self.execute_live(kernel, pid, tid, call).map_err(McrError::Sim);
+                }
+                if !is_replay_eligible(&call) {
+                    self.stats.executed_live += 1;
+                    let ret = self.execute_live(kernel, pid, tid, call.clone()).map_err(McrError::Sim)?;
+                    // Even in replay mode a startup log is produced, so that a
+                    // later update of this (now current) version can itself
+                    // replay against it.
+                    self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
+                    return Ok(ret);
+                }
+                // 1. Perfect match: replay from the log.
+                if let Some(idx) = self.find_entry(virt_pid, callstack, &call) {
+                    let ret = self.replay_entry(kernel, pid, tid, idx, call.clone())?;
+                    self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
+                    return Ok(ret);
+                }
+                // 2. Same call site, same syscall, different arguments:
+                //    a conflict unless a handler resolves it.
+                if let Some(idx) = self.find_name_match(virt_pid, callstack, &call) {
+                    let entry = self.replay_entries[idx].clone();
+                    match annotations.resolve_reinit(&call, Some(&entry)) {
+                        ReinitDecision::ReplayRecorded => {
+                            self.stats.handler_resolved += 1;
+                            let ret = self.replay_entry(kernel, pid, tid, idx, call.clone())?;
+                            self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
+                            return Ok(ret);
+                        }
+                        ReinitDecision::ExecuteLive => {
+                            self.stats.handler_resolved += 1;
+                            self.consumed[idx] = true;
+                            let ret = self.execute_and_separate(kernel, pid, tid, call.clone())?;
+                            self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
+                            return Ok(ret);
+                        }
+                        ReinitDecision::Skip => {
+                            self.stats.handler_resolved += 1;
+                            self.consumed[idx] = true;
+                            return Ok(SyscallRet::Unit);
+                        }
+                        ReinitDecision::Abort(message) => {
+                            return Err(Conflict::HandlerRequested { message }.into());
+                        }
+                        ReinitDecision::NotHandled => {
+                            return Err(Conflict::ReplayArgumentMismatch {
+                                callstack: callstack.0,
+                                syscall: call.name().to_string(),
+                                detail: format!("recorded {:?}, new version issued {:?}", entry.call, call),
+                            }
+                            .into());
+                        }
+                    }
+                }
+                // 3. A syscall the old version never issued from this call
+                //    site: new startup behaviour, executed live (with global
+                //    separability for fresh descriptors).
+                match annotations.resolve_reinit(&call, None) {
+                    ReinitDecision::Skip => {
+                        self.stats.handler_resolved += 1;
+                        Ok(SyscallRet::Unit)
+                    }
+                    ReinitDecision::Abort(message) => {
+                        Err(Conflict::HandlerRequested { message }.into())
+                    }
+                    _ => {
+                        let ret = self.execute_and_separate(kernel, pid, tid, call.clone())?;
+                        self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
+                        Ok(ret)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes a call live during replayed startup, moving any fresh
+    /// descriptor into the reserved range so it can never clash with (or be
+    /// confused for) a descriptor inherited from the old version.
+    fn execute_and_separate(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        tid: Tid,
+        call: Syscall,
+    ) -> McrResult<SyscallRet> {
+        self.stats.executed_live += 1;
+        let creates_fd = Self::creates_fd(&call);
+        let name = call.name();
+        let ret = self
+            .execute_live(kernel, pid, tid, call)
+            .map_err(|e| startup_failure(name, e))?;
+        if creates_fd {
+            if let Some(fd) = ret.as_fd() {
+                let reserved = kernel.transfer_fd(pid, fd, pid, FdPlacement::Reserved).map_err(McrError::Sim)?;
+                kernel.syscall(pid, tid, Syscall::Close { fd }).map_err(McrError::Sim)?;
+                return Ok(SyscallRet::Fd(reserved));
+            }
+        }
+        Ok(ret)
+    }
+
+    /// Finishes the replay phase: any recorded operation on immutable state
+    /// that the new version never re-issued is reported as an omission
+    /// conflict, unless a reinitialization handler accepts the omission.
+    pub fn finish_replay(&mut self, annotations: &AnnotationRegistry) -> Vec<Conflict> {
+        if self.mode != InterposeMode::Replay {
+            return Vec::new();
+        }
+        let mut conflicts = Vec::new();
+        for (i, entry) in self.replay_entries.iter().enumerate() {
+            if self.consumed[i] || !is_replay_eligible(&entry.call) {
+                continue;
+            }
+            match annotations.resolve_reinit(&entry.call, Some(entry)) {
+                ReinitDecision::Skip | ReinitDecision::ExecuteLive | ReinitDecision::ReplayRecorded => {
+                    self.stats.handler_resolved += 1;
+                }
+                ReinitDecision::Abort(message) => {
+                    conflicts.push(Conflict::HandlerRequested { message });
+                }
+                ReinitDecision::NotHandled => {
+                    conflicts.push(Conflict::OmittedReplayEntry {
+                        callstack: entry.callstack.0,
+                        syscall: entry.call.name().to_string(),
+                    });
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// Fraction of replay-eligible entries consumed so far (diagnostics).
+    pub fn replay_progress(&self) -> f64 {
+        let eligible: Vec<usize> = self
+            .replay_entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| is_replay_eligible(&e.call))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return 1.0;
+        }
+        let consumed = eligible.iter().filter(|&&i| self.consumed[i]).count();
+        consumed as f64 / eligible.len() as f64
+    }
+}
+
+fn startup_failure(syscall: &str, error: SimError) -> McrError {
+    McrError::Conflicts(vec![Conflict::StartupFailure { syscall: syscall.to_string(), error: error.to_string() }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_procsim::{Fd, MemoryLayout};
+
+    fn booted_kernel(name: &str) -> (Kernel, Pid, Tid) {
+        let mut k = Kernel::new();
+        let pid = k.create_process(name).unwrap();
+        let tid = k.process(pid).unwrap().main_tid();
+        k.process_mut(pid).unwrap().setup_memory(MemoryLayout::default(), false).unwrap();
+        (k, pid, tid)
+    }
+
+    fn cs(frames: &[&str]) -> CallStackId {
+        CallStackId::from_frames(frames)
+    }
+
+    /// Records a tiny v1 startup: socket, bind 80, listen, getpid.
+    fn record_v1() -> (Kernel, Pid, Tid, StartupLog) {
+        let (mut k, pid, tid) = booted_kernel("v1");
+        let ann = AnnotationRegistry::new();
+        let mut rec = Interposer::recorder();
+        let stack = cs(&["main", "server_init"]);
+        let fd = rec
+            .handle(&mut k, pid, tid, "main", stack, Syscall::Socket, true, &ann)
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        rec.handle(&mut k, pid, tid, "main", stack, Syscall::Bind { fd, port: 80 }, true, &ann).unwrap();
+        rec.handle(&mut k, pid, tid, "main", stack, Syscall::Listen { fd }, true, &ann).unwrap();
+        rec.handle(&mut k, pid, tid, "main", stack, Syscall::Getpid, true, &ann).unwrap();
+        let log = rec.recorded_log().clone();
+        (k, pid, tid, log)
+    }
+
+    #[test]
+    fn record_mode_logs_startup_calls() {
+        let (_, _, _, log) = record_v1();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.entries()[0].call.name(), "socket");
+        assert_eq!(log.entries()[3].call.name(), "getpid");
+    }
+
+    #[test]
+    fn replay_returns_logged_results_without_kernel_effects() {
+        let (mut k, old_pid, _, log) = record_v1();
+        // New version process in the same kernel (old listener still bound).
+        let new_pid = k.create_process("v2").unwrap();
+        let new_tid = k.process(new_pid).unwrap().main_tid();
+        k.process_mut(new_pid).unwrap().setup_memory(MemoryLayout::with_slide(0x100000), false).unwrap();
+        // Inherit fd 0 (the listener) at the same number.
+        k.transfer_fd(old_pid, Fd(0), new_pid, FdPlacement::Exact(Fd(0))).unwrap();
+
+        let ann = AnnotationRegistry::new();
+        let mut rep = Interposer::replayer(&log);
+        rep.map_pid(old_pid, new_pid);
+        let stack = cs(&["main", "server_init"]);
+
+        let fd = rep
+            .handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Socket, true, &ann)
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        assert_eq!(fd, Fd(0), "replay returns the recorded descriptor number");
+        // Bind to port 80 would fail live (port in use by the old version);
+        // replay must succeed without touching the kernel.
+        rep.handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Bind { fd, port: 80 }, true, &ann)
+            .unwrap();
+        rep.handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Listen { fd }, true, &ann).unwrap();
+        // getpid returns the old version's pid (pid virtualization).
+        let pid_ret = rep
+            .handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Getpid, true, &ann)
+            .unwrap()
+            .as_pid()
+            .unwrap();
+        assert_eq!(pid_ret, old_pid);
+        assert!(rep.finish_replay(&ann).is_empty());
+        assert_eq!(rep.stats().replayed, 4);
+        assert!((rep.replay_progress() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argument_mismatch_is_a_conflict_unless_handled() {
+        let (mut k, old_pid, _, log) = record_v1();
+        let new_pid = k.create_process("v2").unwrap();
+        let new_tid = k.process(new_pid).unwrap().main_tid();
+        k.process_mut(new_pid).unwrap().setup_memory(MemoryLayout::with_slide(0x100000), false).unwrap();
+        let ann = AnnotationRegistry::new();
+        let mut rep = Interposer::replayer(&log);
+        rep.map_pid(old_pid, new_pid);
+        let stack = cs(&["main", "server_init"]);
+        let fd = rep
+            .handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Socket, true, &ann)
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        // The new version binds to a different port: same call site, same
+        // syscall, different arguments.
+        let err = rep
+            .handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Bind { fd, port: 8080 }, true, &ann)
+            .unwrap_err();
+        match err {
+            McrError::Conflicts(cs) => {
+                assert!(matches!(cs[0], Conflict::ReplayArgumentMismatch { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // With a reinitialization handler that accepts the change, the call
+        // is resolved.
+        let mut ann2 = AnnotationRegistry::new();
+        ann2.add_reinit_handler(
+            "accept-port-change",
+            Box::new(|call, _| match call {
+                Syscall::Bind { .. } => ReinitDecision::ReplayRecorded,
+                _ => ReinitDecision::NotHandled,
+            }),
+            3,
+        );
+        let mut rep2 = Interposer::replayer(&log);
+        rep2.map_pid(old_pid, new_pid);
+        let fd = rep2
+            .handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Socket, true, &ann2)
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        rep2.handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Bind { fd, port: 8080 }, true, &ann2)
+            .unwrap();
+        assert_eq!(rep2.stats().handler_resolved, 1);
+    }
+
+    #[test]
+    fn omitted_entries_flagged_at_finish() {
+        let (mut k, old_pid, _, log) = record_v1();
+        let new_pid = k.create_process("v2").unwrap();
+        let new_tid = k.process(new_pid).unwrap().main_tid();
+        k.process_mut(new_pid).unwrap().setup_memory(MemoryLayout::with_slide(0x100000), false).unwrap();
+        let ann = AnnotationRegistry::new();
+        let mut rep = Interposer::replayer(&log);
+        rep.map_pid(old_pid, new_pid);
+        let stack = cs(&["main", "server_init"]);
+        // Replay only the socket call; omit bind/listen/getpid.
+        rep.handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Socket, true, &ann).unwrap();
+        let conflicts = rep.finish_replay(&ann);
+        assert_eq!(conflicts.len(), 3);
+        assert!(conflicts.iter().all(|c| matches!(c, Conflict::OmittedReplayEntry { .. })));
+        assert!(rep.replay_progress() < 1.0);
+    }
+
+    #[test]
+    fn new_calls_execute_live_in_reserved_range() {
+        let (mut k, old_pid, _, log) = record_v1();
+        let new_pid = k.create_process("v2").unwrap();
+        let new_tid = k.process(new_pid).unwrap().main_tid();
+        k.process_mut(new_pid).unwrap().setup_memory(MemoryLayout::with_slide(0x100000), false).unwrap();
+        k.add_file("/etc/new-feature.conf", b"on".to_vec());
+        let ann = AnnotationRegistry::new();
+        let mut rep = Interposer::replayer(&log);
+        rep.map_pid(old_pid, new_pid);
+        // The new version opens a config file the old one never opened.
+        let stack = cs(&["main", "server_init", "load_new_feature"]);
+        let fd = rep
+            .handle(
+                &mut k,
+                new_pid,
+                new_tid,
+                "main",
+                stack,
+                Syscall::Open { path: "/etc/new-feature.conf".into(), create: false },
+                true,
+                &ann,
+            )
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        assert!(fd.is_reserved(), "fresh descriptors are allocated in the reserved range");
+        assert_eq!(rep.stats().executed_live, 1);
+    }
+
+    #[test]
+    fn fork_replay_virtualizes_child_pid() {
+        // Record a v1 startup that forks a worker.
+        let (mut k, pid, tid) = booted_kernel("v1");
+        let ann = AnnotationRegistry::new();
+        let mut rec = Interposer::recorder();
+        let stack = cs(&["main", "spawn_workers"]);
+        let child_v1 = rec
+            .handle(&mut k, pid, tid, "main", stack, Syscall::Fork, true, &ann)
+            .unwrap()
+            .as_pid()
+            .unwrap();
+        let log = rec.recorded_log().clone();
+
+        // Replay in a new version.
+        let new_pid = k.create_process("v2").unwrap();
+        let new_tid = k.process(new_pid).unwrap().main_tid();
+        k.process_mut(new_pid).unwrap().setup_memory(MemoryLayout::with_slide(0x200000), false).unwrap();
+        let mut rep = Interposer::replayer(&log);
+        rep.map_pid(pid, new_pid);
+        let virt_child = rep
+            .handle(&mut k, new_pid, new_tid, "main", stack, Syscall::Fork, true, &ann)
+            .unwrap()
+            .as_pid()
+            .unwrap();
+        assert_eq!(virt_child, child_v1, "program observes the old child pid");
+        let actual_child = rep.actual_pid(virt_child);
+        assert_ne!(actual_child, child_v1, "the kernel assigned a fresh pid");
+        assert!(k.process(actual_child).is_ok());
+        assert_eq!(rep.virtual_pid(actual_child), child_v1);
+    }
+
+    #[test]
+    fn post_startup_calls_pass_through() {
+        let (mut k, old_pid, _, log) = record_v1();
+        let new_pid = k.create_process("v2").unwrap();
+        let new_tid = k.process(new_pid).unwrap().main_tid();
+        k.process_mut(new_pid).unwrap().setup_memory(MemoryLayout::with_slide(0x100000), false).unwrap();
+        let ann = AnnotationRegistry::new();
+        let mut rep = Interposer::replayer(&log);
+        rep.map_pid(old_pid, new_pid);
+        // After startup (in_startup = false), even replay-eligible calls are
+        // executed live.
+        let fd = rep
+            .handle(&mut k, new_pid, new_tid, "main", cs(&["main"]), Syscall::Socket, false, &ann)
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        assert!(!fd.is_reserved());
+        assert_eq!(rep.stats().replayed, 0);
+    }
+}

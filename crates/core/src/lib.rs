@@ -1,0 +1,72 @@
+//! # mcr-core — Mutable Checkpoint-Restart
+//!
+//! A Rust reproduction of the live-update system described in
+//! *"Mutable Checkpoint-Restart: Automating Live Update for Generic Server
+//! Programs"* (Giuffrida, Iorgulescu, Tanenbaum — Middleware 2014), built on
+//! the simulated OS substrate of [`mcr_procsim`] and the type metadata of
+//! [`mcr_typemeta`].
+//!
+//! The crate implements the paper's three techniques:
+//!
+//! * **Quiescence detection** ([`quiescence`], [`runtime`]) — a
+//!   profiler that suggests per-thread quiescent points and a barrier
+//!   protocol that parks every thread at its quiescent point when an update
+//!   is requested.
+//! * **Mutable reinitialization** ([`log`], [`interpose`]) — startup-time
+//!   system calls are recorded in the old version and replayed in the new
+//!   version, matched by call-stack ID with deep argument comparison, so the
+//!   new version restores its threads, processes and startup-time state by
+//!   re-running its own initialization code while inheriting immutable state
+//!   objects (descriptors, pids, pinned memory).
+//! * **Mutable tracing** ([`tracing`], [`transfer`]) — a hybrid
+//!   precise/conservative GC-style traversal of the old version's memory
+//!   that transfers the remaining (dirty) objects, relocating and
+//!   type-transforming them where type information permits and pinning them
+//!   as immutable where it does not.
+//!
+//! The [`runtime`] module ties everything together: [`runtime::boot`] starts
+//! an MCR-enabled program, and [`runtime::live_update`] performs an atomic,
+//! reversible live update.
+//!
+//! ## Example
+//!
+//! Programs implement the [`Program`] trait (see the `mcr-servers` crate for
+//! full models of Apache httpd, nginx, vsftpd and OpenSSH); updating one is a
+//! single call:
+//!
+//! ```text
+//! let mut kernel = Kernel::new();
+//! let v1 = runtime::boot(&mut kernel, Box::new(MyServer::new(1)), &BootOptions::default())?;
+//! // ... serve traffic ...
+//! let (v2, outcome) = runtime::live_update(
+//!     &mut kernel, v1, Box::new(MyServer::new(2)),
+//!     InstrumentationConfig::full(), &UpdateOptions::default());
+//! assert!(outcome.is_committed());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotations;
+pub mod callstack;
+pub mod error;
+pub mod interpose;
+pub mod log;
+pub mod program;
+pub mod quiescence;
+pub mod runtime;
+pub mod tracing;
+pub mod transfer;
+
+pub use annotations::{AnnotationRegistry, ObjTreatment, ReinitDecision};
+pub use callstack::CallStackId;
+pub use error::{Conflict, McrError, McrResult};
+pub use interpose::{InterposeMode, InterposeStats, Interposer};
+pub use log::{LogEntry, StartupLog};
+pub use program::{InstanceState, Program, ProgramEnv, StepOutcome};
+pub use quiescence::{QuiescenceProfiler, QuiescenceReport, QuiescentPoint};
+pub use runtime::{
+    boot, live_update, BootOptions, McrInstance, MemoryReport, UpdateOptions, UpdateOutcome, UpdateReport,
+};
+pub use tracing::{ObjectGraph, TraceOptions, TracingStats};
+pub use transfer::TransferSummary;

@@ -1,0 +1,496 @@
+//! The live-update controller (the `mcr-ctl` counterpart).
+//!
+//! [`live_update`] orchestrates the full MCR pipeline of Figure 1:
+//! checkpoint (quiesce) the old version, restart the new version under
+//! mutable reinitialization, remap the remaining state with mutable tracing
+//! and state transfer, and either commit (terminate the old version) or roll
+//! back (terminate the new version and resume the old one from its
+//! checkpoint). The whole sequence is atomic and reversible: a failure at
+//! any stage leaves the old version running exactly where it was parked.
+
+use std::collections::BTreeSet;
+
+use mcr_procsim::{Fd, FdPlacement, Kernel, Pid, Syscall, SyscallPort, ThreadState};
+use mcr_typemeta::InstrumentationConfig;
+
+use crate::callstack::CallStackId;
+use crate::error::{Conflict, McrError, McrResult};
+use crate::interpose::Interposer;
+use crate::program::{Program, ThreadRosterEntry};
+use crate::runtime::report::UpdateReport;
+use crate::runtime::scheduler::{
+    create_instance, resume, run_startup, wait_quiescence, BootOptions, McrInstance,
+};
+use crate::tracing::tracer::{trace_process, TraceOptions};
+use crate::transfer::engine::transfer_process;
+
+/// Options for one live-update attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateOptions {
+    /// ASLR-style slide applied to the new version's private regions (must
+    /// keep old and new heaps disjoint).
+    pub layout_slide: u64,
+    /// Maximum scheduling rounds the barrier protocol may take.
+    pub max_quiesce_rounds: usize,
+    /// Mutable-tracing options.
+    pub trace: TraceOptions,
+    /// Recreate counterparts for old processes that the new version's
+    /// startup did not spawn (per-connection worker processes, i.e. volatile
+    /// quiescent points). Requires the corresponding annotations in real
+    /// deployments; disable to model an annotation-free deployment.
+    pub recreate_unmatched_processes: bool,
+}
+
+impl Default for UpdateOptions {
+    fn default() -> Self {
+        UpdateOptions {
+            layout_slide: 0x1_0000_0000,
+            max_quiesce_rounds: 1_000,
+            trace: TraceOptions::default(),
+            recreate_unmatched_processes: true,
+        }
+    }
+}
+
+/// The result of a live-update attempt.
+#[derive(Debug)]
+pub enum UpdateOutcome {
+    /// The new version took over; the old version was terminated.
+    Committed(UpdateReport),
+    /// The update was aborted; the old version resumed from its checkpoint.
+    RolledBack {
+        /// The conflicts (or failures) that caused the rollback.
+        conflicts: Vec<Conflict>,
+        /// Whatever was measured before the abort.
+        report: UpdateReport,
+    },
+}
+
+impl UpdateOutcome {
+    /// True if the new version is now running.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, UpdateOutcome::Committed(_))
+    }
+
+    /// The report gathered during the attempt.
+    pub fn report(&self) -> &UpdateReport {
+        match self {
+            UpdateOutcome::Committed(r) => r,
+            UpdateOutcome::RolledBack { report, .. } => report,
+        }
+    }
+
+    /// The conflicts of a rolled-back attempt (empty when committed).
+    pub fn conflicts(&self) -> &[Conflict] {
+        match self {
+            UpdateOutcome::Committed(_) => &[],
+            UpdateOutcome::RolledBack { conflicts, .. } => conflicts,
+        }
+    }
+}
+
+fn conflicts_of(error: McrError) -> Vec<Conflict> {
+    match error {
+        McrError::Conflicts(cs) => cs,
+        other => vec![Conflict::StartupFailure { syscall: "<runtime>".into(), error: other.to_string() }],
+    }
+}
+
+fn teardown(kernel: &mut Kernel, instance: &McrInstance) {
+    for &pid in &instance.state.processes {
+        let _ = kernel.remove_process(pid);
+    }
+}
+
+fn rollback(
+    kernel: &mut Kernel,
+    new_instance: Option<McrInstance>,
+    mut old: McrInstance,
+    conflicts: Vec<Conflict>,
+    report: UpdateReport,
+) -> (McrInstance, UpdateOutcome) {
+    if let Some(new_instance) = new_instance {
+        teardown(kernel, &new_instance);
+    }
+    resume(kernel, &mut old);
+    (old, UpdateOutcome::RolledBack { conflicts, report })
+}
+
+/// Performs a live update of `old` to `new_program`.
+///
+/// Returns the instance that is running afterwards (the new version on
+/// success, the old version after a rollback) together with the outcome.
+pub fn live_update(
+    kernel: &mut Kernel,
+    mut old: McrInstance,
+    new_program: Box<dyn Program>,
+    config: InstrumentationConfig,
+    opts: &UpdateOptions,
+) -> (McrInstance, UpdateOutcome) {
+    let mut report = UpdateReport { old_startup: old.state.startup_duration, ..Default::default() };
+    let t_total = kernel.now();
+
+    // --------------------------------------------------------------
+    // 1. Checkpoint: quiesce the old version.
+    // --------------------------------------------------------------
+    match wait_quiescence(kernel, &mut old, opts.max_quiesce_rounds) {
+        Ok(d) => report.timings.quiescence = d,
+        Err(e) => return rollback(kernel, None, old, conflicts_of(e), report),
+    }
+    report.open_connections = kernel.open_connection_count();
+
+    // --------------------------------------------------------------
+    // 2. Restart: boot the new version under mutable reinitialization.
+    // --------------------------------------------------------------
+    let cm_start = kernel.now();
+    let boot_opts = BootOptions { config, layout_slide: opts.layout_slide, start_quiesced: true };
+    let interposer = Interposer::replayer(old.state.interpose.recorded_log());
+    let mut new_instance = match create_instance(kernel, new_program, interposer, &boot_opts) {
+        Ok(i) => i,
+        Err(e) => return rollback(kernel, None, old, conflicts_of(e), report),
+    };
+    let new_init = new_instance.init_pid().expect("instance has an initial process");
+
+    // Global inheritance: the new version's first process inherits every
+    // descriptor of every old-version process at the same number.
+    let old_pids = old.state.processes.clone();
+    for &old_pid in &old_pids {
+        let fds: Vec<Fd> = match kernel.process(old_pid) {
+            Ok(p) => p.fds().iter().map(|(fd, _)| fd).collect(),
+            Err(_) => continue,
+        };
+        for fd in fds {
+            let already = kernel.process(new_init).map(|p| p.fds().contains(fd)).unwrap_or(false);
+            if !already {
+                let _ = kernel.transfer_fd(old_pid, fd, new_init, FdPlacement::Exact(fd));
+            }
+        }
+    }
+    // Pid virtualization: the new initial process observes the old initial
+    // process's pid.
+    let old_init = old_pids[0];
+    let old_virt = old.state.interpose.virtual_pid(old_init);
+    new_instance.state.interpose.map_pid(old_virt, new_init);
+
+    if let Err(e) = run_startup(kernel, &mut new_instance) {
+        return rollback(kernel, Some(new_instance), old, conflicts_of(e), report);
+    }
+    report.new_startup = new_instance.state.startup_duration;
+    // Conservative matching: recorded operations the new version omitted.
+    let omission_conflicts = {
+        let state = &mut new_instance.state;
+        let crate::program::InstanceState { interpose, annotations, .. } = state;
+        interpose.finish_replay(annotations)
+    };
+    if !omission_conflicts.is_empty() {
+        return rollback(kernel, Some(new_instance), old, omission_conflicts, report);
+    }
+    // Park every new-version thread at its quiescent point so it cannot
+    // observe external events before commit.
+    if let Err(e) = wait_quiescence(kernel, &mut new_instance, opts.max_quiesce_rounds) {
+        return rollback(kernel, Some(new_instance), old, conflicts_of(e), report);
+    }
+    report.replay = new_instance.state.interpose.stats();
+    report.timings.control_migration = kernel.now().duration_since(cm_start);
+
+    // --------------------------------------------------------------
+    // 3. Restore: match processes, trace the old state, transfer it.
+    // --------------------------------------------------------------
+    let st_start = kernel.now();
+    let pairs = match match_processes(kernel, &old, &mut new_instance, opts, &mut report) {
+        Ok(p) => p,
+        Err(e) => return rollback(kernel, Some(new_instance), old, conflicts_of(e), report),
+    };
+
+    let mut conflicts: Vec<Conflict> = Vec::new();
+    for &(old_pid, new_pid) in &pairs {
+        let trace = match trace_process(kernel, &old.state, old_pid, opts.trace) {
+            Ok(t) => t,
+            Err(e) => return rollback(kernel, Some(new_instance), old, conflicts_of(e), report),
+        };
+        report.tracing.merge(&trace.stats);
+        let proc_report =
+            match transfer_process(kernel, &old.state, old_pid, &mut new_instance.state, new_pid, &trace) {
+                Ok(r) => r,
+                Err(e) => return rollback(kernel, Some(new_instance), old, conflicts_of(e), report),
+            };
+        conflicts.extend(proc_report.conflicts.clone());
+        report.transfer.push(proc_report);
+
+        // Per-process descriptor inheritance: connection descriptors created
+        // after startup exist only in the matched old process. Descriptor
+        // numbers may clash across processes (two old workers can both own a
+        // "fd 7" referring to different connections); the matched process's
+        // own object wins, mirroring the per-process mapping the paper calls
+        // for in multiprocess deployments.
+        let fds: Vec<(Fd, mcr_procsim::ObjId)> = match kernel.process(old_pid) {
+            Ok(p) => p.fds().iter().map(|(fd, e)| (fd, e.object)).collect(),
+            Err(_) => Vec::new(),
+        };
+        for (fd, old_obj) in fds {
+            let existing = kernel.process(new_pid).ok().and_then(|p| p.fds().get(fd).ok());
+            match existing {
+                Some(entry) if entry.object == old_obj => {}
+                Some(_) => {
+                    // Same number, different object: replace it with the
+                    // object this process actually owned in the old version.
+                    let new_tid = kernel.process(new_pid).map(|p| p.main_tid());
+                    if let Ok(tid) = new_tid {
+                        let _ = kernel.syscall(new_pid, tid, Syscall::Close { fd });
+                        let _ = kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
+                    }
+                }
+                None => {
+                    let _ = kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
+                }
+            }
+        }
+    }
+    if !conflicts.is_empty() {
+        return rollback(kernel, Some(new_instance), old, conflicts, report);
+    }
+    report.timings.state_transfer = report.transfer.parallel_duration;
+    report.timings.state_transfer_serial = kernel.now().duration_since(st_start);
+
+    // --------------------------------------------------------------
+    // 4. Commit: the new version resumes; the old version is terminated.
+    // --------------------------------------------------------------
+    resume(kernel, &mut new_instance);
+    for &pid in &old.state.processes {
+        let _ = kernel.remove_process(pid);
+    }
+    report.timings.total = kernel.now().duration_since(t_total);
+    (new_instance, UpdateOutcome::Committed(report))
+}
+
+/// Pairs old-version processes with new-version processes by creation-time
+/// call-stack ID (and creation order), optionally recreating counterparts
+/// for unmatched old processes.
+fn match_processes(
+    kernel: &mut Kernel,
+    old: &McrInstance,
+    new_instance: &mut McrInstance,
+    opts: &UpdateOptions,
+    report: &mut UpdateReport,
+) -> McrResult<Vec<(Pid, Pid)>> {
+    let new_init = new_instance.init_pid()?;
+    let mut pairs = Vec::new();
+    let mut used: BTreeSet<u32> = BTreeSet::new();
+    for &old_pid in &old.state.processes {
+        let old_proc = kernel.process(old_pid).map_err(McrError::Sim)?;
+        let old_cs = CallStackId::from_frames(old_proc.creation_stack());
+        let old_stack = old_proc.creation_stack().to_vec();
+        let candidate = new_instance
+            .state
+            .processes
+            .iter()
+            .copied()
+            .filter(|p| !used.contains(&p.0))
+            .find(|&p| {
+                kernel
+                    .process(p)
+                    .map(|proc| CallStackId::from_frames(proc.creation_stack()) == old_cs)
+                    .unwrap_or(false)
+            });
+        match candidate {
+            Some(new_pid) => {
+                used.insert(new_pid.0);
+                pairs.push((old_pid, new_pid));
+                report.processes_matched += 1;
+            }
+            None if opts.recreate_unmatched_processes => {
+                // Fork a counterpart from the new version's initial process
+                // (modelling the annotated control-migration extension the
+                // paper describes for volatile quiescent points).
+                let init_tid = kernel.process(new_init).map_err(McrError::Sim)?.main_tid();
+                let child = kernel
+                    .syscall(new_init, init_tid, Syscall::Fork)
+                    .map_err(McrError::Sim)?
+                    .as_pid()
+                    .ok_or_else(|| McrError::InvalidState("fork did not return a pid".into()))?;
+                {
+                    let proc = kernel.process_mut(child).map_err(McrError::Sim)?;
+                    proc.set_creation_stack(old_stack);
+                    let main = proc.main_tid();
+                    proc.thread_mut(main).map_err(McrError::Sim)?.set_state(ThreadState::Quiesced);
+                }
+                let child_tid = kernel.process(child).map_err(McrError::Sim)?.main_tid();
+                let name = old
+                    .state
+                    .threads
+                    .iter()
+                    .find(|t| t.pid == old_pid)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|| "recreated".to_string());
+                new_instance.state.processes.push(child);
+                new_instance.state.threads.push(ThreadRosterEntry {
+                    pid: child,
+                    tid: child_tid,
+                    name,
+                    created_during_startup: false,
+                    exited: false,
+                });
+                // The pid the old process observed stays meaningful in
+                // transferred data structures.
+                let old_virt = old.state.interpose.virtual_pid(old_pid);
+                new_instance.state.interpose.map_pid(old_virt, child);
+                used.insert(child.0);
+                pairs.push((old_pid, child));
+                report.processes_recreated += 1;
+            }
+            None => {
+                return Err(Conflict::MissingCounterpart { object: format!("process {old_pid}") }.into());
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::scheduler::{boot, run_round, run_rounds};
+    use crate::runtime::testprog::{FaultyServer, TinyServer};
+    use mcr_procsim::Addr;
+
+    fn booted_v1(kernel: &mut Kernel) -> McrInstance {
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        boot(kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap()
+    }
+
+    fn serve_clients(kernel: &mut Kernel, instance: &mut McrInstance, n: usize) -> Vec<mcr_procsim::ConnId> {
+        let mut conns = Vec::new();
+        for _ in 0..n {
+            let c = kernel.client_connect(8080).unwrap();
+            kernel.client_send(c, b"GET /".to_vec()).unwrap();
+            run_round(kernel, instance).unwrap();
+            let _ = kernel.client_recv(c);
+            conns.push(c);
+        }
+        conns
+    }
+
+    #[test]
+    fn successful_live_update_preserves_state_and_serves_clients() {
+        let mut kernel = Kernel::new();
+        let mut v1 = booted_v1(&mut kernel);
+        let conns = serve_clients(&mut kernel, &mut v1, 3);
+        let old_pids = v1.state.processes.clone();
+
+        let (mut v2, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(outcome.is_committed(), "conflicts: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert_eq!(report.open_connections, 3);
+        assert!(report.timings.quiescence.0 > 0);
+        assert!(report.timings.control_migration.0 > 0);
+        assert!(report.timings.total.0 > 0);
+        assert!(report.transfer.objects_transferred() >= 3, "the three list nodes moved");
+        assert_eq!(v2.state.version, "2.0");
+
+        // The old version's processes are gone.
+        for pid in old_pids {
+            assert!(kernel.process(pid).is_err());
+        }
+
+        // The connection list survived the update: the new version's `list`
+        // global reaches 3 nodes whose values are the old connection fds.
+        let list_addr = v2.state.statics.lookup("list").unwrap().addr;
+        let new_init = v2.init_pid().unwrap();
+        let space = kernel.process(new_init).unwrap().space();
+        let mut count = 0;
+        let mut node = Addr(space.read_u64(list_addr.offset(8)).unwrap());
+        while !node.is_null() && count < 10 {
+            count += 1;
+            node = Addr(space.read_u64(node.offset(8)).unwrap());
+        }
+        assert_eq!(count, 3);
+
+        // And the new version serves new clients with its own banner.
+        let c = kernel.client_connect(8080).unwrap();
+        kernel.client_send(c, b"GET /".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut v2, 2).unwrap();
+        let reply = kernel.client_recv(c).unwrap();
+        assert!(String::from_utf8_lossy(&reply).contains("v2"));
+        let _ = conns;
+    }
+
+    #[test]
+    fn omitted_startup_call_rolls_back_and_old_version_survives() {
+        let mut kernel = Kernel::new();
+        let mut v1 = booted_v1(&mut kernel);
+        serve_clients(&mut kernel, &mut v1, 2);
+
+        // FaultyServer omits the listen() call the old version recorded.
+        let (mut still_v1, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(FaultyServer::omitting_listen()),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(!outcome.is_committed());
+        assert!(outcome
+            .conflicts()
+            .iter()
+            .any(|c| matches!(c, Conflict::OmittedReplayEntry { .. })));
+        assert_eq!(still_v1.state.version, "1.0");
+
+        // The old version keeps serving clients after the rollback.
+        let c = kernel.client_connect(8080).unwrap();
+        kernel.client_send(c, b"GET /".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut still_v1, 2).unwrap();
+        let reply = kernel.client_recv(c).unwrap();
+        assert!(String::from_utf8_lossy(&reply).contains("v1"));
+    }
+
+    #[test]
+    fn startup_failure_in_new_version_rolls_back() {
+        let mut kernel = Kernel::new();
+        let v1 = booted_v1(&mut kernel);
+        let (still_v1, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(FaultyServer::aborting()),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(!outcome.is_committed());
+        assert_eq!(still_v1.state.version, "1.0");
+        // Only the old version's process remains.
+        assert_eq!(kernel.pids().len(), 1);
+    }
+
+    #[test]
+    fn repeated_updates_chain_through_replayed_logs() {
+        let mut kernel = Kernel::new();
+        let mut instance = booted_v1(&mut kernel);
+        for generation in 2..=4u32 {
+            serve_clients(&mut kernel, &mut instance, 1);
+            let opts = UpdateOptions {
+                layout_slide: 0x1_0000_0000 * u64::from(generation),
+                ..Default::default()
+            };
+            let (next, outcome) = live_update(
+                &mut kernel,
+                instance,
+                Box::new(TinyServer::new(generation)),
+                InstrumentationConfig::full(),
+                &opts,
+            );
+            assert!(outcome.is_committed(), "gen {generation}: {:?}", outcome.conflicts());
+            instance = next;
+        }
+        assert_eq!(instance.state.version, "4.0");
+        // Still serving.
+        let c = kernel.client_connect(8080).unwrap();
+        kernel.client_send(c, b"GET /".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut instance, 2).unwrap();
+        assert!(String::from_utf8_lossy(&kernel.client_recv(c).unwrap()).contains("v4"));
+    }
+}

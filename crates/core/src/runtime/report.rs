@@ -1,0 +1,128 @@
+//! Update and memory reports produced by the controller.
+
+use mcr_procsim::{Kernel, SimDuration};
+
+use crate::interpose::InterposeStats;
+use crate::runtime::scheduler::McrInstance;
+use crate::tracing::stats::TracingStats;
+use crate::transfer::engine::TransferSummary;
+
+/// Breakdown of the client-perceived update time (§8 "Update time").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateTimings {
+    /// Time for the barrier protocol to park every old-version thread.
+    pub quiescence: SimDuration,
+    /// Time to restart the new version and complete control migration
+    /// (record/replay of startup operations).
+    pub control_migration: SimDuration,
+    /// State-transfer time with MCR's parallel per-process transfer
+    /// (the time reported in Figure 3).
+    pub state_transfer: SimDuration,
+    /// State-transfer time if processes were transferred sequentially
+    /// (ablation of the parallel strategy).
+    pub state_transfer_serial: SimDuration,
+    /// Total time the program was unavailable.
+    pub total: SimDuration,
+}
+
+/// Everything MCR measured while performing (or attempting) one live update.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Timing breakdown.
+    pub timings: UpdateTimings,
+    /// Aggregated mutable-tracing statistics across processes (Table 2).
+    pub tracing: TracingStats,
+    /// Aggregated state-transfer results across processes.
+    pub transfer: TransferSummary,
+    /// Record/replay statistics of mutable reinitialization.
+    pub replay: InterposeStats,
+    /// Old-version processes matched to a new-version counterpart.
+    pub processes_matched: usize,
+    /// Old-version processes for which a counterpart had to be recreated
+    /// (volatile quiescent points, e.g. per-connection worker processes).
+    pub processes_recreated: usize,
+    /// Connections open at update time.
+    pub open_connections: usize,
+    /// Startup time of the old version (recorded at its original boot).
+    pub old_startup: SimDuration,
+    /// Startup time of the new version under mutable reinitialization.
+    pub new_startup: SimDuration,
+}
+
+impl UpdateReport {
+    /// The replay-phase overhead relative to the original startup
+    /// (the paper reports 1–45%).
+    pub fn replay_overhead_fraction(&self) -> f64 {
+        if self.old_startup.0 == 0 {
+            0.0
+        } else {
+            self.new_startup.0 as f64 / self.old_startup.0 as f64 - 1.0
+        }
+    }
+
+    /// Fraction of traced state that did not need to be transferred thanks to
+    /// dirty-object tracking (the 68%–86% reduction quoted in §8).
+    pub fn dirty_reduction(&self) -> f64 {
+        self.tracing.dirty_reduction()
+    }
+}
+
+/// Memory usage of one instance, used for the §8 memory-overhead evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Mapped memory plus allocator metadata of all processes.
+    pub resident_bytes: u64,
+    /// MCR metadata (startup log, registries, shadow allocation log).
+    pub metadata_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Measures an instance.
+    pub fn measure(kernel: &Kernel, instance: &McrInstance) -> Self {
+        MemoryReport {
+            resident_bytes: instance.resident_bytes(kernel),
+            metadata_bytes: instance.state.metadata_bytes(),
+        }
+    }
+
+    /// Total bytes attributable to the instance.
+    pub fn total(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Overhead ratio of this (instrumented) measurement over a baseline
+    /// measurement, e.g. `2.8` means a 180% resident-set increase.
+    pub fn overhead_over(&self, baseline: &MemoryReport) -> f64 {
+        if baseline.resident_bytes == 0 {
+            0.0
+        } else {
+            self.resident_bytes as f64 / baseline.resident_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_overhead_fraction() {
+        let report = UpdateReport {
+            old_startup: SimDuration(1_000),
+            new_startup: SimDuration(1_300),
+            ..Default::default()
+        };
+        assert!((report.replay_overhead_fraction() - 0.3).abs() < 1e-9);
+        let zero = UpdateReport::default();
+        assert_eq!(zero.replay_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn memory_overhead_ratio() {
+        let baseline = MemoryReport { resident_bytes: 100, metadata_bytes: 0 };
+        let instrumented = MemoryReport { resident_bytes: 390, metadata_bytes: 90 };
+        assert!((instrumented.overhead_over(&baseline) - 3.9).abs() < 1e-9);
+        assert_eq!(instrumented.total(), 390);
+        assert_eq!(instrumented.overhead_over(&MemoryReport::default()), 0.0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Instance lifecycle and cooperative scheduling.
+//!
+//! The scheduler drives MCR-enabled programs one loop iteration at a time:
+//! it boots an instance (running its startup code under recording or replay),
+//! steps its threads round-robin, charges the cost of the MCR
+//! instrumentation (unblockification wrappers, quiescence hooks), feeds the
+//! quiescence profiler, and implements the barrier protocol that parks every
+//! thread at its quiescent point when an update is requested.
+
+use mcr_procsim::{Kernel, Pid, SimDuration, SimInstant, Tid, ThreadState};
+use mcr_typemeta::InstrumentationConfig;
+
+use crate::error::{Conflict, McrError, McrResult};
+use crate::interpose::Interposer;
+use crate::program::{InstanceState, Program, ProgramEnv, StepOutcome, ThreadRosterEntry};
+
+/// A running MCR-enabled program instance: the program object plus all the
+/// runtime state MCR keeps about it.
+pub struct McrInstance {
+    /// The program implementation.
+    pub program: Box<dyn Program>,
+    /// MCR's per-instance state (registries, startup log, roster, counters).
+    pub state: InstanceState,
+}
+
+impl std::fmt::Debug for McrInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McrInstance")
+            .field("program", &self.state.program_name)
+            .field("version", &self.state.version)
+            .field("processes", &self.state.processes)
+            .finish()
+    }
+}
+
+impl McrInstance {
+    /// The actual pid of the instance's initial process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance has no processes (not yet created).
+    pub fn init_pid(&self) -> McrResult<Pid> {
+        self.state
+            .processes
+            .first()
+            .copied()
+            .ok_or_else(|| McrError::InvalidState("instance has no processes".into()))
+    }
+
+    /// Resident memory of the instance: mapped bytes plus allocator and MCR
+    /// metadata across all its processes.
+    pub fn resident_bytes(&self, kernel: &Kernel) -> u64 {
+        let proc_bytes: u64 = self
+            .state
+            .processes
+            .iter()
+            .filter_map(|&pid| kernel.process(pid).ok())
+            .map(|p| p.resident_bytes())
+            .sum();
+        proc_bytes + self.state.metadata_bytes()
+    }
+}
+
+/// Options controlling instance creation.
+#[derive(Debug)]
+pub struct BootOptions {
+    /// Instrumentation configuration for this build of the program.
+    pub config: InstrumentationConfig,
+    /// ASLR-style slide applied to the program's private memory regions.
+    pub layout_slide: u64,
+    /// Whether the instance starts with quiescence already requested (the new
+    /// version during a live update: its threads park at their quiescent
+    /// points instead of accepting new work).
+    pub start_quiesced: bool,
+}
+
+impl Default for BootOptions {
+    fn default() -> Self {
+        BootOptions { config: InstrumentationConfig::full(), layout_slide: 0, start_quiesced: false }
+    }
+}
+
+/// Creates the initial process of an instance without running its startup
+/// code (the controller inherits descriptors and seeds pid mappings between
+/// creation and startup).
+///
+/// # Errors
+///
+/// Fails if the process cannot be created or its memory cannot be mapped.
+pub fn create_instance(
+    kernel: &mut Kernel,
+    mut program: Box<dyn Program>,
+    interposer: Interposer,
+    opts: &BootOptions,
+) -> McrResult<McrInstance> {
+    let name = program.name().to_string();
+    let version = program.version().to_string();
+    let pid = kernel.create_process(&name).map_err(McrError::Sim)?;
+    let layout = mcr_procsim::MemoryLayout::with_slide(opts.layout_slide);
+    {
+        let proc = kernel.process_mut(pid).map_err(McrError::Sim)?;
+        proc.setup_memory(layout, opts.config.level.heap_instrumented()).map_err(McrError::Sim)?;
+        proc.set_region_allocator(mcr_procsim::RegionAllocator::new(opts.config.instrument_region_allocator));
+        if let Ok(heap) = proc.heap_mut() {
+            heap.set_defer_free(true);
+        }
+    }
+    let main_tid = kernel.process(pid).map_err(McrError::Sim)?.main_tid();
+    let mut state = InstanceState::new(name, version, opts.config, interposer);
+    state.quiesce_requested = opts.start_quiesced;
+    state.processes.push(pid);
+    state.threads.push(ThreadRosterEntry {
+        pid,
+        tid: main_tid,
+        name: "main".into(),
+        created_during_startup: true,
+        exited: false,
+    });
+    program.register_types(&mut state.types);
+    Ok(McrInstance { program, state })
+}
+
+/// Runs the instance's startup code (and any forked children's
+/// initialization), then finalizes the startup phase: deferred frees are
+/// flushed, allocators leave their startup phase and soft-dirty bits are
+/// cleared so that post-startup modifications can be detected.
+///
+/// # Errors
+///
+/// Propagates startup failures and replay conflicts.
+pub fn run_startup(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult<()> {
+    let start = kernel.now();
+    let init_pid = instance.init_pid()?;
+    let init_tid = kernel.process(init_pid).map_err(McrError::Sim)?.main_tid();
+    {
+        let McrInstance { program, state } = instance;
+        let mut env = ProgramEnv::new(kernel, state, init_pid, init_tid, "main");
+        env.scoped("main", |env| program.startup(env))?;
+    }
+    // Children forked during startup perform their own initialization next
+    // (possibly forking further children or spawning threads).
+    loop {
+        let Some(pending) = ({
+            let state = &mut instance.state;
+            if state.pending_children.is_empty() {
+                None
+            } else {
+                Some(state.pending_children.remove(0))
+            }
+        }) else {
+            break;
+        };
+        let child_tid = kernel.process(pending.actual_pid).map_err(McrError::Sim)?.main_tid();
+        let McrInstance { program, state } = instance;
+        let mut env =
+            ProgramEnv::new(kernel, state, pending.actual_pid, child_tid, format!("{}-main", pending.kind));
+        let kind = pending.kind.clone();
+        env.scoped("main", |env| {
+            env.scoped(&format!("{kind}_init"), |env| program.process_init(env, &kind))
+        })?;
+    }
+    finish_startup(kernel, instance, start)
+}
+
+fn finish_startup(kernel: &mut Kernel, instance: &mut McrInstance, start: SimInstant) -> McrResult<()> {
+    instance.state.startup_phase = false;
+    for &pid in &instance.state.processes {
+        if let Ok(proc) = kernel.process_mut(pid) {
+            if let Ok(heap) = proc.heap_mut() {
+                heap.end_startup();
+            }
+            let (space, heap) = proc.space_and_heap_mut().map_err(McrError::Sim)?;
+            heap.flush_deferred(space).map_err(McrError::Sim)?;
+            proc.space_mut().clear_soft_dirty();
+        }
+    }
+    instance.state.startup_duration = kernel.now().duration_since(start);
+    Ok(())
+}
+
+/// Convenience: creates an instance with a fresh recording interposer and
+/// runs its startup (the normal way to launch the *old* version).
+///
+/// # Errors
+///
+/// Propagates creation and startup failures.
+pub fn boot(
+    kernel: &mut Kernel,
+    program: Box<dyn Program>,
+    opts: &BootOptions,
+) -> McrResult<McrInstance> {
+    let mut instance = create_instance(kernel, program, Interposer::recorder(), opts)?;
+    run_startup(kernel, &mut instance)?;
+    Ok(instance)
+}
+
+/// Statistics of one scheduling round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Threads that made progress.
+    pub progressed: usize,
+    /// Threads that found nothing to do (at their quiescent point).
+    pub blocked: usize,
+    /// Threads that exited this round.
+    pub exited: usize,
+    /// Threads parked by the quiescence barrier this round.
+    pub parked: usize,
+}
+
+/// Executes one scheduling step of a single thread.
+///
+/// # Errors
+///
+/// Propagates program-level errors (during a live update these trigger
+/// rollback).
+pub fn step_thread(
+    kernel: &mut Kernel,
+    instance: &mut McrInstance,
+    pid: Pid,
+    tid: Tid,
+) -> McrResult<StepOutcome> {
+    let config = instance.state.config;
+    let thread_name = instance
+        .state
+        .roster_entry(pid, tid)
+        .map(|t| t.name.clone())
+        .unwrap_or_else(|| "thread".to_string());
+
+    // The quiescence hook runs before re-entering the blocking call: when an
+    // update has been requested, the thread parks right here, at the top of
+    // its long-running loop.
+    if instance.state.quiesce_requested && config.level.quiescence_hooks() {
+        instance.state.counters.quiescence_checks += 1;
+        kernel.advance_clock(SimDuration(50));
+        if let Ok(p) = kernel.process_mut(pid) {
+            if let Ok(t) = p.thread_mut(tid) {
+                t.set_state(ThreadState::Quiesced);
+            }
+        }
+        return Ok(StepOutcome::WouldBlock { call: "quiesce".into(), loop_name: "main_loop".into() });
+    }
+
+    let outcome = {
+        let McrInstance { program, state } = instance;
+        let mut env = ProgramEnv::new(kernel, state, pid, tid, thread_name);
+        program.thread_step(&mut env)?
+    };
+
+    match &outcome {
+        StepOutcome::WouldBlock { call, loop_name } => {
+            if config.level.unblockified() {
+                instance.state.counters.unblock_wraps += 1;
+                kernel.advance_clock(SimDuration(200));
+            }
+            if config.level.quiescence_hooks() {
+                instance.state.counters.quiescence_checks += 1;
+                kernel.advance_clock(SimDuration(50));
+            }
+            if let Ok(p) = kernel.process_mut(pid) {
+                if let Ok(t) = p.thread_mut(tid) {
+                    t.record_blocking(call, 1_000);
+                    t.record_loop_iteration(loop_name);
+                    t.set_state(ThreadState::Blocked { call: call.clone() });
+                }
+            }
+            // Idle blocking also advances time (the thread sits in the
+            // timeout-based unblockified call).
+            kernel.advance_clock(SimDuration(1_000));
+        }
+        StepOutcome::Progress => {
+            if let Ok(p) = kernel.process_mut(pid) {
+                if let Ok(t) = p.thread_mut(tid) {
+                    t.set_state(ThreadState::Running);
+                }
+            }
+        }
+        StepOutcome::Exit => {
+            instance.state.mark_thread_exited(pid, tid);
+            if let Ok(p) = kernel.process_mut(pid) {
+                if let Ok(t) = p.thread_mut(tid) {
+                    t.set_state(ThreadState::Exited);
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs one round-robin pass over every live, unparked thread.
+///
+/// # Errors
+///
+/// Propagates program-level errors.
+pub fn run_round(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult<RoundStats> {
+    let mut stats = RoundStats::default();
+    let threads: Vec<(Pid, Tid)> = instance
+        .state
+        .live_threads()
+        .map(|t| (t.pid, t.tid))
+        .collect();
+    for (pid, tid) in threads {
+        // Skip threads that are already parked or whose process is gone.
+        let skip = match kernel.process(pid) {
+            Ok(p) => {
+                p.has_exited()
+                    || matches!(
+                        p.thread(tid).map(|t| t.state().clone()),
+                        Ok(ThreadState::Quiesced) | Ok(ThreadState::Exited) | Err(_)
+                    )
+            }
+            Err(_) => true,
+        };
+        if skip {
+            continue;
+        }
+        match step_thread(kernel, instance, pid, tid)? {
+            StepOutcome::Progress => stats.progressed += 1,
+            StepOutcome::WouldBlock { .. } => {
+                stats.blocked += 1;
+                if instance.state.quiesce_requested {
+                    stats.parked += 1;
+                }
+            }
+            StepOutcome::Exit => stats.exited += 1,
+        }
+    }
+    Ok(stats)
+}
+
+/// Runs up to `rounds` scheduling rounds (the basic way to "run the server
+/// for a while" in tests and benchmarks).
+///
+/// # Errors
+///
+/// Propagates program-level errors.
+pub fn run_rounds(kernel: &mut Kernel, instance: &mut McrInstance, rounds: usize) -> McrResult<()> {
+    for _ in 0..rounds {
+        run_round(kernel, instance)?;
+    }
+    Ok(())
+}
+
+/// Requests quiescence: threads will park at their quiescent points on their
+/// next pass through the quiescence hook.
+pub fn request_quiescence(instance: &mut McrInstance) {
+    instance.state.quiesce_requested = true;
+}
+
+/// Drives the barrier protocol until every live thread of the instance is
+/// parked at its quiescent point, returning the time it took.
+///
+/// # Errors
+///
+/// Returns a [`Conflict::QuiescenceTimeout`] if the threads do not converge
+/// within `max_rounds` rounds.
+pub fn wait_quiescence(
+    kernel: &mut Kernel,
+    instance: &mut McrInstance,
+    max_rounds: usize,
+) -> McrResult<SimDuration> {
+    let start = kernel.now();
+    request_quiescence(instance);
+    for _ in 0..max_rounds {
+        if all_quiesced(kernel, instance) {
+            return Ok(kernel.now().duration_since(start));
+        }
+        run_round(kernel, instance)?;
+    }
+    if all_quiesced(kernel, instance) {
+        return Ok(kernel.now().duration_since(start));
+    }
+    let running = instance
+        .state
+        .live_threads()
+        .filter(|t| {
+            kernel
+                .process(t.pid)
+                .and_then(|p| p.thread(t.tid).map(|th| !th.is_quiesced()))
+                .unwrap_or(false)
+        })
+        .count();
+    Err(Conflict::QuiescenceTimeout { running_threads: running }.into())
+}
+
+/// Whether every live thread of the instance is parked at a quiescent point.
+pub fn all_quiesced(kernel: &Kernel, instance: &McrInstance) -> bool {
+    instance.state.live_threads().all(|t| {
+        kernel
+            .process(t.pid)
+            .and_then(|p| p.thread(t.tid).map(|th| th.is_quiesced()))
+            .unwrap_or(true)
+    })
+}
+
+/// Resumes execution after a checkpoint: clears the quiescence request and
+/// unparks every quiesced thread.
+pub fn resume(kernel: &mut Kernel, instance: &mut McrInstance) {
+    instance.state.quiesce_requested = false;
+    for entry in &instance.state.threads {
+        if entry.exited {
+            continue;
+        }
+        if let Ok(p) = kernel.process_mut(entry.pid) {
+            if let Ok(t) = p.thread_mut(entry.tid) {
+                if t.is_quiesced() {
+                    t.set_state(ThreadState::Running);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::testprog::TinyServer;
+
+    #[test]
+    fn boot_runs_startup_and_clears_dirty_bits() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let instance = boot(&mut kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap();
+        let pid = instance.init_pid().unwrap();
+        assert!(!instance.state.startup_phase);
+        assert!(instance.state.startup_duration.0 > 0);
+        assert!(instance.state.interpose.recorded_log().len() >= 4, "startup calls recorded");
+        let proc = kernel.process(pid).unwrap();
+        assert_eq!(proc.space().dirty_page_count(), 0, "soft-dirty cleared after startup");
+        assert!(proc.heap().unwrap().live_count() >= 1);
+    }
+
+    #[test]
+    fn server_accepts_connections_between_rounds() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let mut instance = boot(&mut kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap();
+        // No clients yet: the main thread blocks at its quiescent point.
+        let stats = run_round(&mut kernel, &mut instance).unwrap();
+        assert_eq!(stats.blocked, 1);
+        // A client connects and is served.
+        let conn = kernel.client_connect(8080).unwrap();
+        kernel.client_send(conn, b"GET /".to_vec()).unwrap();
+        let stats = run_round(&mut kernel, &mut instance).unwrap();
+        assert_eq!(stats.progressed, 1);
+        let reply = kernel.client_recv(conn).unwrap();
+        assert!(String::from_utf8_lossy(&reply).contains("v1"));
+        assert_eq!(instance.state.counters.events_handled, 1);
+    }
+
+    #[test]
+    fn quiescence_barrier_parks_and_resume_unparks() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let mut instance = boot(&mut kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap();
+        run_rounds(&mut kernel, &mut instance, 3).unwrap();
+        let d = wait_quiescence(&mut kernel, &mut instance, 100).unwrap();
+        assert!(all_quiesced(&kernel, &instance));
+        assert!(d.as_millis_f64() < 100.0, "quiescence converges quickly ({} ms)", d.as_millis_f64());
+        // While quiesced, rounds do not run program code.
+        let stats = run_round(&mut kernel, &mut instance).unwrap();
+        assert_eq!(stats.progressed + stats.blocked, 0);
+        resume(&mut kernel, &mut instance);
+        assert!(!all_quiesced(&kernel, &instance));
+        // Pending clients are served after resume.
+        let conn = kernel.client_connect(8080).unwrap();
+        kernel.client_send(conn, b"GET /".to_vec()).unwrap();
+        run_round(&mut kernel, &mut instance).unwrap();
+        assert!(kernel.client_recv(conn).is_some());
+    }
+
+    #[test]
+    fn instrumentation_counters_reflect_level() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let mut full = boot(&mut kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap();
+        run_rounds(&mut kernel, &mut full, 5).unwrap();
+        assert!(full.state.counters.unblock_wraps > 0);
+        assert!(full.state.counters.quiescence_checks > 0);
+
+        let mut kernel2 = Kernel::new();
+        kernel2.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let opts = BootOptions {
+            config: InstrumentationConfig::baseline(),
+            ..Default::default()
+        };
+        let mut base = boot(&mut kernel2, Box::new(TinyServer::new(1)), &opts).unwrap();
+        run_rounds(&mut kernel2, &mut base, 5).unwrap();
+        assert_eq!(base.state.counters.unblock_wraps, 0);
+        assert_eq!(base.state.counters.quiescence_checks, 0);
+        assert_eq!(base.state.counters.dyn_tracked_allocs, 0);
+    }
+
+    #[test]
+    fn resident_bytes_include_metadata() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let instance = boot(&mut kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap();
+        let resident = instance.resident_bytes(&kernel);
+        let pid = instance.init_pid().unwrap();
+        assert!(resident > kernel.process(pid).unwrap().space().mapped_bytes());
+    }
+}

@@ -1,0 +1,279 @@
+//! The traced object graph of the old program version.
+
+use std::collections::BTreeMap;
+
+use mcr_procsim::Addr;
+use mcr_typemeta::TypeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a traced object lives and how it can be identified across versions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectOrigin {
+    /// A global/static variable, matched across versions by symbol name.
+    Static {
+        /// Symbol name.
+        symbol: String,
+    },
+    /// A heap chunk, matched across versions by allocation-site name.
+    Heap {
+        /// Allocation-site name, when the allocator was instrumented.
+        site: Option<String>,
+    },
+    /// An object carved from a region/pool allocator.
+    Pool {
+        /// Allocation-site name, when the region allocator was instrumented.
+        site: Option<String>,
+    },
+    /// State owned by a shared library (not transferred by default).
+    Lib {
+        /// Library object name, if known.
+        name: Option<String>,
+    },
+    /// A memory-mapped region.
+    Mmap,
+}
+
+impl ObjectOrigin {
+    /// A short description used in conflict messages.
+    pub fn describe(&self) -> String {
+        match self {
+            ObjectOrigin::Static { symbol } => format!("static `{symbol}`"),
+            ObjectOrigin::Heap { site: Some(s) } => format!("heap object from `{s}`"),
+            ObjectOrigin::Heap { site: None } => "untyped heap object".to_string(),
+            ObjectOrigin::Pool { site: Some(s) } => format!("pool object from `{s}`"),
+            ObjectOrigin::Pool { site: None } => "untyped pool object".to_string(),
+            ObjectOrigin::Lib { name: Some(n) } => format!("library object `{n}`"),
+            ObjectOrigin::Lib { name: None } => "library object".to_string(),
+            ObjectOrigin::Mmap => "memory-mapped object".to_string(),
+        }
+    }
+
+    /// Whether the object is a static (symbol-matched) object.
+    pub fn is_static(&self) -> bool {
+        matches!(self, ObjectOrigin::Static { .. })
+    }
+}
+
+/// A pointer discovered by mutable tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointerEdge {
+    /// Offset of the pointer slot within the source object.
+    pub offset: u64,
+    /// The raw pointer value (may be an interior pointer).
+    pub target: Addr,
+    /// Base address of the object the pointer lands in.
+    pub target_base: Addr,
+    /// Bits masked off the raw value before following (encoded pointers).
+    pub masked_bits: u64,
+}
+
+/// One object reached by mutable tracing in the old version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracedObject {
+    /// Base address in the old version.
+    pub addr: Addr,
+    /// Size in bytes.
+    pub size: u64,
+    /// Origin (static / heap / pool / lib / mmap).
+    pub origin: ObjectOrigin,
+    /// Type, when precise information is available.
+    pub type_id: Option<TypeId>,
+    /// Whether any page covering the object is soft-dirty (modified after
+    /// startup) — only dirty objects need to be transferred.
+    pub dirty: bool,
+    /// Whether the object was created during startup.
+    pub startup: bool,
+    /// Whether the object must keep its address in the new version
+    /// (conservatively referenced).
+    pub immutable: bool,
+    /// Whether the object may not be type-transformed (it is referenced by,
+    /// or contains, likely pointers).
+    pub non_updatable: bool,
+    /// Pointers located with precise type information.
+    pub precise_pointers: Vec<PointerEdge>,
+    /// Likely pointers located by conservative scanning.
+    pub likely_pointers: Vec<PointerEdge>,
+}
+
+impl TracedObject {
+    /// End address (exclusive).
+    pub fn end(&self) -> Addr {
+        Addr(self.addr.0 + self.size)
+    }
+
+    /// Whether `addr` falls inside the object.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.addr.0 && addr.0 < self.addr.0 + self.size.max(1)
+    }
+
+    /// All outgoing pointer edges (precise then likely).
+    pub fn edges(&self) -> impl Iterator<Item = &PointerEdge> {
+        self.precise_pointers.iter().chain(self.likely_pointers.iter())
+    }
+}
+
+/// The object graph produced by tracing one process of the old version.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObjectGraph {
+    objects: BTreeMap<u64, TracedObject>,
+}
+
+impl ObjectGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an object (keyed by base address); replaces an existing entry.
+    pub fn insert(&mut self, obj: TracedObject) {
+        self.objects.insert(obj.addr.0, obj);
+    }
+
+    /// Whether an object with this base address is present.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.objects.contains_key(&addr.0)
+    }
+
+    /// Shared access by base address.
+    pub fn get(&self, addr: Addr) -> Option<&TracedObject> {
+        self.objects.get(&addr.0)
+    }
+
+    /// Exclusive access by base address.
+    pub fn get_mut(&mut self, addr: Addr) -> Option<&mut TracedObject> {
+        self.objects.get_mut(&addr.0)
+    }
+
+    /// The object whose extent contains `addr`, if any.
+    pub fn object_containing(&self, addr: Addr) -> Option<&TracedObject> {
+        self.objects.range(..=addr.0).next_back().map(|(_, o)| o).filter(|o| o.contains(addr))
+    }
+
+    /// Iterates over all objects in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &TracedObject> {
+        self.objects.values()
+    }
+
+    /// Number of traced objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects were traced.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Marks the object at `addr` immutable (and non-updatable).
+    pub fn mark_immutable(&mut self, addr: Addr) {
+        if let Some(o) = self.objects.get_mut(&addr.0) {
+            o.immutable = true;
+            o.non_updatable = true;
+        }
+    }
+
+    /// Marks the object at `addr` non-updatable.
+    pub fn mark_non_updatable(&mut self, addr: Addr) {
+        if let Some(o) = self.objects.get_mut(&addr.0) {
+            o.non_updatable = true;
+        }
+    }
+
+    /// Objects that must be transferred (dirty) in address order.
+    pub fn dirty_objects(&self) -> impl Iterator<Item = &TracedObject> {
+        self.objects.values().filter(|o| o.dirty)
+    }
+
+    /// Objects pinned at their old address.
+    pub fn immutable_objects(&self) -> impl Iterator<Item = &TracedObject> {
+        self.objects.values().filter(|o| o.immutable)
+    }
+
+    /// Total bytes of all traced objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.values().map(|o| o.size).sum()
+    }
+
+    /// Total bytes of dirty objects only (the state-transfer payload).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.objects.values().filter(|o| o.dirty).map(|o| o.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(addr: u64, size: u64, dirty: bool) -> TracedObject {
+        TracedObject {
+            addr: Addr(addr),
+            size,
+            origin: ObjectOrigin::Heap { site: Some("s".into()) },
+            type_id: Some(TypeId(1)),
+            dirty,
+            startup: true,
+            immutable: false,
+            non_updatable: false,
+            precise_pointers: Vec::new(),
+            likely_pointers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_and_containment() {
+        let mut g = ObjectGraph::new();
+        g.insert(obj(0x1000, 64, true));
+        g.insert(obj(0x2000, 32, false));
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(Addr(0x1000)));
+        assert!(g.get(Addr(0x2000)).is_some());
+        assert_eq!(g.object_containing(Addr(0x1010)).unwrap().addr, Addr(0x1000));
+        assert!(g.object_containing(Addr(0x1040)).is_none());
+        assert!(g.object_containing(Addr(0x500)).is_none());
+    }
+
+    #[test]
+    fn dirty_and_immutable_queries() {
+        let mut g = ObjectGraph::new();
+        g.insert(obj(0x1000, 64, true));
+        g.insert(obj(0x2000, 32, false));
+        assert_eq!(g.dirty_objects().count(), 1);
+        assert_eq!(g.dirty_bytes(), 64);
+        assert_eq!(g.total_bytes(), 96);
+        g.mark_immutable(Addr(0x2000));
+        g.mark_non_updatable(Addr(0x1000));
+        assert_eq!(g.immutable_objects().count(), 1);
+        assert!(g.get(Addr(0x2000)).unwrap().non_updatable);
+        assert!(g.get(Addr(0x1000)).unwrap().non_updatable);
+        assert!(!g.get(Addr(0x1000)).unwrap().immutable);
+    }
+
+    #[test]
+    fn origin_descriptions() {
+        assert!(ObjectOrigin::Static { symbol: "conf".into() }.describe().contains("conf"));
+        assert!(ObjectOrigin::Heap { site: None }.describe().contains("untyped"));
+        assert!(ObjectOrigin::Lib { name: None }.describe().contains("library"));
+        assert!(ObjectOrigin::Static { symbol: "x".into() }.is_static());
+        assert!(!ObjectOrigin::Mmap.is_static());
+    }
+
+    #[test]
+    fn edges_iterate_precise_then_likely() {
+        let mut o = obj(0x1000, 64, true);
+        o.precise_pointers.push(PointerEdge {
+            offset: 0,
+            target: Addr(0x2000),
+            target_base: Addr(0x2000),
+            masked_bits: 0,
+        });
+        o.likely_pointers.push(PointerEdge {
+            offset: 8,
+            target: Addr(0x3000),
+            target_base: Addr(0x3000),
+            masked_bits: 0,
+        });
+        assert_eq!(o.edges().count(), 2);
+        assert!(o.contains(Addr(0x1000)) && o.contains(Addr(0x103f)) && !o.contains(Addr(0x1040)));
+        assert_eq!(o.end(), Addr(0x1040));
+    }
+}

@@ -1,0 +1,17 @@
+//! Mutable tracing: hybrid precise/conservative traversal of the old
+//! version's program state (paper §6).
+//!
+//! The traversal starts from the root set (registered globals plus annotated
+//! objects), follows pointers precisely where data-type tags are available,
+//! scans opaque memory conservatively for likely pointers otherwise, and
+//! produces an [`ObjectGraph`] plus the [`TracingStats`] reported in Table 2.
+//! Soft-dirty page information restricts the transferable set to objects
+//! modified after startup.
+
+pub mod graph;
+pub mod stats;
+pub mod tracer;
+
+pub use graph::{ObjectGraph, ObjectOrigin, PointerEdge, TracedObject};
+pub use stats::{PointerStats, RegionClass, TracingStats};
+pub use tracer::{trace_process, TraceOptions, TraceResult, Tracer};

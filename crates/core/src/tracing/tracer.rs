@@ -1,0 +1,697 @@
+//! The hybrid (precise + conservative) heap traversal of mutable tracing.
+//!
+//! Starting from the root set (global variables registered by the old
+//! version, plus any annotated objects), the tracer walks pointer chains
+//! through the old version's simulated memory. Where data-type tags are
+//! available it locates pointers *precisely*; where the layout is opaque
+//! (char buffers, unions, pointer-sized integers, objects from
+//! uninstrumented allocators, library state) it falls back to *conservative*
+//! scanning for likely pointers, deriving the `immutable` / `non-updatable`
+//! invariants that constrain state transfer (paper §6).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use mcr_procsim::{Addr, Kernel, Pid, Process, RegionKind, PAGE_SIZE};
+use mcr_typemeta::{LayoutElement, TypeId};
+
+use crate::annotations::ObjTreatment;
+use crate::error::{McrError, McrResult};
+use crate::program::InstanceState;
+use crate::tracing::graph::{ObjectGraph, ObjectOrigin, PointerEdge, TracedObject};
+use crate::tracing::stats::{RegionClass, TracingStats};
+
+/// Options controlling a tracing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Follow (and transfer) shared-library state instead of only counting
+    /// pointers into it. Off by default, as in the paper.
+    pub trace_libraries: bool,
+    /// Honour soft-dirty bits: objects on clean pages are marked clean and
+    /// skipped by state transfer. Disabling this is the ablation baseline.
+    pub use_dirty_tracking: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { trace_libraries: false, use_dirty_tracking: true }
+    }
+}
+
+/// The result of tracing one process.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    /// The traced object graph.
+    pub graph: ObjectGraph,
+    /// Aggregated statistics (Table 2 input).
+    pub stats: TracingStats,
+}
+
+struct ResolvedObject {
+    base: Addr,
+    size: u64,
+    origin: ObjectOrigin,
+    type_id: Option<TypeId>,
+    startup: bool,
+}
+
+/// The mutable-tracing engine for one process of the old version.
+pub struct Tracer<'a> {
+    process: &'a Process,
+    state: &'a InstanceState,
+    options: TraceOptions,
+}
+
+impl<'a> Tracer<'a> {
+    /// Creates a tracer over process `pid` of the (quiescent) old version.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process does not exist.
+    pub fn new(kernel: &'a Kernel, state: &'a InstanceState, pid: Pid, options: TraceOptions) -> McrResult<Self> {
+        let process = kernel.process(pid).map_err(McrError::Sim)?;
+        Ok(Tracer { process, state, options })
+    }
+
+    /// Runs the traversal from the root set.
+    pub fn trace(&self) -> TraceResult {
+        let mut graph = ObjectGraph::new();
+        let mut stats = TracingStats::default();
+        let mut worklist: VecDeque<(Addr, Option<TypeId>)> = VecDeque::new();
+        let mut enqueued: BTreeSet<u64> = BTreeSet::new();
+        // Objects that conservative scanning requires to be pinned.
+        let mut pin_immutable: Vec<Addr> = Vec::new();
+        let mut pin_non_updatable: Vec<Addr> = Vec::new();
+
+        for root in self.state.statics.roots() {
+            worklist.push_back((root.addr, Some(root.ty)));
+            enqueued.insert(root.addr.0);
+        }
+
+        while let Some((addr, declared_ty)) = worklist.pop_front() {
+            let Some(resolved) = self.resolve_object(addr) else { continue };
+            if graph.contains(resolved.base) {
+                continue;
+            }
+            let type_id = resolved.type_id.or(if addr == resolved.base { declared_ty } else { None });
+            let dirty = if self.options.use_dirty_tracking {
+                self.range_dirty(resolved.base, resolved.size)
+            } else {
+                true
+            };
+            let mut traced = TracedObject {
+                addr: resolved.base,
+                size: resolved.size,
+                origin: resolved.origin,
+                type_id,
+                dirty,
+                startup: resolved.startup,
+                immutable: false,
+                non_updatable: false,
+                precise_pointers: Vec::new(),
+                likely_pointers: Vec::new(),
+            };
+
+            self.scan_object(&mut traced, &mut stats, &mut worklist, &mut enqueued, &mut pin_immutable, &mut pin_non_updatable);
+            graph.insert(traced);
+        }
+
+        for addr in pin_immutable {
+            graph.mark_immutable(addr);
+        }
+        for addr in pin_non_updatable {
+            graph.mark_non_updatable(addr);
+        }
+
+        stats.objects_traced = graph.len() as u64;
+        stats.immutable_objects = graph.immutable_objects().count() as u64;
+        stats.non_updatable_objects = graph.iter().filter(|o| o.non_updatable).count() as u64;
+        stats.dirty_objects = graph.dirty_objects().count() as u64;
+        stats.traced_bytes = graph.total_bytes();
+        stats.dirty_bytes = graph.dirty_bytes();
+        TraceResult { graph, stats }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_object(
+        &self,
+        traced: &mut TracedObject,
+        stats: &mut TracingStats,
+        worklist: &mut VecDeque<(Addr, Option<TypeId>)>,
+        enqueued: &mut BTreeSet<u64>,
+        pin_immutable: &mut Vec<Addr>,
+        pin_non_updatable: &mut Vec<Addr>,
+    ) {
+        let src_class = self.region_class_of(traced.addr);
+        let treatment = match &traced.origin {
+            ObjectOrigin::Static { symbol } => self.state.annotations.obj_treatment(symbol).cloned(),
+            _ => None,
+        };
+
+        // Decide the layout to scan.
+        enum Plan {
+            Typed(Vec<LayoutElement>, u64),
+            PointerSlots(Vec<u64>, u64),
+            Conservative,
+        }
+        let mask_bits = match treatment {
+            Some(ObjTreatment::EncodedPointers { mask_bits }) => mask_bits,
+            _ => 0,
+        };
+        let plan = match (&treatment, traced.type_id) {
+            (Some(ObjTreatment::SkipTransfer), _) => return,
+            (Some(ObjTreatment::ForceConservative), _) => Plan::Conservative,
+            (Some(ObjTreatment::PointerSlots(offsets)), _) => {
+                Plan::PointerSlots(offsets.clone(), traced.size)
+            }
+            (_, Some(ty)) => {
+                let elems = self.state.types.layout_elements(ty);
+                if elems.is_empty() {
+                    Plan::Conservative
+                } else {
+                    let stride = self.state.types.size_of(ty).max(1);
+                    Plan::Typed(elems, stride)
+                }
+            }
+            (_, None) => Plan::Conservative,
+        };
+
+        match plan {
+            Plan::Typed(elems, stride) => {
+                let copies = (traced.size / stride).max(1);
+                for k in 0..copies {
+                    let base_off = k * stride;
+                    for elem in &elems {
+                        match elem {
+                            LayoutElement::Pointer { offset, to } => {
+                                self.follow_precise(
+                                    traced,
+                                    base_off + offset,
+                                    Some(*to),
+                                    mask_bits,
+                                    src_class,
+                                    stats,
+                                    worklist,
+                                    enqueued,
+                                );
+                            }
+                            LayoutElement::Opaque { offset, len } => {
+                                self.scan_conservative(
+                                    traced,
+                                    base_off + offset,
+                                    *len,
+                                    src_class,
+                                    stats,
+                                    worklist,
+                                    enqueued,
+                                    pin_immutable,
+                                    pin_non_updatable,
+                                );
+                            }
+                            LayoutElement::Scalar { .. } => {}
+                        }
+                    }
+                }
+            }
+            Plan::PointerSlots(offsets, _) => {
+                for off in offsets {
+                    self.follow_precise(traced, off, None, mask_bits, src_class, stats, worklist, enqueued);
+                }
+            }
+            Plan::Conservative => {
+                self.scan_conservative(
+                    traced,
+                    0,
+                    traced.size,
+                    src_class,
+                    stats,
+                    worklist,
+                    enqueued,
+                    pin_immutable,
+                    pin_non_updatable,
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn follow_precise(
+        &self,
+        traced: &mut TracedObject,
+        offset: u64,
+        pointee: Option<TypeId>,
+        mask_bits: u32,
+        src_class: RegionClass,
+        stats: &mut TracingStats,
+        worklist: &mut VecDeque<(Addr, Option<TypeId>)>,
+        enqueued: &mut BTreeSet<u64>,
+    ) {
+        if offset + 8 > traced.size {
+            return;
+        }
+        let slot = traced.addr.offset(offset);
+        let Ok(raw) = self.process.space().read_u64(slot) else { return };
+        let mask = (1u64 << mask_bits) - 1;
+        let masked_bits = raw & mask;
+        let value = raw & !mask;
+        if value == 0 {
+            return;
+        }
+        let target = Addr(value);
+        if !self.process.space().is_mapped(target) {
+            return;
+        }
+        let targ_class = self.region_class_of(target);
+        stats.precise.record(src_class, targ_class);
+        let target_base = self.resolve_object(target).map(|r| r.base).unwrap_or(target);
+        traced.precise_pointers.push(PointerEdge { offset, target, target_base, masked_bits });
+        let follow_lib = targ_class != RegionClass::Lib || self.options.trace_libraries;
+        if follow_lib && enqueued.insert(target_base.0) {
+            worklist.push_back((target_base, pointee));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_conservative(
+        &self,
+        traced: &mut TracedObject,
+        offset: u64,
+        len: u64,
+        src_class: RegionClass,
+        stats: &mut TracingStats,
+        worklist: &mut VecDeque<(Addr, Option<TypeId>)>,
+        enqueued: &mut BTreeSet<u64>,
+        pin_immutable: &mut Vec<Addr>,
+        pin_non_updatable: &mut Vec<Addr>,
+    ) {
+        let start = offset.div_ceil(8) * 8;
+        let end = (offset + len).min(traced.size);
+        let mut found_any = false;
+        let mut word = start;
+        while word + 8 <= end {
+            let slot = traced.addr.offset(word);
+            if let Ok(raw) = self.process.space().read_u64(slot) {
+                if let Some(target_base) = self.validate_likely_pointer(Addr(raw)) {
+                    found_any = true;
+                    let targ_class = self.region_class_of(Addr(raw));
+                    stats.likely.record(src_class, targ_class);
+                    traced.likely_pointers.push(PointerEdge {
+                        offset: word,
+                        target: Addr(raw),
+                        target_base,
+                        masked_bits: 0,
+                    });
+                    if targ_class != RegionClass::Lib {
+                        // The pointed-to object can no longer be relocated or
+                        // type-transformed.
+                        pin_immutable.push(target_base);
+                        if enqueued.insert(target_base.0) {
+                            worklist.push_back((target_base, None));
+                        }
+                    }
+                }
+            }
+            word += 8;
+        }
+        if found_any {
+            // An object containing likely pointers cannot be safely
+            // type-transformed (its layout interpretation is ambiguous).
+            traced.non_updatable = true;
+            pin_non_updatable.push(traced.addr);
+        }
+    }
+
+    /// A word is a likely pointer when it is aligned and points inside a
+    /// live, known object of the process.
+    fn validate_likely_pointer(&self, candidate: Addr) -> Option<Addr> {
+        if candidate.is_null() || !candidate.is_aligned(8) {
+            return None;
+        }
+        if !self.process.space().is_mapped(candidate) {
+            return None;
+        }
+        self.resolve_object(candidate).map(|r| r.base)
+    }
+
+    fn region_class_of(&self, addr: Addr) -> RegionClass {
+        self.process
+            .space()
+            .region_containing(addr)
+            .map(|r| RegionClass::from_kind(r.kind()))
+            .unwrap_or(RegionClass::Dynamic)
+    }
+
+    fn range_dirty(&self, base: Addr, size: u64) -> bool {
+        let mut page = base.page_base();
+        let end = base.0 + size.max(1);
+        while page.0 < end {
+            if self.process.space().is_dirty(page) {
+                return true;
+            }
+            page = page.offset(PAGE_SIZE);
+        }
+        false
+    }
+
+    fn resolve_object(&self, addr: Addr) -> Option<ResolvedObject> {
+        // 1. Registered static objects.
+        if let Some(o) = self.state.statics.object_containing(addr) {
+            return Some(ResolvedObject {
+                base: o.addr,
+                size: o.size,
+                origin: ObjectOrigin::Static { symbol: o.symbol.clone() },
+                type_id: Some(o.ty),
+                startup: true,
+            });
+        }
+        let region = self.process.space().region_containing(addr)?;
+        match region.kind() {
+            RegionKind::Static => {
+                // Unregistered static data (string constants and the like):
+                // a synthetic word-sized object so likely pointers into it can
+                // be counted and pinned.
+                let base = Addr(addr.0 & !7);
+                Some(ResolvedObject {
+                    base,
+                    size: 8,
+                    origin: ObjectOrigin::Static { symbol: format!("static@{:#x}", base.0) },
+                    type_id: None,
+                    startup: true,
+                })
+            }
+            RegionKind::Heap => {
+                // Instrumented region-allocator objects take precedence over
+                // the backing heap chunk.
+                if let Some((base, size, site, tag)) = self.process.regions().object_containing(addr) {
+                    let site_name = self.state.sites.get(site).map(|s| s.name.clone());
+                    let type_id = if tag.0 != 0 { Some(TypeId(tag.0)) } else { None };
+                    return Some(ResolvedObject {
+                        base,
+                        size,
+                        origin: ObjectOrigin::Pool { site: site_name },
+                        type_id,
+                        startup: false,
+                    });
+                }
+                let heap = self.process.heap()?;
+                let chunk = heap.chunk_containing(self.process.space(), addr)?;
+                let site_info = self.state.sites.get(chunk.site);
+                let type_id = if chunk.type_tag.0 != 0 {
+                    Some(TypeId(chunk.type_tag.0))
+                } else {
+                    site_info.and_then(|s| s.ty)
+                };
+                Some(ResolvedObject {
+                    base: chunk.payload,
+                    size: chunk.size,
+                    origin: ObjectOrigin::Heap { site: site_info.map(|s| s.name.clone()) },
+                    type_id,
+                    startup: chunk.startup,
+                })
+            }
+            RegionKind::Lib => {
+                let found = self
+                    .state
+                    .lib_objects
+                    .iter()
+                    .find(|(base, size, _)| addr.0 >= base.0 && addr.0 < base.0 + *size);
+                match found {
+                    Some((base, size, name)) => Some(ResolvedObject {
+                        base: *base,
+                        size: *size,
+                        origin: ObjectOrigin::Lib { name: Some(name.clone()) },
+                        type_id: None,
+                        startup: true,
+                    }),
+                    None => Some(ResolvedObject {
+                        base: Addr(addr.0 & !7),
+                        size: 8,
+                        origin: ObjectOrigin::Lib { name: None },
+                        type_id: None,
+                        startup: true,
+                    }),
+                }
+            }
+            RegionKind::Mmap => Some(ResolvedObject {
+                base: region.base(),
+                size: region.size(),
+                origin: ObjectOrigin::Mmap,
+                type_id: None,
+                startup: true,
+            }),
+            RegionKind::Stack => None,
+        }
+    }
+}
+
+/// Convenience wrapper: traces one process with the given options.
+///
+/// # Errors
+///
+/// Fails if the process does not exist.
+pub fn trace_process(
+    kernel: &Kernel,
+    state: &InstanceState,
+    pid: Pid,
+    options: TraceOptions,
+) -> McrResult<TraceResult> {
+    Ok(Tracer::new(kernel, state, pid, options)?.trace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpose::Interposer;
+    use crate::program::{InstanceState, ProgramEnv, ThreadRosterEntry};
+    use mcr_procsim::MemoryLayout;
+    use mcr_typemeta::{Field, InstrumentationConfig, TypeKind};
+
+    /// Builds the Listing 1 scenario: `conf` (clean pointer to a heap
+    /// config), `list` (linked list head with a dirty heap node), and
+    /// `b` (char buffer hiding a pointer to a heap array).
+    fn listing1() -> (Kernel, InstanceState, Pid) {
+        let mut kernel = Kernel::new();
+        let pid = kernel.create_process("listing1").unwrap();
+        let tid = kernel.process(pid).unwrap().main_tid();
+        kernel.process_mut(pid).unwrap().setup_memory(MemoryLayout::default(), true).unwrap();
+        let mut state =
+            InstanceState::new("listing1", "1.0", InstrumentationConfig::full(), Interposer::recorder());
+        state.processes.push(pid);
+        state.threads.push(ThreadRosterEntry {
+            pid,
+            tid,
+            name: "main".into(),
+            created_during_startup: true,
+            exited: false,
+        });
+
+        (kernel, state, pid)
+    }
+
+    /// Registers the Listing 1 types (`conf_s`, `l_t`, pointers) into the
+    /// instance's type registry.
+    fn build_types(state: &mut InstanceState) {
+        let mut types = mcr_typemeta::TypeRegistry::new();
+        let int = types.int("int", 4);
+        let conf = types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
+        let _conf_ptr = types.pointer("conf_s*", conf);
+        // Create the node struct with a pointer to a same-named placeholder:
+        // first create a placeholder pointer target.
+        let placeholder = types.opaque("l_t_fwd", 16);
+        let node_ptr = types.pointer("l_t*", placeholder);
+        let _node = types.register(
+            "l_t",
+            TypeKind::Struct { fields: vec![Field::new("value", int), Field::new("next", node_ptr)] },
+        );
+        state.types = types;
+    }
+
+    #[test]
+    fn precise_and_conservative_tracing_of_listing1() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+
+        // Build the program state through the environment.
+        let (conf_global, list_global, b_global, heap_conf, node1, hidden_arr);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            conf_global = env.define_global("conf", "conf_s*").unwrap();
+            list_global = env.define_global("list", "l_t").unwrap();
+            b_global = env.define_global_opaque("b", 8).unwrap();
+
+            heap_conf = env.alloc("conf_s", "server_init:conf").unwrap();
+            env.write_u32(heap_conf, 4).unwrap();
+            env.write_ptr(conf_global, heap_conf).unwrap();
+
+            // Page-sized padding keeps the config and the node on different
+            // pages, so dirtying the node does not dirty the config.
+            let _pad = env.alloc_bytes(2 * mcr_procsim::PAGE_SIZE, "pad").unwrap();
+            node1 = env.alloc("l_t", "handle_event:node").unwrap();
+            env.write_u32(node1, 5).unwrap();
+            env.write_u32(list_global, 1).unwrap();
+            env.write_ptr(list_global.offset(8), node1).unwrap();
+
+            hidden_arr = env.alloc_bytes(24, "handle_event:buf").unwrap();
+            env.write_ptr(b_global, hidden_arr).unwrap();
+        }
+
+        // Startup is over: clear dirty bits, then dirty only the node.
+        kernel.process_mut(pid).unwrap().space_mut().clear_soft_dirty();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            env.write_u32(node1, 6).unwrap();
+        }
+
+        let result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        let graph = &result.graph;
+
+        // conf -> heap conf_s followed precisely.
+        let conf_obj = graph.get(conf_global).expect("conf global traced");
+        assert_eq!(conf_obj.precise_pointers.len(), 1);
+        assert_eq!(conf_obj.precise_pointers[0].target_base, heap_conf);
+        assert!(graph.get(heap_conf).is_some());
+        assert!(!graph.get(heap_conf).unwrap().dirty, "config untouched after startup");
+
+        // list.next -> node followed precisely; node is dirty.
+        let list_obj = graph.get(list_global).expect("list traced");
+        assert_eq!(list_obj.precise_pointers.len(), 1);
+        assert_eq!(list_obj.precise_pointers[0].offset, 8);
+        let node_obj = graph.get(node1).expect("node traced");
+        assert!(node_obj.dirty);
+
+        // b scanned conservatively: hidden array pinned immutable.
+        let b_obj = graph.get(b_global).expect("b traced");
+        assert_eq!(b_obj.likely_pointers.len(), 1);
+        assert!(b_obj.non_updatable);
+        let hidden = graph.get(hidden_arr).expect("hidden array traced");
+        assert!(hidden.immutable && hidden.non_updatable);
+
+        // Statistics.
+        assert_eq!(result.stats.precise.total, 2);
+        assert_eq!(result.stats.likely.total, 1);
+        assert!(result.stats.precise.src_static >= 2);
+        assert_eq!(result.stats.likely.targ_dynamic, 1);
+        assert!(result.stats.objects_traced >= 6);
+        assert!(result.stats.dirty_objects >= 1);
+        assert!(result.stats.dirty_reduction() > 0.0);
+    }
+
+    #[test]
+    fn disabling_dirty_tracking_marks_everything_dirty() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            let g = env.define_global("conf", "conf_s*").unwrap();
+            let c = env.alloc("conf_s", "init:conf").unwrap();
+            env.write_ptr(g, c).unwrap();
+        }
+        kernel.process_mut(pid).unwrap().space_mut().clear_soft_dirty();
+        let with = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        let without = trace_process(
+            &kernel,
+            &state,
+            pid,
+            TraceOptions { use_dirty_tracking: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(with.stats.dirty_objects, 0);
+        assert_eq!(without.stats.dirty_objects, without.stats.objects_traced);
+        assert!(without.stats.dirty_bytes >= with.stats.dirty_bytes);
+    }
+
+    #[test]
+    fn pointer_slot_annotation_upgrades_hidden_pointer_to_precise() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+        let (b_global, hidden);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            b_global = env.define_global_opaque("b", 8).unwrap();
+            hidden = env.alloc("conf_s", "init:hidden").unwrap();
+            env.write_ptr(b_global, hidden).unwrap();
+            env.add_obj_handler("b", ObjTreatment::PointerSlots(vec![0]), 2);
+        }
+        let result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        let b_obj = result.graph.get(b_global).unwrap();
+        assert_eq!(b_obj.precise_pointers.len(), 1);
+        assert!(b_obj.likely_pointers.is_empty());
+        // The target is reached precisely, so it is not pinned.
+        assert!(!result.graph.get(hidden).unwrap().immutable);
+    }
+
+    #[test]
+    fn encoded_pointers_are_masked_before_following() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+        let (tagged_global, target);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            tagged_global = env.define_global("tagged", "conf_s*").unwrap();
+            target = env.alloc("conf_s", "init:enc").unwrap();
+            // Store the pointer with metadata in the low 2 bits, nginx-style.
+            env.write_u64(tagged_global, target.0 | 0b11).unwrap();
+            env.add_obj_handler("tagged", ObjTreatment::EncodedPointers { mask_bits: 2 }, 22);
+        }
+        let result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        let obj = result.graph.get(tagged_global).unwrap();
+        assert_eq!(obj.precise_pointers.len(), 1);
+        assert_eq!(obj.precise_pointers[0].target_base, target);
+        assert_eq!(obj.precise_pointers[0].masked_bits, 0b11);
+        assert!(result.graph.get(target).is_some());
+    }
+
+    #[test]
+    fn library_targets_counted_but_not_traversed() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+        let lib_obj;
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            let g = env.define_global("ssl_ctx", "conf_s*").unwrap();
+            lib_obj = env.lib_alloc(64, "libssl:ctx").unwrap();
+            env.write_ptr(g, lib_obj).unwrap();
+        }
+        let result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        assert_eq!(result.stats.precise.targ_lib, 1);
+        assert!(result.graph.get(lib_obj).is_none(), "library state is not traced by default");
+        let traced_libs = trace_process(
+            &kernel,
+            &state,
+            pid,
+            TraceOptions { trace_libraries: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(traced_libs.graph.get(lib_obj).is_some());
+    }
+
+    #[test]
+    fn uninstrumented_pool_objects_scanned_conservatively() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+        let (pool_obj, victim);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            // The root is an opaque word (no precise type information), as is
+            // typical for globals managed by a custom allocator.
+            let g = env.define_global_opaque("pool_root", 8).unwrap();
+            let pool = env.create_pool(1024, None).unwrap();
+            pool_obj = env.palloc_bytes(pool, 64, "nginx:request").unwrap();
+            victim = env.alloc("conf_s", "init:victim").unwrap();
+            // The pool object stores a pointer the heap allocator knows
+            // nothing about.
+            env.write_ptr(pool_obj, victim).unwrap();
+            env.write_ptr(g, pool_obj).unwrap();
+        }
+        let result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        // The pool storage chunk is untyped, so the pointer inside it is a
+        // likely pointer and its target is pinned.
+        assert!(result.stats.likely.total >= 1);
+        assert!(result.graph.get(victim).unwrap().immutable);
+    }
+}

@@ -1,0 +1,735 @@
+//! The state-transfer engine: remaps the traced object graph of one old
+//! process into its counterpart process of the new version.
+//!
+//! For every traced object the engine determines a *placement* in the new
+//! version (an existing startup-time object matched by symbol or allocation
+//! site, a freshly allocated chunk, or the very same address for pinned
+//! immutable objects), then copies and type-transforms the contents of dirty
+//! objects, rewriting precise pointers through the old→new address map.
+//! Conservatively-traced objects are copied verbatim at their original
+//! address, which keeps their (unrewritable) likely pointers valid.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mcr_procsim::{Addr, AllocSite, Kernel, Pid, SimDuration, TypeTag};
+use mcr_typemeta::TypeId;
+use serde::{Deserialize, Serialize};
+
+use crate::annotations::ObjTreatment;
+use crate::error::{Conflict, McrError, McrResult};
+use crate::program::InstanceState;
+use crate::tracing::graph::ObjectOrigin;
+use crate::tracing::tracer::TraceResult;
+use crate::transfer::transform::{apply_field_map, compute_field_map};
+
+/// Where an old object lands in the new version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// An object the new version already created (matched static or
+    /// startup-time heap object); contents are transferred only if dirty.
+    Existing(Addr),
+    /// A fresh allocation performed by the engine.
+    Fresh(Addr),
+    /// Pinned at the old address (immutable object).
+    Pinned(Addr),
+}
+
+/// Per-process state-transfer report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessTransferReport {
+    /// Objects whose contents were written into the new version.
+    pub objects_transferred: u64,
+    /// Bytes written into the new version.
+    pub bytes_transferred: u64,
+    /// Objects skipped because they were clean (reinitialized by the new
+    /// version's own startup code).
+    pub objects_skipped_clean: u64,
+    /// Objects pinned at their old address.
+    pub objects_pinned: u64,
+    /// Fresh allocations performed in the new version.
+    pub objects_allocated: u64,
+    /// Conflicts encountered (non-empty means the update must roll back).
+    pub conflicts: Vec<Conflict>,
+    /// Simulated time spent transferring this process.
+    pub duration: SimDuration,
+}
+
+/// Aggregate over all processes of one live update.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferSummary {
+    /// Per-process reports in transfer order.
+    pub per_process: Vec<ProcessTransferReport>,
+    /// Sum of per-process durations (sequential execution).
+    pub serial_duration: SimDuration,
+    /// Maximum per-process duration (MCR's parallel multi-process transfer).
+    pub parallel_duration: SimDuration,
+}
+
+impl TransferSummary {
+    /// Adds a process report to the aggregate.
+    pub fn push(&mut self, report: ProcessTransferReport) {
+        self.serial_duration = self.serial_duration.saturating_add(report.duration);
+        if report.duration > self.parallel_duration {
+            self.parallel_duration = report.duration;
+        }
+        self.per_process.push(report);
+    }
+
+    /// Total objects transferred across processes.
+    pub fn objects_transferred(&self) -> u64 {
+        self.per_process.iter().map(|r| r.objects_transferred).sum()
+    }
+
+    /// Total bytes transferred across processes.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.per_process.iter().map(|r| r.bytes_transferred).sum()
+    }
+
+    /// All conflicts across processes.
+    pub fn conflicts(&self) -> Vec<Conflict> {
+        self.per_process.iter().flat_map(|r| r.conflicts.clone()).collect()
+    }
+}
+
+struct WorkItem {
+    old_base: Addr,
+    new_base: Addr,
+    old_bytes: Vec<u8>,
+    old_ty: Option<TypeId>,
+    new_ty: Option<TypeId>,
+    transform_key: Option<String>,
+    mask_bits: u32,
+    raw_copy: bool,
+}
+
+/// Transfers the traced state of `old_pid` into `new_pid`.
+///
+/// # Errors
+///
+/// Returns simulator errors for unexpected memory failures; *conflicts* are
+/// reported in the returned [`ProcessTransferReport`] rather than as errors,
+/// so the controller can roll back cleanly.
+pub fn transfer_process(
+    kernel: &mut Kernel,
+    old_state: &InstanceState,
+    old_pid: Pid,
+    new_state: &mut InstanceState,
+    new_pid: Pid,
+    trace: &TraceResult,
+) -> McrResult<ProcessTransferReport> {
+    let mut report = ProcessTransferReport::default();
+    let graph = &trace.graph;
+
+    // ------------------------------------------------------------------
+    // Pass 1 (read-only): index the new version's startup-time heap chunks
+    // by allocation-site name so old startup objects can be matched.
+    // ------------------------------------------------------------------
+    let mut site_index: BTreeMap<String, VecDeque<Addr>> = BTreeMap::new();
+    {
+        let new_proc = kernel.process(new_pid).map_err(McrError::Sim)?;
+        if let Some(heap) = new_proc.heap() {
+            for chunk in heap.live_chunks(new_proc.space()) {
+                if !chunk.startup {
+                    continue;
+                }
+                if let Some(info) = new_state.sites.get(chunk.site) {
+                    site_index.entry(info.name.clone()).or_default().push_back(chunk.payload);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 2: placement decisions and conflict detection.
+    // ------------------------------------------------------------------
+    struct Planned {
+        old_base: Addr,
+        placement: Placement,
+        write_contents: bool,
+        old_ty: Option<TypeId>,
+        new_ty: Option<TypeId>,
+        transform_key: Option<String>,
+        mask_bits: u32,
+        raw_copy: bool,
+        size: u64,
+    }
+    let mut planned: Vec<Planned> = Vec::new();
+    // Regions that must exist in the new process to host pinned objects.
+    let mut needed_regions: Vec<(Addr, u64, String)> = Vec::new();
+    {
+        let old_proc = kernel.process(old_pid).map_err(McrError::Sim)?;
+        let new_proc = kernel.process(new_pid).map_err(McrError::Sim)?;
+
+        for obj in graph.iter() {
+            // Library state is not transferred by default.
+            if matches!(obj.origin, ObjectOrigin::Lib { .. }) {
+                continue;
+            }
+            // Symbol-level annotations can exclude objects entirely.
+            let symbol = match &obj.origin {
+                ObjectOrigin::Static { symbol } => Some(symbol.clone()),
+                _ => None,
+            };
+            if let Some(sym) = &symbol {
+                if matches!(old_state.annotations.obj_treatment(sym), Some(ObjTreatment::SkipTransfer)) {
+                    continue;
+                }
+                if sym.starts_with("static@") {
+                    // Anonymous static data (string constants): never
+                    // transferred, only pinned by virtue of being static.
+                    continue;
+                }
+            }
+
+            // Resolve old/new types by name.
+            let old_ty = obj.type_id;
+            let old_ty_name = old_ty.and_then(|t| old_state.types.get(t)).map(|d| d.name.clone());
+            let new_ty = old_ty_name.as_ref().and_then(|n| new_state.types.lookup(n));
+            let type_changed = match (old_ty, new_ty) {
+                (Some(o), Some(n)) => !old_state.types.is_layout_compatible(o, &new_state.types, n),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if type_changed && obj.non_updatable && obj.dirty {
+                report.conflicts.push(Conflict::NonUpdatableObjectChanged {
+                    object: obj.origin.describe(),
+                    old_type: old_ty_name.clone().unwrap_or_else(|| "<untyped>".into()),
+                    new_type: new_ty
+                        .and_then(|t| new_state.types.get(t))
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|| "<missing>".into()),
+                });
+                continue;
+            }
+
+            let site_name = match &obj.origin {
+                ObjectOrigin::Heap { site } | ObjectOrigin::Pool { site } => site.clone(),
+                _ => None,
+            };
+            let mask_bits = symbol
+                .as_ref()
+                .and_then(|s| old_state.annotations.obj_treatment(s))
+                .and_then(|t| match t {
+                    ObjTreatment::EncodedPointers { mask_bits } => Some(*mask_bits),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            let transform_key = {
+                let by_symbol = symbol.as_ref().and_then(|s| {
+                    new_state.annotations.transform(s).map(|_| s.clone())
+                });
+                let by_type = old_ty_name.as_ref().and_then(|n| {
+                    new_state.annotations.transform(n).map(|_| n.clone())
+                });
+                by_symbol.or(by_type)
+            };
+
+            let placement = match &obj.origin {
+                ObjectOrigin::Static { symbol } => match new_state.statics.lookup(symbol) {
+                    Some(new_obj) => Placement::Existing(new_obj.addr),
+                    None => {
+                        if obj.dirty {
+                            report.conflicts.push(Conflict::MissingCounterpart {
+                                object: obj.origin.describe(),
+                            });
+                        }
+                        continue;
+                    }
+                },
+                ObjectOrigin::Mmap => Placement::Pinned(obj.addr),
+                ObjectOrigin::Heap { .. } | ObjectOrigin::Pool { .. } => {
+                    if obj.immutable {
+                        Placement::Pinned(obj.addr)
+                    } else if obj.startup {
+                        match site_name.as_ref().and_then(|n| site_index.get_mut(n)).and_then(|q| q.pop_front()) {
+                            Some(addr) => Placement::Existing(addr),
+                            None => Placement::Fresh(Addr::NULL),
+                        }
+                    } else {
+                        Placement::Fresh(Addr::NULL)
+                    }
+                }
+                ObjectOrigin::Lib { .. } => continue,
+            };
+
+            if let Placement::Pinned(addr) = placement {
+                if !new_proc.space().is_valid_range(addr, obj.size.max(1) as usize) {
+                    if let Some(region) = old_proc.space().region_containing(addr) {
+                        needed_regions.push((
+                            region.base(),
+                            region.size(),
+                            format!("inherited:{}", region.name()),
+                        ));
+                    }
+                }
+            }
+
+            let write_contents = obj.dirty || obj.immutable || matches!(placement, Placement::Fresh(_));
+            if !write_contents {
+                report.objects_skipped_clean += 1;
+            }
+            let raw_copy = obj.non_updatable || old_ty.is_none();
+            planned.push(Planned {
+                old_base: obj.addr,
+                placement,
+                write_contents,
+                old_ty,
+                new_ty,
+                transform_key,
+                mask_bits,
+                raw_copy,
+                size: obj.size,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 3 (mutating the new process): map inherited regions for pinned
+    // objects and perform fresh allocations; build the address map.
+    // ------------------------------------------------------------------
+    let mut addr_map: BTreeMap<u64, u64> = BTreeMap::new();
+    {
+        let mut mapped: BTreeSet<u64> = BTreeSet::new();
+        let new_proc = kernel.process_mut(new_pid).map_err(McrError::Sim)?;
+        for (base, size, name) in needed_regions {
+            if mapped.contains(&base.0) || new_proc.space().is_mapped(base) {
+                continue;
+            }
+            let kind = mcr_procsim::RegionKind::Heap;
+            if let Err(e) = new_proc.space_mut().map_region(base, size, kind, name) {
+                report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                    object: format!("region {base}"),
+                    detail: e.to_string(),
+                });
+            }
+            mapped.insert(base.0);
+        }
+    }
+    for p in &mut planned {
+        let new_base = match p.placement {
+            Placement::Existing(addr) => addr,
+            Placement::Pinned(addr) => {
+                report.objects_pinned += 1;
+                addr
+            }
+            Placement::Fresh(_) => {
+                // Allocate in the new version's heap with the new type tag.
+                let size = p.new_ty.map(|t| new_state.types.size_of(t)).filter(|s| *s > 0).unwrap_or(p.size);
+                let tag = p.new_ty.map(|t| TypeTag(t.0)).unwrap_or(TypeTag(0));
+                let site = AllocSite(0);
+                let new_proc = kernel.process_mut(new_pid).map_err(McrError::Sim)?;
+                let (space, heap) = new_proc.space_and_heap_mut().map_err(McrError::Sim)?;
+                match heap.malloc(space, size.max(1), site, tag) {
+                    Ok(addr) => {
+                        report.objects_allocated += 1;
+                        p.placement = Placement::Fresh(addr);
+                        addr
+                    }
+                    Err(e) => {
+                        report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                            object: format!("heap object at {}", p.old_base),
+                            detail: e.to_string(),
+                        });
+                        continue;
+                    }
+                }
+            }
+        };
+        addr_map.insert(p.old_base.0, new_base.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 4 (read-only on the old process): snapshot the bytes of every
+    // object whose contents must be written.
+    // ------------------------------------------------------------------
+    let mut work: Vec<WorkItem> = Vec::new();
+    {
+        let old_proc = kernel.process(old_pid).map_err(McrError::Sim)?;
+        for p in &planned {
+            if !p.write_contents {
+                continue;
+            }
+            let Some(&new_base) = addr_map.get(&p.old_base.0) else { continue };
+            let Ok(old_bytes) = old_proc.space().read_bytes(p.old_base, p.size.max(1) as usize) else {
+                continue;
+            };
+            work.push(WorkItem {
+                old_base: p.old_base,
+                new_base: Addr(new_base),
+                old_bytes,
+                old_ty: p.old_ty,
+                new_ty: p.new_ty,
+                transform_key: p.transform_key.clone(),
+                mask_bits: p.mask_bits,
+                raw_copy: p.raw_copy,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 5: write transformed contents into the new process, rewriting
+    // precise pointers through the address map.
+    // ------------------------------------------------------------------
+    for item in &work {
+        let out_bytes: Vec<u8> = if let Some(key) = &item.transform_key {
+            let handler = new_state.annotations.transform(key).expect("transform key resolved earlier");
+            handler(&item.old_bytes)
+        } else if item.raw_copy {
+            item.old_bytes.clone()
+        } else if let (Some(old_ty), Some(new_ty)) = (item.old_ty, item.new_ty) {
+            let map = compute_field_map(&old_state.types, old_ty, &new_state.types, new_ty);
+            // Objects larger than one element (arrays of the element type)
+            // are transformed element-wise.
+            let old_stride = map.old_size.max(1);
+            let count = (item.old_bytes.len() as u64 / old_stride).max(1);
+            let mut out = Vec::with_capacity((map.new_size.max(1) * count) as usize);
+            for k in 0..count {
+                let start = (k * old_stride) as usize;
+                let end = ((k + 1) * old_stride).min(item.old_bytes.len() as u64) as usize;
+                let mut elem = apply_field_map(&map, &item.old_bytes[start..end]);
+                rewrite_pointers(&mut elem, &map.pointers, &item.old_bytes[start..end], trace, &addr_map, item.mask_bits);
+                out.extend_from_slice(&elem);
+            }
+            out
+        } else {
+            item.old_bytes.clone()
+        };
+
+        let new_proc = kernel.process_mut(new_pid).map_err(McrError::Sim)?;
+        let writable = new_proc
+            .space()
+            .region_containing(item.new_base)
+            .map(|r| (r.end().0 - item.new_base.0) as usize)
+            .unwrap_or(0);
+        if writable == 0 {
+            report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                object: format!("object at {}", item.old_base),
+                detail: format!("target address {} not mapped in the new version", item.new_base),
+            });
+            continue;
+        }
+        let len = out_bytes.len().min(writable);
+        new_proc
+            .space_mut()
+            .write_bytes(item.new_base, &out_bytes[..len])
+            .map_err(McrError::Sim)?;
+        report.objects_transferred += 1;
+        report.bytes_transferred += len as u64;
+    }
+
+    // Charge the simulated cost of the transfer: per-object bookkeeping plus
+    // a per-byte copy cost.
+    let cost_ns = report.objects_transferred * 2_000 + report.bytes_transferred * 2;
+    report.duration = SimDuration(cost_ns);
+    kernel.advance_clock(SimDuration(cost_ns));
+    Ok(report)
+}
+
+/// Rewrites the pointer slots of a transformed element: each old pointer
+/// value is translated through the address map (preserving interior offsets
+/// and encoded low bits).
+fn rewrite_pointers(
+    out: &mut [u8],
+    pointer_pairs: &[(u64, u64)],
+    old_elem: &[u8],
+    trace: &TraceResult,
+    addr_map: &BTreeMap<u64, u64>,
+    mask_bits: u32,
+) {
+    let mask = if mask_bits == 0 { 0 } else { (1u64 << mask_bits) - 1 };
+    for &(old_off, new_off) in pointer_pairs {
+        let old_off = old_off as usize;
+        let new_off = new_off as usize;
+        if old_off + 8 > old_elem.len() || new_off + 8 > out.len() {
+            continue;
+        }
+        let raw = u64::from_le_bytes(old_elem[old_off..old_off + 8].try_into().expect("8 bytes"));
+        if raw == 0 {
+            continue;
+        }
+        let bits = raw & mask;
+        let target = raw & !mask;
+        let new_raw = match trace.graph.object_containing(Addr(target)) {
+            Some(obj) => match addr_map.get(&obj.addr.0) {
+                Some(&new_base) => {
+                    let delta = target - obj.addr.0;
+                    (new_base + delta) | bits
+                }
+                // Target not transferred (e.g. library state pinned at the
+                // same address): keep the old value.
+                None => raw,
+            },
+            None => raw,
+        };
+        out[new_off..new_off + 8].copy_from_slice(&new_raw.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpose::Interposer;
+    use crate::program::{InstanceState, ProgramEnv, ThreadRosterEntry};
+    use crate::tracing::tracer::{trace_process, TraceOptions};
+    use mcr_procsim::MemoryLayout;
+    use mcr_typemeta::{Field, InstrumentationConfig};
+
+    fn make_instance(kernel: &mut Kernel, name: &str, slide: u64) -> (InstanceState, Pid) {
+        let pid = kernel.create_process(name).unwrap();
+        kernel.process_mut(pid).unwrap().setup_memory(MemoryLayout::with_slide(slide), true).unwrap();
+        let mut state =
+            InstanceState::new(name, "1.0", InstrumentationConfig::full(), Interposer::recorder());
+        let tid = kernel.process(pid).unwrap().main_tid();
+        state.processes.push(pid);
+        state.threads.push(ThreadRosterEntry {
+            pid,
+            tid,
+            name: "main".into(),
+            created_during_startup: true,
+            exited: false,
+        });
+        (state, pid)
+    }
+
+    fn register_v1_types(state: &mut InstanceState) {
+        let int = state.types.int("int", 4);
+        let conf =
+            state.types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
+        let _ = state.types.pointer("conf_s*", conf);
+        let fwd = state.types.opaque("l_t_fwd", 16);
+        let node_ptr = state.types.pointer("l_t*", fwd);
+        let _ =
+            state.types.struct_type("l_t", vec![Field::new("value", int), Field::new("next", node_ptr)]);
+    }
+
+    fn register_v2_types(state: &mut InstanceState) {
+        let int = state.types.int("int", 4);
+        let conf =
+            state.types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
+        let _ = state.types.pointer("conf_s*", conf);
+        let fwd = state.types.opaque("l_t_fwd", 24);
+        let node_ptr = state.types.pointer("l_t*", fwd);
+        // Figure 2: the update adds a `new` field to l_t.
+        let _ = state.types.struct_type(
+            "l_t",
+            vec![Field::new("value", int), Field::new("new", int), Field::new("next", node_ptr)],
+        );
+    }
+
+    /// Builds an old version with a 2-node dirty linked list plus a clean
+    /// config, and a new version whose startup re-created the config and the
+    /// list head; then transfers and checks the Figure 2 outcome.
+    #[test]
+    fn figure2_list_is_relocated_and_type_transformed() {
+        let mut kernel = Kernel::new();
+        let (mut old_state, old_pid) = make_instance(&mut kernel, "v1", 0);
+        register_v1_types(&mut old_state);
+        let old_tid = kernel.process(old_pid).unwrap().main_tid();
+        let (list_global, node_a, node_b, conf_global, conf_obj);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            conf_global = env.define_global("conf", "conf_s*").unwrap();
+            conf_obj = env.alloc("conf_s", "server_init:conf").unwrap();
+            env.write_u32(conf_obj, 4).unwrap();
+            env.write_u32(conf_obj.offset(4), 80).unwrap();
+            env.write_ptr(conf_global, conf_obj).unwrap();
+            list_global = env.define_global("list", "l_t").unwrap();
+            // Startup list value.
+            env.write_u32(list_global, 10).unwrap();
+            // Page-sized padding so post-startup heap allocations do not
+            // share a page with the startup-time config (dirtiness is
+            // tracked at page granularity).
+            let _pad = env.alloc_bytes(2 * mcr_procsim::PAGE_SIZE, "pad").unwrap();
+        }
+        // Startup complete.
+        {
+            let p = kernel.process_mut(old_pid).unwrap();
+            p.heap_mut().unwrap().end_startup();
+            p.space_mut().clear_soft_dirty();
+        }
+        // Post-startup: two heap nodes appended to the list.
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            node_a = env.alloc("l_t", "handle_event:node").unwrap();
+            node_b = env.alloc("l_t", "handle_event:node").unwrap();
+            env.write_u32(node_a, 20).unwrap();
+            env.write_ptr(node_a.offset(8), node_b).unwrap();
+            env.write_u32(node_b, 30).unwrap();
+            env.write_ptr(list_global.offset(8), node_a).unwrap();
+        }
+
+        // New version: different layout slide, re-created config and list
+        // head via its own startup (simulated directly here).
+        let (mut new_state, new_pid) = make_instance(&mut kernel, "v2", 0x1_0000_0000);
+        register_v2_types(&mut new_state);
+        let new_tid = kernel.process(new_pid).unwrap().main_tid();
+        let (new_conf_global, new_list_global);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut new_state, new_pid, new_tid, "main");
+            new_conf_global = env.define_global("conf", "conf_s*").unwrap();
+            let new_conf = env.alloc("conf_s", "server_init:conf").unwrap();
+            env.write_u32(new_conf, 8).unwrap();
+            env.write_ptr(new_conf_global, new_conf).unwrap();
+            new_list_global = env.define_global("list", "l_t").unwrap();
+        }
+        {
+            let p = kernel.process_mut(new_pid).unwrap();
+            p.heap_mut().unwrap().end_startup();
+            p.space_mut().clear_soft_dirty();
+        }
+
+        // Trace the old version and transfer.
+        let trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
+        let report =
+            transfer_process(&mut kernel, &old_state, old_pid, &mut new_state, new_pid, &trace).unwrap();
+        assert!(report.conflicts.is_empty(), "unexpected conflicts: {:?}", report.conflicts);
+        assert!(report.objects_transferred >= 3, "list head and both nodes move");
+        assert!(report.objects_allocated >= 2, "post-startup nodes get fresh chunks");
+        assert!(report.objects_skipped_clean >= 1, "clean config is not transferred");
+
+        // Follow the transferred list in the new version and check the
+        // Figure 2 shape: value preserved, `new` field zeroed, next pointers
+        // relocated, layout is the v2 layout (value at 0, new at 4, next 8).
+        let new_space = kernel.process(new_pid).unwrap().space().clone();
+        assert_eq!(new_space.read_u32(new_list_global).unwrap(), 10);
+        let new_node_a = Addr(new_space.read_u64(new_list_global.offset(8)).unwrap());
+        assert_ne!(new_node_a, node_a, "node relocated into the new heap");
+        assert_eq!(new_space.read_u32(new_node_a).unwrap(), 20);
+        assert_eq!(new_space.read_u32(new_node_a.offset(4)).unwrap(), 0, "new field zero");
+        let new_node_b = Addr(new_space.read_u64(new_node_a.offset(8)).unwrap());
+        assert_ne!(new_node_b, node_b);
+        assert_eq!(new_space.read_u32(new_node_b).unwrap(), 30);
+        assert_eq!(new_space.read_u64(new_node_b.offset(8)).unwrap(), 0);
+
+        // The clean config kept whatever the new version initialized.
+        let new_conf_ptr = Addr(new_space.read_u64(new_conf_global).unwrap());
+        assert_eq!(new_space.read_u32(new_conf_ptr).unwrap(), 8, "conf reinitialized, not overwritten");
+    }
+
+    /// A dirty buffer containing a hidden pointer forces its target to be
+    /// pinned at the same address in the new version.
+    #[test]
+    fn conservative_targets_are_pinned_at_the_same_address() {
+        let mut kernel = Kernel::new();
+        let (mut old_state, old_pid) = make_instance(&mut kernel, "v1", 0);
+        register_v1_types(&mut old_state);
+        let old_tid = kernel.process(old_pid).unwrap().main_tid();
+        let (b_global, hidden);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            b_global = env.define_global_opaque("b", 16).unwrap();
+            hidden = env.alloc_bytes(64, "mystery").unwrap();
+            env.write_u64(hidden, 0x1122_3344).unwrap();
+            env.write_ptr(b_global, hidden).unwrap();
+        }
+        let (mut new_state, new_pid) = make_instance(&mut kernel, "v2", 0x1_0000_0000);
+        register_v2_types(&mut new_state);
+        let new_tid = kernel.process(new_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut new_state, new_pid, new_tid, "main");
+            env.define_global_opaque("b", 16).unwrap();
+        }
+
+        let trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
+        let report =
+            transfer_process(&mut kernel, &old_state, old_pid, &mut new_state, new_pid, &trace).unwrap();
+        assert!(report.conflicts.is_empty(), "{:?}", report.conflicts);
+        assert!(report.objects_pinned >= 1);
+        // The hidden object is available at its *old* address in the new
+        // process, so the verbatim-copied pointer in `b` stays valid.
+        let new_space = kernel.process(new_pid).unwrap().space();
+        let new_b = new_state.statics.lookup("b").unwrap().addr;
+        assert_eq!(Addr(new_space.read_u64(new_b).unwrap()), hidden);
+        assert_eq!(new_space.read_u64(hidden).unwrap(), 0x1122_3344);
+    }
+
+    /// Changing the type of an object that mutable tracing marked
+    /// non-updatable must produce a conflict.
+    #[test]
+    fn type_change_on_non_updatable_object_conflicts() {
+        let mut kernel = Kernel::new();
+        let (mut old_state, old_pid) = make_instance(&mut kernel, "v1", 0);
+        register_v1_types(&mut old_state);
+        // The old buffer type is a char array that hides a pointer.
+        let old_tid = kernel.process(old_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            let c8 = env.types().lookup("int").unwrap();
+            let _ = c8;
+            let b = env.define_global_opaque("hidden_buf", 8).unwrap();
+            let target = env.alloc("conf_s", "init:target").unwrap();
+            env.write_ptr(b, target).unwrap();
+        }
+        let (mut new_state, new_pid) = make_instance(&mut kernel, "v2", 0x1_0000_0000);
+        register_v2_types(&mut new_state);
+        let new_tid = kernel.process(new_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut new_state, new_pid, new_tid, "main");
+            // The new version declares the buffer with a *different* size —
+            // a type change on an opaque object.
+            env.define_global_opaque("hidden_buf", 32).unwrap();
+        }
+        let trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
+        let report =
+            transfer_process(&mut kernel, &old_state, old_pid, &mut new_state, new_pid, &trace).unwrap();
+        assert!(report
+            .conflicts
+            .iter()
+            .any(|c| matches!(c, Conflict::NonUpdatableObjectChanged { .. })));
+    }
+
+    /// A user transform handler overrides the structural transformation.
+    #[test]
+    fn semantic_transform_handler_is_applied() {
+        let mut kernel = Kernel::new();
+        let (mut old_state, old_pid) = make_instance(&mut kernel, "v1", 0);
+        register_v1_types(&mut old_state);
+        let old_tid = kernel.process(old_pid).unwrap().main_tid();
+        let conf_global;
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            conf_global = env.define_global("conf_inline", "conf_s").unwrap();
+            env.write_u32(conf_global, 4).unwrap();
+            env.write_u32(conf_global.offset(4), 80).unwrap();
+        }
+        let (mut new_state, new_pid) = make_instance(&mut kernel, "v2", 0x1_0000_0000);
+        register_v2_types(&mut new_state);
+        let new_tid = kernel.process(new_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut new_state, new_pid, new_tid, "main");
+            env.define_global("conf_inline", "conf_s").unwrap();
+            // Semantic change: the new version stores workers doubled.
+            env.add_transform(
+                "conf_s",
+                Box::new(|old| {
+                    let mut out = old.to_vec();
+                    let workers = u32::from_le_bytes(old[0..4].try_into().unwrap());
+                    out[0..4].copy_from_slice(&(workers * 2).to_le_bytes());
+                    out
+                }),
+                21,
+            );
+        }
+        let trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
+        let report =
+            transfer_process(&mut kernel, &old_state, old_pid, &mut new_state, new_pid, &trace).unwrap();
+        assert!(report.conflicts.is_empty());
+        let new_addr = new_state.statics.lookup("conf_inline").unwrap().addr;
+        let space = kernel.process(new_pid).unwrap().space();
+        assert_eq!(space.read_u32(new_addr).unwrap(), 8, "transform doubled the worker count");
+        assert_eq!(space.read_u32(new_addr.offset(4)).unwrap(), 80);
+        assert_eq!(new_state.annotations.state_transfer_loc(), 21);
+    }
+
+    #[test]
+    fn summary_aggregates_serial_and_parallel_durations() {
+        let mut summary = TransferSummary::default();
+        summary.push(ProcessTransferReport { duration: SimDuration(300), objects_transferred: 2, ..Default::default() });
+        summary.push(ProcessTransferReport { duration: SimDuration(500), bytes_transferred: 64, ..Default::default() });
+        assert_eq!(summary.serial_duration, SimDuration(800));
+        assert_eq!(summary.parallel_duration, SimDuration(500));
+        assert_eq!(summary.objects_transferred(), 2);
+        assert_eq!(summary.bytes_transferred(), 64);
+        assert!(summary.conflicts().is_empty());
+    }
+}

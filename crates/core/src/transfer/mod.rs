@@ -1,0 +1,9 @@
+//! State transfer: remapping the traced object graph into the new version
+//! (paper §6), including on-the-fly type transformations, pointer rewriting
+//! and pinning of conservatively-traced immutable objects.
+
+pub mod engine;
+pub mod transform;
+
+pub use engine::{transfer_process, ProcessTransferReport, TransferSummary};
+pub use transform::{apply_field_map, compute_field_map, FieldMap};

@@ -1,0 +1,227 @@
+//! Per-process file-descriptor tables.
+//!
+//! The table reproduces the POSIX semantics MCR's *global inheritance* and
+//! *global separability* rules depend on: descriptors are normally assigned
+//! lowest-free-first, are copied wholesale across `fork`, and can be installed
+//! at explicit numbers (`dup2`-style) or in a reserved high range that is
+//! never recycled by ordinary allocation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+use crate::ids::{Fd, ObjId, RESERVED_FD_BASE};
+
+/// One open-descriptor slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FdEntry {
+    /// Kernel object the descriptor refers to.
+    pub object: ObjId,
+    /// Close-on-exec flag (descriptors with the flag are dropped on `exec`).
+    pub cloexec: bool,
+    /// Whether the descriptor was inherited from the previous program version
+    /// by MCR (and therefore refers to an *immutable state object*).
+    pub inherited: bool,
+}
+
+/// A process's descriptor table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FdTable {
+    entries: BTreeMap<i32, FdEntry>,
+    /// Next candidate in the reserved range.
+    next_reserved: i32,
+}
+
+impl FdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FdTable { entries: BTreeMap::new(), next_reserved: RESERVED_FD_BASE }
+    }
+
+    /// Allocates the lowest free non-reserved descriptor for `object`.
+    pub fn alloc(&mut self, object: ObjId) -> Fd {
+        let mut candidate = 0;
+        for (&fd, _) in self.entries.range(0..RESERVED_FD_BASE) {
+            if fd == candidate {
+                candidate += 1;
+            } else if fd > candidate {
+                break;
+            }
+        }
+        let fd = Fd(candidate);
+        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited: false });
+        fd
+    }
+
+    /// Allocates a descriptor in the reserved (never-reused) range.
+    ///
+    /// Mutable reinitialization stores descriptors inherited from the old
+    /// version here so that ordinary descriptor allocation in the new version
+    /// can never clash with or recycle them.
+    pub fn alloc_reserved(&mut self, object: ObjId) -> Fd {
+        let fd = Fd(self.next_reserved);
+        self.next_reserved += 1;
+        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited: true });
+        fd
+    }
+
+    /// Installs `object` at an explicit descriptor number (like `dup2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FdInUse`] if the slot is occupied.
+    pub fn install_at(&mut self, fd: Fd, object: ObjId, inherited: bool) -> SimResult<()> {
+        if self.entries.contains_key(&fd.0) {
+            return Err(SimError::FdInUse(fd));
+        }
+        if fd.is_reserved() {
+            self.next_reserved = self.next_reserved.max(fd.0 + 1);
+        }
+        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited });
+        Ok(())
+    }
+
+    /// Replaces whatever is at `fd` with `object` (dup2 onto an open slot).
+    pub fn replace(&mut self, fd: Fd, object: ObjId, inherited: bool) -> Option<FdEntry> {
+        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited })
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadFd`] for an unknown descriptor.
+    pub fn get(&self, fd: Fd) -> SimResult<FdEntry> {
+        self.entries.get(&fd.0).copied().ok_or(SimError::BadFd(fd))
+    }
+
+    /// Removes a descriptor, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadFd`] for an unknown descriptor.
+    pub fn remove(&mut self, fd: Fd) -> SimResult<FdEntry> {
+        self.entries.remove(&fd.0).ok_or(SimError::BadFd(fd))
+    }
+
+    /// Sets the close-on-exec flag.
+    pub fn set_cloexec(&mut self, fd: Fd, cloexec: bool) -> SimResult<()> {
+        let e = self.entries.get_mut(&fd.0).ok_or(SimError::BadFd(fd))?;
+        e.cloexec = cloexec;
+        Ok(())
+    }
+
+    /// Whether the descriptor is open.
+    pub fn contains(&self, fd: Fd) -> bool {
+        self.entries.contains_key(&fd.0)
+    }
+
+    /// Iterates over `(fd, entry)` pairs in ascending descriptor order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, FdEntry)> + '_ {
+        self.entries.iter().map(|(&fd, &e)| (Fd(fd), e))
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no descriptors are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all descriptors marked close-on-exec (called by `exec`).
+    pub fn drop_cloexec(&mut self) -> Vec<FdEntry> {
+        let doomed: Vec<i32> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.cloexec)
+            .map(|(&fd, _)| fd)
+            .collect();
+        doomed.into_iter().filter_map(|fd| self.entries.remove(&fd)).collect()
+    }
+
+    /// Removes every inherited descriptor that is still unused at the end of
+    /// control migration; MCR garbage-collects these (paper §5).
+    pub fn drop_inherited<F>(&mut self, mut keep: F) -> Vec<FdEntry>
+    where
+        F: FnMut(Fd, &FdEntry) -> bool,
+    {
+        let doomed: Vec<i32> = self
+            .entries
+            .iter()
+            .filter(|(&fd, e)| e.inherited && !keep(Fd(fd), e))
+            .map(|(&fd, _)| fd)
+            .collect();
+        doomed.into_iter().filter_map(|fd| self.entries.remove(&fd)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_free_allocation() {
+        let mut t = FdTable::new();
+        assert_eq!(t.alloc(ObjId(1)), Fd(0));
+        assert_eq!(t.alloc(ObjId(2)), Fd(1));
+        assert_eq!(t.alloc(ObjId(3)), Fd(2));
+        t.remove(Fd(1)).unwrap();
+        assert_eq!(t.alloc(ObjId(4)), Fd(1), "freed descriptor is reused lowest-first");
+    }
+
+    #[test]
+    fn reserved_range_never_recycled_by_ordinary_alloc() {
+        let mut t = FdTable::new();
+        let r1 = t.alloc_reserved(ObjId(10));
+        let r2 = t.alloc_reserved(ObjId(11));
+        assert!(r1.is_reserved() && r2.is_reserved());
+        assert_ne!(r1, r2);
+        // Ordinary allocation stays in the low range even after removing a
+        // reserved entry.
+        t.remove(r1).unwrap();
+        let n = t.alloc(ObjId(12));
+        assert!(!n.is_reserved());
+        // And new reserved fds never reuse the removed number.
+        let r3 = t.alloc_reserved(ObjId(13));
+        assert!(r3.0 > r2.0);
+    }
+
+    #[test]
+    fn install_at_and_conflicts() {
+        let mut t = FdTable::new();
+        t.install_at(Fd(5), ObjId(1), true).unwrap();
+        assert!(matches!(t.install_at(Fd(5), ObjId(2), false), Err(SimError::FdInUse(_))));
+        assert_eq!(t.get(Fd(5)).unwrap().object, ObjId(1));
+        assert!(t.get(Fd(5)).unwrap().inherited);
+        assert!(matches!(t.get(Fd(9)), Err(SimError::BadFd(_))));
+    }
+
+    #[test]
+    fn cloexec_dropped_on_exec() {
+        let mut t = FdTable::new();
+        let a = t.alloc(ObjId(1));
+        let b = t.alloc(ObjId(2));
+        t.set_cloexec(b, true).unwrap();
+        let dropped = t.drop_cloexec();
+        assert_eq!(dropped.len(), 1);
+        assert!(t.contains(a));
+        assert!(!t.contains(b));
+    }
+
+    #[test]
+    fn drop_inherited_keeps_selected() {
+        let mut t = FdTable::new();
+        let keep_fd = t.alloc_reserved(ObjId(1));
+        let _drop_fd = t.alloc_reserved(ObjId(2));
+        let normal = t.alloc(ObjId(3));
+        let dropped = t.drop_inherited(|fd, _| fd == keep_fd);
+        assert_eq!(dropped.len(), 1);
+        assert!(t.contains(keep_fd));
+        assert!(t.contains(normal));
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers used across the simulated kernel.
+//!
+//! Newtypes keep process ids, thread ids, file descriptors and kernel object
+//! ids from being confused with one another (the MCR immutable-object
+//! machinery juggles all of them at once).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// Simulated thread identifier (unique within the whole kernel, like Linux).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tid(pub u32);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid:{}", self.0)
+    }
+}
+
+/// Simulated file descriptor number, local to a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fd(pub i32);
+
+impl Fd {
+    /// Returns true if the descriptor number lies in MCR's reserved range.
+    ///
+    /// Mutable reinitialization allocates inherited descriptors in a reserved
+    /// (non-reusable) range at the end of the descriptor space to guarantee
+    /// *global separability* (see paper §5).
+    pub fn is_reserved(self) -> bool {
+        self.0 >= RESERVED_FD_BASE
+    }
+}
+
+/// First descriptor number of the reserved range used for inherited fds.
+pub const RESERVED_FD_BASE: i32 = 1 << 20;
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd:{}", self.0)
+    }
+}
+
+/// Identifier of a kernel object (socket, file, pipe, ...), global to the
+/// simulated kernel; multiple descriptors may refer to the same object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjId(pub u64);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj:{}", self.0)
+    }
+}
+
+/// Identifier of a simulated client connection at the workload layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_fd_detection() {
+        assert!(!Fd(3).is_reserved());
+        assert!(!Fd(RESERVED_FD_BASE - 1).is_reserved());
+        assert!(Fd(RESERVED_FD_BASE).is_reserved());
+        assert!(Fd(RESERVED_FD_BASE + 10).is_reserved());
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(Pid(1) < Pid(2));
+        assert!(Fd(0) < Fd(1));
+        assert_eq!(Pid(42).to_string(), "pid:42");
+        assert_eq!(Tid(7).to_string(), "tid:7");
+        assert_eq!(Fd(3).to_string(), "fd:3");
+        assert_eq!(ObjId(9).to_string(), "obj:9");
+        assert_eq!(ConnId(1).to_string(), "conn:1");
+    }
+}

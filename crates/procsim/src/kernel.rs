@@ -1,0 +1,812 @@
+//! The simulated kernel: process table, object table, network edge, clock.
+//!
+//! The kernel is deliberately small but faithful in the aspects MCR depends
+//! on: descriptor numbering and inheritance across `fork`, pid assignment
+//! (including namespace-style forcing of the next pid), listening-socket
+//! backlogs that survive a process switch, Unix-domain channels with
+//! descriptor passing, and soft-dirty page bookkeeping delegated to each
+//! process's address space.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{SimDuration, SimInstant, VirtualClock};
+use crate::error::{SimError, SimResult};
+use crate::ids::{ConnId, Fd, Pid, Tid};
+use crate::memory::{Addr, RegionKind};
+use crate::objects::{KernelObject, ObjectTable, UnixMessage};
+use crate::process::{Process, Thread, ThreadState};
+use crate::syscall::{Syscall, SyscallPort, SyscallRet};
+
+/// Where to place a descriptor transferred into another process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdPlacement {
+    /// Lowest free descriptor.
+    Lowest,
+    /// Exactly this descriptor number (fails if occupied).
+    Exact(Fd),
+    /// A fresh descriptor in the reserved (never reused) range.
+    Reserved,
+}
+
+/// Client-side view of a workload connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ClientConn {
+    port: u16,
+    /// Data sent by the server, not yet consumed by the client.
+    from_server: VecDeque<Vec<u8>>,
+    accepted: bool,
+    closed: bool,
+}
+
+/// The simulated kernel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Kernel {
+    processes: BTreeMap<u32, Process>,
+    objects: ObjectTable,
+    clock: VirtualClock,
+    files: BTreeMap<String, Vec<u8>>,
+    next_pid: u32,
+    next_tid: u32,
+    forced_next_pid: Option<u32>,
+    next_conn: u64,
+    clients: BTreeMap<u64, ClientConn>,
+    /// Client request bytes sent before the connection was accepted.
+    pending_client_data: BTreeMap<u64, VecDeque<Vec<u8>>>,
+    /// Total syscalls executed (statistics).
+    syscall_count: u64,
+}
+
+impl Kernel {
+    /// Boots an empty kernel.
+    pub fn new() -> Self {
+        Kernel {
+            processes: BTreeMap::new(),
+            objects: ObjectTable::new(),
+            clock: VirtualClock::new(),
+            files: BTreeMap::new(),
+            next_pid: 100,
+            next_tid: 1000,
+            forced_next_pid: None,
+            next_conn: 1,
+            clients: BTreeMap::new(),
+            pending_client_data: BTreeMap::new(),
+            syscall_count: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clock and files
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Advances the simulated clock (used by the scheduler and by MCR to
+    /// account for work it performs on behalf of a program).
+    pub fn advance_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Installs a file in the simulated file system (configuration files,
+    /// documents served by the web servers, ...).
+    pub fn add_file(&mut self, path: impl Into<String>, contents: Vec<u8>) {
+        self.files.insert(path.into(), contents);
+    }
+
+    /// Returns the contents of a simulated file.
+    pub fn file_contents(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Number of syscalls executed so far.
+    pub fn syscall_count(&self) -> u64 {
+        self.syscall_count
+    }
+
+    // ------------------------------------------------------------------
+    // Process management
+    // ------------------------------------------------------------------
+
+    fn alloc_pid(&mut self) -> SimResult<Pid> {
+        if let Some(p) = self.forced_next_pid.take() {
+            if self.processes.contains_key(&p) {
+                return Err(SimError::PidUnavailable(Pid(p)));
+            }
+            return Ok(Pid(p));
+        }
+        let p = self.next_pid;
+        self.next_pid += 1;
+        Ok(Pid(p))
+    }
+
+    fn alloc_tid(&mut self) -> Tid {
+        let t = self.next_tid;
+        self.next_tid += 1;
+        Tid(t)
+    }
+
+    /// Forces the next pid assigned by `fork`/process creation, mimicking the
+    /// Linux pid-namespace trick (`ns_last_pid`) used by user-space
+    /// checkpoint-restart systems and by MCR's global inheritance of
+    /// process ids.
+    pub fn set_next_pid(&mut self, pid: Pid) {
+        self.forced_next_pid = Some(pid.0);
+    }
+
+    /// Creates a fresh process running program `name`, returning its pid.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a forced pid is already in use.
+    pub fn create_process(&mut self, name: impl Into<String>) -> SimResult<Pid> {
+        let pid = self.alloc_pid()?;
+        let tid = self.alloc_tid();
+        let proc = Process::new(pid, None, name, tid);
+        self.processes.insert(pid.0, proc);
+        Ok(pid)
+    }
+
+    /// Shared access to a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn process(&self, pid: Pid) -> SimResult<&Process> {
+        self.processes.get(&pid.0).ok_or(SimError::NoSuchProcess(pid))
+    }
+
+    /// Exclusive access to a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn process_mut(&mut self, pid: Pid) -> SimResult<&mut Process> {
+        self.processes.get_mut(&pid.0).ok_or(SimError::NoSuchProcess(pid))
+    }
+
+    /// Iterates over all processes.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values()
+    }
+
+    /// All pids, in creation order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.processes.keys().map(|&p| Pid(p)).collect()
+    }
+
+    /// Removes a process entirely (used when the old version is terminated
+    /// after a successful live update, or when a failed new version is torn
+    /// down on rollback). Its descriptors are released.
+    pub fn remove_process(&mut self, pid: Pid) -> SimResult<()> {
+        let proc = self.processes.remove(&pid.0).ok_or(SimError::NoSuchProcess(pid))?;
+        for (_, entry) in proc.fds().iter() {
+            self.objects.decref(entry.object);
+        }
+        Ok(())
+    }
+
+    /// Direct access to the kernel object table (used by state inspection and
+    /// tests; programs go through descriptors).
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+
+    /// Spawns an additional thread in `pid` (outside the syscall interface;
+    /// prefer [`Syscall::SpawnThread`] from program code).
+    pub fn spawn_thread(&mut self, pid: Pid, name: &str, creation_stack: Vec<String>) -> SimResult<Tid> {
+        let tid = self.alloc_tid();
+        let proc = self.process_mut(pid)?;
+        proc.add_thread(tid, name, creation_stack);
+        Ok(tid)
+    }
+
+    /// Convenience: the set of `(pid, tid)` pairs of all live threads.
+    pub fn live_threads(&self) -> Vec<(Pid, Tid)> {
+        let mut out = Vec::new();
+        for proc in self.processes.values() {
+            if proc.has_exited() {
+                continue;
+            }
+            for t in proc.threads() {
+                if !matches!(t.state(), ThreadState::Exited) {
+                    out.push((proc.pid(), t.tid()));
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Descriptor transfer between processes (Unix-socket fd passing)
+    // ------------------------------------------------------------------
+
+    /// Transfers (duplicates) a descriptor from one process to another.
+    ///
+    /// This models SCM_RIGHTS descriptor passing over a Unix-domain socket,
+    /// the mechanism MCR uses to let the first process of the new version
+    /// inherit every immutable descriptor of every old-version process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either process or the source descriptor does not exist, or if
+    /// an exact placement collides with an open descriptor.
+    pub fn transfer_fd(
+        &mut self,
+        from: Pid,
+        from_fd: Fd,
+        to: Pid,
+        placement: FdPlacement,
+    ) -> SimResult<Fd> {
+        let entry = self.process(from)?.fds().get(from_fd)?;
+        self.objects.incref(entry.object);
+        let to_proc = match self.process_mut(to) {
+            Ok(p) => p,
+            Err(e) => {
+                self.objects.decref(entry.object);
+                return Err(e);
+            }
+        };
+        let fd = match placement {
+            FdPlacement::Lowest => to_proc.fds_mut().alloc(entry.object),
+            FdPlacement::Reserved => to_proc.fds_mut().alloc_reserved(entry.object),
+            FdPlacement::Exact(fd) => match to_proc.fds_mut().install_at(fd, entry.object, true) {
+                Ok(()) => fd,
+                Err(e) => {
+                    self.objects.decref(entry.object);
+                    return Err(e);
+                }
+            },
+        };
+        Ok(fd)
+    }
+
+    // ------------------------------------------------------------------
+    // Client-side (workload) networking API
+    // ------------------------------------------------------------------
+
+    /// Opens a client connection to `port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PortInUse`]'s counterpart — here, a missing
+    /// listener is reported as [`SimError::InvalidArgument`].
+    pub fn client_connect(&mut self, port: u16) -> SimResult<ConnId> {
+        let listener = self
+            .objects
+            .listener_for_port(port)
+            .ok_or_else(|| SimError::InvalidArgument(format!("no listener on port {port}")))?;
+        let conn = ConnId(self.next_conn);
+        self.next_conn += 1;
+        if let Some(KernelObject::Listener { backlog, .. }) = self.objects.get_mut(listener) {
+            backlog.push_back(conn);
+        }
+        self.clients.insert(conn.0, ClientConn { port, ..Default::default() });
+        Ok(conn)
+    }
+
+    /// Sends request bytes from the client side of `conn`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown or closed connections.
+    pub fn client_send(&mut self, conn: ConnId, data: Vec<u8>) -> SimResult<()> {
+        let state = self
+            .clients
+            .get(&conn.0)
+            .ok_or(SimError::InvalidArgument(format!("unknown connection {conn}")))?;
+        if state.closed {
+            return Err(SimError::InvalidArgument(format!("connection {conn} closed")));
+        }
+        if let Some(obj) = self.objects.connection_for(conn) {
+            if let Some(KernelObject::Connection { inbox, .. }) = self.objects.get_mut(obj) {
+                inbox.push_back(data);
+                return Ok(());
+            }
+        }
+        // Not yet accepted: queue the bytes until the server accepts; the
+        // kernel hands them to the connection object at accept time.
+        self.pending_client_data.entry(conn.0).or_default().push_back(data);
+        Ok(())
+    }
+
+    /// Receives one server response chunk from the client side of `conn`.
+    pub fn client_recv(&mut self, conn: ConnId) -> Option<Vec<u8>> {
+        if let Some(obj) = self.objects.connection_for(conn) {
+            if let Some(KernelObject::Connection { outbox, .. }) = self.objects.get_mut(obj) {
+                return outbox.pop_front();
+            }
+        }
+        self.clients.get_mut(&conn.0).and_then(|c| c.from_server.pop_front())
+    }
+
+    /// Closes the client side of `conn`.
+    pub fn client_close(&mut self, conn: ConnId) -> SimResult<()> {
+        if let Some(obj) = self.objects.connection_for(conn) {
+            if let Some(KernelObject::Connection { peer_closed, .. }) = self.objects.get_mut(obj) {
+                *peer_closed = true;
+            }
+        }
+        if let Some(c) = self.clients.get_mut(&conn.0) {
+            c.closed = true;
+        }
+        Ok(())
+    }
+
+    /// Whether the connection has been accepted by a server process.
+    pub fn client_is_accepted(&self, conn: ConnId) -> bool {
+        self.objects.connection_for(conn).is_some()
+    }
+
+    /// Number of currently open (accepted and not closed) connections.
+    pub fn open_connection_count(&self) -> usize {
+        self.objects
+            .iter()
+            .filter(|(_, o)| matches!(o, KernelObject::Connection { peer_closed: false, .. }))
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Syscall implementation
+    // ------------------------------------------------------------------
+
+    fn syscall_cost(call: &Syscall) -> SimDuration {
+        let ns = match call {
+            Syscall::Fork => 60_000,
+            Syscall::SpawnThread { .. } => 20_000,
+            Syscall::Open { .. } => 2_000,
+            Syscall::Mmap { .. } | Syscall::Munmap { .. } => 3_000,
+            Syscall::Nanosleep { ns } => *ns,
+            Syscall::Read { .. } | Syscall::Write { .. } => 800,
+            _ => 400,
+        };
+        SimDuration(ns)
+    }
+
+    fn exec_syscall(&mut self, pid: Pid, tid: Tid, call: Syscall) -> SimResult<SyscallRet> {
+        match call {
+            Syscall::Socket => {
+                let obj = self.objects.insert(KernelObject::Listener {
+                    port: 0,
+                    listening: false,
+                    backlog: VecDeque::new(),
+                });
+                let fd = self.process_mut(pid)?.fds_mut().alloc(obj);
+                Ok(SyscallRet::Fd(fd))
+            }
+            Syscall::Bind { fd, port } => {
+                if self.objects.listener_for_port(port).is_some() {
+                    return Err(SimError::PortInUse(port));
+                }
+                let obj = self.process(pid)?.fds().get(fd)?.object;
+                match self.objects.get_mut(obj) {
+                    Some(KernelObject::Listener { port: p, .. }) => {
+                        *p = port;
+                        Ok(SyscallRet::Unit)
+                    }
+                    _ => Err(SimError::NotASocket(fd)),
+                }
+            }
+            Syscall::Listen { fd } => {
+                let obj = self.process(pid)?.fds().get(fd)?.object;
+                match self.objects.get_mut(obj) {
+                    Some(KernelObject::Listener { listening, .. }) => {
+                        *listening = true;
+                        Ok(SyscallRet::Unit)
+                    }
+                    _ => Err(SimError::NotASocket(fd)),
+                }
+            }
+            Syscall::Accept { fd } => {
+                let obj = self.process(pid)?.fds().get(fd)?.object;
+                let conn = match self.objects.get_mut(obj) {
+                    Some(KernelObject::Listener { backlog, listening, .. }) => {
+                        if !*listening {
+                            return Err(SimError::NotASocket(fd));
+                        }
+                        backlog.pop_front().ok_or(SimError::WouldBlock)?
+                    }
+                    _ => return Err(SimError::NotASocket(fd)),
+                };
+                let pending = self.pending_client_data.remove(&conn.0).unwrap_or_default();
+                let conn_obj = self.objects.insert(KernelObject::Connection {
+                    conn,
+                    inbox: pending,
+                    outbox: VecDeque::new(),
+                    peer_closed: false,
+                });
+                if let Some(c) = self.clients.get_mut(&conn.0) {
+                    c.accepted = true;
+                }
+                let new_fd = self.process_mut(pid)?.fds_mut().alloc(conn_obj);
+                Ok(SyscallRet::Fd(new_fd))
+            }
+            Syscall::Open { path, create } => {
+                if !self.files.contains_key(&path) {
+                    if create {
+                        self.files.insert(path.clone(), Vec::new());
+                    } else {
+                        return Err(SimError::NoSuchFile(path));
+                    }
+                }
+                let obj = self.objects.insert(KernelObject::File { path, offset: 0 });
+                let fd = self.process_mut(pid)?.fds_mut().alloc(obj);
+                Ok(SyscallRet::Fd(fd))
+            }
+            Syscall::Read { fd, len } => {
+                let obj = self.process(pid)?.fds().get(fd)?.object;
+                match self.objects.get_mut(obj) {
+                    Some(KernelObject::File { path, offset }) => {
+                        let contents = self.files.get(path.as_str()).cloned().unwrap_or_default();
+                        let start = (*offset as usize).min(contents.len());
+                        let end = (start + len).min(contents.len());
+                        *offset = end as u64;
+                        Ok(SyscallRet::Data(contents[start..end].to_vec()))
+                    }
+                    Some(KernelObject::Connection { inbox, peer_closed, .. }) => match inbox.pop_front() {
+                        Some(data) => Ok(SyscallRet::Data(data)),
+                        None if *peer_closed => Ok(SyscallRet::Data(Vec::new())),
+                        None => Err(SimError::WouldBlock),
+                    },
+                    Some(KernelObject::Pipe { buffer }) => {
+                        let n = len.min(buffer.len());
+                        let data: Vec<u8> = buffer.drain(..n).collect();
+                        if data.is_empty() {
+                            Err(SimError::WouldBlock)
+                        } else {
+                            Ok(SyscallRet::Data(data))
+                        }
+                    }
+                    _ => Err(SimError::BadFd(fd)),
+                }
+            }
+            Syscall::Write { fd, data } => {
+                let obj = self.process(pid)?.fds().get(fd)?.object;
+                let len = data.len();
+                match self.objects.get_mut(obj) {
+                    Some(KernelObject::File { path, offset }) => {
+                        let file = self.files.entry(path.clone()).or_default();
+                        let off = *offset as usize;
+                        if file.len() < off + len {
+                            file.resize(off + len, 0);
+                        }
+                        file[off..off + len].copy_from_slice(&data);
+                        *offset += len as u64;
+                        Ok(SyscallRet::Written(len))
+                    }
+                    Some(KernelObject::Connection { outbox, conn, .. }) => {
+                        let conn = *conn;
+                        outbox.push_back(data.clone());
+                        if let Some(c) = self.clients.get_mut(&conn.0) {
+                            c.from_server.push_back(data);
+                        }
+                        Ok(SyscallRet::Written(len))
+                    }
+                    Some(KernelObject::Pipe { buffer }) => {
+                        buffer.extend(data);
+                        Ok(SyscallRet::Written(len))
+                    }
+                    _ => Err(SimError::BadFd(fd)),
+                }
+            }
+            Syscall::Close { fd } => {
+                let entry = self.process_mut(pid)?.fds_mut().remove(fd)?;
+                self.objects.decref(entry.object);
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::Dup2 { old, new } => {
+                let entry = self.process(pid)?.fds().get(old)?;
+                self.objects.incref(entry.object);
+                let proc = self.process_mut(pid)?;
+                if let Some(prev) = proc.fds_mut().replace(new, entry.object, entry.inherited) {
+                    self.objects.decref(prev.object);
+                }
+                Ok(SyscallRet::Fd(new))
+            }
+            Syscall::SetCloexec { fd, on } => {
+                self.process_mut(pid)?.fds_mut().set_cloexec(fd, on)?;
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::Fork => {
+                let child_pid = self.alloc_pid()?;
+                let child_tid = self.alloc_tid();
+                let parent = self.process(pid)?;
+                let child = parent.fork_into(child_pid, child_tid, tid);
+                // Every inherited descriptor references its object once more.
+                for (_, entry) in child.fds().iter() {
+                    self.objects.incref(entry.object);
+                }
+                self.processes.insert(child_pid.0, child);
+                Ok(SyscallRet::Pid(child_pid))
+            }
+            Syscall::SpawnThread { name } => {
+                let creation_stack =
+                    self.process(pid)?.thread(tid).map(|t| t.call_stack().to_vec()).unwrap_or_default();
+                let new_tid = self.alloc_tid();
+                self.process_mut(pid)?.add_thread(new_tid, name, creation_stack);
+                Ok(SyscallRet::Tid(new_tid))
+            }
+            Syscall::Getpid => Ok(SyscallRet::Pid(pid)),
+            Syscall::Exit { code } => {
+                self.process_mut(pid)?.set_exit(code);
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::Mmap { size, name, fixed } => {
+                let proc = self.process_mut(pid)?;
+                let base = match fixed {
+                    Some(addr) => addr,
+                    None => {
+                        // Pick the first gap above the highest mapping.
+                        let top = proc
+                            .space()
+                            .regions()
+                            .map(|r| r.end().0)
+                            .max()
+                            .unwrap_or(0x1000_0000);
+                        Addr((top + 0xFFF) & !0xFFF)
+                    }
+                };
+                proc.space_mut().map_region(base, size, RegionKind::Mmap, name)?;
+                Ok(SyscallRet::Addr(base))
+            }
+            Syscall::Munmap { base } => {
+                self.process_mut(pid)?.space_mut().unmap_region(base)?;
+                Ok(SyscallRet::Unit)
+            }
+            Syscall::UnixBind { name } => {
+                let obj = self
+                    .objects
+                    .insert(KernelObject::UnixChannel { name, inbox: VecDeque::new() });
+                let fd = self.process_mut(pid)?.fds_mut().alloc(obj);
+                Ok(SyscallRet::Fd(fd))
+            }
+            Syscall::UnixConnect { name } => {
+                let obj = self
+                    .objects
+                    .unix_channel(&name)
+                    .ok_or(SimError::NoSuchFile(format!("unix:{name}")))?;
+                self.objects.incref(obj);
+                let fd = self.process_mut(pid)?.fds_mut().alloc(obj);
+                Ok(SyscallRet::Fd(fd))
+            }
+            Syscall::UnixSend { fd, data, pass_fds } => {
+                let entry = self.process(pid)?.fds().get(fd)?;
+                let mut objects = Vec::new();
+                for pfd in &pass_fds {
+                    let e = self.process(pid)?.fds().get(*pfd)?;
+                    self.objects.incref(e.object);
+                    objects.push(e.object);
+                }
+                match self.objects.get_mut(entry.object) {
+                    Some(KernelObject::UnixChannel { inbox, .. }) => {
+                        inbox.push_back(UnixMessage { data, objects });
+                        Ok(SyscallRet::Unit)
+                    }
+                    _ => Err(SimError::NotASocket(fd)),
+                }
+            }
+            Syscall::UnixRecv { fd } => {
+                let entry = self.process(pid)?.fds().get(fd)?;
+                let msg = match self.objects.get_mut(entry.object) {
+                    Some(KernelObject::UnixChannel { inbox, .. }) => {
+                        inbox.pop_front().ok_or(SimError::WouldBlock)?
+                    }
+                    _ => return Err(SimError::NotASocket(fd)),
+                };
+                let proc = self.process_mut(pid)?;
+                let mut fds = Vec::new();
+                for obj in msg.objects {
+                    fds.push(proc.fds_mut().alloc(obj));
+                }
+                Ok(SyscallRet::DataWithFds(msg.data, fds))
+            }
+            Syscall::SetSid => Ok(SyscallRet::Pid(pid)),
+            Syscall::Nanosleep { .. } => Ok(SyscallRet::Unit),
+        }
+    }
+}
+
+impl SyscallPort for Kernel {
+    fn syscall(&mut self, pid: Pid, tid: Tid, call: Syscall) -> SimResult<SyscallRet> {
+        // Validate the caller exists before dispatch.
+        let proc = self.process(pid)?;
+        proc.thread(tid)?;
+        if proc.has_exited() {
+            return Err(SimError::NoSuchProcess(pid));
+        }
+        self.syscall_count += 1;
+        self.clock.advance(Self::syscall_cost(&call));
+        self.exec_syscall(pid, tid, call)
+    }
+}
+
+/// Helper re-exported for tests and higher layers: finds a thread anywhere in
+/// the kernel.
+pub fn find_thread<'a>(kernel: &'a Kernel, pid: Pid, tid: Tid) -> SimResult<&'a Thread> {
+    kernel.process(pid)?.thread(tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::MemoryLayout;
+
+    fn booted() -> (Kernel, Pid, Tid) {
+        let mut k = Kernel::new();
+        let pid = k.create_process("testd").unwrap();
+        let tid = k.process(pid).unwrap().main_tid();
+        k.process_mut(pid).unwrap().setup_memory(MemoryLayout::default(), false).unwrap();
+        (k, pid, tid)
+    }
+
+    #[test]
+    fn socket_bind_listen_accept_cycle() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        // Nothing pending yet.
+        assert!(matches!(k.syscall(pid, tid, Syscall::Accept { fd }), Err(SimError::WouldBlock)));
+        let conn = k.client_connect(80).unwrap();
+        k.client_send(conn, b"GET /index.html".to_vec()).unwrap();
+        let cfd = k.syscall(pid, tid, Syscall::Accept { fd }).unwrap().as_fd().unwrap();
+        let data = match k.syscall(pid, tid, Syscall::Read { fd: cfd, len: 1024 }).unwrap() {
+            SyscallRet::Data(d) => d,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(data, b"GET /index.html".to_vec());
+        k.syscall(pid, tid, Syscall::Write { fd: cfd, data: b"200 OK".to_vec() }).unwrap();
+        assert_eq!(k.client_recv(conn).unwrap(), b"200 OK".to_vec());
+        assert!(k.client_is_accepted(conn));
+        assert_eq!(k.open_connection_count(), 1);
+        k.client_close(conn).unwrap();
+        assert_eq!(k.open_connection_count(), 0);
+    }
+
+    #[test]
+    fn double_bind_same_port_fails() {
+        let (mut k, pid, tid) = booted();
+        let fd1 = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd: fd1, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd: fd1 }).unwrap();
+        let fd2 = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        assert!(matches!(
+            k.syscall(pid, tid, Syscall::Bind { fd: fd2, port: 80 }),
+            Err(SimError::PortInUse(80))
+        ));
+    }
+
+    #[test]
+    fn file_read_write_roundtrip() {
+        let (mut k, pid, tid) = booted();
+        k.add_file("/etc/server.conf", b"workers=4\n".to_vec());
+        let fd = k
+            .syscall(pid, tid, Syscall::Open { path: "/etc/server.conf".into(), create: false })
+            .unwrap()
+            .as_fd()
+            .unwrap();
+        let data = match k.syscall(pid, tid, Syscall::Read { fd, len: 64 }).unwrap() {
+            SyscallRet::Data(d) => d,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(data, b"workers=4\n".to_vec());
+        assert!(k
+            .syscall(pid, tid, Syscall::Open { path: "/missing".into(), create: false })
+            .is_err());
+    }
+
+    #[test]
+    fn fork_inherits_fds_and_memory() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 8080 }).unwrap();
+        let child = k.syscall(pid, tid, Syscall::Fork).unwrap().as_pid().unwrap();
+        assert_ne!(child, pid);
+        let centry = k.process(child).unwrap().fds().get(fd).unwrap();
+        let pentry = k.process(pid).unwrap().fds().get(fd).unwrap();
+        assert_eq!(centry.object, pentry.object, "fork shares the kernel object");
+        assert_eq!(k.objects().refcount(centry.object), 2);
+    }
+
+    #[test]
+    fn forced_pid_assignment() {
+        let (mut k, pid, tid) = booted();
+        k.set_next_pid(Pid(4242));
+        let child = k.syscall(pid, tid, Syscall::Fork).unwrap().as_pid().unwrap();
+        assert_eq!(child, Pid(4242));
+        // Forcing an already-used pid fails.
+        k.set_next_pid(pid);
+        assert!(matches!(k.syscall(pid, tid, Syscall::Fork), Err(SimError::PidUnavailable(_))));
+    }
+
+    #[test]
+    fn unix_channel_with_fd_passing() {
+        let (mut k, pid, tid) = booted();
+        let listener_fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        let chan = k.syscall(pid, tid, Syscall::UnixBind { name: "mcr".into() }).unwrap().as_fd().unwrap();
+        // A second process connects and receives the passed descriptor.
+        let other = k.create_process("peer").unwrap();
+        let other_tid = k.process(other).unwrap().main_tid();
+        let conn =
+            k.syscall(other, other_tid, Syscall::UnixConnect { name: "mcr".into() }).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::UnixSend { fd: chan, data: b"fds".to_vec(), pass_fds: vec![listener_fd] })
+            .unwrap();
+        match k.syscall(other, other_tid, Syscall::UnixRecv { fd: conn }).unwrap() {
+            SyscallRet::DataWithFds(data, fds) => {
+                assert_eq!(data, b"fds".to_vec());
+                assert_eq!(fds.len(), 1);
+                let received = k.process(other).unwrap().fds().get(fds[0]).unwrap();
+                let original = k.process(pid).unwrap().fds().get(listener_fd).unwrap();
+                assert_eq!(received.object, original.object);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_fd_placements() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        let other = k.create_process("new-version").unwrap();
+        let reserved = k.transfer_fd(pid, fd, other, FdPlacement::Reserved).unwrap();
+        assert!(reserved.is_reserved());
+        let exact = k.transfer_fd(pid, fd, other, FdPlacement::Exact(Fd(7))).unwrap();
+        assert_eq!(exact, Fd(7));
+        assert!(k.transfer_fd(pid, fd, other, FdPlacement::Exact(Fd(7))).is_err());
+        let lowest = k.transfer_fd(pid, fd, other, FdPlacement::Lowest).unwrap();
+        assert_eq!(lowest, Fd(0));
+        let obj = k.process(pid).unwrap().fds().get(fd).unwrap().object;
+        assert_eq!(k.objects().refcount(obj), 4);
+    }
+
+    #[test]
+    fn mmap_and_munmap() {
+        let (mut k, pid, tid) = booted();
+        let addr = k
+            .syscall(pid, tid, Syscall::Mmap { size: 8192, name: "anon".into(), fixed: None })
+            .unwrap()
+            .as_addr()
+            .unwrap();
+        assert!(k.process(pid).unwrap().space().is_mapped(addr));
+        let fixed = Addr(0x5555_0000_0000);
+        let got = k
+            .syscall(pid, tid, Syscall::Mmap { size: 4096, name: "fixed".into(), fixed: Some(fixed) })
+            .unwrap()
+            .as_addr()
+            .unwrap();
+        assert_eq!(got, fixed);
+        k.syscall(pid, tid, Syscall::Munmap { base: fixed }).unwrap();
+        assert!(!k.process(pid).unwrap().space().is_mapped(fixed));
+    }
+
+    #[test]
+    fn exited_process_rejects_syscalls() {
+        let (mut k, pid, tid) = booted();
+        k.syscall(pid, tid, Syscall::Exit { code: 0 }).unwrap();
+        assert!(k.syscall(pid, tid, Syscall::Getpid).is_err());
+    }
+
+    #[test]
+    fn remove_process_releases_objects() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        let obj = k.process(pid).unwrap().fds().get(fd).unwrap().object;
+        assert_eq!(k.objects().refcount(obj), 1);
+        k.remove_process(pid).unwrap();
+        assert_eq!(k.objects().refcount(obj), 0);
+        assert!(k.process(pid).is_err());
+    }
+
+    #[test]
+    fn syscalls_advance_clock_and_counter() {
+        let (mut k, pid, tid) = booted();
+        let before = k.now();
+        k.syscall(pid, tid, Syscall::Getpid).unwrap();
+        k.syscall(pid, tid, Syscall::Nanosleep { ns: 1_000_000 }).unwrap();
+        assert!(k.now() > before);
+        assert_eq!(k.syscall_count(), 2);
+    }
+}

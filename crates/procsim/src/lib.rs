@@ -1,0 +1,63 @@
+//! # mcr-procsim — simulated OS substrate for the MCR reproduction
+//!
+//! This crate provides the deterministic, user-space substitute for the Linux
+//! facilities the original Mutable Checkpoint-Restart (MCR) prototype relies
+//! on: processes and threads, fork/exec semantics, file-descriptor tables with
+//! SCM_RIGHTS-style descriptor passing, pid-namespace-style pid forcing,
+//! listening sockets whose backlogs survive a process handover, virtual
+//! address spaces with per-page *soft-dirty* tracking, and the allocator
+//! families (ptmalloc-like heap, region/pool, slab) used by the evaluated
+//! server programs.
+//!
+//! The higher layers (`mcr-typemeta`, `mcr-core`, `mcr-servers`) implement the
+//! paper's actual contribution on top of this substrate; see `DESIGN.md` at
+//! the repository root for the full substitution rationale.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use mcr_procsim::{Kernel, Syscall, SyscallPort, MemoryLayout};
+//!
+//! # fn main() -> Result<(), mcr_procsim::SimError> {
+//! let mut kernel = Kernel::new();
+//! let pid = kernel.create_process("demo")?;
+//! let tid = kernel.process(pid)?.main_tid();
+//! kernel.process_mut(pid)?.setup_memory(MemoryLayout::default(), true)?;
+//!
+//! let fd = kernel.syscall(pid, tid, Syscall::Socket)?.as_fd().unwrap();
+//! kernel.syscall(pid, tid, Syscall::Bind { fd, port: 8080 })?;
+//! kernel.syscall(pid, tid, Syscall::Listen { fd })?;
+//!
+//! let conn = kernel.client_connect(8080)?;
+//! kernel.client_send(conn, b"ping".to_vec())?;
+//! let accepted = kernel.syscall(pid, tid, Syscall::Accept { fd })?.as_fd().unwrap();
+//! assert!(kernel.client_is_accepted(conn));
+//! # let _ = accepted;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod clock;
+pub mod error;
+pub mod fd;
+pub mod ids;
+pub mod kernel;
+pub mod memory;
+pub mod objects;
+pub mod process;
+pub mod syscall;
+
+pub use alloc::{AllocSite, AllocStats, ChunkInfo, PoolId, PtMalloc, RegionAllocator, SlabAllocator, TypeTag};
+pub use clock::{SimDuration, SimInstant, VirtualClock};
+pub use error::{SimError, SimResult};
+pub use fd::{FdEntry, FdTable};
+pub use ids::{ConnId, Fd, ObjId, Pid, Tid, RESERVED_FD_BASE};
+pub use kernel::{FdPlacement, Kernel};
+pub use memory::{Addr, AddressSpace, DirtyRange, MemoryRegion, RegionKind, PAGE_SIZE};
+pub use objects::{KernelObject, ObjectTable, UnixMessage};
+pub use process::{MemoryLayout, Process, Thread, ThreadState};
+pub use syscall::{Syscall, SyscallPort, SyscallRet};

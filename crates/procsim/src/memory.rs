@@ -1,0 +1,623 @@
+//! Simulated 64-bit virtual address spaces with soft-dirty page tracking.
+//!
+//! Each simulated process owns an [`AddressSpace`]: a set of non-overlapping
+//! [`MemoryRegion`]s (static data, heap, stacks, memory mappings, shared
+//! libraries). Every region tracks per-page *soft-dirty* bits exactly like the
+//! Linux `/proc/pid/pagemap` facility used by the paper: the bits are cleared
+//! once (after program startup) and the first write into a page afterwards
+//! marks it dirty. Mutable tracing later uses the dirty bits to restrict state
+//! transfer to objects modified after startup.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+
+/// Size of a simulated memory page in bytes (matches Linux x86).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A simulated virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The null address.
+    pub const NULL: Addr = Addr(0);
+
+    /// Returns the address advanced by `off` bytes.
+    #[must_use]
+    pub fn offset(self, off: u64) -> Addr {
+        Addr(self.0 + off)
+    }
+
+    /// Returns the address of the page containing this address.
+    #[must_use]
+    pub fn page_base(self) -> Addr {
+        Addr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// True if this address is aligned to `align` bytes.
+    pub fn is_aligned(self, align: u64) -> bool {
+        align != 0 && self.0 % align == 0
+    }
+
+    /// True if this is the null address.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// The kind of a memory region; mutable tracing treats the kinds differently
+/// (static objects are matched by symbol, heap objects by allocation site,
+/// library regions are not traced by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Global/static program data (`.data`/`.bss`); one region per program.
+    Static,
+    /// The program heap managed by a simulated allocator.
+    Heap,
+    /// A thread stack.
+    Stack,
+    /// An anonymous or file-backed memory mapping (`mmap`).
+    Mmap,
+    /// A (possibly uninstrumented) shared library's data segment.
+    Lib,
+}
+
+impl RegionKind {
+    /// Short label used in reports and tracing statistics.
+    pub fn label(self) -> &'static str {
+        match self {
+            RegionKind::Static => "static",
+            RegionKind::Heap => "heap",
+            RegionKind::Stack => "stack",
+            RegionKind::Mmap => "mmap",
+            RegionKind::Lib => "lib",
+        }
+    }
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A contiguous mapped range of the simulated address space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    base: Addr,
+    size: u64,
+    kind: RegionKind,
+    name: String,
+    writable: bool,
+    data: Vec<u8>,
+    /// One soft-dirty bit per page.
+    soft_dirty: Vec<bool>,
+    /// Total number of write syscalls/stores into the region (instrumentation
+    /// statistics, not part of the paper's kernel interface).
+    write_count: u64,
+}
+
+impl MemoryRegion {
+    fn new(base: Addr, size: u64, kind: RegionKind, name: impl Into<String>, writable: bool) -> Self {
+        let pages = size.div_ceil(PAGE_SIZE) as usize;
+        MemoryRegion {
+            base,
+            size,
+            kind,
+            name: name.into(),
+            writable,
+            data: vec![0; size as usize],
+            soft_dirty: vec![true; pages],
+            write_count: 0,
+        }
+    }
+
+    /// Base address of the region.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size of the region in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> Addr {
+        Addr(self.base.0 + self.size)
+    }
+
+    /// Kind of the region.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// Human-readable name (e.g. `"heap"`, `"lib:libssl"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether writes are permitted.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Whether the address lies inside the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.size
+    }
+
+    /// Number of pages spanned by the region.
+    pub fn page_count(&self) -> usize {
+        self.soft_dirty.len()
+    }
+
+    /// Returns the soft-dirty bit of the page containing `addr`.
+    pub fn page_is_dirty(&self, addr: Addr) -> bool {
+        let idx = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
+        self.soft_dirty.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Number of dirty pages in the region.
+    pub fn dirty_page_count(&self) -> usize {
+        self.soft_dirty.iter().filter(|d| **d).count()
+    }
+
+    /// Total stores observed in this region.
+    pub fn write_count(&self) -> u64 {
+        self.write_count
+    }
+
+    fn mark_dirty(&mut self, addr: Addr, len: usize) {
+        let start = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
+        let end = ((addr.0 - self.base.0 + len.max(1) as u64 - 1) / PAGE_SIZE) as usize;
+        for page in start..=end.min(self.soft_dirty.len().saturating_sub(1)) {
+            self.soft_dirty[page] = true;
+        }
+    }
+
+    fn clear_soft_dirty(&mut self) {
+        for bit in &mut self.soft_dirty {
+            *bit = false;
+        }
+    }
+}
+
+/// A report of the dirty pages of one region, as collected at update time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyRange {
+    /// Base address of the dirty page run.
+    pub base: Addr,
+    /// Length of the run in bytes.
+    pub len: u64,
+    /// Kind of the containing region.
+    pub kind: RegionKind,
+}
+
+/// A full simulated virtual address space.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AddressSpace {
+    regions: BTreeMap<u64, MemoryRegion>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps a new region at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MappingOverlap`] if the range overlaps an existing
+    /// region and [`SimError::InvalidArgument`] for a zero-sized mapping.
+    pub fn map_region(
+        &mut self,
+        base: Addr,
+        size: u64,
+        kind: RegionKind,
+        name: impl Into<String>,
+    ) -> SimResult<()> {
+        self.map_region_with_perms(base, size, kind, name, true)
+    }
+
+    /// Maps a new region with explicit writability.
+    pub fn map_region_with_perms(
+        &mut self,
+        base: Addr,
+        size: u64,
+        kind: RegionKind,
+        name: impl Into<String>,
+        writable: bool,
+    ) -> SimResult<()> {
+        if size == 0 {
+            return Err(SimError::InvalidArgument("zero-sized mapping".into()));
+        }
+        if self.overlaps(base, size) {
+            return Err(SimError::MappingOverlap { base, size });
+        }
+        self.regions.insert(base.0, MemoryRegion::new(base, size, kind, name, writable));
+        Ok(())
+    }
+
+    /// Unmaps the region starting exactly at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] if no region starts at `base`.
+    pub fn unmap_region(&mut self, base: Addr) -> SimResult<MemoryRegion> {
+        self.regions.remove(&base.0).ok_or(SimError::UnmappedAddress(base))
+    }
+
+    fn overlaps(&self, base: Addr, size: u64) -> bool {
+        let end = base.0 + size;
+        self.regions.values().any(|r| base.0 < r.end().0 && r.base().0 < end)
+    }
+
+    /// Finds the region containing `addr`.
+    pub fn region_containing(&self, addr: Addr) -> Option<&MemoryRegion> {
+        self.regions
+            .range(..=addr.0)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(addr))
+    }
+
+    fn region_containing_mut(&mut self, addr: Addr) -> Option<&mut MemoryRegion> {
+        self.regions
+            .range_mut(..=addr.0)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(addr))
+    }
+
+    /// Iterates over all mapped regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &MemoryRegion> {
+        self.regions.values()
+    }
+
+    /// Returns the region of the given kind with the given name, if any.
+    pub fn find_region(&self, kind: RegionKind, name: &str) -> Option<&MemoryRegion> {
+        self.regions.values().find(|r| r.kind() == kind && r.name() == name)
+    }
+
+    /// Total mapped bytes (a proxy for the resident set size of the process).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.values().map(|r| r.size()).sum()
+    }
+
+    /// True if an address is mapped.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.region_containing(addr).is_some()
+    }
+
+    /// True if `addr` is mapped and points at least `len` bytes inside a
+    /// single region (the validity test used by conservative pointer
+    /// scanning).
+    pub fn is_valid_range(&self, addr: Addr, len: usize) -> bool {
+        match self.region_containing(addr) {
+            Some(r) => addr.0 + len as u64 <= r.end().0,
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw byte accessors
+    // ------------------------------------------------------------------
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or crosses the end of its region.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> SimResult<Vec<u8>> {
+        let region = self.region_containing(addr).ok_or(SimError::UnmappedAddress(addr))?;
+        let off = (addr.0 - region.base().0) as usize;
+        if off + len > region.data.len() {
+            return Err(SimError::OutOfBounds { addr, len });
+        }
+        Ok(region.data[off..off + len].to_vec())
+    }
+
+    /// Writes `bytes` starting at `addr`, marking touched pages soft-dirty.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped, read-only, or out of bounds.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        let region = self.region_containing_mut(addr).ok_or(SimError::UnmappedAddress(addr))?;
+        if !region.is_writable() {
+            return Err(SimError::ReadOnlyRegion(addr));
+        }
+        let off = (addr.0 - region.base().0) as usize;
+        if off + bytes.len() > region.data.len() {
+            return Err(SimError::OutOfBounds { addr, len: bytes.len() });
+        }
+        region.data[off..off + bytes.len()].copy_from_slice(bytes);
+        region.mark_dirty(addr, bytes.len());
+        region.write_count += 1;
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `value`.
+    pub fn fill(&mut self, addr: Addr, len: usize, value: u8) -> SimResult<()> {
+        self.write_bytes(addr, &vec![value; len])
+    }
+
+    // ------------------------------------------------------------------
+    // Word accessors (little-endian, as on x86)
+    // ------------------------------------------------------------------
+
+    /// Reads a 64-bit little-endian word (also used for pointers).
+    pub fn read_u64(&self, addr: Addr) -> SimResult<u64> {
+        let b = self.read_bytes(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) -> SimResult<()> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a pointer-sized value as an address.
+    pub fn read_ptr(&self, addr: Addr) -> SimResult<Addr> {
+        Ok(Addr(self.read_u64(addr)?))
+    }
+
+    /// Writes an address as a pointer-sized value.
+    pub fn write_ptr(&mut self, addr: Addr, value: Addr) -> SimResult<()> {
+        self.write_u64(addr, value.0)
+    }
+
+    /// Reads a 32-bit little-endian word.
+    pub fn read_u32(&self, addr: Addr) -> SimResult<u32> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) -> SimResult<()> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&self, addr: Addr) -> SimResult<u8> {
+        Ok(self.read_bytes(addr, 1)?[0])
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) -> SimResult<()> {
+        self.write_bytes(addr, &[value])
+    }
+
+    /// Reads a NUL-terminated C string of at most `max` bytes.
+    pub fn read_cstring(&self, addr: Addr, max: usize) -> SimResult<String> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.offset(i as u64))?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// Writes a NUL-terminated C string.
+    pub fn write_cstring(&mut self, addr: Addr, s: &str) -> SimResult<()> {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        self.write_bytes(addr, &bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Soft-dirty tracking (the /proc/pid/pagemap analogue)
+    // ------------------------------------------------------------------
+
+    /// Clears every soft-dirty bit in the address space.
+    ///
+    /// MCR invokes this once at the end of program startup, so that only
+    /// pages written afterwards are reported dirty at update time.
+    pub fn clear_soft_dirty(&mut self) {
+        for region in self.regions.values_mut() {
+            region.clear_soft_dirty();
+        }
+    }
+
+    /// Collects all dirty page runs, coalescing adjacent dirty pages.
+    pub fn dirty_ranges(&self) -> Vec<DirtyRange> {
+        let mut out = Vec::new();
+        for region in self.regions.values() {
+            let mut run_start: Option<u64> = None;
+            for page in 0..region.page_count() as u64 {
+                let dirty = region.soft_dirty[page as usize];
+                match (dirty, run_start) {
+                    (true, None) => run_start = Some(page),
+                    (false, Some(start)) => {
+                        out.push(DirtyRange {
+                            base: region.base().offset(start * PAGE_SIZE),
+                            len: (page - start) * PAGE_SIZE,
+                            kind: region.kind(),
+                        });
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(start) = run_start {
+                out.push(DirtyRange {
+                    base: region.base().offset(start * PAGE_SIZE),
+                    len: (region.page_count() as u64 - start) * PAGE_SIZE,
+                    kind: region.kind(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether the page containing `addr` is soft-dirty.
+    pub fn is_dirty(&self, addr: Addr) -> bool {
+        self.region_containing(addr).map(|r| r.page_is_dirty(addr)).unwrap_or(false)
+    }
+
+    /// Total number of dirty pages across all regions.
+    pub fn dirty_page_count(&self) -> usize {
+        self.regions.values().map(|r| r.dirty_page_count()).sum()
+    }
+
+    /// Total number of mapped pages across all regions.
+    pub fn total_page_count(&self) -> usize {
+        self.regions.values().map(|r| r.page_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with_region() -> AddressSpace {
+        let mut space = AddressSpace::new();
+        space.map_region(Addr(0x10000), 8 * PAGE_SIZE, RegionKind::Heap, "heap").unwrap();
+        space
+    }
+
+    #[test]
+    fn map_and_query_region() {
+        let space = space_with_region();
+        let r = space.region_containing(Addr(0x10000 + 100)).unwrap();
+        assert_eq!(r.base(), Addr(0x10000));
+        assert_eq!(r.kind(), RegionKind::Heap);
+        assert!(space.is_mapped(Addr(0x10000)));
+        assert!(!space.is_mapped(Addr(0x10000 + 8 * PAGE_SIZE)));
+        assert_eq!(space.mapped_bytes(), 8 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn overlapping_map_rejected() {
+        let mut space = space_with_region();
+        let err = space
+            .map_region(Addr(0x10000 + PAGE_SIZE), PAGE_SIZE, RegionKind::Mmap, "x")
+            .unwrap_err();
+        assert!(matches!(err, SimError::MappingOverlap { .. }));
+        // Adjacent (non-overlapping) map is fine.
+        space.map_region(Addr(0x10000 + 8 * PAGE_SIZE), PAGE_SIZE, RegionKind::Mmap, "y").unwrap();
+    }
+
+    #[test]
+    fn zero_sized_map_rejected() {
+        let mut space = AddressSpace::new();
+        assert!(space.map_region(Addr(0x1000), 0, RegionKind::Mmap, "z").is_err());
+    }
+
+    #[test]
+    fn read_write_words() {
+        let mut space = space_with_region();
+        space.write_u64(Addr(0x10008), 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(space.read_u64(Addr(0x10008)).unwrap(), 0xdead_beef_cafe_f00d);
+        space.write_u32(Addr(0x10020), 77).unwrap();
+        assert_eq!(space.read_u32(Addr(0x10020)).unwrap(), 77);
+        space.write_u8(Addr(0x10030), 9).unwrap();
+        assert_eq!(space.read_u8(Addr(0x10030)).unwrap(), 9);
+    }
+
+    #[test]
+    fn cstring_roundtrip() {
+        let mut space = space_with_region();
+        space.write_cstring(Addr(0x10100), "hello mcr").unwrap();
+        assert_eq!(space.read_cstring(Addr(0x10100), 64).unwrap(), "hello mcr");
+    }
+
+    #[test]
+    fn unmapped_and_out_of_bounds_access() {
+        let mut space = space_with_region();
+        assert!(matches!(space.read_u64(Addr(0x1)).unwrap_err(), SimError::UnmappedAddress(_)));
+        let end = Addr(0x10000 + 8 * PAGE_SIZE - 4);
+        assert!(matches!(space.write_u64(end, 1).unwrap_err(), SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn read_only_region_rejects_writes() {
+        let mut space = AddressSpace::new();
+        space
+            .map_region_with_perms(Addr(0x5000), PAGE_SIZE, RegionKind::Lib, "ro", false)
+            .unwrap();
+        assert!(matches!(space.write_u8(Addr(0x5000), 1).unwrap_err(), SimError::ReadOnlyRegion(_)));
+        assert_eq!(space.read_u8(Addr(0x5000)).unwrap(), 0);
+    }
+
+    #[test]
+    fn soft_dirty_lifecycle() {
+        let mut space = space_with_region();
+        // Freshly mapped pages are dirty (they were just created).
+        assert_eq!(space.dirty_page_count(), 8);
+        space.clear_soft_dirty();
+        assert_eq!(space.dirty_page_count(), 0);
+        // A single write dirties exactly the touched page(s).
+        space.write_u64(Addr(0x10000 + PAGE_SIZE + 8), 1).unwrap();
+        assert_eq!(space.dirty_page_count(), 1);
+        assert!(space.is_dirty(Addr(0x10000 + PAGE_SIZE)));
+        assert!(!space.is_dirty(Addr(0x10000)));
+        // A write spanning a page boundary dirties both pages.
+        space.write_bytes(Addr(0x10000 + 3 * PAGE_SIZE - 4), &[1u8; 8]).unwrap();
+        assert!(space.is_dirty(Addr(0x10000 + 2 * PAGE_SIZE)));
+        assert!(space.is_dirty(Addr(0x10000 + 3 * PAGE_SIZE)));
+    }
+
+    #[test]
+    fn dirty_ranges_coalesce() {
+        let mut space = space_with_region();
+        space.clear_soft_dirty();
+        space.write_u8(Addr(0x10000), 1).unwrap();
+        space.write_u8(Addr(0x10000 + PAGE_SIZE), 1).unwrap();
+        space.write_u8(Addr(0x10000 + 4 * PAGE_SIZE), 1).unwrap();
+        let ranges = space.dirty_ranges();
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0].base, Addr(0x10000));
+        assert_eq!(ranges[0].len, 2 * PAGE_SIZE);
+        assert_eq!(ranges[1].base, Addr(0x10000 + 4 * PAGE_SIZE));
+        assert_eq!(ranges[1].len, PAGE_SIZE);
+    }
+
+    #[test]
+    fn unmap_region_works() {
+        let mut space = space_with_region();
+        space.unmap_region(Addr(0x10000)).unwrap();
+        assert!(!space.is_mapped(Addr(0x10000)));
+        assert!(space.unmap_region(Addr(0x10000)).is_err());
+    }
+
+    #[test]
+    fn valid_range_checks() {
+        let space = space_with_region();
+        assert!(space.is_valid_range(Addr(0x10000), 8));
+        assert!(space.is_valid_range(Addr(0x10000 + 8 * PAGE_SIZE - 8), 8));
+        assert!(!space.is_valid_range(Addr(0x10000 + 8 * PAGE_SIZE - 4), 8));
+        assert!(!space.is_valid_range(Addr(0x1), 1));
+    }
+
+    #[test]
+    fn addr_helpers() {
+        assert_eq!(Addr(0x1234).page_base(), Addr(0x1000));
+        assert!(Addr(0x1000).is_aligned(8));
+        assert!(!Addr(0x1001).is_aligned(8));
+        assert!(Addr::NULL.is_null());
+        assert_eq!(Addr(4).offset(4), Addr(8));
+    }
+}

@@ -1,0 +1,235 @@
+//! Kernel objects: sockets, connections, files, Unix-domain channels.
+//!
+//! A kernel object is shared state referenced by one or more file
+//! descriptors, possibly from multiple processes — this is exactly why MCR
+//! must treat descriptor numbers as *immutable state objects*: recreating the
+//! descriptor in the new version would lose the in-kernel state held here.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ConnId, ObjId};
+
+/// A message queued on a Unix-domain channel; may carry descriptors
+/// (SCM_RIGHTS-style), represented by the kernel objects they refer to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnixMessage {
+    /// Opaque payload bytes.
+    pub data: Vec<u8>,
+    /// Kernel objects attached to the message (fd passing).
+    pub objects: Vec<ObjId>,
+}
+
+/// The in-kernel state behind a file descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelObject {
+    /// A listening TCP socket bound to a port.
+    Listener {
+        /// Bound port (0 while unbound).
+        port: u16,
+        /// Whether `listen()` has been called.
+        listening: bool,
+        /// Pending client connections waiting to be accepted.
+        backlog: VecDeque<ConnId>,
+    },
+    /// An accepted TCP connection.
+    Connection {
+        /// Workload-level connection identifier.
+        conn: ConnId,
+        /// Bytes sent by the client, not yet read by the server.
+        inbox: VecDeque<Vec<u8>>,
+        /// Bytes sent by the server, not yet read by the client.
+        outbox: VecDeque<Vec<u8>>,
+        /// Whether the client closed its side.
+        peer_closed: bool,
+    },
+    /// An open regular file.
+    File {
+        /// Path in the simulated file system.
+        path: String,
+        /// Current read/write offset.
+        offset: u64,
+    },
+    /// A named Unix-domain datagram channel (used by `mcr-ctl` signalling and
+    /// old/new-version coordination).
+    UnixChannel {
+        /// Abstract socket name.
+        name: String,
+        /// Queued messages.
+        inbox: VecDeque<UnixMessage>,
+    },
+    /// An anonymous pipe.
+    Pipe {
+        /// Buffered bytes.
+        buffer: VecDeque<u8>,
+    },
+}
+
+impl KernelObject {
+    /// Short label describing the object kind (used in diagnostics and in the
+    /// startup log).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            KernelObject::Listener { .. } => "listener",
+            KernelObject::Connection { .. } => "connection",
+            KernelObject::File { .. } => "file",
+            KernelObject::UnixChannel { .. } => "unix",
+            KernelObject::Pipe { .. } => "pipe",
+        }
+    }
+}
+
+/// Reference-counted object table shared by every process's descriptors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObjectTable {
+    objects: std::collections::BTreeMap<u64, (KernelObject, u32)>,
+    next_id: u64,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ObjectTable { objects: Default::default(), next_id: 1 }
+    }
+
+    /// Inserts a new object with refcount 1.
+    pub fn insert(&mut self, obj: KernelObject) -> ObjId {
+        let id = ObjId(self.next_id);
+        self.next_id += 1;
+        self.objects.insert(id.0, (obj, 1));
+        id
+    }
+
+    /// Increments the reference count (descriptor duplication, fork, fd
+    /// passing).
+    pub fn incref(&mut self, id: ObjId) {
+        if let Some((_, rc)) = self.objects.get_mut(&id.0) {
+            *rc += 1;
+        }
+    }
+
+    /// Decrements the reference count, dropping the object at zero.
+    /// Returns true if the object was destroyed.
+    pub fn decref(&mut self, id: ObjId) -> bool {
+        if let Some((_, rc)) = self.objects.get_mut(&id.0) {
+            *rc -= 1;
+            if *rc == 0 {
+                self.objects.remove(&id.0);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Shared access to an object.
+    pub fn get(&self, id: ObjId) -> Option<&KernelObject> {
+        self.objects.get(&id.0).map(|(o, _)| o)
+    }
+
+    /// Exclusive access to an object.
+    pub fn get_mut(&mut self, id: ObjId) -> Option<&mut KernelObject> {
+        self.objects.get_mut(&id.0).map(|(o, _)| o)
+    }
+
+    /// Current reference count of an object (0 if it does not exist).
+    pub fn refcount(&self, id: ObjId) -> u32 {
+        self.objects.get(&id.0).map(|(_, rc)| *rc).unwrap_or(0)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the table holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &KernelObject)> {
+        self.objects.iter().map(|(&id, (o, _))| (ObjId(id), o))
+    }
+
+    /// Finds the listener bound to `port`, if any.
+    pub fn listener_for_port(&self, port: u16) -> Option<ObjId> {
+        self.iter().find_map(|(id, o)| match o {
+            KernelObject::Listener { port: p, listening: true, .. } if *p == port => Some(id),
+            _ => None,
+        })
+    }
+
+    /// Finds the Unix channel with the given name, if any.
+    pub fn unix_channel(&self, name: &str) -> Option<ObjId> {
+        self.iter().find_map(|(id, o)| match o {
+            KernelObject::UnixChannel { name: n, .. } if n == name => Some(id),
+            _ => None,
+        })
+    }
+
+    /// Finds the connection object for a workload connection id, if any.
+    pub fn connection_for(&self, conn: ConnId) -> Option<ObjId> {
+        self.iter().find_map(|(id, o)| match o {
+            KernelObject::Connection { conn: c, .. } if *c == conn => Some(id),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refcounting_lifecycle() {
+        let mut t = ObjectTable::new();
+        let id = t.insert(KernelObject::Pipe { buffer: VecDeque::new() });
+        assert_eq!(t.refcount(id), 1);
+        t.incref(id);
+        assert_eq!(t.refcount(id), 2);
+        assert!(!t.decref(id));
+        assert!(t.decref(id));
+        assert!(t.get(id).is_none());
+        assert_eq!(t.refcount(id), 0);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let mut t = ObjectTable::new();
+        let l = t.insert(KernelObject::Listener { port: 80, listening: true, backlog: VecDeque::new() });
+        let _unbound =
+            t.insert(KernelObject::Listener { port: 8080, listening: false, backlog: VecDeque::new() });
+        let u = t.insert(KernelObject::UnixChannel { name: "mcr-ctl".into(), inbox: VecDeque::new() });
+        let c = t.insert(KernelObject::Connection {
+            conn: ConnId(5),
+            inbox: VecDeque::new(),
+            outbox: VecDeque::new(),
+            peer_closed: false,
+        });
+        assert_eq!(t.listener_for_port(80), Some(l));
+        assert_eq!(t.listener_for_port(8080), None, "not listening yet");
+        assert_eq!(t.unix_channel("mcr-ctl"), Some(u));
+        assert_eq!(t.unix_channel("other"), None);
+        assert_eq!(t.connection_for(ConnId(5)), Some(c));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn kind_labels() {
+        let objs = vec![
+            KernelObject::Listener { port: 1, listening: false, backlog: VecDeque::new() },
+            KernelObject::Connection {
+                conn: ConnId(1),
+                inbox: VecDeque::new(),
+                outbox: VecDeque::new(),
+                peer_closed: false,
+            },
+            KernelObject::File { path: "/etc/conf".into(), offset: 0 },
+            KernelObject::UnixChannel { name: "x".into(), inbox: VecDeque::new() },
+            KernelObject::Pipe { buffer: VecDeque::new() },
+        ];
+        let labels: Vec<&str> = objs.iter().map(|o| o.kind_label()).collect();
+        assert_eq!(labels, vec!["listener", "connection", "file", "unix", "pipe"]);
+    }
+}

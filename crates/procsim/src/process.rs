@@ -1,0 +1,557 @@
+//! Simulated processes and threads.
+//!
+//! A [`Process`] owns an address space, the allocators managing its heap, a
+//! descriptor table and a set of threads. Threads carry an explicit call
+//! stack of function names: MCR's call-stack IDs (used to match replayed
+//! syscalls and to pair processes/threads across versions) are computed from
+//! exactly this information.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::{PtMalloc, RegionAllocator};
+use crate::error::{SimError, SimResult};
+use crate::fd::FdTable;
+use crate::ids::{Pid, Tid};
+use crate::memory::{Addr, AddressSpace, RegionKind};
+
+/// Scheduling/blocking state of a simulated thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Runnable / currently executing.
+    Running,
+    /// Blocked inside a (possibly unblockified) library call.
+    Blocked {
+        /// Name of the blocking library call (e.g. `"accept"`, `"epoll_wait"`).
+        call: String,
+    },
+    /// Parked at a quiescent point by MCR's barrier protocol.
+    Quiesced,
+    /// The thread has exited.
+    Exited,
+}
+
+/// A simulated thread.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thread {
+    tid: Tid,
+    name: String,
+    state: ThreadState,
+    call_stack: Vec<String>,
+    /// Call stack captured at thread creation time (used to match threads
+    /// across program versions).
+    creation_stack: Vec<String>,
+    /// Simulated nanoseconds spent per blocking call (quiescence profiling).
+    blocking_ns: BTreeMap<String, u64>,
+    /// Iterations executed per named loop (long-lived loop detection).
+    loop_iterations: BTreeMap<String, u64>,
+}
+
+impl Thread {
+    fn new(tid: Tid, name: impl Into<String>, creation_stack: Vec<String>) -> Self {
+        Thread {
+            tid,
+            name: name.into(),
+            state: ThreadState::Running,
+            call_stack: Vec::new(),
+            creation_stack,
+            blocking_ns: BTreeMap::new(),
+            loop_iterations: BTreeMap::new(),
+        }
+    }
+
+    /// Thread identifier.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Human-readable thread name (e.g. `"worker"`, `"master"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &ThreadState {
+        &self.state
+    }
+
+    /// Sets the state.
+    pub fn set_state(&mut self, state: ThreadState) {
+        self.state = state;
+    }
+
+    /// Pushes a function frame onto the simulated call stack.
+    pub fn push_frame(&mut self, function: impl Into<String>) {
+        self.call_stack.push(function.into());
+    }
+
+    /// Pops the innermost frame.
+    pub fn pop_frame(&mut self) {
+        self.call_stack.pop();
+    }
+
+    /// The active function names, outermost first.
+    pub fn call_stack(&self) -> &[String] {
+        &self.call_stack
+    }
+
+    /// Replaces the whole call stack (used when restoring a checkpoint).
+    pub fn set_call_stack(&mut self, frames: Vec<String>) {
+        self.call_stack = frames;
+    }
+
+    /// Call stack at thread creation time.
+    pub fn creation_stack(&self) -> &[String] {
+        &self.creation_stack
+    }
+
+    /// Records `ns` nanoseconds spent blocked in `call` (profiler input).
+    pub fn record_blocking(&mut self, call: &str, ns: u64) {
+        *self.blocking_ns.entry(call.to_string()).or_insert(0) += ns;
+    }
+
+    /// Records one iteration of the named loop (profiler input).
+    pub fn record_loop_iteration(&mut self, loop_name: &str) {
+        *self.loop_iterations.entry(loop_name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Blocking-time histogram collected so far.
+    pub fn blocking_profile(&self) -> &BTreeMap<String, u64> {
+        &self.blocking_ns
+    }
+
+    /// Loop-iteration histogram collected so far.
+    pub fn loop_profile(&self) -> &BTreeMap<String, u64> {
+        &self.loop_iterations
+    }
+
+    /// True if the thread is parked at a quiescent point.
+    pub fn is_quiesced(&self) -> bool {
+        matches!(self.state, ThreadState::Quiesced)
+    }
+}
+
+/// Standard virtual-memory layout constants for simulated programs.
+///
+/// Address-space layout differs between program versions by an ASLR-like
+/// offset, which is what forces MCR to *relocate* mutable objects and pin
+/// immutable ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLayout {
+    /// Base of the static data region.
+    pub static_base: Addr,
+    /// Size of the static data region.
+    pub static_size: u64,
+    /// Base of the heap region.
+    pub heap_base: Addr,
+    /// Size of the heap region.
+    pub heap_size: u64,
+    /// Base of the (single, shared) library data region.
+    pub lib_base: Addr,
+    /// Size of the library data region.
+    pub lib_size: u64,
+    /// Base of the stack region.
+    pub stack_base: Addr,
+    /// Size of the stack region.
+    pub stack_size: u64,
+}
+
+impl MemoryLayout {
+    /// The default layout, shifted by an ASLR-like `slide` in bytes.
+    ///
+    /// The library region is *not* slid: MCR prelinks copied libraries so the
+    /// new version maps them at the same address as the old one (paper §5,
+    /// global reallocation).
+    pub fn with_slide(slide: u64) -> Self {
+        MemoryLayout {
+            static_base: Addr(0x0040_0000 + slide),
+            static_size: 1024 * 1024,
+            heap_base: Addr(0x0800_0000 + slide),
+            heap_size: 16 * 1024 * 1024,
+            lib_base: Addr(0x7f00_0000_0000),
+            lib_size: 2 * 1024 * 1024,
+            stack_base: Addr(0x7ffc_0000_0000 + slide),
+            stack_size: 1024 * 1024,
+        }
+    }
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        MemoryLayout::with_slide(0)
+    }
+}
+
+/// A simulated process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Process {
+    pid: Pid,
+    ppid: Option<Pid>,
+    name: String,
+    space: AddressSpace,
+    heap: Option<PtMalloc>,
+    regions: RegionAllocator,
+    fds: FdTable,
+    threads: BTreeMap<u32, Thread>,
+    main_tid: Tid,
+    layout: MemoryLayout,
+    exit_code: Option<i32>,
+    /// Call stack of the `fork` that created this process (empty for the
+    /// initial process); used to pair processes across versions.
+    creation_stack: Vec<String>,
+}
+
+impl Process {
+    pub(crate) fn new(pid: Pid, ppid: Option<Pid>, name: impl Into<String>, main_tid: Tid) -> Self {
+        let mut threads = BTreeMap::new();
+        threads.insert(main_tid.0, Thread::new(main_tid, "main", Vec::new()));
+        Process {
+            pid,
+            ppid,
+            name: name.into(),
+            space: AddressSpace::new(),
+            heap: None,
+            regions: RegionAllocator::new(false),
+            fds: FdTable::new(),
+            threads,
+            main_tid,
+            layout: MemoryLayout::default(),
+            exit_code: None,
+            creation_stack: Vec::new(),
+        }
+    }
+
+    /// Process identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Parent process identifier, if any.
+    pub fn ppid(&self) -> Option<Pid> {
+        self.ppid
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the process (used by `exec`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The memory layout used by [`Process::setup_memory`].
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    /// Maps the standard regions (static, heap, lib, stack) according to
+    /// `layout` and installs a heap allocator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the regions cannot be mapped (e.g. called twice).
+    pub fn setup_memory(&mut self, layout: MemoryLayout, instrumented_heap: bool) -> SimResult<()> {
+        self.layout = layout;
+        self.space.map_region(layout.static_base, layout.static_size, RegionKind::Static, "static")?;
+        self.space.map_region(layout.heap_base, layout.heap_size, RegionKind::Heap, "heap")?;
+        self.space.map_region(layout.lib_base, layout.lib_size, RegionKind::Lib, "lib")?;
+        self.space.map_region(layout.stack_base, layout.stack_size, RegionKind::Stack, "stack")?;
+        self.heap = Some(PtMalloc::new(layout.heap_base, layout.heap_size, instrumented_heap));
+        Ok(())
+    }
+
+    /// Shared access to the address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Exclusive access to the address space.
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// The heap allocator, if memory has been set up.
+    pub fn heap(&self) -> Option<&PtMalloc> {
+        self.heap.as_ref()
+    }
+
+    /// Exclusive access to the heap allocator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidArgument`] if memory was never set up.
+    pub fn heap_mut(&mut self) -> SimResult<&mut PtMalloc> {
+        self.heap.as_mut().ok_or(SimError::InvalidArgument("process memory not set up".into()))
+    }
+
+    /// Simultaneous access to the address space and heap allocator (the
+    /// common pattern for allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidArgument`] if memory was never set up.
+    pub fn space_and_heap_mut(&mut self) -> SimResult<(&mut AddressSpace, &mut PtMalloc)> {
+        let heap = self.heap.as_mut().ok_or(SimError::InvalidArgument("process memory not set up".into()))?;
+        Ok((&mut self.space, heap))
+    }
+
+    /// Simultaneous access to address space, heap and region allocator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidArgument`] if memory was never set up.
+    pub fn space_heap_regions_mut(
+        &mut self,
+    ) -> SimResult<(&mut AddressSpace, &mut PtMalloc, &mut RegionAllocator)> {
+        let heap = self.heap.as_mut().ok_or(SimError::InvalidArgument("process memory not set up".into()))?;
+        Ok((&mut self.space, heap, &mut self.regions))
+    }
+
+    /// The process's region/pool allocator.
+    pub fn regions(&self) -> &RegionAllocator {
+        &self.regions
+    }
+
+    /// Exclusive access to the region/pool allocator.
+    pub fn regions_mut(&mut self) -> &mut RegionAllocator {
+        &mut self.regions
+    }
+
+    /// Replaces the region allocator (used to enable instrumentation).
+    pub fn set_region_allocator(&mut self, regions: RegionAllocator) {
+        self.regions = regions;
+    }
+
+    /// The descriptor table.
+    pub fn fds(&self) -> &FdTable {
+        &self.fds
+    }
+
+    /// Exclusive access to the descriptor table.
+    pub fn fds_mut(&mut self) -> &mut FdTable {
+        &mut self.fds
+    }
+
+    /// The main thread's id.
+    pub fn main_tid(&self) -> Tid {
+        self.main_tid
+    }
+
+    /// Shared access to a thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchThread`] for an unknown thread id.
+    pub fn thread(&self, tid: Tid) -> SimResult<&Thread> {
+        self.threads.get(&tid.0).ok_or(SimError::NoSuchThread(self.pid, tid))
+    }
+
+    /// Exclusive access to a thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchThread`] for an unknown thread id.
+    pub fn thread_mut(&mut self, tid: Tid) -> SimResult<&mut Thread> {
+        self.threads.get_mut(&tid.0).ok_or(SimError::NoSuchThread(self.pid, tid))
+    }
+
+    /// Iterates over the process's threads.
+    pub fn threads(&self) -> impl Iterator<Item = &Thread> {
+        self.threads.values()
+    }
+
+    /// Iterates mutably over the process's threads.
+    pub fn threads_mut(&mut self) -> impl Iterator<Item = &mut Thread> {
+        self.threads.values_mut()
+    }
+
+    /// Number of threads (including exited ones still in the table).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    pub(crate) fn add_thread(&mut self, tid: Tid, name: impl Into<String>, creation_stack: Vec<String>) {
+        self.threads.insert(tid.0, Thread::new(tid, name, creation_stack));
+    }
+
+    /// Drops every thread except `tid` (exec-style single-thread reset).
+    pub fn retain_only_thread(&mut self, tid: Tid) {
+        self.threads.retain(|&t, _| t == tid.0);
+        self.main_tid = tid;
+    }
+
+    /// Whether the process has exited.
+    pub fn has_exited(&self) -> bool {
+        self.exit_code.is_some()
+    }
+
+    /// Exit code if the process has exited.
+    pub fn exit_code(&self) -> Option<i32> {
+        self.exit_code
+    }
+
+    pub(crate) fn set_exit(&mut self, code: i32) {
+        self.exit_code = Some(code);
+        for t in self.threads.values_mut() {
+            t.set_state(ThreadState::Exited);
+        }
+    }
+
+    /// Call stack of the fork that created this process.
+    pub fn creation_stack(&self) -> &[String] {
+        &self.creation_stack
+    }
+
+    /// Overrides the creation-time call stack (used by higher layers when the
+    /// initial process of a program is created outside a `fork`).
+    pub fn set_creation_stack(&mut self, stack: Vec<String>) {
+        self.creation_stack = stack;
+    }
+
+    /// Resident set size: total mapped bytes plus allocator metadata.
+    pub fn resident_bytes(&self) -> u64 {
+        let meta = self.heap.as_ref().map(|h| h.stats().metadata_bytes).unwrap_or(0)
+            + self.regions.stats().metadata_bytes;
+        self.space.mapped_bytes() + meta
+    }
+
+    /// True if every live (non-exited) thread is parked at a quiescent point.
+    pub fn is_quiescent(&self) -> bool {
+        self.threads
+            .values()
+            .filter(|t| !matches!(t.state(), ThreadState::Exited))
+            .all(|t| t.is_quiesced())
+    }
+
+    pub(crate) fn fork_into(&self, child_pid: Pid, child_main_tid: Tid, forking_tid: Tid) -> Process {
+        let forking_stack = self
+            .threads
+            .get(&forking_tid.0)
+            .map(|t| t.call_stack().to_vec())
+            .unwrap_or_default();
+        let mut threads = BTreeMap::new();
+        let mut main = Thread::new(child_main_tid, "main", forking_stack.clone());
+        main.set_call_stack(forking_stack.clone());
+        threads.insert(child_main_tid.0, main);
+        Process {
+            pid: child_pid,
+            ppid: Some(self.pid),
+            name: self.name.clone(),
+            space: self.space.clone(),
+            heap: self.heap.clone(),
+            regions: self.regions.clone(),
+            fds: self.fds.clone(),
+            threads,
+            main_tid: child_main_tid,
+            layout: self.layout,
+            exit_code: None,
+            creation_stack: forking_stack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{AllocSite, TypeTag};
+
+    fn proc_with_memory() -> Process {
+        let mut p = Process::new(Pid(1), None, "testd", Tid(1));
+        p.setup_memory(MemoryLayout::default(), true).unwrap();
+        p
+    }
+
+    #[test]
+    fn setup_memory_maps_standard_regions() {
+        let p = proc_with_memory();
+        assert_eq!(p.space().regions().count(), 4);
+        assert!(p.heap().is_some());
+        assert!(p.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn setup_memory_twice_fails() {
+        let mut p = proc_with_memory();
+        assert!(p.setup_memory(MemoryLayout::default(), false).is_err());
+    }
+
+    #[test]
+    fn thread_call_stack_and_profiles() {
+        let mut p = proc_with_memory();
+        let tid = p.main_tid();
+        {
+            let t = p.thread_mut(tid).unwrap();
+            t.push_frame("main");
+            t.push_frame("server_init");
+            assert_eq!(t.call_stack(), &["main".to_string(), "server_init".to_string()]);
+            t.pop_frame();
+            t.record_blocking("accept", 1_000);
+            t.record_blocking("accept", 500);
+            t.record_loop_iteration("main_loop");
+        }
+        let t = p.thread(tid).unwrap();
+        assert_eq!(t.blocking_profile()["accept"], 1_500);
+        assert_eq!(t.loop_profile()["main_loop"], 1);
+        assert!(p.thread(Tid(999)).is_err());
+    }
+
+    #[test]
+    fn quiescence_requires_all_threads() {
+        let mut p = proc_with_memory();
+        p.add_thread(Tid(2), "worker", vec!["main".into(), "spawn_workers".into()]);
+        assert!(!p.is_quiescent());
+        for t in p.threads_mut() {
+            t.set_state(ThreadState::Quiesced);
+        }
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn fork_copies_memory_and_fds() {
+        let mut p = proc_with_memory();
+        let addr = {
+            let (space, heap) = p.space_and_heap_mut().unwrap();
+            let a = heap.malloc(space, 64, AllocSite(1), TypeTag(1)).unwrap();
+            space.write_u64(a, 0x1234).unwrap();
+            a
+        };
+        p.fds_mut().alloc(crate::ids::ObjId(9));
+        {
+            let t = p.thread_mut(Tid(1)).unwrap();
+            t.push_frame("main");
+            t.push_frame("spawn_worker");
+        }
+        let child = p.fork_into(Pid(2), Tid(10), Tid(1));
+        assert_eq!(child.pid(), Pid(2));
+        assert_eq!(child.ppid(), Some(Pid(1)));
+        assert_eq!(child.space().read_u64(addr).unwrap(), 0x1234);
+        assert_eq!(child.fds().len(), 1);
+        assert_eq!(child.thread_count(), 1);
+        assert_eq!(child.creation_stack(), &["main".to_string(), "spawn_worker".to_string()]);
+        // Writes in the child do not affect the parent (copy semantics).
+        let mut child = child;
+        child.space_mut().write_u64(addr, 0x9999).unwrap();
+        assert_eq!(p.space().read_u64(addr).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn exit_marks_threads() {
+        let mut p = proc_with_memory();
+        p.set_exit(3);
+        assert!(p.has_exited());
+        assert_eq!(p.exit_code(), Some(3));
+        assert!(matches!(p.thread(Tid(1)).unwrap().state(), ThreadState::Exited));
+    }
+
+    #[test]
+    fn layout_slide_moves_private_regions_only() {
+        let a = MemoryLayout::with_slide(0);
+        let b = MemoryLayout::with_slide(0x10_0000);
+        assert_ne!(a.static_base, b.static_base);
+        assert_ne!(a.heap_base, b.heap_base);
+        assert_eq!(a.lib_base, b.lib_base, "libraries are prelinked at a fixed address");
+    }
+}

@@ -1,0 +1,80 @@
+//! # mcr-servers — simulated evaluation programs for MCR
+//!
+//! Models of the four server programs the paper evaluates — Apache httpd,
+//! nginx, vsftpd and the OpenSSH daemon — implemented against the
+//! [`mcr_core::Program`] API and running on the `mcr-procsim` substrate.
+//! Each program is described by a [`ServerSpec`] (process model, allocator
+//! family, library state, pointer-encoding idioms) and parameterized by a
+//! *generation* number selecting the release; later generations change data
+//! structure layouts and behaviour the way the paper's 40 updates do.
+//!
+//! ```rust
+//! use mcr_core::runtime::{boot, BootOptions};
+//! use mcr_procsim::Kernel;
+//! use mcr_servers::programs;
+//!
+//! # fn main() -> Result<(), mcr_core::McrError> {
+//! let mut kernel = Kernel::new();
+//! kernel.add_file("/etc/nginx.conf", b"worker_processes 2;".to_vec());
+//! let instance = boot(&mut kernel, Box::new(programs::nginx(1)), &BootOptions::default())?;
+//! assert_eq!(instance.state.processes.len(), 3); // master + 2 workers
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generic;
+pub mod spec;
+pub mod updates;
+
+pub use generic::{programs, GenericServer};
+pub use spec::{AllocatorModel, ProcessModel, ServerSpec};
+pub use updates::{generations_for, paper_catalog, totals, CatalogTotals, UpdateCatalogEntry};
+
+/// Installs the configuration files and served documents every simulated
+/// server expects into a kernel's file system.
+pub fn install_standard_files(kernel: &mut mcr_procsim::Kernel) {
+    for path in ["/etc/httpd.conf", "/etc/nginx.conf", "/etc/vsftpd.conf", "/etc/sshd_config"] {
+        kernel.add_file(path, b"workers=2\nloglevel=info\nkeepalive=on\n".to_vec());
+    }
+    kernel.add_file("/var/www/index.html", vec![b'x'; 1024]);
+    kernel.add_file("/var/ftp/large.bin", vec![b'y'; 1024 * 1024]);
+}
+
+/// Constructs a program model for `name` (one of `"httpd"`, `"nginx"`,
+/// `"vsftpd"`, `"sshd"`) at the given generation.
+///
+/// # Panics
+///
+/// Panics on an unknown program name.
+pub fn program_by_name(name: &str, generation: u32) -> GenericServer {
+    match name {
+        "httpd" => programs::httpd(generation),
+        "nginx" => programs::nginx(generation),
+        "vsftpd" => programs::vsftpd(generation),
+        "sshd" => programs::sshd(generation),
+        other => panic!("unknown program {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_by_name_covers_all_specs() {
+        for spec in ServerSpec::all() {
+            let p = program_by_name(&spec.name, 1);
+            assert_eq!(p.spec().name, spec.name);
+            assert_eq!(p.generation(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown program")]
+    fn unknown_program_panics() {
+        let _ = program_by_name("postfix", 1);
+    }
+}

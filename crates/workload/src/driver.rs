@@ -1,0 +1,224 @@
+//! Client-side workload drivers.
+//!
+//! These model the benchmarks the paper uses: the Apache benchmark (AB)
+//! issuing HTTP requests for a small file, the pyftpdlib FTP benchmark
+//! retrieving a large file over many user connections, and the OpenSSH
+//! regression suite opening authenticated sessions. Each driver issues
+//! requests through the simulated kernel's client API and drives the server
+//! instance's scheduler until responses arrive, measuring both wall-clock
+//! time (for overhead ratios) and simulated time.
+
+use std::time::{Duration, Instant};
+
+use mcr_core::runtime::{run_round, McrInstance};
+use mcr_core::McrResult;
+use mcr_procsim::{ConnId, Kernel, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Description of one client workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (for reports).
+    pub name: String,
+    /// Server port to connect to.
+    pub port: u16,
+    /// Number of requests to issue.
+    pub requests: u64,
+    /// Request payload sent per connection.
+    pub request: Vec<u8>,
+    /// Whether the client closes the connection after the response
+    /// (AB-style) or keeps it open (long-lived FTP/SSH sessions).
+    pub close_after_response: bool,
+    /// Number of long-lived idle connections opened before the measured
+    /// requests (the execution-stalling part of the profiling workload).
+    pub idle_connections: usize,
+}
+
+impl WorkloadSpec {
+    /// The Apache-benchmark-style HTTP workload (100k requests of a 1 KB
+    /// file in the paper; the count is a parameter here).
+    pub fn apache_bench(port: u16, requests: u64) -> Self {
+        WorkloadSpec {
+            name: "ab".into(),
+            port,
+            requests,
+            request: b"GET /index.html HTTP/1.0\r\nHost: localhost\r\n\r\n".to_vec(),
+            close_after_response: true,
+            idle_connections: 4,
+        }
+    }
+
+    /// The pyftpdlib-style FTP workload (100 users retrieving a 1 MB file).
+    pub fn ftp_bench(port: u16, requests: u64) -> Self {
+        WorkloadSpec {
+            name: "pyftpdlib".into(),
+            port,
+            requests,
+            request: b"USER anonymous\r\nPASS guest\r\nRETR /var/ftp/large.bin\r\n".to_vec(),
+            close_after_response: false,
+            idle_connections: 4,
+        }
+    }
+
+    /// The OpenSSH-test-suite-style workload (authenticated sessions
+    /// exchanging channel data).
+    pub fn ssh_suite(port: u16, requests: u64) -> Self {
+        WorkloadSpec {
+            name: "ssh-suite".into(),
+            port,
+            requests,
+            request: b"SSH-2.0-OpenSSH_3.5 key-exchange channel-open".to_vec(),
+            close_after_response: false,
+            idle_connections: 2,
+        }
+    }
+}
+
+/// The outcome of one workload run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkloadResult {
+    /// Requests that received a response.
+    pub completed: u64,
+    /// Requests that received no response within the round budget.
+    pub unanswered: u64,
+    /// Wall-clock time spent driving the workload (includes all simulator and
+    /// MCR instrumentation work, which is what Table 3 compares).
+    pub wall_time: Duration,
+    /// Simulated time elapsed.
+    pub sim_time: SimDuration,
+    /// Connections left open at the end of the run.
+    pub open_connections: Vec<ConnId>,
+}
+
+impl WorkloadResult {
+    /// Requests per wall-clock second (throughput proxy).
+    pub fn requests_per_second(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+/// Opens `n` idle connections to `port` without sending any request (the
+/// long-lived connections of the profiling workload and of the Figure 3
+/// experiment). The server accepts them on its next scheduling rounds.
+///
+/// # Errors
+///
+/// Fails if the port has no listener.
+pub fn open_idle_connections(
+    kernel: &mut Kernel,
+    instance: &mut McrInstance,
+    port: u16,
+    n: usize,
+) -> McrResult<Vec<ConnId>> {
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = kernel.client_connect(port).map_err(mcr_core::McrError::Sim)?;
+        kernel.client_send(c, b"KEEPALIVE".to_vec()).map_err(mcr_core::McrError::Sim)?;
+        conns.push(c);
+    }
+    // Let the server accept them all.
+    for _ in 0..(n + 2) {
+        run_round(kernel, instance)?;
+    }
+    Ok(conns)
+}
+
+/// Runs a workload against a booted server instance.
+///
+/// # Errors
+///
+/// Propagates server-side errors; client-side connect failures count as
+/// unanswered requests.
+pub fn run_workload(
+    kernel: &mut Kernel,
+    instance: &mut McrInstance,
+    spec: &WorkloadSpec,
+) -> McrResult<WorkloadResult> {
+    let mut result = WorkloadResult::default();
+    let wall_start = Instant::now();
+    let sim_start = kernel.now();
+
+    result.open_connections = open_idle_connections(kernel, instance, spec.port, spec.idle_connections)?;
+
+    for _ in 0..spec.requests {
+        let Ok(conn) = kernel.client_connect(spec.port) else {
+            result.unanswered += 1;
+            continue;
+        };
+        kernel.client_send(conn, spec.request.clone()).map_err(mcr_core::McrError::Sim)?;
+        let mut answered = false;
+        for _ in 0..4 {
+            run_round(kernel, instance)?;
+            if let Some(_reply) = kernel.client_recv(conn) {
+                answered = true;
+                break;
+            }
+        }
+        if answered {
+            result.completed += 1;
+        } else {
+            result.unanswered += 1;
+        }
+        if spec.close_after_response {
+            kernel.client_close(conn).map_err(mcr_core::McrError::Sim)?;
+        } else {
+            result.open_connections.push(conn);
+        }
+    }
+
+    result.wall_time = wall_start.elapsed();
+    result.sim_time = kernel.now().duration_since(sim_start);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_core::runtime::{boot, BootOptions};
+    use mcr_servers::{install_standard_files, programs};
+
+    #[test]
+    fn apache_bench_completes_against_nginx() {
+        let mut kernel = Kernel::new();
+        install_standard_files(&mut kernel);
+        let mut instance = boot(&mut kernel, Box::new(programs::nginx(1)), &BootOptions::default()).unwrap();
+        let spec = WorkloadSpec::apache_bench(8080, 20);
+        let result = run_workload(&mut kernel, &mut instance, &spec).unwrap();
+        assert_eq!(result.completed, 20);
+        assert_eq!(result.unanswered, 0);
+        assert!(result.sim_time.0 > 0);
+        assert!(result.requests_per_second() > 0.0);
+        // AB closes its measured connections; the idle ones stay open.
+        assert_eq!(result.open_connections.len(), spec.idle_connections);
+    }
+
+    #[test]
+    fn ftp_bench_keeps_sessions_open() {
+        let mut kernel = Kernel::new();
+        install_standard_files(&mut kernel);
+        let mut instance =
+            boot(&mut kernel, Box::new(programs::vsftpd(1)), &BootOptions::default()).unwrap();
+        let spec = WorkloadSpec::ftp_bench(21, 5);
+        let result = run_workload(&mut kernel, &mut instance, &spec).unwrap();
+        assert_eq!(result.completed, 5);
+        assert_eq!(result.open_connections.len(), spec.idle_connections + 5);
+        // One session process per accepted connection.
+        assert!(instance.state.processes.len() > 1);
+    }
+
+    #[test]
+    fn idle_connections_are_accepted() {
+        let mut kernel = Kernel::new();
+        install_standard_files(&mut kernel);
+        let mut instance = boot(&mut kernel, Box::new(programs::sshd(1)), &BootOptions::default()).unwrap();
+        let conns = open_idle_connections(&mut kernel, &mut instance, 22, 6).unwrap();
+        assert_eq!(conns.len(), 6);
+        assert!(conns.iter().all(|&c| kernel.client_is_accepted(c)));
+        assert_eq!(kernel.open_connection_count(), 6);
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the MCR reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the workspace-level
+//! examples and integration tests have a single dependency surface.
+
+pub use mcr_core as core;
+pub use mcr_procsim as procsim;
+pub use mcr_servers as servers;
+pub use mcr_typemeta as typemeta;
+pub use mcr_workload as workload;

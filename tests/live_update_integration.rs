@@ -1,0 +1,170 @@
+//! End-to-end integration tests spanning the whole workspace: simulated
+//! kernel, type metadata, MCR runtime, server models and workloads.
+
+use mcr_core::runtime::{boot, live_update, run_rounds, BootOptions, UpdateOptions};
+use mcr_core::{Conflict, QuiescenceProfiler};
+use mcr_procsim::Kernel;
+use mcr_servers::{install_standard_files, program_by_name, programs, ServerSpec};
+use mcr_typemeta::InstrumentationConfig;
+use mcr_workload::{open_idle_connections, run_workload, workload_for};
+
+fn booted(program: &str) -> (Kernel, mcr_core::McrInstance) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let instance =
+        boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+    (kernel, instance)
+}
+
+#[test]
+fn every_program_boots_serves_and_updates() {
+    for spec in ServerSpec::all() {
+        let (mut kernel, mut v1) = booted(&spec.name);
+        let workload = workload_for(&spec.name, 10);
+        let result = run_workload(&mut kernel, &mut v1, &workload).unwrap();
+        assert_eq!(result.completed, 10, "{} answered every request", spec.name);
+
+        let (v2, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(program_by_name(&spec.name, 2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(outcome.is_committed(), "{}: {:?}", spec.name, outcome.conflicts());
+        assert_eq!(v2.state.version, spec.version_string(2));
+        let report = outcome.report();
+        assert!(report.timings.total.0 > 0);
+        assert!(report.transfer.objects_transferred() > 0);
+    }
+}
+
+#[test]
+fn update_preserves_open_connections_and_identity_of_listener() {
+    let (mut kernel, mut v1) = booted("nginx");
+    run_workload(&mut kernel, &mut v1, &workload_for("nginx", 5)).unwrap();
+    let idle = open_idle_connections(&mut kernel, &mut v1, 8080, 20).unwrap();
+    assert_eq!(kernel.open_connection_count(), idle.len() + workload_for("nginx", 1).idle_connections);
+
+    let before = kernel.open_connection_count();
+    let (mut v2, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(programs::nginx(2)),
+        InstrumentationConfig::full(),
+        &UpdateOptions::default(),
+    );
+    assert!(outcome.is_committed(), "{:?}", outcome.conflicts());
+    // No connection was dropped by the update itself.
+    assert_eq!(kernel.open_connection_count(), before);
+    // The listener still accepts new clients without rebinding the port.
+    let c = kernel.client_connect(8080).unwrap();
+    kernel.client_send(c, b"GET /".to_vec()).unwrap();
+    run_rounds(&mut kernel, &mut v2, 3).unwrap();
+    assert!(kernel.client_recv(c).is_some());
+}
+
+#[test]
+fn quiescence_profile_matches_process_models() {
+    // Event-driven nginx: no volatile quiescent points (its rigorous event
+    // model is the paper's example of an update-friendly design).
+    let (mut kernel, mut nginx) = booted("nginx");
+    run_workload(&mut kernel, &mut nginx, &workload_for("nginx", 10)).unwrap();
+    let report = QuiescenceProfiler::analyze(&kernel, &nginx.state);
+    assert_eq!(report.volatile_points(), 0, "nginx has only persistent quiescent points");
+    assert!(report.short_lived_classes() >= 1, "daemonization helper");
+
+    // Process-per-connection vsftpd: session processes yield volatile points.
+    let (mut kernel, mut vsftpd) = booted("vsftpd");
+    run_workload(&mut kernel, &mut vsftpd, &workload_for("vsftpd", 5)).unwrap();
+    let report = QuiescenceProfiler::analyze(&kernel, &vsftpd.state);
+    assert!(report.volatile_points() >= 1, "per-connection sessions are volatile quiescent points");
+}
+
+#[test]
+fn chained_updates_across_three_generations_keep_state() {
+    let (mut kernel, mut instance) = booted("nginx");
+    let mut served = 0u64;
+    for generation in 2..=4u32 {
+        // Serve a couple of requests under the current generation.
+        run_workload(&mut kernel, &mut instance, &workload_for("nginx", 2)).unwrap();
+        // Each workload run opens `idle_connections` long-lived connections
+        // plus the measured requests; the server records all of them.
+        served += 2 + workload_for("nginx", 1).idle_connections as u64;
+        let opts = UpdateOptions {
+            layout_slide: 0x1_0000_0000 * u64::from(generation),
+            ..Default::default()
+        };
+        let (next, outcome) = live_update(
+            &mut kernel,
+            instance,
+            Box::new(programs::nginx(generation)),
+            InstrumentationConfig::full(),
+            &opts,
+        );
+        assert!(outcome.is_committed(), "generation {generation}: {:?}", outcome.conflicts());
+        instance = next;
+    }
+    // The `stats` global accumulated requests across all generations; the
+    // requests were handled by worker processes, each with its own copy of
+    // the global, and every copy was transferred at every update.
+    let stats = instance.state.statics.lookup("stats").unwrap().addr;
+    let requests: u64 = instance
+        .state
+        .processes
+        .iter()
+        .map(|&pid| kernel.process(pid).unwrap().space().read_u64(stats).unwrap())
+        .sum();
+    assert_eq!(requests, served, "request counter survived every update");
+}
+
+#[test]
+fn rollback_keeps_old_version_fully_functional() {
+    let (mut kernel, mut v1) = booted("vsftpd");
+    run_workload(&mut kernel, &mut v1, &workload_for("vsftpd", 8)).unwrap();
+    // Jumping two generations changes conn_s under non-updatable references.
+    let (mut survivor, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(programs::vsftpd(3)),
+        InstrumentationConfig::full(),
+        &UpdateOptions::default(),
+    );
+    assert!(!outcome.is_committed());
+    assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::NonUpdatableObjectChanged { .. })));
+    assert_eq!(survivor.state.version, "1.1.0");
+    // It still serves new sessions after rolling back.
+    let result = run_workload(&mut kernel, &mut survivor, &workload_for("vsftpd", 4)).unwrap();
+    assert_eq!(result.completed, 4);
+}
+
+#[test]
+fn annotation_free_deployment_rolls_back_for_per_connection_servers() {
+    // Without the control-migration extension for volatile quiescent points,
+    // per-connection session processes have no counterpart and the update
+    // must abort (and roll back cleanly).
+    let (mut kernel, mut v1) = booted("sshd");
+    run_workload(&mut kernel, &mut v1, &workload_for("sshd", 3)).unwrap();
+    let opts = UpdateOptions { recreate_unmatched_processes: false, ..Default::default() };
+    let (survivor, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(programs::sshd(2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    assert!(!outcome.is_committed());
+    assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::MissingCounterpart { .. })));
+    assert_eq!(survivor.state.version, "3.5p1");
+}
+
+#[test]
+fn baseline_build_cannot_quiesce_but_serves_normally() {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let opts = BootOptions { config: InstrumentationConfig::baseline(), ..Default::default() };
+    let mut instance = boot(&mut kernel, Box::new(programs::nginx(1)), &opts).unwrap();
+    let result = run_workload(&mut kernel, &mut instance, &workload_for("nginx", 5)).unwrap();
+    assert_eq!(result.completed, 5);
+    assert_eq!(instance.state.counters.quiescence_checks, 0);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! invariants the MCR design depends on.
+
+use mcr_core::callstack::CallStackId;
+use mcr_core::transfer::{apply_field_map, compute_field_map};
+use mcr_procsim::{Addr, AddressSpace, AllocSite, FdTable, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE};
+use mcr_typemeta::{Field, TypeRegistry};
+use proptest::prelude::*;
+
+const HEAP_BASE: u64 = 0x0800_0000;
+const HEAP_SIZE: u64 = 512 * PAGE_SIZE;
+
+fn fresh_heap(instrumented: bool) -> (AddressSpace, PtMalloc) {
+    let mut space = AddressSpace::new();
+    space.map_region(Addr(HEAP_BASE), HEAP_SIZE, RegionKind::Heap, "heap").unwrap();
+    (space, PtMalloc::new(Addr(HEAP_BASE), HEAP_SIZE, instrumented))
+}
+
+proptest! {
+    /// The allocator never hands out overlapping or unaligned chunks, and
+    /// frees make the memory reusable without corrupting live chunks.
+    #[test]
+    fn allocator_chunks_are_disjoint_and_aligned(
+        sizes in proptest::collection::vec(1u64..2048, 1..60),
+        free_mask in proptest::collection::vec(any::<bool>(), 1..60),
+        instrumented in any::<bool>(),
+    ) {
+        let (mut space, mut heap) = fresh_heap(instrumented);
+        heap.end_startup();
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let addr = heap.malloc(&mut space, size, AllocSite(i as u64), TypeTag(1)).unwrap();
+            prop_assert!(addr.is_aligned(16));
+            for &(other, osize) in &live {
+                let disjoint = addr.0 + size <= other.0 || other.0 + osize <= addr.0;
+                prop_assert!(disjoint, "chunk {addr} overlaps {other}");
+            }
+            live.push((addr, size));
+            if free_mask.get(i).copied().unwrap_or(false) && live.len() > 1 {
+                let (victim, _) = live.remove(0);
+                heap.free(&mut space, victim).unwrap();
+            }
+        }
+        // Every live chunk is still reported live by the allocator.
+        for &(addr, _) in &live {
+            prop_assert!(heap.is_live(addr));
+        }
+    }
+
+    /// Soft-dirty tracking is a sound over-approximation: every written page
+    /// is reported dirty after the write.
+    #[test]
+    fn soft_dirty_never_misses_a_write(
+        offsets in proptest::collection::vec(0u64..(64 * PAGE_SIZE - 8), 1..40),
+    ) {
+        let mut space = AddressSpace::new();
+        space.map_region(Addr(0x1000_0000), 64 * PAGE_SIZE, RegionKind::Heap, "h").unwrap();
+        space.clear_soft_dirty();
+        for &off in &offsets {
+            space.write_u64(Addr(0x1000_0000 + off), off).unwrap();
+        }
+        for &off in &offsets {
+            prop_assert!(space.is_dirty(Addr(0x1000_0000 + off)), "page of offset {off} not dirty");
+        }
+        prop_assert!(space.dirty_page_count() <= offsets.len() + offsets.len());
+    }
+
+    /// Descriptor allocation never reuses a number that is still open and the
+    /// reserved range never collides with ordinary allocation.
+    #[test]
+    fn fd_table_numbers_are_unique(ops in proptest::collection::vec(0u8..3, 1..80)) {
+        let mut table = FdTable::new();
+        let mut open = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => open.push(table.alloc(ObjId(i as u64))),
+                1 => open.push(table.alloc_reserved(ObjId(i as u64))),
+                _ => {
+                    if let Some(fd) = open.pop() {
+                        table.remove(fd).unwrap();
+                    }
+                }
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for &fd in &open {
+                prop_assert!(seen.insert(fd), "duplicate descriptor {fd}");
+                prop_assert!(table.contains(fd));
+            }
+        }
+    }
+
+    /// Call-stack IDs are deterministic and injective enough: permuting or
+    /// renaming frames changes the identifier.
+    #[test]
+    fn callstack_ids_distinguish_different_stacks(
+        frames in proptest::collection::vec("[a-z_]{1,12}", 1..8),
+    ) {
+        let id = CallStackId::from_frames(&frames);
+        prop_assert_eq!(id, CallStackId::from_frames(&frames));
+        let mut renamed = frames.clone();
+        renamed[0] = format!("{}_v2", renamed[0]);
+        prop_assert_ne!(id, CallStackId::from_frames(&renamed));
+        if frames.len() > 1 && frames[0] != frames[frames.len() - 1] {
+            let mut reversed = frames.clone();
+            reversed.reverse();
+            prop_assert_ne!(id, CallStackId::from_frames(&reversed));
+        }
+    }
+
+    /// Structural type transformation preserves the values of every field
+    /// that exists in both versions, regardless of added fields.
+    #[test]
+    fn field_map_preserves_common_fields(
+        values in proptest::collection::vec(any::<u32>(), 4),
+        add_front in any::<bool>(),
+        add_back in any::<bool>(),
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let mut old_reg = TypeRegistry::new();
+        let int_old = old_reg.int("int", 4);
+        let old_ty = old_reg.struct_type(
+            "s",
+            names.iter().map(|n| Field::new(*n, int_old)).collect(),
+        );
+        let mut new_reg = TypeRegistry::new();
+        let int_new = new_reg.int("int", 4);
+        let mut new_fields = Vec::new();
+        if add_front {
+            new_fields.push(Field::new("front", int_new));
+        }
+        for n in names {
+            new_fields.push(Field::new(n, int_new));
+        }
+        if add_back {
+            new_fields.push(Field::new("back", int_new));
+        }
+        let new_ty = new_reg.struct_type("s", new_fields);
+
+        let mut old_bytes = Vec::new();
+        for v in &values {
+            old_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let map = compute_field_map(&old_reg, old_ty, &new_reg, new_ty);
+        let new_bytes = apply_field_map(&map, &old_bytes);
+        let new_layout = new_reg.struct_layout(new_ty);
+        for (i, name) in names.iter().enumerate() {
+            let field = new_layout.iter().find(|f| &f.name == name).unwrap();
+            let off = field.offset as usize;
+            let got = u32::from_le_bytes(new_bytes[off..off + 4].try_into().unwrap());
+            prop_assert_eq!(got, values[i], "field {} lost its value", name);
+        }
+    }
+
+    /// Identity transformations round-trip arbitrary byte patterns.
+    #[test]
+    fn identity_field_map_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 8..256)) {
+        let size = (bytes.len() as u64 / 8) * 8;
+        let map = mcr_core::transfer::FieldMap::identity(size, &[]);
+        let out = apply_field_map(&map, &bytes[..size as usize]);
+        prop_assert_eq!(&out[..], &bytes[..size as usize]);
+    }
+}
