@@ -1,14 +1,14 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
 //! dirty-object tracking on/off and parallel vs sequential state transfer.
+//! Runs on the in-tree harness (`mcr_bench::BenchGroup`) because the build
+//! environment has no network access for Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcr_bench::{boot_program, run_standard_workload};
+use mcr_bench::{boot_program, run_standard_workload, BenchGroup};
 use mcr_core::runtime::{live_update, UpdateOptions};
 use mcr_core::TraceOptions;
 use mcr_servers::program_by_name;
 use mcr_typemeta::InstrumentationConfig;
 use mcr_workload::open_idle_connections;
-use std::time::Duration;
 
 fn update_duration(dirty_tracking: bool) -> (f64, f64) {
     let (mut kernel, mut v1) = boot_program("httpd", 1, InstrumentationConfig::full());
@@ -18,24 +18,23 @@ fn update_duration(dirty_tracking: bool) -> (f64, f64) {
         trace: TraceOptions { use_dirty_tracking: dirty_tracking, ..Default::default() },
         ..Default::default()
     };
-    let (_v2, outcome) =
-        live_update(&mut kernel, v1, Box::new(program_by_name("httpd", 2)), InstrumentationConfig::full(), &opts);
+    let (_v2, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name("httpd", 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
     assert!(outcome.is_committed());
     let r = outcome.report();
     (r.timings.state_transfer.as_millis_f64(), r.timings.state_transfer_serial.as_millis_f64())
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let mut group = BenchGroup::new("ablation");
     for dirty in [true, false] {
         let label = if dirty { "dirty-tracking-on" } else { "dirty-tracking-off" };
-        group.bench_with_input(BenchmarkId::new("httpd_update", label), &dirty, |b, &dirty| {
-            b.iter(|| update_duration(dirty));
-        });
+        group.bench(format!("httpd_update/{label}"), move || update_duration(dirty));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

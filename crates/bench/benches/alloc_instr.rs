@@ -1,26 +1,18 @@
-//! Criterion benchmark behind the SPEC-style allocator experiment.
+//! Benchmark behind the SPEC-style allocator experiment. Runs on the in-tree
+//! harness (`mcr_bench::BenchGroup`) because the build environment has no
+//! network access for Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcr_bench::BenchGroup;
 use mcr_workload::{run_alloc_bench, AllocBenchSpec};
-use std::time::Duration;
 
-fn bench_alloc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alloc_instrumentation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let mut group = BenchGroup::new("alloc_instrumentation");
     for spec in AllocBenchSpec::spec_suite(5) {
         for instrumented in [false, true] {
             let label = if instrumented { "instr" } else { "base" };
-            group.bench_with_input(
-                BenchmarkId::new(&spec.name, label),
-                &(spec.clone(), instrumented),
-                |b, (spec, instrumented)| {
-                    b.iter(|| run_alloc_bench(spec, *instrumented));
-                },
-            );
+            let spec = spec.clone();
+            group.bench(format!("{}/{label}", spec.name), move || run_alloc_bench(&spec, instrumented));
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_alloc);
-criterion_main!(benches);

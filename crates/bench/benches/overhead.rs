@@ -1,39 +1,26 @@
-//! Criterion benchmark behind Table 3: the standard workload at each
-//! cumulative instrumentation level.
+//! Benchmark behind Table 3: the standard workload at each cumulative
+//! instrumentation level. Runs on the in-tree harness (`mcr_bench::BenchGroup`)
+//! because the build environment has no network access for Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcr_bench::{boot_program, run_standard_workload};
+use mcr_bench::{boot_program, run_standard_workload, BenchGroup};
 use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
-use std::time::Duration;
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let mut group = BenchGroup::new("table3_overhead");
     for program in ["httpd", "nginx", "vsftpd", "sshd"] {
         for level in [InstrumentationLevel::Baseline, InstrumentationLevel::QuiescenceDetection] {
-            group.bench_with_input(
-                BenchmarkId::new(program, level.label()),
-                &(program, level),
-                |b, &(program, level)| {
-                    b.iter(|| {
-                        let (mut kernel, mut instance) =
-                            boot_program(program, 1, InstrumentationConfig::at_level(level));
-                        run_standard_workload(&mut kernel, &mut instance, program, 50)
-                    });
-                },
-            );
+            group.bench(format!("{program}/{}", level.label()), || {
+                let (mut kernel, mut instance) =
+                    boot_program(program, 1, InstrumentationConfig::at_level(level));
+                run_standard_workload(&mut kernel, &mut instance, program, 50)
+            });
         }
     }
     // The nginxreg configuration (instrumented region allocator).
-    group.bench_function("nginxreg/+QDet", |b| {
-        b.iter(|| {
-            let (mut kernel, mut instance) =
-                boot_program("nginx", 1, InstrumentationConfig::full_with_region_instrumentation());
-            run_standard_workload(&mut kernel, &mut instance, "nginx", 50)
-        });
+    group.bench("nginxreg/+QDet", || {
+        let (mut kernel, mut instance) =
+            boot_program("nginx", 1, InstrumentationConfig::full_with_region_instrumentation());
+        run_standard_workload(&mut kernel, &mut instance, "nginx", 50)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -1,32 +1,21 @@
-//! Criterion benchmark behind Figure 3: full live updates with a growing
-//! number of open connections.
+//! Benchmark behind Figure 3: full live updates with a growing number of
+//! open connections. Runs on the in-tree harness (`mcr_bench::BenchGroup`)
+//! because the build environment has no network access for Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcr_bench::update_with_connections;
+use mcr_bench::{update_with_connections, BenchGroup};
 use mcr_typemeta::InstrumentationConfig;
-use std::time::Duration;
 
-fn bench_state_transfer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_state_transfer");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let mut group = BenchGroup::new("fig3_state_transfer");
     for program in ["nginx", "vsftpd"] {
         for connections in [0usize, 10, 25] {
-            group.bench_with_input(
-                BenchmarkId::new(program, connections),
-                &(program, connections),
-                |b, &(program, connections)| {
-                    b.iter(|| {
-                        let outcome =
-                            update_with_connections(program, 1, 5, connections, InstrumentationConfig::full());
-                        assert!(outcome.is_committed());
-                        outcome.report().timings.state_transfer
-                    });
-                },
-            );
+            group.bench(format!("{program}/{connections}"), || {
+                let outcome =
+                    update_with_connections(program, 1, 5, connections, InstrumentationConfig::full());
+                assert!(outcome.is_committed());
+                outcome.report().timings.state_transfer
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_state_transfer);
-criterion_main!(benches);

@@ -1,22 +1,16 @@
-//! Criterion benchmark behind Table 2: mutable tracing of a loaded server.
+//! Benchmark behind Table 2: mutable tracing of a loaded server. Runs on the
+//! in-tree harness (`mcr_bench::BenchGroup`) because the build environment
+//! has no network access for Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcr_bench::{boot_program, run_standard_workload, trace_instance};
+use mcr_bench::{boot_program, run_standard_workload, trace_instance, BenchGroup};
 use mcr_typemeta::InstrumentationConfig;
-use std::time::Duration;
 
-fn bench_tracing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_tracing");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+fn main() {
+    let mut group = BenchGroup::new("table2_tracing");
     for program in ["httpd", "nginx", "vsftpd", "sshd"] {
         let (mut kernel, mut instance) = boot_program(program, 1, InstrumentationConfig::full());
         run_standard_workload(&mut kernel, &mut instance, program, 50);
-        group.bench_with_input(BenchmarkId::from_parameter(program), &(), |b, ()| {
-            b.iter(|| trace_instance(&kernel, &instance));
-        });
+        group.bench(program, || trace_instance(&kernel, &instance));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_tracing);
-criterion_main!(benches);

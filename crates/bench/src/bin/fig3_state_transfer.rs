@@ -1,5 +1,12 @@
 //! Regenerates Figure 3: state-transfer time vs. number of open connections.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Figure 3 — state transfer time vs open connections");
-    print!("{}", mcr_bench::figure3_report(&[0, 10, 25, 50, 75, 100], 10));
+    let connections = [0, 10, 25, 50, 75, 100];
+    let rows = mcr_bench::figure3_rows(&connections, 10);
+    eprintln!("Figure 3 — state transfer time vs open connections");
+    eprint!("{}", mcr_bench::figure3_render(&rows, &connections));
+    println!("{}", mcr_bench::figure3_json(&rows).render());
 }

@@ -1,5 +1,11 @@
 //! Regenerates the memory-usage evaluation of §8.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Memory usage: MCR-instrumented resident set vs baseline");
-    print!("{}", mcr_bench::memory_report(50));
+    let rows = mcr_bench::memory_rows(50);
+    eprintln!("Memory usage: MCR-instrumented resident set vs baseline");
+    eprint!("{}", mcr_bench::memory_render(&rows));
+    println!("{}", mcr_bench::memory_json(&rows).render());
 }

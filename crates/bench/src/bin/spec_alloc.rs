@@ -1,5 +1,11 @@
 //! Regenerates the SPEC CPU2006-style allocator instrumentation experiment.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Allocator instrumentation overhead (SPEC-style microbenchmarks)");
-    print!("{}", mcr_bench::spec_alloc_report(20, 3));
+    let rows = mcr_bench::spec_alloc_rows(20, 3);
+    eprintln!("Allocator instrumentation overhead (SPEC-style microbenchmarks)");
+    eprint!("{}", mcr_bench::spec_alloc_render(&rows));
+    println!("{}", mcr_bench::spec_alloc_json(&rows).render());
 }

@@ -1,5 +1,11 @@
 //! Regenerates Table 1: programs, updates and engineering effort.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Table 1 — programs, updates and engineering effort");
-    print!("{}", mcr_bench::table1_report(20));
+    let rows = mcr_bench::table1_rows(20);
+    eprintln!("Table 1 — programs, updates and engineering effort");
+    eprint!("{}", mcr_bench::table1_render(&rows));
+    println!("{}", mcr_bench::table1_json(&rows).render());
 }

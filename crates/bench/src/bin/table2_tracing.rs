@@ -1,5 +1,11 @@
 //! Regenerates Table 2: mutable tracing statistics after the benchmarks.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Table 2 — mutable tracing statistics (precise vs likely pointers)");
-    print!("{}", mcr_bench::table2_report(30));
+    let rows = mcr_bench::table2_rows(30);
+    eprintln!("Table 2 — mutable tracing statistics (precise vs likely pointers)");
+    eprint!("{}", mcr_bench::table2_render(&rows));
+    println!("{}", mcr_bench::table2_json(&rows).render());
 }

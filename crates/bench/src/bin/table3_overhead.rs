@@ -1,5 +1,11 @@
 //! Regenerates Table 3: run-time overhead normalized against the baseline.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Table 3 — run-time overhead normalized against the baseline");
-    print!("{}", mcr_bench::table3_report(200, 3));
+    let rows = mcr_bench::table3_rows(200, 3);
+    eprintln!("Table 3 — run-time overhead normalized against the baseline");
+    eprint!("{}", mcr_bench::table3_render(&rows));
+    println!("{}", mcr_bench::table3_json(&rows).render());
 }

@@ -1,6 +1,12 @@
 //! Regenerates the update-time breakdown of §8 (quiescence, control
-//! migration, state transfer).
+//! migration, state transfer), including the per-phase pipeline trace.
+//!
+//! Emits the machine-readable JSON document to stdout and the human-readable
+//! table to stderr, so the output can be piped into analysis tooling.
+
 fn main() {
-    println!("Update time breakdown (quiescence / control migration / state transfer)");
-    print!("{}", mcr_bench::update_time_report(20));
+    let rows = mcr_bench::update_time_rows(20);
+    eprintln!("Update time breakdown (quiescence / control migration / state transfer)");
+    eprint!("{}", mcr_bench::update_time_render(&rows));
+    println!("{}", mcr_bench::update_time_json(&rows).render());
 }

@@ -1,30 +1,44 @@
 //! # mcr-bench — harnesses regenerating every table and figure of the paper
 //!
-//! Each public function reproduces one experiment of the evaluation section
-//! (§8) against the simulated servers and returns the formatted rows it
-//! prints, so the binaries under `src/bin/` stay thin and the Criterion
-//! benches can reuse the same building blocks.
+//! Each experiment of the evaluation section (§8) is split into three layers
+//! so the binaries under `src/bin/` and the `benches/` targets can share one
+//! implementation:
 //!
-//! | Experiment | Function | Binary |
+//! * a `*_rows` function that runs the experiment against the simulated
+//!   servers and returns structured rows;
+//! * a `*_report` function that renders those rows as the human-readable
+//!   table (what the smoke tests assert on);
+//! * a `*_json` function that renders the same rows as a machine-readable
+//!   [`Json`] document (what the binaries emit to stdout).
+//!
+//! | Experiment | Rows | Binary |
 //! |---|---|---|
-//! | Table 1 (programs, updates, engineering effort) | [`table1_report`] | `table1_effort` |
-//! | Table 2 (mutable tracing statistics) | [`table2_report`] | `table2_tracing` |
-//! | Table 3 (run-time overhead) | [`table3_report`] | `table3_overhead` |
-//! | SPEC-style allocator microbenchmark | [`spec_alloc_report`] | `spec_alloc` |
-//! | Update time (quiescence / control migration / state transfer) | [`update_time_report`] | `update_time` |
-//! | Figure 3 (state-transfer time vs. open connections) | [`figure3_report`] | `fig3_state_transfer` |
-//! | Memory usage | [`memory_report`] | `memory_usage` |
+//! | Table 1 (programs, updates, engineering effort) | [`table1_rows`] | `table1_effort` |
+//! | Table 2 (mutable tracing statistics) | [`table2_rows`] | `table2_tracing` |
+//! | Table 3 (run-time overhead) | [`table3_rows`] | `table3_overhead` |
+//! | SPEC-style allocator microbenchmark | [`spec_alloc_rows`] | `spec_alloc` |
+//! | Update time (per pipeline phase) | [`update_time_rows`] | `update_time` |
+//! | Figure 3 (state-transfer time vs. open connections) | [`figure3_series`] | `fig3_state_transfer` |
+//! | Memory usage | [`memory_rows`] | `memory_usage` |
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 
-use mcr_core::runtime::{boot, live_update, BootOptions, McrInstance, MemoryReport, UpdateOptions, UpdateOutcome};
+use mcr_core::runtime::{
+    boot, live_update, BootOptions, McrInstance, MemoryReport, UpdateOptions, UpdateOutcome,
+};
 use mcr_core::{QuiescenceProfiler, TraceOptions, TracingStats};
 use mcr_procsim::Kernel;
 use mcr_servers::{install_standard_files, paper_catalog, program_by_name};
 use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
 use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
+
+pub mod json;
+pub mod microbench;
+
+pub use json::Json;
+pub use microbench::{BenchGroup, BenchResult};
 
 /// The four evaluated program names, in the paper's order.
 pub const PROGRAMS: [&str; 4] = ["httpd", "nginx", "vsftpd", "sshd"];
@@ -50,7 +64,12 @@ pub fn boot_program(program: &str, generation: u32, config: InstrumentationConfi
 /// # Panics
 ///
 /// Panics if the workload cannot run.
-pub fn run_standard_workload(kernel: &mut Kernel, instance: &mut McrInstance, program: &str, requests: u64) -> f64 {
+pub fn run_standard_workload(
+    kernel: &mut Kernel,
+    instance: &mut McrInstance,
+    program: &str,
+    requests: u64,
+) -> f64 {
     let spec = workload_for(program, requests);
     let result = run_workload(kernel, instance, &spec).expect("workload runs");
     result.wall_time.as_secs_f64().max(1e-9)
@@ -100,210 +119,567 @@ pub fn trace_instance(kernel: &Kernel, instance: &McrInstance) -> TracingStats {
 // Table 1 — programs, updates and engineering effort
 // ---------------------------------------------------------------------------
 
-/// Regenerates Table 1: quiescence-profiling results measured on the
-/// simulated programs next to the update-catalogue and engineering-effort
-/// figures the paper reports.
-pub fn table1_report(profile_requests: u64) -> String {
+/// One row of Table 1: measured quiescence profile next to the catalogued
+/// update and engineering-effort figures.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Program (or `"Total"` for the footer row).
+    pub program: String,
+    /// Short-lived process classes.
+    pub short_lived: usize,
+    /// Long-lived process/thread classes.
+    pub long_lived: usize,
+    /// Quiescent points found by the profiler.
+    pub quiescent_points: usize,
+    /// Persistent quiescent points.
+    pub persistent_points: usize,
+    /// Volatile quiescent points.
+    pub volatile_points: usize,
+    /// Number of catalogued updates.
+    pub updates: u64,
+    /// Changed LOC across the updates.
+    pub changed_loc: u64,
+    /// Changed functions.
+    pub changed_functions: u64,
+    /// Changed variables.
+    pub changed_variables: u64,
+    /// Changed types.
+    pub changed_types: u64,
+    /// Annotation LOC needed to MCR-enable the program.
+    pub annotation_loc: u64,
+    /// State-transfer callback LOC.
+    pub state_transfer_loc: u64,
+}
+
+/// Runs the Table 1 experiment: quiescence-profiles every program under the
+/// standard workload and joins the result with the paper's update catalogue.
+/// The last row is the `Total` footer.
+pub fn table1_rows(profile_requests: u64) -> Vec<Table1Row> {
+    let catalog = paper_catalog();
+    let mut rows = Vec::new();
+    for program in PROGRAMS {
+        let (mut kernel, mut instance) = boot_program(program, 1, InstrumentationConfig::full());
+        run_standard_workload(&mut kernel, &mut instance, program, profile_requests);
+        let report = QuiescenceProfiler::analyze(&kernel, &instance.state);
+        let entry = catalog.iter().find(|e| e.program == program).expect("catalogued program");
+        rows.push(Table1Row {
+            program: program.to_string(),
+            short_lived: report.short_lived_classes(),
+            long_lived: report.long_lived_classes(),
+            quiescent_points: report.quiescent_points(),
+            persistent_points: report.persistent_points(),
+            volatile_points: report.volatile_points(),
+            updates: u64::from(entry.updates),
+            changed_loc: u64::from(entry.changed_loc),
+            changed_functions: u64::from(entry.changed_functions),
+            changed_variables: u64::from(entry.changed_variables),
+            changed_types: u64::from(entry.changed_types),
+            annotation_loc: instance.state.annotations.annotation_loc().max(u64::from(entry.annotation_loc)),
+            state_transfer_loc: u64::from(entry.state_transfer_loc),
+        });
+    }
+    let total = Table1Row {
+        program: "Total".to_string(),
+        short_lived: rows.iter().map(|r| r.short_lived).sum(),
+        long_lived: rows.iter().map(|r| r.long_lived).sum(),
+        quiescent_points: rows.iter().map(|r| r.quiescent_points).sum(),
+        persistent_points: rows.iter().map(|r| r.persistent_points).sum(),
+        volatile_points: rows.iter().map(|r| r.volatile_points).sum(),
+        updates: rows.iter().map(|r| r.updates).sum(),
+        changed_loc: rows.iter().map(|r| r.changed_loc).sum(),
+        changed_functions: rows.iter().map(|r| r.changed_functions).sum(),
+        changed_variables: rows.iter().map(|r| r.changed_variables).sum(),
+        changed_types: rows.iter().map(|r| r.changed_types).sum(),
+        annotation_loc: {
+            let t = mcr_servers::totals(&catalog);
+            u64::from(t.annotation_loc)
+        },
+        state_transfer_loc: rows.iter().map(|r| r.state_transfer_loc).sum(),
+    };
+    rows.push(total);
+    rows
+}
+
+/// Renders Table 1 rows as the human-readable table.
+pub fn table1_render(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<10} | {:>3} {:>3} {:>3} {:>4} {:>4} | {:>4} {:>7} | {:>5} {:>4} {:>5} | {:>8} {:>7}",
         "program", "SL", "LL", "QP", "Per", "Vol", "Num", "LOC", "Fun", "Var", "Type", "Ann LOC", "ST LOC"
     );
-    let catalog = paper_catalog();
-    let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize);
-    for program in PROGRAMS {
-        let (mut kernel, mut instance) = boot_program(program, 1, InstrumentationConfig::full());
-        run_standard_workload(&mut kernel, &mut instance, program, profile_requests);
-        let report = QuiescenceProfiler::analyze(&kernel, &instance.state);
-        let entry = catalog.iter().find(|e| e.program == program).expect("catalogued program");
-        let (sl, ll, qp, per, vol) = (
-            report.short_lived_classes(),
-            report.long_lived_classes(),
-            report.quiescent_points(),
-            report.persistent_points(),
-            report.volatile_points(),
-        );
-        totals.0 += sl;
-        totals.1 += ll;
-        totals.2 += qp;
-        totals.3 += per;
-        totals.4 += vol;
+    for r in rows {
         let _ = writeln!(
             out,
             "{:<10} | {:>3} {:>3} {:>3} {:>4} {:>4} | {:>4} {:>7} | {:>5} {:>4} {:>5} | {:>8} {:>7}",
-            program,
-            sl,
-            ll,
-            qp,
-            per,
-            vol,
-            entry.updates,
-            entry.changed_loc,
-            entry.changed_functions,
-            entry.changed_variables,
-            entry.changed_types,
-            instance.state.annotations.annotation_loc().max(u64::from(entry.annotation_loc)),
-            entry.state_transfer_loc,
+            r.program,
+            r.short_lived,
+            r.long_lived,
+            r.quiescent_points,
+            r.persistent_points,
+            r.volatile_points,
+            r.updates,
+            r.changed_loc,
+            r.changed_functions,
+            r.changed_variables,
+            r.changed_types,
+            r.annotation_loc,
+            r.state_transfer_loc,
         );
     }
-    let t = mcr_servers::totals(&catalog);
     let _ = writeln!(
         out,
-        "{:<10} | {:>3} {:>3} {:>3} {:>4} {:>4} | {:>4} {:>7} | {:>5} {:>4} {:>5} | {:>8} {:>7}",
-        "Total", totals.0, totals.1, totals.2, totals.3, totals.4,
-        t.updates, t.changed_loc, t.changed_functions, t.changed_variables, t.changed_types,
-        t.annotation_loc, t.state_transfer_loc
+        "(paper totals: SL 6, LL 18, QP 18, Per 9, Vol 9, 40 updates, 40725 LOC, Ann 334, ST 793)"
     );
-    let _ = writeln!(out, "(paper totals: SL 6, LL 18, QP 18, Per 9, Vol 9, 40 updates, 40725 LOC, Ann 334, ST 793)");
     out
+}
+
+/// Regenerates Table 1 as a human-readable table.
+pub fn table1_report(profile_requests: u64) -> String {
+    table1_render(&table1_rows(profile_requests))
+}
+
+/// Renders Table 1 rows as JSON.
+pub fn table1_json(rows: &[Table1Row]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("table1_effort")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("program", Json::str(&r.program)),
+                            ("short_lived", r.short_lived.into()),
+                            ("long_lived", r.long_lived.into()),
+                            ("quiescent_points", r.quiescent_points.into()),
+                            ("persistent_points", r.persistent_points.into()),
+                            ("volatile_points", r.volatile_points.into()),
+                            ("updates", r.updates.into()),
+                            ("changed_loc", r.changed_loc.into()),
+                            ("changed_functions", r.changed_functions.into()),
+                            ("changed_variables", r.changed_variables.into()),
+                            ("changed_types", r.changed_types.into()),
+                            ("annotation_loc", r.annotation_loc.into()),
+                            ("state_transfer_loc", r.state_transfer_loc.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 // ---------------------------------------------------------------------------
 // Table 2 — mutable tracing statistics
 // ---------------------------------------------------------------------------
 
-/// Regenerates Table 2: precise and likely pointers by source/target region,
-/// aggregated after the execution of the standard workload. `nginxreg` is
-/// nginx with its region allocator instrumented.
-pub fn table2_report(requests: u64) -> String {
+/// One row of Table 2: tracing statistics for one program configuration.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Row label (`nginxreg` is nginx with its region allocator instrumented).
+    pub label: String,
+    /// Aggregated tracing statistics after the standard workload.
+    pub stats: TracingStats,
+}
+
+/// Runs the Table 2 experiment for every program (plus `nginxreg`).
+pub fn table2_rows(requests: u64) -> Vec<Table2Row> {
+    let mut configs: Vec<(String, &str, InstrumentationConfig)> =
+        PROGRAMS.iter().map(|&p| (p.to_string(), p, InstrumentationConfig::full())).collect();
+    configs.insert(
+        2,
+        ("nginxreg".to_string(), "nginx", InstrumentationConfig::full_with_region_instrumentation()),
+    );
+    configs
+        .into_iter()
+        .map(|(label, program, config)| {
+            let (mut kernel, mut instance) = boot_program(program, 1, config);
+            run_standard_workload(&mut kernel, &mut instance, program, requests);
+            let stats = trace_instance(&kernel, &instance);
+            Table2Row { label, stats }
+        })
+        .collect()
+}
+
+/// Renders Table 2 rows as the human-readable table.
+pub fn table2_render(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>7}",
-        "program", "prec", "p.srcSt", "p.srcDy", "p.tgLib", "likely", "l.srcSt", "l.srcDy", "l.tgLib", "immut", "immut%"
+        "program",
+        "prec",
+        "p.srcSt",
+        "p.srcDy",
+        "p.tgLib",
+        "likely",
+        "l.srcSt",
+        "l.srcDy",
+        "l.tgLib",
+        "immut",
+        "immut%"
     );
-    let mut configs: Vec<(String, &str, InstrumentationConfig)> = PROGRAMS
-        .iter()
-        .map(|&p| (p.to_string(), p, InstrumentationConfig::full()))
-        .collect();
-    configs.insert(2, ("nginxreg".to_string(), "nginx", InstrumentationConfig::full_with_region_instrumentation()));
-    for (label, program, config) in configs {
-        let (mut kernel, mut instance) = boot_program(program, 1, config);
-        run_standard_workload(&mut kernel, &mut instance, program, requests);
-        let stats = trace_instance(&kernel, &instance);
+    for r in rows {
+        let s = &r.stats;
         let _ = writeln!(
             out,
             "{:<10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6.1}%",
-            label,
-            stats.precise.total,
-            stats.precise.src_static,
-            stats.precise.src_dynamic,
-            stats.precise.targ_lib,
-            stats.likely.total,
-            stats.likely.src_static,
-            stats.likely.src_dynamic,
-            stats.likely.targ_lib,
-            stats.immutable_objects,
-            stats.immutable_fraction() * 100.0,
+            r.label,
+            s.precise.total,
+            s.precise.src_static,
+            s.precise.src_dynamic,
+            s.precise.targ_lib,
+            s.likely.total,
+            s.likely.src_static,
+            s.likely.src_dynamic,
+            s.likely.targ_lib,
+            s.immutable_objects,
+            s.immutable_fraction() * 100.0,
         );
     }
     let _ = writeln!(out, "(paper: httpd 2373 precise / 16252 likely; nginx 1242/4049; nginxreg 2049/3522; vsftpd 149/6; sshd 237/56)");
     out
 }
 
+/// Regenerates Table 2 as a human-readable table.
+pub fn table2_report(requests: u64) -> String {
+    table2_render(&table2_rows(requests))
+}
+
+/// Renders Table 2 rows as JSON.
+pub fn table2_json(rows: &[Table2Row]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("table2_tracing")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        let s = &r.stats;
+                        Json::obj([
+                            ("program", Json::str(&r.label)),
+                            (
+                                "precise",
+                                Json::obj([
+                                    ("total", s.precise.total.into()),
+                                    ("src_static", s.precise.src_static.into()),
+                                    ("src_dynamic", s.precise.src_dynamic.into()),
+                                    ("targ_lib", s.precise.targ_lib.into()),
+                                ]),
+                            ),
+                            (
+                                "likely",
+                                Json::obj([
+                                    ("total", s.likely.total.into()),
+                                    ("src_static", s.likely.src_static.into()),
+                                    ("src_dynamic", s.likely.src_dynamic.into()),
+                                    ("targ_lib", s.likely.targ_lib.into()),
+                                ]),
+                            ),
+                            ("immutable_objects", s.immutable_objects.into()),
+                            ("immutable_fraction", Json::Num(s.immutable_fraction())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // Table 3 — run-time overhead
 // ---------------------------------------------------------------------------
 
-/// Regenerates Table 3: run time of the standard benchmark normalized
-/// against the uninstrumented baseline, for each cumulative instrumentation
-/// level (plus the `nginxreg` configuration).
-pub fn table3_report(requests: u64, repeats: u32) -> String {
+/// One row of Table 3: normalized run time per cumulative instrumentation
+/// level.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Row label (`nginxreg` is nginx with region-allocator instrumentation).
+    pub label: String,
+    /// Run time at each level beyond baseline, normalized against baseline:
+    /// `[Unblock, +SInstr, +DInstr, +QDet]`.
+    pub normalized: [f64; 4],
+}
+
+/// Runs the Table 3 experiment: the standard workload at every cumulative
+/// instrumentation level, `repeats` times each, keeping the median.
+pub fn table3_rows(requests: u64, repeats: u32) -> Vec<Table3Row> {
+    let mut rows: Vec<(String, &str, bool)> = PROGRAMS.iter().map(|&p| (p.to_string(), p, false)).collect();
+    rows.insert(2, ("nginxreg".to_string(), "nginx", true));
+    rows.into_iter()
+        .map(|(label, program, region_instr)| {
+            let mut medians = Vec::new();
+            for level in InstrumentationLevel::ALL {
+                let mut samples = Vec::new();
+                for _ in 0..repeats.max(1) {
+                    let config = InstrumentationConfig {
+                        level,
+                        instrument_region_allocator: region_instr
+                            && level >= InstrumentationLevel::StaticInstr,
+                    };
+                    let (mut kernel, mut instance) = boot_program(program, 1, config);
+                    samples.push(run_standard_workload(&mut kernel, &mut instance, program, requests));
+                }
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                medians.push(samples[samples.len() / 2]);
+            }
+            let baseline = medians[0];
+            Table3Row {
+                label,
+                normalized: [
+                    medians[1] / baseline,
+                    medians[2] / baseline,
+                    medians[3] / baseline,
+                    medians[4] / baseline,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 3 rows as the human-readable table.
+pub fn table3_render(rows: &[Table3Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<10} | {:>8} {:>8} {:>8} {:>8}",
         "program", "Unblock", "+SInstr", "+DInstr", "+QDet"
     );
-    let mut rows: Vec<(String, &str, bool)> = PROGRAMS.iter().map(|&p| (p.to_string(), p, false)).collect();
-    rows.insert(2, ("nginxreg".to_string(), "nginx", true));
-    for (label, program, region_instr) in rows {
-        let mut medians = Vec::new();
-        for level in InstrumentationLevel::ALL {
-            let mut samples = Vec::new();
-            for _ in 0..repeats.max(1) {
-                let config = InstrumentationConfig {
-                    level,
-                    instrument_region_allocator: region_instr && level >= InstrumentationLevel::StaticInstr,
-                };
-                let (mut kernel, mut instance) = boot_program(program, 1, config);
-                samples.push(run_standard_workload(&mut kernel, &mut instance, program, requests));
-            }
-            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            medians.push(samples[samples.len() / 2]);
-        }
-        let baseline = medians[0];
+    for r in rows {
         let _ = writeln!(
             out,
             "{:<10} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            label,
-            medians[1] / baseline,
-            medians[2] / baseline,
-            medians[3] / baseline,
-            medians[4] / baseline,
+            r.label, r.normalized[0], r.normalized[1], r.normalized[2], r.normalized[3],
         );
     }
     let _ = writeln!(out, "(paper: httpd 0.977/1.040/1.043/1.047, nginx 1.000 across, nginxreg 1.000/1.175/1.192/1.186, vsftpd ~1.03, sshd ~1.00)");
     out
 }
 
+/// Regenerates Table 3 as a human-readable table.
+pub fn table3_report(requests: u64, repeats: u32) -> String {
+    table3_render(&table3_rows(requests, repeats))
+}
+
+/// Renders Table 3 rows as JSON.
+pub fn table3_json(rows: &[Table3Row]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("table3_overhead")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("program", Json::str(&r.label)),
+                            ("unblockified", Json::Num(r.normalized[0])),
+                            ("static_instr", Json::Num(r.normalized[1])),
+                            ("dynamic_instr", Json::Num(r.normalized[2])),
+                            ("quiescence_detection", Json::Num(r.normalized[3])),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // SPEC-style allocator microbenchmark (§8, in-text)
 // ---------------------------------------------------------------------------
 
-/// Regenerates the SPEC CPU2006-style allocator-instrumentation experiment.
-pub fn spec_alloc_report(scale: u64, repeats: u32) -> String {
+/// One row of the SPEC-style allocator experiment.
+#[derive(Debug, Clone)]
+pub struct SpecAllocRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Median instrumented-over-baseline overhead ratio.
+    pub overhead: f64,
+    /// Allocations performed by the instrumented run.
+    pub allocations: u64,
+}
+
+/// Runs the SPEC CPU2006-style allocator-instrumentation experiment.
+pub fn spec_alloc_rows(scale: u64, repeats: u32) -> Vec<SpecAllocRow> {
+    AllocBenchSpec::spec_suite(scale)
+        .into_iter()
+        .map(|spec| {
+            let mut ratios = Vec::new();
+            let mut allocs = 0;
+            for _ in 0..repeats.max(1) {
+                let base = run_alloc_bench(&spec, false);
+                let instr = run_alloc_bench(&spec, true);
+                allocs = instr.allocations;
+                ratios.push(mcr_workload::overhead_ratio(&base, &instr));
+            }
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            SpecAllocRow { name: spec.name.clone(), overhead: ratios[ratios.len() / 2], allocations: allocs }
+        })
+        .collect()
+}
+
+/// Renders the allocator-experiment rows as the human-readable table.
+pub fn spec_alloc_render(rows: &[SpecAllocRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:<16} | {:>10} | {:>10}", "benchmark", "overhead", "allocs");
-    for spec in AllocBenchSpec::spec_suite(scale) {
-        let mut ratios = Vec::new();
-        let mut allocs = 0;
-        for _ in 0..repeats.max(1) {
-            let base = run_alloc_bench(&spec, false);
-            let instr = run_alloc_bench(&spec, true);
-            allocs = instr.allocations;
-            ratios.push(mcr_workload::overhead_ratio(&base, &instr));
-        }
-        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let _ = writeln!(out, "{:<16} | {:>9.2}x | {:>10}", spec.name, ratios[ratios.len() / 2], allocs);
+    for r in rows {
+        let _ = writeln!(out, "{:<16} | {:>9.2}x | {:>10}", r.name, r.overhead, r.allocations);
     }
     let _ = writeln!(out, "(paper: 5% worst case across SPEC, except perlbench at 36%)");
     out
+}
+
+/// Regenerates the allocator experiment as a human-readable table.
+pub fn spec_alloc_report(scale: u64, repeats: u32) -> String {
+    spec_alloc_render(&spec_alloc_rows(scale, repeats))
+}
+
+/// Renders the allocator-experiment rows as JSON.
+pub fn spec_alloc_json(rows: &[SpecAllocRow]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("spec_alloc")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("benchmark", Json::str(&r.name)),
+                            ("overhead", Json::Num(r.overhead)),
+                            ("allocations", r.allocations.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 // ---------------------------------------------------------------------------
 // Update time (§8) and Figure 3
 // ---------------------------------------------------------------------------
 
-/// Regenerates the update-time breakdown: quiescence time, control-migration
-/// time (and its overhead over the original startup), and state-transfer
-/// time, per program.
-pub fn update_time_report(requests: u64) -> String {
+/// One row of the update-time breakdown, including the per-phase trace the
+/// staged pipeline records.
+#[derive(Debug, Clone)]
+pub struct UpdateTimeRow {
+    /// Program name.
+    pub program: String,
+    /// Quiescence time, ms.
+    pub quiescence_ms: f64,
+    /// Control-migration (reinit/replay) time, ms.
+    pub control_migration_ms: f64,
+    /// Replay overhead relative to the original startup (fraction).
+    pub replay_overhead: f64,
+    /// State-transfer time (parallel per-process strategy), ms.
+    pub state_transfer_ms: f64,
+    /// Total unavailability, ms.
+    pub total_ms: f64,
+    /// Fraction of traced state skipped thanks to dirty-object tracking.
+    pub dirty_reduction: f64,
+    /// `(phase label, duration ms)` for every executed pipeline phase.
+    pub phases: Vec<(String, f64)>,
+}
+
+/// Runs the update-time experiment for every program.
+///
+/// # Panics
+///
+/// Panics if an update unexpectedly rolls back (a harness bug).
+pub fn update_time_rows(requests: u64) -> Vec<UpdateTimeRow> {
+    PROGRAMS
+        .iter()
+        .map(|&program| {
+            let outcome = update_with_connections(program, 1, requests, 10, InstrumentationConfig::full());
+            assert!(outcome.is_committed(), "{program}: {:?}", outcome.conflicts());
+            let report = outcome.report();
+            UpdateTimeRow {
+                program: program.to_string(),
+                quiescence_ms: report.timings.quiescence.as_millis_f64(),
+                control_migration_ms: report.timings.control_migration.as_millis_f64(),
+                replay_overhead: report.replay_overhead_fraction(),
+                state_transfer_ms: report.timings.state_transfer.as_millis_f64(),
+                total_ms: report.timings.total.as_millis_f64(),
+                dirty_reduction: report.dirty_reduction(),
+                phases: report
+                    .phases
+                    .records()
+                    .iter()
+                    .map(|r| (r.name.label().to_string(), r.duration.as_millis_f64()))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the update-time rows as the human-readable table.
+pub fn update_time_render(rows: &[UpdateTimeRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<10} | {:>12} {:>16} {:>12} {:>12} | {:>10} {:>9}",
         "program", "quiesce(ms)", "ctl-migrate(ms)", "replay-ovh", "st(ms)", "total(ms)", "dirty-red"
     );
-    for program in PROGRAMS {
-        let outcome = update_with_connections(program, 1, requests, 10, InstrumentationConfig::full());
-        assert!(outcome.is_committed(), "{program}: {:?}", outcome.conflicts());
-        let report = outcome.report();
+    for r in rows {
         let _ = writeln!(
             out,
             "{:<10} | {:>12.3} {:>16.3} {:>11.1}% {:>12.3} | {:>10.3} {:>8.1}%",
-            program,
-            report.timings.quiescence.as_millis_f64(),
-            report.timings.control_migration.as_millis_f64(),
-            report.replay_overhead_fraction() * 100.0,
-            report.timings.state_transfer.as_millis_f64(),
-            report.timings.total.as_millis_f64(),
-            report.dirty_reduction() * 100.0,
+            r.program,
+            r.quiescence_ms,
+            r.control_migration_ms,
+            r.replay_overhead * 100.0,
+            r.state_transfer_ms,
+            r.total_ms,
+            r.dirty_reduction * 100.0,
         );
     }
     let _ = writeln!(out, "(paper: quiescence < 100 ms, control migration < 50 ms with 1-45% replay overhead, state transfer 28-187 ms at 0 connections)");
     out
+}
+
+/// Regenerates the update-time breakdown as a human-readable table.
+pub fn update_time_report(requests: u64) -> String {
+    update_time_render(&update_time_rows(requests))
+}
+
+/// Renders the update-time rows as JSON (per-phase durations included).
+pub fn update_time_json(rows: &[UpdateTimeRow]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("update_time")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("program", Json::str(&r.program)),
+                            ("quiescence_ms", Json::Num(r.quiescence_ms)),
+                            ("control_migration_ms", Json::Num(r.control_migration_ms)),
+                            ("replay_overhead", Json::Num(r.replay_overhead)),
+                            ("state_transfer_ms", Json::Num(r.state_transfer_ms)),
+                            ("total_ms", Json::Num(r.total_ms)),
+                            ("dirty_reduction", Json::Num(r.dirty_reduction)),
+                            (
+                                "phases",
+                                Json::Arr(
+                                    r.phases
+                                        .iter()
+                                        .map(|(name, ms)| {
+                                            Json::obj([
+                                                ("phase", Json::str(name)),
+                                                ("duration_ms", Json::Num(*ms)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// One point of the Figure 3 series.
@@ -333,25 +709,30 @@ pub fn figure3_series(program: &str, connections: &[usize], requests: u64) -> Ve
         .collect()
 }
 
-/// Regenerates Figure 3: state-transfer time as a function of the number of
-/// open connections, for all four programs (plus the dirty-tracking
-/// reduction quoted in the text).
-pub fn figure3_report(connections: &[usize], requests: u64) -> String {
+/// Computes the Figure 3 series for all four programs.
+pub fn figure3_rows(connections: &[usize], requests: u64) -> Vec<(String, Vec<Fig3Point>)> {
+    PROGRAMS
+        .iter()
+        .map(|&program| (program.to_string(), figure3_series(program, connections, requests)))
+        .collect()
+}
+
+/// Renders the Figure 3 series as the human-readable table.
+pub fn figure3_render(rows: &[(String, Vec<Fig3Point>)], connections: &[usize]) -> String {
     let mut out = String::new();
     let _ = write!(out, "{:<12}", "conns");
     for &c in connections {
         let _ = write!(out, " | {c:>10}");
     }
     let _ = writeln!(out);
-    for program in PROGRAMS {
-        let series = figure3_series(program, connections, requests);
+    for (program, series) in rows {
         let _ = write!(out, "{program:<12}");
-        for point in &series {
+        for point in series {
             let _ = write!(out, " | {:>7.3} ms", point.state_transfer_ms);
         }
         let _ = writeln!(out);
         let _ = write!(out, "{:<12}", "  dirty-red");
-        for point in &series {
+        for point in series {
             let _ = write!(out, " | {:>9.0}%", point.dirty_reduction * 100.0);
         }
         let _ = writeln!(out);
@@ -360,39 +741,135 @@ pub fn figure3_report(connections: &[usize], requests: u64) -> String {
     out
 }
 
+/// Regenerates Figure 3 as a human-readable table.
+pub fn figure3_report(connections: &[usize], requests: u64) -> String {
+    figure3_render(&figure3_rows(connections, requests), connections)
+}
+
+/// Renders the Figure 3 series as JSON.
+pub fn figure3_json(rows: &[(String, Vec<Fig3Point>)]) -> Json {
+    Json::obj([
+        ("experiment", Json::str("fig3_state_transfer")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|(program, series)| {
+                        Json::obj([
+                            ("program", Json::str(program)),
+                            (
+                                "points",
+                                Json::Arr(
+                                    series
+                                        .iter()
+                                        .map(|p| {
+                                            Json::obj([
+                                                ("connections", p.connections.into()),
+                                                ("state_transfer_ms", Json::Num(p.state_transfer_ms)),
+                                                ("dirty_reduction", Json::Num(p.dirty_reduction)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 // ---------------------------------------------------------------------------
 // Memory usage (§8)
 // ---------------------------------------------------------------------------
 
-/// Regenerates the memory-usage evaluation: resident set of the fully
-/// instrumented build relative to the baseline build after the standard
-/// workload.
-pub fn memory_report(requests: u64) -> String {
+/// One row of the memory-usage evaluation.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Program name.
+    pub program: String,
+    /// Resident bytes of the uninstrumented baseline build.
+    pub baseline: MemoryReport,
+    /// Resident bytes of the fully instrumented build.
+    pub instrumented: MemoryReport,
+}
+
+impl MemoryRow {
+    /// Instrumented-over-baseline resident-set ratio.
+    pub fn overhead(&self) -> f64 {
+        self.instrumented.overhead_over(&self.baseline)
+    }
+}
+
+/// Runs the memory-usage experiment for every program.
+pub fn memory_rows(requests: u64) -> Vec<MemoryRow> {
+    PROGRAMS
+        .iter()
+        .map(|&program| {
+            let (mut bk, mut bi) = boot_program(program, 1, InstrumentationConfig::baseline());
+            run_standard_workload(&mut bk, &mut bi, program, requests);
+            let baseline = MemoryReport::measure(&bk, &bi);
+            let (mut mk, mut mi) = boot_program(program, 1, InstrumentationConfig::full());
+            run_standard_workload(&mut mk, &mut mi, program, requests);
+            let instrumented = MemoryReport::measure(&mk, &mi);
+            MemoryRow { program: program.to_string(), baseline, instrumented }
+        })
+        .collect()
+}
+
+/// Renders the memory rows as the human-readable table.
+pub fn memory_render(rows: &[MemoryRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<10} | {:>14} {:>14} {:>9} | {:>14}",
         "program", "baseline(B)", "mcr(B)", "overhead", "metadata(B)"
     );
-    let mut ratios = Vec::new();
-    for program in PROGRAMS {
-        let (mut bk, mut bi) = boot_program(program, 1, InstrumentationConfig::baseline());
-        run_standard_workload(&mut bk, &mut bi, program, requests);
-        let baseline = MemoryReport::measure(&bk, &bi);
-        let (mut mk, mut mi) = boot_program(program, 1, InstrumentationConfig::full());
-        run_standard_workload(&mut mk, &mut mi, program, requests);
-        let full = MemoryReport::measure(&mk, &mi);
-        let ratio = full.overhead_over(&baseline);
-        ratios.push(ratio);
+    for r in rows {
         let _ = writeln!(
             out,
             "{:<10} | {:>14} {:>14} {:>8.2}x | {:>14}",
-            program, baseline.resident_bytes, full.resident_bytes, ratio, full.metadata_bytes
+            r.program,
+            r.baseline.resident_bytes,
+            r.instrumented.resident_bytes,
+            r.overhead(),
+            r.instrumented.metadata_bytes
         );
     }
-    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let avg = rows.iter().map(MemoryRow::overhead).sum::<f64>() / rows.len().max(1) as f64;
     let _ = writeln!(out, "average overhead: {avg:.2}x (paper: 1.10x-4.84x RSS, 2.89x-3.9x average)");
     out
+}
+
+/// Regenerates the memory-usage evaluation as a human-readable table.
+pub fn memory_report(requests: u64) -> String {
+    memory_render(&memory_rows(requests))
+}
+
+/// Renders the memory rows as JSON.
+pub fn memory_json(rows: &[MemoryRow]) -> Json {
+    let avg = rows.iter().map(MemoryRow::overhead).sum::<f64>() / rows.len().max(1) as f64;
+    Json::obj([
+        ("experiment", Json::str("memory_usage")),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("program", Json::str(&r.program)),
+                            ("baseline_bytes", r.baseline.resident_bytes.into()),
+                            ("instrumented_bytes", r.instrumented.resident_bytes.into()),
+                            ("metadata_bytes", r.instrumented.metadata_bytes.into()),
+                            ("overhead", Json::Num(r.overhead())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("average_overhead", Json::Num(avg)),
+    ])
 }
 
 #[cfg(test)]
@@ -422,5 +899,30 @@ mod tests {
     fn update_time_report_commits_every_program() {
         let report = update_time_report(2);
         assert!(report.contains("httpd") && report.contains("sshd"));
+    }
+
+    #[test]
+    fn update_time_rows_carry_the_phase_trace() {
+        let rows = update_time_rows(2);
+        for row in &rows {
+            let labels: Vec<&str> = row.phases.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(
+                labels,
+                ["quiesce", "reinit-replay", "match-processes", "trace-and-transfer", "commit"],
+                "{} executed the standard pipeline",
+                row.program
+            );
+        }
+        let doc = update_time_json(&rows).render();
+        assert!(doc.contains("\"phases\""));
+        assert!(doc.contains("trace-and-transfer"));
+    }
+
+    #[test]
+    fn json_documents_parse_shaped_rows() {
+        let rows = spec_alloc_rows(5, 1);
+        let doc = spec_alloc_json(&rows).render();
+        assert!(doc.starts_with("{\"experiment\":\"spec_alloc\""));
+        assert!(doc.contains("\"rows\":["));
     }
 }

@@ -1,0 +1,114 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! The repository builds without network access, so the Criterion crate the
+//! benches were originally written against is unavailable; this harness
+//! covers what they need — warmup, a fixed sample count, and a median/min
+//! summary — and prints one row per benchmark plus a JSON document, so the
+//! `cargo bench` targets stay scriptable.
+
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Timing summary of one benchmarked closure.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Every measured sample, in seconds.
+    pub samples: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Median sample, in seconds.
+    pub fn median(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        sorted[sorted.len() / 2]
+    }
+
+    /// Fastest sample, in seconds.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("median_s", Json::Num(self.median())),
+            ("min_s", Json::Num(self.min())),
+            ("samples", Json::Num(self.samples.len() as f64)),
+        ])
+    }
+}
+
+/// Runs a named group of micro-benchmarks and reports the results.
+pub struct BenchGroup {
+    group: String,
+    warmup: usize,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// Creates a group with the default 2 warmup and 10 measured iterations.
+    pub fn new(group: impl Into<String>) -> Self {
+        BenchGroup { group: group.into(), warmup: 2, samples: 10, results: Vec::new() }
+    }
+
+    /// Overrides the number of measured iterations.
+    #[must_use]
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, keeping its result alive so the work is not optimized out.
+    pub fn bench<T>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> T) {
+        let name = format!("{}/{}", self.group, name.into());
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        let result = BenchResult { name, samples };
+        eprintln!(
+            "{:<48} median {:>10.3} ms   min {:>10.3} ms   ({} samples)",
+            result.name,
+            result.median() * 1e3,
+            result.min() * 1e3,
+            result.samples.len()
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the group's JSON document to stdout and returns the results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let doc = Json::obj([
+            ("group", Json::str(&self.group)),
+            ("results", Json::Arr(self.results.iter().map(BenchResult::to_json).collect())),
+        ]);
+        println!("{}", doc.render());
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_summarizes() {
+        let mut g = BenchGroup::new("unit").samples(3);
+        g.bench("noop", || 1 + 1);
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "unit/noop");
+        assert_eq!(results[0].samples.len(), 3);
+        assert!(results[0].min() <= results[0].median());
+    }
+}

@@ -192,14 +192,22 @@ mod tests {
     #[test]
     fn reinit_handlers_chain_until_decision() {
         let mut reg = AnnotationRegistry::new();
-        reg.add_reinit_handler("ignore-sleeps", Box::new(|call, _| match call {
-            Syscall::Nanosleep { .. } => ReinitDecision::Skip,
-            _ => ReinitDecision::NotHandled,
-        }), 4);
-        reg.add_reinit_handler("port-change", Box::new(|call, _| match call {
-            Syscall::Bind { port: 8080, .. } => ReinitDecision::ExecuteLive,
-            _ => ReinitDecision::NotHandled,
-        }), 6);
+        reg.add_reinit_handler(
+            "ignore-sleeps",
+            Box::new(|call, _| match call {
+                Syscall::Nanosleep { .. } => ReinitDecision::Skip,
+                _ => ReinitDecision::NotHandled,
+            }),
+            4,
+        );
+        reg.add_reinit_handler(
+            "port-change",
+            Box::new(|call, _| match call {
+                Syscall::Bind { port: 8080, .. } => ReinitDecision::ExecuteLive,
+                _ => ReinitDecision::NotHandled,
+            }),
+            6,
+        );
         assert_eq!(reg.resolve_reinit(&Syscall::Nanosleep { ns: 1 }, None), ReinitDecision::Skip);
         assert_eq!(
             reg.resolve_reinit(&Syscall::Bind { fd: Fd(3), port: 8080 }, None),
@@ -212,11 +220,15 @@ mod tests {
     #[test]
     fn transforms_by_name() {
         let mut reg = AnnotationRegistry::new();
-        reg.add_transform("conf_s", Box::new(|old| {
-            let mut new = old.to_vec();
-            new.extend_from_slice(&[0u8; 8]);
-            new
-        }), 12);
+        reg.add_transform(
+            "conf_s",
+            Box::new(|old| {
+                let mut new = old.to_vec();
+                new.extend_from_slice(&[0u8; 8]);
+                new
+            }),
+            12,
+        );
         let out = reg.transform("conf_s").unwrap()(&[1, 2, 3]);
         assert_eq!(out.len(), 11);
         assert!(reg.transform("missing").is_none());

@@ -7,10 +7,8 @@
 //! also used to pair threads and processes across versions (creation-time
 //! call stacks) and to match dynamic objects reallocated at startup.
 
-use serde::{Deserialize, Serialize};
-
 /// A call-stack identifier: a stable hash over the active function names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CallStackId(pub u64);
 
 impl CallStackId {

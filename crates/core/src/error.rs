@@ -3,13 +3,12 @@
 use std::fmt;
 
 use mcr_procsim::SimError;
-use serde::{Deserialize, Serialize};
 
 /// A conflict detected by mutable reinitialization or mutable tracing.
 ///
 /// Conflicts are the paper's mechanism for falling back to user control: an
 /// unresolved conflict aborts the update and rolls back to the old version.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Conflict {
     /// A replayed system call was issued with arguments that do not match the
     /// recorded ones (same call stack, same call, different arguments).
@@ -71,6 +70,12 @@ pub enum Conflict {
         /// Message supplied by the handler.
         message: String,
     },
+    /// A fault injected at a pipeline phase boundary (testing/chaos tooling:
+    /// proves the update rolls back cleanly no matter where it dies).
+    FaultInjected {
+        /// Label of the phase at whose boundary the fault fired.
+        phase: String,
+    },
 }
 
 impl fmt::Display for Conflict {
@@ -98,6 +103,9 @@ impl fmt::Display for Conflict {
                 write!(f, "quiescence not reached: {running_threads} threads still running")
             }
             Conflict::HandlerRequested { message } => write!(f, "handler requested rollback: {message}"),
+            Conflict::FaultInjected { phase } => {
+                write!(f, "fault injected at the {phase} phase boundary")
+            }
         }
     }
 }

@@ -131,10 +131,7 @@ impl Interposer {
 
     fn find_name_match(&self, virt_pid: Pid, callstack: CallStackId, call: &Syscall) -> Option<usize> {
         self.replay_entries.iter().enumerate().position(|(i, e)| {
-            !self.consumed[i]
-                && e.pid == virt_pid
-                && e.callstack == callstack
-                && e.call.name() == call.name()
+            !self.consumed[i] && e.pid == virt_pid && e.callstack == callstack && e.call.name() == call.name()
         })
     }
 
@@ -307,9 +304,7 @@ impl Interposer {
                         self.stats.handler_resolved += 1;
                         Ok(SyscallRet::Unit)
                     }
-                    ReinitDecision::Abort(message) => {
-                        Err(Conflict::HandlerRequested { message }.into())
-                    }
+                    ReinitDecision::Abort(message) => Err(Conflict::HandlerRequested { message }.into()),
                     _ => {
                         let ret = self.execute_and_separate(kernel, pid, tid, call.clone())?;
                         self.log.record(callstack, virt_pid, thread_name, call, ret.clone());
@@ -333,12 +328,11 @@ impl Interposer {
         self.stats.executed_live += 1;
         let creates_fd = Self::creates_fd(&call);
         let name = call.name();
-        let ret = self
-            .execute_live(kernel, pid, tid, call)
-            .map_err(|e| startup_failure(name, e))?;
+        let ret = self.execute_live(kernel, pid, tid, call).map_err(|e| startup_failure(name, e))?;
         if creates_fd {
             if let Some(fd) = ret.as_fd() {
-                let reserved = kernel.transfer_fd(pid, fd, pid, FdPlacement::Reserved).map_err(McrError::Sim)?;
+                let reserved =
+                    kernel.transfer_fd(pid, fd, pid, FdPlacement::Reserved).map_err(McrError::Sim)?;
                 kernel.syscall(pid, tid, Syscall::Close { fd }).map_err(McrError::Sim)?;
                 return Ok(SyscallRet::Fd(reserved));
             }
@@ -394,7 +388,10 @@ impl Interposer {
 }
 
 fn startup_failure(syscall: &str, error: SimError) -> McrError {
-    McrError::Conflicts(vec![Conflict::StartupFailure { syscall: syscall.to_string(), error: error.to_string() }])
+    McrError::Conflicts(vec![Conflict::StartupFailure {
+        syscall: syscall.to_string(),
+        error: error.to_string(),
+    }])
 }
 
 #[cfg(test)]
@@ -583,11 +580,8 @@ mod tests {
         let ann = AnnotationRegistry::new();
         let mut rec = Interposer::recorder();
         let stack = cs(&["main", "spawn_workers"]);
-        let child_v1 = rec
-            .handle(&mut k, pid, tid, "main", stack, Syscall::Fork, true, &ann)
-            .unwrap()
-            .as_pid()
-            .unwrap();
+        let child_v1 =
+            rec.handle(&mut k, pid, tid, "main", stack, Syscall::Fork, true, &ann).unwrap().as_pid().unwrap();
         let log = rec.recorded_log().clone();
 
         // Replay in a new version.

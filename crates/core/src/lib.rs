@@ -28,6 +28,26 @@
 //! an MCR-enabled program, and [`runtime::live_update`] performs an atomic,
 //! reversible live update.
 //!
+//! ## The phase model
+//!
+//! A live update is executed by an [`UpdatePipeline`]: an ordered sequence of
+//! named [`Phase`] values sharing one [`UpdateCtx`]. The standard pipeline is
+//!
+//! | # | Phase ([`PhaseName`]) | Paper stage |
+//! |---|---|---|
+//! | 1 | `Quiesce` | checkpoint: park old-version threads at quiescent points |
+//! | 2 | `ReinitReplay` | restart: mutable reinitialization (record/replay, descriptor and pid inheritance) |
+//! | 3 | `MatchProcesses` | restore: pair old and new processes by creation call stack |
+//! | 4 | `TraceAndTransfer` | restore: mutable tracing + state transfer per pair |
+//! | 5 | `Commit` | commit: resume the new version, terminate the old |
+//!
+//! The pipeline driver records each phase's duration into
+//! [`UpdateReport::phases`](runtime::report::UpdateReport) and routes *every*
+//! failure through a single rollback guard, so a failure at any phase
+//! boundary leaves the old version running exactly where it was parked. A
+//! [`FaultPlan`] injects failures at chosen boundaries to prove exactly that
+//! (see `tests/live_update_integration.rs`).
+//!
 //! ## Example
 //!
 //! Programs implement the [`Program`] trait (see the `mcr-servers` crate for
@@ -66,7 +86,8 @@ pub use log::{LogEntry, StartupLog};
 pub use program::{InstanceState, Program, ProgramEnv, StepOutcome};
 pub use quiescence::{QuiescenceProfiler, QuiescenceReport, QuiescentPoint};
 pub use runtime::{
-    boot, live_update, BootOptions, McrInstance, MemoryReport, UpdateOptions, UpdateOutcome, UpdateReport,
+    boot, live_update, BootOptions, FaultPlan, McrInstance, MemoryReport, Phase, PhaseName, PhaseRecord,
+    PhaseTrace, UpdateCtx, UpdateOptions, UpdateOutcome, UpdatePipeline, UpdateReport,
 };
 pub use tracing::{ObjectGraph, TraceOptions, TracingStats};
 pub use transfer::TransferSummary;

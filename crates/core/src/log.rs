@@ -8,12 +8,11 @@
 //! in-kernel state (paper §5).
 
 use mcr_procsim::{Pid, Syscall, SyscallRet};
-use serde::{Deserialize, Serialize};
 
 use crate::callstack::CallStackId;
 
 /// One recorded startup-time operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
     /// Sequence number (recording order across all processes/threads).
     pub seq: u64,
@@ -30,7 +29,7 @@ pub struct LogEntry {
 }
 
 /// The startup log of one program version.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StartupLog {
     entries: Vec<LogEntry>,
 }

@@ -9,12 +9,8 @@
 //! as tracing roots, and the quiescence machinery observes where threads
 //! block.
 
-use mcr_procsim::{
-    Addr, AllocSite, Kernel, Pid, PoolId, SimError, Syscall, SyscallRet, Tid, TypeTag,
-};
-use mcr_typemeta::{
-    CallSiteRegistry, InstrumentationConfig, StaticRegistry, TypeId, TypeKind, TypeRegistry,
-};
+use mcr_procsim::{Addr, AllocSite, Kernel, Pid, PoolId, SimError, Syscall, SyscallRet, Tid, TypeTag};
+use mcr_typemeta::{CallSiteRegistry, InstrumentationConfig, StaticRegistry, TypeId, TypeKind, TypeRegistry};
 
 use crate::annotations::{AnnotationRegistry, ObjTreatment, ReinitHandler, TransformHandler};
 use crate::callstack::CallStackId;
@@ -245,7 +241,13 @@ pub struct ProgramEnv<'a> {
 
 impl<'a> ProgramEnv<'a> {
     /// Creates an environment bound to thread `tid` of process `pid`.
-    pub fn new(kernel: &'a mut Kernel, state: &'a mut InstanceState, pid: Pid, tid: Tid, thread_name: impl Into<String>) -> Self {
+    pub fn new(
+        kernel: &'a mut Kernel,
+        state: &'a mut InstanceState,
+        pid: Pid,
+        tid: Tid,
+        thread_name: impl Into<String>,
+    ) -> Self {
         ProgramEnv { kernel, state, pid, tid, thread_name: thread_name.into() }
     }
 
@@ -374,9 +376,8 @@ impl<'a> ProgramEnv<'a> {
     /// Propagates fork failures and replay conflicts.
     pub fn fork(&mut self, kind: &str) -> McrResult<Pid> {
         let ret = self.syscall(Syscall::Fork)?;
-        let virtual_child = ret
-            .as_pid()
-            .ok_or_else(|| McrError::InvalidState("fork did not return a pid".into()))?;
+        let virtual_child =
+            ret.as_pid().ok_or_else(|| McrError::InvalidState("fork did not return a pid".into()))?;
         let actual_child = self.state.interpose.actual_pid(virtual_child);
         let child_main = self.kernel.process(actual_child).map_err(McrError::Sim)?.main_tid();
         self.state.processes.push(actual_child);
@@ -516,8 +517,7 @@ impl<'a> ProgramEnv<'a> {
         let ty = self.type_id(type_name)?;
         let size = self.state.types.size_of(ty).max(1);
         let site = self.register_site(site_name, Some(ty));
-        let type_tag =
-            if self.state.config.level.heap_instrumented() { TypeTag(ty.0) } else { TypeTag(0) };
+        let type_tag = if self.state.config.level.heap_instrumented() { TypeTag(ty.0) } else { TypeTag(0) };
         let proc = self.kernel.process_mut(self.pid).map_err(McrError::Sim)?;
         let (space, heap) = proc.space_and_heap_mut().map_err(McrError::Sim)?;
         let addr = heap.malloc(space, size, site, type_tag).map_err(McrError::Sim)?;
@@ -634,7 +634,7 @@ impl<'a> ProgramEnv<'a> {
     ///
     /// Fails for unmapped addresses.
     pub fn read_u64(&self, addr: Addr) -> McrResult<u64> {
-        Ok(self.kernel.process(self.pid).map_err(McrError::Sim)?.space().read_u64(addr).map_err(McrError::Sim)?)
+        self.kernel.process(self.pid).map_err(McrError::Sim)?.space().read_u64(addr).map_err(McrError::Sim)
     }
 
     /// Writes a 64-bit word into the current process's memory.
@@ -657,7 +657,7 @@ impl<'a> ProgramEnv<'a> {
     ///
     /// Fails for unmapped addresses.
     pub fn read_u32(&self, addr: Addr) -> McrResult<u32> {
-        Ok(self.kernel.process(self.pid).map_err(McrError::Sim)?.space().read_u32(addr).map_err(McrError::Sim)?)
+        self.kernel.process(self.pid).map_err(McrError::Sim)?.space().read_u32(addr).map_err(McrError::Sim)
     }
 
     /// Writes a 32-bit word.
@@ -698,13 +698,12 @@ impl<'a> ProgramEnv<'a> {
     ///
     /// Fails for unmapped ranges.
     pub fn read_bytes(&self, addr: Addr, len: usize) -> McrResult<Vec<u8>> {
-        Ok(self
-            .kernel
+        self.kernel
             .process(self.pid)
             .map_err(McrError::Sim)?
             .space()
             .read_bytes(addr, len)
-            .map_err(McrError::Sim)?)
+            .map_err(McrError::Sim)
     }
 
     /// Writes raw bytes.
@@ -741,13 +740,12 @@ impl<'a> ProgramEnv<'a> {
     ///
     /// Fails for unmapped ranges.
     pub fn read_cstring(&self, addr: Addr, max: usize) -> McrResult<String> {
-        Ok(self
-            .kernel
+        self.kernel
             .process(self.pid)
             .map_err(McrError::Sim)?
             .space()
             .read_cstring(addr, max)
-            .map_err(McrError::Sim)?)
+            .map_err(McrError::Sim)
     }
 
     // ------------------------------------------------------------------
@@ -843,9 +841,7 @@ mod tests {
         let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
         let fd = env
             .scoped("main", |env| {
-                env.scoped("server_init", |env| {
-                    Ok(env.syscall(Syscall::Socket)?.as_fd().unwrap())
-                })
+                env.scoped("server_init", |env| Ok(env.syscall(Syscall::Socket)?.as_fd().unwrap()))
             })
             .unwrap();
         assert_eq!(fd.0, 0);

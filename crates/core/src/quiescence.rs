@@ -12,12 +12,11 @@
 use std::collections::BTreeMap;
 
 use mcr_procsim::Kernel;
-use serde::{Deserialize, Serialize};
 
 use crate::program::InstanceState;
 
 /// A suggested quiescent point for one thread class.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuiescentPoint {
     /// Thread class the point belongs to (e.g. `"worker"`).
     pub thread_class: String,
@@ -32,7 +31,7 @@ pub struct QuiescentPoint {
 }
 
 /// Profiling summary for one thread class.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadClassReport {
     /// Class name (thread names with trailing indices stripped).
     pub class: String,
@@ -50,7 +49,7 @@ pub struct ThreadClassReport {
 }
 
 /// The full quiescence-profiling report for one program.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QuiescenceReport {
     /// Per-class reports, ordered by class name.
     pub classes: Vec<ThreadClassReport>,
@@ -74,11 +73,7 @@ impl QuiescenceReport {
 
     /// Number of persistent quiescent points (Table 1, "Per").
     pub fn persistent_points(&self) -> usize {
-        self.classes
-            .iter()
-            .filter_map(|c| c.quiescent_point.as_ref())
-            .filter(|p| p.persistent)
-            .count()
+        self.classes.iter().filter_map(|c| c.quiescent_point.as_ref()).filter(|p| p.persistent).count()
     }
 
     /// Number of volatile quiescent points (Table 1, "Vol").
@@ -145,11 +140,7 @@ impl QuiescenceProfiler {
             .into_iter()
             .map(|(class, acc)| {
                 let quiescent_point = if acc.long_lived {
-                    let call = acc
-                        .blocking
-                        .iter()
-                        .max_by_key(|(_, ns)| **ns)
-                        .map(|(c, _)| c.clone());
+                    let call = acc.blocking.iter().max_by_key(|(_, ns)| **ns).map(|(c, _)| c.clone());
                     let loop_name = acc
                         .loops
                         .iter()
@@ -275,12 +266,7 @@ mod tests {
             created_during_startup: false,
             exited: false,
         });
-        kernel
-            .process_mut(pid)
-            .unwrap()
-            .thread_mut(tid)
-            .unwrap()
-            .record_blocking("read", 5_000);
+        kernel.process_mut(pid).unwrap().thread_mut(tid).unwrap().record_blocking("read", 5_000);
         let report = QuiescenceProfiler::analyze(&kernel, &state);
         assert_eq!(report.quiescent_points(), 3);
         assert_eq!(report.volatile_points(), 1);

@@ -7,22 +7,23 @@
 //! back (terminate the new version and resume the old one from its
 //! checkpoint). The whole sequence is atomic and reversible: a failure at
 //! any stage leaves the old version running exactly where it was parked.
+//!
+//! The actual staging lives in [`crate::runtime::pipeline`]: `live_update`
+//! is a thin wrapper that runs [`UpdatePipeline::standard`] — an ordered
+//! sequence of named phases over a shared `UpdateCtx`, with rollback
+//! centralized in the pipeline's single guard. Callers that need per-phase
+//! control (fault injection, custom phase lists) use [`UpdatePipeline`]
+//! directly.
 
-use std::collections::BTreeSet;
-
-use mcr_procsim::{Fd, FdPlacement, Kernel, Pid, Syscall, SyscallPort, ThreadState};
+use mcr_procsim::Kernel;
 use mcr_typemeta::InstrumentationConfig;
 
-use crate::callstack::CallStackId;
-use crate::error::{Conflict, McrError, McrResult};
-use crate::interpose::Interposer;
-use crate::program::{Program, ThreadRosterEntry};
+use crate::error::Conflict;
+use crate::program::Program;
+use crate::runtime::pipeline::UpdatePipeline;
 use crate::runtime::report::UpdateReport;
-use crate::runtime::scheduler::{
-    create_instance, resume, run_startup, wait_quiescence, BootOptions, McrInstance,
-};
-use crate::tracing::tracer::{trace_process, TraceOptions};
-use crate::transfer::engine::transfer_process;
+use crate::runtime::scheduler::McrInstance;
+use crate::tracing::tracer::TraceOptions;
 
 /// Options for one live-update attempt.
 #[derive(Debug, Clone, Copy)]
@@ -89,267 +90,26 @@ impl UpdateOutcome {
     }
 }
 
-fn conflicts_of(error: McrError) -> Vec<Conflict> {
-    match error {
-        McrError::Conflicts(cs) => cs,
-        other => vec![Conflict::StartupFailure { syscall: "<runtime>".into(), error: other.to_string() }],
-    }
-}
-
-fn teardown(kernel: &mut Kernel, instance: &McrInstance) {
-    for &pid in &instance.state.processes {
-        let _ = kernel.remove_process(pid);
-    }
-}
-
-fn rollback(
-    kernel: &mut Kernel,
-    new_instance: Option<McrInstance>,
-    mut old: McrInstance,
-    conflicts: Vec<Conflict>,
-    report: UpdateReport,
-) -> (McrInstance, UpdateOutcome) {
-    if let Some(new_instance) = new_instance {
-        teardown(kernel, &new_instance);
-    }
-    resume(kernel, &mut old);
-    (old, UpdateOutcome::RolledBack { conflicts, report })
-}
-
-/// Performs a live update of `old` to `new_program`.
+/// Performs a live update of `old` to `new_program` with the standard
+/// pipeline (quiesce → reinit/replay → match → trace/transfer → commit).
 ///
 /// Returns the instance that is running afterwards (the new version on
 /// success, the old version after a rollback) together with the outcome.
 pub fn live_update(
     kernel: &mut Kernel,
-    mut old: McrInstance,
+    old: McrInstance,
     new_program: Box<dyn Program>,
     config: InstrumentationConfig,
     opts: &UpdateOptions,
 ) -> (McrInstance, UpdateOutcome) {
-    let mut report = UpdateReport { old_startup: old.state.startup_duration, ..Default::default() };
-    let t_total = kernel.now();
-
-    // --------------------------------------------------------------
-    // 1. Checkpoint: quiesce the old version.
-    // --------------------------------------------------------------
-    match wait_quiescence(kernel, &mut old, opts.max_quiesce_rounds) {
-        Ok(d) => report.timings.quiescence = d,
-        Err(e) => return rollback(kernel, None, old, conflicts_of(e), report),
-    }
-    report.open_connections = kernel.open_connection_count();
-
-    // --------------------------------------------------------------
-    // 2. Restart: boot the new version under mutable reinitialization.
-    // --------------------------------------------------------------
-    let cm_start = kernel.now();
-    let boot_opts = BootOptions { config, layout_slide: opts.layout_slide, start_quiesced: true };
-    let interposer = Interposer::replayer(old.state.interpose.recorded_log());
-    let mut new_instance = match create_instance(kernel, new_program, interposer, &boot_opts) {
-        Ok(i) => i,
-        Err(e) => return rollback(kernel, None, old, conflicts_of(e), report),
-    };
-    let new_init = new_instance.init_pid().expect("instance has an initial process");
-
-    // Global inheritance: the new version's first process inherits every
-    // descriptor of every old-version process at the same number.
-    let old_pids = old.state.processes.clone();
-    for &old_pid in &old_pids {
-        let fds: Vec<Fd> = match kernel.process(old_pid) {
-            Ok(p) => p.fds().iter().map(|(fd, _)| fd).collect(),
-            Err(_) => continue,
-        };
-        for fd in fds {
-            let already = kernel.process(new_init).map(|p| p.fds().contains(fd)).unwrap_or(false);
-            if !already {
-                let _ = kernel.transfer_fd(old_pid, fd, new_init, FdPlacement::Exact(fd));
-            }
-        }
-    }
-    // Pid virtualization: the new initial process observes the old initial
-    // process's pid.
-    let old_init = old_pids[0];
-    let old_virt = old.state.interpose.virtual_pid(old_init);
-    new_instance.state.interpose.map_pid(old_virt, new_init);
-
-    if let Err(e) = run_startup(kernel, &mut new_instance) {
-        return rollback(kernel, Some(new_instance), old, conflicts_of(e), report);
-    }
-    report.new_startup = new_instance.state.startup_duration;
-    // Conservative matching: recorded operations the new version omitted.
-    let omission_conflicts = {
-        let state = &mut new_instance.state;
-        let crate::program::InstanceState { interpose, annotations, .. } = state;
-        interpose.finish_replay(annotations)
-    };
-    if !omission_conflicts.is_empty() {
-        return rollback(kernel, Some(new_instance), old, omission_conflicts, report);
-    }
-    // Park every new-version thread at its quiescent point so it cannot
-    // observe external events before commit.
-    if let Err(e) = wait_quiescence(kernel, &mut new_instance, opts.max_quiesce_rounds) {
-        return rollback(kernel, Some(new_instance), old, conflicts_of(e), report);
-    }
-    report.replay = new_instance.state.interpose.stats();
-    report.timings.control_migration = kernel.now().duration_since(cm_start);
-
-    // --------------------------------------------------------------
-    // 3. Restore: match processes, trace the old state, transfer it.
-    // --------------------------------------------------------------
-    let st_start = kernel.now();
-    let pairs = match match_processes(kernel, &old, &mut new_instance, opts, &mut report) {
-        Ok(p) => p,
-        Err(e) => return rollback(kernel, Some(new_instance), old, conflicts_of(e), report),
-    };
-
-    let mut conflicts: Vec<Conflict> = Vec::new();
-    for &(old_pid, new_pid) in &pairs {
-        let trace = match trace_process(kernel, &old.state, old_pid, opts.trace) {
-            Ok(t) => t,
-            Err(e) => return rollback(kernel, Some(new_instance), old, conflicts_of(e), report),
-        };
-        report.tracing.merge(&trace.stats);
-        let proc_report =
-            match transfer_process(kernel, &old.state, old_pid, &mut new_instance.state, new_pid, &trace) {
-                Ok(r) => r,
-                Err(e) => return rollback(kernel, Some(new_instance), old, conflicts_of(e), report),
-            };
-        conflicts.extend(proc_report.conflicts.clone());
-        report.transfer.push(proc_report);
-
-        // Per-process descriptor inheritance: connection descriptors created
-        // after startup exist only in the matched old process. Descriptor
-        // numbers may clash across processes (two old workers can both own a
-        // "fd 7" referring to different connections); the matched process's
-        // own object wins, mirroring the per-process mapping the paper calls
-        // for in multiprocess deployments.
-        let fds: Vec<(Fd, mcr_procsim::ObjId)> = match kernel.process(old_pid) {
-            Ok(p) => p.fds().iter().map(|(fd, e)| (fd, e.object)).collect(),
-            Err(_) => Vec::new(),
-        };
-        for (fd, old_obj) in fds {
-            let existing = kernel.process(new_pid).ok().and_then(|p| p.fds().get(fd).ok());
-            match existing {
-                Some(entry) if entry.object == old_obj => {}
-                Some(_) => {
-                    // Same number, different object: replace it with the
-                    // object this process actually owned in the old version.
-                    let new_tid = kernel.process(new_pid).map(|p| p.main_tid());
-                    if let Ok(tid) = new_tid {
-                        let _ = kernel.syscall(new_pid, tid, Syscall::Close { fd });
-                        let _ = kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
-                    }
-                }
-                None => {
-                    let _ = kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
-                }
-            }
-        }
-    }
-    if !conflicts.is_empty() {
-        return rollback(kernel, Some(new_instance), old, conflicts, report);
-    }
-    report.timings.state_transfer = report.transfer.parallel_duration;
-    report.timings.state_transfer_serial = kernel.now().duration_since(st_start);
-
-    // --------------------------------------------------------------
-    // 4. Commit: the new version resumes; the old version is terminated.
-    // --------------------------------------------------------------
-    resume(kernel, &mut new_instance);
-    for &pid in &old.state.processes {
-        let _ = kernel.remove_process(pid);
-    }
-    report.timings.total = kernel.now().duration_since(t_total);
-    (new_instance, UpdateOutcome::Committed(report))
-}
-
-/// Pairs old-version processes with new-version processes by creation-time
-/// call-stack ID (and creation order), optionally recreating counterparts
-/// for unmatched old processes.
-fn match_processes(
-    kernel: &mut Kernel,
-    old: &McrInstance,
-    new_instance: &mut McrInstance,
-    opts: &UpdateOptions,
-    report: &mut UpdateReport,
-) -> McrResult<Vec<(Pid, Pid)>> {
-    let new_init = new_instance.init_pid()?;
-    let mut pairs = Vec::new();
-    let mut used: BTreeSet<u32> = BTreeSet::new();
-    for &old_pid in &old.state.processes {
-        let old_proc = kernel.process(old_pid).map_err(McrError::Sim)?;
-        let old_cs = CallStackId::from_frames(old_proc.creation_stack());
-        let old_stack = old_proc.creation_stack().to_vec();
-        let candidate = new_instance
-            .state
-            .processes
-            .iter()
-            .copied()
-            .filter(|p| !used.contains(&p.0))
-            .find(|&p| {
-                kernel
-                    .process(p)
-                    .map(|proc| CallStackId::from_frames(proc.creation_stack()) == old_cs)
-                    .unwrap_or(false)
-            });
-        match candidate {
-            Some(new_pid) => {
-                used.insert(new_pid.0);
-                pairs.push((old_pid, new_pid));
-                report.processes_matched += 1;
-            }
-            None if opts.recreate_unmatched_processes => {
-                // Fork a counterpart from the new version's initial process
-                // (modelling the annotated control-migration extension the
-                // paper describes for volatile quiescent points).
-                let init_tid = kernel.process(new_init).map_err(McrError::Sim)?.main_tid();
-                let child = kernel
-                    .syscall(new_init, init_tid, Syscall::Fork)
-                    .map_err(McrError::Sim)?
-                    .as_pid()
-                    .ok_or_else(|| McrError::InvalidState("fork did not return a pid".into()))?;
-                {
-                    let proc = kernel.process_mut(child).map_err(McrError::Sim)?;
-                    proc.set_creation_stack(old_stack);
-                    let main = proc.main_tid();
-                    proc.thread_mut(main).map_err(McrError::Sim)?.set_state(ThreadState::Quiesced);
-                }
-                let child_tid = kernel.process(child).map_err(McrError::Sim)?.main_tid();
-                let name = old
-                    .state
-                    .threads
-                    .iter()
-                    .find(|t| t.pid == old_pid)
-                    .map(|t| t.name.clone())
-                    .unwrap_or_else(|| "recreated".to_string());
-                new_instance.state.processes.push(child);
-                new_instance.state.threads.push(ThreadRosterEntry {
-                    pid: child,
-                    tid: child_tid,
-                    name,
-                    created_during_startup: false,
-                    exited: false,
-                });
-                // The pid the old process observed stays meaningful in
-                // transferred data structures.
-                let old_virt = old.state.interpose.virtual_pid(old_pid);
-                new_instance.state.interpose.map_pid(old_virt, child);
-                used.insert(child.0);
-                pairs.push((old_pid, child));
-                report.processes_recreated += 1;
-            }
-            None => {
-                return Err(Conflict::MissingCounterpart { object: format!("process {old_pid}") }.into());
-            }
-        }
-    }
-    Ok(pairs)
+    UpdatePipeline::standard().run(kernel, old, new_program, config, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::scheduler::{boot, run_round, run_rounds};
+    use crate::runtime::pipeline::{FaultPlan, PhaseName, UpdatePipeline};
+    use crate::runtime::scheduler::{boot, run_round, run_rounds, BootOptions};
     use crate::runtime::testprog::{FaultyServer, TinyServer};
     use mcr_procsim::Addr;
 
@@ -421,6 +181,33 @@ mod tests {
     }
 
     #[test]
+    fn committed_update_records_every_phase() {
+        let mut kernel = Kernel::new();
+        let v1 = booted_v1(&mut kernel);
+        let (_v2, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(outcome.is_committed());
+        let report = outcome.report();
+        let executed: Vec<PhaseName> = report.phases.records().iter().map(|r| r.name).collect();
+        assert_eq!(executed, PhaseName::ALL, "phases ran in pipeline order");
+        for phase in PhaseName::ALL {
+            assert!(report.phases.completed(phase), "{phase} completed");
+        }
+        // The legacy timing breakdown is populated from the phase trace.
+        assert_eq!(report.phases.duration_of(PhaseName::Quiesce).unwrap(), report.timings.quiescence);
+        assert_eq!(
+            report.phases.duration_of(PhaseName::ReinitReplay).unwrap(),
+            report.timings.control_migration
+        );
+        assert!(report.phases.total() <= report.timings.total);
+    }
+
+    #[test]
     fn omitted_startup_call_rolls_back_and_old_version_survives() {
         let mut kernel = Kernel::new();
         let mut v1 = booted_v1(&mut kernel);
@@ -435,11 +222,12 @@ mod tests {
             &UpdateOptions::default(),
         );
         assert!(!outcome.is_committed());
-        assert!(outcome
-            .conflicts()
-            .iter()
-            .any(|c| matches!(c, Conflict::OmittedReplayEntry { .. })));
+        assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::OmittedReplayEntry { .. })));
         assert_eq!(still_v1.state.version, "1.0");
+        // The failing phase is visible in the trace.
+        let last = outcome.report().phases.last().unwrap();
+        assert_eq!(last.name, PhaseName::ReinitReplay);
+        assert!(!last.completed);
 
         // The old version keeps serving clients after the rollback.
         let c = kernel.client_connect(8080).unwrap();
@@ -472,10 +260,8 @@ mod tests {
         let mut instance = booted_v1(&mut kernel);
         for generation in 2..=4u32 {
             serve_clients(&mut kernel, &mut instance, 1);
-            let opts = UpdateOptions {
-                layout_slide: 0x1_0000_0000 * u64::from(generation),
-                ..Default::default()
-            };
+            let opts =
+                UpdateOptions { layout_slide: 0x1_0000_0000 * u64::from(generation), ..Default::default() };
             let (next, outcome) = live_update(
                 &mut kernel,
                 instance,
@@ -492,5 +278,41 @@ mod tests {
         kernel.client_send(c, b"GET /".to_vec()).unwrap();
         run_rounds(&mut kernel, &mut instance, 2).unwrap();
         assert!(String::from_utf8_lossy(&kernel.client_recv(c).unwrap()).contains("v4"));
+    }
+
+    #[test]
+    fn injected_fault_before_commit_rolls_back_with_full_trace() {
+        let mut kernel = Kernel::new();
+        let mut v1 = booted_v1(&mut kernel);
+        serve_clients(&mut kernel, &mut v1, 2);
+
+        let pipeline =
+            UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_before(PhaseName::Commit));
+        let (mut still_v1, outcome) = pipeline.run(
+            &mut kernel,
+            v1,
+            Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(!outcome.is_committed());
+        assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::FaultInjected { .. })));
+        // Every phase before the fault ran to completion; commit never ran.
+        let report = outcome.report();
+        for phase in [
+            PhaseName::Quiesce,
+            PhaseName::ReinitReplay,
+            PhaseName::MatchProcesses,
+            PhaseName::TraceAndTransfer,
+        ] {
+            assert!(report.phases.completed(phase), "{phase} completed before the fault");
+        }
+        assert!(report.phases.duration_of(PhaseName::Commit).is_none());
+        // The old version is intact and serving.
+        assert_eq!(still_v1.state.version, "1.0");
+        let c = kernel.client_connect(8080).unwrap();
+        kernel.client_send(c, b"GET /".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut still_v1, 2).unwrap();
+        assert!(String::from_utf8_lossy(&kernel.client_recv(c).unwrap()).contains("v1"));
     }
 }

@@ -1,12 +1,19 @@
 //! The MCR runtime: instance lifecycle, cooperative scheduling, the
-//! quiescence barrier, and the live-update controller.
+//! quiescence barrier, and the staged live-update pipeline.
+//!
+//! The update path is organized as a pipeline of named phases (see
+//! [`pipeline`]): [`live_update`] runs the standard phase sequence, while
+//! [`UpdatePipeline`] lets callers inject faults at phase boundaries or
+//! assemble custom phase lists.
 
 pub mod controller;
+pub mod pipeline;
 pub mod report;
 pub mod scheduler;
 
 pub use controller::{live_update, UpdateOptions, UpdateOutcome};
-pub use report::{MemoryReport, UpdateReport, UpdateTimings};
+pub use pipeline::{FaultPlan, Phase, PhaseName, UpdateCtx, UpdatePipeline};
+pub use report::{MemoryReport, PhaseRecord, PhaseTrace, UpdateReport, UpdateTimings};
 pub use scheduler::{
     all_quiesced, boot, create_instance, request_quiescence, resume, run_round, run_rounds, run_startup,
     step_thread, wait_quiescence, BootOptions, McrInstance, RoundStats,
@@ -39,12 +46,7 @@ pub(crate) mod testprog {
         /// Creates generation `generation` of the server (generation 2 and
         /// later add a `new` field to `l_t`, as in Figure 2).
         pub fn new(generation: u32) -> Self {
-            TinyServer {
-                generation,
-                version: format!("{generation}.0"),
-                listen_fd: None,
-                list_global: None,
-            }
+            TinyServer { generation, version: format!("{generation}.0"), listen_fd: None, list_global: None }
         }
     }
 
@@ -59,8 +61,7 @@ pub(crate) mod testprog {
 
         fn register_types(&mut self, types: &mut TypeRegistry) {
             let int = types.int("int", 4);
-            let conf =
-                types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
+            let conf = types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
             let _ = types.pointer("conf_s*", conf);
             let fwd = types.opaque("l_t_fwd", 16);
             let node_ptr = types.pointer("l_t*", fwd);
@@ -102,22 +103,17 @@ pub(crate) mod testprog {
         }
 
         fn thread_step(&mut self, env: &mut ProgramEnv<'_>) -> McrResult<StepOutcome> {
-            let fd = self
-                .listen_fd
-                .ok_or_else(|| McrError::InvalidState("server not started".into()))?;
-            let list_global = self
-                .list_global
-                .ok_or_else(|| McrError::InvalidState("server not started".into()))?;
+            let fd = self.listen_fd.ok_or_else(|| McrError::InvalidState("server not started".into()))?;
+            let list_global =
+                self.list_global.ok_or_else(|| McrError::InvalidState("server not started".into()))?;
             match env.syscall(Syscall::Accept { fd }) {
-                Err(McrError::Sim(SimError::WouldBlock)) => Ok(StepOutcome::WouldBlock {
-                    call: "accept".into(),
-                    loop_name: "main_loop".into(),
-                }),
+                Err(McrError::Sim(SimError::WouldBlock)) => {
+                    Ok(StepOutcome::WouldBlock { call: "accept".into(), loop_name: "main_loop".into() })
+                }
                 Err(e) => Err(e),
                 Ok(ret) => {
-                    let conn_fd = ret
-                        .as_fd()
-                        .ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
+                    let conn_fd =
+                        ret.as_fd().ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
                     // Read the request (it may not have arrived yet).
                     let _ = env.syscall(Syscall::Read { fd: conn_fd, len: 1024 });
                     let reply = format!("hello from v{}", self.generation).into_bytes();
@@ -167,17 +163,14 @@ pub(crate) mod testprog {
 
         fn register_types(&mut self, types: &mut TypeRegistry) {
             let int = types.int("int", 4);
-            let conf =
-                types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
+            let conf = types.struct_type("conf_s", vec![Field::new("workers", int), Field::new("port", int)]);
             let _ = types.pointer("conf_s*", conf);
         }
 
         fn startup(&mut self, env: &mut ProgramEnv<'_>) -> McrResult<()> {
             env.scoped("server_init", |env| {
                 if self.abort_startup {
-                    return Err(McrError::Sim(SimError::Aborted(
-                        "detected another running instance".into(),
-                    )));
+                    return Err(McrError::Sim(SimError::Aborted("detected another running instance".into())));
                 }
                 let fd = env
                     .syscall(Syscall::Socket)?

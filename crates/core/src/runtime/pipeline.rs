@@ -1,0 +1,580 @@
+//! The staged live-update pipeline.
+//!
+//! The paper's atomic, reversible update (checkpoint → restart → restore →
+//! commit-or-rollback, Figure 1) is expressed here as an ordered sequence of
+//! named [`Phase`] values driven by [`UpdatePipeline::run`] over a shared
+//! [`UpdateCtx`]:
+//!
+//! 1. [`PhaseName::Quiesce`] — park every old-version thread at its
+//!    quiescent point (the checkpoint).
+//! 2. [`PhaseName::ReinitReplay`] — boot the new version under mutable
+//!    reinitialization: replay the recorded startup log, inherit descriptors
+//!    and virtualized pids, and park the new version's threads.
+//! 3. [`PhaseName::MatchProcesses`] — pair old processes with new-version
+//!    counterparts by creation-time call-stack ID, optionally recreating
+//!    counterparts for volatile quiescent points.
+//! 4. [`PhaseName::TraceAndTransfer`] — mutable tracing and state transfer
+//!    for every matched pair, plus per-process descriptor inheritance.
+//! 5. [`PhaseName::Commit`] — resume the new version and terminate the old
+//!    one (the single non-reversible step).
+//!
+//! Every phase returns `Result`; the driver records each phase's duration
+//! into [`UpdateReport::phases`](crate::runtime::report::UpdateReport) and
+//! funnels *every* failure — wherever it happens — through the single
+//! [`roll_back`](UpdatePipeline::run) code path, which tears down whatever
+//! exists of the new version and resumes the old one from its checkpoint.
+//! A [`FaultPlan`] can force a failure at any phase boundary, which is how
+//! the integration tests prove the rollback invariant phase by phase.
+
+use std::collections::BTreeSet;
+
+use mcr_procsim::{Fd, FdPlacement, Kernel, Pid, Syscall, SyscallPort, ThreadState};
+use mcr_typemeta::InstrumentationConfig;
+
+use crate::callstack::CallStackId;
+use crate::error::{Conflict, McrError, McrResult};
+use crate::interpose::Interposer;
+use crate::program::{Program, ThreadRosterEntry};
+use crate::runtime::controller::{UpdateOptions, UpdateOutcome};
+use crate::runtime::report::UpdateReport;
+use crate::runtime::scheduler::{
+    create_instance, resume, run_startup, wait_quiescence, BootOptions, McrInstance,
+};
+use crate::tracing::tracer::trace_process;
+use crate::transfer::engine::transfer_process;
+
+/// Identifies one stage of the live-update pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhaseName {
+    /// Park the old version at its quiescent points (checkpoint).
+    Quiesce,
+    /// Boot the new version under mutable reinitialization (record/replay).
+    ReinitReplay,
+    /// Pair old processes with new-version counterparts.
+    MatchProcesses,
+    /// Mutable tracing and state transfer of every matched pair.
+    TraceAndTransfer,
+    /// Resume the new version, terminate the old (point of no return).
+    Commit,
+}
+
+impl PhaseName {
+    /// Every phase of the standard pipeline, in execution order.
+    pub const ALL: [PhaseName; 5] = [
+        PhaseName::Quiesce,
+        PhaseName::ReinitReplay,
+        PhaseName::MatchProcesses,
+        PhaseName::TraceAndTransfer,
+        PhaseName::Commit,
+    ];
+
+    /// Stable human-readable label (used in reports and conflict messages).
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseName::Quiesce => "quiesce",
+            PhaseName::ReinitReplay => "reinit-replay",
+            PhaseName::MatchProcesses => "match-processes",
+            PhaseName::TraceAndTransfer => "trace-and-transfer",
+            PhaseName::Commit => "commit",
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Shared state threaded through every phase of one update attempt.
+pub struct UpdateCtx<'k> {
+    /// The simulated kernel both versions run on.
+    pub kernel: &'k mut Kernel,
+    /// The running old version (checkpointed by `Quiesce`, terminated by
+    /// `Commit`, resumed by the rollback guard).
+    pub old: McrInstance,
+    /// The new version, once `ReinitReplay` has created it.
+    pub new_instance: Option<McrInstance>,
+    /// Options of this attempt.
+    pub opts: UpdateOptions,
+    /// Instrumentation configuration for the new version's build.
+    pub config: InstrumentationConfig,
+    /// Old-process → new-process pairs produced by `MatchProcesses`.
+    pub pairs: Vec<(Pid, Pid)>,
+    /// Everything measured so far (each phase appends its own record).
+    pub report: UpdateReport,
+    /// The program to boot, consumed by `ReinitReplay`.
+    new_program: Option<Box<dyn Program>>,
+    /// Set by `Commit`; decides between committed and rolled-back outcomes.
+    committed: bool,
+}
+
+impl<'k> UpdateCtx<'k> {
+    fn new(
+        kernel: &'k mut Kernel,
+        old: McrInstance,
+        new_program: Box<dyn Program>,
+        config: InstrumentationConfig,
+        opts: &UpdateOptions,
+    ) -> Self {
+        let report = UpdateReport { old_startup: old.state.startup_duration, ..Default::default() };
+        UpdateCtx {
+            kernel,
+            old,
+            new_instance: None,
+            opts: *opts,
+            config,
+            pairs: Vec::new(),
+            report,
+            new_program: Some(new_program),
+            committed: false,
+        }
+    }
+}
+
+/// One stage of the update pipeline.
+///
+/// A phase reads and mutates the shared [`UpdateCtx`]; returning an error
+/// aborts the update and sends the whole attempt through the pipeline's
+/// single rollback path. Phases must keep the old version restorable until
+/// [`PhaseName::Commit`] runs.
+pub trait Phase {
+    /// The phase's identity (drives reporting and fault injection).
+    fn name(&self) -> PhaseName;
+
+    /// Executes the phase.
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()>;
+}
+
+/// Forces failures at phase boundaries, for rollback testing and chaos-style
+/// drills. A fault "after phase P" is expressed as a fault before the next
+/// phase; there is deliberately no way to inject one after `Commit`, because
+/// commit is the pipeline's atomic point — nothing is reversible beyond it.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    before: Vec<PhaseName>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that fails the update at the boundary right before `phase`.
+    pub fn failing_before(phase: PhaseName) -> Self {
+        FaultPlan { before: vec![phase] }
+    }
+
+    /// Adds another boundary fault to the plan.
+    #[must_use]
+    pub fn and_before(mut self, phase: PhaseName) -> Self {
+        self.before.push(phase);
+        self
+    }
+
+    /// Whether a fault fires at the boundary before `phase`.
+    pub fn fires_before(&self, phase: PhaseName) -> bool {
+        self.before.contains(&phase)
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.before.is_empty()
+    }
+}
+
+/// An ordered sequence of [`Phase`]s plus an optional [`FaultPlan`].
+pub struct UpdatePipeline {
+    phases: Vec<Box<dyn Phase>>,
+    fault_plan: FaultPlan,
+}
+
+impl std::fmt::Debug for UpdatePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdatePipeline")
+            .field("phases", &self.phase_names())
+            .field("fault_plan", &self.fault_plan)
+            .finish()
+    }
+}
+
+impl Default for UpdatePipeline {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl UpdatePipeline {
+    /// The paper's standard pipeline: quiesce → reinit/replay → match →
+    /// trace/transfer → commit.
+    pub fn standard() -> Self {
+        UpdatePipeline {
+            phases: vec![
+                Box::new(QuiescePhase),
+                Box::new(ReinitReplayPhase),
+                Box::new(MatchProcessesPhase),
+                Box::new(TraceAndTransferPhase),
+                Box::new(CommitPhase),
+            ],
+            fault_plan: FaultPlan::none(),
+        }
+    }
+
+    /// Replaces the pipeline's fault plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The names of the phases, in execution order.
+    pub fn phase_names(&self) -> Vec<PhaseName> {
+        self.phases.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline: executes every phase in order over a fresh
+    /// [`UpdateCtx`], recording per-phase durations, and returns the instance
+    /// that is running afterwards together with the outcome.
+    ///
+    /// This driver is the *only* place that decides between commit and
+    /// rollback: any phase failure — including injected faults — funnels into
+    /// the single `roll_back` guard below, so there is exactly one code path
+    /// that restores the old version.
+    pub fn run(
+        &self,
+        kernel: &mut Kernel,
+        old: McrInstance,
+        new_program: Box<dyn Program>,
+        config: InstrumentationConfig,
+        opts: &UpdateOptions,
+    ) -> (McrInstance, UpdateOutcome) {
+        let mut ctx = UpdateCtx::new(kernel, old, new_program, config, opts);
+        let t_total = ctx.kernel.now();
+        let mut failure: Option<McrError> = None;
+        for phase in &self.phases {
+            let name = phase.name();
+            if self.fault_plan.fires_before(name) {
+                failure = Some(Conflict::FaultInjected { phase: name.label().into() }.into());
+                break;
+            }
+            let start = ctx.kernel.now();
+            let result = phase.run(&mut ctx);
+            let duration = ctx.kernel.now().duration_since(start);
+            ctx.report.phases.record(name, duration, result.is_ok());
+            ctx.report.timings.absorb_phase(name, &ctx.report.phases);
+            if let Err(e) = result {
+                failure = Some(e);
+                break;
+            }
+        }
+        ctx.report.timings.total = ctx.kernel.now().duration_since(t_total);
+        if ctx.committed {
+            // Commit is the point of no return: the old version's processes
+            // are gone, so even if a custom post-commit phase failed we must
+            // surface the new version as running. The failure stays visible
+            // in the phase trace (its record has `completed == false`).
+            let new_instance =
+                ctx.new_instance.take().expect("a committed pipeline leaves the new instance in the context");
+            return (new_instance, UpdateOutcome::Committed(ctx.report));
+        }
+        match failure {
+            // A pipeline that finished without committing (e.g. a custom
+            // phase list with no Commit) is treated as an aborted attempt.
+            None => Self::roll_back(ctx, Vec::new()),
+            Some(error) => {
+                let conflicts = match error {
+                    McrError::Conflicts(cs) => cs,
+                    other => vec![Conflict::StartupFailure {
+                        syscall: "<runtime>".into(),
+                        error: other.to_string(),
+                    }],
+                };
+                Self::roll_back(ctx, conflicts)
+            }
+        }
+    }
+
+    /// The pipeline's single rollback guard: tears down whatever exists of
+    /// the new version and resumes the old version from its checkpoint.
+    /// Every aborted attempt — phase error, conflict set, injected fault —
+    /// goes through here and nowhere else.
+    fn roll_back(ctx: UpdateCtx<'_>, conflicts: Vec<Conflict>) -> (McrInstance, UpdateOutcome) {
+        let UpdateCtx { kernel, mut old, new_instance, report, .. } = ctx;
+        if let Some(new_instance) = new_instance {
+            for &pid in &new_instance.state.processes {
+                let _ = kernel.remove_process(pid);
+            }
+        }
+        resume(kernel, &mut old);
+        (old, UpdateOutcome::RolledBack { conflicts, report })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The standard phases
+// ---------------------------------------------------------------------------
+
+/// Phase 1 — checkpoint: drive the barrier protocol until every old-version
+/// thread is parked at its quiescent point.
+pub struct QuiescePhase;
+
+impl Phase for QuiescePhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::Quiesce
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        wait_quiescence(ctx.kernel, &mut ctx.old, ctx.opts.max_quiesce_rounds)?;
+        ctx.report.open_connections = ctx.kernel.open_connection_count();
+        Ok(())
+    }
+}
+
+/// Phase 2 — restart: boot the new version under mutable reinitialization
+/// (global descriptor inheritance, pid virtualization, startup replay), then
+/// park it at its quiescent points so it cannot observe external events
+/// before commit.
+pub struct ReinitReplayPhase;
+
+impl Phase for ReinitReplayPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::ReinitReplay
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        let new_program = ctx
+            .new_program
+            .take()
+            .ok_or_else(|| McrError::InvalidState("pipeline has no program to boot".into()))?;
+        let boot_opts =
+            BootOptions { config: ctx.config, layout_slide: ctx.opts.layout_slide, start_quiesced: true };
+        let interposer = Interposer::replayer(ctx.old.state.interpose.recorded_log());
+        let new_instance = create_instance(ctx.kernel, new_program, interposer, &boot_opts)?;
+        let new_init = new_instance.init_pid()?;
+        ctx.new_instance = Some(new_instance);
+
+        // Global inheritance: the new version's first process inherits every
+        // descriptor of every old-version process at the same number.
+        let old_pids = ctx.old.state.processes.clone();
+        for &old_pid in &old_pids {
+            let fds: Vec<Fd> = match ctx.kernel.process(old_pid) {
+                Ok(p) => p.fds().iter().map(|(fd, _)| fd).collect(),
+                Err(_) => continue,
+            };
+            for fd in fds {
+                let already = ctx.kernel.process(new_init).map(|p| p.fds().contains(fd)).unwrap_or(false);
+                if !already {
+                    let _ = ctx.kernel.transfer_fd(old_pid, fd, new_init, FdPlacement::Exact(fd));
+                }
+            }
+        }
+        // Pid virtualization: the new initial process observes the old
+        // initial process's pid.
+        let old_init = old_pids[0];
+        let old_virt = ctx.old.state.interpose.virtual_pid(old_init);
+        let UpdateCtx { kernel, new_instance, opts, report, .. } = ctx;
+        let new_instance = new_instance.as_mut().expect("created above");
+        new_instance.state.interpose.map_pid(old_virt, new_init);
+
+        run_startup(kernel, new_instance)?;
+        report.new_startup = new_instance.state.startup_duration;
+        // Conservative matching: recorded operations the new version omitted.
+        let omission_conflicts = {
+            let state = &mut new_instance.state;
+            let crate::program::InstanceState { interpose, annotations, .. } = state;
+            interpose.finish_replay(annotations)
+        };
+        if !omission_conflicts.is_empty() {
+            return Err(McrError::Conflicts(omission_conflicts));
+        }
+        // Park every new-version thread at its quiescent point.
+        wait_quiescence(kernel, new_instance, opts.max_quiesce_rounds)?;
+        report.replay = new_instance.state.interpose.stats();
+        Ok(())
+    }
+}
+
+/// Phase 3 — pair old-version processes with new-version processes by
+/// creation-time call-stack ID (and creation order), optionally recreating
+/// counterparts for unmatched old processes (volatile quiescent points).
+pub struct MatchProcessesPhase;
+
+impl Phase for MatchProcessesPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::MatchProcesses
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        let UpdateCtx { kernel, old, new_instance, opts, report, pairs, .. } = ctx;
+        let new_instance = new_instance
+            .as_mut()
+            .ok_or_else(|| McrError::InvalidState("new instance not created yet".into()))?;
+        *pairs = match_processes(kernel, old, new_instance, opts, report)?;
+        Ok(())
+    }
+}
+
+/// Phase 4 — restore: mutable tracing and state transfer for every matched
+/// process pair, then per-process descriptor inheritance for connection
+/// descriptors created after startup.
+pub struct TraceAndTransferPhase;
+
+impl Phase for TraceAndTransferPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::TraceAndTransfer
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        let mut conflicts: Vec<Conflict> = Vec::new();
+        let pairs = ctx.pairs.clone();
+        for &(old_pid, new_pid) in &pairs {
+            let trace = trace_process(ctx.kernel, &ctx.old.state, old_pid, ctx.opts.trace)?;
+            ctx.report.tracing.merge(&trace.stats);
+            let proc_report = {
+                let UpdateCtx { kernel, old, new_instance, .. } = ctx;
+                let new_instance = new_instance.as_mut().expect("matched pairs imply an instance");
+                transfer_process(kernel, &old.state, old_pid, &mut new_instance.state, new_pid, &trace)?
+            };
+            conflicts.extend(proc_report.conflicts.clone());
+            ctx.report.transfer.push(proc_report);
+
+            // Per-process descriptor inheritance: connection descriptors
+            // created after startup exist only in the matched old process.
+            // Descriptor numbers may clash across processes (two old workers
+            // can both own a "fd 7" referring to different connections); the
+            // matched process's own object wins, mirroring the per-process
+            // mapping the paper calls for in multiprocess deployments.
+            let fds: Vec<(Fd, mcr_procsim::ObjId)> = match ctx.kernel.process(old_pid) {
+                Ok(p) => p.fds().iter().map(|(fd, e)| (fd, e.object)).collect(),
+                Err(_) => Vec::new(),
+            };
+            for (fd, old_obj) in fds {
+                let existing = ctx.kernel.process(new_pid).ok().and_then(|p| p.fds().get(fd).ok());
+                match existing {
+                    Some(entry) if entry.object == old_obj => {}
+                    Some(_) => {
+                        // Same number, different object: replace it with the
+                        // object this process actually owned in the old
+                        // version.
+                        let new_tid = ctx.kernel.process(new_pid).map(|p| p.main_tid());
+                        if let Ok(tid) = new_tid {
+                            let _ = ctx.kernel.syscall(new_pid, tid, Syscall::Close { fd });
+                            let _ = ctx.kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
+                        }
+                    }
+                    None => {
+                        let _ = ctx.kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
+                    }
+                }
+            }
+        }
+        if !conflicts.is_empty() {
+            return Err(McrError::Conflicts(conflicts));
+        }
+        ctx.report.timings.state_transfer = ctx.report.transfer.parallel_duration;
+        Ok(())
+    }
+}
+
+/// Phase 5 — commit: the new version resumes; the old version is terminated.
+/// This is the pipeline's single non-reversible step.
+pub struct CommitPhase;
+
+impl Phase for CommitPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::Commit
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        {
+            let UpdateCtx { kernel, new_instance, .. } = ctx;
+            let new_instance =
+                new_instance.as_mut().ok_or_else(|| McrError::InvalidState("nothing to commit".into()))?;
+            resume(kernel, new_instance);
+        }
+        for &pid in &ctx.old.state.processes {
+            let _ = ctx.kernel.remove_process(pid);
+        }
+        ctx.committed = true;
+        Ok(())
+    }
+}
+
+/// Pairs old-version processes with new-version processes by creation-time
+/// call-stack ID (and creation order), optionally recreating counterparts
+/// for unmatched old processes.
+fn match_processes(
+    kernel: &mut Kernel,
+    old: &McrInstance,
+    new_instance: &mut McrInstance,
+    opts: &UpdateOptions,
+    report: &mut UpdateReport,
+) -> McrResult<Vec<(Pid, Pid)>> {
+    let new_init = new_instance.init_pid()?;
+    let mut pairs = Vec::new();
+    let mut used: BTreeSet<u32> = BTreeSet::new();
+    for &old_pid in &old.state.processes {
+        let old_proc = kernel.process(old_pid).map_err(McrError::Sim)?;
+        let old_cs = CallStackId::from_frames(old_proc.creation_stack());
+        let old_stack = old_proc.creation_stack().to_vec();
+        let candidate =
+            new_instance.state.processes.iter().copied().filter(|p| !used.contains(&p.0)).find(|&p| {
+                kernel
+                    .process(p)
+                    .map(|proc| CallStackId::from_frames(proc.creation_stack()) == old_cs)
+                    .unwrap_or(false)
+            });
+        match candidate {
+            Some(new_pid) => {
+                used.insert(new_pid.0);
+                pairs.push((old_pid, new_pid));
+                report.processes_matched += 1;
+            }
+            None if opts.recreate_unmatched_processes => {
+                // Fork a counterpart from the new version's initial process
+                // (modelling the annotated control-migration extension the
+                // paper describes for volatile quiescent points).
+                let init_tid = kernel.process(new_init).map_err(McrError::Sim)?.main_tid();
+                let child = kernel
+                    .syscall(new_init, init_tid, Syscall::Fork)
+                    .map_err(McrError::Sim)?
+                    .as_pid()
+                    .ok_or_else(|| McrError::InvalidState("fork did not return a pid".into()))?;
+                {
+                    let proc = kernel.process_mut(child).map_err(McrError::Sim)?;
+                    proc.set_creation_stack(old_stack);
+                    let main = proc.main_tid();
+                    proc.thread_mut(main).map_err(McrError::Sim)?.set_state(ThreadState::Quiesced);
+                }
+                let child_tid = kernel.process(child).map_err(McrError::Sim)?.main_tid();
+                let name = old
+                    .state
+                    .threads
+                    .iter()
+                    .find(|t| t.pid == old_pid)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|| "recreated".to_string());
+                new_instance.state.processes.push(child);
+                new_instance.state.threads.push(ThreadRosterEntry {
+                    pid: child,
+                    tid: child_tid,
+                    name,
+                    created_during_startup: false,
+                    exited: false,
+                });
+                // The pid the old process observed stays meaningful in
+                // transferred data structures.
+                let old_virt = old.state.interpose.virtual_pid(old_pid);
+                new_instance.state.interpose.map_pid(old_virt, child);
+                used.insert(child.0);
+                pairs.push((old_pid, child));
+                report.processes_recreated += 1;
+            }
+            None => {
+                return Err(Conflict::MissingCounterpart { object: format!("process {old_pid}") }.into());
+            }
+        }
+    }
+    Ok(pairs)
+}

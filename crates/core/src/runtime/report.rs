@@ -1,11 +1,66 @@
-//! Update and memory reports produced by the controller.
+//! Update and memory reports produced by the update pipeline.
 
 use mcr_procsim::{Kernel, SimDuration};
 
 use crate::interpose::InterposeStats;
+use crate::runtime::pipeline::PhaseName;
 use crate::runtime::scheduler::McrInstance;
 use crate::tracing::stats::TracingStats;
 use crate::transfer::engine::TransferSummary;
+
+/// Duration and outcome of one executed pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Which phase ran.
+    pub name: PhaseName,
+    /// How long it took (simulated time).
+    pub duration: SimDuration,
+    /// Whether the phase finished without error. At most one record per
+    /// attempt can be `false` — the pipeline rolls back on the first failure.
+    pub completed: bool,
+}
+
+/// Per-phase timing trace of one update attempt, in execution order.
+///
+/// The pipeline driver appends one record per executed phase, so a
+/// rolled-back attempt shows exactly how far it got and where the time went.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTrace {
+    records: Vec<PhaseRecord>,
+}
+
+impl PhaseTrace {
+    /// Appends a record (called by the pipeline driver after each phase).
+    pub(crate) fn record(&mut self, name: PhaseName, duration: SimDuration, completed: bool) {
+        self.records.push(PhaseRecord { name, duration, completed });
+    }
+
+    /// The executed phases, in order.
+    pub fn records(&self) -> &[PhaseRecord] {
+        &self.records
+    }
+
+    /// The duration of `name`, if that phase ran. A custom pipeline may run
+    /// the same phase more than once; the most recent run wins.
+    pub fn duration_of(&self, name: PhaseName) -> Option<SimDuration> {
+        self.records.iter().rev().find(|r| r.name == name).map(|r| r.duration)
+    }
+
+    /// Whether `name` ran and its most recent run finished without error.
+    pub fn completed(&self, name: PhaseName) -> bool {
+        self.records.iter().rev().find(|r| r.name == name).is_some_and(|r| r.completed)
+    }
+
+    /// The last phase that started (the failing one, for a rollback).
+    pub fn last(&self) -> Option<&PhaseRecord> {
+        self.records.last()
+    }
+
+    /// Sum of every recorded phase duration.
+    pub fn total(&self) -> SimDuration {
+        self.records.iter().fold(SimDuration::default(), |acc, r| acc.saturating_add(r.duration))
+    }
+}
 
 /// Breakdown of the client-perceived update time (§8 "Update time").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,11 +80,34 @@ pub struct UpdateTimings {
     pub total: SimDuration,
 }
 
+impl UpdateTimings {
+    /// Folds a just-recorded phase duration into the legacy timing fields
+    /// (called by the pipeline driver after every phase, so the breakdown is
+    /// populated automatically and stays meaningful on rollback).
+    pub(crate) fn absorb_phase(&mut self, name: PhaseName, phases: &PhaseTrace) {
+        let d = phases.duration_of(name).unwrap_or_default();
+        match name {
+            PhaseName::Quiesce => self.quiescence = d,
+            PhaseName::ReinitReplay => self.control_migration = d,
+            PhaseName::TraceAndTransfer => {
+                // The serial wall time spans process matching plus the
+                // sequential per-process trace/transfer loop.
+                let matching = phases.duration_of(PhaseName::MatchProcesses).unwrap_or_default();
+                self.state_transfer_serial = matching.saturating_add(d);
+            }
+            PhaseName::MatchProcesses | PhaseName::Commit => {}
+        }
+    }
+}
+
 /// Everything MCR measured while performing (or attempting) one live update.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateReport {
     /// Timing breakdown.
     pub timings: UpdateTimings,
+    /// Per-phase execution trace (which phases ran, for how long, and
+    /// whether they completed).
+    pub phases: PhaseTrace,
     /// Aggregated mutable-tracing statistics across processes (Table 2).
     pub tracing: TracingStats,
     /// Aggregated state-transfer results across processes.

@@ -7,7 +7,7 @@
 //! quiescence profiler, and implements the barrier protocol that parks every
 //! thread at its quiescent point when an update is requested.
 
-use mcr_procsim::{Kernel, Pid, SimDuration, SimInstant, Tid, ThreadState};
+use mcr_procsim::{Kernel, Pid, SimDuration, SimInstant, ThreadState, Tid};
 use mcr_typemeta::InstrumentationConfig;
 
 use crate::error::{Conflict, McrError, McrResult};
@@ -139,17 +139,8 @@ pub fn run_startup(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult
     }
     // Children forked during startup perform their own initialization next
     // (possibly forking further children or spawning threads).
-    loop {
-        let Some(pending) = ({
-            let state = &mut instance.state;
-            if state.pending_children.is_empty() {
-                None
-            } else {
-                Some(state.pending_children.remove(0))
-            }
-        }) else {
-            break;
-        };
+    while !instance.state.pending_children.is_empty() {
+        let pending = instance.state.pending_children.remove(0);
         let child_tid = kernel.process(pending.actual_pid).map_err(McrError::Sim)?.main_tid();
         let McrInstance { program, state } = instance;
         let mut env =
@@ -184,11 +175,7 @@ fn finish_startup(kernel: &mut Kernel, instance: &mut McrInstance, start: SimIns
 /// # Errors
 ///
 /// Propagates creation and startup failures.
-pub fn boot(
-    kernel: &mut Kernel,
-    program: Box<dyn Program>,
-    opts: &BootOptions,
-) -> McrResult<McrInstance> {
+pub fn boot(kernel: &mut Kernel, program: Box<dyn Program>, opts: &BootOptions) -> McrResult<McrInstance> {
     let mut instance = create_instance(kernel, program, Interposer::recorder(), opts)?;
     run_startup(kernel, &mut instance)?;
     Ok(instance)
@@ -220,11 +207,8 @@ pub fn step_thread(
     tid: Tid,
 ) -> McrResult<StepOutcome> {
     let config = instance.state.config;
-    let thread_name = instance
-        .state
-        .roster_entry(pid, tid)
-        .map(|t| t.name.clone())
-        .unwrap_or_else(|| "thread".to_string());
+    let thread_name =
+        instance.state.roster_entry(pid, tid).map(|t| t.name.clone()).unwrap_or_else(|| "thread".to_string());
 
     // The quiescence hook runs before re-entering the blocking call: when an
     // update has been requested, the thread parks right here, at the top of
@@ -293,11 +277,7 @@ pub fn step_thread(
 /// Propagates program-level errors.
 pub fn run_round(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult<RoundStats> {
     let mut stats = RoundStats::default();
-    let threads: Vec<(Pid, Tid)> = instance
-        .state
-        .live_threads()
-        .map(|t| (t.pid, t.tid))
-        .collect();
+    let threads: Vec<(Pid, Tid)> = instance.state.live_threads().map(|t| (t.pid, t.tid)).collect();
     for (pid, tid) in threads {
         // Skip threads that are already parked or whose process is gone.
         let skip = match kernel.process(pid) {
@@ -373,10 +353,7 @@ pub fn wait_quiescence(
         .state
         .live_threads()
         .filter(|t| {
-            kernel
-                .process(t.pid)
-                .and_then(|p| p.thread(t.tid).map(|th| !th.is_quiesced()))
-                .unwrap_or(false)
+            kernel.process(t.pid).and_then(|p| p.thread(t.tid).map(|th| !th.is_quiesced())).unwrap_or(false)
         })
         .count();
     Err(Conflict::QuiescenceTimeout { running_threads: running }.into())
@@ -385,10 +362,7 @@ pub fn wait_quiescence(
 /// Whether every live thread of the instance is parked at a quiescent point.
 pub fn all_quiesced(kernel: &Kernel, instance: &McrInstance) -> bool {
     instance.state.live_threads().all(|t| {
-        kernel
-            .process(t.pid)
-            .and_then(|p| p.thread(t.tid).map(|th| th.is_quiesced()))
-            .unwrap_or(true)
+        kernel.process(t.pid).and_then(|p| p.thread(t.tid).map(|th| th.is_quiesced())).unwrap_or(true)
     })
 }
 
@@ -479,10 +453,7 @@ mod tests {
 
         let mut kernel2 = Kernel::new();
         kernel2.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
-        let opts = BootOptions {
-            config: InstrumentationConfig::baseline(),
-            ..Default::default()
-        };
+        let opts = BootOptions { config: InstrumentationConfig::baseline(), ..Default::default() };
         let mut base = boot(&mut kernel2, Box::new(TinyServer::new(1)), &opts).unwrap();
         run_rounds(&mut kernel2, &mut base, 5).unwrap();
         assert_eq!(base.state.counters.unblock_wraps, 0);

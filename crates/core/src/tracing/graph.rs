@@ -4,10 +4,9 @@ use std::collections::BTreeMap;
 
 use mcr_procsim::Addr;
 use mcr_typemeta::TypeId;
-use serde::{Deserialize, Serialize};
 
 /// Where a traced object lives and how it can be identified across versions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ObjectOrigin {
     /// A global/static variable, matched across versions by symbol name.
     Static {
@@ -55,7 +54,7 @@ impl ObjectOrigin {
 }
 
 /// A pointer discovered by mutable tracing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PointerEdge {
     /// Offset of the pointer slot within the source object.
     pub offset: u64,
@@ -68,7 +67,7 @@ pub struct PointerEdge {
 }
 
 /// One object reached by mutable tracing in the old version.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TracedObject {
     /// Base address in the old version.
     pub addr: Addr,
@@ -113,7 +112,7 @@ impl TracedObject {
 }
 
 /// The object graph produced by tracing one process of the old version.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ObjectGraph {
     objects: BTreeMap<u64, TracedObject>,
 }

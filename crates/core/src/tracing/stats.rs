@@ -1,10 +1,9 @@
 //! Mutable-tracing statistics (the data behind Table 2).
 
 use mcr_procsim::RegionKind;
-use serde::{Deserialize, Serialize};
 
 /// Memory-region class used by the Table 2 breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionClass {
     /// Global variables, strings and other static program data.
     Static,
@@ -26,7 +25,7 @@ impl RegionClass {
 }
 
 /// Pointer counts broken down by source and target region class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PointerStats {
     /// Total pointers of this kind.
     pub total: u64,
@@ -74,7 +73,7 @@ impl PointerStats {
 
 /// Aggregate statistics produced by mutable tracing (Table 2 plus the object
 /// counts quoted in the text of §8).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TracingStats {
     /// Precisely identified pointers.
     pub precise: PointerStats,

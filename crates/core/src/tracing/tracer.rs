@@ -67,7 +67,12 @@ impl<'a> Tracer<'a> {
     /// # Errors
     ///
     /// Fails if the process does not exist.
-    pub fn new(kernel: &'a Kernel, state: &'a InstanceState, pid: Pid, options: TraceOptions) -> McrResult<Self> {
+    pub fn new(
+        kernel: &'a Kernel,
+        state: &'a InstanceState,
+        pid: Pid,
+        options: TraceOptions,
+    ) -> McrResult<Self> {
         let process = kernel.process(pid).map_err(McrError::Sim)?;
         Ok(Tracer { process, state, options })
     }
@@ -111,7 +116,14 @@ impl<'a> Tracer<'a> {
                 likely_pointers: Vec::new(),
             };
 
-            self.scan_object(&mut traced, &mut stats, &mut worklist, &mut enqueued, &mut pin_immutable, &mut pin_non_updatable);
+            self.scan_object(
+                &mut traced,
+                &mut stats,
+                &mut worklist,
+                &mut enqueued,
+                &mut pin_immutable,
+                &mut pin_non_updatable,
+            );
             graph.insert(traced);
         }
 
@@ -150,7 +162,7 @@ impl<'a> Tracer<'a> {
         // Decide the layout to scan.
         enum Plan {
             Typed(Vec<LayoutElement>, u64),
-            PointerSlots(Vec<u64>, u64),
+            PointerSlots(Vec<u64>),
             Conservative,
         }
         let mask_bits = match treatment {
@@ -160,9 +172,7 @@ impl<'a> Tracer<'a> {
         let plan = match (&treatment, traced.type_id) {
             (Some(ObjTreatment::SkipTransfer), _) => return,
             (Some(ObjTreatment::ForceConservative), _) => Plan::Conservative,
-            (Some(ObjTreatment::PointerSlots(offsets)), _) => {
-                Plan::PointerSlots(offsets.clone(), traced.size)
-            }
+            (Some(ObjTreatment::PointerSlots(offsets)), _) => Plan::PointerSlots(offsets.clone()),
             (_, Some(ty)) => {
                 let elems = self.state.types.layout_elements(ty);
                 if elems.is_empty() {
@@ -212,7 +222,7 @@ impl<'a> Tracer<'a> {
                     }
                 }
             }
-            Plan::PointerSlots(offsets, _) => {
+            Plan::PointerSlots(offsets) => {
                 for off in offsets {
                     self.follow_precise(traced, off, None, mask_bits, src_class, stats, worklist, enqueued);
                 }
@@ -659,13 +669,9 @@ mod tests {
         let result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
         assert_eq!(result.stats.precise.targ_lib, 1);
         assert!(result.graph.get(lib_obj).is_none(), "library state is not traced by default");
-        let traced_libs = trace_process(
-            &kernel,
-            &state,
-            pid,
-            TraceOptions { trace_libraries: true, ..Default::default() },
-        )
-        .unwrap();
+        let traced_libs =
+            trace_process(&kernel, &state, pid, TraceOptions { trace_libraries: true, ..Default::default() })
+                .unwrap();
         assert!(traced_libs.graph.get(lib_obj).is_some());
     }
 

@@ -13,7 +13,6 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mcr_procsim::{Addr, AllocSite, Kernel, Pid, SimDuration, TypeTag};
 use mcr_typemeta::TypeId;
-use serde::{Deserialize, Serialize};
 
 use crate::annotations::ObjTreatment;
 use crate::error::{Conflict, McrError, McrResult};
@@ -35,7 +34,7 @@ enum Placement {
 }
 
 /// Per-process state-transfer report.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProcessTransferReport {
     /// Objects whose contents were written into the new version.
     pub objects_transferred: u64,
@@ -55,7 +54,7 @@ pub struct ProcessTransferReport {
 }
 
 /// Aggregate over all processes of one live update.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransferSummary {
     /// Per-process reports in transfer order.
     pub per_process: Vec<ProcessTransferReport>,
@@ -215,12 +214,10 @@ pub fn transfer_process(
                 })
                 .unwrap_or(0);
             let transform_key = {
-                let by_symbol = symbol.as_ref().and_then(|s| {
-                    new_state.annotations.transform(s).map(|_| s.clone())
-                });
-                let by_type = old_ty_name.as_ref().and_then(|n| {
-                    new_state.annotations.transform(n).map(|_| n.clone())
-                });
+                let by_symbol =
+                    symbol.as_ref().and_then(|s| new_state.annotations.transform(s).map(|_| s.clone()));
+                let by_type =
+                    old_ty_name.as_ref().and_then(|n| new_state.annotations.transform(n).map(|_| n.clone()));
                 by_symbol.or(by_type)
             };
 
@@ -229,9 +226,9 @@ pub fn transfer_process(
                     Some(new_obj) => Placement::Existing(new_obj.addr),
                     None => {
                         if obj.dirty {
-                            report.conflicts.push(Conflict::MissingCounterpart {
-                                object: obj.origin.describe(),
-                            });
+                            report
+                                .conflicts
+                                .push(Conflict::MissingCounterpart { object: obj.origin.describe() });
                         }
                         continue;
                     }
@@ -241,7 +238,11 @@ pub fn transfer_process(
                     if obj.immutable {
                         Placement::Pinned(obj.addr)
                     } else if obj.startup {
-                        match site_name.as_ref().and_then(|n| site_index.get_mut(n)).and_then(|q| q.pop_front()) {
+                        match site_name
+                            .as_ref()
+                            .and_then(|n| site_index.get_mut(n))
+                            .and_then(|q| q.pop_front())
+                        {
                             Some(addr) => Placement::Existing(addr),
                             None => Placement::Fresh(Addr::NULL),
                         }
@@ -387,7 +388,14 @@ pub fn transfer_process(
                 let start = (k * old_stride) as usize;
                 let end = ((k + 1) * old_stride).min(item.old_bytes.len() as u64) as usize;
                 let mut elem = apply_field_map(&map, &item.old_bytes[start..end]);
-                rewrite_pointers(&mut elem, &map.pointers, &item.old_bytes[start..end], trace, &addr_map, item.mask_bits);
+                rewrite_pointers(
+                    &mut elem,
+                    &map.pointers,
+                    &item.old_bytes[start..end],
+                    trace,
+                    &addr_map,
+                    item.mask_bits,
+                );
                 out.extend_from_slice(&elem);
             }
             out
@@ -409,10 +417,7 @@ pub fn transfer_process(
             continue;
         }
         let len = out_bytes.len().min(writable);
-        new_proc
-            .space_mut()
-            .write_bytes(item.new_base, &out_bytes[..len])
-            .map_err(McrError::Sim)?;
+        new_proc.space_mut().write_bytes(item.new_base, &out_bytes[..len]).map_err(McrError::Sim)?;
         report.objects_transferred += 1;
         report.bytes_transferred += len as u64;
     }
@@ -498,8 +503,7 @@ mod tests {
         let _ = state.types.pointer("conf_s*", conf);
         let fwd = state.types.opaque("l_t_fwd", 16);
         let node_ptr = state.types.pointer("l_t*", fwd);
-        let _ =
-            state.types.struct_type("l_t", vec![Field::new("value", int), Field::new("next", node_ptr)]);
+        let _ = state.types.struct_type("l_t", vec![Field::new("value", int), Field::new("next", node_ptr)]);
     }
 
     fn register_v2_types(state: &mut InstanceState) {
@@ -672,10 +676,7 @@ mod tests {
         let trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
         let report =
             transfer_process(&mut kernel, &old_state, old_pid, &mut new_state, new_pid, &trace).unwrap();
-        assert!(report
-            .conflicts
-            .iter()
-            .any(|c| matches!(c, Conflict::NonUpdatableObjectChanged { .. })));
+        assert!(report.conflicts.iter().any(|c| matches!(c, Conflict::NonUpdatableObjectChanged { .. })));
     }
 
     /// A user transform handler overrides the structural transformation.
@@ -724,8 +725,16 @@ mod tests {
     #[test]
     fn summary_aggregates_serial_and_parallel_durations() {
         let mut summary = TransferSummary::default();
-        summary.push(ProcessTransferReport { duration: SimDuration(300), objects_transferred: 2, ..Default::default() });
-        summary.push(ProcessTransferReport { duration: SimDuration(500), bytes_transferred: 64, ..Default::default() });
+        summary.push(ProcessTransferReport {
+            duration: SimDuration(300),
+            objects_transferred: 2,
+            ..Default::default()
+        });
+        summary.push(ProcessTransferReport {
+            duration: SimDuration(500),
+            bytes_transferred: 64,
+            ..Default::default()
+        });
         assert_eq!(summary.serial_duration, SimDuration(800));
         assert_eq!(summary.parallel_duration, SimDuration(500));
         assert_eq!(summary.objects_transferred(), 2);

@@ -9,10 +9,9 @@
 //! user transform handlers (annotations).
 
 use mcr_typemeta::{TypeId, TypeKind, TypeRegistry};
-use serde::{Deserialize, Serialize};
 
 /// A plan for converting one object from its old layout to its new layout.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FieldMap {
     /// Raw byte copies: `(old_offset, new_offset, len)`.
     pub copies: Vec<(u64, u64, u64)>,
@@ -66,7 +65,15 @@ pub fn compute_field_map(
     map
 }
 
-fn raw_copy(old_reg: &TypeRegistry, old_ty: TypeId, old_off: u64, new_reg: &TypeRegistry, new_ty: TypeId, new_off: u64, map: &mut FieldMap) {
+fn raw_copy(
+    old_reg: &TypeRegistry,
+    old_ty: TypeId,
+    old_off: u64,
+    new_reg: &TypeRegistry,
+    new_ty: TypeId,
+    new_off: u64,
+    map: &mut FieldMap,
+) {
     let len = old_reg.size_of(old_ty).min(new_reg.size_of(new_ty));
     if len > 0 {
         map.copies.push((old_off, new_off, len));
@@ -110,7 +117,10 @@ fn map_into(
                 }
             }
         }
-        (TypeKind::Array { elem: old_elem, len: old_len }, TypeKind::Array { elem: new_elem, len: new_len }) => {
+        (
+            TypeKind::Array { elem: old_elem, len: old_len },
+            TypeKind::Array { elem: new_elem, len: new_len },
+        ) => {
             let old_stride = stride(old_reg, *old_elem);
             let new_stride = stride(new_reg, *new_elem);
             for i in 0..(*old_len).min(*new_len) {
@@ -250,8 +260,7 @@ mod tests {
     fn removed_field_dropped() {
         let mut old_reg = TypeRegistry::new();
         let int = old_reg.int("int", 4);
-        let old =
-            old_reg.struct_type("s", vec![Field::new("keep", int), Field::new("drop", int)]);
+        let old = old_reg.struct_type("s", vec![Field::new("keep", int), Field::new("drop", int)]);
         let mut new_reg = TypeRegistry::new();
         let int2 = new_reg.int("int", 4);
         let new = new_reg.struct_type("s", vec![Field::new("keep", int2)]);

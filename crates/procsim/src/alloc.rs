@@ -22,19 +22,17 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{SimError, SimResult};
 use crate::memory::{Addr, AddressSpace};
 
 /// Identifier of a static allocation call site (assigned by the
 /// instrumentation layer; `0` means "unknown / uninstrumented").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AllocSite(pub u64);
 
 /// Opaque data-type tag identifier (resolved by the `mcr-typemeta` crate;
 /// `0` means "untyped").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TypeTag(pub u64);
 
 /// Header flag bits stored in-band in front of every chunk payload.
@@ -52,7 +50,7 @@ pub const HEADER_BASE: u64 = 16;
 pub const HEADER_INSTR: u64 = 32;
 
 /// Description of a live or freed chunk as read back from in-band metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkInfo {
     /// Address of the first payload byte.
     pub payload: Addr,
@@ -69,7 +67,7 @@ pub struct ChunkInfo {
 }
 
 /// Running statistics maintained by an allocator instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
     /// Number of successful allocations.
     pub allocs: u64,
@@ -86,7 +84,7 @@ pub struct AllocStats {
 }
 
 /// A ptmalloc-style heap allocator bound to one heap region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PtMalloc {
     heap_base: Addr,
     heap_size: u64,
@@ -201,11 +199,7 @@ impl PtMalloc {
         let total = self.header_size() + payload_size;
 
         // First-fit search in the free list.
-        let reuse = self
-            .free_chunks
-            .iter()
-            .find(|(_, &sz)| sz >= total)
-            .map(|(&off, &sz)| (off, sz));
+        let reuse = self.free_chunks.iter().find(|(_, &sz)| sz >= total).map(|(&off, &sz)| (off, sz));
 
         let chunk_off = if let Some((off, sz)) = reuse {
             self.free_chunks.remove(&off);
@@ -412,10 +406,10 @@ impl PtMalloc {
 // ---------------------------------------------------------------------------
 
 /// Handle to a region/pool created by a [`RegionAllocator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PoolId(pub u64);
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Pool {
     storage: Addr,
     size: u64,
@@ -434,7 +428,7 @@ struct Pool {
 /// situation that forces MCR's conservative tracing. With instrumentation
 /// (the `nginxreg` configuration of the paper) every carved object is
 /// registered with its allocation site and type tag, at a measurable cost.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionAllocator {
     pools: BTreeMap<u64, Pool>,
     next_pool: u64,
@@ -489,10 +483,8 @@ impl RegionAllocator {
         type_tag: TypeTag,
     ) -> SimResult<Addr> {
         let instrumented = self.instrumented;
-        let p = self
-            .pools
-            .get_mut(&pool.0)
-            .ok_or(SimError::InvalidArgument(format!("unknown pool {pool:?}")))?;
+        let p =
+            self.pools.get_mut(&pool.0).ok_or(SimError::InvalidArgument(format!("unknown pool {pool:?}")))?;
         let aligned = size.max(1).div_ceil(8) * 8;
         let extra = if instrumented { 16 } else { 0 };
         if p.used + aligned + extra > p.size {
@@ -527,25 +519,16 @@ impl RegionAllocator {
         heap: &mut PtMalloc,
         pool: PoolId,
     ) -> SimResult<()> {
-        let children: Vec<PoolId> = self
-            .pools
-            .iter()
-            .filter(|(_, p)| p.parent == Some(pool))
-            .map(|(&id, _)| PoolId(id))
-            .collect();
+        let children: Vec<PoolId> =
+            self.pools.iter().filter(|(_, p)| p.parent == Some(pool)).map(|(&id, _)| PoolId(id)).collect();
         for child in children {
             self.destroy_pool(space, heap, child)?;
         }
-        let p = self
-            .pools
-            .remove(&pool.0)
-            .ok_or(SimError::InvalidArgument(format!("unknown pool {pool:?}")))?;
+        let p =
+            self.pools.remove(&pool.0).ok_or(SimError::InvalidArgument(format!("unknown pool {pool:?}")))?;
         let carved: u64 = p.objects.iter().map(|(_, sz, _, _)| *sz).sum();
-        self.stats.live_bytes = self.stats.live_bytes.saturating_sub(if self.instrumented {
-            carved
-        } else {
-            p.used
-        });
+        self.stats.live_bytes =
+            self.stats.live_bytes.saturating_sub(if self.instrumented { carved } else { p.used });
         self.stats.frees += 1;
         heap.free(space, p.storage)?;
         Ok(())
@@ -595,7 +578,7 @@ impl RegionAllocator {
 // ---------------------------------------------------------------------------
 
 /// A slab allocator handing out fixed-size slots from one backing chunk.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlabAllocator {
     storage: Addr,
     slot_size: u64,
@@ -615,7 +598,13 @@ impl SlabAllocator {
     ) -> SimResult<Self> {
         let slot_size = slot_size.max(8).div_ceil(8) * 8;
         let storage = heap.malloc(space, slot_size * slots as u64, AllocSite(0), TypeTag(0))?;
-        Ok(SlabAllocator { storage, slot_size, slots, used: vec![false; slots], stats: AllocStats::default() })
+        Ok(SlabAllocator {
+            storage,
+            slot_size,
+            slots,
+            used: vec![false; slots],
+            stats: AllocStats::default(),
+        })
     }
 
     /// Allocates one slot.

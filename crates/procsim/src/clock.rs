@@ -7,10 +7,8 @@
 //! measurements are layered on top by the benchmark harness where real
 //! instruction counts matter (Table 3).
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, in nanoseconds since kernel boot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimInstant(pub u64);
 
 impl SimInstant {
@@ -21,7 +19,7 @@ impl SimInstant {
 }
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -53,7 +51,7 @@ impl SimDuration {
 }
 
 /// The kernel's monotonically increasing virtual clock.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VirtualClock {
     now: u64,
 }

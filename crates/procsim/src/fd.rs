@@ -8,13 +8,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{SimError, SimResult};
 use crate::ids::{Fd, ObjId, RESERVED_FD_BASE};
 
 /// One open-descriptor slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FdEntry {
     /// Kernel object the descriptor refers to.
     pub object: ObjId,
@@ -26,7 +24,7 @@ pub struct FdEntry {
 }
 
 /// A process's descriptor table.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FdTable {
     entries: BTreeMap<i32, FdEntry>,
     /// Next candidate in the reserved range.
@@ -134,12 +132,7 @@ impl FdTable {
 
     /// Removes all descriptors marked close-on-exec (called by `exec`).
     pub fn drop_cloexec(&mut self) -> Vec<FdEntry> {
-        let doomed: Vec<i32> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.cloexec)
-            .map(|(&fd, _)| fd)
-            .collect();
+        let doomed: Vec<i32> = self.entries.iter().filter(|(_, e)| e.cloexec).map(|(&fd, _)| fd).collect();
         doomed.into_iter().filter_map(|fd| self.entries.remove(&fd)).collect()
     }
 

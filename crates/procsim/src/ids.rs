@@ -6,10 +6,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Simulated process identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub u32);
 
 impl fmt::Display for Pid {
@@ -19,7 +17,7 @@ impl fmt::Display for Pid {
 }
 
 /// Simulated thread identifier (unique within the whole kernel, like Linux).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tid(pub u32);
 
 impl fmt::Display for Tid {
@@ -29,7 +27,7 @@ impl fmt::Display for Tid {
 }
 
 /// Simulated file descriptor number, local to a process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fd(pub i32);
 
 impl Fd {
@@ -54,7 +52,7 @@ impl fmt::Display for Fd {
 
 /// Identifier of a kernel object (socket, file, pipe, ...), global to the
 /// simulated kernel; multiple descriptors may refer to the same object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjId(pub u64);
 
 impl fmt::Display for ObjId {
@@ -64,7 +62,7 @@ impl fmt::Display for ObjId {
 }
 
 /// Identifier of a simulated client connection at the workload layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnId(pub u64);
 
 impl fmt::Display for ConnId {

@@ -9,8 +9,6 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use crate::clock::{SimDuration, SimInstant, VirtualClock};
 use crate::error::{SimError, SimResult};
 use crate::ids::{ConnId, Fd, Pid, Tid};
@@ -31,7 +29,7 @@ pub enum FdPlacement {
 }
 
 /// Client-side view of a workload connection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct ClientConn {
     port: u16,
     /// Data sent by the server, not yet consumed by the client.
@@ -41,7 +39,7 @@ struct ClientConn {
 }
 
 /// The simulated kernel.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Kernel {
     processes: BTreeMap<u32, Process>,
     objects: ObjectTable,
@@ -234,13 +232,7 @@ impl Kernel {
     ///
     /// Fails if either process or the source descriptor does not exist, or if
     /// an exact placement collides with an open descriptor.
-    pub fn transfer_fd(
-        &mut self,
-        from: Pid,
-        from_fd: Fd,
-        to: Pid,
-        placement: FdPlacement,
-    ) -> SimResult<Fd> {
+    pub fn transfer_fd(&mut self, from: Pid, from_fd: Fd, to: Pid, placement: FdPlacement) -> SimResult<Fd> {
         let entry = self.process(from)?.fds().get(from_fd)?;
         self.objects.incref(entry.object);
         let to_proc = match self.process_mut(to) {
@@ -286,6 +278,11 @@ impl Kernel {
         }
         self.clients.insert(conn.0, ClientConn { port, ..Default::default() });
         Ok(conn)
+    }
+
+    /// The server port a client connection was opened against.
+    pub fn client_port(&self, conn: ConnId) -> Option<u16> {
+        self.clients.get(&conn.0).map(|c| c.port)
     }
 
     /// Sends request bytes from the client side of `conn`.
@@ -540,12 +537,7 @@ impl Kernel {
                     Some(addr) => addr,
                     None => {
                         // Pick the first gap above the highest mapping.
-                        let top = proc
-                            .space()
-                            .regions()
-                            .map(|r| r.end().0)
-                            .max()
-                            .unwrap_or(0x1000_0000);
+                        let top = proc.space().regions().map(|r| r.end().0).max().unwrap_or(0x1000_0000);
                         Addr((top + 0xFFF) & !0xFFF)
                     }
                 };
@@ -557,17 +549,13 @@ impl Kernel {
                 Ok(SyscallRet::Unit)
             }
             Syscall::UnixBind { name } => {
-                let obj = self
-                    .objects
-                    .insert(KernelObject::UnixChannel { name, inbox: VecDeque::new() });
+                let obj = self.objects.insert(KernelObject::UnixChannel { name, inbox: VecDeque::new() });
                 let fd = self.process_mut(pid)?.fds_mut().alloc(obj);
                 Ok(SyscallRet::Fd(fd))
             }
             Syscall::UnixConnect { name } => {
-                let obj = self
-                    .objects
-                    .unix_channel(&name)
-                    .ok_or(SimError::NoSuchFile(format!("unix:{name}")))?;
+                let obj =
+                    self.objects.unix_channel(&name).ok_or(SimError::NoSuchFile(format!("unix:{name}")))?;
                 self.objects.incref(obj);
                 let fd = self.process_mut(pid)?.fds_mut().alloc(obj);
                 Ok(SyscallRet::Fd(fd))
@@ -625,7 +613,7 @@ impl SyscallPort for Kernel {
 
 /// Helper re-exported for tests and higher layers: finds a thread anywhere in
 /// the kernel.
-pub fn find_thread<'a>(kernel: &'a Kernel, pid: Pid, tid: Tid) -> SimResult<&'a Thread> {
+pub fn find_thread(kernel: &Kernel, pid: Pid, tid: Tid) -> SimResult<&Thread> {
     kernel.process(pid)?.thread(tid)
 }
 
@@ -651,6 +639,8 @@ mod tests {
         // Nothing pending yet.
         assert!(matches!(k.syscall(pid, tid, Syscall::Accept { fd }), Err(SimError::WouldBlock)));
         let conn = k.client_connect(80).unwrap();
+        assert_eq!(k.client_port(conn), Some(80));
+        assert_eq!(k.client_port(ConnId(9999)), None);
         k.client_send(conn, b"GET /index.html".to_vec()).unwrap();
         let cfd = k.syscall(pid, tid, Syscall::Accept { fd }).unwrap().as_fd().unwrap();
         let data = match k.syscall(pid, tid, Syscall::Read { fd: cfd, len: 1024 }).unwrap() {
@@ -693,9 +683,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(data, b"workers=4\n".to_vec());
-        assert!(k
-            .syscall(pid, tid, Syscall::Open { path: "/missing".into(), create: false })
-            .is_err());
+        assert!(k.syscall(pid, tid, Syscall::Open { path: "/missing".into(), create: false }).is_err());
     }
 
     #[test]
@@ -730,10 +718,17 @@ mod tests {
         // A second process connects and receives the passed descriptor.
         let other = k.create_process("peer").unwrap();
         let other_tid = k.process(other).unwrap().main_tid();
-        let conn =
-            k.syscall(other, other_tid, Syscall::UnixConnect { name: "mcr".into() }).unwrap().as_fd().unwrap();
-        k.syscall(pid, tid, Syscall::UnixSend { fd: chan, data: b"fds".to_vec(), pass_fds: vec![listener_fd] })
+        let conn = k
+            .syscall(other, other_tid, Syscall::UnixConnect { name: "mcr".into() })
+            .unwrap()
+            .as_fd()
             .unwrap();
+        k.syscall(
+            pid,
+            tid,
+            Syscall::UnixSend { fd: chan, data: b"fds".to_vec(), pass_fds: vec![listener_fd] },
+        )
+        .unwrap();
         match k.syscall(other, other_tid, Syscall::UnixRecv { fd: conn }).unwrap() {
             SyscallRet::DataWithFds(data, fds) => {
                 assert_eq!(data, b"fds".to_vec());

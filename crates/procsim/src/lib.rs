@@ -51,7 +51,9 @@ pub mod objects;
 pub mod process;
 pub mod syscall;
 
-pub use alloc::{AllocSite, AllocStats, ChunkInfo, PoolId, PtMalloc, RegionAllocator, SlabAllocator, TypeTag};
+pub use alloc::{
+    AllocSite, AllocStats, ChunkInfo, PoolId, PtMalloc, RegionAllocator, SlabAllocator, TypeTag,
+};
 pub use clock::{SimDuration, SimInstant, VirtualClock};
 pub use error::{SimError, SimResult};
 pub use fd::{FdEntry, FdTable};

@@ -11,15 +11,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{SimError, SimResult};
 
 /// Size of a simulated memory page in bytes (matches Linux x86).
 pub const PAGE_SIZE: u64 = 4096;
 
 /// A simulated virtual address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -40,7 +38,7 @@ impl Addr {
 
     /// True if this address is aligned to `align` bytes.
     pub fn is_aligned(self, align: u64) -> bool {
-        align != 0 && self.0 % align == 0
+        align != 0 && self.0.is_multiple_of(align)
     }
 
     /// True if this is the null address.
@@ -64,7 +62,7 @@ impl From<u64> for Addr {
 /// The kind of a memory region; mutable tracing treats the kinds differently
 /// (static objects are matched by symbol, heap objects by allocation site,
 /// library regions are not traced by default).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionKind {
     /// Global/static program data (`.data`/`.bss`); one region per program.
     Static,
@@ -98,7 +96,7 @@ impl fmt::Display for RegionKind {
 }
 
 /// A contiguous mapped range of the simulated address space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryRegion {
     base: Addr,
     size: u64,
@@ -200,7 +198,7 @@ impl MemoryRegion {
 }
 
 /// A report of the dirty pages of one region, as collected at update time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirtyRange {
     /// Base address of the dirty page run.
     pub base: Addr,
@@ -211,7 +209,7 @@ pub struct DirtyRange {
 }
 
 /// A full simulated virtual address space.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
     regions: BTreeMap<u64, MemoryRegion>,
 }
@@ -273,19 +271,11 @@ impl AddressSpace {
 
     /// Finds the region containing `addr`.
     pub fn region_containing(&self, addr: Addr) -> Option<&MemoryRegion> {
-        self.regions
-            .range(..=addr.0)
-            .next_back()
-            .map(|(_, r)| r)
-            .filter(|r| r.contains(addr))
+        self.regions.range(..=addr.0).next_back().map(|(_, r)| r).filter(|r| r.contains(addr))
     }
 
     fn region_containing_mut(&mut self, addr: Addr) -> Option<&mut MemoryRegion> {
-        self.regions
-            .range_mut(..=addr.0)
-            .next_back()
-            .map(|(_, r)| r)
-            .filter(|r| r.contains(addr))
+        self.regions.range_mut(..=addr.0).next_back().map(|(_, r)| r).filter(|r| r.contains(addr))
     }
 
     /// Iterates over all mapped regions in address order.
@@ -512,9 +502,7 @@ mod tests {
     #[test]
     fn overlapping_map_rejected() {
         let mut space = space_with_region();
-        let err = space
-            .map_region(Addr(0x10000 + PAGE_SIZE), PAGE_SIZE, RegionKind::Mmap, "x")
-            .unwrap_err();
+        let err = space.map_region(Addr(0x10000 + PAGE_SIZE), PAGE_SIZE, RegionKind::Mmap, "x").unwrap_err();
         assert!(matches!(err, SimError::MappingOverlap { .. }));
         // Adjacent (non-overlapping) map is fine.
         space.map_region(Addr(0x10000 + 8 * PAGE_SIZE), PAGE_SIZE, RegionKind::Mmap, "y").unwrap();
@@ -555,9 +543,7 @@ mod tests {
     #[test]
     fn read_only_region_rejects_writes() {
         let mut space = AddressSpace::new();
-        space
-            .map_region_with_perms(Addr(0x5000), PAGE_SIZE, RegionKind::Lib, "ro", false)
-            .unwrap();
+        space.map_region_with_perms(Addr(0x5000), PAGE_SIZE, RegionKind::Lib, "ro", false).unwrap();
         assert!(matches!(space.write_u8(Addr(0x5000), 1).unwrap_err(), SimError::ReadOnlyRegion(_)));
         assert_eq!(space.read_u8(Addr(0x5000)).unwrap(), 0);
     }

@@ -7,13 +7,11 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ConnId, ObjId};
 
 /// A message queued on a Unix-domain channel; may carry descriptors
 /// (SCM_RIGHTS-style), represented by the kernel objects they refer to.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnixMessage {
     /// Opaque payload bytes.
     pub data: Vec<u8>,
@@ -22,7 +20,7 @@ pub struct UnixMessage {
 }
 
 /// The in-kernel state behind a file descriptor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelObject {
     /// A listening TCP socket bound to a port.
     Listener {
@@ -81,7 +79,7 @@ impl KernelObject {
 }
 
 /// Reference-counted object table shared by every process's descriptors.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ObjectTable {
     objects: std::collections::BTreeMap<u64, (KernelObject, u32)>,
     next_id: u64,
@@ -217,7 +215,7 @@ mod tests {
 
     #[test]
     fn kind_labels() {
-        let objs = vec![
+        let objs = [
             KernelObject::Listener { port: 1, listening: false, backlog: VecDeque::new() },
             KernelObject::Connection {
                 conn: ConnId(1),

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::alloc::{PtMalloc, RegionAllocator};
 use crate::error::{SimError, SimResult};
 use crate::fd::FdTable;
@@ -17,7 +15,7 @@ use crate::ids::{Pid, Tid};
 use crate::memory::{Addr, AddressSpace, RegionKind};
 
 /// Scheduling/blocking state of a simulated thread.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ThreadState {
     /// Runnable / currently executing.
     Running,
@@ -33,7 +31,7 @@ pub enum ThreadState {
 }
 
 /// A simulated thread.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Thread {
     tid: Tid,
     name: String,
@@ -137,7 +135,7 @@ impl Thread {
 /// Address-space layout differs between program versions by an ASLR-like
 /// offset, which is what forces MCR to *relocate* mutable objects and pin
 /// immutable ones.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryLayout {
     /// Base of the static data region.
     pub static_base: Addr,
@@ -184,7 +182,7 @@ impl Default for MemoryLayout {
 }
 
 /// A simulated process.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Process {
     pid: Pid,
     ppid: Option<Pid>,
@@ -420,18 +418,12 @@ impl Process {
 
     /// True if every live (non-exited) thread is parked at a quiescent point.
     pub fn is_quiescent(&self) -> bool {
-        self.threads
-            .values()
-            .filter(|t| !matches!(t.state(), ThreadState::Exited))
-            .all(|t| t.is_quiesced())
+        self.threads.values().filter(|t| !matches!(t.state(), ThreadState::Exited)).all(|t| t.is_quiesced())
     }
 
     pub(crate) fn fork_into(&self, child_pid: Pid, child_main_tid: Tid, forking_tid: Tid) -> Process {
-        let forking_stack = self
-            .threads
-            .get(&forking_tid.0)
-            .map(|t| t.call_stack().to_vec())
-            .unwrap_or_default();
+        let forking_stack =
+            self.threads.get(&forking_tid.0).map(|t| t.call_stack().to_vec()).unwrap_or_default();
         let mut threads = BTreeMap::new();
         let mut main = Thread::new(child_main_tid, "main", forking_stack.clone());
         main.set_call_stack(forking_stack.clone());

@@ -8,8 +8,6 @@
 //! reinitialization in the new version calls are matched against that log and
 //! replayed (returning the recorded result) or executed live.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SimResult;
 use crate::ids::{Fd, Pid, Tid};
 use crate::memory::Addr;
@@ -19,7 +17,7 @@ use crate::memory::Addr;
 /// Arguments are plain values, so the "deep comparison of syscall arguments"
 /// performed by mutable reinitialization when matching log entries reduces to
 /// structural equality.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Syscall {
     /// Create a TCP listening socket (unbound).
     Socket,
@@ -196,7 +194,7 @@ impl Syscall {
 }
 
 /// The result of a successfully executed system call.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyscallRet {
     /// No interesting return value.
     Unit,

@@ -121,7 +121,10 @@ impl GenericServer {
             Some(mcr_procsim::SyscallRet::Data(d)) => d.len(),
             _ => 0,
         };
-        let body = format!("{} {} gen{} OK ({request_len} byte request)", self.spec.name, self.version, self.generation);
+        let body = format!(
+            "{} {} gen{} OK ({request_len} byte request)",
+            self.spec.name, self.version, self.generation
+        );
         let len = body.len() as u64;
         env.syscall(Syscall::Write { fd: conn_fd, data: body.into_bytes() })?;
         env.charge_work(2_000 + request_len as u64 * 4);
@@ -137,9 +140,8 @@ impl GenericServer {
             }),
             Err(e) => Err(e),
             Ok(ret) => {
-                let conn_fd = ret
-                    .as_fd()
-                    .ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
+                let conn_fd =
+                    ret.as_fd().ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
                 let bytes = self.respond(env, conn_fd)?;
                 self.record_connection(env, conn_fd, bytes)?;
                 Ok(StepOutcome::Progress)
@@ -156,9 +158,8 @@ impl GenericServer {
             }),
             Err(e) => Err(e),
             Ok(ret) => {
-                let conn_fd = ret
-                    .as_fd()
-                    .ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
+                let conn_fd =
+                    ret.as_fd().ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
                 let bytes = self.respond(env, conn_fd)?;
                 self.record_connection(env, conn_fd, bytes)?;
                 // Hand the connection to a dedicated session process; the
@@ -194,7 +195,8 @@ impl GenericServer {
                 Ok(StepOutcome::Exit)
             }
             Ok(mcr_procsim::SyscallRet::Data(data)) => {
-                let reply = format!("{} session gen{}: {} bytes", self.spec.name, self.generation, data.len());
+                let reply =
+                    format!("{} session gen{}: {} bytes", self.spec.name, self.generation, data.len());
                 env.syscall(Syscall::Write { fd, data: reply.into_bytes() })?;
                 env.charge_work(1_500);
                 env.note_event_handled();
@@ -281,16 +283,15 @@ impl Program for GenericServer {
             env.syscall(Syscall::Close { fd: conf_fd })?;
 
             // Listening socket.
-            let fd = env
-                .scoped("socket_setup", |env| {
-                    let fd = env
-                        .syscall(Syscall::Socket)?
-                        .as_fd()
-                        .ok_or_else(|| McrError::InvalidState("socket returned no fd".into()))?;
-                    env.syscall(Syscall::Bind { fd, port: spec.port })?;
-                    env.syscall(Syscall::Listen { fd })?;
-                    Ok(fd)
-                })?;
+            let fd = env.scoped("socket_setup", |env| {
+                let fd = env
+                    .syscall(Syscall::Socket)?
+                    .as_fd()
+                    .ok_or_else(|| McrError::InvalidState("socket returned no fd".into()))?;
+                env.syscall(Syscall::Bind { fd, port: spec.port })?;
+                env.syscall(Syscall::Listen { fd })?;
+                Ok(fd)
+            })?;
             self.listen_fd = Some(fd);
 
             // Global data structures.
@@ -314,7 +315,7 @@ impl Program for GenericServer {
             let cache_global = env.define_global("doc_cache", "cache_entry_s*[16]")?;
             for i in 0..16u64 {
                 let entry = env.alloc("cache_entry_s", "server_init:doc_cache")?;
-                env.write_bytes(entry, &vec![b'x'; 128])?;
+                env.write_bytes(entry, &[b'x'; 128])?;
                 env.write_ptr(cache_global.offset(i * 8), entry)?;
             }
 
@@ -475,8 +476,7 @@ mod tests {
     #[test]
     fn httpd_boots_with_master_and_worker_processes() {
         let mut kernel = kernel_with_files();
-        let mut instance =
-            boot(&mut kernel, Box::new(httpd(1)), &BootOptions::default()).unwrap();
+        let mut instance = boot(&mut kernel, Box::new(httpd(1)), &BootOptions::default()).unwrap();
         assert_eq!(instance.state.processes.len(), 3, "master + 2 worker processes");
         assert!(instance.state.threads.len() >= 3 + 16, "worker threads spawned");
         drive_requests(&mut kernel, &mut instance, 80, 3);
@@ -490,22 +490,24 @@ mod tests {
     #[test]
     fn nginx_is_event_driven_with_pools() {
         let mut kernel = kernel_with_files();
-        let mut instance =
-            boot(&mut kernel, Box::new(nginx(1)), &BootOptions::default()).unwrap();
+        let mut instance = boot(&mut kernel, Box::new(nginx(1)), &BootOptions::default()).unwrap();
         assert_eq!(instance.state.processes.len(), 3);
         drive_requests(&mut kernel, &mut instance, 8080, 4);
         // Pool allocations are invisible to the heap allocator (opaque).
         let report = QuiescenceProfiler::analyze(&kernel, &instance.state);
         let worker_point = report.point_for("worker-main").or_else(|| report.point_for("worker"));
         assert!(worker_point.is_some());
-        assert_eq!(instance.state.annotations.annotation_loc(), 22, "nginx needs only the pointer-encoding annotation");
+        assert_eq!(
+            instance.state.annotations.annotation_loc(),
+            22,
+            "nginx needs only the pointer-encoding annotation"
+        );
     }
 
     #[test]
     fn vsftpd_forks_session_processes_per_connection() {
         let mut kernel = kernel_with_files();
-        let mut instance =
-            boot(&mut kernel, Box::new(vsftpd(1)), &BootOptions::default()).unwrap();
+        let mut instance = boot(&mut kernel, Box::new(vsftpd(1)), &BootOptions::default()).unwrap();
         assert_eq!(instance.state.processes.len(), 1);
         drive_requests(&mut kernel, &mut instance, 21, 3);
         assert_eq!(instance.state.processes.len(), 4, "one session process per connection");
@@ -573,10 +575,8 @@ mod tests {
             let c = kernel.client_connect(8080).unwrap();
             kernel.client_send(c, b"GET /".to_vec()).unwrap();
             run_round(&mut kernel, &mut instance).unwrap();
-            let opts = UpdateOptions {
-                layout_slide: 0x1_0000_0000 * u64::from(generation),
-                ..Default::default()
-            };
+            let opts =
+                UpdateOptions { layout_slide: 0x1_0000_0000 * u64::from(generation), ..Default::default() };
             let (next, outcome) = live_update(
                 &mut kernel,
                 instance,

@@ -9,10 +9,8 @@
 //! (Table 2), instrumentation overhead (Table 3) and state-transfer scaling
 //! (Figure 3).
 
-use serde::{Deserialize, Serialize};
-
 /// How a server structures its processes and threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessModel {
     /// A single event-driven process (nginx worker model collapsed to one
     /// process when `workers` is 0).
@@ -32,7 +30,7 @@ pub enum ProcessModel {
 }
 
 /// Which allocator family request handling uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocatorModel {
     /// Standard `malloc` (instrumented when static instrumentation is on).
     Malloc,
@@ -45,7 +43,7 @@ pub enum AllocatorModel {
 }
 
 /// Full description of one simulated server program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerSpec {
     /// Program name (e.g. `"httpd"`).
     pub name: String,

@@ -10,10 +10,8 @@
 //! the Table 1 harness prints, alongside the live numbers measured from the
 //! simulated programs (quiescence profile and annotation registries).
 
-use serde::{Deserialize, Serialize};
-
 /// Engineering-effort record for one evaluated program (one row of Table 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateCatalogEntry {
     /// Program name.
     pub program: String,
@@ -86,7 +84,7 @@ pub fn paper_catalog() -> Vec<UpdateCatalogEntry> {
 }
 
 /// Aggregate totals over a catalogue (the "Total" row of Table 1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CatalogTotals {
     /// Total number of updates.
     pub updates: u32,

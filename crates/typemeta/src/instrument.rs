@@ -8,10 +8,8 @@
 //! [`InstrumentationConfig`] adds the orthogonal choice of instrumenting a
 //! program's custom region allocator (the `nginxreg` configuration).
 
-use serde::{Deserialize, Serialize};
-
 /// Cumulative instrumentation levels, in the order of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InstrumentationLevel {
     /// No MCR support at all (the overhead baseline).
     Baseline,
@@ -71,7 +69,7 @@ impl InstrumentationLevel {
 }
 
 /// The full instrumentation configuration of one MCR-enabled program build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstrumentationConfig {
     /// Cumulative level.
     pub level: InstrumentationLevel,

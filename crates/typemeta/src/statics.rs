@@ -9,12 +9,11 @@
 use std::collections::BTreeMap;
 
 use mcr_procsim::{Addr, AllocSite};
-use serde::{Deserialize, Serialize};
 
 use crate::types::TypeId;
 
 /// A registered global/static object of one program version.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticObject {
     /// Symbol name (e.g. `"conf"`, `"list"`, `"b"`).
     pub symbol: String,
@@ -31,7 +30,7 @@ pub struct StaticObject {
 }
 
 /// Registry of the static objects of one program version.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StaticRegistry {
     by_symbol: BTreeMap<String, StaticObject>,
 }
@@ -59,9 +58,7 @@ impl StaticRegistry {
 
     /// Finds the object containing `addr`, if any.
     pub fn object_containing(&self, addr: Addr) -> Option<&StaticObject> {
-        self.by_symbol
-            .values()
-            .find(|o| addr.0 >= o.addr.0 && addr.0 < o.addr.0 + o.size.max(1))
+        self.by_symbol.values().find(|o| addr.0 >= o.addr.0 && addr.0 < o.addr.0 + o.size.max(1))
     }
 
     /// Iterates over all registered objects in symbol order.
@@ -91,7 +88,7 @@ impl StaticRegistry {
 }
 
 /// Information recorded for one allocation call site.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallSiteInfo {
     /// A stable, version-agnostic name for the site (typically
     /// `"function:variable"`), used to match dynamic objects across versions.
@@ -103,7 +100,7 @@ pub struct CallSiteInfo {
 }
 
 /// Registry of allocation call sites of one program version.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CallSiteRegistry {
     sites: BTreeMap<u64, CallSiteInfo>,
     by_name: BTreeMap<String, u64>,

@@ -15,18 +15,16 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a type within a [`TypeRegistry`].
 ///
 /// The numeric value doubles as the in-band allocator tag
 /// ([`mcr_procsim::TypeTag`]) so that chunk headers written by the simulated
 /// allocator can be resolved back to a descriptor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TypeId(pub u64);
 
 /// Structural description of a type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TypeKind {
     /// A plain integer of the given byte width (1, 2, 4 or 8) that never
     /// holds a pointer.
@@ -74,7 +72,7 @@ pub enum TypeKind {
 }
 
 /// A named member of a struct or union.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Field name (used to match fields across versions).
     pub name: String,
@@ -90,7 +88,7 @@ impl Field {
 }
 
 /// A registered type: identifier, name and structure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeDesc {
     /// Identifier within the registry.
     pub id: TypeId,
@@ -101,7 +99,7 @@ pub struct TypeDesc {
 }
 
 /// One element of a type's flattened layout, as consumed by mutable tracing.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LayoutElement {
     /// A pointer slot at `offset`, pointing to an object of type `to`.
     Pointer {
@@ -138,7 +136,7 @@ impl LayoutElement {
 }
 
 /// Field location resolved within a struct layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldLayout {
     /// Field name.
     pub name: String,
@@ -151,7 +149,7 @@ pub struct FieldLayout {
 }
 
 /// Registry of every type known to one program version.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TypeRegistry {
     types: BTreeMap<u64, TypeDesc>,
     by_name: BTreeMap<String, u64>,
@@ -381,13 +379,18 @@ impl TypeRegistry {
             return false;
         }
         a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
-            (LayoutElement::Scalar { offset: o1, len: l1 }, LayoutElement::Scalar { offset: o2, len: l2 }) => {
-                o1 == o2 && l1 == l2
-            }
-            (LayoutElement::Opaque { offset: o1, len: l1 }, LayoutElement::Opaque { offset: o2, len: l2 }) => {
-                o1 == o2 && l1 == l2
-            }
-            (LayoutElement::Pointer { offset: o1, to: t1 }, LayoutElement::Pointer { offset: o2, to: t2 }) => {
+            (
+                LayoutElement::Scalar { offset: o1, len: l1 },
+                LayoutElement::Scalar { offset: o2, len: l2 },
+            ) => o1 == o2 && l1 == l2,
+            (
+                LayoutElement::Opaque { offset: o1, len: l1 },
+                LayoutElement::Opaque { offset: o2, len: l2 },
+            ) => o1 == o2 && l1 == l2,
+            (
+                LayoutElement::Pointer { offset: o1, to: t1 },
+                LayoutElement::Pointer { offset: o2, to: t2 },
+            ) => {
                 o1 == o2
                     && match (self.get(*t1), other.get(*t2)) {
                         (Some(a), Some(b)) => a.name == b.name,
@@ -512,11 +515,7 @@ mod tests {
         let list2 = reg_v2b.register(
             "l_t",
             TypeKind::Struct {
-                fields: vec![
-                    Field::new("value", int),
-                    Field::new("new", int),
-                    Field::new("next", TypeId(0)),
-                ],
+                fields: vec![Field::new("value", int), Field::new("new", int), Field::new("next", TypeId(0))],
             },
         );
         let lp = reg_v2b.pointer("l_t*", list2);

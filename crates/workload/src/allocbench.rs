@@ -10,10 +10,9 @@
 use std::time::{Duration, Instant};
 
 use mcr_procsim::{Addr, AddressSpace, AllocSite, PtMalloc, RegionKind, TypeTag, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// One synthetic allocator benchmark.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocBenchSpec {
     /// Benchmark name (mirrors a SPEC constituent).
     pub name: String,
@@ -33,11 +32,41 @@ impl AllocBenchSpec {
     /// allocation-intensive `perlbench`-like stress case.
     pub fn spec_suite(scale: u64) -> Vec<AllocBenchSpec> {
         vec![
-            AllocBenchSpec { name: "bzip2-like".into(), operations: 200 * scale, object_size: 4096, live_set: 8, compute_per_op: 512 },
-            AllocBenchSpec { name: "gcc-like".into(), operations: 400 * scale, object_size: 256, live_set: 64, compute_per_op: 128 },
-            AllocBenchSpec { name: "mcf-like".into(), operations: 300 * scale, object_size: 64, live_set: 128, compute_per_op: 96 },
-            AllocBenchSpec { name: "gobmk-like".into(), operations: 300 * scale, object_size: 128, live_set: 32, compute_per_op: 160 },
-            AllocBenchSpec { name: "perlbench-like".into(), operations: 2_000 * scale, object_size: 48, live_set: 256, compute_per_op: 4 },
+            AllocBenchSpec {
+                name: "bzip2-like".into(),
+                operations: 200 * scale,
+                object_size: 4096,
+                live_set: 8,
+                compute_per_op: 512,
+            },
+            AllocBenchSpec {
+                name: "gcc-like".into(),
+                operations: 400 * scale,
+                object_size: 256,
+                live_set: 64,
+                compute_per_op: 128,
+            },
+            AllocBenchSpec {
+                name: "mcf-like".into(),
+                operations: 300 * scale,
+                object_size: 64,
+                live_set: 128,
+                compute_per_op: 96,
+            },
+            AllocBenchSpec {
+                name: "gobmk-like".into(),
+                operations: 300 * scale,
+                object_size: 128,
+                live_set: 32,
+                compute_per_op: 160,
+            },
+            AllocBenchSpec {
+                name: "perlbench-like".into(),
+                operations: 2_000 * scale,
+                object_size: 48,
+                live_set: 256,
+                compute_per_op: 4,
+            },
         ]
     }
 }
@@ -108,14 +137,21 @@ mod tests {
         let suite = AllocBenchSpec::spec_suite(1);
         assert_eq!(suite.len(), 5);
         let perl = suite.iter().find(|s| s.name.starts_with("perlbench")).unwrap();
-        let others_max_ops = suite.iter().filter(|s| !s.name.starts_with("perlbench")).map(|s| s.operations).max().unwrap();
+        let others_max_ops =
+            suite.iter().filter(|s| !s.name.starts_with("perlbench")).map(|s| s.operations).max().unwrap();
         assert!(perl.operations > others_max_ops, "perlbench is allocation-intensive");
         assert!(perl.compute_per_op < 16);
     }
 
     #[test]
     fn benchmarks_run_and_allocate() {
-        let spec = AllocBenchSpec { name: "smoke".into(), operations: 500, object_size: 64, live_set: 16, compute_per_op: 32 };
+        let spec = AllocBenchSpec {
+            name: "smoke".into(),
+            operations: 500,
+            object_size: 64,
+            live_set: 16,
+            compute_per_op: 32,
+        };
         let base = run_alloc_bench(&spec, false);
         let instr = run_alloc_bench(&spec, true);
         assert_eq!(base.allocations, 500);

@@ -13,10 +13,9 @@ use std::time::{Duration, Instant};
 use mcr_core::runtime::{run_round, McrInstance};
 use mcr_core::McrResult;
 use mcr_procsim::{ConnId, Kernel, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Description of one client workload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Workload name (for reports).
     pub name: String,
@@ -201,8 +200,7 @@ mod tests {
     fn ftp_bench_keeps_sessions_open() {
         let mut kernel = Kernel::new();
         install_standard_files(&mut kernel);
-        let mut instance =
-            boot(&mut kernel, Box::new(programs::vsftpd(1)), &BootOptions::default()).unwrap();
+        let mut instance = boot(&mut kernel, Box::new(programs::vsftpd(1)), &BootOptions::default()).unwrap();
         let spec = WorkloadSpec::ftp_bench(21, 5);
         let result = run_workload(&mut kernel, &mut instance, &spec).unwrap();
         assert_eq!(result.completed, 5);

@@ -35,11 +35,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = outcome.report();
     println!("committed: {}", outcome.is_committed());
     println!("  open connections at update time : {}", report.open_connections);
-    println!("  processes matched / recreated   : {} / {}", report.processes_matched, report.processes_recreated);
+    println!(
+        "  processes matched / recreated   : {} / {}",
+        report.processes_matched, report.processes_recreated
+    );
     println!("  quiescence                      : {:.3} ms", report.timings.quiescence.as_millis_f64());
-    println!("  control migration               : {:.3} ms", report.timings.control_migration.as_millis_f64());
+    println!(
+        "  control migration               : {:.3} ms",
+        report.timings.control_migration.as_millis_f64()
+    );
     println!("  state transfer (parallel)       : {:.3} ms", report.timings.state_transfer.as_millis_f64());
-    println!("  state transfer (serial)         : {:.3} ms", report.timings.state_transfer_serial.as_millis_f64());
+    println!(
+        "  state transfer (serial)         : {:.3} ms",
+        report.timings.state_transfer_serial.as_millis_f64()
+    );
     println!("  objects transferred             : {}", report.transfer.objects_transferred());
     println!("  bytes transferred               : {}", report.transfer.bytes_transferred());
     println!("  precise pointers                : {}", report.tracing.precise.total);

@@ -22,10 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pending = kernel.client_connect(8080)?;
         kernel.client_send(pending, b"GET / HTTP/1.0".to_vec())?;
 
-        let opts = UpdateOptions {
-            layout_slide: 0x1_0000_0000 * u64::from(generation),
-            ..Default::default()
-        };
+        let opts =
+            UpdateOptions { layout_slide: 0x1_0000_0000 * u64::from(generation), ..Default::default() };
         let (next, outcome) = live_update(
             &mut kernel,
             instance,
@@ -33,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             InstrumentationConfig::full_with_region_instrumentation(),
             &opts,
         );
-        assert!(outcome.is_committed(), "update to generation {generation} failed: {:?}", outcome.conflicts());
+        assert!(
+            outcome.is_committed(),
+            "update to generation {generation} failed: {:?}",
+            outcome.conflicts()
+        );
         total_transfer_ms += outcome.report().timings.state_transfer.as_millis_f64();
         instance = next;
 

@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernel = Kernel::new();
     install_standard_files(&mut kernel);
     let mut v1 = boot(&mut kernel, Box::new(programs::nginx(1)), &BootOptions::default())?;
-    println!("booted {} {} with {} processes", "nginx", v1.state.version, v1.state.processes.len());
+    println!("booted nginx {} with {} processes", v1.state.version, v1.state.processes.len());
 
     // 2. Serve a request with the old version.
     let conn = kernel.client_connect(8080)?;

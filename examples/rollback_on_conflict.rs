@@ -42,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("conflict: {conflict}");
     }
     assert!(!outcome.is_committed(), "the incompatible update must roll back");
-    assert!(outcome
-        .conflicts()
-        .iter()
-        .any(|c| matches!(c, Conflict::NonUpdatableObjectChanged { .. })));
+    assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::NonUpdatableObjectChanged { .. })));
 
     // The old version resumed from its checkpoint and still answers.
     let c = kernel.client_connect(21)?;

@@ -1,7 +1,9 @@
 //! End-to-end integration tests spanning the whole workspace: simulated
 //! kernel, type metadata, MCR runtime, server models and workloads.
 
-use mcr_core::runtime::{boot, live_update, run_rounds, BootOptions, UpdateOptions};
+use mcr_core::runtime::{
+    boot, live_update, run_rounds, BootOptions, FaultPlan, PhaseName, UpdateOptions, UpdatePipeline,
+};
 use mcr_core::{Conflict, QuiescenceProfiler};
 use mcr_procsim::Kernel;
 use mcr_servers::{install_standard_files, program_by_name, programs, ServerSpec};
@@ -11,8 +13,7 @@ use mcr_workload::{open_idle_connections, run_workload, workload_for};
 fn booted(program: &str) -> (Kernel, mcr_core::McrInstance) {
     let mut kernel = Kernel::new();
     install_standard_files(&mut kernel);
-    let instance =
-        boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+    let instance = boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
     (kernel, instance)
 }
 
@@ -91,10 +92,8 @@ fn chained_updates_across_three_generations_keep_state() {
         // Each workload run opens `idle_connections` long-lived connections
         // plus the measured requests; the server records all of them.
         served += 2 + workload_for("nginx", 1).idle_connections as u64;
-        let opts = UpdateOptions {
-            layout_slide: 0x1_0000_0000 * u64::from(generation),
-            ..Default::default()
-        };
+        let opts =
+            UpdateOptions { layout_slide: 0x1_0000_0000 * u64::from(generation), ..Default::default() };
         let (next, outcome) = live_update(
             &mut kernel,
             instance,
@@ -146,16 +145,100 @@ fn annotation_free_deployment_rolls_back_for_per_connection_servers() {
     let (mut kernel, mut v1) = booted("sshd");
     run_workload(&mut kernel, &mut v1, &workload_for("sshd", 3)).unwrap();
     let opts = UpdateOptions { recreate_unmatched_processes: false, ..Default::default() };
-    let (survivor, outcome) = live_update(
-        &mut kernel,
-        v1,
-        Box::new(programs::sshd(2)),
-        InstrumentationConfig::full(),
-        &opts,
-    );
+    let (survivor, outcome) =
+        live_update(&mut kernel, v1, Box::new(programs::sshd(2)), InstrumentationConfig::full(), &opts);
     assert!(!outcome.is_committed());
     assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::MissingCounterpart { .. })));
     assert_eq!(survivor.state.version, "3.5p1");
+}
+
+/// Forces a fault at *every* pipeline phase boundary in turn and proves the
+/// paper's atomicity claim phase by phase: wherever the update dies, the old
+/// instance rolls back cleanly and resumes serving traffic.
+#[test]
+fn injected_fault_at_every_phase_boundary_rolls_back_cleanly() {
+    for boundary in PhaseName::ALL {
+        let (mut kernel, mut v1) = booted("nginx");
+        run_workload(&mut kernel, &mut v1, &workload_for("nginx", 5)).unwrap();
+        let old_pids = v1.state.processes.clone();
+        let connections_before = kernel.open_connection_count();
+
+        let pipeline = UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_before(boundary));
+        let (mut survivor, outcome) = pipeline.run(
+            &mut kernel,
+            v1,
+            Box::new(programs::nginx(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+
+        // The attempt aborted with the injected fault as its conflict.
+        assert!(!outcome.is_committed(), "fault before {boundary} must abort the update");
+        assert!(
+            outcome
+                .conflicts()
+                .iter()
+                .any(|c| matches!(c, Conflict::FaultInjected { phase } if phase == boundary.label())),
+            "fault before {boundary}: conflicts {:?}",
+            outcome.conflicts()
+        );
+
+        // Phases before the boundary completed; the boundary phase and
+        // everything after it never ran.
+        let report = outcome.report();
+        let mut reached = false;
+        for phase in PhaseName::ALL {
+            if phase == boundary {
+                reached = true;
+            }
+            if reached {
+                assert!(
+                    report.phases.duration_of(phase).is_none(),
+                    "fault before {boundary}: {phase} must not run"
+                );
+            } else {
+                assert!(
+                    report.phases.completed(phase),
+                    "fault before {boundary}: {phase} should have completed"
+                );
+            }
+        }
+
+        // The old version survived intact: same version, same processes, no
+        // leaked new-version processes, no dropped connections.
+        assert_eq!(survivor.state.version, ServerSpec::nginx().version_string(1));
+        assert_eq!(survivor.state.processes, old_pids, "old process set unchanged");
+        assert_eq!(
+            kernel.pids().len(),
+            old_pids.len(),
+            "fault before {boundary}: new-version processes were torn down"
+        );
+        assert_eq!(kernel.open_connection_count(), connections_before);
+
+        // ... and it keeps serving traffic after the rollback.
+        let result = run_workload(&mut kernel, &mut survivor, &workload_for("nginx", 4)).unwrap();
+        assert_eq!(result.completed, 4, "fault before {boundary}: old version serves after rollback");
+    }
+}
+
+/// A faulted attempt still reports how far it got: the per-phase trace of a
+/// rollback is a prefix of the standard phase order.
+#[test]
+fn rolled_back_report_traces_executed_prefix() {
+    let (mut kernel, v1) = booted("vsftpd");
+    let pipeline =
+        UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_before(PhaseName::TraceAndTransfer));
+    let (_survivor, outcome) = pipeline.run(
+        &mut kernel,
+        v1,
+        Box::new(programs::vsftpd(2)),
+        InstrumentationConfig::full(),
+        &UpdateOptions::default(),
+    );
+    let executed: Vec<PhaseName> = outcome.report().phases.records().iter().map(|r| r.name).collect();
+    assert_eq!(executed, vec![PhaseName::Quiesce, PhaseName::ReinitReplay, PhaseName::MatchProcesses]);
+    assert!(outcome.report().timings.quiescence.0 > 0);
+    assert!(outcome.report().timings.control_migration.0 > 0);
 }
 
 #[test]

@@ -1,14 +1,50 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! invariants the MCR design depends on.
+//! Property-style tests over the core data structures and the invariants the
+//! MCR design depends on.
+//!
+//! The container has no network access, so instead of `proptest` these tests
+//! drive the same invariants with a small deterministic xorshift generator:
+//! every case is reproducible from its printed seed.
 
 use mcr_core::callstack::CallStackId;
 use mcr_core::transfer::{apply_field_map, compute_field_map};
 use mcr_procsim::{Addr, AddressSpace, AllocSite, FdTable, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE};
 use mcr_typemeta::{Field, TypeRegistry};
-use proptest::prelude::*;
 
 const HEAP_BASE: u64 = 0x0800_0000;
 const HEAP_SIZE: u64 = 512 * PAGE_SIZE;
+const CASES: u64 = 64;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn chance(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn ident(&mut self, max_len: u64) -> String {
+        let len = self.range(1, max_len + 1) as usize;
+        (0..len).map(|_| (b'a' + (self.next() % 26) as u8) as char).collect()
+    }
+}
 
 fn fresh_heap(instrumented: bool) -> (AddressSpace, PtMalloc) {
     let mut space = AddressSpace::new();
@@ -16,43 +52,49 @@ fn fresh_heap(instrumented: bool) -> (AddressSpace, PtMalloc) {
     (space, PtMalloc::new(Addr(HEAP_BASE), HEAP_SIZE, instrumented))
 }
 
-proptest! {
-    /// The allocator never hands out overlapping or unaligned chunks, and
-    /// frees make the memory reusable without corrupting live chunks.
-    #[test]
-    fn allocator_chunks_are_disjoint_and_aligned(
-        sizes in proptest::collection::vec(1u64..2048, 1..60),
-        free_mask in proptest::collection::vec(any::<bool>(), 1..60),
-        instrumented in any::<bool>(),
-    ) {
+/// The allocator never hands out overlapping or unaligned chunks, and frees
+/// make the memory reusable without corrupting live chunks.
+#[test]
+fn allocator_chunks_are_disjoint_and_aligned() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(1, 60) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.range(1, 2048)).collect();
+        let free_mask: Vec<bool> = (0..n).map(|_| rng.chance()).collect();
+        let instrumented = rng.chance();
+
         let (mut space, mut heap) = fresh_heap(instrumented);
         heap.end_startup();
         let mut live: Vec<(Addr, u64)> = Vec::new();
         for (i, &size) in sizes.iter().enumerate() {
             let addr = heap.malloc(&mut space, size, AllocSite(i as u64), TypeTag(1)).unwrap();
-            prop_assert!(addr.is_aligned(16));
+            assert!(addr.is_aligned(16), "seed {seed}: unaligned chunk {addr}");
             for &(other, osize) in &live {
                 let disjoint = addr.0 + size <= other.0 || other.0 + osize <= addr.0;
-                prop_assert!(disjoint, "chunk {addr} overlaps {other}");
+                assert!(disjoint, "seed {seed}: chunk {addr} overlaps {other}");
             }
             live.push((addr, size));
-            if free_mask.get(i).copied().unwrap_or(false) && live.len() > 1 {
+            if free_mask[i] && live.len() > 1 {
                 let (victim, _) = live.remove(0);
                 heap.free(&mut space, victim).unwrap();
             }
         }
         // Every live chunk is still reported live by the allocator.
         for &(addr, _) in &live {
-            prop_assert!(heap.is_live(addr));
+            assert!(heap.is_live(addr), "seed {seed}: live chunk {addr} lost");
         }
     }
+}
 
-    /// Soft-dirty tracking is a sound over-approximation: every written page
-    /// is reported dirty after the write.
-    #[test]
-    fn soft_dirty_never_misses_a_write(
-        offsets in proptest::collection::vec(0u64..(64 * PAGE_SIZE - 8), 1..40),
-    ) {
+/// Soft-dirty tracking is a sound over-approximation: every written page is
+/// reported dirty after the write.
+#[test]
+fn soft_dirty_never_misses_a_write() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(1, 40) as usize;
+        let offsets: Vec<u64> = (0..n).map(|_| rng.range(0, 64 * PAGE_SIZE - 8)).collect();
+
         let mut space = AddressSpace::new();
         space.map_region(Addr(0x1000_0000), 64 * PAGE_SIZE, RegionKind::Heap, "h").unwrap();
         space.clear_soft_dirty();
@@ -60,15 +102,21 @@ proptest! {
             space.write_u64(Addr(0x1000_0000 + off), off).unwrap();
         }
         for &off in &offsets {
-            prop_assert!(space.is_dirty(Addr(0x1000_0000 + off)), "page of offset {off} not dirty");
+            assert!(space.is_dirty(Addr(0x1000_0000 + off)), "seed {seed}: page of offset {off} not dirty");
         }
-        prop_assert!(space.dirty_page_count() <= offsets.len() + offsets.len());
+        assert!(space.dirty_page_count() <= 2 * offsets.len());
     }
+}
 
-    /// Descriptor allocation never reuses a number that is still open and the
-    /// reserved range never collides with ordinary allocation.
-    #[test]
-    fn fd_table_numbers_are_unique(ops in proptest::collection::vec(0u8..3, 1..80)) {
+/// Descriptor allocation never reuses a number that is still open and the
+/// reserved range never collides with ordinary allocation.
+#[test]
+fn fd_table_numbers_are_unique() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(1, 80) as usize;
+        let ops: Vec<u8> = (0..n).map(|_| rng.range(0, 3) as u8).collect();
+
         let mut table = FdTable::new();
         let mut open = Vec::new();
         for (i, op) in ops.iter().enumerate() {
@@ -83,45 +131,49 @@ proptest! {
             }
             let mut seen = std::collections::BTreeSet::new();
             for &fd in &open {
-                prop_assert!(seen.insert(fd), "duplicate descriptor {fd}");
-                prop_assert!(table.contains(fd));
+                assert!(seen.insert(fd), "seed {seed}: duplicate descriptor {fd}");
+                assert!(table.contains(fd));
             }
         }
     }
+}
 
-    /// Call-stack IDs are deterministic and injective enough: permuting or
-    /// renaming frames changes the identifier.
-    #[test]
-    fn callstack_ids_distinguish_different_stacks(
-        frames in proptest::collection::vec("[a-z_]{1,12}", 1..8),
-    ) {
+/// Call-stack IDs are deterministic and injective enough: permuting or
+/// renaming frames changes the identifier.
+#[test]
+fn callstack_ids_distinguish_different_stacks() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(1, 8) as usize;
+        let frames: Vec<String> = (0..n).map(|_| rng.ident(12)).collect();
+
         let id = CallStackId::from_frames(&frames);
-        prop_assert_eq!(id, CallStackId::from_frames(&frames));
+        assert_eq!(id, CallStackId::from_frames(&frames), "seed {seed}: not deterministic");
         let mut renamed = frames.clone();
         renamed[0] = format!("{}_v2", renamed[0]);
-        prop_assert_ne!(id, CallStackId::from_frames(&renamed));
+        assert_ne!(id, CallStackId::from_frames(&renamed), "seed {seed}: rename unnoticed");
         if frames.len() > 1 && frames[0] != frames[frames.len() - 1] {
             let mut reversed = frames.clone();
             reversed.reverse();
-            prop_assert_ne!(id, CallStackId::from_frames(&reversed));
+            assert_ne!(id, CallStackId::from_frames(&reversed), "seed {seed}: reversal unnoticed");
         }
     }
+}
 
-    /// Structural type transformation preserves the values of every field
-    /// that exists in both versions, regardless of added fields.
-    #[test]
-    fn field_map_preserves_common_fields(
-        values in proptest::collection::vec(any::<u32>(), 4),
-        add_front in any::<bool>(),
-        add_back in any::<bool>(),
-    ) {
+/// Structural type transformation preserves the values of every field that
+/// exists in both versions, regardless of added fields.
+#[test]
+fn field_map_preserves_common_fields() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let values: Vec<u32> = (0..4).map(|_| rng.next() as u32).collect();
+        let add_front = rng.chance();
+        let add_back = rng.chance();
+
         let names = ["a", "b", "c", "d"];
         let mut old_reg = TypeRegistry::new();
         let int_old = old_reg.int("int", 4);
-        let old_ty = old_reg.struct_type(
-            "s",
-            names.iter().map(|n| Field::new(*n, int_old)).collect(),
-        );
+        let old_ty = old_reg.struct_type("s", names.iter().map(|n| Field::new(*n, int_old)).collect());
         let mut new_reg = TypeRegistry::new();
         let int_new = new_reg.int("int", 4);
         let mut new_fields = Vec::new();
@@ -147,16 +199,22 @@ proptest! {
             let field = new_layout.iter().find(|f| &f.name == name).unwrap();
             let off = field.offset as usize;
             let got = u32::from_le_bytes(new_bytes[off..off + 4].try_into().unwrap());
-            prop_assert_eq!(got, values[i], "field {} lost its value", name);
+            assert_eq!(got, values[i], "seed {seed}: field {name} lost its value");
         }
     }
+}
 
-    /// Identity transformations round-trip arbitrary byte patterns.
-    #[test]
-    fn identity_field_map_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 8..256)) {
+/// Identity transformations round-trip arbitrary byte patterns.
+#[test]
+fn identity_field_map_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n = rng.range(8, 256) as usize;
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next() as u8).collect();
+
         let size = (bytes.len() as u64 / 8) * 8;
         let map = mcr_core::transfer::FieldMap::identity(size, &[]);
         let out = apply_field_map(&map, &bytes[..size as usize]);
-        prop_assert_eq!(&out[..], &bytes[..size as usize]);
+        assert_eq!(&out[..], &bytes[..size as usize]);
     }
 }
