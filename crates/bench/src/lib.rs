@@ -88,17 +88,29 @@ pub fn update_with_connections(
     open: usize,
     config: InstrumentationConfig,
 ) -> UpdateOutcome {
+    update_with_options(program, generation, requests, open, config, &UpdateOptions::default())
+}
+
+/// Like [`update_with_connections`] but with explicit [`UpdateOptions`]
+/// (used by the parallel-transfer bench to sweep `transfer_workers`).
+///
+/// # Panics
+///
+/// Panics if the server fails to boot or the workload cannot run.
+pub fn update_with_options(
+    program: &str,
+    generation: u32,
+    requests: u64,
+    open: usize,
+    config: InstrumentationConfig,
+    opts: &UpdateOptions,
+) -> UpdateOutcome {
     let (mut kernel, mut v1) = boot_program(program, generation, config);
     run_standard_workload(&mut kernel, &mut v1, program, requests);
     let port = workload_for(program, 1).port;
     open_idle_connections(&mut kernel, &mut v1, port, open).expect("idle connections");
-    let (_v2, outcome) = live_update(
-        &mut kernel,
-        v1,
-        Box::new(program_by_name(program, generation + 1)),
-        config,
-        &UpdateOptions::default(),
-    );
+    let (_v2, outcome) =
+        live_update(&mut kernel, v1, Box::new(program_by_name(program, generation + 1)), config, opts);
     outcome
 }
 

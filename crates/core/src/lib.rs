@@ -70,6 +70,7 @@
 pub mod annotations;
 pub mod callstack;
 pub mod error;
+pub mod intern;
 pub mod interpose;
 pub mod log;
 pub mod program;
@@ -81,6 +82,7 @@ pub mod transfer;
 pub use annotations::{AnnotationRegistry, ObjTreatment, ReinitDecision};
 pub use callstack::CallStackId;
 pub use error::{Conflict, McrError, McrResult};
+pub use intern::{Sym, SymbolTable};
 pub use interpose::{InterposeMode, InterposeStats, Interposer};
 pub use log::{LogEntry, StartupLog};
 pub use program::{InstanceState, Program, ProgramEnv, StepOutcome};

@@ -159,7 +159,7 @@ pub struct InstanceState {
     /// (contributes to the memory overhead measured in §8).
     pub dyn_alloc_log: Vec<(u64, u64)>,
     /// Library-region objects allocated by the program (addr, size, name).
-    pub lib_objects: Vec<(Addr, u64, String)>,
+    pub lib_objects: Vec<(Addr, u64, std::sync::Arc<str>)>,
     /// Simulated time spent in the startup phase (record or replay).
     pub startup_duration: mcr_procsim::SimDuration,
     static_bump: u64,
@@ -618,7 +618,7 @@ impl<'a> ProgramEnv<'a> {
         }
         let addr = layout.lib_base.offset(aligned);
         self.state.lib_bump = aligned + size;
-        self.state.lib_objects.push((addr, size, name.to_string()));
+        self.state.lib_objects.push((addr, size, name.into()));
         self.state.counters.lib_allocs += 1;
         self.note_dyn_alloc(addr, size);
         Ok(addr)

@@ -40,6 +40,23 @@ pub struct UpdateOptions {
     /// quiescent points). Requires the corresponding annotations in real
     /// deployments; disable to model an annotation-free deployment.
     pub recreate_unmatched_processes: bool,
+    /// Worker threads used by the pair-parallel trace/transfer phase.
+    ///
+    /// `0` (the default) means one worker per matched pair — the paper's
+    /// parallel multi-process transfer. `1` selects the serial ablation: the
+    /// pairs run in order on the calling thread, reproducing the sequential
+    /// timings while leaving every report byte-identical to a parallel run.
+    pub transfer_workers: usize,
+}
+
+impl UpdateOptions {
+    /// The worker count the trace/transfer phase will actually use for
+    /// `pairs` matched pairs (resolves the `0 = one per pair` default and
+    /// never exceeds the number of pairs).
+    pub fn effective_transfer_workers(&self, pairs: usize) -> usize {
+        let requested = if self.transfer_workers == 0 { pairs } else { self.transfer_workers };
+        requested.clamp(1, pairs.max(1))
+    }
 }
 
 impl Default for UpdateOptions {
@@ -49,6 +66,7 @@ impl Default for UpdateOptions {
             max_quiesce_rounds: 1_000,
             trace: TraceOptions::default(),
             recreate_unmatched_processes: true,
+            transfer_workers: 0,
         }
     }
 }

@@ -25,23 +25,50 @@
 //! exists of the new version and resumes the old one from its checkpoint.
 //! A [`FaultPlan`] can force a failure at any phase boundary, which is how
 //! the integration tests prove the rollback invariant phase by phase.
+//!
+//! # Pair-parallel trace and transfer
+//!
+//! `TraceAndTransfer` models the paper's parallel multi-process state
+//! transfer with real threads: the matched pairs are split into disjoint
+//! per-pair process borrows ([`Kernel::split_pairs`]), wrapped in `PairJob`
+//! work units, and dealt round-robin onto a `std::thread::scope` worker pool
+//! of [`UpdateOptions::transfer_workers`] threads (default: one per pair;
+//! `1` selects the serial ablation). Cross-version metadata — interned
+//! symbol/site/type names and the old→new type bridge — is resolved once
+//! per update into a shared read-only
+//! [`TransferContext`](crate::transfer::TransferContext) before the fan-out.
+//!
+//! **Determinism guarantee:** job results are merged strictly in pair order
+//! — tracing statistics, per-process transfer reports, drained conflict
+//! sets, descriptor inheritance and simulated clock charges are all
+//! independent of the worker count and of job completion order, so an
+//! update's reports and post-commit kernel state are byte-identical whether
+//! it ran serially or on any number of workers (`tests/properties.rs`
+//! proves this). Only the *timing model* differs:
+//! [`UpdateTimings::state_transfer`](crate::runtime::report::UpdateTimings)
+//! is the makespan of the executed round-robin schedule (with one worker,
+//! the serial sum; with one worker per pair, the slowest pair), while
+//! `state_transfer_serial` always reports the sequential wall time of the
+//! same work.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
-use mcr_procsim::{Fd, FdPlacement, Kernel, Pid, Syscall, SyscallPort, ThreadState};
+use mcr_procsim::{Fd, FdPlacement, Kernel, Pid, Process, SimDuration, Syscall, SyscallPort, ThreadState};
 use mcr_typemeta::InstrumentationConfig;
 
 use crate::callstack::CallStackId;
 use crate::error::{Conflict, McrError, McrResult};
 use crate::interpose::Interposer;
-use crate::program::{Program, ThreadRosterEntry};
+use crate::program::{InstanceState, Program, ThreadRosterEntry};
 use crate::runtime::controller::{UpdateOptions, UpdateOutcome};
 use crate::runtime::report::UpdateReport;
 use crate::runtime::scheduler::{
     create_instance, resume, run_startup, wait_quiescence, BootOptions, McrInstance,
 };
-use crate::tracing::tracer::trace_process;
-use crate::transfer::engine::transfer_process;
+use crate::tracing::stats::TracingStats;
+use crate::tracing::tracer::{TraceOptions, Tracer};
+use crate::transfer::engine::{transfer_between, ProcessTransferReport, TransferContext};
 
 /// Identifies one stage of the live-update pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -418,7 +445,127 @@ impl Phase for MatchProcessesPhase {
 /// Phase 4 — restore: mutable tracing and state transfer for every matched
 /// process pair, then per-process descriptor inheritance for connection
 /// descriptors created after startup.
+///
+/// The per-pair work is expressed as [`PairJob`]s and executed on a scoped
+/// worker pool ([`UpdateOptions::transfer_workers`] threads; the default is
+/// one per pair, `1` is the serial ablation). Each job owns disjoint borrows
+/// of its pair's processes via [`Kernel::split_pairs`], so the jobs run
+/// concurrently without sharing mutable state; results are merged back in
+/// pair order, which keeps reports, conflict sets and clock accounting
+/// byte-identical regardless of the worker count.
 pub struct TraceAndTransferPhase;
+
+/// The work unit of the pair-parallel restore phase: trace one old process
+/// and transfer its state into the matched new process. Jobs only touch
+/// their own pair plus shared read-only state, which is what
+/// `std::thread::scope` requires to run them concurrently.
+struct PairJob<'a> {
+    index: usize,
+    old_proc: &'a Process,
+    new_proc: &'a mut Process,
+    old_state: &'a InstanceState,
+    new_state: &'a InstanceState,
+    plan: &'a TransferContext,
+    trace: TraceOptions,
+}
+
+/// What one [`PairJob`] produced.
+struct PairOutcome {
+    stats: TracingStats,
+    report: ProcessTransferReport,
+}
+
+impl PairJob<'_> {
+    fn run(self) -> McrResult<PairOutcome> {
+        let trace = Tracer::for_process(self.old_proc, self.old_state, self.trace).trace();
+        let report = transfer_between(
+            self.plan,
+            self.old_proc,
+            self.old_state,
+            self.new_proc,
+            self.new_state,
+            &trace,
+        )?;
+        Ok(PairOutcome { stats: trace.stats, report })
+    }
+}
+
+/// Executes the jobs with the given worker count, returning outcomes indexed
+/// by pair order.
+///
+/// `workers <= 1` runs the jobs in order on the calling thread and stops at
+/// the first error, exactly like the historical sequential loop. Otherwise
+/// the jobs are dealt round-robin onto `workers` scoped threads; the
+/// round-robin assignment is also what the reported parallel makespan is
+/// computed from, so the timing model matches the schedule that actually
+/// executed.
+fn run_pair_jobs(jobs: Vec<PairJob<'_>>, workers: usize) -> Vec<McrResult<PairOutcome>> {
+    let n = jobs.len();
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for job in jobs {
+            let result = job.run();
+            let failed = result.is_err();
+            out.push(result);
+            if failed {
+                break;
+            }
+        }
+        return out;
+    }
+    let mut buckets: Vec<Vec<PairJob<'_>>> = Vec::new();
+    buckets.resize_with(workers, Vec::new);
+    for job in jobs {
+        buckets[job.index % workers].push(job);
+    }
+    let mut slots: Vec<Option<McrResult<PairOutcome>>> = Vec::new();
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || bucket.into_iter().map(|job| (job.index, job.run())).collect::<Vec<_>>())
+            })
+            .collect();
+        for handle in handles {
+            for (index, outcome) in handle.join().expect("transfer worker panicked") {
+                slots[index] = Some(outcome);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every pair job ran")).collect()
+}
+
+/// Per-process descriptor inheritance: connection descriptors created after
+/// startup exist only in the matched old process. Descriptor numbers may
+/// clash across processes (two old workers can both own a "fd 7" referring
+/// to different connections); the matched process's own object wins,
+/// mirroring the per-process mapping the paper calls for in multiprocess
+/// deployments.
+fn inherit_connection_fds(kernel: &mut Kernel, old_pid: Pid, new_pid: Pid) {
+    let fds: Vec<(Fd, mcr_procsim::ObjId)> = match kernel.process(old_pid) {
+        Ok(p) => p.fds().iter().map(|(fd, e)| (fd, e.object)).collect(),
+        Err(_) => Vec::new(),
+    };
+    for (fd, old_obj) in fds {
+        let existing = kernel.process(new_pid).ok().and_then(|p| p.fds().get(fd).ok());
+        match existing {
+            Some(entry) if entry.object == old_obj => {}
+            Some(_) => {
+                // Same number, different object: replace it with the object
+                // this process actually owned in the old version.
+                let new_tid = kernel.process(new_pid).map(|p| p.main_tid());
+                if let Ok(tid) = new_tid {
+                    let _ = kernel.syscall(new_pid, tid, Syscall::Close { fd });
+                    let _ = kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
+                }
+            }
+            None => {
+                let _ = kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
+            }
+        }
+    }
+}
 
 impl Phase for TraceAndTransferPhase {
     fn name(&self) -> PhaseName {
@@ -426,53 +573,84 @@ impl Phase for TraceAndTransferPhase {
     }
 
     fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
-        let mut conflicts: Vec<Conflict> = Vec::new();
-        let pairs = ctx.pairs.clone();
-        for &(old_pid, new_pid) in &pairs {
-            let trace = trace_process(ctx.kernel, &ctx.old.state, old_pid, ctx.opts.trace)?;
-            ctx.report.tracing.merge(&trace.stats);
-            let proc_report = {
-                let UpdateCtx { kernel, old, new_instance, .. } = ctx;
-                let new_instance = new_instance.as_mut().expect("matched pairs imply an instance");
-                transfer_process(kernel, &old.state, old_pid, &mut new_instance.state, new_pid, &trace)?
-            };
-            conflicts.extend(proc_report.conflicts.clone());
-            ctx.report.transfer.push(proc_report);
+        if ctx.pairs.is_empty() {
+            ctx.report.timings.state_transfer = SimDuration(0);
+            return Ok(());
+        }
+        let workers = ctx.opts.effective_transfer_workers(ctx.pairs.len());
 
-            // Per-process descriptor inheritance: connection descriptors
-            // created after startup exist only in the matched old process.
-            // Descriptor numbers may clash across processes (two old workers
-            // can both own a "fd 7" referring to different connections); the
-            // matched process's own object wins, mirroring the per-process
-            // mapping the paper calls for in multiprocess deployments.
-            let fds: Vec<(Fd, mcr_procsim::ObjId)> = match ctx.kernel.process(old_pid) {
-                Ok(p) => p.fds().iter().map(|(fd, e)| (fd, e.object)).collect(),
-                Err(_) => Vec::new(),
-            };
-            for (fd, old_obj) in fds {
-                let existing = ctx.kernel.process(new_pid).ok().and_then(|p| p.fds().get(fd).ok());
-                match existing {
-                    Some(entry) if entry.object == old_obj => {}
-                    Some(_) => {
-                        // Same number, different object: replace it with the
-                        // object this process actually owned in the old
-                        // version.
-                        let new_tid = ctx.kernel.process(new_pid).map(|p| p.main_tid());
-                        if let Ok(tid) = new_tid {
-                            let _ = ctx.kernel.syscall(new_pid, tid, Syscall::Close { fd });
-                            let _ = ctx.kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
-                        }
-                    }
-                    None => {
-                        let _ = ctx.kernel.transfer_fd(old_pid, fd, new_pid, FdPlacement::Exact(fd));
-                    }
+        // Fan out: split the kernel's process table into disjoint per-pair
+        // borrows and run every trace+transfer job on the worker pool. The
+        // interned cross-version metadata is built once and shared read-only.
+        let wall = Instant::now();
+        let outcomes = {
+            let UpdateCtx { kernel, old, new_instance, opts, pairs, .. } = ctx;
+            let new_instance = new_instance.as_mut().expect("matched pairs imply an instance");
+            let old_state = &old.state;
+            let new_state = &new_instance.state;
+            let plan = TransferContext::new(old_state, new_state);
+            let split = kernel.split_pairs(pairs).map_err(McrError::Sim)?;
+            let jobs: Vec<PairJob<'_>> = split
+                .into_iter()
+                .enumerate()
+                .map(|(index, (old_proc, new_proc))| PairJob {
+                    index,
+                    old_proc,
+                    new_proc,
+                    old_state,
+                    new_state,
+                    plan: &plan,
+                    trace: opts.trace,
+                })
+                .collect();
+            run_pair_jobs(jobs, workers)
+        };
+        let host_wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        // Merge deterministically, in pair order: tracing statistics,
+        // simulated clock charges, per-process reports, conflict sets and
+        // descriptor inheritance are all independent of the worker count and
+        // of job completion order. Reports keep their conflicts (per-process
+        // attribution survives into the rolled-back report); the error list
+        // is materialized only on the cold rollback path below.
+        let mut any_conflicts = false;
+        let mut failure: Option<McrError> = None;
+        let mut pair_costs: Vec<SimDuration> = Vec::with_capacity(ctx.pairs.len());
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+                Ok(PairOutcome { stats, report }) => {
+                    let (old_pid, new_pid) = ctx.pairs[index];
+                    ctx.report.tracing.merge(&stats);
+                    ctx.kernel.advance_clock(report.duration);
+                    pair_costs.push(report.duration);
+                    any_conflicts |= !report.conflicts.is_empty();
+                    ctx.report.transfer.push(report);
+                    inherit_connection_fds(ctx.kernel, old_pid, new_pid);
                 }
             }
         }
-        if !conflicts.is_empty() {
-            return Err(McrError::Conflicts(conflicts));
+        ctx.report.transfer.workers = workers;
+        ctx.report.transfer.host_wall_ns = host_wall_ns;
+        if let Some(e) = failure {
+            return Err(e);
         }
-        ctx.report.timings.state_transfer = ctx.report.transfer.parallel_duration;
+        if any_conflicts {
+            return Err(McrError::Conflicts(ctx.report.transfer.conflicts().cloned().collect()));
+        }
+
+        // The measured parallel state-transfer time: the makespan of the
+        // round-robin schedule the worker pool executed. One worker yields
+        // the serial sum; one worker per pair yields the per-pair maximum
+        // (the paper's parallel multi-process transfer).
+        let mut load = vec![SimDuration(0); workers];
+        for (index, cost) in pair_costs.iter().enumerate() {
+            load[index % workers] = load[index % workers].saturating_add(*cost);
+        }
+        ctx.report.timings.state_transfer = load.into_iter().max().unwrap_or_default();
         Ok(())
     }
 }

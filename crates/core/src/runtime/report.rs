@@ -70,8 +70,12 @@ pub struct UpdateTimings {
     /// Time to restart the new version and complete control migration
     /// (record/replay of startup operations).
     pub control_migration: SimDuration,
-    /// State-transfer time with MCR's parallel per-process transfer
-    /// (the time reported in Figure 3).
+    /// State-transfer time with MCR's parallel per-process transfer (the
+    /// time reported in Figure 3): the makespan of the round-robin schedule
+    /// the pair-parallel phase executed with
+    /// [`UpdateOptions::transfer_workers`](crate::runtime::controller::UpdateOptions)
+    /// workers. One worker reproduces the sequential sum; one worker per
+    /// pair (the default) is bounded by the slowest pair.
     pub state_transfer: SimDuration,
     /// State-transfer time if processes were transferred sequentially
     /// (ablation of the parallel strategy).

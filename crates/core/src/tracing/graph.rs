@@ -1,32 +1,36 @@
 //! The traced object graph of the old program version.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mcr_procsim::Addr;
 use mcr_typemeta::TypeId;
 
 /// Where a traced object lives and how it can be identified across versions.
+///
+/// Names are shared `Arc<str>`s handed out by the per-version registries, so
+/// tracing a process never copies name bytes per object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ObjectOrigin {
     /// A global/static variable, matched across versions by symbol name.
     Static {
         /// Symbol name.
-        symbol: String,
+        symbol: Arc<str>,
     },
     /// A heap chunk, matched across versions by allocation-site name.
     Heap {
         /// Allocation-site name, when the allocator was instrumented.
-        site: Option<String>,
+        site: Option<Arc<str>>,
     },
     /// An object carved from a region/pool allocator.
     Pool {
         /// Allocation-site name, when the region allocator was instrumented.
-        site: Option<String>,
+        site: Option<Arc<str>>,
     },
     /// State owned by a shared library (not transferred by default).
     Lib {
         /// Library object name, if known.
-        name: Option<String>,
+        name: Option<Arc<str>>,
     },
     /// A memory-mapped region.
     Mmap,

@@ -74,7 +74,18 @@ impl<'a> Tracer<'a> {
         options: TraceOptions,
     ) -> McrResult<Self> {
         let process = kernel.process(pid).map_err(McrError::Sim)?;
-        Ok(Tracer { process, state, options })
+        Ok(Tracer::for_process(process, state, options))
+    }
+
+    /// Creates a tracer over an already-borrowed process.
+    ///
+    /// This is the entry point used by the pair-parallel trace/transfer
+    /// phase: workers hold per-process borrows obtained from
+    /// [`Kernel::split_pairs`](mcr_procsim::Kernel::split_pairs) instead of
+    /// going through `&Kernel`, which would alias the exclusive borrows of
+    /// the new version's processes.
+    pub fn for_process(process: &'a Process, state: &'a InstanceState, options: TraceOptions) -> Self {
+        Tracer { process, state, options }
     }
 
     /// Runs the traversal from the root set.
@@ -383,7 +394,7 @@ impl<'a> Tracer<'a> {
                 Some(ResolvedObject {
                     base,
                     size: 8,
-                    origin: ObjectOrigin::Static { symbol: format!("static@{:#x}", base.0) },
+                    origin: ObjectOrigin::Static { symbol: format!("static@{:#x}", base.0).into() },
                     type_id: None,
                     startup: true,
                 })

@@ -5,5 +5,7 @@
 pub mod engine;
 pub mod transform;
 
-pub use engine::{transfer_process, ProcessTransferReport, TransferSummary};
+pub use engine::{
+    transfer_between, transfer_process, ProcessTransferReport, TransferContext, TransferSummary, TypeBridge,
+};
 pub use transform::{apply_field_map, compute_field_map, FieldMap};

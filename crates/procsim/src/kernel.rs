@@ -219,6 +219,59 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Borrow splitting (parallel per-process state transfer)
+    // ------------------------------------------------------------------
+
+    /// Hands out disjoint exclusive references to the given processes, in the
+    /// order requested.
+    ///
+    /// This is the borrow-splitting primitive behind MCR's parallel
+    /// per-process state transfer: each matched pair of a live update can be
+    /// traced and transferred on its own thread because every worker owns
+    /// `&mut` access to *its* processes only, while global kernel state
+    /// (clock, object table, files) stays with the caller and is advanced
+    /// deterministically after the workers join.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any pid is unknown or listed twice (aliased exclusive access).
+    pub fn split_processes(&mut self, pids: &[Pid]) -> SimResult<Vec<&mut Process>> {
+        for (i, pid) in pids.iter().enumerate() {
+            if !self.processes.contains_key(&pid.0) {
+                return Err(SimError::NoSuchProcess(*pid));
+            }
+            if pids[..i].contains(pid) {
+                return Err(SimError::InvalidArgument(format!("pid {pid} requested twice")));
+            }
+        }
+        let mut slots: Vec<Option<&mut Process>> = Vec::new();
+        slots.resize_with(pids.len(), || None);
+        for (key, proc) in self.processes.iter_mut() {
+            if let Some(i) = pids.iter().position(|p| p.0 == *key) {
+                slots[i] = Some(proc);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("validated above")).collect())
+    }
+
+    /// Splits matched `(old, new)` process pairs into per-pair borrows:
+    /// shared access to the old process (tracing only reads it) and exclusive
+    /// access to the new one (state transfer writes into it).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any pid is unknown or appears in more than one role.
+    pub fn split_pairs(&mut self, pairs: &[(Pid, Pid)]) -> SimResult<Vec<(&Process, &mut Process)>> {
+        let flat: Vec<Pid> = pairs.iter().flat_map(|&(old, new)| [old, new]).collect();
+        let mut procs = self.split_processes(&flat)?.into_iter();
+        let mut out = Vec::with_capacity(pairs.len());
+        while let (Some(old), Some(new)) = (procs.next(), procs.next()) {
+            out.push((old as &Process, new));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
     // Descriptor transfer between processes (Unix-socket fd passing)
     // ------------------------------------------------------------------
 
@@ -793,6 +846,46 @@ mod tests {
         k.remove_process(pid).unwrap();
         assert_eq!(k.objects().refcount(obj), 0);
         assert!(k.process(pid).is_err());
+    }
+
+    #[test]
+    fn split_processes_hands_out_disjoint_exclusive_borrows() {
+        let (mut k, pid, tid) = booted();
+        let a = k.syscall(pid, tid, Syscall::Fork).unwrap().as_pid().unwrap();
+        let b = k.syscall(pid, tid, Syscall::Fork).unwrap().as_pid().unwrap();
+        {
+            let mut procs = k.split_processes(&[b, a]).unwrap();
+            assert_eq!(procs.len(), 2);
+            assert_eq!(procs[0].pid(), b, "results follow request order");
+            assert_eq!(procs[1].pid(), a);
+            // Both exclusive borrows are usable at the same time.
+            let (first, rest) = procs.split_at_mut(1);
+            first[0].space_mut().clear_soft_dirty();
+            rest[0].space_mut().clear_soft_dirty();
+        }
+        assert!(matches!(k.split_processes(&[a, Pid(9999)]), Err(SimError::NoSuchProcess(_))));
+        assert!(matches!(k.split_processes(&[a, a]), Err(SimError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn split_pairs_gives_shared_old_and_exclusive_new() {
+        let (mut k, pid, tid) = booted();
+        let old_b = k.syscall(pid, tid, Syscall::Fork).unwrap().as_pid().unwrap();
+        let new_a = k.create_process("new").unwrap();
+        let new_b = k.create_process("new").unwrap();
+        k.process_mut(new_a).unwrap().setup_memory(MemoryLayout::with_slide(0x1000_0000), false).unwrap();
+        k.process_mut(new_b).unwrap().setup_memory(MemoryLayout::with_slide(0x2000_0000), false).unwrap();
+        let pairs = [(pid, new_a), (old_b, new_b)];
+        let split = k.split_pairs(&pairs).unwrap();
+        assert_eq!(split.len(), 2);
+        for (i, (old, new)) in split.into_iter().enumerate() {
+            assert_eq!(old.pid(), pairs[i].0);
+            assert_eq!(new.pid(), pairs[i].1);
+            let _ = old.space();
+            new.space_mut().clear_soft_dirty();
+        }
+        // A pid may not appear in two pairs.
+        assert!(k.split_pairs(&[(pid, new_a), (pid, new_b)]).is_err());
     }
 
     #[test]

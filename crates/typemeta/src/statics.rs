@@ -7,16 +7,21 @@
 //! and dynamic objects by allocation-site name across the two versions.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mcr_procsim::{Addr, AllocSite};
 
 use crate::types::TypeId;
 
 /// A registered global/static object of one program version.
+///
+/// The symbol is interned as an `Arc<str>`: mutable tracing resolves objects
+/// by symbol on its hot path, and an `Arc` clone is a refcount bump instead
+/// of a heap copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticObject {
     /// Symbol name (e.g. `"conf"`, `"list"`, `"b"`).
-    pub symbol: String,
+    pub symbol: Arc<str>,
     /// Address of the object in the version's address space.
     pub addr: Addr,
     /// Type of the object.
@@ -32,7 +37,7 @@ pub struct StaticObject {
 /// Registry of the static objects of one program version.
 #[derive(Debug, Clone, Default)]
 pub struct StaticRegistry {
-    by_symbol: BTreeMap<String, StaticObject>,
+    by_symbol: BTreeMap<Arc<str>, StaticObject>,
 }
 
 impl StaticRegistry {
@@ -43,11 +48,11 @@ impl StaticRegistry {
 
     /// Registers (or replaces) a static object.
     pub fn register(&mut self, object: StaticObject) {
-        self.by_symbol.insert(object.symbol.clone(), object);
+        self.by_symbol.insert(Arc::clone(&object.symbol), object);
     }
 
     /// Convenience: registers a root object.
-    pub fn register_root(&mut self, symbol: impl Into<String>, addr: Addr, ty: TypeId, size: u64) {
+    pub fn register_root(&mut self, symbol: impl Into<Arc<str>>, addr: Addr, ty: TypeId, size: u64) {
         self.register(StaticObject { symbol: symbol.into(), addr, ty, size, is_root: true });
     }
 
@@ -92,7 +97,9 @@ impl StaticRegistry {
 pub struct CallSiteInfo {
     /// A stable, version-agnostic name for the site (typically
     /// `"function:variable"`), used to match dynamic objects across versions.
-    pub name: String,
+    /// Interned as an `Arc<str>` so per-object lookups during tracing and
+    /// transfer never copy the name.
+    pub name: Arc<str>,
     /// The type allocated at this site, as determined by MCR's static
     /// allocation-type analysis; `None` when the analysis cannot tell (the
     /// allocation is then opaque).
@@ -103,7 +110,7 @@ pub struct CallSiteInfo {
 #[derive(Debug, Clone, Default)]
 pub struct CallSiteRegistry {
     sites: BTreeMap<u64, CallSiteInfo>,
-    by_name: BTreeMap<String, u64>,
+    by_name: BTreeMap<Arc<str>, u64>,
     next: u64,
 }
 
@@ -114,14 +121,14 @@ impl CallSiteRegistry {
     }
 
     /// Registers a call site (idempotent per name), returning its id.
-    pub fn register(&mut self, name: impl Into<String>, ty: Option<TypeId>) -> AllocSite {
-        let name = name.into();
+    pub fn register(&mut self, name: impl Into<Arc<str>>, ty: Option<TypeId>) -> AllocSite {
+        let name: Arc<str> = name.into();
         if let Some(&id) = self.by_name.get(&name) {
             return AllocSite(id);
         }
         let id = self.next;
         self.next += 1;
-        self.by_name.insert(name.clone(), id);
+        self.by_name.insert(Arc::clone(&name), id);
         self.sites.insert(id, CallSiteInfo { name, ty });
         AllocSite(id)
     }
@@ -134,6 +141,11 @@ impl CallSiteRegistry {
     /// Looks up a call site id by name.
     pub fn lookup(&self, name: &str) -> Option<AllocSite> {
         self.by_name.get(name).map(|&id| AllocSite(id))
+    }
+
+    /// Iterates over all registered call sites in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AllocSite, &CallSiteInfo)> {
+        self.sites.iter().map(|(&id, info)| (AllocSite(id), info))
     }
 
     /// Number of registered call sites.
@@ -165,7 +177,7 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.lookup("conf").unwrap().addr, Addr(0x40_0000));
         assert!(reg.lookup("missing").is_none());
-        assert_eq!(reg.object_containing(Addr(0x40_0120)).unwrap().symbol, "banner");
+        assert_eq!(&*reg.object_containing(Addr(0x40_0120)).unwrap().symbol, "banner");
         assert!(reg.object_containing(Addr(0x50_0000)).is_none());
         assert_eq!(reg.roots().count(), 1);
         assert_eq!(reg.total_bytes(), 72);
@@ -189,7 +201,8 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(reg.len(), 2);
-        assert_eq!(reg.get(a).unwrap().name, "server_init:conf");
+        assert_eq!(&*reg.get(a).unwrap().name, "server_init:conf");
+        assert_eq!(reg.iter().count(), 2);
         assert_eq!(reg.get(c).unwrap().ty, None);
         assert_eq!(reg.lookup("handle_event:node"), Some(c));
         assert_eq!(reg.lookup("nope"), None);

@@ -14,6 +14,7 @@
 //! the conservative half of mutable tracing.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifier of a type within a [`TypeRegistry`].
 ///
@@ -88,12 +89,15 @@ impl Field {
 }
 
 /// A registered type: identifier, name and structure.
+///
+/// The name is interned as an `Arc<str>` so the transfer engine's hot path
+/// can carry type names around without copying the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeDesc {
     /// Identifier within the registry.
     pub id: TypeId,
     /// Type name (used to pair types across program versions).
-    pub name: String,
+    pub name: Arc<str>,
     /// Structure.
     pub kind: TypeKind,
 }
@@ -152,7 +156,7 @@ pub struct FieldLayout {
 #[derive(Debug, Clone, Default)]
 pub struct TypeRegistry {
     types: BTreeMap<u64, TypeDesc>,
-    by_name: BTreeMap<String, u64>,
+    by_name: BTreeMap<Arc<str>, u64>,
     next_id: u64,
 }
 
@@ -165,14 +169,14 @@ impl TypeRegistry {
     /// Registers a type under `name`, returning its id. Registering the same
     /// name twice returns the existing id (types are identified by name
     /// within one version).
-    pub fn register(&mut self, name: impl Into<String>, kind: TypeKind) -> TypeId {
-        let name = name.into();
+    pub fn register(&mut self, name: impl Into<Arc<str>>, kind: TypeKind) -> TypeId {
+        let name: Arc<str> = name.into();
         if let Some(&id) = self.by_name.get(&name) {
             return TypeId(id);
         }
         let id = TypeId(self.next_id);
         self.next_id += 1;
-        self.by_name.insert(name.clone(), id.0);
+        self.by_name.insert(Arc::clone(&name), id.0);
         self.types.insert(id.0, TypeDesc { id, name, kind });
         id
     }

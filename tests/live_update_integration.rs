@@ -117,6 +117,40 @@ fn chained_updates_across_three_generations_keep_state() {
     assert_eq!(requests, served, "request counter survived every update");
 }
 
+/// The tentpole acceptance check for the pair-parallel restore phase: with
+/// at least four matched pairs, the measured parallel `state_transfer`
+/// (makespan of the scoped-thread schedule) beats the sequential ablation,
+/// and the default worker count (one per pair) is bounded by the slowest
+/// pair.
+#[test]
+fn parallel_state_transfer_beats_serial_with_four_or_more_pairs() {
+    let (mut kernel, mut v1) = booted("vsftpd");
+    run_workload(&mut kernel, &mut v1, &workload_for("vsftpd", 6)).unwrap();
+    open_idle_connections(&mut kernel, &mut v1, 21, 4).unwrap();
+    let (_v2, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(programs::vsftpd(2)),
+        InstrumentationConfig::full(),
+        &UpdateOptions::default(),
+    );
+    assert!(outcome.is_committed(), "{:?}", outcome.conflicts());
+    let report = outcome.report();
+    let pairs = report.processes_matched + report.processes_recreated;
+    assert!(pairs >= 4, "per-connection sessions give at least four pairs (got {pairs})");
+    assert_eq!(report.transfer.workers, pairs, "default is one worker per pair");
+    assert_eq!(
+        report.timings.state_transfer, report.transfer.parallel_duration,
+        "one worker per pair: the slowest pair bounds the phase"
+    );
+    assert!(
+        report.timings.state_transfer < report.timings.state_transfer_serial,
+        "parallel {} ns must beat serial {} ns",
+        report.timings.state_transfer.0,
+        report.timings.state_transfer_serial.0
+    );
+}
+
 #[test]
 fn rollback_keeps_old_version_fully_functional() {
     let (mut kernel, mut v1) = booted("vsftpd");

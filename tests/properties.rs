@@ -6,9 +6,14 @@
 //! every case is reproducible from its printed seed.
 
 use mcr_core::callstack::CallStackId;
+use mcr_core::runtime::{boot, live_update, BootOptions, UpdateOptions, UpdateReport};
 use mcr_core::transfer::{apply_field_map, compute_field_map};
-use mcr_procsim::{Addr, AddressSpace, AllocSite, FdTable, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE};
-use mcr_typemeta::{Field, TypeRegistry};
+use mcr_procsim::{
+    Addr, AddressSpace, AllocSite, FdTable, Kernel, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE,
+};
+use mcr_servers::{install_standard_files, program_by_name};
+use mcr_typemeta::{Field, InstrumentationConfig, TypeRegistry};
+use mcr_workload::{open_idle_connections, run_workload, workload_for};
 
 const HEAP_BASE: u64 = 0x0800_0000;
 const HEAP_SIZE: u64 = 512 * PAGE_SIZE;
@@ -201,6 +206,161 @@ fn field_map_preserves_common_fields() {
             let got = u32::from_le_bytes(new_bytes[off..off + 4].try_into().unwrap());
             assert_eq!(got, values[i], "seed {seed}: field {name} lost its value");
         }
+    }
+}
+
+/// FNV-1a over one process-visible fact.
+fn fold(hash: &mut u64, value: u64) {
+    *hash = (*hash ^ value).wrapping_mul(0x100_0000_01b3);
+}
+
+/// Deterministic digest of everything live-update-visible in the kernel:
+/// every process's identity, descriptor table, thread roster and the full
+/// contents of every mapped region.
+fn kernel_fingerprint(kernel: &Kernel) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for pid in kernel.pids() {
+        let proc = kernel.process(pid).unwrap();
+        fold(&mut hash, pid.0.into());
+        fold(&mut hash, proc.fds().len() as u64);
+        for (fd, entry) in proc.fds().iter() {
+            fold(&mut hash, fd.0 as u64);
+            fold(&mut hash, entry.object.0);
+        }
+        fold(&mut hash, proc.thread_count() as u64);
+        for region in proc.space().regions() {
+            fold(&mut hash, region.base().0);
+            fold(&mut hash, region.size());
+            let bytes = proc.space().read_bytes(region.base(), region.size() as usize).unwrap();
+            for word in bytes.chunks_exact(8) {
+                fold(&mut hash, u64::from_le_bytes(word.try_into().unwrap()));
+            }
+        }
+    }
+    hash
+}
+
+/// Boots `program`, serves a workload, opens idle connections and updates to
+/// the next generation with the given trace/transfer worker count.
+fn committed_update(program: &str, requests: u64, open: usize, workers: usize) -> (u64, UpdateReport) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+    run_workload(&mut kernel, &mut v1, &workload_for(program, requests)).unwrap();
+    let port = workload_for(program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, open).unwrap();
+    let opts = UpdateOptions { transfer_workers: workers, ..Default::default() };
+    let (_v2, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    assert!(outcome.is_committed(), "{program} workers={workers}: {:?}", outcome.conflicts());
+    let report = outcome.report().clone();
+    (kernel_fingerprint(&kernel), report)
+}
+
+/// The pair-parallel trace/transfer phase is deterministic: for fault-free
+/// updates, the serial ablation (`transfer_workers = 1`) and a parallel run
+/// with a random worker count produce identical post-commit kernel state,
+/// identical phase traces, tracing statistics, per-process transfer reports
+/// and conflict lists. Only the parallel timing model may differ.
+#[test]
+fn parallel_and_serial_transfer_produce_identical_updates() {
+    let programs = ["httpd", "nginx", "vsftpd", "sshd"];
+    for seed in 0..4u64 {
+        let mut rng = Rng::new(seed + 0xbeef);
+        let program = programs[seed as usize % programs.len()];
+        let requests = rng.range(1, 4);
+        let open = rng.range(0, 5) as usize;
+        let workers = rng.range(2, 9) as usize;
+
+        let (serial_fp, serial) = committed_update(program, requests, open, 1);
+        let (parallel_fp, parallel) = committed_update(program, requests, open, workers);
+
+        assert_eq!(serial_fp, parallel_fp, "seed {seed} ({program}): post-commit kernel state diverged");
+        assert_eq!(
+            serial.phases.records(),
+            parallel.phases.records(),
+            "seed {seed} ({program}): phase traces diverged"
+        );
+        assert_eq!(serial.tracing, parallel.tracing, "seed {seed} ({program}): tracing stats diverged");
+        assert_eq!(
+            serial.transfer.per_process, parallel.transfer.per_process,
+            "seed {seed} ({program}): per-process transfer reports diverged"
+        );
+        assert_eq!(serial.transfer.serial_duration, parallel.transfer.serial_duration);
+        assert_eq!(serial.transfer.parallel_duration, parallel.transfer.parallel_duration);
+        assert_eq!(
+            serial.processes_matched + serial.processes_recreated,
+            parallel.processes_matched + parallel.processes_recreated,
+            "seed {seed} ({program}): pair counts diverged"
+        );
+        assert!(
+            serial
+                .transfer
+                .per_process
+                .iter()
+                .zip(parallel.transfer.per_process.iter())
+                .all(|(a, b)| a.conflicts == b.conflicts),
+            "seed {seed} ({program}): conflict lists diverged"
+        );
+        // Shared-work timings agree; the parallel makespan can only improve
+        // on the serial sum.
+        assert_eq!(serial.timings.quiescence, parallel.timings.quiescence);
+        assert_eq!(serial.timings.control_migration, parallel.timings.control_migration);
+        assert_eq!(serial.timings.state_transfer_serial, parallel.timings.state_transfer_serial);
+        assert_eq!(serial.timings.total, parallel.timings.total);
+        assert_eq!(
+            serial.timings.state_transfer, serial.transfer.serial_duration,
+            "one worker reproduces the sequential sum"
+        );
+        assert!(parallel.timings.state_transfer <= serial.timings.state_transfer);
+        assert_eq!(serial.transfer.workers, 1);
+        assert_eq!(parallel.transfer.workers, workers.min(serial.transfer.per_process.len()));
+    }
+}
+
+/// Conflicting updates roll back identically too: the aborting conflict
+/// list, the per-process conflict attribution in the transfer report, and
+/// the post-rollback kernel state do not depend on the worker count.
+#[test]
+fn parallel_and_serial_rollbacks_report_identical_conflicts() {
+    // vsftpd generation 1 -> 3 changes `conn_s` under non-updatable
+    // references, which aborts the update during state transfer.
+    let run = |workers: usize| {
+        let mut kernel = Kernel::new();
+        install_standard_files(&mut kernel);
+        let mut v1 =
+            boot(&mut kernel, Box::new(program_by_name("vsftpd", 1)), &BootOptions::default()).unwrap();
+        run_workload(&mut kernel, &mut v1, &workload_for("vsftpd", 6)).unwrap();
+        let opts = UpdateOptions { transfer_workers: workers, ..Default::default() };
+        let (_v1, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(program_by_name("vsftpd", 3)),
+            InstrumentationConfig::full(),
+            &opts,
+        );
+        assert!(!outcome.is_committed(), "workers={workers}: expected a conflict rollback");
+        (outcome.conflicts().to_vec(), outcome.report().clone(), kernel_fingerprint(&kernel))
+    };
+    let (serial_conflicts, serial_report, serial_fp) = run(1);
+    for workers in [2usize, 5] {
+        let (parallel_conflicts, parallel_report, parallel_fp) = run(workers);
+        assert!(!serial_conflicts.is_empty(), "the scenario must produce conflicts");
+        assert_eq!(serial_conflicts, parallel_conflicts, "workers={workers}: conflict lists diverged");
+        assert_eq!(
+            serial_report.transfer.per_process, parallel_report.transfer.per_process,
+            "workers={workers}: per-process reports diverged"
+        );
+        assert!(
+            serial_report.transfer.per_process.iter().any(|r| !r.conflicts.is_empty()),
+            "per-process conflict attribution survives into the rolled-back report"
+        );
+        assert_eq!(serial_fp, parallel_fp, "workers={workers}: post-rollback kernel state diverged");
     }
 }
 
