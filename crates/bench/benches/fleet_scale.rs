@@ -1,0 +1,134 @@
+//! Fleet-scale scheduler sweep: per-round cost vs. thread count at 1% active.
+//!
+//! For each fleet size this bench boots a [`FleetServer`] (one reader thread
+//! per connection) twice — once on the event-driven scheduler and once on
+//! the legacy full-scan ablation — runs the same deterministic workload
+//! (every round sends data on the same 1% of connections), and emits one
+//! JSON row per size. The cost metric is thread *steps per round* (exact
+//! and host-independent); wall-clock time is reported alongside.
+//!
+//! The scaling guard is `step_ratio` — full-scan steps over event-driven
+//! steps: the event-driven core must be at least 10x cheaper per round at
+//! 10k threads / 1% active (the acceptance bar, mirrored by the CI smoke
+//! step), because its cost tracks *active* threads while the scan pays for
+//! every thread every round. Both runs must also handle exactly the same
+//! number of events, and the event-driven fleet must still reach quiescence.
+
+use std::time::Instant;
+
+use mcr_bench::{FleetServer, Json, FLEET_PORT};
+use mcr_core::runtime::{
+    all_quiesced, boot, run_round, run_rounds, wait_quiescence, BootOptions, McrInstance, RoundStats,
+    SchedulerMode,
+};
+use mcr_procsim::{ConnId, Kernel};
+
+/// Fleet sizes swept (threads = connections); 1% of each fleet is active.
+const FLEET_SIZES: [usize; 4] = [10, 100, 1_000, 10_000];
+/// Measured rounds per run.
+const ROUNDS: usize = 10;
+
+struct RunOutcome {
+    stats: RoundStats,
+    wall_ns: u64,
+    events_handled: u64,
+    quiesce_ns: u64,
+}
+
+fn active_slots(threads: usize) -> Vec<usize> {
+    let active = (threads / 100).max(1);
+    let stride = threads / active;
+    (0..active).map(|i| i * stride).collect()
+}
+
+fn run_fleet(threads: usize, mode: SchedulerMode) -> RunOutcome {
+    let mut kernel = Kernel::new();
+    let opts = BootOptions { scheduler: mode, ..Default::default() };
+    let mut instance: McrInstance =
+        boot(&mut kernel, Box::new(FleetServer::new(threads)), &opts).expect("fleet boots");
+    let conns: Vec<ConnId> = (0..threads).map(|_| kernel.client_connect(FLEET_PORT).unwrap()).collect();
+    // Setup rounds: the acceptor drains the backlog, every reader parks.
+    run_rounds(&mut kernel, &mut instance, 2).expect("fleet setup");
+    assert!(conns.iter().all(|&c| kernel.client_is_accepted(c)), "all sessions accepted");
+
+    let slots = active_slots(threads);
+    let mut stats = RoundStats::default();
+    let wall = Instant::now();
+    for _ in 0..ROUNDS {
+        for &slot in &slots {
+            kernel.client_send(conns[slot], b"ping".to_vec()).expect("send");
+        }
+        stats.absorb(&run_round(&mut kernel, &mut instance).expect("round"));
+    }
+    let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // The barrier must still converge over a mostly-parked fleet.
+    let q_start = kernel.now();
+    wait_quiescence(&mut kernel, &mut instance, 10).expect("quiescence converges");
+    assert!(all_quiesced(&kernel, &instance));
+    let quiesce_ns = kernel.now().duration_since(q_start).0;
+
+    RunOutcome { stats, wall_ns, events_handled: instance.state.counters.events_handled, quiesce_ns }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for threads in FLEET_SIZES {
+        let active = active_slots(threads).len();
+        let event = run_fleet(threads, SchedulerMode::EventDriven);
+        let scan = run_fleet(threads, SchedulerMode::FullScan);
+
+        assert_eq!(
+            event.events_handled, scan.events_handled,
+            "{threads}: both schedulers must serve the same events"
+        );
+        assert_eq!(
+            event.events_handled,
+            (ROUNDS * active) as u64,
+            "{threads}: every active send was handled"
+        );
+
+        let event_steps_per_round = event.stats.steps() as f64 / ROUNDS as f64;
+        let scan_steps_per_round = scan.stats.steps() as f64 / ROUNDS as f64;
+        let step_ratio = scan_steps_per_round / event_steps_per_round.max(1e-9);
+        let wall_ratio = scan.wall_ns as f64 / event.wall_ns.max(1) as f64;
+
+        // Event-driven cost tracks active threads, not fleet size.
+        assert!(
+            event_steps_per_round <= (4 * active + 4) as f64,
+            "{threads}: event-driven round cost {event_steps_per_round} not O(active={active})"
+        );
+        // The acceptance bar: >= 10x cheaper per round at 10k threads / 1%.
+        if threads >= 10_000 {
+            assert!(
+                step_ratio >= 10.0,
+                "{threads}: event-driven scheduler only {step_ratio:.1}x cheaper than full scan"
+            );
+        }
+
+        eprintln!(
+            "threads {threads:>6} active {active:>4}: event {event_steps_per_round:>9.1} steps/round \
+             (woken {}) vs scan {scan_steps_per_round:>9.1} -> {step_ratio:>7.1}x steps, \
+             {wall_ratio:>6.1}x wall; quiesce {} us",
+            event.stats.woken,
+            event.quiesce_ns / 1_000,
+        );
+        rows.push(Json::obj([
+            ("threads", threads.into()),
+            ("active", active.into()),
+            ("rounds", ROUNDS.into()),
+            ("event_steps_per_round", Json::Num(event_steps_per_round)),
+            ("scan_steps_per_round", Json::Num(scan_steps_per_round)),
+            ("step_ratio", Json::Num(step_ratio)),
+            ("event_woken", event.stats.woken.into()),
+            ("event_wall_ns", event.wall_ns.into()),
+            ("scan_wall_ns", scan.wall_ns.into()),
+            ("wall_ratio", Json::Num(wall_ratio)),
+            ("event_quiesce_ns", event.quiesce_ns.into()),
+            ("scan_quiesce_ns", scan.quiesce_ns.into()),
+            ("events_handled", event.events_handled.into()),
+        ]));
+    }
+    let doc = Json::obj([("experiment", Json::str("fleet_scale")), ("rows", Json::Arr(rows))]);
+    println!("{}", doc.render());
+}

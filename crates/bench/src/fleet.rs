@@ -1,0 +1,226 @@
+//! A fleet-scale server model: one thread per connection, almost all idle.
+//!
+//! [`FleetServer`] is the workload behind `benches/fleet_scale.rs`: a single
+//! process whose main thread accepts every pending connection and hands
+//! connection *i* to dedicated reader thread `conn-i`. Each reader parks on
+//! its own connection object, so with an event-driven scheduler a round in
+//! which only k connections receive data costs O(k) thread steps — while the
+//! full-scan ablation pays one step per thread per round regardless. This is
+//! the mostly-idle-sessions regime the DBMS live-patching and CheckSync
+//! studies evaluate quiesce/checkpoint cost under.
+
+use std::collections::BTreeMap;
+
+use mcr_core::error::{McrError, McrResult};
+use mcr_core::program::{Program, ProgramEnv, StepOutcome, WaitInterest};
+use mcr_procsim::{Fd, SimDuration, SimError, Syscall};
+use mcr_typemeta::TypeRegistry;
+
+/// TCP port the fleet server listens on.
+pub const FLEET_PORT: u16 = 9000;
+
+/// A single-process server with one reader thread per connection.
+pub struct FleetServer {
+    sessions: usize,
+    listen_fd: Option<Fd>,
+    /// Connection slot → descriptor, filled by the acceptor in arrival order.
+    conns: BTreeMap<usize, Fd>,
+    accepted: usize,
+    handled: u64,
+}
+
+impl FleetServer {
+    /// Creates a server that will host `sessions` reader threads.
+    pub fn new(sessions: usize) -> Self {
+        FleetServer { sessions, listen_fd: None, conns: BTreeMap::new(), accepted: 0, handled: 0 }
+    }
+
+    /// Events handled so far (sanity check for the bench).
+    pub fn handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Drains the whole backlog, assigning descriptors to slots in arrival
+    /// order, then parks on the listener.
+    fn accept_all(&mut self, env: &mut ProgramEnv<'_>) -> McrResult<StepOutcome> {
+        let fd = self.listen_fd.ok_or_else(|| McrError::InvalidState("server not started".into()))?;
+        let mut new_conns = 0usize;
+        loop {
+            match env.syscall(Syscall::Accept { fd }) {
+                Err(McrError::Sim(SimError::WouldBlock)) => break,
+                Err(e) => return Err(e),
+                Ok(ret) => {
+                    let conn_fd =
+                        ret.as_fd().ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
+                    self.conns.insert(self.accepted, conn_fd);
+                    self.accepted += 1;
+                    new_conns += 1;
+                }
+            }
+        }
+        if new_conns > 0 {
+            Ok(StepOutcome::Progress)
+        } else {
+            Ok(StepOutcome::WouldBlock {
+                call: "accept".to_string(),
+                loop_name: "accept_loop".to_string(),
+                wait: WaitInterest::Fd(fd),
+            })
+        }
+    }
+
+    fn session_step(&mut self, env: &mut ProgramEnv<'_>, slot: usize) -> McrResult<StepOutcome> {
+        let Some(&fd) = self.conns.get(&slot) else {
+            // Connection not accepted yet: retry on a short timer instead of
+            // being re-polled every round.
+            return Ok(StepOutcome::WouldBlock {
+                call: "read".to_string(),
+                loop_name: "session_loop".to_string(),
+                wait: WaitInterest::Timer(SimDuration(50_000)),
+            });
+        };
+        match env.syscall(Syscall::Read { fd, len: 4096 }) {
+            Err(McrError::Sim(SimError::WouldBlock)) => Ok(StepOutcome::WouldBlock {
+                call: "read".to_string(),
+                loop_name: "session_loop".to_string(),
+                wait: WaitInterest::Fd(fd),
+            }),
+            Err(e) => Err(e),
+            Ok(mcr_procsim::SyscallRet::Data(data)) if data.is_empty() => {
+                let _ = env.syscall(Syscall::Close { fd });
+                Ok(StepOutcome::Exit)
+            }
+            Ok(mcr_procsim::SyscallRet::Data(data)) => {
+                let reply = format!("fleet ack {} bytes", data.len());
+                env.syscall(Syscall::Write { fd, data: reply.into_bytes() })?;
+                env.charge_work(1_000);
+                env.note_event_handled();
+                self.handled += 1;
+                Ok(StepOutcome::Progress)
+            }
+            Ok(_) => Ok(StepOutcome::Progress),
+        }
+    }
+}
+
+impl Program for FleetServer {
+    fn name(&self) -> &str {
+        "fleetd"
+    }
+
+    fn version(&self) -> &str {
+        "1.0"
+    }
+
+    fn register_types(&mut self, types: &mut TypeRegistry) {
+        let _ = types.int("int", 4);
+    }
+
+    fn startup(&mut self, env: &mut ProgramEnv<'_>) -> McrResult<()> {
+        let sessions = self.sessions;
+        env.scoped("server_init", |env| {
+            let fd = env
+                .syscall(Syscall::Socket)?
+                .as_fd()
+                .ok_or_else(|| McrError::InvalidState("socket returned no fd".into()))?;
+            env.syscall(Syscall::Bind { fd, port: FLEET_PORT })?;
+            env.syscall(Syscall::Listen { fd })?;
+            self.listen_fd = Some(fd);
+            env.scoped("spawn_sessions", |env| {
+                for i in 0..sessions {
+                    env.spawn_thread(&format!("conn-{i}"))?;
+                }
+                Ok(())
+            })
+        })
+    }
+
+    fn thread_step(&mut self, env: &mut ProgramEnv<'_>) -> McrResult<StepOutcome> {
+        let name = env.thread_name().to_string();
+        if name == "main" {
+            return self.accept_all(env);
+        }
+        if let Some(slot) = name.strip_prefix("conn-").and_then(|s| s.parse::<usize>().ok()) {
+            return self.session_step(env, slot);
+        }
+        Ok(StepOutcome::WouldBlock {
+            call: "poll".to_string(),
+            loop_name: "idle_loop".to_string(),
+            wait: WaitInterest::External,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_core::runtime::{
+        all_quiesced, boot, run_round, run_rounds, wait_quiescence, BootOptions, SchedulerMode,
+    };
+    use mcr_procsim::Kernel;
+
+    fn fleet(sessions: usize, mode: SchedulerMode) -> (Kernel, mcr_core::McrInstance) {
+        let mut kernel = Kernel::new();
+        let opts = BootOptions { scheduler: mode, ..Default::default() };
+        let mut instance = boot(&mut kernel, Box::new(FleetServer::new(sessions)), &opts).unwrap();
+        let conns: Vec<_> = (0..sessions).map(|_| kernel.client_connect(FLEET_PORT).unwrap()).collect();
+        run_rounds(&mut kernel, &mut instance, 2).unwrap();
+        assert!(conns.iter().all(|&c| kernel.client_is_accepted(c)));
+        (kernel, instance)
+    }
+
+    #[test]
+    fn fleet_setup_parks_one_reader_per_connection() {
+        let (kernel, _instance) = fleet(32, SchedulerMode::EventDriven);
+        // 32 readers on their connections plus the acceptor on the listener.
+        assert_eq!(kernel.waiting_thread_count(), 33);
+    }
+
+    #[test]
+    fn active_rounds_cost_scales_with_active_sessions() {
+        let (mut kernel, mut instance) = fleet(64, SchedulerMode::EventDriven);
+        let active = [3usize, 17, 40];
+        for &slot in &active {
+            let conn = mcr_procsim::ConnId(slot as u64 + 1);
+            kernel.client_send(conn, b"ping".to_vec()).unwrap();
+        }
+        let stats = run_round(&mut kernel, &mut instance).unwrap();
+        assert_eq!(stats.woken, active.len());
+        assert_eq!(stats.progressed, active.len());
+        assert!(stats.steps() <= 2 * active.len(), "cost is O(active), got {}", stats.steps());
+    }
+
+    #[test]
+    fn timer_parked_reader_recovers_after_late_accept() {
+        // Regression: a reader whose slot is not yet assigned parks on a
+        // retry timer. Once the acceptor assigns the slot, the idle
+        // scheduler must advance the virtual clock to the timer's deadline
+        // (firing the retry) instead of sleeping forever and losing the
+        // client's data.
+        let mut kernel = Kernel::new();
+        let mut instance = boot(&mut kernel, Box::new(FleetServer::new(2)), &BootOptions::default()).unwrap();
+        // Only one client connects: reader conn-1 parks on its slot-retry
+        // timer.
+        let first = kernel.client_connect(FLEET_PORT).unwrap();
+        run_rounds(&mut kernel, &mut instance, 2).unwrap();
+        assert!(kernel.client_is_accepted(first));
+        // A second client connects (the acceptor assigns slot 1), then
+        // sends data on it.
+        let second = kernel.client_connect(FLEET_PORT).unwrap();
+        run_round(&mut kernel, &mut instance).unwrap();
+        assert!(kernel.client_is_accepted(second));
+        kernel.client_send(second, b"late ping".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut instance, 2).unwrap();
+        assert_eq!(instance.state.counters.events_handled, 1, "timer retry discovered the slot");
+        assert!(kernel.client_recv(second).is_some(), "the late session was served");
+    }
+
+    #[test]
+    fn fleet_quiesces_in_both_modes() {
+        for mode in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
+            let (mut kernel, mut instance) = fleet(16, mode);
+            wait_quiescence(&mut kernel, &mut instance, 10).unwrap();
+            assert!(all_quiesced(&kernel, &instance), "{mode:?}");
+        }
+    }
+}

@@ -34,9 +34,11 @@ use mcr_servers::{install_standard_files, paper_catalog, program_by_name};
 use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
 use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
 
+pub mod fleet;
 pub mod json;
 pub mod microbench;
 
+pub use fleet::{FleetServer, FLEET_PORT};
 pub use json::Json;
 pub use microbench::{BenchGroup, BenchResult};
 
@@ -52,7 +54,7 @@ pub const PROGRAMS: [&str; 4] = ["httpd", "nginx", "vsftpd", "sshd"];
 pub fn boot_program(program: &str, generation: u32, config: InstrumentationConfig) -> (Kernel, McrInstance) {
     let mut kernel = Kernel::new();
     install_standard_files(&mut kernel);
-    let opts = BootOptions { config, layout_slide: 0, start_quiesced: false };
+    let opts = BootOptions { config, layout_slide: 0, start_quiesced: false, ..Default::default() };
     let instance = boot(&mut kernel, Box::new(program_by_name(program, generation)), &opts)
         .unwrap_or_else(|e| panic!("{program} failed to boot: {e}"));
     (kernel, instance)

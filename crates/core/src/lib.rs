@@ -85,11 +85,12 @@ pub use error::{Conflict, McrError, McrResult};
 pub use intern::{Sym, SymbolTable};
 pub use interpose::{InterposeMode, InterposeStats, Interposer};
 pub use log::{LogEntry, StartupLog};
-pub use program::{InstanceState, Program, ProgramEnv, StepOutcome};
+pub use program::{InstanceState, Program, ProgramEnv, StepOutcome, WaitInterest};
 pub use quiescence::{QuiescenceProfiler, QuiescenceReport, QuiescentPoint};
 pub use runtime::{
     boot, live_update, BootOptions, FaultPlan, McrInstance, MemoryReport, Phase, PhaseName, PhaseRecord,
-    PhaseTrace, UpdateCtx, UpdateOptions, UpdateOutcome, UpdatePipeline, UpdateReport,
+    PhaseTrace, RoundStats, Scheduler, SchedulerMode, UpdateCtx, UpdateOptions, UpdateOutcome,
+    UpdatePipeline, UpdateReport,
 };
 pub use tracing::{ObjectGraph, TraceOptions, TracingStats};
 pub use transfer::TransferSummary;

@@ -9,13 +9,35 @@
 //! as tracing roots, and the quiescence machinery observes where threads
 //! block.
 
-use mcr_procsim::{Addr, AllocSite, Kernel, Pid, PoolId, SimError, Syscall, SyscallRet, Tid, TypeTag};
+use std::collections::BTreeMap;
+
+use mcr_procsim::{
+    Addr, AllocSite, Fd, Kernel, Pid, PoolId, SimDuration, SimError, Syscall, SyscallRet, Tid, TypeTag,
+};
 use mcr_typemeta::{CallSiteRegistry, InstrumentationConfig, StaticRegistry, TypeId, TypeKind, TypeRegistry};
 
 use crate::annotations::{AnnotationRegistry, ObjTreatment, ReinitHandler, TransformHandler};
 use crate::callstack::CallStackId;
 use crate::error::{McrError, McrResult};
 use crate::interpose::Interposer;
+
+/// What a blocking thread is waiting for — the readiness interest it
+/// declares so the event-driven scheduler can park it on the right kernel
+/// wait queue instead of re-polling it every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitInterest {
+    /// Readiness of a descriptor: a listener with a non-empty backlog, a
+    /// connection with queued bytes (or a peer close), a Unix channel with a
+    /// pending datagram.
+    Fd(Fd),
+    /// A timed block: wake when the virtual clock has advanced by this much
+    /// (timer-wheel entry; e.g. a poll timeout or a retry backoff).
+    Timer(SimDuration),
+    /// No kernel-visible wakeup source (`sigsuspend`-style): the thread only
+    /// runs again when the runtime wakes everything — a quiescence request
+    /// or a post-checkpoint resume.
+    External,
+}
 
 /// Outcome of one scheduling step of a program thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +52,8 @@ pub enum StepOutcome {
         call: String,
         /// The enclosing long-lived loop (e.g. `"main_loop"`).
         loop_name: String,
+        /// The readiness interest the blocked thread declares.
+        wait: WaitInterest,
     },
     /// The thread (or its process) finished and will not run again.
     Exit,
@@ -162,6 +186,10 @@ pub struct InstanceState {
     pub lib_objects: Vec<(Addr, u64, std::sync::Arc<str>)>,
     /// Simulated time spent in the startup phase (record or replay).
     pub startup_duration: mcr_procsim::SimDuration,
+    /// `(pid, tid)` → index into `threads`, so per-step roster lookups stay
+    /// O(log threads) at fleet scale. Maintained by [`InstanceState::add_roster_entry`];
+    /// lookups fall back to a linear scan for entries pushed directly.
+    roster_index: BTreeMap<(u32, u32), usize>,
     static_bump: u64,
     lib_bump: u64,
 }
@@ -192,20 +220,36 @@ impl InstanceState {
             dyn_alloc_log: Vec::new(),
             lib_objects: Vec::new(),
             startup_duration: mcr_procsim::SimDuration(0),
+            roster_index: BTreeMap::new(),
             static_bump: 0,
             lib_bump: 0,
         }
     }
 
+    /// Appends a thread to the roster, keeping the index in sync.
+    pub fn add_roster_entry(&mut self, entry: ThreadRosterEntry) {
+        self.roster_index.insert((entry.pid.0, entry.tid.0), self.threads.len());
+        self.threads.push(entry);
+    }
+
+    fn roster_position(&self, pid: Pid, tid: Tid) -> Option<usize> {
+        if let Some(&i) = self.roster_index.get(&(pid.0, tid.0)) {
+            if self.threads.get(i).is_some_and(|t| t.pid == pid && t.tid == tid) {
+                return Some(i);
+            }
+        }
+        self.threads.iter().position(|t| t.pid == pid && t.tid == tid)
+    }
+
     /// The roster entry for a thread, if known.
     pub fn roster_entry(&self, pid: Pid, tid: Tid) -> Option<&ThreadRosterEntry> {
-        self.threads.iter().find(|t| t.pid == pid && t.tid == tid)
+        self.roster_position(pid, tid).map(|i| &self.threads[i])
     }
 
     /// Marks a roster thread as exited.
     pub fn mark_thread_exited(&mut self, pid: Pid, tid: Tid) {
-        if let Some(t) = self.threads.iter_mut().find(|t| t.pid == pid && t.tid == tid) {
-            t.exited = true;
+        if let Some(i) = self.roster_position(pid, tid) {
+            self.threads[i].exited = true;
         }
     }
 
@@ -381,11 +425,12 @@ impl<'a> ProgramEnv<'a> {
         let actual_child = self.state.interpose.actual_pid(virtual_child);
         let child_main = self.kernel.process(actual_child).map_err(McrError::Sim)?.main_tid();
         self.state.processes.push(actual_child);
-        self.state.threads.push(ThreadRosterEntry {
+        let created_during_startup = self.state.startup_phase;
+        self.state.add_roster_entry(ThreadRosterEntry {
             pid: actual_child,
             tid: child_main,
             name: format!("{kind}-main"),
-            created_during_startup: self.state.startup_phase,
+            created_during_startup,
             exited: false,
         });
         self.state.pending_children.push(PendingChild {
@@ -407,11 +452,12 @@ impl<'a> ProgramEnv<'a> {
             SyscallRet::Tid(t) => t,
             other => return Err(McrError::InvalidState(format!("spawn_thread returned {other:?}"))),
         };
-        self.state.threads.push(ThreadRosterEntry {
+        let created_during_startup = self.state.startup_phase;
+        self.state.add_roster_entry(ThreadRosterEntry {
             pid: self.pid,
             tid,
             name: name.to_string(),
-            created_during_startup: self.state.startup_phase,
+            created_during_startup,
             exited: false,
         });
         Ok(tid)

@@ -22,7 +22,7 @@ use crate::error::Conflict;
 use crate::program::Program;
 use crate::runtime::pipeline::UpdatePipeline;
 use crate::runtime::report::UpdateReport;
-use crate::runtime::scheduler::McrInstance;
+use crate::runtime::scheduler::{McrInstance, SchedulerMode};
 use crate::tracing::tracer::TraceOptions;
 
 /// Options for one live-update attempt.
@@ -47,6 +47,11 @@ pub struct UpdateOptions {
     /// pairs run in order on the calling thread, reproducing the sequential
     /// timings while leaving every report byte-identical to a parallel run.
     pub transfer_workers: usize,
+    /// Scheduling core for the new version's instance (the old instance
+    /// keeps whatever mode it was booted with). The event-driven default and
+    /// the legacy full scan produce byte-identical updates
+    /// (`tests/properties.rs`); the scan is kept as the ablation baseline.
+    pub scheduler: SchedulerMode,
 }
 
 impl UpdateOptions {
@@ -67,6 +72,7 @@ impl Default for UpdateOptions {
             trace: TraceOptions::default(),
             recreate_unmatched_processes: true,
             transfer_workers: 0,
+            scheduler: SchedulerMode::default(),
         }
     }
 }

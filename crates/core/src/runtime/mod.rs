@@ -15,8 +15,9 @@ pub use controller::{live_update, UpdateOptions, UpdateOutcome};
 pub use pipeline::{FaultPlan, Phase, PhaseName, UpdateCtx, UpdatePipeline};
 pub use report::{MemoryReport, PhaseRecord, PhaseTrace, UpdateReport, UpdateTimings};
 pub use scheduler::{
-    all_quiesced, boot, create_instance, request_quiescence, resume, run_round, run_rounds, run_startup,
-    step_thread, wait_quiescence, BootOptions, McrInstance, RoundStats,
+    all_quiesced, boot, create_instance, request_quiescence, resume, run_round, run_round_full_scan,
+    run_rounds, run_startup, running_thread_count, step_thread, wait_quiescence, wake_all_threads,
+    BootOptions, McrInstance, RoundStats, Scheduler, SchedulerMode,
 };
 
 /// Minimal MCR-enabled server programs used by the crate's own tests.
@@ -30,7 +31,7 @@ pub(crate) mod testprog {
     use mcr_typemeta::{Field, TypeRegistry};
 
     use crate::error::{McrError, McrResult};
-    use crate::program::{Program, ProgramEnv, StepOutcome};
+    use crate::program::{Program, ProgramEnv, StepOutcome, WaitInterest};
 
     /// A single-threaded, event-driven server in the shape of Listing 1:
     /// it listens on port 8080, reads a configuration file at startup, and
@@ -107,9 +108,11 @@ pub(crate) mod testprog {
             let list_global =
                 self.list_global.ok_or_else(|| McrError::InvalidState("server not started".into()))?;
             match env.syscall(Syscall::Accept { fd }) {
-                Err(McrError::Sim(SimError::WouldBlock)) => {
-                    Ok(StepOutcome::WouldBlock { call: "accept".into(), loop_name: "main_loop".into() })
-                }
+                Err(McrError::Sim(SimError::WouldBlock)) => Ok(StepOutcome::WouldBlock {
+                    call: "accept".into(),
+                    loop_name: "main_loop".into(),
+                    wait: WaitInterest::Fd(fd),
+                }),
                 Err(e) => Err(e),
                 Ok(ret) => {
                     let conn_fd =
@@ -194,7 +197,11 @@ pub(crate) mod testprog {
         }
 
         fn thread_step(&mut self, _env: &mut ProgramEnv<'_>) -> McrResult<StepOutcome> {
-            Ok(StepOutcome::WouldBlock { call: "accept".into(), loop_name: "main_loop".into() })
+            Ok(StepOutcome::WouldBlock {
+                call: "accept".into(),
+                loop_name: "main_loop".into(),
+                wait: WaitInterest::External,
+            })
         }
     }
 }

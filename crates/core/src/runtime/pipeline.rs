@@ -374,8 +374,12 @@ impl Phase for ReinitReplayPhase {
             .new_program
             .take()
             .ok_or_else(|| McrError::InvalidState("pipeline has no program to boot".into()))?;
-        let boot_opts =
-            BootOptions { config: ctx.config, layout_slide: ctx.opts.layout_slide, start_quiesced: true };
+        let boot_opts = BootOptions {
+            config: ctx.config,
+            layout_slide: ctx.opts.layout_slide,
+            start_quiesced: true,
+            scheduler: ctx.opts.scheduler,
+        };
         let interposer = Interposer::replayer(ctx.old.state.interpose.recorded_log());
         let new_instance = create_instance(ctx.kernel, new_program, interposer, &boot_opts)?;
         let new_init = new_instance.init_pid()?;
@@ -734,7 +738,7 @@ fn match_processes(
                     .map(|t| t.name.clone())
                     .unwrap_or_else(|| "recreated".to_string());
                 new_instance.state.processes.push(child);
-                new_instance.state.threads.push(ThreadRosterEntry {
+                new_instance.state.add_roster_entry(ThreadRosterEntry {
                     pid: child,
                     tid: child_tid,
                     name,

@@ -1,18 +1,240 @@
-//! Instance lifecycle and cooperative scheduling.
+//! Instance lifecycle and event-driven cooperative scheduling.
 //!
 //! The scheduler drives MCR-enabled programs one loop iteration at a time:
 //! it boots an instance (running its startup code under recording or replay),
-//! steps its threads round-robin, charges the cost of the MCR
-//! instrumentation (unblockification wrappers, quiescence hooks), feeds the
-//! quiescence profiler, and implements the barrier protocol that parks every
-//! thread at its quiescent point when an update is requested.
+//! runs its threads, charges the cost of the MCR instrumentation
+//! (unblockification wrappers, quiescence hooks), feeds the quiescence
+//! profiler, and implements the barrier protocol that parks every thread at
+//! its quiescent point when an update is requested.
+//!
+//! # Event-driven core (wake queue + timer wheel)
+//!
+//! Scheduling is *readiness-driven*, not scan-driven: each instance owns a
+//! [`Scheduler`] whose ready deque is seeded from the kernel's wake queue.
+//! A thread that returns [`StepOutcome::WouldBlock`] parks on the wait queue
+//! its [`WaitInterest`] names — the kernel object behind a descriptor, a
+//! timer-wheel deadline, or nothing at all (`sigsuspend`-style external
+//! blocks) — and is not looked at again until a state change (client
+//! connect/send/close, queued datagram, pipe write, expired timer) produces
+//! a wakeup. [`run_round`]/[`run_rounds`] are thin wrappers over
+//! [`Scheduler::run_until_idle`], so the cost of a round scales with the
+//! number of *active* threads, not with the total thread count — the regime
+//! fleet-scale experiments need (see `benches/fleet_scale.rs`).
+//!
+//! The quiescence barrier is event-driven too: [`wait_quiescence`] wakes
+//! every parked thread exactly once per barrier pass so each can park at its
+//! quiescence hook — the paper's "threads quiesce the next time they block",
+//! without polling.
+//!
+//! # Determinism contract
+//!
+//! Wake order is FIFO over the kernel's deterministic wake queue, roster
+//! admission follows roster (creation) order, and all time comes from the
+//! virtual clock, so a run's schedule is a pure function of its event
+//! history. The legacy O(threads)-per-round scan is preserved as
+//! [`SchedulerMode::FullScan`]: `tests/properties.rs` proves that a full
+//! live update (commit *and* rollback) produces byte-identical kernel state
+//! and reports on both paths, and the fleet-scale bench uses it as the
+//! baseline its scaling assertion compares against.
+
+use std::collections::{BTreeSet, VecDeque};
 
 use mcr_procsim::{Kernel, Pid, SimDuration, SimInstant, ThreadState, Tid};
 use mcr_typemeta::InstrumentationConfig;
 
 use crate::error::{Conflict, McrError, McrResult};
 use crate::interpose::Interposer;
-use crate::program::{InstanceState, Program, ProgramEnv, StepOutcome, ThreadRosterEntry};
+use crate::program::{InstanceState, Program, ProgramEnv, StepOutcome, ThreadRosterEntry, WaitInterest};
+
+/// Which scheduling core drives an instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// Event-driven: a ready deque seeded from kernel wakeups; blocked
+    /// threads park on wait queues / the timer wheel. O(active) per round.
+    #[default]
+    EventDriven,
+    /// The legacy round-robin scan over every live thread. O(threads) per
+    /// round; kept as the ablation baseline and determinism oracle.
+    FullScan,
+}
+
+/// Per-instance scheduler state: the ready deque plus admission bookkeeping.
+///
+/// The scheduler holds no borrows — it is plain queue state owned by the
+/// instance — so the driving functions can split-borrow it away from the
+/// program while stepping threads.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    /// Which core drives this instance.
+    pub mode: SchedulerMode,
+    /// Runnable threads, in wake/admission order.
+    ready: VecDeque<(Pid, Tid)>,
+    /// Dedup set mirroring `ready`.
+    ready_set: BTreeSet<(u32, u32)>,
+    /// Roster watermark: entries below this index have been admitted.
+    admitted: usize,
+    /// Pids owned by this instance (drains only its own kernel wakeups).
+    pids: BTreeSet<u32>,
+}
+
+impl Scheduler {
+    /// Queues a thread as runnable (idempotent while it is already queued).
+    fn push_ready(&mut self, pid: Pid, tid: Tid) {
+        if self.ready_set.insert((pid.0, tid.0)) {
+            self.ready.push_back((pid, tid));
+        }
+    }
+
+    fn pop_ready(&mut self) -> Option<(Pid, Tid)> {
+        let (pid, tid) = self.ready.pop_front()?;
+        self.ready_set.remove(&(pid.0, tid.0));
+        Some((pid, tid))
+    }
+
+    /// Admits roster entries added since the last call (new threads and
+    /// forked processes), in roster order. O(new), not O(threads).
+    fn admit_new(&mut self, state: &InstanceState) {
+        while self.admitted < state.threads.len() {
+            let entry = &state.threads[self.admitted];
+            self.pids.insert(entry.pid.0);
+            if !entry.exited {
+                self.push_ready(entry.pid, entry.tid);
+            }
+            self.admitted += 1;
+        }
+    }
+
+    /// Moves this instance's queued kernel wakeups onto the ready deque,
+    /// returning how many threads were woken.
+    fn drain_wakeups(&mut self, kernel: &mut Kernel) -> usize {
+        let pids = &self.pids;
+        let woken = kernel.drain_wakeups_where(|pid| pids.contains(&pid.0));
+        let n = woken.len();
+        for (pid, tid) in woken {
+            self.push_ready(pid, tid);
+        }
+        n
+    }
+
+    /// Runs the instance until no thread is ready and no wakeup is pending
+    /// (or `budget` steps have executed — a livelock guard for programs that
+    /// always report progress).
+    ///
+    /// This is the scheduler core: `run_round`, `run_rounds`,
+    /// `wait_quiescence` and the workload drivers are wrappers around it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-level errors (during a live update these trigger
+    /// rollback).
+    pub fn run_until_idle(
+        kernel: &mut Kernel,
+        instance: &mut McrInstance,
+        budget: usize,
+    ) -> McrResult<RoundStats> {
+        let mut sched = std::mem::take(&mut instance.sched);
+        let result = Self::drive(kernel, instance, &mut sched, budget);
+        instance.sched = sched;
+        result
+    }
+
+    fn drive(
+        kernel: &mut Kernel,
+        instance: &mut McrInstance,
+        sched: &mut Scheduler,
+        budget: usize,
+    ) -> McrResult<RoundStats> {
+        let mut stats = RoundStats::default();
+        let mut steps = 0usize;
+        loop {
+            sched.admit_new(&instance.state);
+            stats.woken += sched.drain_wakeups(kernel);
+            let next = match sched.pop_ready() {
+                Some(next) => next,
+                None => {
+                    // Nothing is runnable. If this instance's only pending
+                    // work is a timer-wheel entry, sleep straight to its
+                    // deadline — simulated time only moves when threads
+                    // run, so without this jump a timed retry would never
+                    // fire and its wakeup (and any client data it would
+                    // have served) would be lost.
+                    let pids = &sched.pids;
+                    let Some(deadline) = kernel.next_timer_deadline_where(|pid| pids.contains(&pid.0)) else {
+                        break;
+                    };
+                    kernel.advance_clock(deadline.duration_since(kernel.now()));
+                    continue;
+                }
+            };
+            let (pid, tid) = next;
+            if !thread_is_runnable(kernel, pid, tid) {
+                continue;
+            }
+            match step_thread(kernel, instance, pid, tid)? {
+                StepOutcome::Progress => {
+                    stats.progressed += 1;
+                    sched.push_ready(pid, tid);
+                }
+                StepOutcome::WouldBlock { wait, .. } => {
+                    stats.blocked += 1;
+                    if instance.state.quiesce_requested {
+                        stats.parked += 1;
+                    }
+                    let quiesced = kernel
+                        .process(pid)
+                        .ok()
+                        .and_then(|p| p.thread(tid).ok())
+                        .is_some_and(|t| t.is_quiesced());
+                    if !quiesced {
+                        match wait {
+                            WaitInterest::Fd(fd) => {
+                                // The failing syscall usually registered the
+                                // waiter already; this keeps threads that
+                                // declare interest without a syscall parked
+                                // on the right queue too.
+                                let _ = kernel.wait_on_fd(pid, tid, fd);
+                            }
+                            WaitInterest::Timer(delay) => {
+                                let deadline = SimInstant(kernel.now().0 + delay.0);
+                                kernel.wait_until(pid, tid, deadline);
+                            }
+                            WaitInterest::External => {
+                                // Only a wake-everyone event (quiescence
+                                // request, resume) reschedules this thread.
+                                kernel.cancel_wait(pid, tid);
+                            }
+                        }
+                    }
+                }
+                StepOutcome::Exit => stats.exited += 1,
+            }
+            steps += 1;
+            if steps >= budget {
+                break;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Step budget for one event-driven round: generous enough for every
+/// admitted thread to run several times, bounded so a program that always
+/// reports progress cannot hang the driver.
+fn round_budget(instance: &McrInstance) -> usize {
+    4_096 + 16 * instance.state.threads.len()
+}
+
+/// Whether a thread can be stepped at all (its process is alive and it is
+/// neither exited nor parked at a quiescent point).
+fn thread_is_runnable(kernel: &Kernel, pid: Pid, tid: Tid) -> bool {
+    match kernel.process(pid) {
+        Ok(p) if !p.has_exited() => p
+            .thread(tid)
+            .map(|t| !matches!(t.state(), ThreadState::Quiesced | ThreadState::Exited))
+            .unwrap_or(false),
+        _ => false,
+    }
+}
 
 /// A running MCR-enabled program instance: the program object plus all the
 /// runtime state MCR keeps about it.
@@ -21,6 +243,8 @@ pub struct McrInstance {
     pub program: Box<dyn Program>,
     /// MCR's per-instance state (registries, startup log, roster, counters).
     pub state: InstanceState,
+    /// The instance's scheduler (ready deque + admission bookkeeping).
+    pub sched: Scheduler,
 }
 
 impl std::fmt::Debug for McrInstance {
@@ -29,6 +253,7 @@ impl std::fmt::Debug for McrInstance {
             .field("program", &self.state.program_name)
             .field("version", &self.state.version)
             .field("processes", &self.state.processes)
+            .field("scheduler", &self.sched.mode)
             .finish()
     }
 }
@@ -72,11 +297,18 @@ pub struct BootOptions {
     /// version during a live update: its threads park at their quiescent
     /// points instead of accepting new work).
     pub start_quiesced: bool,
+    /// Which scheduling core drives the instance.
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for BootOptions {
     fn default() -> Self {
-        BootOptions { config: InstrumentationConfig::full(), layout_slide: 0, start_quiesced: false }
+        BootOptions {
+            config: InstrumentationConfig::full(),
+            layout_slide: 0,
+            start_quiesced: false,
+            scheduler: SchedulerMode::default(),
+        }
     }
 }
 
@@ -109,7 +341,7 @@ pub fn create_instance(
     let mut state = InstanceState::new(name, version, opts.config, interposer);
     state.quiesce_requested = opts.start_quiesced;
     state.processes.push(pid);
-    state.threads.push(ThreadRosterEntry {
+    state.add_roster_entry(ThreadRosterEntry {
         pid,
         tid: main_tid,
         name: "main".into(),
@@ -117,7 +349,8 @@ pub fn create_instance(
         exited: false,
     });
     program.register_types(&mut state.types);
-    Ok(McrInstance { program, state })
+    let sched = Scheduler { mode: opts.scheduler, ..Scheduler::default() };
+    Ok(McrInstance { program, state, sched })
 }
 
 /// Runs the instance's startup code (and any forked children's
@@ -133,7 +366,7 @@ pub fn run_startup(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult
     let init_pid = instance.init_pid()?;
     let init_tid = kernel.process(init_pid).map_err(McrError::Sim)?.main_tid();
     {
-        let McrInstance { program, state } = instance;
+        let McrInstance { program, state, .. } = instance;
         let mut env = ProgramEnv::new(kernel, state, init_pid, init_tid, "main");
         env.scoped("main", |env| program.startup(env))?;
     }
@@ -142,7 +375,7 @@ pub fn run_startup(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult
     while !instance.state.pending_children.is_empty() {
         let pending = instance.state.pending_children.remove(0);
         let child_tid = kernel.process(pending.actual_pid).map_err(McrError::Sim)?.main_tid();
-        let McrInstance { program, state } = instance;
+        let McrInstance { program, state, .. } = instance;
         let mut env =
             ProgramEnv::new(kernel, state, pending.actual_pid, child_tid, format!("{}-main", pending.kind));
         let kind = pending.kind.clone();
@@ -192,6 +425,26 @@ pub struct RoundStats {
     pub exited: usize,
     /// Threads parked by the quiescence barrier this round.
     pub parked: usize,
+    /// Threads moved from a wait queue / the timer wheel onto the ready
+    /// deque by kernel wakeups (always 0 on the full-scan path).
+    pub woken: usize,
+}
+
+impl RoundStats {
+    /// Accumulates another round's statistics into this one.
+    pub fn absorb(&mut self, other: &RoundStats) {
+        self.progressed += other.progressed;
+        self.blocked += other.blocked;
+        self.exited += other.exited;
+        self.parked += other.parked;
+        self.woken += other.woken;
+    }
+
+    /// Total thread steps this round executed (the per-round cost the
+    /// fleet-scale bench compares across scheduler modes).
+    pub fn steps(&self) -> usize {
+        self.progressed + self.blocked + self.exited
+    }
 }
 
 /// Executes one scheduling step of a single thread.
@@ -221,17 +474,21 @@ pub fn step_thread(
                 t.set_state(ThreadState::Quiesced);
             }
         }
-        return Ok(StepOutcome::WouldBlock { call: "quiesce".into(), loop_name: "main_loop".into() });
+        return Ok(StepOutcome::WouldBlock {
+            call: "quiesce".into(),
+            loop_name: "main_loop".into(),
+            wait: WaitInterest::External,
+        });
     }
 
     let outcome = {
-        let McrInstance { program, state } = instance;
+        let McrInstance { program, state, .. } = instance;
         let mut env = ProgramEnv::new(kernel, state, pid, tid, thread_name);
         program.thread_step(&mut env)?
     };
 
     match &outcome {
-        StepOutcome::WouldBlock { call, loop_name } => {
+        StepOutcome::WouldBlock { call, loop_name, .. } => {
             if config.level.unblockified() {
                 instance.state.counters.unblock_wraps += 1;
                 kernel.advance_clock(SimDuration(200));
@@ -270,27 +527,43 @@ pub fn step_thread(
     Ok(outcome)
 }
 
-/// Runs one round-robin pass over every live, unparked thread.
+/// Runs one scheduling round.
+///
+/// In [`SchedulerMode::EventDriven`] this is a thin wrapper over
+/// [`Scheduler::run_until_idle`]: newly created threads are admitted, queued
+/// wakeups are drained, and the instance runs until no thread is ready — the
+/// cost scales with *active* threads. In [`SchedulerMode::FullScan`] it is
+/// the legacy round-robin pass over every live, unparked thread.
 ///
 /// # Errors
 ///
 /// Propagates program-level errors.
+#[must_use = "the round may report scheduling errors and statistics"]
 pub fn run_round(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult<RoundStats> {
+    match instance.sched.mode {
+        SchedulerMode::EventDriven => {
+            let budget = round_budget(instance);
+            Scheduler::run_until_idle(kernel, instance, budget)
+        }
+        SchedulerMode::FullScan => run_round_full_scan(kernel, instance),
+    }
+}
+
+/// The legacy O(threads) scheduling round: one round-robin pass over every
+/// live, unparked thread, regardless of readiness. Kept as the ablation
+/// baseline (`benches/fleet_scale.rs`) and as the determinism oracle the
+/// event-driven path is verified against (`tests/properties.rs`).
+///
+/// # Errors
+///
+/// Propagates program-level errors.
+#[must_use = "the round may report scheduling errors and statistics"]
+pub fn run_round_full_scan(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult<RoundStats> {
     let mut stats = RoundStats::default();
     let threads: Vec<(Pid, Tid)> = instance.state.live_threads().map(|t| (t.pid, t.tid)).collect();
     for (pid, tid) in threads {
         // Skip threads that are already parked or whose process is gone.
-        let skip = match kernel.process(pid) {
-            Ok(p) => {
-                p.has_exited()
-                    || matches!(
-                        p.thread(tid).map(|t| t.state().clone()),
-                        Ok(ThreadState::Quiesced) | Ok(ThreadState::Exited) | Err(_)
-                    )
-            }
-            Err(_) => true,
-        };
-        if skip {
+        if !thread_is_runnable(kernel, pid, tid) {
             continue;
         }
         match step_thread(kernel, instance, pid, tid)? {
@@ -308,16 +581,19 @@ pub fn run_round(kernel: &mut Kernel, instance: &mut McrInstance) -> McrResult<R
 }
 
 /// Runs up to `rounds` scheduling rounds (the basic way to "run the server
-/// for a while" in tests and benchmarks).
+/// for a while" in tests and benchmarks), returning the accumulated
+/// statistics.
 ///
 /// # Errors
 ///
 /// Propagates program-level errors.
-pub fn run_rounds(kernel: &mut Kernel, instance: &mut McrInstance, rounds: usize) -> McrResult<()> {
+#[must_use = "the rounds may report scheduling errors and statistics"]
+pub fn run_rounds(kernel: &mut Kernel, instance: &mut McrInstance, rounds: usize) -> McrResult<RoundStats> {
+    let mut total = RoundStats::default();
     for _ in 0..rounds {
-        run_round(kernel, instance)?;
+        total.absorb(&run_round(kernel, instance)?);
     }
-    Ok(())
+    Ok(total)
 }
 
 /// Requests quiescence: threads will park at their quiescent points on their
@@ -326,13 +602,47 @@ pub fn request_quiescence(instance: &mut McrInstance) {
     instance.state.quiesce_requested = true;
 }
 
+/// Wakes every live thread of the instance: cancels wait-queue and timer
+/// registrations and queues the threads as ready, in roster order. This is
+/// the wake-everyone half of the quiescence barrier (and of
+/// [`resume`]) — parked threads run once more so they can park at their
+/// hooks (or re-declare their readiness interest).
+pub fn wake_all_threads(kernel: &mut Kernel, instance: &mut McrInstance) {
+    let McrInstance { state, sched, .. } = instance;
+    sched.admit_new(state);
+    for entry in state.threads.iter().filter(|t| !t.exited) {
+        kernel.cancel_wait(entry.pid, entry.tid);
+        sched.push_ready(entry.pid, entry.tid);
+    }
+}
+
+/// Number of live threads that are *not* parked at a quiescent point.
+pub fn running_thread_count(kernel: &Kernel, instance: &McrInstance) -> usize {
+    instance
+        .state
+        .live_threads()
+        .filter(|t| {
+            kernel.process(t.pid).and_then(|p| p.thread(t.tid).map(|th| !th.is_quiesced())).unwrap_or(false)
+        })
+        .count()
+}
+
+/// Whether every live thread of the instance is parked at a quiescent point.
+pub fn all_quiesced(kernel: &Kernel, instance: &McrInstance) -> bool {
+    running_thread_count(kernel, instance) == 0
+}
+
 /// Drives the barrier protocol until every live thread of the instance is
 /// parked at its quiescent point, returning the time it took.
+///
+/// Event-driven instances wake every parked thread once per barrier pass
+/// (the threads park at their hooks on that step); full-scan instances run
+/// the legacy scan. Both converge to the same state on the same clock.
 ///
 /// # Errors
 ///
 /// Returns a [`Conflict::QuiescenceTimeout`] if the threads do not converge
-/// within `max_rounds` rounds.
+/// within `max_rounds` barrier passes.
 pub fn wait_quiescence(
     kernel: &mut Kernel,
     instance: &mut McrInstance,
@@ -340,34 +650,32 @@ pub fn wait_quiescence(
 ) -> McrResult<SimDuration> {
     let start = kernel.now();
     request_quiescence(instance);
-    for _ in 0..max_rounds {
+    // One convergence check per pass plus a final one after the last pass,
+    // all through the single `running_thread_count` helper.
+    for round in 0..=max_rounds {
         if all_quiesced(kernel, instance) {
             return Ok(kernel.now().duration_since(start));
         }
-        run_round(kernel, instance)?;
+        if round == max_rounds {
+            break;
+        }
+        match instance.sched.mode {
+            SchedulerMode::EventDriven => {
+                wake_all_threads(kernel, instance);
+                let budget = round_budget(instance);
+                Scheduler::run_until_idle(kernel, instance, budget)?;
+            }
+            SchedulerMode::FullScan => {
+                run_round_full_scan(kernel, instance)?;
+            }
+        }
     }
-    if all_quiesced(kernel, instance) {
-        return Ok(kernel.now().duration_since(start));
-    }
-    let running = instance
-        .state
-        .live_threads()
-        .filter(|t| {
-            kernel.process(t.pid).and_then(|p| p.thread(t.tid).map(|th| !th.is_quiesced())).unwrap_or(false)
-        })
-        .count();
-    Err(Conflict::QuiescenceTimeout { running_threads: running }.into())
+    Err(Conflict::QuiescenceTimeout { running_threads: running_thread_count(kernel, instance) }.into())
 }
 
-/// Whether every live thread of the instance is parked at a quiescent point.
-pub fn all_quiesced(kernel: &Kernel, instance: &McrInstance) -> bool {
-    instance.state.live_threads().all(|t| {
-        kernel.process(t.pid).and_then(|p| p.thread(t.tid).map(|th| th.is_quiesced())).unwrap_or(true)
-    })
-}
-
-/// Resumes execution after a checkpoint: clears the quiescence request and
-/// unparks every quiesced thread.
+/// Resumes execution after a checkpoint: clears the quiescence request,
+/// unparks every quiesced thread and queues the instance's threads as ready
+/// so they can re-declare their readiness interests.
 pub fn resume(kernel: &mut Kernel, instance: &mut McrInstance) {
     instance.state.quiesce_requested = false;
     for entry in &instance.state.threads {
@@ -382,6 +690,7 @@ pub fn resume(kernel: &mut Kernel, instance: &mut McrInstance) {
             }
         }
     }
+    wake_all_threads(kernel, instance);
 }
 
 #[cfg(test)]
@@ -411,14 +720,29 @@ mod tests {
         // No clients yet: the main thread blocks at its quiescent point.
         let stats = run_round(&mut kernel, &mut instance).unwrap();
         assert_eq!(stats.blocked, 1);
+        assert_eq!(kernel.waiting_thread_count(), 1, "the acceptor parked on the listener");
         // A client connects and is served.
         let conn = kernel.client_connect(8080).unwrap();
         kernel.client_send(conn, b"GET /".to_vec()).unwrap();
         let stats = run_round(&mut kernel, &mut instance).unwrap();
         assert_eq!(stats.progressed, 1);
+        assert_eq!(stats.woken, 1, "the connect woke the parked acceptor");
         let reply = kernel.client_recv(conn).unwrap();
         assert!(String::from_utf8_lossy(&reply).contains("v1"));
         assert_eq!(instance.state.counters.events_handled, 1);
+    }
+
+    #[test]
+    fn idle_rounds_cost_nothing_once_parked() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let mut instance = boot(&mut kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).unwrap();
+        let first = run_round(&mut kernel, &mut instance).unwrap();
+        assert_eq!(first.steps(), 1, "the first round admits and parks the main thread");
+        // With no events, subsequent rounds execute zero steps.
+        let idle = run_rounds(&mut kernel, &mut instance, 5).unwrap();
+        assert_eq!(idle.steps(), 0, "idle rounds are free on the event-driven path");
+        assert_eq!(idle.woken, 0);
     }
 
     #[test]
@@ -440,6 +764,24 @@ mod tests {
         kernel.client_send(conn, b"GET /".to_vec()).unwrap();
         run_round(&mut kernel, &mut instance).unwrap();
         assert!(kernel.client_recv(conn).is_some());
+    }
+
+    #[test]
+    fn full_scan_mode_still_serves_and_quiesces() {
+        let mut kernel = Kernel::new();
+        kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
+        let opts = BootOptions { scheduler: SchedulerMode::FullScan, ..Default::default() };
+        let mut instance = boot(&mut kernel, Box::new(TinyServer::new(1)), &opts).unwrap();
+        let conn = kernel.client_connect(8080).unwrap();
+        kernel.client_send(conn, b"GET /".to_vec()).unwrap();
+        let stats = run_round(&mut kernel, &mut instance).unwrap();
+        assert_eq!(stats.progressed, 1);
+        assert_eq!(stats.woken, 0, "the scan path never consumes wakeups");
+        assert!(kernel.client_recv(conn).is_some());
+        wait_quiescence(&mut kernel, &mut instance, 10).unwrap();
+        assert!(all_quiesced(&kernel, &instance));
+        resume(&mut kernel, &mut instance);
+        assert!(!all_quiesced(&kernel, &instance));
     }
 
     #[test]

@@ -6,12 +6,33 @@
 //! backlogs that survive a process switch, Unix-domain channels with
 //! descriptor passing, and soft-dirty page bookkeeping delegated to each
 //! process's address space.
+//!
+//! # Readiness substrate (wait queues, timer wheel, wake queue)
+//!
+//! The kernel also provides the event-driven scheduling substrate the MCR
+//! runtime's `Scheduler` is built on:
+//!
+//! * **Per-object wait queues** — a blocking syscall (`Accept`, `Read`,
+//!   `UnixRecv`) that fails with [`SimError::WouldBlock`] parks the calling
+//!   `(Pid, Tid)` on the descriptor's kernel object
+//!   ([`Kernel::wait_on_fd`]).
+//! * **A timer wheel** keyed on [`SimInstant`] — timed blocks registered via
+//!   [`Kernel::wait_until`] fire when [`Kernel::advance_clock`] moves the
+//!   virtual clock past their deadline, instead of being re-polled.
+//! * **A FIFO wake queue** — state changes (`client_connect`,
+//!   `client_send`, peer close, queued Unix datagrams, pipe writes, expired
+//!   timers) move the affected waiters onto a deduplicated FIFO queue that
+//!   schedulers drain with [`Kernel::drain_wakeups_where`].
+//!
+//! Every structure is ordered (`BTreeMap` + FIFO `VecDeque`), so wake order
+//! is a pure function of the event history: simulated runs stay
+//! deterministic and reproducible regardless of host scheduling.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::clock::{SimDuration, SimInstant, VirtualClock};
 use crate::error::{SimError, SimResult};
-use crate::ids::{ConnId, Fd, Pid, Tid};
+use crate::ids::{ConnId, Fd, ObjId, Pid, Tid};
 use crate::memory::{Addr, RegionKind};
 use crate::objects::{KernelObject, ObjectTable, UnixMessage};
 use crate::process::{Process, Thread, ThreadState};
@@ -38,6 +59,120 @@ struct ClientConn {
     closed: bool,
 }
 
+/// Where a blocked thread is parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitTarget {
+    /// Waiting for a state change on a kernel object (listener backlog,
+    /// connection inbox, Unix channel, pipe).
+    Object(ObjId),
+    /// Waiting for the virtual clock to reach a deadline.
+    Timer(SimInstant),
+}
+
+/// The kernel's readiness bookkeeping: who waits on what, and who has been
+/// woken but not yet rescheduled.
+///
+/// A thread is registered on at most one target at a time; re-registering
+/// moves it. All containers are ordered, so wake order is deterministic.
+#[derive(Debug, Clone, Default)]
+struct WaitState {
+    /// Registration index: thread → the target it waits on.
+    by_thread: BTreeMap<(u32, u32), WaitTarget>,
+    /// FIFO wait queue per kernel object.
+    object_waiters: BTreeMap<u64, VecDeque<(Pid, Tid)>>,
+    /// Timer wheel: deadline (ns) → FIFO of threads to wake.
+    timer_wheel: BTreeMap<u64, VecDeque<(Pid, Tid)>>,
+    /// Threads woken but not yet picked up by a scheduler, in wake order.
+    wake_queue: VecDeque<(Pid, Tid)>,
+    /// Dedup set mirroring `wake_queue`.
+    wake_set: BTreeSet<(u32, u32)>,
+    /// Total wakeups ever enqueued (statistics).
+    wakeups_issued: u64,
+}
+
+impl WaitState {
+    fn cancel(&mut self, pid: Pid, tid: Tid) {
+        let key = (pid.0, tid.0);
+        match self.by_thread.remove(&key) {
+            Some(WaitTarget::Object(obj)) => {
+                if let Some(q) = self.object_waiters.get_mut(&obj.0) {
+                    q.retain(|&(p, t)| (p.0, t.0) != key);
+                    if q.is_empty() {
+                        self.object_waiters.remove(&obj.0);
+                    }
+                }
+            }
+            Some(WaitTarget::Timer(at)) => {
+                if let Some(q) = self.timer_wheel.get_mut(&at.0) {
+                    q.retain(|&(p, t)| (p.0, t.0) != key);
+                    if q.is_empty() {
+                        self.timer_wheel.remove(&at.0);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn park(&mut self, pid: Pid, tid: Tid, target: WaitTarget) {
+        self.cancel(pid, tid);
+        match target {
+            WaitTarget::Object(obj) => self.object_waiters.entry(obj.0).or_default().push_back((pid, tid)),
+            WaitTarget::Timer(at) => self.timer_wheel.entry(at.0).or_default().push_back((pid, tid)),
+        }
+        self.by_thread.insert((pid.0, tid.0), target);
+    }
+
+    /// Appends a thread to the wake queue (deduplicated). The caller must
+    /// have dropped the thread's registration already.
+    fn push_wake(&mut self, pid: Pid, tid: Tid) {
+        if self.wake_set.insert((pid.0, tid.0)) {
+            self.wake_queue.push_back((pid, tid));
+            self.wakeups_issued += 1;
+        }
+    }
+
+    /// Moves a thread onto the wake queue (dropping any registration).
+    fn enqueue_wakeup(&mut self, pid: Pid, tid: Tid) {
+        self.cancel(pid, tid);
+        self.push_wake(pid, tid);
+    }
+
+    /// Wakes every thread parked on `obj`, in FIFO order.
+    fn wake_object(&mut self, obj: ObjId) {
+        if let Some(queue) = self.object_waiters.remove(&obj.0) {
+            for (pid, tid) in queue {
+                self.by_thread.remove(&(pid.0, tid.0));
+                self.push_wake(pid, tid);
+            }
+        }
+    }
+
+    /// Fires every timer with a deadline at or before `now`.
+    fn fire_due_timers(&mut self, now: u64) {
+        while let Some((&deadline, _)) = self.timer_wheel.iter().next() {
+            if deadline > now {
+                break;
+            }
+            let queue = self.timer_wheel.remove(&deadline).unwrap_or_default();
+            for (pid, tid) in queue {
+                self.by_thread.remove(&(pid.0, tid.0));
+                self.push_wake(pid, tid);
+            }
+        }
+    }
+
+    /// Drops every trace of a process's threads (process exit / teardown).
+    fn purge_pid(&mut self, pid: Pid) {
+        let keys: Vec<(u32, u32)> = self.by_thread.keys().filter(|&&(p, _)| p == pid.0).copied().collect();
+        for (p, t) in keys {
+            self.cancel(Pid(p), Tid(t));
+        }
+        self.wake_queue.retain(|&(p, _)| p != pid);
+        self.wake_set.retain(|&(p, _)| p != pid.0);
+    }
+}
+
 /// The simulated kernel.
 #[derive(Debug, Clone, Default)]
 pub struct Kernel {
@@ -54,6 +189,8 @@ pub struct Kernel {
     pending_client_data: BTreeMap<u64, VecDeque<Vec<u8>>>,
     /// Total syscalls executed (statistics).
     syscall_count: u64,
+    /// Readiness substrate: wait queues, timer wheel, wake queue.
+    wait: WaitState,
 }
 
 impl Kernel {
@@ -71,6 +208,7 @@ impl Kernel {
             clients: BTreeMap::new(),
             pending_client_data: BTreeMap::new(),
             syscall_count: 0,
+            wait: WaitState::default(),
         }
     }
 
@@ -84,9 +222,102 @@ impl Kernel {
     }
 
     /// Advances the simulated clock (used by the scheduler and by MCR to
-    /// account for work it performs on behalf of a program).
+    /// account for work it performs on behalf of a program), firing any
+    /// timer-wheel entries the advance passes over.
     pub fn advance_clock(&mut self, d: SimDuration) {
         self.clock.advance(d);
+        self.wait.fire_due_timers(self.clock.now().0);
+    }
+
+    // ------------------------------------------------------------------
+    // Readiness substrate: wait queues, timer wheel, wake queue
+    // ------------------------------------------------------------------
+
+    /// Parks thread `tid` of `pid` on the kernel object behind `fd` until a
+    /// state change on that object wakes it. Blocking syscalls that fail
+    /// with [`SimError::WouldBlock`] call this automatically; schedulers may
+    /// also call it explicitly (idempotent: a thread waits on at most one
+    /// target, re-registration moves it).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the process or descriptor does not exist.
+    pub fn wait_on_fd(&mut self, pid: Pid, tid: Tid, fd: Fd) -> SimResult<()> {
+        let obj = self.process(pid)?.fds().get(fd)?.object;
+        self.wait.park(pid, tid, WaitTarget::Object(obj));
+        Ok(())
+    }
+
+    /// Parks thread `tid` of `pid` on the timer wheel until the virtual
+    /// clock reaches `deadline`. A deadline that already passed enqueues an
+    /// immediate wakeup.
+    pub fn wait_until(&mut self, pid: Pid, tid: Tid, deadline: SimInstant) {
+        if deadline <= self.clock.now() {
+            self.wait.enqueue_wakeup(pid, tid);
+        } else {
+            self.wait.park(pid, tid, WaitTarget::Timer(deadline));
+        }
+    }
+
+    /// Removes any wait-queue or timer registration of the thread (used when
+    /// a scheduler decides to run it for another reason, e.g. the quiescence
+    /// barrier's wake-everyone pass).
+    pub fn cancel_wait(&mut self, pid: Pid, tid: Tid) {
+        self.wait.cancel(pid, tid);
+    }
+
+    /// Removes and returns the queued wakeups whose pid satisfies `pred`, in
+    /// wake order; non-matching wakeups stay queued for their own scheduler.
+    pub fn drain_wakeups_where(&mut self, mut pred: impl FnMut(Pid) -> bool) -> Vec<(Pid, Tid)> {
+        if self.wait.wake_queue.is_empty() {
+            return Vec::new();
+        }
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::new();
+        for (pid, tid) in std::mem::take(&mut self.wait.wake_queue) {
+            if pred(pid) {
+                self.wait.wake_set.remove(&(pid.0, tid.0));
+                taken.push((pid, tid));
+            } else {
+                kept.push_back((pid, tid));
+            }
+        }
+        self.wait.wake_queue = kept;
+        taken
+    }
+
+    /// The earliest pending timer-wheel deadline, if any (lets idle drivers
+    /// advance the clock straight to the next event).
+    pub fn next_timer_deadline(&self) -> Option<SimInstant> {
+        self.wait.timer_wheel.keys().next().map(|&ns| SimInstant(ns))
+    }
+
+    /// The earliest timer-wheel deadline registered by a thread whose pid
+    /// satisfies `pred`, if any. An idle scheduler uses this to advance the
+    /// virtual clock straight to its instance's next timed wakeup — without
+    /// it, a fleet whose only pending work is a timer would sleep forever,
+    /// since simulated time only moves when threads run.
+    pub fn next_timer_deadline_where(&self, mut pred: impl FnMut(Pid) -> bool) -> Option<SimInstant> {
+        self.wait
+            .timer_wheel
+            .iter()
+            .find(|(_, queue)| queue.iter().any(|&(pid, _)| pred(pid)))
+            .map(|(&ns, _)| SimInstant(ns))
+    }
+
+    /// Number of threads currently parked on an object or timer.
+    pub fn waiting_thread_count(&self) -> usize {
+        self.wait.by_thread.len()
+    }
+
+    /// Number of queued wakeups not yet drained by a scheduler.
+    pub fn pending_wakeup_count(&self) -> usize {
+        self.wait.wake_queue.len()
+    }
+
+    /// Total wakeups enqueued since boot (statistics).
+    pub fn wakeups_issued(&self) -> u64 {
+        self.wait.wakeups_issued
     }
 
     /// Installs a file in the simulated file system (configuration files,
@@ -184,6 +415,7 @@ impl Kernel {
         for (_, entry) in proc.fds().iter() {
             self.objects.decref(entry.object);
         }
+        self.wait.purge_pid(pid);
         Ok(())
     }
 
@@ -330,6 +562,8 @@ impl Kernel {
             backlog.push_back(conn);
         }
         self.clients.insert(conn.0, ClientConn { port, ..Default::default() });
+        // Accept readiness: wake every thread parked on the listener.
+        self.wait.wake_object(listener);
         Ok(conn)
     }
 
@@ -351,15 +585,22 @@ impl Kernel {
         if state.closed {
             return Err(SimError::InvalidArgument(format!("connection {conn} closed")));
         }
+        let port = state.port;
         if let Some(obj) = self.objects.connection_for(conn) {
             if let Some(KernelObject::Connection { inbox, .. }) = self.objects.get_mut(obj) {
                 inbox.push_back(data);
+                // Read readiness: wake every thread parked on the connection.
+                self.wait.wake_object(obj);
                 return Ok(());
             }
         }
         // Not yet accepted: queue the bytes until the server accepts; the
-        // kernel hands them to the connection object at accept time.
+        // kernel hands them to the connection object at accept time. The
+        // listener's waiters are (re-)woken so an acceptor picks it up.
         self.pending_client_data.entry(conn.0).or_default().push_back(data);
+        if let Some(listener) = self.objects.listener_for_port(port) {
+            self.wait.wake_object(listener);
+        }
         Ok(())
     }
 
@@ -379,6 +620,8 @@ impl Kernel {
             if let Some(KernelObject::Connection { peer_closed, .. }) = self.objects.get_mut(obj) {
                 *peer_closed = true;
             }
+            // EOF readiness: a parked reader wakes and observes the close.
+            self.wait.wake_object(obj);
         }
         if let Some(c) = self.clients.get_mut(&conn.0) {
             c.closed = true;
@@ -537,6 +780,7 @@ impl Kernel {
                     }
                     Some(KernelObject::Pipe { buffer }) => {
                         buffer.extend(data);
+                        self.wait.wake_object(obj);
                         Ok(SyscallRet::Written(len))
                     }
                     _ => Err(SimError::BadFd(fd)),
@@ -582,6 +826,7 @@ impl Kernel {
             Syscall::Getpid => Ok(SyscallRet::Pid(pid)),
             Syscall::Exit { code } => {
                 self.process_mut(pid)?.set_exit(code);
+                self.wait.purge_pid(pid);
                 Ok(SyscallRet::Unit)
             }
             Syscall::Mmap { size, name, fixed } => {
@@ -624,6 +869,7 @@ impl Kernel {
                 match self.objects.get_mut(entry.object) {
                     Some(KernelObject::UnixChannel { inbox, .. }) => {
                         inbox.push_back(UnixMessage { data, objects });
+                        self.wait.wake_object(entry.object);
                         Ok(SyscallRet::Unit)
                     }
                     _ => Err(SimError::NotASocket(fd)),
@@ -659,8 +905,16 @@ impl SyscallPort for Kernel {
             return Err(SimError::NoSuchProcess(pid));
         }
         self.syscall_count += 1;
-        self.clock.advance(Self::syscall_cost(&call));
-        self.exec_syscall(pid, tid, call)
+        self.advance_clock(Self::syscall_cost(&call));
+        let wait_fd = call.blocking_fd();
+        let result = self.exec_syscall(pid, tid, call);
+        // A failed blocking call registers the caller on the descriptor's
+        // wait queue: the next state change on that object wakes the thread
+        // instead of requiring the scheduler to re-poll it.
+        if let (Err(SimError::WouldBlock), Some(fd)) = (&result, wait_fd) {
+            let _ = self.wait_on_fd(pid, tid, fd);
+        }
+        result
     }
 }
 
@@ -896,5 +1150,105 @@ mod tests {
         k.syscall(pid, tid, Syscall::Nanosleep { ns: 1_000_000 }).unwrap();
         assert!(k.now() > before);
         assert_eq!(k.syscall_count(), 2);
+    }
+
+    #[test]
+    fn blocked_accept_registers_waiter_and_connect_wakes_it() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        assert!(matches!(k.syscall(pid, tid, Syscall::Accept { fd }), Err(SimError::WouldBlock)));
+        assert_eq!(k.waiting_thread_count(), 1, "failed accept parked the caller");
+        assert_eq!(k.pending_wakeup_count(), 0);
+        let _conn = k.client_connect(80).unwrap();
+        assert_eq!(k.waiting_thread_count(), 0);
+        assert_eq!(k.pending_wakeup_count(), 1, "connect produced a wakeup");
+        let woken = k.drain_wakeups_where(|p| p == pid);
+        assert_eq!(woken, vec![(pid, tid)]);
+        assert_eq!(k.pending_wakeup_count(), 0);
+    }
+
+    #[test]
+    fn blocked_read_wakes_on_client_send_and_close() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        let conn = k.client_connect(80).unwrap();
+        let cfd = k.syscall(pid, tid, Syscall::Accept { fd }).unwrap().as_fd().unwrap();
+        assert!(matches!(k.syscall(pid, tid, Syscall::Read { fd: cfd, len: 64 }), Err(SimError::WouldBlock)));
+        assert_eq!(k.waiting_thread_count(), 1);
+        k.client_send(conn, b"ping".to_vec()).unwrap();
+        assert_eq!(k.drain_wakeups_where(|_| true), vec![(pid, tid)]);
+        // Read the data, block again, then the peer close wakes the reader.
+        let _ = k.syscall(pid, tid, Syscall::Read { fd: cfd, len: 64 }).unwrap();
+        assert!(matches!(k.syscall(pid, tid, Syscall::Read { fd: cfd, len: 64 }), Err(SimError::WouldBlock)));
+        k.client_close(conn).unwrap();
+        assert_eq!(k.drain_wakeups_where(|_| true), vec![(pid, tid)]);
+    }
+
+    #[test]
+    fn timer_wheel_fires_on_clock_advance() {
+        let (mut k, pid, tid) = booted();
+        let deadline = SimInstant(k.now().0 + 10_000);
+        k.wait_until(pid, tid, deadline);
+        assert_eq!(k.waiting_thread_count(), 1);
+        assert_eq!(k.next_timer_deadline(), Some(deadline));
+        k.advance_clock(SimDuration(5_000));
+        assert_eq!(k.pending_wakeup_count(), 0, "deadline not reached yet");
+        k.advance_clock(SimDuration(5_000));
+        assert_eq!(k.pending_wakeup_count(), 1);
+        assert_eq!(k.drain_wakeups_where(|_| true), vec![(pid, tid)]);
+        assert_eq!(k.next_timer_deadline(), None);
+        // An already-expired deadline wakes immediately.
+        k.wait_until(pid, tid, SimInstant(0));
+        assert_eq!(k.pending_wakeup_count(), 1);
+    }
+
+    #[test]
+    fn reregistration_moves_a_thread_between_targets() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        k.wait_on_fd(pid, tid, fd).unwrap();
+        k.wait_until(pid, tid, SimInstant(k.now().0 + 1_000));
+        assert_eq!(k.waiting_thread_count(), 1, "one registration per thread");
+        // The fd registration was superseded: a connect wakes nobody.
+        let _ = k.client_connect(80).unwrap();
+        assert_eq!(k.pending_wakeup_count(), 0);
+        k.cancel_wait(pid, tid);
+        assert_eq!(k.waiting_thread_count(), 0);
+    }
+
+    #[test]
+    fn filtered_timer_deadline_lookup_sees_only_matching_pids() {
+        let (mut k, pid, tid) = booted();
+        let other = k.create_process("peer").unwrap();
+        let other_tid = k.process(other).unwrap().main_tid();
+        let near = SimInstant(k.now().0 + 1_000);
+        let far = SimInstant(k.now().0 + 9_000);
+        k.wait_until(other, other_tid, near);
+        k.wait_until(pid, tid, far);
+        assert_eq!(k.next_timer_deadline(), Some(near));
+        assert_eq!(k.next_timer_deadline_where(|p| p == pid), Some(far));
+        assert_eq!(k.next_timer_deadline_where(|p| p == Pid(9999)), None);
+    }
+
+    #[test]
+    fn exit_and_removal_purge_wait_state() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        k.wait_on_fd(pid, tid, fd).unwrap();
+        k.syscall(pid, tid, Syscall::Exit { code: 0 }).unwrap();
+        assert_eq!(k.waiting_thread_count(), 0, "exit purged the registration");
+        let other = k.create_process("peer").unwrap();
+        let other_tid = k.process(other).unwrap().main_tid();
+        k.wait_until(other, other_tid, SimInstant(k.now().0 + 1_000));
+        k.remove_process(other).unwrap();
+        assert_eq!(k.waiting_thread_count(), 0, "removal purged the registration");
     }
 }

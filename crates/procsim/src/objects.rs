@@ -82,19 +82,25 @@ impl KernelObject {
 #[derive(Debug, Clone, Default)]
 pub struct ObjectTable {
     objects: std::collections::BTreeMap<u64, (KernelObject, u32)>,
+    /// Workload connection id → connection object, so the per-send client
+    /// path stays O(log n) at fleet scale instead of scanning the table.
+    conn_index: std::collections::BTreeMap<u64, ObjId>,
     next_id: u64,
 }
 
 impl ObjectTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        ObjectTable { objects: Default::default(), next_id: 1 }
+        ObjectTable { objects: Default::default(), conn_index: Default::default(), next_id: 1 }
     }
 
     /// Inserts a new object with refcount 1.
     pub fn insert(&mut self, obj: KernelObject) -> ObjId {
         let id = ObjId(self.next_id);
         self.next_id += 1;
+        if let KernelObject::Connection { conn, .. } = &obj {
+            self.conn_index.insert(conn.0, id);
+        }
         self.objects.insert(id.0, (obj, 1));
         id
     }
@@ -113,7 +119,9 @@ impl ObjectTable {
         if let Some((_, rc)) = self.objects.get_mut(&id.0) {
             *rc -= 1;
             if *rc == 0 {
-                self.objects.remove(&id.0);
+                if let Some((KernelObject::Connection { conn, .. }, _)) = self.objects.remove(&id.0) {
+                    self.conn_index.remove(&conn.0);
+                }
                 return true;
             }
         }
@@ -168,10 +176,8 @@ impl ObjectTable {
 
     /// Finds the connection object for a workload connection id, if any.
     pub fn connection_for(&self, conn: ConnId) -> Option<ObjId> {
-        self.iter().find_map(|(id, o)| match o {
-            KernelObject::Connection { conn: c, .. } if *c == conn => Some(id),
-            _ => None,
-        })
+        let id = self.conn_index.get(&conn.0).copied()?;
+        self.objects.contains_key(&id.0).then_some(id)
     }
 }
 

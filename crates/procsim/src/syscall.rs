@@ -170,6 +170,20 @@ impl Syscall {
         }
     }
 
+    /// The descriptor a blocking variant of this call waits on, if any.
+    ///
+    /// When such a call fails with [`crate::SimError::WouldBlock`], the
+    /// kernel parks the calling thread on the descriptor's kernel object so
+    /// that the next state change on that object (client connect, client
+    /// send, peer close, queued datagram) produces a wakeup instead of
+    /// requiring the scheduler to re-poll the thread.
+    pub fn blocking_fd(&self) -> Option<Fd> {
+        match self {
+            Syscall::Accept { fd } | Syscall::Read { fd, .. } | Syscall::UnixRecv { fd } => Some(*fd),
+            _ => None,
+        }
+    }
+
     /// Whether the call creates or manipulates an *immutable state object*
     /// (descriptors, pids, pinned memory): only such calls participate in
     /// mutable reinitialization's replay (paper §5).

@@ -9,9 +9,9 @@
 //! startup behaviour, which is exactly the class of change MCR must handle.
 
 use mcr_core::error::{McrError, McrResult};
-use mcr_core::program::{Program, ProgramEnv, StepOutcome};
+use mcr_core::program::{Program, ProgramEnv, StepOutcome, WaitInterest};
 use mcr_core::ObjTreatment;
-use mcr_procsim::{Fd, PoolId, SimError, Syscall};
+use mcr_procsim::{Fd, PoolId, SimDuration, SimError, Syscall};
 use mcr_typemeta::{Field, TypeRegistry};
 
 use crate::spec::{AllocatorModel, ProcessModel, ServerSpec};
@@ -137,6 +137,7 @@ impl GenericServer {
             Err(McrError::Sim(SimError::WouldBlock)) => Ok(StepOutcome::WouldBlock {
                 call: self.blocking_call().to_string(),
                 loop_name: loop_name.to_string(),
+                wait: WaitInterest::Fd(fd),
             }),
             Err(e) => Err(e),
             Ok(ret) => {
@@ -155,6 +156,7 @@ impl GenericServer {
             Err(McrError::Sim(SimError::WouldBlock)) => Ok(StepOutcome::WouldBlock {
                 call: "accept".to_string(),
                 loop_name: "accept_loop".to_string(),
+                wait: WaitInterest::Fd(fd),
             }),
             Err(e) => Err(e),
             Ok(ret) => {
@@ -177,15 +179,20 @@ impl GenericServer {
         let session_fd_g = env.global_addr("session_fd")?;
         let fd = Fd(env.read_u32(session_fd_g)? as i32);
         if fd.0 < 0 {
+            // The session descriptor has not been published yet: there is no
+            // kernel object to wait on, so retry on a short timer instead of
+            // polling every round.
             return Ok(StepOutcome::WouldBlock {
                 call: "read".to_string(),
                 loop_name: "session_loop".to_string(),
+                wait: WaitInterest::Timer(SimDuration(10_000)),
             });
         }
         match env.syscall(Syscall::Read { fd, len: 4096 }) {
             Err(McrError::Sim(SimError::WouldBlock)) => Ok(StepOutcome::WouldBlock {
                 call: "read".to_string(),
                 loop_name: "session_loop".to_string(),
+                wait: WaitInterest::Fd(fd),
             }),
             Err(McrError::Sim(SimError::BadFd(_))) => Ok(StepOutcome::Exit),
             Err(e) => Err(e),
@@ -400,6 +407,7 @@ impl Program for GenericServer {
                 ProcessModel::MasterWorker { .. } => Ok(StepOutcome::WouldBlock {
                     call: "sigsuspend".to_string(),
                     loop_name: "master_loop".to_string(),
+                    wait: WaitInterest::External,
                 }),
                 ProcessModel::ProcessPerConnection => self.master_accept_and_fork_session(env),
             };
@@ -412,13 +420,18 @@ impl Program for GenericServer {
                 _ => Ok(StepOutcome::WouldBlock {
                     call: "poll".to_string(),
                     loop_name: "listener_loop".to_string(),
+                    wait: WaitInterest::External,
                 }),
             };
         }
         if name.starts_with("worker-") {
             return self.accept_and_handle(env, "worker_loop");
         }
-        Ok(StepOutcome::WouldBlock { call: "poll".to_string(), loop_name: "idle_loop".to_string() })
+        Ok(StepOutcome::WouldBlock {
+            call: "poll".to_string(),
+            loop_name: "idle_loop".to_string(),
+            wait: WaitInterest::External,
+        })
     }
 }
 
