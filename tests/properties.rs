@@ -6,7 +6,7 @@
 //! every case is reproducible from its printed seed.
 
 use mcr_core::callstack::CallStackId;
-use mcr_core::runtime::{boot, live_update, BootOptions, UpdateOptions, UpdateReport};
+use mcr_core::runtime::{boot, live_update, BootOptions, SchedulerMode, UpdateOptions, UpdateReport};
 use mcr_core::transfer::{apply_field_map, compute_field_map};
 use mcr_procsim::{
     Addr, AddressSpace, AllocSite, FdTable, Kernel, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE,
@@ -362,6 +362,100 @@ fn parallel_and_serial_rollbacks_report_identical_conflicts() {
         );
         assert_eq!(serial_fp, parallel_fp, "workers={workers}: post-rollback kernel state diverged");
     }
+}
+
+/// Boots `program` (always under the event-driven scheduler, so the
+/// pre-update state is identical), serves a workload, opens idle
+/// connections, then runs the gen-1 → gen-2 update with the *update-time*
+/// scheduler mode under test.
+fn update_with_sched_mode(
+    program: &str,
+    requests: u64,
+    open: usize,
+    mode: SchedulerMode,
+    new_generation: u32,
+) -> (u64, Vec<mcr_core::Conflict>, UpdateReport) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+    run_workload(&mut kernel, &mut v1, &workload_for(program, requests)).unwrap();
+    let port = workload_for(program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, open).unwrap();
+    // Flip the old instance's scheduling core only now, at update time: both
+    // runs enter the pipeline with byte-identical kernel and instance state.
+    v1.sched.mode = mode;
+    let opts = UpdateOptions { scheduler: mode, ..Default::default() };
+    let (_survivor, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(program, new_generation)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    (kernel_fingerprint(&kernel), outcome.conflicts().to_vec(), outcome.report().clone())
+}
+
+/// The event-driven scheduler is a drop-in replacement for the legacy
+/// full-scan core: a committed live update driven by wake-queue barriers
+/// produces a kernel fingerprint and an `UpdateReport` identical to the
+/// full-scan path on the same seed — same phase trace, same timings on the
+/// virtual clock, same tracing statistics and per-process transfer reports.
+#[test]
+fn event_driven_and_full_scan_updates_are_identical() {
+    let programs = ["httpd", "nginx", "vsftpd", "sshd"];
+    for seed in 0..4u64 {
+        let mut rng = Rng::new(seed + 0xfeed);
+        let program = programs[seed as usize % programs.len()];
+        let requests = rng.range(1, 4);
+        let open = rng.range(0, 5) as usize;
+
+        let (event_fp, event_conflicts, event) =
+            update_with_sched_mode(program, requests, open, SchedulerMode::EventDriven, 2);
+        let (scan_fp, scan_conflicts, scan) =
+            update_with_sched_mode(program, requests, open, SchedulerMode::FullScan, 2);
+
+        assert!(event_conflicts.is_empty(), "seed {seed} ({program}): {event_conflicts:?}");
+        assert!(scan_conflicts.is_empty(), "seed {seed} ({program}): {scan_conflicts:?}");
+        assert_eq!(event_fp, scan_fp, "seed {seed} ({program}): post-commit kernel state diverged");
+        assert_eq!(
+            event.phases.records(),
+            scan.phases.records(),
+            "seed {seed} ({program}): phase traces diverged"
+        );
+        assert_eq!(event.timings.quiescence, scan.timings.quiescence);
+        assert_eq!(event.timings.control_migration, scan.timings.control_migration);
+        assert_eq!(event.timings.state_transfer, scan.timings.state_transfer);
+        assert_eq!(event.timings.total, scan.timings.total);
+        assert_eq!(event.tracing, scan.tracing, "seed {seed} ({program}): tracing stats diverged");
+        assert_eq!(
+            event.transfer.per_process, scan.transfer.per_process,
+            "seed {seed} ({program}): per-process transfer reports diverged"
+        );
+        assert_eq!(event.replay, scan.replay, "seed {seed} ({program}): replay stats diverged");
+        assert_eq!(event.open_connections, scan.open_connections);
+        assert_eq!(
+            event.processes_matched + event.processes_recreated,
+            scan.processes_matched + scan.processes_recreated
+        );
+    }
+}
+
+/// Rollbacks are identical across scheduler cores too: the same conflicting
+/// update aborts with the same conflict list, the same per-process conflict
+/// attribution, and byte-identical post-rollback kernel state.
+#[test]
+fn event_driven_and_full_scan_rollbacks_are_identical() {
+    // vsftpd generation 1 -> 3 changes `conn_s` under non-updatable
+    // references, which aborts the update during state transfer.
+    let (event_fp, event_conflicts, event) =
+        update_with_sched_mode("vsftpd", 6, 0, SchedulerMode::EventDriven, 3);
+    let (scan_fp, scan_conflicts, scan) = update_with_sched_mode("vsftpd", 6, 0, SchedulerMode::FullScan, 3);
+
+    assert!(!event_conflicts.is_empty(), "the scenario must produce conflicts");
+    assert_eq!(event_conflicts, scan_conflicts, "conflict lists diverged");
+    assert_eq!(event.transfer.per_process, scan.transfer.per_process, "per-process reports diverged");
+    assert_eq!(event.phases.records(), scan.phases.records(), "phase traces diverged");
+    assert_eq!(event_fp, scan_fp, "post-rollback kernel state diverged");
 }
 
 /// Identity transformations round-trip arbitrary byte patterns.
