@@ -26,11 +26,14 @@
 use std::fmt::Write as _;
 
 use mcr_core::runtime::{
-    boot, live_update, BootOptions, McrInstance, MemoryReport, UpdateOptions, UpdateOutcome,
+    boot, live_update, BootOptions, McrInstance, MemoryReport, PrecopyOptions, SchedulerMode, UpdateOptions,
+    UpdateOutcome, UpdatePipeline,
 };
 use mcr_core::{QuiescenceProfiler, TraceOptions, TracingStats};
 use mcr_procsim::Kernel;
-use mcr_servers::{install_standard_files, paper_catalog, program_by_name};
+use mcr_servers::{
+    apply_scenario_writes, install_standard_files, paper_catalog, program_by_name, PrecopyScenario,
+};
 use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
 use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
 
@@ -114,6 +117,108 @@ pub fn update_with_options(
     let (_v2, outcome) =
         live_update(&mut kernel, v1, Box::new(program_by_name(program, generation + 1)), config, opts);
     outcome
+}
+
+/// FNV-1a fold of one kernel-visible fact (helper of
+/// [`kernel_fingerprint`]).
+fn fold(hash: &mut u64, value: u64) {
+    *hash = (*hash ^ value).wrapping_mul(0x100_0000_01b3);
+}
+
+/// Deterministic digest of everything live-update-visible in the kernel:
+/// every process's identity, descriptor table, thread roster and the full
+/// contents of every mapped region. The property tests and the pre-copy
+/// downtime bench both use it to prove that two update configurations
+/// converged to byte-identical kernel state. Contents only — dirty-page
+/// epochs and write counters are instrumentation, not program state.
+pub fn kernel_fingerprint(kernel: &Kernel) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for pid in kernel.pids() {
+        let proc = kernel.process(pid).unwrap();
+        fold(&mut hash, pid.0.into());
+        fold(&mut hash, proc.fds().len() as u64);
+        for (fd, entry) in proc.fds().iter() {
+            fold(&mut hash, fd.0 as u64);
+            fold(&mut hash, entry.object.0);
+        }
+        fold(&mut hash, proc.thread_count() as u64);
+        for region in proc.space().regions() {
+            fold(&mut hash, region.base().0);
+            fold(&mut hash, region.size());
+            let bytes = proc.space().read_bytes(region.base(), region.size() as usize).unwrap();
+            for word in bytes.chunks_exact(8) {
+                fold(&mut hash, u64::from_le_bytes(word.try_into().unwrap()));
+            }
+        }
+    }
+    hash
+}
+
+/// Runs one configuration of a [`PrecopyScenario`] and returns the
+/// post-update kernel fingerprint plus the outcome.
+///
+/// Both configurations apply the *same* deterministic write batches (one
+/// per round, stamped `0xC0DE_0000 + round`): the pre-copy run applies them
+/// between its concurrent rounds via the pipeline hook, the stop-the-world
+/// baseline (`precopy_rounds == 0`) applies all of them before the update —
+/// so both runs update the exact same final memory image and must converge
+/// to byte-identical kernel state, reports and conflicts, while only the
+/// downtime split may differ. `size_factor` scales the pre-update workload
+/// (the live-heap axis of the sweep).
+///
+/// # Panics
+///
+/// Panics if the server fails to boot or the workload cannot run.
+pub fn precopy_update(
+    scenario: &PrecopyScenario,
+    size_factor: u64,
+    precopy_rounds: usize,
+    mutate_rounds: usize,
+    scheduler: SchedulerMode,
+) -> (u64, UpdateOutcome) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(program_by_name(scenario.program, 1)), &BootOptions::default())
+        .expect("scenario server boots");
+    run_workload(&mut kernel, &mut v1, &workload_for(scenario.program, scenario.requests * size_factor))
+        .expect("workload runs");
+    let port = workload_for(scenario.program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, scenario.open_connections * size_factor as usize)
+        .expect("idle connections");
+    // Flip the scheduling core only now, so every configuration enters the
+    // pipeline with byte-identical pre-update state.
+    v1.sched.mode = scheduler;
+    let opts = UpdateOptions {
+        scheduler,
+        precopy: if precopy_rounds > 0 {
+            PrecopyOptions { rounds: precopy_rounds, convergence_bytes: 0, serve_rounds: 1 }
+        } else {
+            PrecopyOptions::disabled()
+        },
+        ..Default::default()
+    };
+    let stamp = |round: usize| 0xC0DE_0000u32 + round as u32;
+    let pipeline = if precopy_rounds > 0 {
+        let scenario = *scenario;
+        UpdatePipeline::for_options(&opts).with_precopy_hook(Box::new(
+            move |kernel: &mut Kernel, old: &mut McrInstance, round: usize| {
+                apply_scenario_writes(kernel, old, &scenario, stamp(round));
+            },
+        ))
+    } else {
+        for round in 1..=mutate_rounds {
+            apply_scenario_writes(&mut kernel, &v1, scenario, stamp(round));
+        }
+        UpdatePipeline::for_options(&opts)
+    };
+    let (_survivor, outcome) = pipeline.run(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(scenario.program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    (kernel_fingerprint(&kernel), outcome)
 }
 
 /// Traces every process of an instance and merges the per-process statistics.

@@ -25,6 +25,49 @@ use crate::runtime::report::UpdateReport;
 use crate::runtime::scheduler::{McrInstance, SchedulerMode};
 use crate::tracing::tracer::TraceOptions;
 
+/// Knobs of the iterative pre-copy phase (live-migration style): how many
+/// concurrent trace-and-copy rounds run before the world stops, and when
+/// the iteration is considered converged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecopyOptions {
+    /// Maximum concurrent copy rounds before quiescing. `0` disables
+    /// pre-copy entirely — the classic stop-the-world pipeline (and the
+    /// baseline the downtime bench compares against).
+    pub rounds: usize,
+    /// Convergence threshold: stop iterating early once the bytes dirtied
+    /// during a round (measured page-granular) drop to this value or below.
+    /// `0` keeps iterating until a round ends with nothing newly dirty (or
+    /// `rounds` is exhausted).
+    pub convergence_bytes: u64,
+    /// Scheduler rounds granted to the old instance between copy rounds so
+    /// it keeps serving pending traffic while the copy runs "concurrently".
+    pub serve_rounds: usize,
+}
+
+impl PrecopyOptions {
+    /// Pre-copy disabled (the stop-the-world baseline).
+    pub fn disabled() -> Self {
+        PrecopyOptions { rounds: 0, convergence_bytes: 0, serve_rounds: 1 }
+    }
+
+    /// Pre-copy with up to `rounds` concurrent rounds and default
+    /// convergence.
+    pub fn rounds(rounds: usize) -> Self {
+        PrecopyOptions { rounds, ..Self::disabled() }
+    }
+
+    /// Whether a pre-copy phase should run at all.
+    pub fn is_enabled(&self) -> bool {
+        self.rounds > 0
+    }
+}
+
+impl Default for PrecopyOptions {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Options for one live-update attempt.
 #[derive(Debug, Clone, Copy)]
 pub struct UpdateOptions {
@@ -52,6 +95,12 @@ pub struct UpdateOptions {
     /// the legacy full scan produce byte-identical updates
     /// (`tests/properties.rs`); the scan is kept as the ablation baseline.
     pub scheduler: SchedulerMode,
+    /// Iterative pre-copy configuration. When enabled, the pipeline boots
+    /// and matches the new version first, copies the bulk of the object
+    /// graph while the old version keeps serving, and quiesces only for the
+    /// residual dirty delta — shrinking downtime from O(heap) to O(working
+    /// set). Disabled by default (the paper's stop-the-world pipeline).
+    pub precopy: PrecopyOptions,
 }
 
 impl UpdateOptions {
@@ -73,6 +122,7 @@ impl Default for UpdateOptions {
             recreate_unmatched_processes: true,
             transfer_workers: 0,
             scheduler: SchedulerMode::default(),
+            precopy: PrecopyOptions::default(),
         }
     }
 }
@@ -114,8 +164,12 @@ impl UpdateOutcome {
     }
 }
 
-/// Performs a live update of `old` to `new_program` with the standard
-/// pipeline (quiesce → reinit/replay → match → trace/transfer → commit).
+/// Performs a live update of `old` to `new_program` with the pipeline the
+/// options select: the standard stop-the-world sequence (quiesce →
+/// reinit/replay → match → trace/transfer → commit), or — when
+/// [`UpdateOptions::precopy`] is enabled — the pre-copy sequence that boots
+/// and matches the new version first, copies concurrently, and quiesces
+/// only for the residual delta.
 ///
 /// Returns the instance that is running afterwards (the new version on
 /// success, the old version after a rollback) together with the outcome.
@@ -126,7 +180,7 @@ pub fn live_update(
     config: InstrumentationConfig,
     opts: &UpdateOptions,
 ) -> (McrInstance, UpdateOutcome) {
-    UpdatePipeline::standard().run(kernel, old, new_program, config, opts)
+    UpdatePipeline::for_options(opts).run(kernel, old, new_program, config, opts)
 }
 
 #[cfg(test)]

@@ -11,9 +11,11 @@ pub mod pipeline;
 pub mod report;
 pub mod scheduler;
 
-pub use controller::{live_update, UpdateOptions, UpdateOutcome};
-pub use pipeline::{FaultPlan, Phase, PhaseName, UpdateCtx, UpdatePipeline};
-pub use report::{MemoryReport, PhaseRecord, PhaseTrace, UpdateReport, UpdateTimings};
+pub use controller::{live_update, PrecopyOptions, UpdateOptions, UpdateOutcome};
+pub use pipeline::{
+    FaultPlan, PairPrecopyState, Phase, PhaseName, PrecopyHook, PrecopyPhase, UpdateCtx, UpdatePipeline,
+};
+pub use report::{MemoryReport, PhaseRecord, PhaseTrace, PrecopySummary, UpdateReport, UpdateTimings};
 pub use scheduler::{
     all_quiesced, boot, create_instance, request_quiescence, resume, run_round, run_round_full_scan,
     run_rounds, run_startup, running_thread_count, step_thread, wait_quiescence, wake_all_threads,

@@ -46,15 +46,55 @@
 //! it ran serially or on any number of workers (`tests/properties.rs`
 //! proves this). Only the *timing model* differs:
 //! [`UpdateTimings::state_transfer`](crate::runtime::report::UpdateTimings)
-//! is the makespan of the executed round-robin schedule (with one worker,
-//! the serial sum; with one worker per pair, the slowest pair), while
+//! is the makespan of the executed schedule (with one worker, the serial
+//! sum; with one worker per pair, the slowest pair), while
 //! `state_transfer_serial` always reports the sequential wall time of the
-//! same work.
+//! same work. Jobs are pulled from a shared work queue (work stealing), so
+//! skewed pair sizes cannot stall the makespan behind an unlucky static
+//! assignment; the reported makespan is the matching deterministic
+//! list-schedule (each job, in pair order, to the least-loaded worker).
+//!
+//! # Pre-copy: moving trace & transfer out of the quiescence window
+//!
+//! When [`UpdateOptions::precopy`](crate::runtime::controller::UpdateOptions)
+//! is enabled the pipeline borrows the *pre-copy* idea from live migration
+//! and runs **six** phases, in this order:
+//!
+//! 1. [`PhaseName::ReinitReplay`] — the new version boots (parked) while the
+//!    old version is still serving.
+//! 2. [`PhaseName::MatchProcesses`] — pairs are established up front.
+//! 3. [`PhaseName::Precopy`] — iterative concurrent rounds: each round bumps
+//!    the old processes' write epoch, delta-retraces only the objects
+//!    dirtied since the previous round
+//!    ([`ObjectGraph::retrace_dirty`](crate::tracing::graph::ObjectGraph)),
+//!    copies the stale delta into the already-placed new-version objects
+//!    ([`precopy_transfer_round`]), and then lets the old instance serve
+//!    pending traffic (plus an optional mutator/workload hook). Iteration
+//!    stops after `precopy.rounds` rounds or as soon as a round ends with at
+//!    most `precopy.convergence_bytes` freshly dirtied bytes.
+//! 4. [`PhaseName::Quiesce`] — only now does the world stop.
+//! 5. [`PhaseName::TraceAndTransfer`] — a final delta retrace plus
+//!    [`transfer_residual`]: every write is re-emitted (memory, reports and
+//!    conflicts stay byte-identical to a stop-the-world run) but the clock
+//!    is charged only for the residual set still stale at quiesce time.
+//! 6. [`PhaseName::Commit`] — as before.
+//!
+//! Downtime therefore shrinks from O(total live heap) to O(working set
+//! written during the last round), which
+//! [`UpdateTimings::downtime`](crate::runtime::report::UpdateTimings)
+//! vs. [`UpdateTimings::precopy`](crate::runtime::report::UpdateTimings)
+//! makes directly measurable (`benches/precopy_downtime.rs` sweeps it).
+//! With pre-copy disabled (`precopy.rounds == 0`, the default) the classic
+//! five-phase stop-the-world order is used unchanged.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 use std::time::Instant;
 
-use mcr_procsim::{Fd, FdPlacement, Kernel, Pid, Process, SimDuration, Syscall, SyscallPort, ThreadState};
+use mcr_procsim::{
+    Fd, FdPlacement, Kernel, Pid, Process, SimDuration, Syscall, SyscallPort, ThreadState, PAGE_SIZE,
+};
 use mcr_typemeta::InstrumentationConfig;
 
 use crate::callstack::CallStackId;
@@ -64,11 +104,14 @@ use crate::program::{InstanceState, Program, ThreadRosterEntry};
 use crate::runtime::controller::{UpdateOptions, UpdateOutcome};
 use crate::runtime::report::UpdateReport;
 use crate::runtime::scheduler::{
-    create_instance, resume, run_startup, wait_quiescence, BootOptions, McrInstance,
+    create_instance, resume, run_round, run_startup, wait_quiescence, BootOptions, McrInstance,
 };
 use crate::tracing::stats::TracingStats;
-use crate::tracing::tracer::{TraceOptions, Tracer};
-use crate::transfer::engine::{transfer_between, ProcessTransferReport, TransferContext};
+use crate::tracing::tracer::{TraceOptions, TraceResult, Tracer};
+use crate::transfer::engine::{
+    precopy_transfer_round, transfer_residual, DeltaPlan, ProcessTransferReport, ResidualStats,
+    TransferContext,
+};
 
 /// Identifies one stage of the live-update pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -79,6 +122,8 @@ pub enum PhaseName {
     ReinitReplay,
     /// Pair old processes with new-version counterparts.
     MatchProcesses,
+    /// Iterative concurrent pre-copy rounds while the old version serves.
+    Precopy,
     /// Mutable tracing and state transfer of every matched pair.
     TraceAndTransfer,
     /// Resume the new version, terminate the old (point of no return).
@@ -86,11 +131,25 @@ pub enum PhaseName {
 }
 
 impl PhaseName {
-    /// Every phase of the standard pipeline, in execution order.
+    /// Every phase of the standard (stop-the-world) pipeline, in execution
+    /// order.
     pub const ALL: [PhaseName; 5] = [
         PhaseName::Quiesce,
         PhaseName::ReinitReplay,
         PhaseName::MatchProcesses,
+        PhaseName::TraceAndTransfer,
+        PhaseName::Commit,
+    ];
+
+    /// Every phase of the pre-copy pipeline, in execution order: the new
+    /// version boots and is matched while the old one still serves, the
+    /// bulk of the state is copied concurrently, and the world stops only
+    /// for the residual delta.
+    pub const PRECOPY_ALL: [PhaseName; 6] = [
+        PhaseName::ReinitReplay,
+        PhaseName::MatchProcesses,
+        PhaseName::Precopy,
+        PhaseName::Quiesce,
         PhaseName::TraceAndTransfer,
         PhaseName::Commit,
     ];
@@ -101,6 +160,7 @@ impl PhaseName {
             PhaseName::Quiesce => "quiesce",
             PhaseName::ReinitReplay => "reinit-replay",
             PhaseName::MatchProcesses => "match-processes",
+            PhaseName::Precopy => "precopy",
             PhaseName::TraceAndTransfer => "trace-and-transfer",
             PhaseName::Commit => "commit",
         }
@@ -111,6 +171,22 @@ impl std::fmt::Display for PhaseName {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// A callback the pre-copy phase invokes after every concurrent copy round,
+/// while the old version is still live. Benchmarks and property tests use
+/// it to model a write workload dirtying state between rounds (and to issue
+/// traffic the serving rounds then answer); the argument is the 1-based
+/// round number that just finished.
+pub type PrecopyHook = Box<dyn FnMut(&mut Kernel, &mut McrInstance, usize)>;
+
+/// Per-pair resumable pre-copy state: the traced object graph maintained
+/// incrementally across rounds plus the engine's [`DeltaPlan`].
+pub struct PairPrecopyState {
+    /// The pair's delta plan (placements, copied-at epochs, round log).
+    pub delta: DeltaPlan,
+    /// The incrementally maintained trace (None until the first round).
+    pub trace: Option<TraceResult>,
 }
 
 /// Shared state threaded through every phase of one update attempt.
@@ -130,6 +206,17 @@ pub struct UpdateCtx<'k> {
     pub pairs: Vec<(Pid, Pid)>,
     /// Everything measured so far (each phase appends its own record).
     pub report: UpdateReport,
+    /// Cross-version transfer metadata, built once by the first phase that
+    /// needs it (`Precopy`, or `TraceAndTransfer` without pre-copy).
+    pub plan: Option<TransferContext>,
+    /// Per-pair pre-copy state, aligned with `pairs`; empty when no
+    /// pre-copy rounds ran.
+    pub pair_precopy: Vec<PairPrecopyState>,
+    /// The fault plan of the pipeline (mid-phase triggers are armed on the
+    /// transfer context when it is built).
+    pub fault: FaultPlan,
+    /// Between-rounds callback of the pre-copy phase.
+    pub precopy_hook: Option<PrecopyHook>,
     /// The program to boot, consumed by `ReinitReplay`.
     new_program: Option<Box<dyn Program>>,
     /// Set by `Commit`; decides between committed and rolled-back outcomes.
@@ -153,9 +240,30 @@ impl<'k> UpdateCtx<'k> {
             config,
             pairs: Vec::new(),
             report,
+            plan: None,
+            pair_precopy: Vec::new(),
+            fault: FaultPlan::none(),
+            precopy_hook: None,
             new_program: Some(new_program),
             committed: false,
         }
+    }
+
+    /// Builds the shared [`TransferContext`] if it does not exist yet,
+    /// arming any mid-phase object fault of the pipeline's fault plan.
+    fn ensure_plan(&mut self) -> McrResult<()> {
+        if self.plan.is_none() {
+            let new_state = &self
+                .new_instance
+                .as_ref()
+                .ok_or_else(|| McrError::InvalidState("new instance not created yet".into()))?
+                .state;
+            self.plan = Some(
+                TransferContext::new(&self.old.state, new_state)
+                    .with_object_fault(self.fault.at_transfer_object()),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -173,13 +281,18 @@ pub trait Phase {
     fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()>;
 }
 
-/// Forces failures at phase boundaries, for rollback testing and chaos-style
+/// Forces failures at phase boundaries — and, for the mid-phase trigger, in
+/// the middle of state transfer — for rollback testing and chaos-style
 /// drills. A fault "after phase P" is expressed as a fault before the next
 /// phase; there is deliberately no way to inject one after `Commit`, because
 /// commit is the pipeline's atomic point — nothing is reversible beyond it.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     before: Vec<PhaseName>,
+    /// Mid-phase trigger: abort right before the n-th (1-based) object
+    /// write the transfer engine would perform, counted across every pair
+    /// and every pre-copy round.
+    at_transfer_object: Option<u64>,
 }
 
 impl FaultPlan {
@@ -190,7 +303,21 @@ impl FaultPlan {
 
     /// A plan that fails the update at the boundary right before `phase`.
     pub fn failing_before(phase: PhaseName) -> Self {
-        FaultPlan { before: vec![phase] }
+        FaultPlan { before: vec![phase], at_transfer_object: None }
+    }
+
+    /// A plan that fails the update right before its `nth` (1-based) object
+    /// write — a *mid-phase* fault. With pre-copy enabled a small `nth`
+    /// lands inside a concurrent copy round, proving the rollback path
+    /// while the old instance is still live and serving.
+    ///
+    /// The counter is shared across transfer workers, so with
+    /// `transfer_workers > 1` *which pair* hits the trigger depends on host
+    /// scheduling (the abort-and-rollback outcome itself is guaranteed
+    /// either way); use `transfer_workers: 1` when the fault site must be
+    /// reproducible.
+    pub fn failing_at_transfer_object(nth: u64) -> Self {
+        FaultPlan { before: Vec::new(), at_transfer_object: Some(nth) }
     }
 
     /// Adds another boundary fault to the plan.
@@ -200,14 +327,26 @@ impl FaultPlan {
         self
     }
 
+    /// Adds (or replaces) the mid-phase n-th-object-write trigger.
+    #[must_use]
+    pub fn and_at_transfer_object(mut self, nth: u64) -> Self {
+        self.at_transfer_object = Some(nth);
+        self
+    }
+
     /// Whether a fault fires at the boundary before `phase`.
     pub fn fires_before(&self, phase: PhaseName) -> bool {
         self.before.contains(&phase)
     }
 
+    /// The armed n-th-object-write trigger, if any.
+    pub fn at_transfer_object(&self) -> Option<u64> {
+        self.at_transfer_object
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
-        self.before.is_empty()
+        self.before.is_empty() && self.at_transfer_object.is_none()
     }
 }
 
@@ -215,6 +354,9 @@ impl FaultPlan {
 pub struct UpdatePipeline {
     phases: Vec<Box<dyn Phase>>,
     fault_plan: FaultPlan,
+    /// Between-rounds callback handed to the pre-copy phase (taken once per
+    /// `run`).
+    precopy_hook: RefCell<Option<PrecopyHook>>,
 }
 
 impl std::fmt::Debug for UpdatePipeline {
@@ -245,6 +387,35 @@ impl UpdatePipeline {
                 Box::new(CommitPhase),
             ],
             fault_plan: FaultPlan::none(),
+            precopy_hook: RefCell::new(None),
+        }
+    }
+
+    /// The pre-copy pipeline ([`PhaseName::PRECOPY_ALL`]): boot and match
+    /// the new version while the old one serves, copy the bulk of the state
+    /// concurrently, quiesce only for the residual dirty delta.
+    pub fn precopy() -> Self {
+        UpdatePipeline {
+            phases: vec![
+                Box::new(ReinitReplayPhase),
+                Box::new(MatchProcessesPhase),
+                Box::new(PrecopyPhase),
+                Box::new(QuiescePhase),
+                Box::new(TraceAndTransferPhase),
+                Box::new(CommitPhase),
+            ],
+            fault_plan: FaultPlan::none(),
+            precopy_hook: RefCell::new(None),
+        }
+    }
+
+    /// The pipeline the options call for: [`UpdatePipeline::precopy`] when
+    /// pre-copy rounds are enabled, [`UpdatePipeline::standard`] otherwise.
+    pub fn for_options(opts: &UpdateOptions) -> Self {
+        if opts.precopy.is_enabled() {
+            Self::precopy()
+        } else {
+            Self::standard()
         }
     }
 
@@ -252,6 +423,16 @@ impl UpdatePipeline {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs a between-rounds callback for the pre-copy phase: it runs
+    /// after every concurrent copy round, with the old instance still live.
+    /// Benchmarks and property tests use it to model write workloads
+    /// dirtying state while the copy is in flight.
+    #[must_use]
+    pub fn with_precopy_hook(self, hook: PrecopyHook) -> Self {
+        *self.precopy_hook.borrow_mut() = Some(hook);
         self
     }
 
@@ -277,7 +458,14 @@ impl UpdatePipeline {
         opts: &UpdateOptions,
     ) -> (McrInstance, UpdateOutcome) {
         let mut ctx = UpdateCtx::new(kernel, old, new_program, config, opts);
+        ctx.fault = self.fault_plan.clone();
+        ctx.precopy_hook = self.precopy_hook.borrow_mut().take();
         let t_total = ctx.kernel.now();
+        // Everything from the start of the quiescence barrier onwards is
+        // stop-the-world; phases executed before it (reinit/replay, match,
+        // pre-copy) ran while the old version could still serve.
+        let mut pre_quiesce = SimDuration(0);
+        let mut quiesce_seen = false;
         let mut failure: Option<McrError> = None;
         for phase in &self.phases {
             let name = phase.name();
@@ -290,12 +478,25 @@ impl UpdatePipeline {
             let duration = ctx.kernel.now().duration_since(start);
             ctx.report.phases.record(name, duration, result.is_ok());
             ctx.report.timings.absorb_phase(name, &ctx.report.phases);
+            if name == PhaseName::Quiesce {
+                quiesce_seen = true;
+            } else if !quiesce_seen {
+                pre_quiesce = pre_quiesce.saturating_add(duration);
+            }
             if let Err(e) = result {
                 failure = Some(e);
                 break;
             }
         }
         ctx.report.timings.total = ctx.kernel.now().duration_since(t_total);
+        ctx.report.timings.downtime = if quiesce_seen {
+            SimDuration(ctx.report.timings.total.0.saturating_sub(pre_quiesce.0))
+        } else {
+            SimDuration(0)
+        };
+        // Hand the hook back so a reused pipeline serves its rounds again on
+        // the next run.
+        *self.precopy_hook.borrow_mut() = ctx.precopy_hook.take();
         if ctx.committed {
             // Commit is the point of no return: the old version's processes
             // are gone, so even if a custom post-commit phase failed we must
@@ -452,63 +653,135 @@ impl Phase for MatchProcessesPhase {
 ///
 /// The per-pair work is expressed as [`PairJob`]s and executed on a scoped
 /// worker pool ([`UpdateOptions::transfer_workers`] threads; the default is
-/// one per pair, `1` is the serial ablation). Each job owns disjoint borrows
-/// of its pair's processes via [`Kernel::split_pairs`], so the jobs run
-/// concurrently without sharing mutable state; results are merged back in
-/// pair order, which keeps reports, conflict sets and clock accounting
-/// byte-identical regardless of the worker count.
+/// one per pair, `1` is the serial ablation) pulling from a shared work
+/// queue. Each job owns disjoint borrows of its pair's processes via
+/// [`Kernel::split_pairs`], so the jobs run concurrently without sharing
+/// mutable state; results are merged back in pair order, which keeps
+/// reports, conflict sets and clock accounting byte-identical regardless of
+/// the worker count. After a pre-copy phase, each job resumes its pair's
+/// [`DeltaPlan`]: it delta-retraces the quiesced old process and transfers
+/// the residual, charging only the still-stale work to the window.
 pub struct TraceAndTransferPhase;
 
-/// The work unit of the pair-parallel restore phase: trace one old process
-/// and transfer its state into the matched new process. Jobs only touch
-/// their own pair plus shared read-only state, which is what
-/// `std::thread::scope` requires to run them concurrently.
+/// The work unit of the pair-parallel restore phase: trace (or delta
+/// retrace) one old process and transfer its state into the matched new
+/// process. Jobs only touch their own pair plus shared read-only state,
+/// which is what `std::thread::scope` requires to run them concurrently.
 struct PairJob<'a> {
-    index: usize,
     old_proc: &'a Process,
     new_proc: &'a mut Process,
     old_state: &'a InstanceState,
     new_state: &'a InstanceState,
     plan: &'a TransferContext,
     trace: TraceOptions,
+    /// Resumable pre-copy state, when a pre-copy phase ran for this pair.
+    precopy: Option<&'a mut PairPrecopyState>,
 }
 
 /// What one [`PairJob`] produced.
 struct PairOutcome {
     stats: TracingStats,
     report: ProcessTransferReport,
+    /// The stop-the-world share of the pair's transfer (equals the full
+    /// transfer without pre-copy).
+    residual: ResidualStats,
 }
 
 impl PairJob<'_> {
     fn run(self) -> McrResult<PairOutcome> {
-        let trace = Tracer::for_process(self.old_proc, self.old_state, self.trace).trace();
-        let report = transfer_between(
+        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace);
+        match self.precopy {
+            None => {
+                let trace = tracer.trace();
+                let mut delta = DeltaPlan::new();
+                let (report, residual) = transfer_residual(
+                    self.plan,
+                    &mut delta,
+                    self.old_proc,
+                    self.old_state,
+                    self.new_proc,
+                    self.new_state,
+                    &trace,
+                )?;
+                Ok(PairOutcome { stats: trace.stats, report, residual })
+            }
+            Some(state) => {
+                let trace = state.trace.as_mut().expect("pre-copy rounds traced this pair");
+                trace.stats = trace.graph.retrace_dirty(&tracer, state.delta.traced_upto);
+                let (report, residual) = transfer_residual(
+                    self.plan,
+                    &mut state.delta,
+                    self.old_proc,
+                    self.old_state,
+                    self.new_proc,
+                    self.new_state,
+                    trace,
+                )?;
+                Ok(PairOutcome { stats: trace.stats, report, residual })
+            }
+        }
+    }
+}
+
+/// The work unit of one concurrent pre-copy round: trace (first round) or
+/// delta-retrace the old process and copy the stale delta into the new one.
+struct PrecopyJob<'a> {
+    old_proc: &'a Process,
+    new_proc: &'a mut Process,
+    old_state: &'a InstanceState,
+    new_state: &'a InstanceState,
+    plan: &'a TransferContext,
+    trace: TraceOptions,
+    state: &'a mut PairPrecopyState,
+    /// The epoch this round's retrace starts from, and the value
+    /// `traced_upto` is advanced to afterwards.
+    upto: u64,
+}
+
+impl PrecopyJob<'_> {
+    fn run(self) -> McrResult<crate::transfer::engine::PrecopyRoundReport> {
+        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace);
+        match self.state.trace.as_mut() {
+            None => self.state.trace = Some(tracer.trace()),
+            Some(trace) => {
+                trace.stats = trace.graph.retrace_dirty(&tracer, self.state.delta.traced_upto);
+            }
+        }
+        let trace = self.state.trace.as_ref().expect("set above");
+        let round = precopy_transfer_round(
             self.plan,
+            &mut self.state.delta,
             self.old_proc,
             self.old_state,
             self.new_proc,
             self.new_state,
-            &trace,
+            trace,
         )?;
-        Ok(PairOutcome { stats: trace.stats, report })
+        self.state.delta.traced_upto = self.upto;
+        Ok(round)
     }
 }
 
-/// Executes the jobs with the given worker count, returning outcomes indexed
-/// by pair order.
+/// Executes `jobs` with the given worker count, returning outcomes indexed
+/// by submission (pair) order.
 ///
 /// `workers <= 1` runs the jobs in order on the calling thread and stops at
 /// the first error, exactly like the historical sequential loop. Otherwise
-/// the jobs are dealt round-robin onto `workers` scoped threads; the
-/// round-robin assignment is also what the reported parallel makespan is
-/// computed from, so the timing model matches the schedule that actually
-/// executed.
-fn run_pair_jobs(jobs: Vec<PairJob<'_>>, workers: usize) -> Vec<McrResult<PairOutcome>> {
+/// the jobs are pulled from a *shared work queue* by `workers` scoped
+/// threads — work stealing, so a worker that drew a cheap pair immediately
+/// grabs the next one and skewed pair sizes cannot stall the makespan the
+/// way a static assignment could. Results are still merged in submission
+/// order, so determinism is unaffected by who ran what.
+fn run_jobs<J, R>(jobs: Vec<J>, workers: usize, run: impl Fn(J) -> McrResult<R> + Sync) -> Vec<McrResult<R>>
+where
+    J: Send,
+    R: Send,
+{
     let n = jobs.len();
     if workers <= 1 {
         let mut out = Vec::with_capacity(n);
         for job in jobs {
-            let result = job.run();
+            let result = run(job);
             let failed = result.is_err();
             out.push(result);
             if failed {
@@ -517,18 +790,24 @@ fn run_pair_jobs(jobs: Vec<PairJob<'_>>, workers: usize) -> Vec<McrResult<PairOu
         }
         return out;
     }
-    let mut buckets: Vec<Vec<PairJob<'_>>> = Vec::new();
-    buckets.resize_with(workers, Vec::new);
-    for job in jobs {
-        buckets[job.index % workers].push(job);
-    }
-    let mut slots: Vec<Option<McrResult<PairOutcome>>> = Vec::new();
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let run = &run;
+    let queue = &queue;
+    let mut slots: Vec<Option<McrResult<R>>> = Vec::new();
     slots.resize_with(n, || None);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                scope.spawn(move || bucket.into_iter().map(|job| (job.index, job.run())).collect::<Vec<_>>())
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("work queue poisoned").next();
+                        match next {
+                            Some((index, job)) => done.push((index, run(job))),
+                            None => break done,
+                        }
+                    }
+                })
             })
             .collect();
         for handle in handles {
@@ -537,7 +816,20 @@ fn run_pair_jobs(jobs: Vec<PairJob<'_>>, workers: usize) -> Vec<McrResult<PairOu
             }
         }
     });
-    slots.into_iter().map(|slot| slot.expect("every pair job ran")).collect()
+    slots.into_iter().map(|slot| slot.expect("every job ran")).collect()
+}
+
+/// The deterministic makespan of the work-stealing execution model: each
+/// job, in submission order, goes to the least-loaded worker (lowest index
+/// on ties). One worker yields the serial sum; one worker per job yields
+/// the per-job maximum.
+fn list_schedule_makespan(costs: &[SimDuration], workers: usize) -> SimDuration {
+    let mut load = vec![0u64; workers.max(1)];
+    for cost in costs {
+        let min = load.iter().enumerate().min_by_key(|(_, l)| **l).map(|(i, _)| i).unwrap_or(0);
+        load[min] += cost.0;
+    }
+    SimDuration(load.into_iter().max().unwrap_or(0))
 }
 
 /// Per-process descriptor inheritance: connection descriptors created after
@@ -582,32 +874,40 @@ impl Phase for TraceAndTransferPhase {
             return Ok(());
         }
         let workers = ctx.opts.effective_transfer_workers(ctx.pairs.len());
+        ctx.ensure_plan()?;
 
         // Fan out: split the kernel's process table into disjoint per-pair
         // borrows and run every trace+transfer job on the worker pool. The
         // interned cross-version metadata is built once and shared read-only.
         let wall = Instant::now();
         let outcomes = {
-            let UpdateCtx { kernel, old, new_instance, opts, pairs, .. } = ctx;
+            let UpdateCtx { kernel, old, new_instance, opts, pairs, plan, pair_precopy, .. } = ctx;
             let new_instance = new_instance.as_mut().expect("matched pairs imply an instance");
             let old_state = &old.state;
             let new_state = &new_instance.state;
-            let plan = TransferContext::new(old_state, new_state);
+            let plan = plan.as_ref().expect("ensured above");
             let split = kernel.split_pairs(pairs).map_err(McrError::Sim)?;
+            // When pre-copy rounds ran, every pair resumes its delta plan;
+            // otherwise each job runs the classic full trace+transfer.
+            let mut precopy_states: Vec<Option<&mut PairPrecopyState>> = if pair_precopy.is_empty() {
+                (0..pairs.len()).map(|_| None).collect()
+            } else {
+                pair_precopy.iter_mut().map(Some).collect()
+            };
             let jobs: Vec<PairJob<'_>> = split
                 .into_iter()
-                .enumerate()
-                .map(|(index, (old_proc, new_proc))| PairJob {
-                    index,
+                .zip(precopy_states.iter_mut())
+                .map(|((old_proc, new_proc), precopy)| PairJob {
                     old_proc,
                     new_proc,
                     old_state,
                     new_state,
-                    plan: &plan,
+                    plan,
                     trace: opts.trace,
+                    precopy: precopy.take(),
                 })
                 .collect();
-            run_pair_jobs(jobs, workers)
+            run_jobs(jobs, workers, PairJob::run)
         };
         let host_wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
@@ -616,7 +916,10 @@ impl Phase for TraceAndTransferPhase {
         // descriptor inheritance are all independent of the worker count and
         // of job completion order. Reports keep their conflicts (per-process
         // attribution survives into the rolled-back report); the error list
-        // is materialized only on the cold rollback path below.
+        // is materialized only on the cold rollback path below. The clock is
+        // charged the *residual* cost — without pre-copy that equals the
+        // full per-pair duration, with pre-copy it is the stop-the-world
+        // share left after the concurrent rounds.
         let mut any_conflicts = false;
         let mut failure: Option<McrError> = None;
         let mut pair_costs: Vec<SimDuration> = Vec::with_capacity(ctx.pairs.len());
@@ -626,11 +929,12 @@ impl Phase for TraceAndTransferPhase {
                     failure = Some(e);
                     break;
                 }
-                Ok(PairOutcome { stats, report }) => {
+                Ok(PairOutcome { stats, report, residual }) => {
                     let (old_pid, new_pid) = ctx.pairs[index];
                     ctx.report.tracing.merge(&stats);
-                    ctx.kernel.advance_clock(report.duration);
-                    pair_costs.push(report.duration);
+                    ctx.kernel.advance_clock(residual.cost);
+                    pair_costs.push(residual.cost);
+                    ctx.report.precopy.absorb_residual(&residual);
                     any_conflicts |= !report.conflicts.is_empty();
                     ctx.report.transfer.push(report);
                     inherit_connection_fds(ctx.kernel, old_pid, new_pid);
@@ -646,15 +950,119 @@ impl Phase for TraceAndTransferPhase {
             return Err(McrError::Conflicts(ctx.report.transfer.conflicts().cloned().collect()));
         }
 
-        // The measured parallel state-transfer time: the makespan of the
-        // round-robin schedule the worker pool executed. One worker yields
-        // the serial sum; one worker per pair yields the per-pair maximum
-        // (the paper's parallel multi-process transfer).
-        let mut load = vec![SimDuration(0); workers];
-        for (index, cost) in pair_costs.iter().enumerate() {
-            load[index % workers] = load[index % workers].saturating_add(*cost);
+        // The measured stop-the-world state-transfer time: the deterministic
+        // list-schedule makespan of the executed work-stealing run. One
+        // worker yields the serial sum; one worker per pair the per-pair
+        // maximum (the paper's parallel multi-process transfer).
+        ctx.report.timings.state_transfer = list_schedule_makespan(&pair_costs, workers);
+        Ok(())
+    }
+}
+
+/// The concurrent pre-copy phase: iterative trace-and-copy rounds executed
+/// *before* the quiescence barrier, with the old version still serving
+/// between rounds.
+///
+/// Each round (1) bumps every old process's write epoch, (2) delta-retraces
+/// and copies each pair's stale objects on the shared worker pool, (3)
+/// charges the round's makespan to the clock (concurrent time, recorded in
+/// [`UpdateTimings::precopy`](crate::runtime::report::UpdateTimings), not
+/// downtime), and (4) lets the old instance run
+/// [`PrecopyOptions::serve_rounds`](crate::runtime::controller::PrecopyOptions)
+/// scheduler rounds plus the optional [`PrecopyHook`]. Iteration stops when
+/// the freshly dirtied bytes of a round drop to the convergence threshold
+/// or the round budget is exhausted; whatever is still dirty afterwards is
+/// the residual the stop-the-world window pays for.
+pub struct PrecopyPhase;
+
+impl Phase for PrecopyPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::Precopy
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        let precopy_opts = ctx.opts.precopy;
+        if !precopy_opts.is_enabled() || ctx.pairs.is_empty() {
+            return Ok(());
         }
-        ctx.report.timings.state_transfer = load.into_iter().max().unwrap_or_default();
+        ctx.ensure_plan()?;
+        ctx.report.precopy.enabled = true;
+        ctx.pair_precopy =
+            ctx.pairs.iter().map(|_| PairPrecopyState { delta: DeltaPlan::new(), trace: None }).collect();
+        let workers = ctx.opts.effective_transfer_workers(ctx.pairs.len());
+
+        for round in 1..=precopy_opts.rounds {
+            // Start a new write epoch in every old process: everything the
+            // old version writes from here on is the next round's (or the
+            // stop-the-world window's) delta.
+            let mut uptos = Vec::with_capacity(ctx.pairs.len());
+            for &(old_pid, _) in &ctx.pairs {
+                uptos.push(ctx.kernel.advance_write_epoch(old_pid).map_err(McrError::Sim)?);
+            }
+
+            // Copy this round's stale delta, pair-parallel.
+            let outcomes = {
+                let UpdateCtx { kernel, old, new_instance, opts, pairs, plan, pair_precopy, .. } = ctx;
+                let new_instance = new_instance.as_mut().expect("pre-copy runs after reinit");
+                let old_state = &old.state;
+                let new_state = &new_instance.state;
+                let plan = plan.as_ref().expect("ensured above");
+                let split = kernel.split_pairs(pairs).map_err(McrError::Sim)?;
+                let jobs: Vec<PrecopyJob<'_>> = split
+                    .into_iter()
+                    .zip(pair_precopy.iter_mut())
+                    .zip(uptos.iter())
+                    .map(|(((old_proc, new_proc), state), &upto)| PrecopyJob {
+                        old_proc,
+                        new_proc,
+                        old_state,
+                        new_state,
+                        plan,
+                        trace: opts.trace,
+                        state,
+                        upto,
+                    })
+                    .collect();
+                run_jobs(jobs, workers, PrecopyJob::run)
+            };
+
+            // Merge in pair order; a failing round aborts the update while
+            // the old version is still live (rollback costs nothing).
+            let mut round_costs = Vec::with_capacity(ctx.pairs.len());
+            for outcome in outcomes {
+                let round_report = outcome?;
+                ctx.report.precopy.absorb_round(round, &round_report);
+                round_costs.push(round_report.cost);
+            }
+            // The round ran concurrently with the old version; charge its
+            // makespan to the shared clock (this is pre-copy time, not
+            // downtime).
+            ctx.kernel.advance_clock(list_schedule_makespan(&round_costs, workers));
+
+            // The old version keeps serving: pending traffic, timers, plus
+            // whatever the between-rounds hook injects.
+            {
+                let UpdateCtx { kernel, old, precopy_hook, .. } = ctx;
+                for _ in 0..precopy_opts.serve_rounds {
+                    let _ = run_round(kernel, old)?;
+                }
+                if let Some(hook) = precopy_hook.as_mut() {
+                    hook(kernel, old, round);
+                }
+            }
+
+            // Convergence: stop iterating once the old version dirtied at
+            // most `convergence_bytes` since this round's epoch (page
+            // granular, like the tracking itself).
+            let mut newly_dirty_bytes = 0u64;
+            for (&(old_pid, _), &upto) in ctx.pairs.iter().zip(uptos.iter()) {
+                let proc = ctx.kernel.process(old_pid).map_err(McrError::Sim)?;
+                newly_dirty_bytes += proc.space().dirty_page_count_since(upto) as u64 * PAGE_SIZE;
+            }
+            if round < precopy_opts.rounds && newly_dirty_bytes <= precopy_opts.convergence_bytes {
+                break;
+            }
+        }
         Ok(())
     }
 }

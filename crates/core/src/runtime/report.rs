@@ -6,7 +6,7 @@ use crate::interpose::InterposeStats;
 use crate::runtime::pipeline::PhaseName;
 use crate::runtime::scheduler::McrInstance;
 use crate::tracing::stats::TracingStats;
-use crate::transfer::engine::TransferSummary;
+use crate::transfer::engine::{PrecopyRoundReport, ResidualStats, TransferSummary};
 
 /// Duration and outcome of one executed pipeline phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +65,16 @@ impl PhaseTrace {
 /// Breakdown of the client-perceived update time (§8 "Update time").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UpdateTimings {
+    /// Time spent in the concurrent pre-copy phase — tracing and copying
+    /// rounds executed *while the old version kept serving traffic*. This is
+    /// not downtime; it trades total update latency for a smaller
+    /// stop-the-world window. Zero when pre-copy is disabled.
+    pub precopy: SimDuration,
+    /// The stop-the-world span: everything from the start of the quiescence
+    /// barrier to the end of the pipeline. Without pre-copy this equals
+    /// `total`; with pre-copy it shrinks to quiescence + residual transfer +
+    /// commit, the O(working set) cost the pre-copy design targets.
+    pub downtime: SimDuration,
     /// Time for the barrier protocol to park every old-version thread.
     pub quiescence: SimDuration,
     /// Time to restart the new version and complete control migration
@@ -91,6 +101,7 @@ impl UpdateTimings {
     pub(crate) fn absorb_phase(&mut self, name: PhaseName, phases: &PhaseTrace) {
         let d = phases.duration_of(name).unwrap_or_default();
         match name {
+            PhaseName::Precopy => self.precopy = d,
             PhaseName::Quiesce => self.quiescence = d,
             PhaseName::ReinitReplay => self.control_migration = d,
             PhaseName::TraceAndTransfer => {
@@ -104,11 +115,61 @@ impl UpdateTimings {
     }
 }
 
+/// Observability record of the iterative pre-copy phase of one update.
+///
+/// The summary is deliberately *excluded* from the determinism comparisons
+/// the property tests run across configurations: the whole point of
+/// pre-copy is that this concurrent work differs from a stop-the-world run
+/// while the logical transfer reports stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrecopySummary {
+    /// Whether a pre-copy phase ran at all.
+    pub enabled: bool,
+    /// Per-round copy work, merged across the process pairs in pair order.
+    pub rounds: Vec<PrecopyRoundReport>,
+    /// The residual work the stop-the-world window still had to do, summed
+    /// across pairs (equals the full transfer when pre-copy is disabled).
+    pub residual: ResidualStats,
+}
+
+impl PrecopySummary {
+    /// Total objects copied by the concurrent rounds.
+    pub fn precopied_objects(&self) -> u64 {
+        self.rounds.iter().map(|r| r.objects_copied).sum()
+    }
+
+    /// Total bytes copied by the concurrent rounds.
+    pub fn precopied_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_copied).sum()
+    }
+
+    /// Merges one pair's round report into the summary (round is 1-based).
+    pub(crate) fn absorb_round(&mut self, round: usize, report: &PrecopyRoundReport) {
+        if self.rounds.len() < round {
+            self.rounds.resize(round, PrecopyRoundReport::default());
+        }
+        let slot = &mut self.rounds[round - 1];
+        slot.objects_copied += report.objects_copied;
+        slot.bytes_copied += report.bytes_copied;
+        slot.cost = slot.cost.saturating_add(report.cost);
+    }
+
+    /// Merges one pair's residual statistics into the summary.
+    pub(crate) fn absorb_residual(&mut self, residual: &ResidualStats) {
+        self.residual.objects += residual.objects;
+        self.residual.bytes += residual.bytes;
+        self.residual.cost = self.residual.cost.saturating_add(residual.cost);
+    }
+}
+
 /// Everything MCR measured while performing (or attempting) one live update.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateReport {
     /// Timing breakdown.
     pub timings: UpdateTimings,
+    /// Pre-copy observability (rounds executed, residual left for the
+    /// stop-the-world window).
+    pub precopy: PrecopySummary,
     /// Per-phase execution trace (which phases ran, for how long, and
     /// whether they completed).
     pub phases: PhaseTrace,

@@ -81,9 +81,13 @@ pub struct TracedObject {
     pub origin: ObjectOrigin,
     /// Type, when precise information is available.
     pub type_id: Option<TypeId>,
-    /// Whether any page covering the object is soft-dirty (modified after
-    /// startup) — only dirty objects need to be transferred.
-    pub dirty: bool,
+    /// The highest write-epoch stamp of the pages covering the object: `0`
+    /// when the object is clean since startup (nothing to transfer),
+    /// `u64::MAX` when dirty tracking is disabled (everything is treated as
+    /// dirty). This is the single source of truth for dirtiness — the
+    /// pre-copy engine compares it against the epoch at which the object's
+    /// contents were last copied to decide whether a re-copy is needed.
+    pub dirty_epoch: u64,
     /// Whether the object was created during startup.
     pub startup: bool,
     /// Whether the object must keep its address in the new version
@@ -99,6 +103,11 @@ pub struct TracedObject {
 }
 
 impl TracedObject {
+    /// Whether the object was modified after startup (must be transferred).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty_epoch != 0
+    }
+
     /// End address (exclusive).
     pub fn end(&self) -> Addr {
         Addr(self.addr.0 + self.size)
@@ -147,6 +156,18 @@ impl ObjectGraph {
         self.objects.get_mut(&addr.0)
     }
 
+    /// Removes the object with this base address (delta retraces drop
+    /// objects that were freed or became unreachable).
+    pub fn remove(&mut self, addr: Addr) -> Option<TracedObject> {
+        self.objects.remove(&addr.0)
+    }
+
+    /// Keeps only the objects satisfying `pred` (the reachability sweep of a
+    /// delta retrace).
+    pub fn retain(&mut self, mut pred: impl FnMut(&TracedObject) -> bool) {
+        self.objects.retain(|_, o| pred(o));
+    }
+
     /// The object whose extent contains `addr`, if any.
     pub fn object_containing(&self, addr: Addr) -> Option<&TracedObject> {
         self.objects.range(..=addr.0).next_back().map(|(_, o)| o).filter(|o| o.contains(addr))
@@ -155,6 +176,11 @@ impl ObjectGraph {
     /// Iterates over all objects in address order.
     pub fn iter(&self) -> impl Iterator<Item = &TracedObject> {
         self.objects.values()
+    }
+
+    /// Iterates mutably over all objects in address order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut TracedObject> {
+        self.objects.values_mut()
     }
 
     /// Number of traced objects.
@@ -182,9 +208,12 @@ impl ObjectGraph {
         }
     }
 
-    /// Objects that must be transferred (dirty) in address order.
+    /// Objects that must be transferred (dirty) in address order. Dirtiness
+    /// is derived from each object's epoch stamp
+    /// ([`TracedObject::dirty_epoch`]), the same source of truth the
+    /// pre-copy delta engine uses.
     pub fn dirty_objects(&self) -> impl Iterator<Item = &TracedObject> {
-        self.objects.values().filter(|o| o.dirty)
+        self.objects.values().filter(|o| o.is_dirty())
     }
 
     /// Objects pinned at their old address.
@@ -199,7 +228,21 @@ impl ObjectGraph {
 
     /// Total bytes of dirty objects only (the state-transfer payload).
     pub fn dirty_bytes(&self) -> u64 {
-        self.objects.values().filter(|o| o.dirty).map(|o| o.size).sum()
+        self.objects.values().filter(|o| o.is_dirty()).map(|o| o.size).sum()
+    }
+
+    /// Delta retrace: re-scans only the objects whose pages were written
+    /// after epoch `since`, follows any new edges into yet-untraced objects,
+    /// sweeps objects that became unreachable, and recomputes the derived
+    /// pin flags and statistics — converging to the same graph a fresh
+    /// [`Tracer::trace`](crate::tracing::tracer::Tracer::trace) of the same
+    /// memory would produce, while visiting only the dirtied part.
+    pub fn retrace_dirty(
+        &mut self,
+        tracer: &crate::tracing::tracer::Tracer<'_>,
+        since: u64,
+    ) -> crate::tracing::stats::TracingStats {
+        tracer.retrace_dirty(self, since)
     }
 }
 
@@ -213,7 +256,7 @@ mod tests {
             size,
             origin: ObjectOrigin::Heap { site: Some("s".into()) },
             type_id: Some(TypeId(1)),
-            dirty,
+            dirty_epoch: u64::from(dirty),
             startup: true,
             immutable: false,
             non_updatable: false,
@@ -249,6 +292,23 @@ mod tests {
         assert!(g.get(Addr(0x2000)).unwrap().non_updatable);
         assert!(g.get(Addr(0x1000)).unwrap().non_updatable);
         assert!(!g.get(Addr(0x1000)).unwrap().immutable);
+    }
+
+    #[test]
+    fn dirty_epoch_is_the_single_source_of_truth() {
+        let mut o = obj(0x1000, 64, false);
+        assert!(!o.is_dirty());
+        o.dirty_epoch = 7;
+        assert!(o.is_dirty());
+        let mut g = ObjectGraph::new();
+        g.insert(o);
+        g.insert(obj(0x2000, 32, false));
+        assert_eq!(g.dirty_objects().count(), 1);
+        assert_eq!(g.dirty_bytes(), 64);
+        g.remove(Addr(0x1000));
+        assert_eq!(g.dirty_objects().count(), 0);
+        g.retain(|o| o.addr != Addr(0x2000));
+        assert!(g.is_empty());
     }
 
     #[test]

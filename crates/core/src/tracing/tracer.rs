@@ -8,10 +8,22 @@
 //! uninstrumented allocators, library state) it falls back to *conservative*
 //! scanning for likely pointers, deriving the `immutable` / `non-updatable`
 //! invariants that constrain state transfer (paper §6).
+//!
+//! # Delta tracing (pre-copy)
+//!
+//! The derived state — pin flags and [`TracingStats`] — is computed by a
+//! *finalize* pass over the finished graph rather than accumulated during
+//! the traversal. That makes tracing incremental: [`Tracer::retrace_dirty`]
+//! re-scans only the objects whose pages carry a write-epoch stamp newer
+//! than a given round, follows any new edges, sweeps unreachable objects and
+//! re-runs the same finalize pass, so an iterative pre-copy converges to a
+//! graph (and statistics) byte-identical to a fresh full trace of the same
+//! memory — while each round's cost is proportional to the working set
+//! written since the previous round, not to the whole heap.
 
 use std::collections::{BTreeSet, VecDeque};
 
-use mcr_procsim::{Addr, Kernel, Pid, Process, RegionKind, PAGE_SIZE};
+use mcr_procsim::{Addr, Kernel, Pid, Process, RegionKind};
 use mcr_typemeta::{LayoutElement, TypeId};
 
 use crate::annotations::ObjTreatment;
@@ -91,80 +103,187 @@ impl<'a> Tracer<'a> {
     /// Runs the traversal from the root set.
     pub fn trace(&self) -> TraceResult {
         let mut graph = ObjectGraph::new();
-        let mut stats = TracingStats::default();
         let mut worklist: VecDeque<(Addr, Option<TypeId>)> = VecDeque::new();
         let mut enqueued: BTreeSet<u64> = BTreeSet::new();
-        // Objects that conservative scanning requires to be pinned.
-        let mut pin_immutable: Vec<Addr> = Vec::new();
-        let mut pin_non_updatable: Vec<Addr> = Vec::new();
-
         for root in self.state.statics.roots() {
             worklist.push_back((root.addr, Some(root.ty)));
             enqueued.insert(root.addr.0);
         }
+        self.traverse(&mut graph, worklist, &mut enqueued);
+        let stats = self.finalize(&mut graph);
+        TraceResult { graph, stats }
+    }
 
-        while let Some((addr, declared_ty)) = worklist.pop_front() {
-            let Some(resolved) = self.resolve_object(addr) else { continue };
-            if graph.contains(resolved.base) {
-                continue;
-            }
-            let type_id = resolved.type_id.or(if addr == resolved.base { declared_ty } else { None });
-            let dirty = if self.options.use_dirty_tracking {
-                self.range_dirty(resolved.base, resolved.size)
-            } else {
-                true
+    /// Delta retrace over an existing graph: re-scans only the objects whose
+    /// covering pages were written after epoch `since`, follows new edges
+    /// into yet-untraced objects, drops objects that were freed or became
+    /// unreachable, and recomputes pins and statistics with the same
+    /// finalize pass a fresh trace uses.
+    ///
+    /// Staleness is detected through page write-epochs, so a free is only
+    /// noticed if it (or the unlinking store) touched the object's pages:
+    /// `PtMalloc::free` writes free-list metadata into the payload (as real
+    /// ptmalloc does), which covers heap objects; *pool/slab* objects freed
+    /// without any store and still referenced by a dangling pointer can
+    /// survive a retrace that a fresh trace would re-resolve differently.
+    pub fn retrace_dirty(&self, graph: &mut ObjectGraph, since: u64) -> TracingStats {
+        let stale: Vec<Addr> = graph
+            .iter()
+            .filter(|o| {
+                let epoch = self.object_dirty_epoch(o.addr, o.size);
+                epoch == u64::MAX || epoch > since
+            })
+            .map(|o| o.addr)
+            .collect();
+        let mut worklist: VecDeque<(Addr, Option<TypeId>)> = VecDeque::new();
+        let mut enqueued: BTreeSet<u64> = graph.iter().map(|o| o.addr.0).collect();
+        for addr in stale {
+            let prev_ty = graph.get(addr).and_then(|o| o.type_id);
+            // An object whose backing chunk was freed (or replaced by an
+            // allocation with a different base) no longer resolves to the
+            // same base; drop it — the sweep below catches dangling edges.
+            let resolved = match self.resolve_object(addr) {
+                Some(r) if r.base == addr => r,
+                _ => {
+                    graph.remove(addr);
+                    enqueued.remove(&addr.0);
+                    continue;
+                }
             };
+            // Declared root/pointee types are sticky: a fresh trace would
+            // re-derive them from the (unchanged) pointer declarations.
+            let type_id = resolved.type_id.or(prev_ty);
             let mut traced = TracedObject {
                 addr: resolved.base,
                 size: resolved.size,
                 origin: resolved.origin,
                 type_id,
-                dirty,
+                dirty_epoch: self.object_dirty_epoch(resolved.base, resolved.size),
                 startup: resolved.startup,
                 immutable: false,
                 non_updatable: false,
                 precise_pointers: Vec::new(),
                 likely_pointers: Vec::new(),
             };
-
-            self.scan_object(
-                &mut traced,
-                &mut stats,
-                &mut worklist,
-                &mut enqueued,
-                &mut pin_immutable,
-                &mut pin_non_updatable,
-            );
+            self.scan_object(&mut traced, &mut worklist, &mut enqueued);
             graph.insert(traced);
         }
+        self.traverse(graph, worklist, &mut enqueued);
+        self.sweep(graph);
+        self.finalize(graph)
+    }
 
-        for addr in pin_immutable {
+    /// Drains the worklist: resolves each enqueued address into an object,
+    /// scans it for outgoing edges (which may enqueue further addresses) and
+    /// inserts it into the graph.
+    fn traverse(
+        &self,
+        graph: &mut ObjectGraph,
+        mut worklist: VecDeque<(Addr, Option<TypeId>)>,
+        enqueued: &mut BTreeSet<u64>,
+    ) {
+        while let Some((addr, declared_ty)) = worklist.pop_front() {
+            let Some(resolved) = self.resolve_object(addr) else { continue };
+            if graph.contains(resolved.base) {
+                continue;
+            }
+            let type_id = resolved.type_id.or(if addr == resolved.base { declared_ty } else { None });
+            let mut traced = TracedObject {
+                addr: resolved.base,
+                size: resolved.size,
+                origin: resolved.origin,
+                type_id,
+                dirty_epoch: self.object_dirty_epoch(resolved.base, resolved.size),
+                startup: resolved.startup,
+                immutable: false,
+                non_updatable: false,
+                precise_pointers: Vec::new(),
+                likely_pointers: Vec::new(),
+            };
+            self.scan_object(&mut traced, &mut worklist, enqueued);
+            graph.insert(traced);
+        }
+    }
+
+    /// Reachability sweep for delta retraces: keeps only the objects a fresh
+    /// traversal from the roots would reach over the current edges.
+    fn sweep(&self, graph: &mut ObjectGraph) {
+        let mut reached: BTreeSet<u64> = BTreeSet::new();
+        let mut stack: Vec<u64> = Vec::new();
+        for root in self.state.statics.roots() {
+            if let Some(r) = self.resolve_object(root.addr) {
+                if graph.contains(r.base) && reached.insert(r.base.0) {
+                    stack.push(r.base.0);
+                }
+            }
+        }
+        while let Some(base) = stack.pop() {
+            let Some(obj) = graph.get(Addr(base)) else { continue };
+            for edge in obj.precise_pointers.iter() {
+                let follow =
+                    self.region_class_of(edge.target) != RegionClass::Lib || self.options.trace_libraries;
+                if follow && graph.contains(edge.target_base) && reached.insert(edge.target_base.0) {
+                    stack.push(edge.target_base.0);
+                }
+            }
+            for edge in obj.likely_pointers.iter() {
+                if self.region_class_of(edge.target) != RegionClass::Lib
+                    && graph.contains(edge.target_base)
+                    && reached.insert(edge.target_base.0)
+                {
+                    stack.push(edge.target_base.0);
+                }
+            }
+        }
+        graph.retain(|o| reached.contains(&o.addr.0));
+    }
+
+    /// Recomputes everything derived from the graph's edges — conservative
+    /// pins, non-updatability, and the Table 2 statistics. Both the full
+    /// trace and delta retraces end here, which is what guarantees that an
+    /// incrementally maintained graph reports exactly like a fresh one.
+    fn finalize(&self, graph: &mut ObjectGraph) -> TracingStats {
+        for obj in graph.iter_mut() {
+            obj.immutable = false;
+            // An object containing likely pointers cannot be safely
+            // type-transformed (its layout interpretation is ambiguous).
+            obj.non_updatable = !obj.likely_pointers.is_empty();
+        }
+        let mut pins: Vec<Addr> = Vec::new();
+        let mut stats = TracingStats::default();
+        for obj in graph.iter() {
+            let src_class = self.region_class_of(obj.addr);
+            for edge in obj.precise_pointers.iter() {
+                stats.precise.record(src_class, self.region_class_of(edge.target));
+            }
+            for edge in obj.likely_pointers.iter() {
+                let targ_class = self.region_class_of(edge.target);
+                stats.likely.record(src_class, targ_class);
+                if targ_class != RegionClass::Lib {
+                    // The conservatively-referenced target can no longer be
+                    // relocated or type-transformed.
+                    pins.push(edge.target_base);
+                }
+            }
+        }
+        for addr in pins {
             graph.mark_immutable(addr);
         }
-        for addr in pin_non_updatable {
-            graph.mark_non_updatable(addr);
-        }
-
         stats.objects_traced = graph.len() as u64;
         stats.immutable_objects = graph.immutable_objects().count() as u64;
         stats.non_updatable_objects = graph.iter().filter(|o| o.non_updatable).count() as u64;
         stats.dirty_objects = graph.dirty_objects().count() as u64;
         stats.traced_bytes = graph.total_bytes();
         stats.dirty_bytes = graph.dirty_bytes();
-        TraceResult { graph, stats }
+        stats
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn scan_object(
         &self,
         traced: &mut TracedObject,
-        stats: &mut TracingStats,
         worklist: &mut VecDeque<(Addr, Option<TypeId>)>,
         enqueued: &mut BTreeSet<u64>,
-        pin_immutable: &mut Vec<Addr>,
-        pin_non_updatable: &mut Vec<Addr>,
     ) {
-        let src_class = self.region_class_of(traced.addr);
         let treatment = match &traced.origin {
             ObjectOrigin::Static { symbol } => self.state.annotations.obj_treatment(symbol).cloned(),
             _ => None,
@@ -209,24 +328,12 @@ impl<'a> Tracer<'a> {
                                     base_off + offset,
                                     Some(*to),
                                     mask_bits,
-                                    src_class,
-                                    stats,
                                     worklist,
                                     enqueued,
                                 );
                             }
                             LayoutElement::Opaque { offset, len } => {
-                                self.scan_conservative(
-                                    traced,
-                                    base_off + offset,
-                                    *len,
-                                    src_class,
-                                    stats,
-                                    worklist,
-                                    enqueued,
-                                    pin_immutable,
-                                    pin_non_updatable,
-                                );
+                                self.scan_conservative(traced, base_off + offset, *len, worklist, enqueued);
                             }
                             LayoutElement::Scalar { .. } => {}
                         }
@@ -235,34 +342,21 @@ impl<'a> Tracer<'a> {
             }
             Plan::PointerSlots(offsets) => {
                 for off in offsets {
-                    self.follow_precise(traced, off, None, mask_bits, src_class, stats, worklist, enqueued);
+                    self.follow_precise(traced, off, None, mask_bits, worklist, enqueued);
                 }
             }
             Plan::Conservative => {
-                self.scan_conservative(
-                    traced,
-                    0,
-                    traced.size,
-                    src_class,
-                    stats,
-                    worklist,
-                    enqueued,
-                    pin_immutable,
-                    pin_non_updatable,
-                );
+                self.scan_conservative(traced, 0, traced.size, worklist, enqueued);
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn follow_precise(
         &self,
         traced: &mut TracedObject,
         offset: u64,
         pointee: Option<TypeId>,
         mask_bits: u32,
-        src_class: RegionClass,
-        stats: &mut TracingStats,
         worklist: &mut VecDeque<(Addr, Option<TypeId>)>,
         enqueued: &mut BTreeSet<u64>,
     ) {
@@ -282,7 +376,6 @@ impl<'a> Tracer<'a> {
             return;
         }
         let targ_class = self.region_class_of(target);
-        stats.precise.record(src_class, targ_class);
         let target_base = self.resolve_object(target).map(|r| r.base).unwrap_or(target);
         traced.precise_pointers.push(PointerEdge { offset, target, target_base, masked_bits });
         let follow_lib = targ_class != RegionClass::Lib || self.options.trace_libraries;
@@ -291,53 +384,37 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn scan_conservative(
         &self,
         traced: &mut TracedObject,
         offset: u64,
         len: u64,
-        src_class: RegionClass,
-        stats: &mut TracingStats,
         worklist: &mut VecDeque<(Addr, Option<TypeId>)>,
         enqueued: &mut BTreeSet<u64>,
-        pin_immutable: &mut Vec<Addr>,
-        pin_non_updatable: &mut Vec<Addr>,
     ) {
         let start = offset.div_ceil(8) * 8;
         let end = (offset + len).min(traced.size);
-        let mut found_any = false;
         let mut word = start;
         while word + 8 <= end {
             let slot = traced.addr.offset(word);
             if let Ok(raw) = self.process.space().read_u64(slot) {
                 if let Some(target_base) = self.validate_likely_pointer(Addr(raw)) {
-                    found_any = true;
                     let targ_class = self.region_class_of(Addr(raw));
-                    stats.likely.record(src_class, targ_class);
                     traced.likely_pointers.push(PointerEdge {
                         offset: word,
                         target: Addr(raw),
                         target_base,
                         masked_bits: 0,
                     });
-                    if targ_class != RegionClass::Lib {
-                        // The pointed-to object can no longer be relocated or
-                        // type-transformed.
-                        pin_immutable.push(target_base);
-                        if enqueued.insert(target_base.0) {
-                            worklist.push_back((target_base, None));
-                        }
+                    // Pinning (and the non-updatable flag) is derived from
+                    // these edges by the finalize pass; the traversal only
+                    // needs to keep following reachable targets.
+                    if targ_class != RegionClass::Lib && enqueued.insert(target_base.0) {
+                        worklist.push_back((target_base, None));
                     }
                 }
             }
             word += 8;
-        }
-        if found_any {
-            // An object containing likely pointers cannot be safely
-            // type-transformed (its layout interpretation is ambiguous).
-            traced.non_updatable = true;
-            pin_non_updatable.push(traced.addr);
         }
     }
 
@@ -361,16 +438,15 @@ impl<'a> Tracer<'a> {
             .unwrap_or(RegionClass::Dynamic)
     }
 
-    fn range_dirty(&self, base: Addr, size: u64) -> bool {
-        let mut page = base.page_base();
-        let end = base.0 + size.max(1);
-        while page.0 < end {
-            if self.process.space().is_dirty(page) {
-                return true;
-            }
-            page = page.offset(PAGE_SIZE);
+    /// The dirty stamp mutable tracing records on an object: the highest
+    /// write epoch of its covering pages, or `u64::MAX` when dirty tracking
+    /// is disabled (every object is then treated as dirty and as stale in
+    /// every pre-copy round).
+    fn object_dirty_epoch(&self, base: Addr, size: u64) -> u64 {
+        if !self.options.use_dirty_tracking {
+            return u64::MAX;
         }
-        false
+        self.process.space().range_dirty_epoch(base, size)
     }
 
     fn resolve_object(&self, addr: Addr) -> Option<ResolvedObject> {
@@ -571,14 +647,14 @@ mod tests {
         assert_eq!(conf_obj.precise_pointers.len(), 1);
         assert_eq!(conf_obj.precise_pointers[0].target_base, heap_conf);
         assert!(graph.get(heap_conf).is_some());
-        assert!(!graph.get(heap_conf).unwrap().dirty, "config untouched after startup");
+        assert!(!graph.get(heap_conf).unwrap().is_dirty(), "config untouched after startup");
 
         // list.next -> node followed precisely; node is dirty.
         let list_obj = graph.get(list_global).expect("list traced");
         assert_eq!(list_obj.precise_pointers.len(), 1);
         assert_eq!(list_obj.precise_pointers[0].offset, 8);
         let node_obj = graph.get(node1).expect("node traced");
-        assert!(node_obj.dirty);
+        assert!(node_obj.is_dirty());
 
         // b scanned conservatively: hidden array pinned immutable.
         let b_obj = graph.get(b_global).expect("b traced");
@@ -595,6 +671,56 @@ mod tests {
         assert!(result.stats.objects_traced >= 6);
         assert!(result.stats.dirty_objects >= 1);
         assert!(result.stats.dirty_reduction() > 0.0);
+    }
+
+    /// Delta retrace converges to the same graph and statistics as a fresh
+    /// full trace of the same memory, while only revisiting dirtied objects.
+    #[test]
+    fn retrace_dirty_matches_fresh_trace() {
+        let (mut kernel, mut state, pid) = listing1();
+        build_types(&mut state);
+        let tid = kernel.process(pid).unwrap().main_tid();
+        let (list_global, node1, node2);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut state, pid, tid, "main");
+            list_global = env.define_global("list", "l_t").unwrap();
+            node1 = env.alloc("l_t", "handle_event:node").unwrap();
+            node2 = env.alloc("l_t", "handle_event:node").unwrap();
+            env.write_u32(node1, 1).unwrap();
+            env.write_ptr(list_global.offset(8), node1).unwrap();
+        }
+        kernel.process_mut(pid).unwrap().space_mut().clear_soft_dirty();
+
+        let mut result = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        assert!(result.graph.get(node2).is_none(), "unlinked node is unreachable");
+        let since = kernel.process_mut(pid).unwrap().space_mut().advance_write_epoch();
+
+        // Mutate after the epoch: bump a value and link the second node.
+        {
+            let space = kernel.process_mut(pid).unwrap().space_mut();
+            space.write_u32(node1, 2).unwrap();
+            space.write_u64(node1.offset(8), node2.0).unwrap();
+        }
+
+        let tracer = Tracer::new(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        result.stats = result.graph.retrace_dirty(&tracer, since);
+        let fresh = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+
+        assert_eq!(result.stats, fresh.stats, "retraced statistics diverged from a fresh trace");
+        let incremental: Vec<_> = result.graph.iter().collect();
+        let scratch: Vec<_> = fresh.graph.iter().collect();
+        assert_eq!(incremental, scratch, "retraced graph diverged from a fresh trace");
+        assert!(result.graph.get(node2).is_some(), "newly linked node was discovered");
+        assert!(result.graph.get(node1).unwrap().dirty_epoch > since);
+
+        // Unlink node2 again: the next retrace sweeps it.
+        let since2 = kernel.process_mut(pid).unwrap().space_mut().advance_write_epoch();
+        kernel.process_mut(pid).unwrap().space_mut().write_u64(node1.offset(8), 0).unwrap();
+        let tracer = Tracer::new(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        result.stats = result.graph.retrace_dirty(&tracer, since2);
+        assert!(result.graph.get(node2).is_none(), "unreachable node was swept");
+        let fresh = trace_process(&kernel, &state, pid, TraceOptions::default()).unwrap();
+        assert_eq!(result.stats, fresh.stats);
     }
 
     #[test]

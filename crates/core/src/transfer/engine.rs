@@ -19,8 +19,25 @@
 //! pair-parallel transfer phase; [`transfer_between`] itself only touches
 //! the two processes of one matched pair, which is what makes the phase
 //! safely parallel.
+//!
+//! # Pre-copy delta transfer
+//!
+//! The engine is *resumable*: a [`DeltaPlan`] records, per matched pair, the
+//! placement of every old object in the new version (which startup chunk it
+//! matched, which fresh allocation it received, whether it is pinned) plus
+//! the dirty-epoch stamp of the contents last copied. The iterative pre-copy
+//! phase calls [`precopy_transfer_round`] once per round while the old
+//! version keeps serving: only objects whose dirty epoch exceeds their
+//! copied-at stamp are (re-)copied, and placements are made at most once.
+//! After quiescence [`transfer_residual`] runs the same passes a plain
+//! stop-the-world [`transfer_between`] would run — it re-emits every write
+//! and the full logical report, so reports, conflicts and resulting memory
+//! are byte-identical to the no-pre-copy baseline — but it *charges* only
+//! the residual set that was still stale when the world stopped, which is
+//! what shrinks downtime from O(heap) to O(working set).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mcr_procsim::{Addr, AllocSite, Kernel, Pid, Process, SimDuration, TypeTag};
@@ -59,6 +76,12 @@ pub struct TransferContext {
     new_sites: BTreeMap<u64, Sym>,
     /// Old-version type id → bridge to the new version.
     types: BTreeMap<u64, TypeBridge>,
+    /// Mid-phase fault injection: abort instead of performing the n-th
+    /// object write (1-based, counted across every pair and every pre-copy
+    /// round of the update).
+    object_fault: Option<u64>,
+    /// Object writes performed so far (shared across transfer workers).
+    writes: AtomicU64,
 }
 
 impl TransferContext {
@@ -91,7 +114,25 @@ impl TransferContext {
                 },
             );
         }
-        TransferContext { syms, new_sites, types }
+        TransferContext { syms, new_sites, types, object_fault: None, writes: AtomicU64::new(0) }
+    }
+
+    /// Arms the mid-phase fault trigger: the update aborts right before the
+    /// `nth` (1-based) object write it would otherwise perform — whether
+    /// that write happens during a pre-copy round or in the stop-the-world
+    /// window. `None` disarms the trigger.
+    #[must_use]
+    pub fn with_object_fault(mut self, nth: Option<u64>) -> Self {
+        self.object_fault = nth;
+        self
+    }
+
+    /// Counts one object write; true when the armed fault must fire now.
+    fn object_write_fires_fault(&self) -> bool {
+        match self.object_fault {
+            None => false,
+            Some(n) => self.writes.fetch_add(1, Ordering::Relaxed) + 1 == n,
+        }
     }
 
     /// The bridge for an old-version type id, if the type is registered.
@@ -125,6 +166,76 @@ enum Placement {
     Fresh(Addr),
     /// Pinned at the old address (immutable object).
     Pinned(Addr),
+}
+
+/// One pre-copy round's work, per process pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecopyRoundReport {
+    /// Objects copied (or re-copied) this round.
+    pub objects_copied: u64,
+    /// Bytes written into the new version this round.
+    pub bytes_copied: u64,
+    /// Simulated cost of this round's copies (charged concurrently, while
+    /// the old version keeps serving).
+    pub cost: SimDuration,
+}
+
+/// Residual work left for the stop-the-world window after pre-copy: the
+/// objects that were still stale (dirtied after their last copy, or never
+/// copied) when the world stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidualStats {
+    /// Stale objects the window had to copy.
+    pub objects: u64,
+    /// Stale bytes the window had to copy.
+    pub bytes: u64,
+    /// Simulated cost of the residual copies — the part of state transfer
+    /// that counts toward downtime. Without pre-copy this equals the full
+    /// per-pair transfer duration.
+    pub cost: SimDuration,
+}
+
+/// The resumable per-pair state of an iterative pre-copy transfer.
+///
+/// The plan makes the engine idempotent across rounds: placements (matched
+/// startup chunks, fresh allocations, pinned addresses) are decided at most
+/// once per object and reused verbatim afterwards, and `copied_at` remembers
+/// the dirty-epoch stamp of the contents last written, so a round copies
+/// exactly the objects dirtied since their previous copy. A fresh plan run
+/// straight through [`transfer_residual`] reproduces the classic
+/// stop-the-world transfer bit for bit.
+#[derive(Debug, Default)]
+pub struct DeltaPlan {
+    /// Epoch through which the pair's object graph has been retraced (the
+    /// `since` argument of the next delta retrace).
+    pub traced_upto: u64,
+    /// Old base address → recorded placement.
+    placed: BTreeMap<u64, Placement>,
+    /// Old base address → dirty stamp of the contents last copied.
+    copied_at: BTreeMap<u64, u64>,
+    /// Unconsumed startup-time chunks of the new version, by interned
+    /// allocation site (consumed exactly once across all rounds).
+    site_index: Option<BTreeMap<Sym, VecDeque<Addr>>>,
+}
+
+impl DeltaPlan {
+    /// A fresh plan (nothing placed, nothing copied).
+    pub fn new() -> Self {
+        DeltaPlan::default()
+    }
+}
+
+/// Whether a core run copies only the stale delta (a concurrent pre-copy
+/// round) or re-emits everything for the stop-the-world window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyMode {
+    /// Concurrent round: copy stale objects only; conflicts are *not*
+    /// recorded (the final pass re-detects and reports them), failed
+    /// placements are simply left for the window.
+    Round,
+    /// Stop-the-world: write every transferable object (byte-identical
+    /// memory and reports to a no-pre-copy run) but charge only the residual.
+    Final,
 }
 
 /// Per-process state-transfer report.
@@ -217,6 +328,15 @@ struct WorkItem {
     transform_key: Option<Arc<str>>,
     mask_bits: u32,
     raw_copy: bool,
+    dirty_epoch: u64,
+    stale: bool,
+}
+
+/// What one core run produced (the relevant part depends on the mode).
+struct TransferOutcome {
+    report: ProcessTransferReport,
+    residual: ResidualStats,
+    round: PrecopyRoundReport,
 }
 
 /// Transfers the traced state of `old_pid` into `new_pid`.
@@ -271,43 +391,125 @@ pub fn transfer_between(
     new_state: &InstanceState,
     trace: &TraceResult,
 ) -> McrResult<ProcessTransferReport> {
+    let mut delta = DeltaPlan::new();
+    let (report, _residual) =
+        transfer_residual(plan, &mut delta, old_proc, old_state, new_proc, new_state, trace)?;
+    Ok(report)
+}
+
+/// One concurrent pre-copy round over a matched pair: places and copies only
+/// the objects that are stale with respect to `delta` (never copied, or
+/// dirtied since their last copy). Conflicts are not reported here — the
+/// stop-the-world pass re-detects them so a pre-copied update aborts with
+/// exactly the conflicts a stop-the-world update would report.
+///
+/// # Errors
+///
+/// Returns simulator errors for unexpected memory failures and the armed
+/// [`TransferContext::with_object_fault`] fault.
+pub fn precopy_transfer_round(
+    plan: &TransferContext,
+    delta: &mut DeltaPlan,
+    old_proc: &Process,
+    old_state: &InstanceState,
+    new_proc: &mut Process,
+    new_state: &InstanceState,
+    trace: &TraceResult,
+) -> McrResult<PrecopyRoundReport> {
+    let outcome =
+        run_transfer(plan, delta, CopyMode::Round, old_proc, old_state, new_proc, new_state, trace)?;
+    Ok(outcome.round)
+}
+
+/// The stop-the-world pass of a pre-copied transfer: runs the full transfer
+/// over the final (quiescent) object graph, reusing every placement `delta`
+/// recorded, and re-emits every write — so the resulting memory, the
+/// [`ProcessTransferReport`] and its conflicts are byte-identical to a plain
+/// [`transfer_between`] of the same graph. The returned [`ResidualStats`]
+/// cover only the objects that were still stale when the world stopped;
+/// their cost is what the caller charges as downtime.
+///
+/// # Errors
+///
+/// Returns simulator errors for unexpected memory failures; conflicts land
+/// in the report.
+pub fn transfer_residual(
+    plan: &TransferContext,
+    delta: &mut DeltaPlan,
+    old_proc: &Process,
+    old_state: &InstanceState,
+    new_proc: &mut Process,
+    new_state: &InstanceState,
+    trace: &TraceResult,
+) -> McrResult<(ProcessTransferReport, ResidualStats)> {
+    let outcome =
+        run_transfer(plan, delta, CopyMode::Final, old_proc, old_state, new_proc, new_state, trace)?;
+    Ok((outcome.report, outcome.residual))
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_transfer(
+    plan: &TransferContext,
+    delta: &mut DeltaPlan,
+    mode: CopyMode,
+    old_proc: &Process,
+    old_state: &InstanceState,
+    new_proc: &mut Process,
+    new_state: &InstanceState,
+    trace: &TraceResult,
+) -> McrResult<TransferOutcome> {
     let mut report = ProcessTransferReport::default();
+    let mut residual = ResidualStats::default();
+    let mut round = PrecopyRoundReport::default();
+    let final_mode = mode == CopyMode::Final;
     let graph = &trace.graph;
 
     // ------------------------------------------------------------------
-    // Pass 1 (read-only): index the new version's startup-time heap chunks
-    // by interned allocation-site id so old startup objects can be matched.
+    // Pass 1 (read-only, once per plan): index the new version's
+    // startup-time heap chunks by interned allocation-site id so old startup
+    // objects can be matched. The index lives in the delta plan so the
+    // queues are consumed exactly once across all pre-copy rounds.
     // ------------------------------------------------------------------
-    let mut site_index: BTreeMap<Sym, VecDeque<Addr>> = BTreeMap::new();
-    if let Some(heap) = new_proc.heap() {
-        for chunk in heap.live_chunks(new_proc.space()) {
-            if !chunk.startup {
-                continue;
-            }
-            if let Some(sym) = plan.new_site_sym(chunk.site) {
-                site_index.entry(sym).or_default().push_back(chunk.payload);
+    if delta.site_index.is_none() {
+        let mut site_index: BTreeMap<Sym, VecDeque<Addr>> = BTreeMap::new();
+        if let Some(heap) = new_proc.heap() {
+            for chunk in heap.live_chunks(new_proc.space()) {
+                if !chunk.startup {
+                    continue;
+                }
+                if let Some(sym) = plan.new_site_sym(chunk.site) {
+                    site_index.entry(sym).or_default().push_back(chunk.payload);
+                }
             }
         }
+        delta.site_index = Some(site_index);
     }
 
     // ------------------------------------------------------------------
-    // Pass 2: placement decisions and conflict detection.
+    // Pass 2: placement decisions and conflict detection. Placements are
+    // looked up in the delta plan first — an object placed by an earlier
+    // round keeps its slot, so pre-copied contents stay valid and pointer
+    // rewriting is stable across rounds.
     // ------------------------------------------------------------------
     struct Planned {
         old_base: Addr,
         placement: Placement,
         write_contents: bool,
+        stale: bool,
         old_ty: Option<TypeId>,
         new_ty: Option<TypeId>,
         transform_key: Option<Arc<str>>,
         mask_bits: u32,
         raw_copy: bool,
         size: u64,
+        dirty_epoch: u64,
     }
     let mut planned: Vec<Planned> = Vec::new();
     // Regions that must exist in the new process to host pinned objects.
     let mut needed_regions: Vec<(Addr, u64, String)> = Vec::new();
     {
+        let DeltaPlan { placed, copied_at, site_index, .. } = &mut *delta;
+        let site_index = site_index.as_mut().expect("built above");
         for obj in graph.iter() {
             // Library state is not transferred by default.
             if matches!(obj.origin, ObjectOrigin::Lib { .. }) {
@@ -334,15 +536,19 @@ pub fn transfer_between(
             let bridge = old_ty.and_then(|t| plan.bridge(t));
             let new_ty = bridge.and_then(|b| b.new_ty);
             let type_changed = old_ty.is_some() && !bridge.map(|b| b.layout_compatible).unwrap_or(false);
-            if type_changed && obj.non_updatable && obj.dirty {
-                report.conflicts.push(Conflict::NonUpdatableObjectChanged {
-                    object: obj.origin.describe(),
-                    old_type: bridge.map(|b| b.old_name.to_string()).unwrap_or_else(|| "<untyped>".into()),
-                    new_type: new_ty
-                        .and_then(|t| new_state.types.get(t))
-                        .map(|d| d.name.to_string())
-                        .unwrap_or_else(|| "<missing>".into()),
-                });
+            if type_changed && obj.non_updatable && obj.is_dirty() {
+                if final_mode {
+                    report.conflicts.push(Conflict::NonUpdatableObjectChanged {
+                        object: obj.origin.describe(),
+                        old_type: bridge
+                            .map(|b| b.old_name.to_string())
+                            .unwrap_or_else(|| "<untyped>".into()),
+                        new_type: new_ty
+                            .and_then(|t| new_state.types.get(t))
+                            .map(|d| d.name.to_string())
+                            .unwrap_or_else(|| "<missing>".into()),
+                    });
+                }
                 continue;
             }
 
@@ -364,37 +570,48 @@ pub fn transfer_between(
                 .map(Arc::clone)
                 .or_else(|| bridge.filter(|b| b.has_type_transform).map(|b| Arc::clone(&b.old_name)));
 
-            let placement = match &obj.origin {
-                ObjectOrigin::Static { symbol } => match new_state.statics.lookup(symbol) {
-                    Some(new_obj) => Placement::Existing(new_obj.addr),
-                    None => {
-                        if obj.dirty {
-                            report
-                                .conflicts
-                                .push(Conflict::MissingCounterpart { object: obj.origin.describe() });
+            let placement = match placed.get(&obj.addr.0) {
+                Some(recorded) => *recorded,
+                None => {
+                    let decided = match &obj.origin {
+                        ObjectOrigin::Static { symbol } => match new_state.statics.lookup(symbol) {
+                            Some(new_obj) => Placement::Existing(new_obj.addr),
+                            None => {
+                                if final_mode && obj.is_dirty() {
+                                    report
+                                        .conflicts
+                                        .push(Conflict::MissingCounterpart { object: obj.origin.describe() });
+                                }
+                                continue;
+                            }
+                        },
+                        ObjectOrigin::Mmap => Placement::Pinned(obj.addr),
+                        ObjectOrigin::Heap { .. } | ObjectOrigin::Pool { .. } => {
+                            if obj.immutable {
+                                Placement::Pinned(obj.addr)
+                            } else if obj.startup {
+                                match site_name
+                                    .as_ref()
+                                    .and_then(|n| plan.site_sym(n))
+                                    .and_then(|sym| site_index.get_mut(&sym))
+                                    .and_then(|q| q.pop_front())
+                                {
+                                    Some(addr) => Placement::Existing(addr),
+                                    None => Placement::Fresh(Addr::NULL),
+                                }
+                            } else {
+                                Placement::Fresh(Addr::NULL)
+                            }
                         }
-                        continue;
+                        ObjectOrigin::Lib { .. } => continue,
+                    };
+                    // Fresh placements are recorded after allocation below;
+                    // resolved slots are recorded right away.
+                    if !matches!(decided, Placement::Fresh(_)) {
+                        placed.insert(obj.addr.0, decided);
                     }
-                },
-                ObjectOrigin::Mmap => Placement::Pinned(obj.addr),
-                ObjectOrigin::Heap { .. } | ObjectOrigin::Pool { .. } => {
-                    if obj.immutable {
-                        Placement::Pinned(obj.addr)
-                    } else if obj.startup {
-                        match site_name
-                            .as_ref()
-                            .and_then(|n| plan.site_sym(n))
-                            .and_then(|sym| site_index.get_mut(&sym))
-                            .and_then(|q| q.pop_front())
-                        {
-                            Some(addr) => Placement::Existing(addr),
-                            None => Placement::Fresh(Addr::NULL),
-                        }
-                    } else {
-                        Placement::Fresh(Addr::NULL)
-                    }
+                    decided
                 }
-                ObjectOrigin::Lib { .. } => continue,
             };
 
             if let Placement::Pinned(addr) = placement {
@@ -409,21 +626,29 @@ pub fn transfer_between(
                 }
             }
 
-            let write_contents = obj.dirty || obj.immutable || matches!(placement, Placement::Fresh(_));
-            if !write_contents {
+            let write_contents = obj.is_dirty() || obj.immutable || matches!(placement, Placement::Fresh(_));
+            if final_mode && !write_contents {
                 report.objects_skipped_clean += 1;
             }
             let raw_copy = obj.non_updatable || old_ty.is_none();
+            let stale = match copied_at.get(&obj.addr.0) {
+                None => true,
+                // Dirty tracking disabled: everything is always stale.
+                Some(_) if obj.dirty_epoch == u64::MAX => true,
+                Some(&copied) => obj.dirty_epoch > copied,
+            };
             planned.push(Planned {
                 old_base: obj.addr,
                 placement,
                 write_contents,
+                stale,
                 old_ty,
                 new_ty,
                 transform_key,
                 mask_bits,
                 raw_copy,
                 size: obj.size,
+                dirty_epoch: obj.dirty_epoch,
             });
         }
     }
@@ -441,10 +666,12 @@ pub fn transfer_between(
             }
             let kind = mcr_procsim::RegionKind::Heap;
             if let Err(e) = new_proc.space_mut().map_region(base, size, kind, name) {
-                report.conflicts.push(Conflict::ImmutablePlacementFailed {
-                    object: format!("region {base}"),
-                    detail: e.to_string(),
-                });
+                if final_mode {
+                    report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                        object: format!("region {base}"),
+                        detail: e.to_string(),
+                    });
+                }
             }
             mapped.insert(base.0);
         }
@@ -453,7 +680,16 @@ pub fn transfer_between(
         let new_base = match p.placement {
             Placement::Existing(addr) => addr,
             Placement::Pinned(addr) => {
-                report.objects_pinned += 1;
+                if final_mode {
+                    report.objects_pinned += 1;
+                }
+                addr
+            }
+            Placement::Fresh(addr) if !addr.is_null() => {
+                // Allocated by an earlier pre-copy round.
+                if final_mode {
+                    report.objects_allocated += 1;
+                }
                 addr
             }
             Placement::Fresh(_) => {
@@ -464,15 +700,20 @@ pub fn transfer_between(
                 let (space, heap) = new_proc.space_and_heap_mut().map_err(McrError::Sim)?;
                 match heap.malloc(space, size.max(1), site, tag) {
                     Ok(addr) => {
-                        report.objects_allocated += 1;
+                        if final_mode {
+                            report.objects_allocated += 1;
+                        }
                         p.placement = Placement::Fresh(addr);
+                        delta.placed.insert(p.old_base.0, Placement::Fresh(addr));
                         addr
                     }
                     Err(e) => {
-                        report.conflicts.push(Conflict::ImmutablePlacementFailed {
-                            object: format!("heap object at {}", p.old_base),
-                            detail: e.to_string(),
-                        });
+                        if final_mode {
+                            report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                                object: format!("heap object at {}", p.old_base),
+                                detail: e.to_string(),
+                            });
+                        }
                         continue;
                     }
                 }
@@ -483,12 +724,15 @@ pub fn transfer_between(
 
     // ------------------------------------------------------------------
     // Pass 4 (read-only on the old process): snapshot the bytes of every
-    // object whose contents must be written.
+    // object whose contents must be written in this mode — everything
+    // transferable for the stop-the-world pass, only the stale delta for a
+    // concurrent pre-copy round.
     // ------------------------------------------------------------------
     let mut work: Vec<WorkItem> = Vec::new();
     {
         for p in &planned {
-            if !p.write_contents {
+            let write_now = p.write_contents && (final_mode || p.stale);
+            if !write_now {
                 continue;
             }
             let Some(&new_base) = addr_map.get(&p.old_base.0) else { continue };
@@ -504,6 +748,8 @@ pub fn transfer_between(
                 transform_key: p.transform_key.clone(),
                 mask_bits: p.mask_bits,
                 raw_copy: p.raw_copy,
+                dirty_epoch: p.dirty_epoch,
+                stale: p.stale,
             });
         }
     }
@@ -513,6 +759,9 @@ pub fn transfer_between(
     // precise pointers through the address map.
     // ------------------------------------------------------------------
     for item in &work {
+        if plan.object_write_fires_fault() {
+            return Err(Conflict::FaultInjected { phase: "transfer-object".into() }.into());
+        }
         let out_bytes: Vec<u8> = if let Some(key) = &item.transform_key {
             let handler = new_state.annotations.transform(key).expect("transform key resolved earlier");
             handler(&item.old_bytes)
@@ -550,24 +799,39 @@ pub fn transfer_between(
             .map(|r| (r.end().0 - item.new_base.0) as usize)
             .unwrap_or(0);
         if writable == 0 {
-            report.conflicts.push(Conflict::ImmutablePlacementFailed {
-                object: format!("object at {}", item.old_base),
-                detail: format!("target address {} not mapped in the new version", item.new_base),
-            });
+            if final_mode {
+                report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                    object: format!("object at {}", item.old_base),
+                    detail: format!("target address {} not mapped in the new version", item.new_base),
+                });
+            }
             continue;
         }
         let len = out_bytes.len().min(writable);
         new_proc.space_mut().write_bytes(item.new_base, &out_bytes[..len]).map_err(McrError::Sim)?;
-        report.objects_transferred += 1;
-        report.bytes_transferred += len as u64;
+        delta.copied_at.insert(item.old_base.0, item.dirty_epoch);
+        if final_mode {
+            report.objects_transferred += 1;
+            report.bytes_transferred += len as u64;
+            if item.stale {
+                residual.objects += 1;
+                residual.bytes += len as u64;
+            }
+        } else {
+            round.objects_copied += 1;
+            round.bytes_copied += len as u64;
+        }
     }
 
     // Account the simulated cost of the transfer: per-object bookkeeping
-    // plus a per-byte copy cost. The caller charges it to the kernel clock
-    // (deterministically, after every parallel pair has finished).
-    let cost_ns = report.objects_transferred * 2_000 + report.bytes_transferred * 2;
-    report.duration = SimDuration(cost_ns);
-    Ok(report)
+    // plus a per-byte copy cost. The caller charges the residual cost to the
+    // kernel clock inside the stop-the-world window and the round cost while
+    // the old version is still serving; `report.duration` stays the logical
+    // full-transfer cost so reports are identical with and without pre-copy.
+    report.duration = SimDuration(report.objects_transferred * 2_000 + report.bytes_transferred * 2);
+    residual.cost = SimDuration(residual.objects * 2_000 + residual.bytes * 2);
+    round.cost = SimDuration(round.objects_copied * 2_000 + round.bytes_copied * 2);
+    Ok(TransferOutcome { report, residual, round })
 }
 
 /// Rewrites the pointer slots of a transformed element: each old pointer
@@ -615,7 +879,7 @@ mod tests {
     use super::*;
     use crate::interpose::Interposer;
     use crate::program::{InstanceState, ProgramEnv, ThreadRosterEntry};
-    use crate::tracing::tracer::{trace_process, TraceOptions};
+    use crate::tracing::tracer::{trace_process, TraceOptions, Tracer};
     use mcr_procsim::MemoryLayout;
     use mcr_typemeta::{Field, InstrumentationConfig};
 
@@ -856,6 +1120,122 @@ mod tests {
         assert_eq!(space.read_u32(new_addr).unwrap(), 8, "transform doubled the worker count");
         assert_eq!(space.read_u32(new_addr.offset(4)).unwrap(), 80);
         assert_eq!(new_state.annotations.state_transfer_loc(), 21);
+    }
+
+    /// The resumable delta plan: a pre-copy round copies everything once,
+    /// the stop-the-world pass then only pays for what was dirtied in
+    /// between, and the logical report stays the full-transfer report.
+    #[test]
+    fn precopy_round_shrinks_the_residual_to_the_working_set() {
+        let mut kernel = Kernel::new();
+        let (mut old_state, old_pid) = make_instance(&mut kernel, "v1", 0);
+        register_v1_types(&mut old_state);
+        let old_tid = kernel.process(old_pid).unwrap().main_tid();
+        let (list_global, node_a, node_b);
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            list_global = env.define_global("list", "l_t").unwrap();
+            let _pad = env.alloc_bytes(2 * mcr_procsim::PAGE_SIZE, "pad").unwrap();
+            node_a = env.alloc("l_t", "handle_event:node").unwrap();
+            node_b = env.alloc("l_t", "handle_event:node").unwrap();
+            env.write_u32(node_a, 20).unwrap();
+            env.write_ptr(node_a.offset(8), node_b).unwrap();
+            env.write_u32(node_b, 30).unwrap();
+            env.write_ptr(list_global.offset(8), node_a).unwrap();
+        }
+        {
+            let p = kernel.process_mut(old_pid).unwrap();
+            p.heap_mut().unwrap().end_startup();
+        }
+        let (mut new_state, new_pid) = make_instance(&mut kernel, "v2", 0x1_0000_0000);
+        register_v2_types(&mut new_state);
+        let new_tid = kernel.process(new_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut new_state, new_pid, new_tid, "main");
+            env.define_global("list", "l_t").unwrap();
+        }
+        {
+            let p = kernel.process_mut(new_pid).unwrap();
+            p.heap_mut().unwrap().end_startup();
+            p.space_mut().clear_soft_dirty();
+        }
+
+        let plan = TransferContext::new(&old_state, &new_state);
+        let mut delta = DeltaPlan::new();
+
+        // Round 1: everything is stale, everything gets copied.
+        let mut trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
+        let since = kernel.advance_write_epoch(old_pid).unwrap();
+        let round = {
+            let mut split = kernel.split_pairs(&[(old_pid, new_pid)]).unwrap();
+            let (old_proc, new_proc) = split.pop().unwrap();
+            precopy_transfer_round(&plan, &mut delta, old_proc, &old_state, new_proc, &new_state, &trace)
+                .unwrap()
+        };
+        assert!(round.objects_copied >= 3, "round 1 copies the whole graph");
+        delta.traced_upto = since;
+
+        // The old version keeps running: it touches one node.
+        kernel.process_mut(old_pid).unwrap().space_mut().write_u32(node_a, 21).unwrap();
+
+        // Stop the world: retrace the delta, transfer the residual.
+        let (report, residual) = {
+            let mut split = kernel.split_pairs(&[(old_pid, new_pid)]).unwrap();
+            let (old_proc, new_proc) = split.pop().unwrap();
+            let tracer = Tracer::for_process(old_proc, &old_state, TraceOptions::default());
+            trace.stats = trace.graph.retrace_dirty(&tracer, delta.traced_upto);
+            transfer_residual(&plan, &mut delta, old_proc, &old_state, new_proc, &new_state, &trace).unwrap()
+        };
+        assert!(report.conflicts.is_empty(), "{:?}", report.conflicts);
+        assert_eq!(report.objects_transferred, round.objects_copied, "logical report covers everything");
+        // Dirtiness is page-granular: the touched node plus its page
+        // neighbour are stale, the page-padded list head is not.
+        assert!(residual.objects >= 1 && residual.objects < report.objects_transferred);
+        assert!(residual.cost < report.duration, "downtime cost shrank to the working set");
+
+        // The transferred list in the new version reflects the final value.
+        let new_space = kernel.process(new_pid).unwrap().space();
+        let new_list = new_state.statics.lookup("list").unwrap().addr;
+        let new_node_a = Addr(new_space.read_u64(new_list.offset(8)).unwrap());
+        assert_eq!(new_space.read_u32(new_node_a).unwrap(), 21, "residual re-copy carried the last write");
+    }
+
+    /// The armed object fault fires instead of the n-th write, during a
+    /// pre-copy round as well as during a stop-the-world transfer.
+    #[test]
+    fn object_fault_fires_at_the_nth_write() {
+        let mut kernel = Kernel::new();
+        let (mut old_state, old_pid) = make_instance(&mut kernel, "v1", 0);
+        register_v1_types(&mut old_state);
+        let old_tid = kernel.process(old_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut old_state, old_pid, old_tid, "main");
+            let list = env.define_global("list", "l_t").unwrap();
+            let node = env.alloc("l_t", "handle_event:node").unwrap();
+            env.write_u32(node, 1).unwrap();
+            env.write_ptr(list.offset(8), node).unwrap();
+        }
+        let (mut new_state, new_pid) = make_instance(&mut kernel, "v2", 0x1_0000_0000);
+        register_v2_types(&mut new_state);
+        let new_tid = kernel.process(new_pid).unwrap().main_tid();
+        {
+            let mut env = ProgramEnv::new(&mut kernel, &mut new_state, new_pid, new_tid, "main");
+            env.define_global("list", "l_t").unwrap();
+        }
+        let trace = trace_process(&kernel, &old_state, old_pid, TraceOptions::default()).unwrap();
+        let plan = TransferContext::new(&old_state, &new_state).with_object_fault(Some(1));
+        let mut delta = DeltaPlan::new();
+        let err = {
+            let mut split = kernel.split_pairs(&[(old_pid, new_pid)]).unwrap();
+            let (old_proc, new_proc) = split.pop().unwrap();
+            precopy_transfer_round(&plan, &mut delta, old_proc, &old_state, new_proc, &new_state, &trace)
+                .unwrap_err()
+        };
+        let conflicts = match err {
+            McrError::Conflicts(cs) => cs,
+            other => panic!("unexpected error {other}"),
+        };
+        assert!(conflicts.iter().any(|c| matches!(c, Conflict::FaultInjected { .. })));
     }
 
     #[test]

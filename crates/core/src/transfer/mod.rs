@@ -6,6 +6,7 @@ pub mod engine;
 pub mod transform;
 
 pub use engine::{
-    transfer_between, transfer_process, ProcessTransferReport, TransferContext, TransferSummary, TypeBridge,
+    precopy_transfer_round, transfer_between, transfer_process, transfer_residual, DeltaPlan,
+    PrecopyRoundReport, ProcessTransferReport, ResidualStats, TransferContext, TransferSummary, TypeBridge,
 };
 pub use transform::{apply_field_map, compute_field_map, FieldMap};

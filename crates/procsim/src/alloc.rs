@@ -270,6 +270,12 @@ impl PtMalloc {
         let fl = space.read_u64(Addr(header + 8))?;
         space.write_u64(Addr(header + 8), fl & !flags::IN_USE)?;
         let payload_size = space.read_u64(Addr(header))?;
+        // Like real ptmalloc, freeing writes free-list metadata into the
+        // first payload word (the bin's next pointer). Besides fidelity,
+        // this stamps the freed object's page with the current write epoch,
+        // so an incremental pre-copy retrace re-resolves the object and
+        // drops it exactly like a fresh trace of the same memory would.
+        space.write_u64(payload, 0)?;
         self.free_chunks.insert(header - self.heap_base.0, total);
         self.stats.frees += 1;
         self.stats.live_bytes = self.stats.live_bytes.saturating_sub(payload_size);

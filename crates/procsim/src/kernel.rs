@@ -451,6 +451,36 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Pre-copy write barrier (per-process write epochs)
+    // ------------------------------------------------------------------
+
+    /// Starts a new write epoch in `pid`'s address space and returns the
+    /// previous one (see [`crate::AddressSpace::advance_write_epoch`]). The
+    /// pre-copy phase of a live update calls this once per copy round per
+    /// old-version process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn advance_write_epoch(&mut self, pid: Pid) -> SimResult<u64> {
+        Ok(self.process_mut(pid)?.space_mut().advance_write_epoch())
+    }
+
+    /// The dirty page runs of `pid` written after epoch `since` (see
+    /// [`crate::AddressSpace::drain_dirty_since`]). Despite the CRIU-flavored
+    /// name this is a *read-only* delta query — nothing is cleared, because
+    /// monotonically increasing epoch stamps make clearing unnecessary:
+    /// asking "since a later epoch" next round naturally excludes what this
+    /// round saw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn drain_dirty_since(&self, pid: Pid, since: u64) -> SimResult<Vec<crate::memory::DirtyRange>> {
+        Ok(self.process(pid)?.space().drain_dirty_since(since))
+    }
+
+    // ------------------------------------------------------------------
     // Borrow splitting (parallel per-process state transfer)
     // ------------------------------------------------------------------
 
@@ -1234,6 +1264,31 @@ mod tests {
         assert_eq!(k.next_timer_deadline(), Some(near));
         assert_eq!(k.next_timer_deadline_where(|p| p == pid), Some(far));
         assert_eq!(k.next_timer_deadline_where(|p| p == Pid(9999)), None);
+    }
+
+    #[test]
+    fn per_process_write_epochs_report_only_the_delta() {
+        let (mut k, pid, tid) = booted();
+        let base = k
+            .syscall(
+                pid,
+                tid,
+                Syscall::Mmap { size: 4 * crate::memory::PAGE_SIZE, name: "d".into(), fixed: None },
+            )
+            .unwrap()
+            .as_addr()
+            .unwrap();
+        k.process_mut(pid).unwrap().space_mut().clear_soft_dirty();
+        k.process_mut(pid).unwrap().space_mut().write_u64(base, 1).unwrap();
+        let upto = k.advance_write_epoch(pid).unwrap();
+        assert!(k.drain_dirty_since(pid, upto).unwrap().is_empty(), "nothing written after the bump");
+        k.process_mut(pid).unwrap().space_mut().write_u64(base.offset(crate::memory::PAGE_SIZE), 2).unwrap();
+        let delta = k.drain_dirty_since(pid, upto).unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].base, base.offset(crate::memory::PAGE_SIZE));
+        // Read-only: asking again reports the same delta.
+        assert_eq!(k.drain_dirty_since(pid, upto).unwrap(), delta);
+        assert!(matches!(k.advance_write_epoch(Pid(9999)), Err(SimError::NoSuchProcess(_))));
     }
 
     #[test]

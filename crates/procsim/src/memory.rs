@@ -2,11 +2,24 @@
 //!
 //! Each simulated process owns an [`AddressSpace`]: a set of non-overlapping
 //! [`MemoryRegion`]s (static data, heap, stacks, memory mappings, shared
-//! libraries). Every region tracks per-page *soft-dirty* bits exactly like the
-//! Linux `/proc/pid/pagemap` facility used by the paper: the bits are cleared
-//! once (after program startup) and the first write into a page afterwards
-//! marks it dirty. Mutable tracing later uses the dirty bits to restrict state
-//! transfer to objects modified after startup.
+//! libraries). Every region tracks per-page *soft-dirty* state exactly like
+//! the Linux `/proc/pid/pagemap` facility used by the paper: the state is
+//! cleared once (after program startup) and the first write into a page
+//! afterwards marks it dirty. Mutable tracing later uses the dirty state to
+//! restrict state transfer to objects modified after startup.
+//!
+//! # Write epochs (the pre-copy write barrier)
+//!
+//! Instead of a boolean per page, each page stores the address space's
+//! *write epoch* at the time of its last store (`0` = clean since the last
+//! [`AddressSpace::clear_soft_dirty`]). The iterative pre-copy phase of a
+//! live update bumps the epoch once per copy round
+//! ([`AddressSpace::advance_write_epoch`]) and then asks only for the pages
+//! written since a previous round ([`AddressSpace::drain_dirty_since`],
+//! [`AddressSpace::range_dirty_epoch`]), which is what lets it re-copy only
+//! the working set dirtied while the old version kept serving. The classic
+//! "dirty since startup" queries are the `since == 0` special case, so the
+//! stop-the-world paths are unchanged.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -104,15 +117,24 @@ pub struct MemoryRegion {
     name: String,
     writable: bool,
     data: Vec<u8>,
-    /// One soft-dirty bit per page.
-    soft_dirty: Vec<bool>,
+    /// Per-page dirty stamp: the address space's write epoch at the page's
+    /// last store, `0` when the page is clean since the last
+    /// `clear_soft_dirty`.
+    dirty_epoch: Vec<u64>,
     /// Total number of write syscalls/stores into the region (instrumentation
     /// statistics, not part of the paper's kernel interface).
     write_count: u64,
 }
 
 impl MemoryRegion {
-    fn new(base: Addr, size: u64, kind: RegionKind, name: impl Into<String>, writable: bool) -> Self {
+    fn new(
+        base: Addr,
+        size: u64,
+        kind: RegionKind,
+        name: impl Into<String>,
+        writable: bool,
+        epoch: u64,
+    ) -> Self {
         let pages = size.div_ceil(PAGE_SIZE) as usize;
         MemoryRegion {
             base,
@@ -121,7 +143,8 @@ impl MemoryRegion {
             name: name.into(),
             writable,
             data: vec![0; size as usize],
-            soft_dirty: vec![true; pages],
+            // Freshly mapped pages are dirty: they were just created.
+            dirty_epoch: vec![epoch; pages],
             write_count: 0,
         }
     }
@@ -163,18 +186,29 @@ impl MemoryRegion {
 
     /// Number of pages spanned by the region.
     pub fn page_count(&self) -> usize {
-        self.soft_dirty.len()
+        self.dirty_epoch.len()
     }
 
-    /// Returns the soft-dirty bit of the page containing `addr`.
+    /// Whether the page containing `addr` is soft-dirty (written since the
+    /// last `clear_soft_dirty`).
     pub fn page_is_dirty(&self, addr: Addr) -> bool {
+        self.page_dirty_epoch(addr) != 0
+    }
+
+    /// The dirty stamp of the page containing `addr` (`0` when clean).
+    pub fn page_dirty_epoch(&self, addr: Addr) -> u64 {
         let idx = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
-        self.soft_dirty.get(idx).copied().unwrap_or(false)
+        self.dirty_epoch.get(idx).copied().unwrap_or(0)
     }
 
     /// Number of dirty pages in the region.
     pub fn dirty_page_count(&self) -> usize {
-        self.soft_dirty.iter().filter(|d| **d).count()
+        self.dirty_page_count_since(0)
+    }
+
+    /// Number of pages whose dirty stamp exceeds `since`.
+    pub fn dirty_page_count_since(&self, since: u64) -> usize {
+        self.dirty_epoch.iter().filter(|&&e| e > since).count()
     }
 
     /// Total stores observed in this region.
@@ -182,17 +216,17 @@ impl MemoryRegion {
         self.write_count
     }
 
-    fn mark_dirty(&mut self, addr: Addr, len: usize) {
+    fn mark_dirty(&mut self, addr: Addr, len: usize, epoch: u64) {
         let start = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
         let end = ((addr.0 - self.base.0 + len.max(1) as u64 - 1) / PAGE_SIZE) as usize;
-        for page in start..=end.min(self.soft_dirty.len().saturating_sub(1)) {
-            self.soft_dirty[page] = true;
+        for page in start..=end.min(self.dirty_epoch.len().saturating_sub(1)) {
+            self.dirty_epoch[page] = epoch;
         }
     }
 
     fn clear_soft_dirty(&mut self) {
-        for bit in &mut self.soft_dirty {
-            *bit = false;
+        for stamp in &mut self.dirty_epoch {
+            *stamp = 0;
         }
     }
 }
@@ -209,9 +243,18 @@ pub struct DirtyRange {
 }
 
 /// A full simulated virtual address space.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     regions: BTreeMap<u64, MemoryRegion>,
+    /// The stamp given to pages written from now on; bumped once per
+    /// pre-copy round by [`AddressSpace::advance_write_epoch`].
+    write_epoch: u64,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        AddressSpace { regions: BTreeMap::new(), write_epoch: 1 }
+    }
 }
 
 impl AddressSpace {
@@ -251,7 +294,7 @@ impl AddressSpace {
         if self.overlaps(base, size) {
             return Err(SimError::MappingOverlap { base, size });
         }
-        self.regions.insert(base.0, MemoryRegion::new(base, size, kind, name, writable));
+        self.regions.insert(base.0, MemoryRegion::new(base, size, kind, name, writable, self.write_epoch));
         Ok(())
     }
 
@@ -332,6 +375,7 @@ impl AddressSpace {
     ///
     /// Fails if the range is unmapped, read-only, or out of bounds.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        let epoch = self.write_epoch;
         let region = self.region_containing_mut(addr).ok_or(SimError::UnmappedAddress(addr))?;
         if !region.is_writable() {
             return Err(SimError::ReadOnlyRegion(addr));
@@ -341,7 +385,7 @@ impl AddressSpace {
             return Err(SimError::OutOfBounds { addr, len: bytes.len() });
         }
         region.data[off..off + bytes.len()].copy_from_slice(bytes);
-        region.mark_dirty(addr, bytes.len());
+        region.mark_dirty(addr, bytes.len(), epoch);
         region.write_count += 1;
         Ok(())
     }
@@ -418,10 +462,11 @@ impl AddressSpace {
     }
 
     // ------------------------------------------------------------------
-    // Soft-dirty tracking (the /proc/pid/pagemap analogue)
+    // Soft-dirty tracking (the /proc/pid/pagemap analogue) and the
+    // epoch-based pre-copy write barrier built on top of it
     // ------------------------------------------------------------------
 
-    /// Clears every soft-dirty bit in the address space.
+    /// Clears every soft-dirty stamp in the address space.
     ///
     /// MCR invokes this once at the end of program startup, so that only
     /// pages written afterwards are reported dirty at update time.
@@ -431,13 +476,37 @@ impl AddressSpace {
         }
     }
 
+    /// The current write epoch (the stamp pages written from now on get).
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// Starts a new write epoch and returns the previous one — the highest
+    /// stamp any already-written page can carry. A pre-copy round calls this
+    /// before copying, so the *next* round can ask for exactly the pages
+    /// written in between via [`AddressSpace::drain_dirty_since`].
+    pub fn advance_write_epoch(&mut self) -> u64 {
+        let prev = self.write_epoch;
+        self.write_epoch += 1;
+        prev
+    }
+
     /// Collects all dirty page runs, coalescing adjacent dirty pages.
     pub fn dirty_ranges(&self) -> Vec<DirtyRange> {
+        self.drain_dirty_since(0)
+    }
+
+    /// Collects the page runs whose dirty stamp exceeds `since`, coalescing
+    /// adjacent matching pages. `since == 0` reports everything written
+    /// since the last [`AddressSpace::clear_soft_dirty`]; a pre-copy round
+    /// passes the epoch returned by its previous
+    /// [`AddressSpace::advance_write_epoch`] to see only the delta.
+    pub fn drain_dirty_since(&self, since: u64) -> Vec<DirtyRange> {
         let mut out = Vec::new();
         for region in self.regions.values() {
             let mut run_start: Option<u64> = None;
             for page in 0..region.page_count() as u64 {
-                let dirty = region.soft_dirty[page as usize];
+                let dirty = region.dirty_epoch[page as usize] > since;
                 match (dirty, run_start) {
                     (true, None) => run_start = Some(page),
                     (false, Some(start)) => {
@@ -467,9 +536,31 @@ impl AddressSpace {
         self.region_containing(addr).map(|r| r.page_is_dirty(addr)).unwrap_or(false)
     }
 
+    /// The highest dirty stamp of the pages covering `[base, base + len)`
+    /// (`0` when every covering page is clean). This is the per-object dirty
+    /// epoch mutable tracing records on each traced object.
+    pub fn range_dirty_epoch(&self, base: Addr, len: u64) -> u64 {
+        let mut epoch = 0u64;
+        let mut page = base.page_base();
+        let end = base.0 + len.max(1);
+        while page.0 < end {
+            if let Some(r) = self.region_containing(page) {
+                epoch = epoch.max(r.page_dirty_epoch(page));
+            }
+            page = page.offset(PAGE_SIZE);
+        }
+        epoch
+    }
+
     /// Total number of dirty pages across all regions.
     pub fn dirty_page_count(&self) -> usize {
         self.regions.values().map(|r| r.dirty_page_count()).sum()
+    }
+
+    /// Number of pages (across all regions) whose dirty stamp exceeds
+    /// `since` — the pre-copy convergence measure.
+    pub fn dirty_page_count_since(&self, since: u64) -> usize {
+        self.regions.values().map(|r| r.dirty_page_count_since(since)).sum()
     }
 
     /// Total number of mapped pages across all regions.
@@ -579,6 +670,37 @@ mod tests {
         assert_eq!(ranges[0].len, 2 * PAGE_SIZE);
         assert_eq!(ranges[1].base, Addr(0x10000 + 4 * PAGE_SIZE));
         assert_eq!(ranges[1].len, PAGE_SIZE);
+    }
+
+    #[test]
+    fn write_epochs_expose_per_round_deltas() {
+        let mut space = space_with_region();
+        space.clear_soft_dirty();
+        // Round 0 writes carry the initial epoch.
+        space.write_u64(Addr(0x10000), 1).unwrap();
+        let e0 = space.advance_write_epoch();
+        assert_eq!(space.write_epoch(), e0 + 1);
+        // Nothing written after the bump yet.
+        assert!(space.drain_dirty_since(e0).is_empty());
+        assert_eq!(space.dirty_page_count_since(e0), 0);
+        // A new write lands in the new epoch and only it shows up in the
+        // delta; the full dirty set still contains both pages.
+        space.write_u64(Addr(0x10000 + 2 * PAGE_SIZE), 2).unwrap();
+        let delta = space.drain_dirty_since(e0);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].base, Addr(0x10000 + 2 * PAGE_SIZE));
+        assert_eq!(space.dirty_page_count(), 2);
+        assert_eq!(space.range_dirty_epoch(Addr(0x10000), 8), e0);
+        assert_eq!(space.range_dirty_epoch(Addr(0x10000 + 2 * PAGE_SIZE), 8), e0 + 1);
+        assert_eq!(space.range_dirty_epoch(Addr(0x10000 + PAGE_SIZE), 8), 0);
+        // Re-writing an old page moves it into the current epoch.
+        let e1 = space.advance_write_epoch();
+        space.write_u64(Addr(0x10000), 3).unwrap();
+        assert_eq!(space.dirty_page_count_since(e1), 1);
+        // clear_soft_dirty resets stamps but not the epoch counter.
+        space.clear_soft_dirty();
+        assert_eq!(space.dirty_page_count(), 0);
+        assert_eq!(space.write_epoch(), e1 + 1);
     }
 
     #[test]

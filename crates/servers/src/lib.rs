@@ -26,10 +26,15 @@
 #![forbid(unsafe_code)]
 
 pub mod generic;
+pub mod scenarios;
 pub mod spec;
 pub mod updates;
 
 pub use generic::{programs, GenericServer};
+pub use scenarios::{
+    apply_scenario_writes, connection_nodes, dirty_cache_entries, dirty_connection_nodes, precopy_scenarios,
+    PrecopyScenario,
+};
 pub use spec::{AllocatorModel, ProcessModel, ServerSpec};
 pub use updates::{generations_for, paper_catalog, totals, CatalogTotals, UpdateCatalogEntry};
 

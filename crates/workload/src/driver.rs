@@ -174,6 +174,29 @@ pub fn open_idle_connections(
     Ok(conns)
 }
 
+/// Builds a pre-copy round hook
+/// ([`PrecopyHook`](mcr_core::runtime::PrecopyHook)) that keeps the old
+/// instance serving while a live update's pre-copy rounds are in flight:
+/// after every concurrent copy round it issues `per_round` fresh requests
+/// from `spec` and lets the (still live) old version answer them. This is
+/// the client-visible half of the pre-copy story — traffic served during
+/// rounds would have been queued behind the stop-the-world window without
+/// pre-copy.
+pub fn precopy_serving_hook(spec: &WorkloadSpec, per_round: u64) -> mcr_core::runtime::PrecopyHook {
+    let spec = spec.clone();
+    Box::new(move |kernel: &mut Kernel, old: &mut McrInstance, _round: usize| {
+        for _ in 0..per_round {
+            let Ok(conn) = kernel.client_connect(spec.port) else { continue };
+            let _ = kernel.client_send(conn, spec.request.clone());
+            let _ = run_round(kernel, old);
+            let _ = kernel.client_recv(conn);
+            if spec.close_after_response {
+                let _ = kernel.client_close(conn);
+            }
+        }
+    })
+}
+
 /// Runs a workload against a booted server instance.
 ///
 /// # Errors

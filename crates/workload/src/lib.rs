@@ -12,7 +12,7 @@ pub mod allocbench;
 pub mod driver;
 
 pub use allocbench::{overhead_ratio, run_alloc_bench, AllocBenchResult, AllocBenchSpec};
-pub use driver::{open_idle_connections, run_workload, WorkloadResult, WorkloadSpec};
+pub use driver::{open_idle_connections, precopy_serving_hook, run_workload, WorkloadResult, WorkloadSpec};
 
 /// The standard workload for a program name, sized by `requests`.
 ///

@@ -1,14 +1,16 @@
 //! End-to-end integration tests spanning the whole workspace: simulated
 //! kernel, type metadata, MCR runtime, server models and workloads.
 
+use mcr_bench::{kernel_fingerprint, precopy_update};
 use mcr_core::runtime::{
-    boot, live_update, run_rounds, BootOptions, FaultPlan, PhaseName, UpdateOptions, UpdatePipeline,
+    boot, live_update, run_rounds, BootOptions, FaultPlan, PhaseName, PrecopyOptions, SchedulerMode,
+    UpdateOptions, UpdatePipeline,
 };
 use mcr_core::{Conflict, QuiescenceProfiler};
 use mcr_procsim::Kernel;
-use mcr_servers::{install_standard_files, program_by_name, programs, ServerSpec};
+use mcr_servers::{install_standard_files, precopy_scenarios, program_by_name, programs, ServerSpec};
 use mcr_typemeta::InstrumentationConfig;
-use mcr_workload::{open_idle_connections, run_workload, workload_for};
+use mcr_workload::{open_idle_connections, precopy_serving_hook, run_workload, workload_for};
 
 fn booted(program: &str) -> (Kernel, mcr_core::McrInstance) {
     let mut kernel = Kernel::new();
@@ -149,6 +151,161 @@ fn parallel_state_transfer_beats_serial_with_four_or_more_pairs() {
         report.timings.state_transfer.0,
         report.timings.state_transfer_serial.0
     );
+}
+
+/// The pre-copy acceptance criterion: on the read-mostly multiprocess
+/// scenario (>= 4 matched pairs), the measured stop-the-world `downtime`
+/// with pre-copy enabled is at most 50% of the `precopy_rounds = 0`
+/// baseline, while the final kernel fingerprint, transfer reports and
+/// conflicts are byte-identical across both configurations.
+#[test]
+fn precopy_halves_downtime_on_the_read_mostly_scenario() {
+    let scenario = precopy_scenarios()[0];
+    assert_eq!(scenario.name, "read-mostly");
+    let (base_fp, base_outcome) = precopy_update(&scenario, 1, 0, 3, SchedulerMode::EventDriven);
+    let (pre_fp, pre_outcome) = precopy_update(&scenario, 1, 3, 3, SchedulerMode::EventDriven);
+    assert!(base_outcome.is_committed(), "{:?}", base_outcome.conflicts());
+    assert!(pre_outcome.is_committed(), "{:?}", pre_outcome.conflicts());
+    let base = base_outcome.report();
+    let pre = pre_outcome.report();
+
+    let pairs = base.processes_matched + base.processes_recreated;
+    assert!(pairs >= 4, "scenario must yield >= 4 matched pairs, got {pairs}");
+    assert_eq!(base_fp, pre_fp, "pre-copy diverged from the stop-the-world baseline");
+    assert_eq!(base.transfer.per_process, pre.transfer.per_process, "transfer reports diverged");
+    assert!(base_outcome.conflicts().is_empty() && pre_outcome.conflicts().is_empty());
+
+    // The headline number.
+    assert!(
+        pre.timings.downtime.0 * 2 <= base.timings.downtime.0,
+        "downtime {} ns is not <= 50% of the baseline {} ns",
+        pre.timings.downtime.0,
+        base.timings.downtime.0
+    );
+    // The split is accounted coherently: concurrent time is reported
+    // separately, and the phase trace shows the six-phase pre-copy order.
+    assert!(pre.timings.precopy.0 > 0);
+    assert!(pre.timings.downtime.0 <= pre.timings.total.0);
+    let executed: Vec<PhaseName> = pre.phases.records().iter().map(|r| r.name).collect();
+    assert_eq!(executed, PhaseName::PRECOPY_ALL, "pre-copy pipeline runs the six-phase order");
+    assert_eq!(
+        base.phases.records().iter().map(|r| r.name).collect::<Vec<_>>(),
+        PhaseName::ALL,
+        "the baseline keeps the standard five-phase order"
+    );
+    // The window only paid for the residual working set.
+    assert!(pre.precopy.precopied_objects() > 0);
+    assert!(pre.precopy.residual.objects < base.precopy.residual.objects);
+    assert!(pre.timings.state_transfer < base.timings.state_transfer);
+}
+
+/// The old instance keeps *serving* during the pre-copy rounds: a workload
+/// hook issues fresh requests after every concurrent round and the old
+/// version answers them before the world ever stops.
+#[test]
+fn old_version_serves_traffic_during_precopy_rounds() {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(programs::nginx(1)), &BootOptions::default()).unwrap();
+    run_workload(&mut kernel, &mut v1, &workload_for("nginx", 3)).unwrap();
+    let served_before = v1.state.counters.events_handled;
+
+    let opts = UpdateOptions {
+        precopy: PrecopyOptions { rounds: 3, convergence_bytes: 0, serve_rounds: 1 },
+        ..Default::default()
+    };
+    let pipeline = UpdatePipeline::for_options(&opts)
+        .with_precopy_hook(precopy_serving_hook(&workload_for("nginx", 1), 2));
+    let (v2, outcome) =
+        pipeline.run(&mut kernel, v1, Box::new(programs::nginx(2)), InstrumentationConfig::full(), &opts);
+    assert!(outcome.is_committed(), "{:?}", outcome.conflicts());
+    let report = outcome.report();
+    assert!(report.precopy.enabled);
+
+    // The connections accepted mid-update survived into the new version:
+    // nginx's per-process `stats` counters carry over, so the grand total
+    // includes the requests served during the pre-copy rounds.
+    let stats = v2.state.statics.lookup("stats").unwrap().addr;
+    let requests: u64 = v2
+        .state
+        .processes
+        .iter()
+        .map(|&pid| kernel.process(pid).unwrap().space().read_u64(stats).unwrap())
+        .sum();
+    assert!(
+        requests >= served_before + 3 * 2,
+        "requests served during pre-copy rounds were transferred ({requests})"
+    );
+}
+
+/// A mid-phase fault at the n-th transferred object fired *during a
+/// pre-copy round* rolls back cleanly — and because the world has not
+/// stopped yet, the old instance is still live and keeps serving without
+/// even having been quiesced.
+#[test]
+fn fault_at_nth_object_during_precopy_round_rolls_back_with_old_instance_live() {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(programs::nginx(1)), &BootOptions::default()).unwrap();
+    run_workload(&mut kernel, &mut v1, &workload_for("nginx", 5)).unwrap();
+    let old_pids = v1.state.processes.clone();
+    let fingerprint_before = kernel_fingerprint(&kernel);
+
+    let opts = UpdateOptions {
+        transfer_workers: 1, // deterministic object ordering for the trigger
+        precopy: PrecopyOptions { rounds: 2, convergence_bytes: 0, serve_rounds: 1 },
+        ..Default::default()
+    };
+    let pipeline =
+        UpdatePipeline::for_options(&opts).with_fault_plan(FaultPlan::failing_at_transfer_object(3));
+    let (mut survivor, outcome) =
+        pipeline.run(&mut kernel, v1, Box::new(programs::nginx(2)), InstrumentationConfig::full(), &opts);
+
+    assert!(!outcome.is_committed(), "the mid-round fault must abort the update");
+    assert!(
+        outcome
+            .conflicts()
+            .iter()
+            .any(|c| matches!(c, Conflict::FaultInjected { phase } if phase == "transfer-object")),
+        "conflicts: {:?}",
+        outcome.conflicts()
+    );
+    // The failing phase is the concurrent pre-copy round — the quiescence
+    // barrier never even ran.
+    let last = outcome.report().phases.last().unwrap();
+    assert_eq!(last.name, PhaseName::Precopy);
+    assert!(!last.completed);
+    assert!(outcome.report().phases.duration_of(PhaseName::Quiesce).is_none(), "world never stopped");
+    assert_eq!(outcome.report().timings.downtime.0, 0, "no downtime was incurred");
+
+    // Rollback left the old version intact: same processes, no leaked
+    // new-version processes, byte-identical old-version memory.
+    assert_eq!(survivor.state.processes, old_pids);
+    assert_eq!(kernel.pids().len(), old_pids.len(), "new-version processes were torn down");
+    assert_eq!(kernel_fingerprint(&kernel), fingerprint_before, "old version untouched by the abort");
+
+    // ... and it keeps serving.
+    let result = run_workload(&mut kernel, &mut survivor, &workload_for("nginx", 4)).unwrap();
+    assert_eq!(result.completed, 4);
+}
+
+/// The same mid-phase trigger fired inside the stop-the-world window (no
+/// pre-copy) also rolls back cleanly.
+#[test]
+fn fault_at_nth_object_in_stop_the_world_window_rolls_back() {
+    let (mut kernel, mut v1) = booted("nginx");
+    run_workload(&mut kernel, &mut v1, &workload_for("nginx", 4)).unwrap();
+    let opts = UpdateOptions { transfer_workers: 1, ..Default::default() };
+    let pipeline = UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_at_transfer_object(1));
+    let (mut survivor, outcome) =
+        pipeline.run(&mut kernel, v1, Box::new(programs::nginx(2)), InstrumentationConfig::full(), &opts);
+    assert!(!outcome.is_committed());
+    assert!(outcome.conflicts().iter().any(|c| matches!(c, Conflict::FaultInjected { .. })));
+    let last = outcome.report().phases.last().unwrap();
+    assert_eq!(last.name, PhaseName::TraceAndTransfer);
+    assert!(!last.completed);
+    let result = run_workload(&mut kernel, &mut survivor, &workload_for("nginx", 3)).unwrap();
+    assert_eq!(result.completed, 3);
 }
 
 #[test]

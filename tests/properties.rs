@@ -5,13 +5,17 @@
 //! drive the same invariants with a small deterministic xorshift generator:
 //! every case is reproducible from its printed seed.
 
+use mcr_bench::kernel_fingerprint;
 use mcr_core::callstack::CallStackId;
-use mcr_core::runtime::{boot, live_update, BootOptions, SchedulerMode, UpdateOptions, UpdateReport};
+use mcr_core::runtime::{
+    boot, live_update, BootOptions, FaultPlan, PhaseName, PrecopyOptions, SchedulerMode, UpdateOptions,
+    UpdatePipeline, UpdateReport,
+};
 use mcr_core::transfer::{apply_field_map, compute_field_map};
 use mcr_procsim::{
     Addr, AddressSpace, AllocSite, FdTable, Kernel, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE,
 };
-use mcr_servers::{install_standard_files, program_by_name};
+use mcr_servers::{dirty_connection_nodes, install_standard_files, program_by_name};
 use mcr_typemeta::{Field, InstrumentationConfig, TypeRegistry};
 use mcr_workload::{open_idle_connections, run_workload, workload_for};
 
@@ -207,37 +211,6 @@ fn field_map_preserves_common_fields() {
             assert_eq!(got, values[i], "seed {seed}: field {name} lost its value");
         }
     }
-}
-
-/// FNV-1a over one process-visible fact.
-fn fold(hash: &mut u64, value: u64) {
-    *hash = (*hash ^ value).wrapping_mul(0x100_0000_01b3);
-}
-
-/// Deterministic digest of everything live-update-visible in the kernel:
-/// every process's identity, descriptor table, thread roster and the full
-/// contents of every mapped region.
-fn kernel_fingerprint(kernel: &Kernel) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for pid in kernel.pids() {
-        let proc = kernel.process(pid).unwrap();
-        fold(&mut hash, pid.0.into());
-        fold(&mut hash, proc.fds().len() as u64);
-        for (fd, entry) in proc.fds().iter() {
-            fold(&mut hash, fd.0 as u64);
-            fold(&mut hash, entry.object.0);
-        }
-        fold(&mut hash, proc.thread_count() as u64);
-        for region in proc.space().regions() {
-            fold(&mut hash, region.base().0);
-            fold(&mut hash, region.size());
-            let bytes = proc.space().read_bytes(region.base(), region.size() as usize).unwrap();
-            for word in bytes.chunks_exact(8) {
-                fold(&mut hash, u64::from_le_bytes(word.try_into().unwrap()));
-            }
-        }
-    }
-    hash
 }
 
 /// Boots `program`, serves a workload, opens idle connections and updates to
@@ -456,6 +429,153 @@ fn event_driven_and_full_scan_rollbacks_are_identical() {
     assert_eq!(event.transfer.per_process, scan.transfer.per_process, "per-process reports diverged");
     assert_eq!(event.phases.records(), scan.phases.records(), "phase traces diverged");
     assert_eq!(event_fp, scan_fp, "post-rollback kernel state diverged");
+}
+
+/// Boots `program`, serves traffic, then updates either stop-the-world
+/// (`precopy == false`: the seeded write batches are applied *before* the
+/// update) or with pre-copy (`precopy == true`: the same batches are applied
+/// *between the concurrent rounds* through the pipeline hook). Both paths
+/// mutate the exact same addresses with the exact same values in the same
+/// order, so both updates operate on the same final memory image — the
+/// pre-copy design promises their outcomes are byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn precopied_or_stw_update(
+    program: &str,
+    requests: u64,
+    open: usize,
+    rounds: usize,
+    writes_per_round: usize,
+    precopy: bool,
+    mode: SchedulerMode,
+    fault: Option<FaultPlan>,
+    seed: u64,
+) -> (u64, Vec<mcr_core::Conflict>, UpdateReport) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+    run_workload(&mut kernel, &mut v1, &workload_for(program, requests)).unwrap();
+    let port = workload_for(program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, open).unwrap();
+    // Flip the scheduling core only now: every configuration enters the
+    // pipeline with byte-identical kernel and instance state.
+    v1.sched.mode = mode;
+    let mut rng = Rng::new(seed ^ 0x9d0f_11e5);
+    let stamps: Vec<u32> = (0..rounds).map(|_| rng.next() as u32).collect();
+    let opts = UpdateOptions {
+        scheduler: mode,
+        precopy: if precopy {
+            PrecopyOptions { rounds, convergence_bytes: 0, serve_rounds: 1 }
+        } else {
+            PrecopyOptions::disabled()
+        },
+        ..Default::default()
+    };
+    let mut pipeline = if precopy {
+        let stamps = stamps.clone();
+        UpdatePipeline::for_options(&opts).with_precopy_hook(Box::new(move |kernel, old, round| {
+            dirty_connection_nodes(kernel, old, writes_per_round, stamps[round - 1]);
+        }))
+    } else {
+        for &stamp in &stamps {
+            dirty_connection_nodes(&mut kernel, &v1, writes_per_round, stamp);
+        }
+        UpdatePipeline::for_options(&opts)
+    };
+    if let Some(fault) = fault {
+        pipeline = pipeline.with_fault_plan(fault);
+    }
+    let (_survivor, outcome) = pipeline.run(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    (kernel_fingerprint(&kernel), outcome.conflicts().to_vec(), outcome.report().clone())
+}
+
+/// Pre-copy + delta commit is byte-identical to a pure stop-the-world
+/// update: with a seeded mutator dirtying connection records between the
+/// concurrent rounds, the committed kernel fingerprint, tracing statistics,
+/// per-process transfer reports and conflict sets match the baseline that
+/// applied the same writes up front — on both scheduler cores. Only the
+/// downtime split may (and must) differ.
+#[test]
+fn precopy_and_stop_the_world_updates_are_identical() {
+    let programs = ["httpd", "nginx", "vsftpd", "sshd"];
+    for seed in 0..4u64 {
+        let mut rng = Rng::new(seed + 0xacce55);
+        let program = programs[seed as usize % programs.len()];
+        let requests = rng.range(2, 5);
+        let open = rng.range(0, 4) as usize;
+        let rounds = rng.range(2, 5) as usize;
+        let writes = rng.range(1, 3) as usize;
+        let mut fingerprints = Vec::new();
+        for mode in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
+            let (stw_fp, stw_conflicts, stw) =
+                precopied_or_stw_update(program, requests, open, rounds, writes, false, mode, None, seed);
+            let (pre_fp, pre_conflicts, pre) =
+                precopied_or_stw_update(program, requests, open, rounds, writes, true, mode, None, seed);
+            assert!(stw_conflicts.is_empty(), "seed {seed} ({program}): {stw_conflicts:?}");
+            assert!(pre_conflicts.is_empty(), "seed {seed} ({program}): {pre_conflicts:?}");
+            assert_eq!(stw_fp, pre_fp, "seed {seed} ({program}, {mode:?}): kernel state diverged");
+            assert_eq!(
+                stw.transfer.per_process, pre.transfer.per_process,
+                "seed {seed} ({program}, {mode:?}): per-process transfer reports diverged"
+            );
+            assert_eq!(stw.tracing, pre.tracing, "seed {seed} ({program}, {mode:?}): tracing diverged");
+            assert_eq!(stw.transfer.serial_duration, pre.transfer.serial_duration);
+            assert_eq!(stw.open_connections, pre.open_connections);
+            assert_eq!(
+                stw.processes_matched + stw.processes_recreated,
+                pre.processes_matched + pre.processes_recreated
+            );
+            // The pre-copy run really ran concurrent rounds and the window
+            // only paid for the residual.
+            assert!(pre.precopy.enabled && !pre.precopy.rounds.is_empty(), "seed {seed}: no rounds ran");
+            assert!(!stw.precopy.enabled);
+            assert!(
+                pre.precopy.residual.objects <= stw.precopy.residual.objects,
+                "seed {seed} ({program}): pre-copy did not shrink the residual"
+            );
+            assert!(
+                pre.timings.downtime <= stw.timings.downtime,
+                "seed {seed} ({program}): pre-copy increased downtime"
+            );
+            assert!(pre.timings.precopy.0 > 0 && stw.timings.precopy.0 == 0);
+            fingerprints.push(pre_fp);
+        }
+        // ... and the pre-copied update is deterministic across cores.
+        assert_eq!(fingerprints[0], fingerprints[1], "seed {seed} ({program}): cores diverged");
+    }
+}
+
+/// Rollbacks too: a fault injected right before commit aborts a pre-copied
+/// update exactly like it aborts a stop-the-world one — same conflicts,
+/// same per-process reports, byte-identical post-rollback kernel state —
+/// on both scheduler cores.
+#[test]
+fn precopy_and_stop_the_world_rollbacks_are_identical() {
+    for mode in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
+        let fault = || Some(FaultPlan::failing_before(PhaseName::Commit));
+        let (stw_fp, stw_conflicts, stw) =
+            precopied_or_stw_update("nginx", 3, 2, 3, 2, false, mode, fault(), 0x0ff);
+        let (pre_fp, pre_conflicts, pre) =
+            precopied_or_stw_update("nginx", 3, 2, 3, 2, true, mode, fault(), 0x0ff);
+        assert!(
+            stw_conflicts.iter().any(|c| matches!(c, mcr_core::Conflict::FaultInjected { .. })),
+            "{mode:?}: baseline did not abort"
+        );
+        assert_eq!(stw_conflicts, pre_conflicts, "{mode:?}: conflict lists diverged");
+        assert_eq!(stw_fp, pre_fp, "{mode:?}: post-rollback kernel state diverged");
+        assert_eq!(
+            stw.transfer.per_process, pre.transfer.per_process,
+            "{mode:?}: per-process reports diverged"
+        );
+        // The pre-copied attempt aborted after its concurrent rounds ran.
+        assert!(pre.precopy.enabled && !pre.precopy.rounds.is_empty());
+        let _ = stw;
+    }
 }
 
 /// Identity transformations round-trip arbitrary byte patterns.
