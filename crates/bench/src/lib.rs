@@ -221,6 +221,62 @@ pub fn precopy_update(
     (kernel_fingerprint(&kernel), outcome)
 }
 
+/// Boots the single-process [`CacheServer`](mcr_servers::CacheServer), bulk
+/// fills it with `entries` cache entries of `value_bytes`-byte values (plus
+/// a few gets and evictions so the LRU stamps and garbage sweep are
+/// exercised), then live-updates generation 1 → 2 with the given intra-pair
+/// shard count. Returns the post-update kernel fingerprint and the outcome.
+///
+/// This is the single-process big-heap scenario of `benches/intra_pair.rs`:
+/// one matched pair, so the pair-parallel phase alone cannot speed it up —
+/// any makespan improvement comes from the within-pair sharding.
+///
+/// # Panics
+///
+/// Panics if the cache fails to boot or a request goes unanswered.
+pub fn cache_update(
+    entries: u64,
+    value_bytes: u64,
+    shards: usize,
+    precopy_rounds: usize,
+    scheduler: SchedulerMode,
+) -> (u64, UpdateOutcome) {
+    let mut kernel = Kernel::new();
+    let mut v1 = boot(&mut kernel, Box::new(mcr_servers::CacheServer::new(1)), &BootOptions::default())
+        .expect("cache boots");
+    let request = |kernel: &mut Kernel, v1: &mut McrInstance, req: String| {
+        let c = kernel.client_connect(mcr_servers::CACHE_PORT).expect("cache listening");
+        kernel.client_send(c, req.into_bytes()).expect("send");
+        let _ = mcr_core::runtime::run_rounds(kernel, v1, 2).expect("serve");
+        assert!(kernel.client_recv(c).is_some(), "cache answered {entries}/{value_bytes}");
+        kernel.client_close(c).expect("close");
+    };
+    request(&mut kernel, &mut v1, format!("fill {entries} {value_bytes}"));
+    for _ in 0..4 {
+        request(&mut kernel, &mut v1, "get".to_string());
+    }
+    request(&mut kernel, &mut v1, "evict".to_string());
+    v1.sched.mode = scheduler;
+    let opts = UpdateOptions {
+        scheduler,
+        intra_pair_shards: shards,
+        precopy: if precopy_rounds > 0 {
+            PrecopyOptions { rounds: precopy_rounds, convergence_bytes: 0, serve_rounds: 1 }
+        } else {
+            PrecopyOptions::disabled()
+        },
+        ..Default::default()
+    };
+    let (_v2, outcome) = live_update(
+        &mut kernel,
+        v1,
+        Box::new(mcr_servers::CacheServer::new(2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    (kernel_fingerprint(&kernel), outcome)
+}
+
 /// Traces every process of an instance and merges the per-process statistics.
 pub fn trace_instance(kernel: &Kernel, instance: &McrInstance) -> TracingStats {
     let mut stats = TracingStats::default();

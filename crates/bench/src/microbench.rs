@@ -63,6 +63,27 @@ impl BenchGroup {
         self
     }
 
+    /// Records externally measured samples under `name` — for experiments
+    /// whose metric is not the closure's wall time (simulated makespans,
+    /// per-phase host nanoseconds measured inside a pipeline run, ...). The
+    /// samples flow into the same median/min reporting and JSON document as
+    /// [`BenchGroup::bench`] results, which is what lets CI smoke thresholds
+    /// compare medians of repeated iterations instead of single noisy runs.
+    pub fn record(&mut self, name: impl Into<String>, samples: Vec<f64>) -> BenchResult {
+        let name = format!("{}/{}", self.group, name.into());
+        assert!(!samples.is_empty(), "record needs at least one sample");
+        let result = BenchResult { name, samples };
+        eprintln!(
+            "{:<48} median {:>10.3} ms   min {:>10.3} ms   ({} samples)",
+            result.name,
+            result.median() * 1e3,
+            result.min() * 1e3,
+            result.samples.len()
+        );
+        self.results.push(result.clone());
+        result
+    }
+
     /// Times `f`, keeping its result alive so the work is not optimized out.
     pub fn bench<T>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> T) {
         let name = format!("{}/{}", self.group, name.into());
@@ -88,12 +109,23 @@ impl BenchGroup {
 
     /// Prints the group's JSON document to stdout and returns the results.
     pub fn finish(self) -> Vec<BenchResult> {
-        let doc = Json::obj([
+        println!("{}", self.to_json().render());
+        self.results
+    }
+
+    /// Returns the results without printing — for benches that embed the
+    /// group's median/min rows inside a larger JSON document (stdout must
+    /// stay a single parseable document for the CI smoke steps).
+    pub fn finish_quiet(self) -> Vec<BenchResult> {
+        self.results
+    }
+
+    /// The group's JSON document (same shape [`BenchGroup::finish`] prints).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
             ("group", Json::str(&self.group)),
             ("results", Json::Arr(self.results.iter().map(BenchResult::to_json).collect())),
-        ]);
-        println!("{}", doc.render());
-        self.results
+        ])
     }
 }
 
@@ -110,5 +142,16 @@ mod tests {
         assert_eq!(results[0].name, "unit/noop");
         assert_eq!(results[0].samples.len(), 3);
         assert!(results[0].min() <= results[0].median());
+    }
+
+    #[test]
+    fn recorded_samples_report_median_and_min() {
+        let mut g = BenchGroup::new("unit");
+        let r = g.record("external", vec![3.0, 1.0, 2.0]);
+        assert_eq!(r.median(), 2.0);
+        assert_eq!(r.min(), 1.0);
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "unit/external");
     }
 }

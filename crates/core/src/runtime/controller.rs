@@ -89,7 +89,25 @@ pub struct UpdateOptions {
     /// parallel multi-process transfer. `1` selects the serial ablation: the
     /// pairs run in order on the calling thread, reproducing the sequential
     /// timings while leaving every report byte-identical to a parallel run.
+    ///
+    /// When [`UpdateOptions::intra_pair_shards`] is above one, an explicit
+    /// `transfer_workers` value is a *global* thread budget shared by pairs
+    /// × shards: the pair-level pool shrinks to `transfer_workers / shards`
+    /// so the total number of concurrent threads stays at the requested
+    /// budget.
     pub transfer_workers: usize,
+    /// Worker threads used *inside* each matched pair: the tracer's heap
+    /// traversal and the transfer engine's snapshot/transform pass run over
+    /// contiguous address-range shards of the per-pair object list. This is
+    /// what parallelizes a *single-process* server with a huge heap, which
+    /// pair-level parallelism cannot touch. `0`/`1` (the default) keeps the
+    /// within-pair passes serial.
+    ///
+    /// Determinism contract: the traced graph, pins, Table 2 statistics,
+    /// transfer reports, conflicts and post-commit memory are byte-identical
+    /// across every shard count; only the charged makespan (the
+    /// deterministic list-schedule over the per-shard costs) shrinks.
+    pub intra_pair_shards: usize,
     /// Scheduling core for the new version's instance (the old instance
     /// keeps whatever mode it was booted with). The event-driven default and
     /// the legacy full scan produce byte-identical updates
@@ -104,12 +122,31 @@ pub struct UpdateOptions {
 }
 
 impl UpdateOptions {
-    /// The worker count the trace/transfer phase will actually use for
-    /// `pairs` matched pairs (resolves the `0 = one per pair` default and
-    /// never exceeds the number of pairs).
+    /// The pair-level worker count the trace/transfer phase will actually
+    /// use for `pairs` matched pairs. Resolves the `0 = one per pair`
+    /// default, never exceeds the number of pairs, and divides an explicit
+    /// thread budget by the intra-pair shard count (floor division, so a
+    /// non-divisible combination rounds *down*) — pairs × shards share one
+    /// global budget that is never exceeded.
     pub fn effective_transfer_workers(&self, pairs: usize) -> usize {
-        let requested = if self.transfer_workers == 0 { pairs } else { self.transfer_workers };
+        let shards = self.effective_intra_pair_shards();
+        let requested =
+            if self.transfer_workers == 0 { pairs } else { (self.transfer_workers / shards).max(1) };
         requested.clamp(1, pairs.max(1))
+    }
+
+    /// The intra-pair shard count actually used: `0` resolves to serial,
+    /// and an explicit `transfer_workers` budget caps the shard count too —
+    /// `min(S, W)` shard threads per pair, so a requested budget below the
+    /// shard count (including the `transfer_workers = 1` serial ablation)
+    /// is never exceeded.
+    pub fn effective_intra_pair_shards(&self) -> usize {
+        let shards = self.intra_pair_shards.max(1);
+        if self.transfer_workers == 0 {
+            shards
+        } else {
+            shards.min(self.transfer_workers.max(1))
+        }
     }
 }
 
@@ -121,6 +158,7 @@ impl Default for UpdateOptions {
             trace: TraceOptions::default(),
             recreate_unmatched_processes: true,
             transfer_workers: 0,
+            intra_pair_shards: 1,
             scheduler: SchedulerMode::default(),
             precopy: PrecopyOptions::default(),
         }
@@ -206,6 +244,39 @@ mod tests {
             conns.push(c);
         }
         conns
+    }
+
+    /// Pairs × shards share one global thread budget: an explicit
+    /// `transfer_workers` value is never exceeded, whichever way the two
+    /// knobs are combined.
+    #[test]
+    fn worker_budget_is_shared_by_pairs_and_shards() {
+        // Budget below the shard count: the shards are clamped to the
+        // budget and the pair pool collapses to one worker.
+        let opts = UpdateOptions { transfer_workers: 2, intra_pair_shards: 4, ..Default::default() };
+        assert_eq!(opts.effective_intra_pair_shards(), 2);
+        assert_eq!(opts.effective_transfer_workers(8), 1);
+        assert!(opts.effective_transfer_workers(8) * opts.effective_intra_pair_shards() <= 2);
+        // Auto budget (`0`): one thread per pair × shard.
+        let auto = UpdateOptions { intra_pair_shards: 4, ..Default::default() };
+        assert_eq!(auto.effective_intra_pair_shards(), 4);
+        assert_eq!(auto.effective_transfer_workers(3), 3);
+        // The serial ablation stays fully serial regardless of shards.
+        let serial = UpdateOptions { transfer_workers: 1, intra_pair_shards: 8, ..Default::default() };
+        assert_eq!(serial.effective_intra_pair_shards(), 1);
+        assert_eq!(serial.effective_transfer_workers(5), 1);
+        // A budget above the shard count splits across pairs.
+        let wide = UpdateOptions { transfer_workers: 8, intra_pair_shards: 2, ..Default::default() };
+        assert_eq!(wide.effective_intra_pair_shards(), 2);
+        assert_eq!(wide.effective_transfer_workers(6), 4);
+        assert!(wide.effective_transfer_workers(6) * wide.effective_intra_pair_shards() <= 8);
+        // Non-divisible combinations round down, never exceeding the budget.
+        for (workers, shards, pairs) in [(3usize, 2usize, 4usize), (5, 4, 4), (7, 3, 9), (2, 5, 3)] {
+            let opts =
+                UpdateOptions { transfer_workers: workers, intra_pair_shards: shards, ..Default::default() };
+            let total = opts.effective_transfer_workers(pairs) * opts.effective_intra_pair_shards();
+            assert!(total <= workers, "{workers}w x {shards}s over {pairs} pairs: {total} > budget");
+        }
     }
 
     #[test]

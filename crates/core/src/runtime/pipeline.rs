@@ -54,6 +54,33 @@
 //! assignment; the reported makespan is the matching deterministic
 //! list-schedule (each job, in pair order, to the least-loaded worker).
 //!
+//! ## Intra-pair sharding and the shared worker budget
+//!
+//! Pair-level parallelism cannot help a *single-process* server with a huge
+//! heap — its one pair used to trace and transfer on one thread. With
+//! [`UpdateOptions::intra_pair_shards`] above one, the *within-pair* passes
+//! are parallel too: the tracer walks the heap with a sharded
+//! level-synchronous traversal
+//! ([`Tracer::with_shards`](crate::tracing::tracer::Tracer::with_shards)),
+//! and the transfer engine snapshots/transforms contiguous address-range
+//! shards of the object list on a shard-worker pool, applying the prepared
+//! writes serially in address order (see
+//! [`TransferContext::with_intra_pair_shards`]).
+//!
+//! The two knobs compose over **one global worker budget**: with an explicit
+//! `transfer_workers = W` and `intra_pair_shards = S`, the pair-level pool
+//! shrinks to `ceil(W / S)` workers, each of which fans out into `S` shard
+//! threads — so pairs × shards never exceed the requested budget (the
+//! `transfer_workers = 0` default sizes the budget at `pairs × S`). The
+//! determinism contract is unchanged and extends to sharding: graph, pins,
+//! Table 2 statistics, transfer reports, conflicts, the n-th-object fault
+//! site and post-commit memory are byte-identical across every
+//! (worker count × shard count) combination; only the charged makespan —
+//! the deterministic list-schedule over per-shard costs, nested inside the
+//! per-pair list-schedule — shrinks as shards are added
+//! (`benches/intra_pair.rs` measures it, `tests/properties.rs` proves the
+//! equivalence).
+//!
 //! # Pre-copy: moving trace & transfer out of the quiescence window
 //!
 //! When [`UpdateOptions::precopy`](crate::runtime::controller::UpdateOptions)
@@ -109,8 +136,8 @@ use crate::runtime::scheduler::{
 use crate::tracing::stats::TracingStats;
 use crate::tracing::tracer::{TraceOptions, TraceResult, Tracer};
 use crate::transfer::engine::{
-    precopy_transfer_round, transfer_residual, DeltaPlan, ProcessTransferReport, ResidualStats,
-    TransferContext,
+    list_schedule_makespan, precopy_transfer_round, transfer_residual, DeltaPlan, ProcessTransferReport,
+    ResidualStats, TransferContext,
 };
 
 /// Identifies one stage of the live-update pipeline.
@@ -260,7 +287,8 @@ impl<'k> UpdateCtx<'k> {
                 .state;
             self.plan = Some(
                 TransferContext::new(&self.old.state, new_state)
-                    .with_object_fault(self.fault.at_transfer_object()),
+                    .with_object_fault(self.fault.at_transfer_object())
+                    .with_intra_pair_shards(self.opts.effective_intra_pair_shards()),
             );
         }
         Ok(())
@@ -674,6 +702,10 @@ struct PairJob<'a> {
     new_state: &'a InstanceState,
     plan: &'a TransferContext,
     trace: TraceOptions,
+    /// Worker threads for the *within-pair* passes: the tracer's sharded
+    /// heap traversal (the transfer engine reads its own shard count from
+    /// `plan`). Byte-identical results for every value.
+    shards: usize,
     /// Resumable pre-copy state, when a pre-copy phase ran for this pair.
     precopy: Option<&'a mut PairPrecopyState>,
 }
@@ -689,7 +721,7 @@ struct PairOutcome {
 
 impl PairJob<'_> {
     fn run(self) -> McrResult<PairOutcome> {
-        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace);
+        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace).with_shards(self.shards);
         match self.precopy {
             None => {
                 let trace = tracer.trace();
@@ -732,6 +764,8 @@ struct PrecopyJob<'a> {
     new_state: &'a InstanceState,
     plan: &'a TransferContext,
     trace: TraceOptions,
+    /// Worker threads for the within-pair passes (see [`PairJob::shards`]).
+    shards: usize,
     state: &'a mut PairPrecopyState,
     /// The epoch this round's retrace starts from, and the value
     /// `traced_upto` is advanced to afterwards.
@@ -740,7 +774,7 @@ struct PrecopyJob<'a> {
 
 impl PrecopyJob<'_> {
     fn run(self) -> McrResult<crate::transfer::engine::PrecopyRoundReport> {
-        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace);
+        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace).with_shards(self.shards);
         match self.state.trace.as_mut() {
             None => self.state.trace = Some(tracer.trace()),
             Some(trace) => {
@@ -819,19 +853,6 @@ where
     slots.into_iter().map(|slot| slot.expect("every job ran")).collect()
 }
 
-/// The deterministic makespan of the work-stealing execution model: each
-/// job, in submission order, goes to the least-loaded worker (lowest index
-/// on ties). One worker yields the serial sum; one worker per job yields
-/// the per-job maximum.
-fn list_schedule_makespan(costs: &[SimDuration], workers: usize) -> SimDuration {
-    let mut load = vec![0u64; workers.max(1)];
-    for cost in costs {
-        let min = load.iter().enumerate().min_by_key(|(_, l)| **l).map(|(i, _)| i).unwrap_or(0);
-        load[min] += cost.0;
-    }
-    SimDuration(load.into_iter().max().unwrap_or(0))
-}
-
 /// Per-process descriptor inheritance: connection descriptors created after
 /// startup exist only in the matched old process. Descriptor numbers may
 /// clash across processes (two old workers can both own a "fd 7" referring
@@ -894,6 +915,7 @@ impl Phase for TraceAndTransferPhase {
             } else {
                 pair_precopy.iter_mut().map(Some).collect()
             };
+            let shards = opts.effective_intra_pair_shards();
             let jobs: Vec<PairJob<'_>> = split
                 .into_iter()
                 .zip(precopy_states.iter_mut())
@@ -904,6 +926,7 @@ impl Phase for TraceAndTransferPhase {
                     new_state,
                     plan,
                     trace: opts.trace,
+                    shards,
                     precopy: precopy.take(),
                 })
                 .collect();
@@ -1008,6 +1031,7 @@ impl Phase for PrecopyPhase {
                 let new_state = &new_instance.state;
                 let plan = plan.as_ref().expect("ensured above");
                 let split = kernel.split_pairs(pairs).map_err(McrError::Sim)?;
+                let shards = opts.effective_intra_pair_shards();
                 let jobs: Vec<PrecopyJob<'_>> = split
                     .into_iter()
                     .zip(pair_precopy.iter_mut())
@@ -1019,6 +1043,7 @@ impl Phase for PrecopyPhase {
                         new_state,
                         plan,
                         trace: opts.trace,
+                        shards,
                         state,
                         upto,
                     })

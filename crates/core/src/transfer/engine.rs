@@ -82,6 +82,11 @@ pub struct TransferContext {
     object_fault: Option<u64>,
     /// Object writes performed so far (shared across transfer workers).
     writes: AtomicU64,
+    /// Worker threads used *inside* one pair's transfer: the snapshot +
+    /// transform pass runs over contiguous address-range shards of the
+    /// object list, and the charged cost becomes the deterministic
+    /// list-schedule makespan over the per-shard costs. `0`/`1` = serial.
+    intra_pair_shards: usize,
 }
 
 impl TransferContext {
@@ -114,7 +119,14 @@ impl TransferContext {
                 },
             );
         }
-        TransferContext { syms, new_sites, types, object_fault: None, writes: AtomicU64::new(0) }
+        TransferContext {
+            syms,
+            new_sites,
+            types,
+            object_fault: None,
+            writes: AtomicU64::new(0),
+            intra_pair_shards: 1,
+        }
     }
 
     /// Arms the mid-phase fault trigger: the update aborts right before the
@@ -125,6 +137,24 @@ impl TransferContext {
     pub fn with_object_fault(mut self, nth: Option<u64>) -> Self {
         self.object_fault = nth;
         self
+    }
+
+    /// Sets the intra-pair shard count: the snapshot/transform pass of every
+    /// transfer through this context runs on up to `shards` worker threads
+    /// over contiguous address-range shards of the object list, and the
+    /// charged (simulated) cost becomes the deterministic list-schedule
+    /// makespan over the per-shard costs. Writes, conflicts, reports and the
+    /// object-fault counter stay byte-identical to the serial run for every
+    /// shard count. `0`/`1` selects the serial path.
+    #[must_use]
+    pub fn with_intra_pair_shards(mut self, shards: usize) -> Self {
+        self.intra_pair_shards = shards.max(1);
+        self
+    }
+
+    /// The configured intra-pair shard count (always >= 1).
+    pub fn intra_pair_shards(&self) -> usize {
+        self.intra_pair_shards.max(1)
     }
 
     /// Counts one object write; true when the armed fault must fire now.
@@ -319,24 +349,75 @@ impl TransferSummary {
     }
 }
 
-struct WorkItem {
-    old_base: Addr,
-    new_base: Addr,
-    old_bytes: Vec<u8>,
-    old_ty: Option<TypeId>,
-    new_ty: Option<TypeId>,
-    transform_key: Option<Arc<str>>,
-    mask_bits: u32,
-    raw_copy: bool,
-    dirty_epoch: u64,
-    stale: bool,
-}
-
 /// What one core run produced (the relevant part depends on the mode).
 struct TransferOutcome {
     report: ProcessTransferReport,
     residual: ResidualStats,
     round: PrecopyRoundReport,
+}
+
+/// The deterministic makespan of the shared-work-queue execution model: each
+/// job cost, in submission order, goes to the least-loaded worker (lowest
+/// index on ties). One worker yields the serial sum; one worker per job
+/// yields the per-job maximum. Both the cross-pair trace/transfer phase and
+/// the intra-pair shard accounting charge this schedule, so the simulated
+/// clock is independent of host scheduling.
+pub fn list_schedule_makespan(costs: &[SimDuration], workers: usize) -> SimDuration {
+    let mut load = vec![0u64; workers.max(1)];
+    for cost in costs {
+        let min = load.iter().enumerate().min_by_key(|(_, l)| **l).map(|(i, _)| i).unwrap_or(0);
+        load[min] += cost.0;
+    }
+    SimDuration(load.into_iter().max().unwrap_or(0))
+}
+
+/// Splits `costs` (one estimated cost per object, in address order) into up
+/// to `shards` contiguous ranges of roughly equal cumulative cost. Returns
+/// the shard id per object; deterministic, so the shard assignment — and
+/// with it the charged makespan — never depends on host scheduling.
+fn partition_contiguous(costs: &[u64], shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let total: u64 = costs.iter().sum();
+    let mut out = Vec::with_capacity(costs.len());
+    let mut cum = 0u64;
+    for &cost in costs {
+        // The shard whose cumulative-cost window the item's midpoint lands
+        // in; monotone in `cum`, so the ranges are contiguous.
+        let mid = cum + cost / 2;
+        let shard =
+            if total == 0 { 0 } else { (((mid as u128) * shards as u128) / total.max(1) as u128) as usize };
+        out.push(shard.min(shards - 1));
+        cum += cost;
+    }
+    out
+}
+
+/// How one object's contents reach the new version, decided by the parallel
+/// prepare pass and consumed by the serial apply pass.
+enum Prepared {
+    /// The old bytes could not be read — the object is skipped, exactly like
+    /// the historical snapshot pass skipped it.
+    Skip,
+    /// Verbatim copy (untyped or non-updatable object, no transform): the
+    /// apply pass uses the [`AddressSpace::copy_range`] fast path straight
+    /// from the old space, with no intermediate buffer at all.
+    Direct,
+    /// Transformed contents (semantic handler or structural field map with
+    /// pointer rewriting), computed on the shard worker.
+    Bytes(Vec<u8>),
+}
+
+impl Prepared {
+    /// Whether the verbatim fast path applies: nothing rewrites the bytes,
+    /// so they can be copied space-to-space without materializing.
+    fn is_verbatim(
+        transform_key: &Option<Arc<str>>,
+        raw_copy: bool,
+        old_ty: Option<TypeId>,
+        new_ty: Option<TypeId>,
+    ) -> bool {
+        transform_key.is_none() && (raw_copy || old_ty.is_none() || new_ty.is_none())
+    }
 }
 
 /// Transfers the traced state of `old_pid` into `new_pid`.
@@ -723,103 +804,157 @@ fn run_transfer(
     }
 
     // ------------------------------------------------------------------
-    // Pass 4 (read-only on the old process): snapshot the bytes of every
-    // object whose contents must be written in this mode — everything
-    // transferable for the stop-the-world pass, only the stale delta for a
-    // concurrent pre-copy round.
+    // Pass 4 (read-only, shard-parallel): snapshot and transform the bytes
+    // of every object whose contents must be written in this mode —
+    // everything transferable for the stop-the-world pass, only the stale
+    // delta for a concurrent pre-copy round. The object list (already in
+    // address order) is split into contiguous address-range shards of
+    // roughly equal cost; each shard worker reuses one scratch buffer
+    // (`AddressSpace::read_into`) instead of allocating a `Vec` per object,
+    // and verbatim objects skip the snapshot entirely (the apply pass
+    // copies them space-to-space).
     // ------------------------------------------------------------------
-    let mut work: Vec<WorkItem> = Vec::new();
-    {
-        for p in &planned {
-            let write_now = p.write_contents && (final_mode || p.stale);
-            if !write_now {
-                continue;
+    let writes: Vec<(usize, Addr)> = planned
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.write_contents && (final_mode || p.stale))
+        .filter_map(|(i, p)| addr_map.get(&p.old_base.0).map(|&nb| (i, Addr(nb))))
+        .collect();
+    let shards = plan.intra_pair_shards();
+    let est_costs: Vec<u64> = writes.iter().map(|&(i, _)| 2_000 + 2 * planned[i].size.max(1)).collect();
+    let shard_of = partition_contiguous(&est_costs, shards);
+    let prepare = |p: &Planned, scratch: &mut Vec<u8>| -> Prepared {
+        if Prepared::is_verbatim(&p.transform_key, p.raw_copy, p.old_ty, p.new_ty) {
+            // Reproduce the historical skip: unreadable old bytes drop the
+            // object from the write set without touching any counter.
+            if old_proc.space().is_valid_range(p.old_base, p.size.max(1) as usize) {
+                return Prepared::Direct;
             }
-            let Some(&new_base) = addr_map.get(&p.old_base.0) else { continue };
-            let Ok(old_bytes) = old_proc.space().read_bytes(p.old_base, p.size.max(1) as usize) else {
-                continue;
-            };
-            work.push(WorkItem {
-                old_base: p.old_base,
-                new_base: Addr(new_base),
-                old_bytes,
-                old_ty: p.old_ty,
-                new_ty: p.new_ty,
-                transform_key: p.transform_key.clone(),
-                mask_bits: p.mask_bits,
-                raw_copy: p.raw_copy,
-                dirty_epoch: p.dirty_epoch,
-                stale: p.stale,
-            });
+            return Prepared::Skip;
         }
+        let len = p.size.max(1) as usize;
+        if scratch.len() < len {
+            scratch.resize(len, 0);
+        }
+        if old_proc.space().read_into(p.old_base, &mut scratch[..len]).is_err() {
+            return Prepared::Skip;
+        }
+        let old_bytes = &scratch[..len];
+        if let Some(key) = &p.transform_key {
+            let handler = new_state.annotations.transform(key).expect("transform key resolved earlier");
+            return Prepared::Bytes(handler(old_bytes));
+        }
+        let (old_ty, new_ty) = (p.old_ty.expect("typed path"), p.new_ty.expect("typed path"));
+        let map = compute_field_map(&old_state.types, old_ty, &new_state.types, new_ty);
+        // Objects larger than one element (arrays of the element type) are
+        // transformed element-wise.
+        let old_stride = map.old_size.max(1);
+        let count = (old_bytes.len() as u64 / old_stride).max(1);
+        let mut out = Vec::with_capacity((map.new_size.max(1) * count) as usize);
+        for k in 0..count {
+            let start = (k * old_stride) as usize;
+            let end = ((k + 1) * old_stride).min(old_bytes.len() as u64) as usize;
+            let mut elem = apply_field_map(&map, &old_bytes[start..end]);
+            rewrite_pointers(&mut elem, &map.pointers, &old_bytes[start..end], trace, &addr_map, p.mask_bits);
+            out.extend_from_slice(&elem);
+        }
+        Prepared::Bytes(out)
+    };
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(writes.len());
+    if shards <= 1 || writes.len() < 2 * shards {
+        let mut scratch = Vec::new();
+        prepared.extend(writes.iter().map(|&(i, _)| prepare(&planned[i], &mut scratch)));
+    } else {
+        prepared.resize_with(writes.len(), || Prepared::Skip);
+        // Hand each shard its contiguous slice of the result vector; the
+        // shard ranges are contiguous by construction.
+        let mut slices: Vec<(&mut [Prepared], usize)> = Vec::new();
+        let mut rest: &mut [Prepared] = &mut prepared;
+        let mut start = 0usize;
+        for shard in 0..shards {
+            let len = shard_of.iter().filter(|&&s| s == shard).count();
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(len);
+            slices.push((head, start));
+            rest = tail;
+            start += len;
+        }
+        std::thread::scope(|scope| {
+            let prepare = &prepare;
+            let writes = &writes;
+            let planned = &planned;
+            for (slice, offset) in slices {
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for (k, slot) in slice.iter_mut().enumerate() {
+                        let (pidx, _) = writes[offset + k];
+                        *slot = prepare(&planned[pidx], &mut scratch);
+                    }
+                });
+            }
+        });
     }
 
     // ------------------------------------------------------------------
-    // Pass 5: write transformed contents into the new process, rewriting
-    // precise pointers through the address map.
+    // Pass 5 (serial, deterministic): apply the prepared contents in
+    // address order — fault counting, conflict detection, `copied_at`
+    // stamping and the report are byte-identical to the serial engine for
+    // every shard count. The per-shard charge of each applied write feeds
+    // the list-schedule makespan below.
     // ------------------------------------------------------------------
-    for item in &work {
+    let mut shard_residual = vec![SimDuration(0); shards];
+    let mut shard_round = vec![SimDuration(0); shards];
+    for (k, (&(pidx, new_base), outcome)) in writes.iter().zip(prepared.iter()).enumerate() {
+        let p = &planned[pidx];
+        if matches!(outcome, Prepared::Skip) {
+            continue;
+        }
         if plan.object_write_fires_fault() {
             return Err(Conflict::FaultInjected { phase: "transfer-object".into() }.into());
         }
-        let out_bytes: Vec<u8> = if let Some(key) = &item.transform_key {
-            let handler = new_state.annotations.transform(key).expect("transform key resolved earlier");
-            handler(&item.old_bytes)
-        } else if item.raw_copy {
-            item.old_bytes.clone()
-        } else if let (Some(old_ty), Some(new_ty)) = (item.old_ty, item.new_ty) {
-            let map = compute_field_map(&old_state.types, old_ty, &new_state.types, new_ty);
-            // Objects larger than one element (arrays of the element type)
-            // are transformed element-wise.
-            let old_stride = map.old_size.max(1);
-            let count = (item.old_bytes.len() as u64 / old_stride).max(1);
-            let mut out = Vec::with_capacity((map.new_size.max(1) * count) as usize);
-            for k in 0..count {
-                let start = (k * old_stride) as usize;
-                let end = ((k + 1) * old_stride).min(item.old_bytes.len() as u64) as usize;
-                let mut elem = apply_field_map(&map, &item.old_bytes[start..end]);
-                rewrite_pointers(
-                    &mut elem,
-                    &map.pointers,
-                    &item.old_bytes[start..end],
-                    trace,
-                    &addr_map,
-                    item.mask_bits,
-                );
-                out.extend_from_slice(&elem);
-            }
-            out
-        } else {
-            item.old_bytes.clone()
-        };
-
         let writable = new_proc
             .space()
-            .region_containing(item.new_base)
-            .map(|r| (r.end().0 - item.new_base.0) as usize)
+            .region_containing(new_base)
+            .map(|r| (r.end().0 - new_base.0) as usize)
             .unwrap_or(0);
         if writable == 0 {
             if final_mode {
                 report.conflicts.push(Conflict::ImmutablePlacementFailed {
-                    object: format!("object at {}", item.old_base),
-                    detail: format!("target address {} not mapped in the new version", item.new_base),
+                    object: format!("object at {}", p.old_base),
+                    detail: format!("target address {new_base} not mapped in the new version"),
                 });
             }
             continue;
         }
-        let len = out_bytes.len().min(writable);
-        new_proc.space_mut().write_bytes(item.new_base, &out_bytes[..len]).map_err(McrError::Sim)?;
-        delta.copied_at.insert(item.old_base.0, item.dirty_epoch);
+        let len = match outcome {
+            Prepared::Skip => unreachable!("skipped above"),
+            Prepared::Direct => {
+                let len = (p.size.max(1) as usize).min(writable);
+                new_proc
+                    .space_mut()
+                    .copy_range(new_base, old_proc.space(), p.old_base, len)
+                    .map_err(McrError::Sim)?;
+                len
+            }
+            Prepared::Bytes(out_bytes) => {
+                let len = out_bytes.len().min(writable);
+                new_proc.space_mut().write_bytes(new_base, &out_bytes[..len]).map_err(McrError::Sim)?;
+                len
+            }
+        };
+        delta.copied_at.insert(p.old_base.0, p.dirty_epoch);
+        let cost = SimDuration(2_000 + 2 * len as u64);
         if final_mode {
             report.objects_transferred += 1;
             report.bytes_transferred += len as u64;
-            if item.stale {
+            if p.stale {
                 residual.objects += 1;
                 residual.bytes += len as u64;
+                shard_residual[shard_of[k]] = shard_residual[shard_of[k]].saturating_add(cost);
             }
         } else {
             round.objects_copied += 1;
             round.bytes_copied += len as u64;
+            shard_round[shard_of[k]] = shard_round[shard_of[k]].saturating_add(cost);
         }
     }
 
@@ -827,10 +962,14 @@ fn run_transfer(
     // plus a per-byte copy cost. The caller charges the residual cost to the
     // kernel clock inside the stop-the-world window and the round cost while
     // the old version is still serving; `report.duration` stays the logical
-    // full-transfer cost so reports are identical with and without pre-copy.
+    // full-transfer cost so reports are identical with and without pre-copy
+    // and across shard counts. The *charged* cost is the deterministic
+    // list-schedule makespan over the per-shard costs — with one shard the
+    // serial sum (exactly the historical formula), with `n` shards the
+    // parallel schedule the shard workers executed.
     report.duration = SimDuration(report.objects_transferred * 2_000 + report.bytes_transferred * 2);
-    residual.cost = SimDuration(residual.objects * 2_000 + residual.bytes * 2);
-    round.cost = SimDuration(round.objects_copied * 2_000 + round.bytes_copied * 2);
+    residual.cost = list_schedule_makespan(&shard_residual, shards);
+    round.cost = list_schedule_makespan(&shard_round, shards);
     Ok(TransferOutcome { report, residual, round })
 }
 

@@ -369,6 +369,56 @@ impl AddressSpace {
         Ok(region.data[off..off + len].to_vec())
     }
 
+    /// Reads `buf.len()` bytes starting at `addr` into a caller-provided
+    /// buffer — the allocation-free sibling of [`AddressSpace::read_bytes`].
+    /// The transfer engine's snapshot pass uses this with a reusable
+    /// per-worker scratch buffer so tracing a big heap does not allocate one
+    /// `Vec` per object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or crosses the end of its region.
+    pub fn read_into(&self, addr: Addr, buf: &mut [u8]) -> SimResult<()> {
+        let region = self.region_containing(addr).ok_or(SimError::UnmappedAddress(addr))?;
+        let off = (addr.0 - region.base().0) as usize;
+        if off + buf.len() > region.data.len() {
+            return Err(SimError::OutOfBounds { addr, len: buf.len() });
+        }
+        buf.copy_from_slice(&region.data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` (at `src_addr`) directly into this
+    /// address space at `dst`: one region-to-region `memcpy` that stamps
+    /// write-epochs once per touched page instead of routing every object
+    /// through an intermediate `Vec`. This is the range-copy fast path the
+    /// transfer engine uses for verbatim (untyped / non-updatable) objects.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source range is unmapped or out of bounds, or if the
+    /// destination range is unmapped, read-only, or out of bounds.
+    pub fn copy_range(&mut self, dst: Addr, src: &AddressSpace, src_addr: Addr, len: usize) -> SimResult<()> {
+        let src_region = src.region_containing(src_addr).ok_or(SimError::UnmappedAddress(src_addr))?;
+        let src_off = (src_addr.0 - src_region.base().0) as usize;
+        if src_off + len > src_region.data.len() {
+            return Err(SimError::OutOfBounds { addr: src_addr, len });
+        }
+        let epoch = self.write_epoch;
+        let region = self.region_containing_mut(dst).ok_or(SimError::UnmappedAddress(dst))?;
+        if !region.is_writable() {
+            return Err(SimError::ReadOnlyRegion(dst));
+        }
+        let off = (dst.0 - region.base().0) as usize;
+        if off + len > region.data.len() {
+            return Err(SimError::OutOfBounds { addr: dst, len });
+        }
+        region.data[off..off + len].copy_from_slice(&src_region.data[src_off..src_off + len]);
+        region.mark_dirty(dst, len, epoch);
+        region.write_count += 1;
+        Ok(())
+    }
+
     /// Writes `bytes` starting at `addr`, marking touched pages soft-dirty.
     ///
     /// # Errors
@@ -701,6 +751,42 @@ mod tests {
         space.clear_soft_dirty();
         assert_eq!(space.dirty_page_count(), 0);
         assert_eq!(space.write_epoch(), e1 + 1);
+    }
+
+    #[test]
+    fn read_into_matches_read_bytes() {
+        let mut space = space_with_region();
+        space.write_bytes(Addr(0x10010), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut buf = [0u8; 8];
+        space.read_into(Addr(0x10010), &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), space.read_bytes(Addr(0x10010), 8).unwrap());
+        // Errors mirror read_bytes.
+        assert!(space.read_into(Addr(0x1), &mut buf).is_err());
+        let end = Addr(0x10000 + 8 * PAGE_SIZE - 4);
+        assert!(space.read_into(end, &mut buf).is_err());
+    }
+
+    #[test]
+    fn copy_range_copies_and_stamps_pages() {
+        let mut src = space_with_region();
+        src.write_bytes(Addr(0x10000), &[9u8; 64]).unwrap();
+        let mut dst = AddressSpace::new();
+        dst.map_region(Addr(0x40000), 4 * PAGE_SIZE, RegionKind::Heap, "dst").unwrap();
+        dst.clear_soft_dirty();
+        dst.copy_range(Addr(0x40008), &src, Addr(0x10000), 64).unwrap();
+        assert_eq!(dst.read_bytes(Addr(0x40008), 64).unwrap(), vec![9u8; 64]);
+        assert!(dst.is_dirty(Addr(0x40008)), "copy stamps the touched page");
+        assert_eq!(dst.dirty_page_count(), 1);
+        // A copy spanning a page boundary stamps both pages.
+        dst.copy_range(Addr(0x40000 + PAGE_SIZE - 4), &src, Addr(0x10000), 8).unwrap();
+        assert!(dst.is_dirty(Addr(0x40000)) && dst.is_dirty(Addr(0x40000 + PAGE_SIZE)));
+        // Error paths: unmapped source, unmapped destination, read-only
+        // destination.
+        assert!(dst.copy_range(Addr(0x40000), &src, Addr(0x1), 8).is_err());
+        assert!(dst.copy_range(Addr(0x1), &src, Addr(0x10000), 8).is_err());
+        let mut ro = AddressSpace::new();
+        ro.map_region_with_perms(Addr(0x5000), PAGE_SIZE, RegionKind::Lib, "ro", false).unwrap();
+        assert!(ro.copy_range(Addr(0x5000), &src, Addr(0x10000), 8).is_err());
     }
 
     #[test]

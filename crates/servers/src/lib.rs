@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod generic;
 pub mod scenarios;
 pub mod spec;
 pub mod updates;
 
+pub use cache::{cache_entry_nodes, dirty_cache_records, CacheServer, CACHE_BUCKETS, CACHE_PORT};
 pub use generic::{programs, GenericServer};
 pub use scenarios::{
     apply_scenario_writes, connection_nodes, dirty_cache_entries, dirty_connection_nodes, precopy_scenarios,
@@ -61,6 +63,20 @@ pub fn program_by_name(name: &str, generation: u32) -> GenericServer {
         "vsftpd" => programs::vsftpd(generation),
         "sshd" => programs::sshd(generation),
         other => panic!("unknown program {other}"),
+    }
+}
+
+/// Constructs a boxed program model for `name`: one of the four paper
+/// programs, or `"cache"` for the single-process memcached-style
+/// [`CacheServer`] archetype.
+///
+/// # Panics
+///
+/// Panics on an unknown program name.
+pub fn boxed_program_by_name(name: &str, generation: u32) -> Box<dyn mcr_core::Program> {
+    match name {
+        "cache" => Box::new(CacheServer::new(generation)),
+        other => Box::new(program_by_name(other, generation)),
     }
 }
 

@@ -25,6 +25,16 @@ pub fn workload_for(program: &str, requests: u64) -> WorkloadSpec {
         "nginx" => WorkloadSpec::apache_bench(8080, requests),
         "vsftpd" => WorkloadSpec::ftp_bench(21, requests),
         "sshd" => WorkloadSpec::ssh_suite(22, requests),
+        // The memcached-style slab cache: every request inserts one entry.
+        "cache" => WorkloadSpec {
+            name: "memslap".into(),
+            port: 11211,
+            requests,
+            request: b"set 96".to_vec(),
+            close_after_response: true,
+            idle_connections: 2,
+            interarrival_ns: 0,
+        },
         other => panic!("unknown program {other}"),
     }
 }

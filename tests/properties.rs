@@ -15,7 +15,10 @@ use mcr_core::transfer::{apply_field_map, compute_field_map};
 use mcr_procsim::{
     Addr, AddressSpace, AllocSite, FdTable, Kernel, ObjId, PtMalloc, RegionKind, TypeTag, PAGE_SIZE,
 };
-use mcr_servers::{dirty_connection_nodes, install_standard_files, program_by_name};
+use mcr_servers::{
+    dirty_cache_records, dirty_connection_nodes, install_standard_files, program_by_name, CacheServer,
+    CACHE_PORT,
+};
 use mcr_typemeta::{Field, InstrumentationConfig, TypeRegistry};
 use mcr_workload::{open_idle_connections, run_workload, workload_for};
 
@@ -575,6 +578,152 @@ fn precopy_and_stop_the_world_rollbacks_are_identical() {
         // The pre-copied attempt aborted after its concurrent rounds ran.
         assert!(pre.precopy.enabled && !pre.precopy.rounds.is_empty());
         let _ = stw;
+    }
+}
+
+/// Boots the single-process cache archetype, bulk-fills its heap, then
+/// live-updates gen-1 → gen-2 with the given intra-pair shard count. The
+/// seeded xorshift mutator dirties every 3rd cache entry once per "round":
+/// with `precopy == true` through the pipeline's between-rounds hook, with
+/// `precopy == false` all batches up front — both paths mutate the same
+/// addresses with the same values in the same order, so every configuration
+/// updates the same final memory image.
+#[allow(clippy::too_many_arguments)]
+fn sharded_cache_update(
+    entries: u64,
+    shards: usize,
+    rounds: usize,
+    precopy: bool,
+    mode: SchedulerMode,
+    fault: Option<FaultPlan>,
+    seed: u64,
+) -> (u64, Vec<mcr_core::Conflict>, UpdateReport) {
+    let mut kernel = Kernel::new();
+    let mut v1 = boot(&mut kernel, Box::new(CacheServer::new(1)), &BootOptions::default()).unwrap();
+    let conn = kernel.client_connect(CACHE_PORT).unwrap();
+    kernel.client_send(conn, format!("fill {entries} 96").into_bytes()).unwrap();
+    let _ = mcr_core::runtime::run_rounds(&mut kernel, &mut v1, 2).unwrap();
+    assert!(kernel.client_recv(conn).is_some(), "cache answered the fill");
+    kernel.client_close(conn).unwrap();
+    // Flip the scheduling core only now: every configuration enters the
+    // pipeline with byte-identical kernel and instance state.
+    v1.sched.mode = mode;
+    let mut rng = Rng::new(seed ^ 0x517a_11e5);
+    let stamps: Vec<u32> = (0..rounds).map(|_| rng.next() as u32).collect();
+    let opts = UpdateOptions {
+        scheduler: mode,
+        intra_pair_shards: shards,
+        precopy: if precopy {
+            PrecopyOptions { rounds, convergence_bytes: 0, serve_rounds: 1 }
+        } else {
+            PrecopyOptions::disabled()
+        },
+        ..Default::default()
+    };
+    let mut pipeline = if precopy {
+        let stamps = stamps.clone();
+        UpdatePipeline::for_options(&opts).with_precopy_hook(Box::new(move |kernel, old, round| {
+            dirty_cache_records(kernel, old, 3, stamps[round - 1]);
+        }))
+    } else {
+        for &stamp in &stamps {
+            dirty_cache_records(&mut kernel, &v1, 3, stamp);
+        }
+        UpdatePipeline::for_options(&opts)
+    };
+    if let Some(fault) = fault {
+        pipeline = pipeline.with_fault_plan(fault);
+    }
+    let (_survivor, outcome) =
+        pipeline.run(&mut kernel, v1, Box::new(CacheServer::new(2)), InstrumentationConfig::full(), &opts);
+    (kernel_fingerprint(&kernel), outcome.conflicts().to_vec(), outcome.report().clone())
+}
+
+/// The intra-pair sharded engine is deterministic end to end: on the
+/// single-process big-heap archetype, committed updates are byte-identical —
+/// kernel fingerprint, per-process transfer reports, conflicts and Table 2
+/// tracing stats — across `intra_pair_shards ∈ {1, 2, 7}`, on both scheduler
+/// cores, with pre-copy off and on (the seeded xorshift mutator dirtying
+/// entries between rounds). Only the charged makespan may shrink.
+#[test]
+fn intra_pair_sharded_commits_are_byte_identical() {
+    let mut fingerprints = Vec::new();
+    for mode in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
+        for precopy in [false, true] {
+            let (base_fp, base_conflicts, base) =
+                sharded_cache_update(300, 1, 3, precopy, mode, None, 0xCAC4E);
+            assert!(base_conflicts.is_empty(), "{mode:?}/{precopy}: {base_conflicts:?}");
+            assert!(base.transfer.objects_transferred() >= 600, "entries and values moved");
+            for shards in [2usize, 7] {
+                let (fp, conflicts, report) =
+                    sharded_cache_update(300, shards, 3, precopy, mode, None, 0xCAC4E);
+                assert!(conflicts.is_empty(), "{mode:?}/{precopy}/{shards}: {conflicts:?}");
+                assert_eq!(base_fp, fp, "{mode:?}/{precopy}/{shards} shards: kernel state diverged");
+                assert_eq!(
+                    base.tracing, report.tracing,
+                    "{mode:?}/{precopy}/{shards} shards: tracing stats diverged"
+                );
+                assert_eq!(
+                    base.transfer.per_process, report.transfer.per_process,
+                    "{mode:?}/{precopy}/{shards} shards: per-process transfer reports diverged"
+                );
+                assert_eq!(base.transfer.serial_duration, report.transfer.serial_duration);
+                assert_eq!(
+                    base.processes_matched + base.processes_recreated,
+                    report.processes_matched + report.processes_recreated
+                );
+                // The whole point: the charged trace+transfer makespan
+                // strictly improves on the single pair.
+                assert!(
+                    report.timings.state_transfer < base.timings.state_transfer,
+                    "{mode:?}/{precopy}/{shards} shards: no makespan speedup \
+                     ({:?} vs {:?})",
+                    report.timings.state_transfer,
+                    base.timings.state_transfer
+                );
+            }
+            fingerprints.push(base_fp);
+        }
+    }
+    // ... and the committed state is also identical across scheduler cores
+    // and pre-copy on/off (same seed → same final memory image).
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]), "cores / pre-copy diverged: {fingerprints:x?}");
+}
+
+/// Rollbacks too: a mid-phase fault at the n-th transferred object aborts
+/// the sharded update exactly like the serial one — same conflict list, same
+/// per-process reports, byte-identical post-rollback kernel state — whether
+/// the fault lands in the stop-the-world window or inside a concurrent
+/// pre-copy round.
+#[test]
+fn intra_pair_sharded_rollbacks_are_byte_identical() {
+    for precopy in [false, true] {
+        // A single matched pair with its serial apply pass makes the shared
+        // n-th-object counter deterministic, so the fault lands on the same
+        // object for every shard count.
+        let fault = || Some(FaultPlan::failing_at_transfer_object(25));
+        let (base_fp, base_conflicts, base) =
+            sharded_cache_update(200, 1, 2, precopy, SchedulerMode::EventDriven, fault(), 0xB0B0);
+        assert!(
+            base_conflicts.iter().any(|c| matches!(c, mcr_core::Conflict::FaultInjected { .. })),
+            "precopy={precopy}: the armed fault did not fire: {base_conflicts:?}"
+        );
+        for shards in [2usize, 7] {
+            let (fp, conflicts, report) =
+                sharded_cache_update(200, shards, 2, precopy, SchedulerMode::EventDriven, fault(), 0xB0B0);
+            assert_eq!(base_conflicts, conflicts, "precopy={precopy}/{shards}: conflict lists diverged");
+            assert_eq!(base_fp, fp, "precopy={precopy}/{shards}: post-rollback kernel state diverged");
+            assert_eq!(
+                base.transfer.per_process, report.transfer.per_process,
+                "precopy={precopy}/{shards}: per-process reports diverged"
+            );
+            assert_eq!(base.phases.records().len(), report.phases.records().len());
+        }
+        // With pre-copy the abort happened inside a concurrent round: the
+        // old instance was still live, so no downtime was charged.
+        if precopy {
+            assert_eq!(base.timings.downtime.0, 0, "fault inside a round costs no downtime");
+        }
     }
 }
 
