@@ -1,19 +1,28 @@
 //! A fleet-scale server model: one thread per connection, almost all idle.
 //!
-//! [`FleetServer`] is the workload behind `benches/fleet_scale.rs`: a single
-//! process whose main thread accepts every pending connection and hands
-//! connection *i* to dedicated reader thread `conn-i`. Each reader parks on
-//! its own connection object, so with an event-driven scheduler a round in
-//! which only k connections receive data costs O(k) thread steps — while the
-//! full-scan ablation pays one step per thread per round regardless. This is
-//! the mostly-idle-sessions regime the DBMS live-patching and CheckSync
-//! studies evaluate quiesce/checkpoint cost under.
-
-use std::collections::BTreeMap;
+//! [`FleetServer`] is the workload behind `benches/fleet_scale.rs` and
+//! `benches/fleet_latency.rs`: a single process whose main thread accepts
+//! every pending connection and hands connection *i* to dedicated reader
+//! thread `conn-i`. Each reader parks on its own connection object, so with
+//! an event-driven scheduler a round in which only k connections receive
+//! data costs O(k) thread steps — while the full-scan ablation pays one step
+//! per thread per round regardless. This is the mostly-idle-sessions regime
+//! the DBMS live-patching and CheckSync studies evaluate quiesce/checkpoint
+//! cost under.
+//!
+//! # Sessions survive live updates
+//!
+//! The slot → descriptor map is mirrored in a simulated-memory global
+//! (`conn_fds`, `fd + 1` per 4-byte slot, 0 = empty), the same pattern the
+//! simulated sshd uses for its listen socket: descriptor numbers are
+//! transferred verbatim by the update pipeline and the global's bytes are
+//! migrated by state transfer, so the *new* program version looks its
+//! sessions up from transferred memory and keeps serving them — which is
+//! what lets the latency bench measure request tails *through* an update.
 
 use mcr_core::error::{McrError, McrResult};
 use mcr_core::program::{Program, ProgramEnv, StepOutcome, WaitInterest};
-use mcr_procsim::{Fd, SimDuration, SimError, Syscall};
+use mcr_procsim::{Addr, Fd, SimDuration, SimError, Syscall};
 use mcr_typemeta::TypeRegistry;
 
 /// TCP port the fleet server listens on.
@@ -22,9 +31,14 @@ pub const FLEET_PORT: u16 = 9000;
 /// A single-process server with one reader thread per connection.
 pub struct FleetServer {
     sessions: usize,
+    version: String,
     listen_fd: Option<Fd>,
     /// Connection slot → descriptor, filled by the acceptor in arrival order.
-    conns: BTreeMap<usize, Fd>,
+    conns: Vec<Option<Fd>>,
+    /// Base of the `conn_fds` global mirroring `conns` in simulated memory
+    /// (`None` when the fleet is too large for the static region — such
+    /// fleets still serve, their sessions just do not survive an update).
+    conn_fds: Option<Addr>,
     accepted: usize,
     handled: u64,
 }
@@ -32,12 +46,58 @@ pub struct FleetServer {
 impl FleetServer {
     /// Creates a server that will host `sessions` reader threads.
     pub fn new(sessions: usize) -> Self {
-        FleetServer { sessions, listen_fd: None, conns: BTreeMap::new(), accepted: 0, handled: 0 }
+        Self::with_version(sessions, 1)
+    }
+
+    /// Creates a specific version of the server (the update target passes a
+    /// higher version; the session logic is identical).
+    pub fn with_version(sessions: usize, version: u32) -> Self {
+        FleetServer {
+            sessions,
+            version: format!("{version}.0"),
+            listen_fd: None,
+            conns: vec![None; sessions],
+            conn_fds: None,
+            accepted: 0,
+            handled: 0,
+        }
     }
 
     /// Events handled so far (sanity check for the bench).
     pub fn handled(&self) -> u64 {
         self.handled
+    }
+
+    /// Resolves a slot's descriptor: the in-struct cache first, then the
+    /// `conn_fds` global (the path a freshly updated version takes — its
+    /// cache is empty but the transferred memory still names every fd).
+    fn slot_fd(&mut self, env: &ProgramEnv<'_>, slot: usize) -> Option<Fd> {
+        if let Some(fd) = self.conns.get(slot).copied().flatten() {
+            return Some(fd);
+        }
+        let base = self.conn_fds?;
+        let raw = env.read_u32(base.offset(4 * slot as u64)).ok()?;
+        if raw == 0 {
+            return None;
+        }
+        let fd = Fd(raw as i32 - 1);
+        if slot >= self.conns.len() {
+            self.conns.resize(slot + 1, None);
+        }
+        self.conns[slot] = Some(fd);
+        Some(fd)
+    }
+
+    /// Records `fd` for `slot` in the cache and the `conn_fds` global.
+    fn set_slot_fd(&mut self, env: &mut ProgramEnv<'_>, slot: usize, fd: Fd) -> McrResult<()> {
+        if slot >= self.conns.len() {
+            self.conns.resize(slot + 1, None);
+        }
+        self.conns[slot] = Some(fd);
+        if let Some(base) = self.conn_fds {
+            env.write_u32(base.offset(4 * slot as u64), fd.0 as u32 + 1)?;
+        }
+        Ok(())
     }
 
     /// Drains the whole backlog, assigning descriptors to slots in arrival
@@ -52,7 +112,8 @@ impl FleetServer {
                 Ok(ret) => {
                     let conn_fd =
                         ret.as_fd().ok_or_else(|| McrError::InvalidState("accept returned no fd".into()))?;
-                    self.conns.insert(self.accepted, conn_fd);
+                    let slot = self.accepted;
+                    self.set_slot_fd(env, slot, conn_fd)?;
                     self.accepted += 1;
                     new_conns += 1;
                 }
@@ -70,7 +131,7 @@ impl FleetServer {
     }
 
     fn session_step(&mut self, env: &mut ProgramEnv<'_>, slot: usize) -> McrResult<StepOutcome> {
-        let Some(&fd) = self.conns.get(&slot) else {
+        let Some(fd) = self.slot_fd(env, slot) else {
             // Connection not accepted yet: retry on a short timer instead of
             // being re-polled every round.
             return Ok(StepOutcome::WouldBlock {
@@ -109,7 +170,7 @@ impl Program for FleetServer {
     }
 
     fn version(&self) -> &str {
-        "1.0"
+        &self.version
     }
 
     fn register_types(&mut self, types: &mut TypeRegistry) {
@@ -126,6 +187,10 @@ impl Program for FleetServer {
             env.syscall(Syscall::Bind { fd, port: FLEET_PORT })?;
             env.syscall(Syscall::Listen { fd })?;
             self.listen_fd = Some(fd);
+            // The update-surviving session map: 4 bytes per slot in the
+            // static region. Fleets beyond the region's capacity simply skip
+            // the mirror (they still serve; only update survival is lost).
+            self.conn_fds = env.define_global_opaque("conn_fds", 4 * sessions as u64).ok();
             env.scoped("spawn_sessions", |env| {
                 for i in 0..sessions {
                     env.spawn_thread(&format!("conn-{i}"))?;
@@ -222,5 +287,34 @@ mod tests {
             wait_quiescence(&mut kernel, &mut instance, 10).unwrap();
             assert!(all_quiesced(&kernel, &instance), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn sessions_survive_a_live_update_via_the_conn_fds_global() {
+        use mcr_core::runtime::{live_update, UpdateOptions};
+        use mcr_typemeta::InstrumentationConfig;
+
+        let (mut kernel, mut v1) = fleet(8, SchedulerMode::EventDriven);
+        let conn = mcr_procsim::ConnId(4);
+        kernel.client_send(conn, b"before".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut v1, 2).unwrap();
+        assert!(kernel.client_recv(conn).is_some(), "served before the update");
+
+        let (mut v2, outcome) = live_update(
+            &mut kernel,
+            v1,
+            Box::new(FleetServer::with_version(8, 2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+        );
+        assert!(outcome.is_committed(), "update commits: {:?}", outcome.conflicts());
+
+        // The new version's reader recovers the descriptor from transferred
+        // memory and keeps serving the same connection.
+        kernel.client_send(conn, b"after".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut v2, 3).unwrap();
+        let reply = kernel.client_recv(conn).expect("served across the update");
+        assert!(String::from_utf8_lossy(&reply).contains("fleet ack"));
+        assert_eq!(v2.state.counters.events_handled, 1);
     }
 }

@@ -43,7 +43,7 @@ pub mod microbench;
 
 pub use fleet::{FleetServer, FLEET_PORT};
 pub use json::Json;
-pub use microbench::{BenchGroup, BenchResult};
+pub use microbench::{percentile_of, BenchGroup, BenchResult};
 
 /// The four evaluated program names, in the paper's order.
 pub const PROGRAMS: [&str; 4] = ["httpd", "nginx", "vsftpd", "sshd"];

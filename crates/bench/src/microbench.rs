@@ -32,14 +32,56 @@ impl BenchResult {
         self.samples.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
+    /// The `p`-th percentile (0–100) over the recorded samples, by the
+    /// nearest-rank method: the smallest sample such that at least `p`% of
+    /// all samples are ≤ it. Exact for tail percentiles over large sample
+    /// sets (a latency harness records one sample per request), and
+    /// `percentile(50)` matches a conventional median for odd counts.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_of(&self.samples, p)
+    }
+
+    /// Median (p50) by nearest rank.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile by nearest rank.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile by nearest rank.
+    pub fn p999(&self) -> f64 {
+        self.percentile(99.9)
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::str(&self.name)),
             ("median_s", Json::Num(self.median())),
             ("min_s", Json::Num(self.min())),
+            ("p50_s", Json::Num(self.p50())),
+            ("p99_s", Json::Num(self.p99())),
+            ("p999_s", Json::Num(self.p999())),
             ("samples", Json::Num(self.samples.len() as f64)),
         ])
     }
+}
+
+/// Nearest-rank percentile over an unsorted slice (`p` in 0–100).
+///
+/// Shared by [`BenchResult`] and benches that compute percentiles over
+/// sample sets they never wrap in a result (e.g. per-phase request
+/// latencies in `benches/fleet_latency.rs`).
+pub fn percentile_of(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile needs at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    // The epsilon absorbs binary-float noise in p/100 * n (e.g. 0.999 * 1000
+    // = 999.0000000000001, which would otherwise ceil to the wrong rank).
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Runs a named group of micro-benchmarks and reports the results.
@@ -142,6 +184,20 @@ mod tests {
         assert_eq!(results[0].name, "unit/noop");
         assert_eq!(results[0].samples.len(), 3);
         assert!(results[0].min() <= results[0].median());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let r = BenchResult { name: "unit/p".into(), samples };
+        assert_eq!(r.p50(), 500.0);
+        assert_eq!(r.p99(), 990.0);
+        assert_eq!(r.p999(), 999.0);
+        assert_eq!(r.percentile(100.0), 1000.0);
+        assert_eq!(r.percentile(0.0), 1.0);
+        let single = BenchResult { name: "unit/one".into(), samples: vec![7.0] };
+        assert_eq!(single.p50(), 7.0);
+        assert_eq!(single.p999(), 7.0);
     }
 
     #[test]

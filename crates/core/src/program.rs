@@ -9,8 +9,6 @@
 //! as tracing roots, and the quiescence machinery observes where threads
 //! block.
 
-use std::collections::BTreeMap;
-
 use mcr_procsim::{
     Addr, AllocSite, Fd, Kernel, Pid, PoolId, SimDuration, SimError, Syscall, SyscallRet, Tid, TypeTag,
 };
@@ -186,10 +184,12 @@ pub struct InstanceState {
     pub lib_objects: Vec<(Addr, u64, std::sync::Arc<str>)>,
     /// Simulated time spent in the startup phase (record or replay).
     pub startup_duration: mcr_procsim::SimDuration,
-    /// `(pid, tid)` → index into `threads`, so per-step roster lookups stay
-    /// O(log threads) at fleet scale. Maintained by [`InstanceState::add_roster_entry`];
-    /// lookups fall back to a linear scan for entries pushed directly.
-    roster_index: BTreeMap<(u32, u32), usize>,
+    /// Raw tid → index into `threads` (tids are globally unique), so
+    /// per-step roster lookups are one bounds-checked vector probe at fleet
+    /// scale. `u32::MAX` marks an unindexed slot. Maintained by
+    /// [`InstanceState::add_roster_entry`]; lookups verify the entry and fall
+    /// back to a linear scan for entries pushed directly.
+    roster_index: Vec<u32>,
     static_bump: u64,
     lib_bump: u64,
 }
@@ -220,7 +220,7 @@ impl InstanceState {
             dyn_alloc_log: Vec::new(),
             lib_objects: Vec::new(),
             startup_duration: mcr_procsim::SimDuration(0),
-            roster_index: BTreeMap::new(),
+            roster_index: Vec::new(),
             static_bump: 0,
             lib_bump: 0,
         }
@@ -228,14 +228,18 @@ impl InstanceState {
 
     /// Appends a thread to the roster, keeping the index in sync.
     pub fn add_roster_entry(&mut self, entry: ThreadRosterEntry) {
-        self.roster_index.insert((entry.pid.0, entry.tid.0), self.threads.len());
+        let slot = entry.tid.0 as usize;
+        if slot >= self.roster_index.len() {
+            self.roster_index.resize(slot + 1, u32::MAX);
+        }
+        self.roster_index[slot] = self.threads.len() as u32;
         self.threads.push(entry);
     }
 
     fn roster_position(&self, pid: Pid, tid: Tid) -> Option<usize> {
-        if let Some(&i) = self.roster_index.get(&(pid.0, tid.0)) {
-            if self.threads.get(i).is_some_and(|t| t.pid == pid && t.tid == tid) {
-                return Some(i);
+        if let Some(&i) = self.roster_index.get(tid.0 as usize) {
+            if self.threads.get(i as usize).is_some_and(|t| t.pid == pid && t.tid == tid) {
+                return Some(i as usize);
             }
         }
         self.threads.iter().position(|t| t.pid == pid && t.tid == tid)

@@ -37,7 +37,7 @@
 //! and reports on both paths, and the fleet-scale bench uses it as the
 //! baseline its scaling assertion compares against.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use mcr_procsim::{Kernel, Pid, SimDuration, SimInstant, ThreadState, Tid};
 use mcr_typemeta::InstrumentationConfig;
@@ -58,6 +58,38 @@ pub enum SchedulerMode {
     FullScan,
 }
 
+/// A grow-on-demand bitset over small dense integer keys (raw pids/tids).
+/// One cache-friendly word probe replaces an ordered-set lookup on the
+/// scheduler's hottest paths.
+#[derive(Debug, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Sets `idx`; returns `true` if it was not set before.
+    fn insert(&mut self, idx: u32) -> bool {
+        let w = (idx / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (idx % 64);
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    fn remove(&mut self, idx: u32) {
+        if let Some(word) = self.words.get_mut((idx / 64) as usize) {
+            *word &= !(1u64 << (idx % 64));
+        }
+    }
+
+    fn contains(&self, idx: u32) -> bool {
+        self.words.get((idx / 64) as usize).is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+}
+
 /// Per-instance scheduler state: the ready deque plus admission bookkeeping.
 ///
 /// The scheduler holds no borrows — it is plain queue state owned by the
@@ -69,25 +101,29 @@ pub struct Scheduler {
     pub mode: SchedulerMode,
     /// Runnable threads, in wake/admission order.
     ready: VecDeque<(Pid, Tid)>,
-    /// Dedup set mirroring `ready`.
-    ready_set: BTreeSet<(u32, u32)>,
+    /// Dedup bitset mirroring `ready`, keyed by raw tid (tids are globally
+    /// unique, so the tid alone identifies the thread).
+    ready_set: BitSet,
     /// Roster watermark: entries below this index have been admitted.
     admitted: usize,
     /// Pids owned by this instance (drains only its own kernel wakeups).
-    pids: BTreeSet<u32>,
+    pids: BitSet,
+    /// Reusable batch buffer for kernel wake delivery: one allocation serves
+    /// every `drain_wakeups` call instead of a fresh vector per drain.
+    wake_buf: Vec<(Pid, Tid)>,
 }
 
 impl Scheduler {
     /// Queues a thread as runnable (idempotent while it is already queued).
     fn push_ready(&mut self, pid: Pid, tid: Tid) {
-        if self.ready_set.insert((pid.0, tid.0)) {
+        if self.ready_set.insert(tid.0) {
             self.ready.push_back((pid, tid));
         }
     }
 
     fn pop_ready(&mut self) -> Option<(Pid, Tid)> {
         let (pid, tid) = self.ready.pop_front()?;
-        self.ready_set.remove(&(pid.0, tid.0));
+        self.ready_set.remove(tid.0);
         Some((pid, tid))
     }
 
@@ -104,15 +140,17 @@ impl Scheduler {
         }
     }
 
-    /// Moves this instance's queued kernel wakeups onto the ready deque,
-    /// returning how many threads were woken.
+    /// Moves this instance's queued kernel wakeups onto the ready deque in
+    /// one batched pass, returning how many threads were woken.
     fn drain_wakeups(&mut self, kernel: &mut Kernel) -> usize {
+        let mut buf = std::mem::take(&mut self.wake_buf);
         let pids = &self.pids;
-        let woken = kernel.drain_wakeups_where(|pid| pids.contains(&pid.0));
-        let n = woken.len();
-        for (pid, tid) in woken {
+        kernel.drain_wakeups_into(|pid| pids.contains(pid.0), &mut buf);
+        let n = buf.len();
+        for &(pid, tid) in &buf {
             self.push_ready(pid, tid);
         }
+        self.wake_buf = buf;
         n
     }
 
@@ -159,7 +197,7 @@ impl Scheduler {
                     // fire and its wakeup (and any client data it would
                     // have served) would be lost.
                     let pids = &sched.pids;
-                    let Some(deadline) = kernel.next_timer_deadline_where(|pid| pids.contains(&pid.0)) else {
+                    let Some(deadline) = kernel.next_timer_deadline_where(|pid| pids.contains(pid.0)) else {
                         break;
                     };
                     kernel.advance_clock(deadline.duration_since(kernel.now()));

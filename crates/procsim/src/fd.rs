@@ -5,8 +5,17 @@
 //! lowest-free-first, are copied wholesale across `fork`, and can be installed
 //! at explicit numbers (`dup2`-style) or in a reserved high range that is
 //! never recycled by ordinary allocation.
+//!
+//! Storage is dense: the low range is a vector indexed directly by descriptor
+//! number (O(1) lookup at any fleet size) with a min-heap free-list that
+//! keeps allocation lowest-free-first, and the reserved range is a second
+//! vector indexed by `fd - RESERVED_FD_BASE` whose slots are handed out
+//! monotonically and never reused. Iteration walks the low range ascending,
+//! then the reserved range ascending — the same total order the historical
+//! ordered-map layout produced.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::error::{SimError, SimResult};
 use crate::ids::{Fd, ObjId, RESERVED_FD_BASE};
@@ -24,31 +33,98 @@ pub struct FdEntry {
 }
 
 /// A process's descriptor table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FdTable {
-    entries: BTreeMap<i32, FdEntry>,
-    /// Next candidate in the reserved range.
+    /// Low (ordinary) range, indexed by descriptor number.
+    low: Vec<Option<FdEntry>>,
+    /// Candidate free slots below `low.len()`; entries may be stale (slot
+    /// since refilled) or duplicated — allocation pops and re-checks.
+    low_free: BinaryHeap<Reverse<i32>>,
+    /// Open descriptors in the low range.
+    low_len: usize,
+    /// Reserved range, indexed by `fd - RESERVED_FD_BASE`.
+    reserved: Vec<Option<FdEntry>>,
+    /// Open descriptors in the reserved range.
+    reserved_len: usize,
+    /// Next candidate in the reserved range (monotonic; freed reserved
+    /// numbers are never reissued).
     next_reserved: i32,
+}
+
+impl Default for FdTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FdTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        FdTable { entries: BTreeMap::new(), next_reserved: RESERVED_FD_BASE }
+        FdTable {
+            low: Vec::new(),
+            low_free: BinaryHeap::new(),
+            low_len: 0,
+            reserved: Vec::new(),
+            reserved_len: 0,
+            next_reserved: RESERVED_FD_BASE,
+        }
+    }
+
+    fn slot(&self, fd: Fd) -> Option<&FdEntry> {
+        if fd.0 < 0 {
+            None
+        } else if fd.0 < RESERVED_FD_BASE {
+            self.low.get(fd.0 as usize)?.as_ref()
+        } else {
+            self.reserved.get((fd.0 - RESERVED_FD_BASE) as usize)?.as_ref()
+        }
+    }
+
+    fn slot_mut(&mut self, fd: Fd) -> Option<&mut Option<FdEntry>> {
+        if fd.0 < 0 {
+            None
+        } else if fd.0 < RESERVED_FD_BASE {
+            self.low.get_mut(fd.0 as usize)
+        } else {
+            self.reserved.get_mut((fd.0 - RESERVED_FD_BASE) as usize)
+        }
+    }
+
+    /// Grows the relevant range so `fd` has a slot, recording any freshly
+    /// created gaps below it as allocation candidates.
+    fn ensure_slot(&mut self, fd: Fd) {
+        if fd.0 < RESERVED_FD_BASE {
+            let idx = fd.0 as usize;
+            if idx >= self.low.len() {
+                for gap in self.low.len()..idx {
+                    self.low_free.push(Reverse(gap as i32));
+                }
+                self.low.resize(idx + 1, None);
+            }
+        } else {
+            let idx = (fd.0 - RESERVED_FD_BASE) as usize;
+            if idx >= self.reserved.len() {
+                self.reserved.resize(idx + 1, None);
+            }
+        }
     }
 
     /// Allocates the lowest free non-reserved descriptor for `object`.
     pub fn alloc(&mut self, object: ObjId) -> Fd {
-        let mut candidate = 0;
-        for (&fd, _) in self.entries.range(0..RESERVED_FD_BASE) {
-            if fd == candidate {
-                candidate += 1;
-            } else if fd > candidate {
-                break;
+        let entry = FdEntry { object, cloexec: false, inherited: false };
+        while let Some(Reverse(candidate)) = self.low_free.pop() {
+            let idx = candidate as usize;
+            if idx < self.low.len() && self.low[idx].is_none() {
+                self.low[idx] = Some(entry);
+                self.low_len += 1;
+                return Fd(candidate);
             }
+            // Stale or duplicate candidate: the slot was refilled since it
+            // was pushed; drop it and keep looking.
         }
-        let fd = Fd(candidate);
-        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited: false });
+        let fd = Fd(self.low.len() as i32);
+        self.low.push(Some(entry));
+        self.low_len += 1;
         fd
     }
 
@@ -60,7 +136,9 @@ impl FdTable {
     pub fn alloc_reserved(&mut self, object: ObjId) -> Fd {
         let fd = Fd(self.next_reserved);
         self.next_reserved += 1;
-        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited: true });
+        self.ensure_slot(fd);
+        *self.slot_mut(fd).expect("ensured") = Some(FdEntry { object, cloexec: false, inherited: true });
+        self.reserved_len += 1;
         fd
     }
 
@@ -70,19 +148,35 @@ impl FdTable {
     ///
     /// Returns [`SimError::FdInUse`] if the slot is occupied.
     pub fn install_at(&mut self, fd: Fd, object: ObjId, inherited: bool) -> SimResult<()> {
-        if self.entries.contains_key(&fd.0) {
+        if self.slot(fd).is_some() {
             return Err(SimError::FdInUse(fd));
         }
         if fd.is_reserved() {
             self.next_reserved = self.next_reserved.max(fd.0 + 1);
         }
-        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited });
+        self.ensure_slot(fd);
+        *self.slot_mut(fd).expect("ensured") = Some(FdEntry { object, cloexec: false, inherited });
+        if fd.is_reserved() {
+            self.reserved_len += 1;
+        } else {
+            self.low_len += 1;
+        }
         Ok(())
     }
 
     /// Replaces whatever is at `fd` with `object` (dup2 onto an open slot).
     pub fn replace(&mut self, fd: Fd, object: ObjId, inherited: bool) -> Option<FdEntry> {
-        self.entries.insert(fd.0, FdEntry { object, cloexec: false, inherited })
+        self.ensure_slot(fd);
+        let slot = self.slot_mut(fd).expect("ensured");
+        let old = slot.replace(FdEntry { object, cloexec: false, inherited });
+        if old.is_none() {
+            if fd.is_reserved() {
+                self.reserved_len += 1;
+            } else {
+                self.low_len += 1;
+            }
+        }
+        old
     }
 
     /// Looks up a descriptor.
@@ -91,7 +185,7 @@ impl FdTable {
     ///
     /// Returns [`SimError::BadFd`] for an unknown descriptor.
     pub fn get(&self, fd: Fd) -> SimResult<FdEntry> {
-        self.entries.get(&fd.0).copied().ok_or(SimError::BadFd(fd))
+        self.slot(fd).copied().ok_or(SimError::BadFd(fd))
     }
 
     /// Removes a descriptor, returning its entry.
@@ -100,40 +194,57 @@ impl FdTable {
     ///
     /// Returns [`SimError::BadFd`] for an unknown descriptor.
     pub fn remove(&mut self, fd: Fd) -> SimResult<FdEntry> {
-        self.entries.remove(&fd.0).ok_or(SimError::BadFd(fd))
+        let entry = self.slot_mut(fd).and_then(Option::take).ok_or(SimError::BadFd(fd))?;
+        if fd.is_reserved() {
+            self.reserved_len -= 1;
+        } else {
+            self.low_len -= 1;
+            self.low_free.push(Reverse(fd.0));
+        }
+        Ok(entry)
     }
 
     /// Sets the close-on-exec flag.
     pub fn set_cloexec(&mut self, fd: Fd, cloexec: bool) -> SimResult<()> {
-        let e = self.entries.get_mut(&fd.0).ok_or(SimError::BadFd(fd))?;
-        e.cloexec = cloexec;
-        Ok(())
+        match self.slot_mut(fd) {
+            Some(Some(e)) => {
+                e.cloexec = cloexec;
+                Ok(())
+            }
+            _ => Err(SimError::BadFd(fd)),
+        }
     }
 
     /// Whether the descriptor is open.
     pub fn contains(&self, fd: Fd) -> bool {
-        self.entries.contains_key(&fd.0)
+        self.slot(fd).is_some()
     }
 
     /// Iterates over `(fd, entry)` pairs in ascending descriptor order.
     pub fn iter(&self) -> impl Iterator<Item = (Fd, FdEntry)> + '_ {
-        self.entries.iter().map(|(&fd, &e)| (Fd(fd), e))
+        let low = self.low.iter().enumerate().filter_map(|(i, e)| e.map(|e| (Fd(i as i32), e)));
+        let reserved = self
+            .reserved
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (Fd(RESERVED_FD_BASE + i as i32), e)));
+        low.chain(reserved)
     }
 
     /// Number of open descriptors.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.low_len + self.reserved_len
     }
 
     /// True if no descriptors are open.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Removes all descriptors marked close-on-exec (called by `exec`).
     pub fn drop_cloexec(&mut self) -> Vec<FdEntry> {
-        let doomed: Vec<i32> = self.entries.iter().filter(|(_, e)| e.cloexec).map(|(&fd, _)| fd).collect();
-        doomed.into_iter().filter_map(|fd| self.entries.remove(&fd)).collect()
+        let doomed: Vec<Fd> = self.iter().filter(|(_, e)| e.cloexec).map(|(fd, _)| fd).collect();
+        doomed.into_iter().filter_map(|fd| self.remove(fd).ok()).collect()
     }
 
     /// Removes every inherited descriptor that is still unused at the end of
@@ -142,13 +253,9 @@ impl FdTable {
     where
         F: FnMut(Fd, &FdEntry) -> bool,
     {
-        let doomed: Vec<i32> = self
-            .entries
-            .iter()
-            .filter(|(&fd, e)| e.inherited && !keep(Fd(fd), e))
-            .map(|(&fd, _)| fd)
-            .collect();
-        doomed.into_iter().filter_map(|fd| self.entries.remove(&fd)).collect()
+        let doomed: Vec<Fd> =
+            self.iter().filter(|&(fd, ref e)| e.inherited && !keep(fd, e)).map(|(fd, _)| fd).collect();
+        doomed.into_iter().filter_map(|fd| self.remove(fd).ok()).collect()
     }
 }
 
@@ -191,6 +298,37 @@ mod tests {
         assert_eq!(t.get(Fd(5)).unwrap().object, ObjId(1));
         assert!(t.get(Fd(5)).unwrap().inherited);
         assert!(matches!(t.get(Fd(9)), Err(SimError::BadFd(_))));
+    }
+
+    #[test]
+    fn install_at_gap_keeps_lowest_free_allocation() {
+        let mut t = FdTable::new();
+        // Installing beyond the current end leaves 0..5 free; allocation
+        // must still fill those lowest-first.
+        t.install_at(Fd(5), ObjId(1), false).unwrap();
+        assert_eq!(t.alloc(ObjId(2)), Fd(0));
+        assert_eq!(t.alloc(ObjId(3)), Fd(1));
+        assert_eq!(t.alloc(ObjId(4)), Fd(2));
+        assert_eq!(t.alloc(ObjId(5)), Fd(3));
+        assert_eq!(t.alloc(ObjId(6)), Fd(4));
+        assert_eq!(t.alloc(ObjId(7)), Fd(6), "5 is occupied, next free is 6");
+        let fds: Vec<i32> = t.iter().map(|(fd, _)| fd.0).collect();
+        assert_eq!(fds, vec![0, 1, 2, 3, 4, 5, 6], "iteration stays ascending");
+    }
+
+    #[test]
+    fn double_remove_and_refill_keep_free_list_coherent() {
+        let mut t = FdTable::new();
+        let a = t.alloc(ObjId(1));
+        let _b = t.alloc(ObjId(2));
+        t.remove(a).unwrap();
+        // Refill fd 0 explicitly, then free it again: the free-list now holds
+        // a duplicate candidate, which allocation must tolerate.
+        t.install_at(a, ObjId(3), false).unwrap();
+        t.remove(a).unwrap();
+        assert_eq!(t.alloc(ObjId(4)), a);
+        assert_eq!(t.alloc(ObjId(5)), Fd(2), "duplicate candidate was discarded");
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

@@ -22,13 +22,23 @@
 //! * **A FIFO wake queue** — state changes (`client_connect`,
 //!   `client_send`, peer close, queued Unix datagrams, pipe writes, expired
 //!   timers) move the affected waiters onto a deduplicated FIFO queue that
-//!   schedulers drain with [`Kernel::drain_wakeups_where`].
+//!   schedulers drain with [`Kernel::drain_wakeups_where`] (or, batched into
+//!   a reusable buffer, [`Kernel::drain_wakeups_into`]).
 //!
-//! Every structure is ordered (`BTreeMap` + FIFO `VecDeque`), so wake order
-//! is a pure function of the event history: simulated runs stay
-//! deterministic and reproducible regardless of host scheduling.
+//! **Ordering contract.** Wake order is a pure function of the event
+//! history, so simulated runs stay deterministic and reproducible regardless
+//! of host scheduling. The guaranteed orders are: wakeups are delivered in
+//! enqueue order (FIFO, deduplicated — a thread woken twice before being
+//! scheduled runs once, at its first queue position); each object's waiter
+//! list wakes in park order; timers fire in (deadline, registration) order;
+//! and process, descriptor and object iteration is ascending-id. Since PR 6
+//! the containers *behind* that contract are dense generation-checked slabs,
+//! intrusive waiter lists and a bucketed timer wheel rather than ordered
+//! maps — the orders above are the invariant, not the data structures, and
+//! the property suite proves fingerprints are byte-identical to the old
+//! ordered-map substrate.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::clock::{SimDuration, SimInstant, VirtualClock};
 use crate::error::{SimError, SimResult};
@@ -59,6 +69,20 @@ struct ClientConn {
     closed: bool,
 }
 
+/// Slot-index sentinel ("none" / list end) shared by the kernel's intrusive
+/// structures.
+const NIL: u32 = u32::MAX;
+
+/// First tid the kernel hands out; the dense wait table is indexed by
+/// `tid - TID_BASE`.
+const TID_BASE: u32 = 1000;
+
+/// Timer-wheel bucket granularity: deadlines are grouped into
+/// `2^TIMER_BUCKET_SHIFT`-nanosecond buckets (~65 µs). Entries within a
+/// bucket are sorted by (deadline, registration) at fire time, so the wheel
+/// delivers exactly the order a fully-sorted wheel would.
+const TIMER_BUCKET_SHIFT: u32 = 16;
+
 /// Where a blocked thread is parked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WaitTarget {
@@ -69,64 +93,180 @@ enum WaitTarget {
     Timer(SimInstant),
 }
 
+/// Per-thread wait bookkeeping, stored densely by `tid - TID_BASE`.
+#[derive(Debug, Clone, Copy)]
+struct WaitSlot {
+    /// Owning pid (valid while registered or queued).
+    pid: u32,
+    /// Current registration, if any.
+    target: Option<WaitTarget>,
+    /// Registration sequence of the current timer target; a wheel entry
+    /// whose (deadline, seq) no longer matches is stale (lazy cancellation).
+    timer_seq: u64,
+    /// Intrusive FIFO links within an object's waiter list (tid-indices).
+    prev: u32,
+    next: u32,
+    /// Whether the thread sits on the wake queue (the dedup flag the old
+    /// `wake_set` provided, now an O(1) bit).
+    queued: bool,
+}
+
+impl Default for WaitSlot {
+    fn default() -> Self {
+        WaitSlot { pid: 0, target: None, timer_seq: 0, prev: NIL, next: NIL, queued: false }
+    }
+}
+
+/// FIFO endpoints of one object's intrusive waiter list (tid-indices).
+#[derive(Debug, Clone, Copy)]
+struct WaiterList {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for WaiterList {
+    fn default() -> Self {
+        WaiterList { head: NIL, tail: NIL }
+    }
+}
+
+/// One parked timer registration. Entries are never removed on cancel; they
+/// are validated against the thread's slot at fire/lookup time instead.
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    pid: u32,
+    tid: u32,
+}
+
 /// The kernel's readiness bookkeeping: who waits on what, and who has been
 /// woken but not yet rescheduled.
 ///
 /// A thread is registered on at most one target at a time; re-registering
-/// moves it. All containers are ordered, so wake order is deterministic.
+/// moves it. Registrations live in a dense per-thread slot table; object
+/// waiters form intrusive FIFO lists through those slots; timers sit on a
+/// bucketed wheel with lazy cancellation. Wake order is deterministic — see
+/// the module docs for the exact contract.
 #[derive(Debug, Clone, Default)]
 struct WaitState {
-    /// Registration index: thread → the target it waits on.
-    by_thread: BTreeMap<(u32, u32), WaitTarget>,
-    /// FIFO wait queue per kernel object.
-    object_waiters: BTreeMap<u64, VecDeque<(Pid, Tid)>>,
-    /// Timer wheel: deadline (ns) → FIFO of threads to wake.
-    timer_wheel: BTreeMap<u64, VecDeque<(Pid, Tid)>>,
+    /// Dense per-thread slots, indexed by `tid - TID_BASE`.
+    slots: Vec<WaitSlot>,
+    /// Per-object waiter-list endpoints, indexed by raw [`ObjId`].
+    object_waiters: Vec<WaiterList>,
+    /// Timer wheel: bucket (`deadline >> TIMER_BUCKET_SHIFT`) → entries.
+    timer: BTreeMap<u64, Vec<TimerEntry>>,
+    /// Monotonic registration counter tagging timer parks.
+    timer_seq: u64,
+    /// Number of threads currently registered on a target.
+    registered: usize,
     /// Threads woken but not yet picked up by a scheduler, in wake order.
     wake_queue: VecDeque<(Pid, Tid)>,
-    /// Dedup set mirroring `wake_queue`.
-    wake_set: BTreeSet<(u32, u32)>,
     /// Total wakeups ever enqueued (statistics).
     wakeups_issued: u64,
 }
 
 impl WaitState {
-    fn cancel(&mut self, pid: Pid, tid: Tid) {
-        let key = (pid.0, tid.0);
-        match self.by_thread.remove(&key) {
-            Some(WaitTarget::Object(obj)) => {
-                if let Some(q) = self.object_waiters.get_mut(&obj.0) {
-                    q.retain(|&(p, t)| (p.0, t.0) != key);
-                    if q.is_empty() {
-                        self.object_waiters.remove(&obj.0);
-                    }
-                }
-            }
-            Some(WaitTarget::Timer(at)) => {
-                if let Some(q) = self.timer_wheel.get_mut(&at.0) {
-                    q.retain(|&(p, t)| (p.0, t.0) != key);
-                    if q.is_empty() {
-                        self.timer_wheel.remove(&at.0);
-                    }
-                }
-            }
-            None => {}
+    fn idx(tid: Tid) -> usize {
+        debug_assert!(tid.0 >= TID_BASE, "wait registrations require kernel-allocated tids");
+        (tid.0 - TID_BASE) as usize
+    }
+
+    fn slot_mut(&mut self, tid: Tid) -> &mut WaitSlot {
+        let i = Self::idx(tid);
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, WaitSlot::default());
         }
+        &mut self.slots[i]
+    }
+
+    /// Whether a wheel entry still describes its thread's live registration.
+    fn timer_entry_valid(&self, e: &TimerEntry) -> bool {
+        self.slots.get(Self::idx(Tid(e.tid))).is_some_and(|s| {
+            s.timer_seq == e.seq && s.target == Some(WaitTarget::Timer(SimInstant(e.deadline)))
+        })
+    }
+
+    fn cancel(&mut self, tid: Tid) {
+        let i = Self::idx(tid);
+        let Some(slot) = self.slots.get(i) else { return };
+        match slot.target {
+            None => return,
+            Some(WaitTarget::Object(obj)) => {
+                let (prev, next) = (slot.prev, slot.next);
+                if prev != NIL {
+                    self.slots[prev as usize].next = next;
+                } else {
+                    self.object_waiters[obj.0 as usize].head = next;
+                }
+                if next != NIL {
+                    self.slots[next as usize].prev = prev;
+                } else {
+                    self.object_waiters[obj.0 as usize].tail = prev;
+                }
+            }
+            // Timer entries are cancelled lazily: the wheel entry's
+            // (deadline, seq) tag no longer matches the slot.
+            Some(WaitTarget::Timer(_)) => {}
+        }
+        let slot = &mut self.slots[i];
+        slot.target = None;
+        slot.prev = NIL;
+        slot.next = NIL;
+        self.registered -= 1;
     }
 
     fn park(&mut self, pid: Pid, tid: Tid, target: WaitTarget) {
-        self.cancel(pid, tid);
-        match target {
-            WaitTarget::Object(obj) => self.object_waiters.entry(obj.0).or_default().push_back((pid, tid)),
-            WaitTarget::Timer(at) => self.timer_wheel.entry(at.0).or_default().push_back((pid, tid)),
+        self.cancel(tid);
+        let i = Self::idx(tid);
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, WaitSlot::default());
         }
-        self.by_thread.insert((pid.0, tid.0), target);
+        match target {
+            WaitTarget::Object(obj) => {
+                let oi = obj.0 as usize;
+                if oi >= self.object_waiters.len() {
+                    self.object_waiters.resize(oi + 1, WaiterList::default());
+                }
+                let tail = self.object_waiters[oi].tail;
+                {
+                    let slot = &mut self.slots[i];
+                    slot.pid = pid.0;
+                    slot.target = Some(target);
+                    slot.prev = tail;
+                    slot.next = NIL;
+                }
+                if tail != NIL {
+                    self.slots[tail as usize].next = i as u32;
+                } else {
+                    self.object_waiters[oi].head = i as u32;
+                }
+                self.object_waiters[oi].tail = i as u32;
+            }
+            WaitTarget::Timer(at) => {
+                self.timer_seq += 1;
+                let slot = &mut self.slots[i];
+                slot.pid = pid.0;
+                slot.target = Some(target);
+                slot.timer_seq = self.timer_seq;
+                self.timer.entry(at.0 >> TIMER_BUCKET_SHIFT).or_default().push(TimerEntry {
+                    deadline: at.0,
+                    seq: self.timer_seq,
+                    pid: pid.0,
+                    tid: tid.0,
+                });
+            }
+        }
+        self.registered += 1;
     }
 
     /// Appends a thread to the wake queue (deduplicated). The caller must
     /// have dropped the thread's registration already.
     fn push_wake(&mut self, pid: Pid, tid: Tid) {
-        if self.wake_set.insert((pid.0, tid.0)) {
+        let slot = self.slot_mut(tid);
+        if !slot.queued {
+            slot.queued = true;
+            slot.pid = pid.0;
             self.wake_queue.push_back((pid, tid));
             self.wakeups_issued += 1;
         }
@@ -134,49 +274,107 @@ impl WaitState {
 
     /// Moves a thread onto the wake queue (dropping any registration).
     fn enqueue_wakeup(&mut self, pid: Pid, tid: Tid) {
-        self.cancel(pid, tid);
+        self.cancel(tid);
         self.push_wake(pid, tid);
     }
 
-    /// Wakes every thread parked on `obj`, in FIFO order.
+    /// Wakes every thread parked on `obj`, in FIFO (park) order. One walk of
+    /// the intrusive list delivers the whole batch: no per-waiter map
+    /// lookups, just slot-index chasing and the O(1) dedup bit.
     fn wake_object(&mut self, obj: ObjId) {
-        if let Some(queue) = self.object_waiters.remove(&obj.0) {
-            for (pid, tid) in queue {
-                self.by_thread.remove(&(pid.0, tid.0));
-                self.push_wake(pid, tid);
+        let Some(list) = self.object_waiters.get_mut(obj.0 as usize) else { return };
+        let mut cur = list.head;
+        list.head = NIL;
+        list.tail = NIL;
+        while cur != NIL {
+            let slot = &mut self.slots[cur as usize];
+            let next = slot.next;
+            let pid = Pid(slot.pid);
+            slot.target = None;
+            slot.prev = NIL;
+            slot.next = NIL;
+            self.registered -= 1;
+            self.push_wake(pid, Tid(cur + TID_BASE));
+            cur = next;
+        }
+    }
+
+    /// Fires every timer with a deadline at or before `now`, in
+    /// (deadline, registration) order.
+    fn fire_due_timers(&mut self, now: u64) {
+        let now_bucket = now >> TIMER_BUCKET_SHIFT;
+        while let Some((&bucket, _)) = self.timer.iter().next() {
+            if bucket > now_bucket {
+                break;
+            }
+            let mut entries = self.timer.remove(&bucket).unwrap_or_default();
+            if bucket == now_bucket {
+                // Boundary bucket: keep the not-yet-due tail for later.
+                let not_due: Vec<TimerEntry> = entries.iter().copied().filter(|e| e.deadline > now).collect();
+                entries.retain(|e| e.deadline <= now);
+                if !not_due.is_empty() {
+                    self.timer.insert(bucket, not_due);
+                }
+            }
+            entries.retain(|e| self.timer_entry_valid(e));
+            entries.sort_unstable_by_key(|e| (e.deadline, e.seq));
+            for e in entries {
+                let i = Self::idx(Tid(e.tid));
+                let slot = &mut self.slots[i];
+                slot.target = None;
+                self.registered -= 1;
+                self.push_wake(Pid(e.pid), Tid(e.tid));
+            }
+            if bucket == now_bucket {
+                break;
             }
         }
     }
 
-    /// Fires every timer with a deadline at or before `now`.
-    fn fire_due_timers(&mut self, now: u64) {
-        while let Some((&deadline, _)) = self.timer_wheel.iter().next() {
-            if deadline > now {
-                break;
-            }
-            let queue = self.timer_wheel.remove(&deadline).unwrap_or_default();
-            for (pid, tid) in queue {
-                self.by_thread.remove(&(pid.0, tid.0));
-                self.push_wake(pid, tid);
+    /// The earliest live deadline whose pid satisfies `pred`. Buckets
+    /// partition the deadline space, so the first bucket holding a matching
+    /// live entry contains the minimum.
+    fn next_deadline_where(&self, mut pred: impl FnMut(Pid) -> bool) -> Option<SimInstant> {
+        for entries in self.timer.values() {
+            let min = entries
+                .iter()
+                .filter(|e| self.timer_entry_valid(e) && pred(Pid(e.pid)))
+                .map(|e| e.deadline)
+                .min();
+            if let Some(ns) = min {
+                return Some(SimInstant(ns));
             }
         }
+        None
     }
 
     /// Drops every trace of a process's threads (process exit / teardown).
-    fn purge_pid(&mut self, pid: Pid) {
-        let keys: Vec<(u32, u32)> = self.by_thread.keys().filter(|&&(p, _)| p == pid.0).copied().collect();
-        for (p, t) in keys {
-            self.cancel(Pid(p), Tid(t));
+    /// The caller supplies the process's tids; queued wakeups of the pid are
+    /// dropped wholesale.
+    fn purge_threads(&mut self, pid: Pid, tids: impl IntoIterator<Item = Tid>) {
+        for tid in tids {
+            self.cancel(tid);
         }
-        self.wake_queue.retain(|&(p, _)| p != pid);
-        self.wake_set.retain(|&(p, _)| p != pid.0);
+        if self.wake_queue.iter().any(|&(p, _)| p == pid) {
+            for (p, t) in std::mem::take(&mut self.wake_queue) {
+                if p == pid {
+                    self.slot_mut(t).queued = false;
+                } else {
+                    self.wake_queue.push_back((p, t));
+                }
+            }
+        }
     }
 }
 
 /// The simulated kernel.
 #[derive(Debug, Clone, Default)]
 pub struct Kernel {
-    processes: BTreeMap<u32, Process>,
+    /// Process slab: slot storage plus a free-list; `pid_to_slot` resolves a
+    /// pid in O(1) and doubles as the ascending-pid iteration order.
+    procs: Vec<Option<Process>>,
+    proc_free: Vec<u32>,
+    pid_to_slot: Vec<u32>,
     objects: ObjectTable,
     clock: VirtualClock,
     files: BTreeMap<String, Vec<u8>>,
@@ -197,12 +395,14 @@ impl Kernel {
     /// Boots an empty kernel.
     pub fn new() -> Self {
         Kernel {
-            processes: BTreeMap::new(),
+            procs: Vec::new(),
+            proc_free: Vec::new(),
+            pid_to_slot: Vec::new(),
             objects: ObjectTable::new(),
             clock: VirtualClock::new(),
             files: BTreeMap::new(),
             next_pid: 100,
-            next_tid: 1000,
+            next_tid: TID_BASE,
             forced_next_pid: None,
             next_conn: 1,
             clients: BTreeMap::new(),
@@ -210,6 +410,31 @@ impl Kernel {
             syscall_count: 0,
             wait: WaitState::default(),
         }
+    }
+
+    /// Resolves a pid to its process slot.
+    fn proc_slot(&self, pid: Pid) -> Option<usize> {
+        let s = *self.pid_to_slot.get(pid.0 as usize)?;
+        (s != NIL).then_some(s as usize)
+    }
+
+    /// Installs a process into the slab under `pid`.
+    fn insert_proc(&mut self, pid: Pid, proc: Process) {
+        let slot = match self.proc_free.pop() {
+            Some(s) => {
+                self.procs[s as usize] = Some(proc);
+                s
+            }
+            None => {
+                self.procs.push(Some(proc));
+                (self.procs.len() - 1) as u32
+            }
+        };
+        let idx = pid.0 as usize;
+        if idx >= self.pid_to_slot.len() {
+            self.pid_to_slot.resize(idx + 1, NIL);
+        }
+        self.pid_to_slot[idx] = slot;
     }
 
     // ------------------------------------------------------------------
@@ -263,33 +488,41 @@ impl Kernel {
     /// a scheduler decides to run it for another reason, e.g. the quiescence
     /// barrier's wake-everyone pass).
     pub fn cancel_wait(&mut self, pid: Pid, tid: Tid) {
-        self.wait.cancel(pid, tid);
+        let _ = pid;
+        self.wait.cancel(tid);
     }
 
     /// Removes and returns the queued wakeups whose pid satisfies `pred`, in
     /// wake order; non-matching wakeups stay queued for their own scheduler.
-    pub fn drain_wakeups_where(&mut self, mut pred: impl FnMut(Pid) -> bool) -> Vec<(Pid, Tid)> {
-        if self.wait.wake_queue.is_empty() {
-            return Vec::new();
-        }
-        let mut taken = Vec::new();
-        let mut kept = VecDeque::new();
-        for (pid, tid) in std::mem::take(&mut self.wait.wake_queue) {
+    pub fn drain_wakeups_where(&mut self, pred: impl FnMut(Pid) -> bool) -> Vec<(Pid, Tid)> {
+        let mut out = Vec::new();
+        self.drain_wakeups_into(pred, &mut out);
+        out
+    }
+
+    /// Batched wake delivery: drains the matching wakeups into a
+    /// caller-provided buffer (cleared first), so a scheduler's hot loop
+    /// reuses one allocation per round instead of building a fresh vector.
+    /// Delivery order and dedup semantics are identical to
+    /// [`Kernel::drain_wakeups_where`].
+    pub fn drain_wakeups_into(&mut self, mut pred: impl FnMut(Pid) -> bool, out: &mut Vec<(Pid, Tid)>) {
+        out.clear();
+        let n = self.wait.wake_queue.len();
+        for _ in 0..n {
+            let (pid, tid) = self.wait.wake_queue.pop_front().expect("queue holds n entries");
             if pred(pid) {
-                self.wait.wake_set.remove(&(pid.0, tid.0));
-                taken.push((pid, tid));
+                self.wait.slot_mut(tid).queued = false;
+                out.push((pid, tid));
             } else {
-                kept.push_back((pid, tid));
+                self.wait.wake_queue.push_back((pid, tid));
             }
         }
-        self.wait.wake_queue = kept;
-        taken
     }
 
     /// The earliest pending timer-wheel deadline, if any (lets idle drivers
     /// advance the clock straight to the next event).
     pub fn next_timer_deadline(&self) -> Option<SimInstant> {
-        self.wait.timer_wheel.keys().next().map(|&ns| SimInstant(ns))
+        self.wait.next_deadline_where(|_| true)
     }
 
     /// The earliest timer-wheel deadline registered by a thread whose pid
@@ -297,17 +530,13 @@ impl Kernel {
     /// virtual clock straight to its instance's next timed wakeup — without
     /// it, a fleet whose only pending work is a timer would sleep forever,
     /// since simulated time only moves when threads run.
-    pub fn next_timer_deadline_where(&self, mut pred: impl FnMut(Pid) -> bool) -> Option<SimInstant> {
-        self.wait
-            .timer_wheel
-            .iter()
-            .find(|(_, queue)| queue.iter().any(|&(pid, _)| pred(pid)))
-            .map(|(&ns, _)| SimInstant(ns))
+    pub fn next_timer_deadline_where(&self, pred: impl FnMut(Pid) -> bool) -> Option<SimInstant> {
+        self.wait.next_deadline_where(pred)
     }
 
     /// Number of threads currently parked on an object or timer.
     pub fn waiting_thread_count(&self) -> usize {
-        self.wait.by_thread.len()
+        self.wait.registered
     }
 
     /// Number of queued wakeups not yet drained by a scheduler.
@@ -342,7 +571,7 @@ impl Kernel {
 
     fn alloc_pid(&mut self) -> SimResult<Pid> {
         if let Some(p) = self.forced_next_pid.take() {
-            if self.processes.contains_key(&p) {
+            if self.proc_slot(Pid(p)).is_some() {
                 return Err(SimError::PidUnavailable(Pid(p)));
             }
             return Ok(Pid(p));
@@ -375,7 +604,7 @@ impl Kernel {
         let pid = self.alloc_pid()?;
         let tid = self.alloc_tid();
         let proc = Process::new(pid, None, name, tid);
-        self.processes.insert(pid.0, proc);
+        self.insert_proc(pid, proc);
         Ok(pid)
     }
 
@@ -385,7 +614,7 @@ impl Kernel {
     ///
     /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
     pub fn process(&self, pid: Pid) -> SimResult<&Process> {
-        self.processes.get(&pid.0).ok_or(SimError::NoSuchProcess(pid))
+        self.proc_slot(pid).and_then(|s| self.procs[s].as_ref()).ok_or(SimError::NoSuchProcess(pid))
     }
 
     /// Exclusive access to a process.
@@ -394,28 +623,38 @@ impl Kernel {
     ///
     /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
     pub fn process_mut(&mut self, pid: Pid) -> SimResult<&mut Process> {
-        self.processes.get_mut(&pid.0).ok_or(SimError::NoSuchProcess(pid))
+        match self.proc_slot(pid) {
+            Some(s) => self.procs[s].as_mut().ok_or(SimError::NoSuchProcess(pid)),
+            None => Err(SimError::NoSuchProcess(pid)),
+        }
     }
 
-    /// Iterates over all processes.
+    /// Iterates over all processes, in ascending pid order.
     pub fn processes(&self) -> impl Iterator<Item = &Process> {
-        self.processes.values()
+        self.pid_to_slot
+            .iter()
+            .filter(|&&s| s != NIL)
+            .map(|&s| self.procs[s as usize].as_ref().expect("live slot"))
     }
 
-    /// All pids, in creation order.
+    /// All pids, ascending.
     pub fn pids(&self) -> Vec<Pid> {
-        self.processes.keys().map(|&p| Pid(p)).collect()
+        self.pid_to_slot.iter().enumerate().filter(|&(_, &s)| s != NIL).map(|(p, _)| Pid(p as u32)).collect()
     }
 
     /// Removes a process entirely (used when the old version is terminated
     /// after a successful live update, or when a failed new version is torn
     /// down on rollback). Its descriptors are released.
     pub fn remove_process(&mut self, pid: Pid) -> SimResult<()> {
-        let proc = self.processes.remove(&pid.0).ok_or(SimError::NoSuchProcess(pid))?;
+        let slot = self.proc_slot(pid).ok_or(SimError::NoSuchProcess(pid))?;
+        let proc = self.procs[slot].take().ok_or(SimError::NoSuchProcess(pid))?;
+        self.pid_to_slot[pid.0 as usize] = NIL;
+        self.proc_free.push(slot as u32);
         for (_, entry) in proc.fds().iter() {
             self.objects.decref(entry.object);
         }
-        self.wait.purge_pid(pid);
+        let tids: Vec<Tid> = proc.threads().map(|t| t.tid()).collect();
+        self.wait.purge_threads(pid, tids);
         Ok(())
     }
 
@@ -437,7 +676,7 @@ impl Kernel {
     /// Convenience: the set of `(pid, tid)` pairs of all live threads.
     pub fn live_threads(&self) -> Vec<(Pid, Tid)> {
         let mut out = Vec::new();
-        for proc in self.processes.values() {
+        for proc in self.processes() {
             if proc.has_exited() {
                 continue;
             }
@@ -499,7 +738,7 @@ impl Kernel {
     /// Fails if any pid is unknown or listed twice (aliased exclusive access).
     pub fn split_processes(&mut self, pids: &[Pid]) -> SimResult<Vec<&mut Process>> {
         for (i, pid) in pids.iter().enumerate() {
-            if !self.processes.contains_key(&pid.0) {
+            if self.proc_slot(*pid).is_none() {
                 return Err(SimError::NoSuchProcess(*pid));
             }
             if pids[..i].contains(pid) {
@@ -508,8 +747,8 @@ impl Kernel {
         }
         let mut slots: Vec<Option<&mut Process>> = Vec::new();
         slots.resize_with(pids.len(), || None);
-        for (key, proc) in self.processes.iter_mut() {
-            if let Some(i) = pids.iter().position(|p| p.0 == *key) {
+        for proc in self.procs.iter_mut().filter_map(Option::as_mut) {
+            if let Some(i) = pids.iter().position(|p| *p == proc.pid()) {
                 slots[i] = Some(proc);
             }
         }
@@ -705,22 +944,18 @@ impl Kernel {
                     return Err(SimError::PortInUse(port));
                 }
                 let obj = self.process(pid)?.fds().get(fd)?.object;
-                match self.objects.get_mut(obj) {
-                    Some(KernelObject::Listener { port: p, .. }) => {
-                        *p = port;
-                        Ok(SyscallRet::Unit)
-                    }
-                    _ => Err(SimError::NotASocket(fd)),
+                if self.objects.bind_listener(obj, port) {
+                    Ok(SyscallRet::Unit)
+                } else {
+                    Err(SimError::NotASocket(fd))
                 }
             }
             Syscall::Listen { fd } => {
                 let obj = self.process(pid)?.fds().get(fd)?.object;
-                match self.objects.get_mut(obj) {
-                    Some(KernelObject::Listener { listening, .. }) => {
-                        *listening = true;
-                        Ok(SyscallRet::Unit)
-                    }
-                    _ => Err(SimError::NotASocket(fd)),
+                if self.objects.set_listening(obj) {
+                    Ok(SyscallRet::Unit)
+                } else {
+                    Err(SimError::NotASocket(fd))
                 }
             }
             Syscall::Accept { fd } => {
@@ -843,7 +1078,7 @@ impl Kernel {
                 for (_, entry) in child.fds().iter() {
                     self.objects.incref(entry.object);
                 }
-                self.processes.insert(child_pid.0, child);
+                self.insert_proc(child_pid, child);
                 Ok(SyscallRet::Pid(child_pid))
             }
             Syscall::SpawnThread { name } => {
@@ -856,7 +1091,8 @@ impl Kernel {
             Syscall::Getpid => Ok(SyscallRet::Pid(pid)),
             Syscall::Exit { code } => {
                 self.process_mut(pid)?.set_exit(code);
-                self.wait.purge_pid(pid);
+                let tids: Vec<Tid> = self.process(pid)?.threads().map(|t| t.tid()).collect();
+                self.wait.purge_threads(pid, tids);
                 Ok(SyscallRet::Unit)
             }
             Syscall::Mmap { size, name, fixed } => {
@@ -1305,5 +1541,78 @@ mod tests {
         k.wait_until(other, other_tid, SimInstant(k.now().0 + 1_000));
         k.remove_process(other).unwrap();
         assert_eq!(k.waiting_thread_count(), 0, "removal purged the registration");
+    }
+
+    #[test]
+    fn batched_wake_delivery_preserves_fifo_order_and_dedup() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 80 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        // Three waiters parked on the listener, in spawn order.
+        let waiters: Vec<Tid> =
+            (0..3).map(|i| k.spawn_thread(pid, &format!("w{i}"), Vec::new()).unwrap()).collect();
+        for &w in &waiters {
+            k.wait_on_fd(pid, w, fd).unwrap();
+        }
+        // A second process whose wakeups must survive a foreign drain.
+        let other = k.create_process("peer").unwrap();
+        let other_tid = k.process(other).unwrap().main_tid();
+        let o2 = k.spawn_thread(other, "o2", Vec::new()).unwrap();
+        k.wait_until(other, other_tid, SimInstant(0));
+        // One connect delivers the whole listener batch in park (FIFO) order.
+        let _conn = k.client_connect(80).unwrap();
+        // Direct wakeups after the batch keep global enqueue order...
+        k.wait_until(other, o2, SimInstant(0));
+        k.wait_until(pid, tid, SimInstant(0));
+        // ...and re-waking an already queued thread is deduplicated.
+        k.wait_until(pid, waiters[1], SimInstant(0));
+        k.wait_until(pid, tid, SimInstant(0));
+        assert_eq!(k.pending_wakeup_count(), 6, "dedup kept one entry per thread");
+
+        let mut batch = Vec::new();
+        k.drain_wakeups_into(|p| p == pid, &mut batch);
+        let tids: Vec<Tid> = batch.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tids, vec![waiters[0], waiters[1], waiters[2], tid], "FIFO wake order");
+        assert!(batch.iter().all(|&(p, _)| p == pid));
+        // The other scheduler's wakeups are still queued, in their own order.
+        assert_eq!(k.drain_wakeups_where(|p| p == other), vec![(other, other_tid), (other, o2)]);
+        assert_eq!(k.pending_wakeup_count(), 0);
+        // Delivery cleared the dedup bit: a delivered thread can be re-woken.
+        k.wait_until(pid, waiters[1], SimInstant(0));
+        assert_eq!(k.drain_wakeups_where(|_| true), vec![(pid, waiters[1])]);
+    }
+
+    #[test]
+    fn waiters_exiting_between_enqueue_and_delivery_are_skipped() {
+        let (mut k, pid, tid) = booted();
+        let fd = k.syscall(pid, tid, Syscall::Socket).unwrap().as_fd().unwrap();
+        k.syscall(pid, tid, Syscall::Bind { fd, port: 81 }).unwrap();
+        k.syscall(pid, tid, Syscall::Listen { fd }).unwrap();
+        let survivors: Vec<Tid> =
+            (0..2).map(|i| k.spawn_thread(pid, &format!("s{i}"), Vec::new()).unwrap()).collect();
+        let doomed = k.create_process("doomed").unwrap();
+        let doomed_tid = k.process(doomed).unwrap().main_tid();
+        let doomed_queued = k.spawn_thread(doomed, "dq", Vec::new()).unwrap();
+        let dfd = k.transfer_fd(pid, fd, doomed, FdPlacement::Lowest).unwrap();
+        // The doomed waiter parks *between* the survivors on the listener's
+        // FIFO list; its sibling already sits on the wake queue.
+        k.wait_on_fd(pid, survivors[0], fd).unwrap();
+        k.wait_on_fd(doomed, doomed_tid, dfd).unwrap();
+        k.wait_on_fd(pid, survivors[1], fd).unwrap();
+        k.wait_until(doomed, doomed_queued, SimInstant(0));
+        k.wait_until(pid, tid, SimInstant(0));
+        assert_eq!(k.pending_wakeup_count(), 2);
+
+        // The process exits between enqueue and delivery.
+        k.remove_process(doomed).unwrap();
+        assert_eq!(k.pending_wakeup_count(), 1, "the exiting process's queued wakeup was dropped");
+        // The listener object survives (the survivors' descriptors hold it)
+        // and its next batch wakes only live waiters, still in FIFO order.
+        let _conn = k.client_connect(81).unwrap();
+        let batch = k.drain_wakeups_where(|_| true);
+        assert_eq!(batch, vec![(pid, tid), (pid, survivors[0]), (pid, survivors[1])]);
+        assert_eq!(k.waiting_thread_count(), 0);
+        assert_eq!(k.pending_wakeup_count(), 0);
     }
 }

@@ -13,6 +13,33 @@
 //! paper's actual contribution on top of this substrate; see `DESIGN.md` at
 //! the repository root for the full substitution rationale.
 //!
+//! ## Slab substrate and ordering guarantees
+//!
+//! Every hot kernel table is a dense slab, not an ordered map, so the
+//! per-event cost of a lookup is O(1) at any fleet size:
+//!
+//! * **Objects** ([`ObjectTable`]) — slot `Vec` + LIFO free-list; an
+//!   [`ObjId`] resolves through a dense id→slot vector. Ids are monotonic
+//!   and never reused, and each slot carries a *generation tag* (the id it
+//!   currently holds), so a stale id tombstones instead of aliasing a
+//!   recycled slot. Live objects stay threaded on an intrusive
+//!   insertion-order list.
+//! * **Descriptors** ([`FdTable`]) — the low range is indexed directly by
+//!   descriptor number with a min-heap free-list (lowest-free-first
+//!   allocation); the reserved range is monotonic and never recycled.
+//! * **Processes / threads** — pid→slot slab in the kernel; each process
+//!   keeps its threads in a tid-sorted dense `Vec`.
+//! * **Readiness** — per-object waiter lists are intrusive FIFO lists
+//!   through dense per-thread wait slots; timers sit on a bucketed wheel
+//!   with lazy cancellation; wakeups are delivered in batches into a
+//!   reusable buffer ([`Kernel::drain_wakeups_into`]).
+//!
+//! The *guaranteed orders* are unchanged from the ordered-map substrate the
+//! slabs replaced (the property suite proves byte-identical kernel
+//! fingerprints): object/descriptor/process iteration is ascending-id,
+//! object waiters wake in park (FIFO) order, timers fire in (deadline,
+//! registration) order, and the wake queue is FIFO with O(1) dedup.
+//!
 //! ## Quick example
 //!
 //! ```rust

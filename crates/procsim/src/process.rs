@@ -191,7 +191,10 @@ pub struct Process {
     heap: Option<PtMalloc>,
     regions: RegionAllocator,
     fds: FdTable,
-    threads: BTreeMap<u32, Thread>,
+    /// Threads sorted by ascending tid. Tids are handed out by the kernel in
+    /// globally increasing order, so insertion order and tid order coincide
+    /// and new threads are appended; a binary search resolves lookups.
+    threads: Vec<Thread>,
     main_tid: Tid,
     layout: MemoryLayout,
     exit_code: Option<i32>,
@@ -202,8 +205,7 @@ pub struct Process {
 
 impl Process {
     pub(crate) fn new(pid: Pid, ppid: Option<Pid>, name: impl Into<String>, main_tid: Tid) -> Self {
-        let mut threads = BTreeMap::new();
-        threads.insert(main_tid.0, Thread::new(main_tid, "main", Vec::new()));
+        let threads = vec![Thread::new(main_tid, "main", Vec::new())];
         Process {
             pid,
             ppid,
@@ -344,7 +346,12 @@ impl Process {
     ///
     /// Returns [`SimError::NoSuchThread`] for an unknown thread id.
     pub fn thread(&self, tid: Tid) -> SimResult<&Thread> {
-        self.threads.get(&tid.0).ok_or(SimError::NoSuchThread(self.pid, tid))
+        self.thread_pos(tid).map(|i| &self.threads[i]).ok_or(SimError::NoSuchThread(self.pid, tid))
+    }
+
+    /// Index of `tid` in the sorted thread vector, if present.
+    fn thread_pos(&self, tid: Tid) -> Option<usize> {
+        self.threads.binary_search_by_key(&tid.0, |t| t.tid.0).ok()
     }
 
     /// Exclusive access to a thread.
@@ -353,17 +360,20 @@ impl Process {
     ///
     /// Returns [`SimError::NoSuchThread`] for an unknown thread id.
     pub fn thread_mut(&mut self, tid: Tid) -> SimResult<&mut Thread> {
-        self.threads.get_mut(&tid.0).ok_or(SimError::NoSuchThread(self.pid, tid))
+        match self.thread_pos(tid) {
+            Some(i) => Ok(&mut self.threads[i]),
+            None => Err(SimError::NoSuchThread(self.pid, tid)),
+        }
     }
 
-    /// Iterates over the process's threads.
+    /// Iterates over the process's threads in ascending tid order.
     pub fn threads(&self) -> impl Iterator<Item = &Thread> {
-        self.threads.values()
+        self.threads.iter()
     }
 
-    /// Iterates mutably over the process's threads.
+    /// Iterates mutably over the process's threads in ascending tid order.
     pub fn threads_mut(&mut self) -> impl Iterator<Item = &mut Thread> {
-        self.threads.values_mut()
+        self.threads.iter_mut()
     }
 
     /// Number of threads (including exited ones still in the table).
@@ -372,12 +382,16 @@ impl Process {
     }
 
     pub(crate) fn add_thread(&mut self, tid: Tid, name: impl Into<String>, creation_stack: Vec<String>) {
-        self.threads.insert(tid.0, Thread::new(tid, name, creation_stack));
+        let thread = Thread::new(tid, name, creation_stack);
+        match self.threads.binary_search_by_key(&tid.0, |t| t.tid.0) {
+            Ok(i) => self.threads[i] = thread,
+            Err(i) => self.threads.insert(i, thread),
+        }
     }
 
     /// Drops every thread except `tid` (exec-style single-thread reset).
     pub fn retain_only_thread(&mut self, tid: Tid) {
-        self.threads.retain(|&t, _| t == tid.0);
+        self.threads.retain(|t| t.tid == tid);
         self.main_tid = tid;
     }
 
@@ -393,7 +407,7 @@ impl Process {
 
     pub(crate) fn set_exit(&mut self, code: i32) {
         self.exit_code = Some(code);
-        for t in self.threads.values_mut() {
+        for t in &mut self.threads {
             t.set_state(ThreadState::Exited);
         }
     }
@@ -418,16 +432,15 @@ impl Process {
 
     /// True if every live (non-exited) thread is parked at a quiescent point.
     pub fn is_quiescent(&self) -> bool {
-        self.threads.values().filter(|t| !matches!(t.state(), ThreadState::Exited)).all(|t| t.is_quiesced())
+        self.threads.iter().filter(|t| !matches!(t.state(), ThreadState::Exited)).all(|t| t.is_quiesced())
     }
 
     pub(crate) fn fork_into(&self, child_pid: Pid, child_main_tid: Tid, forking_tid: Tid) -> Process {
         let forking_stack =
-            self.threads.get(&forking_tid.0).map(|t| t.call_stack().to_vec()).unwrap_or_default();
-        let mut threads = BTreeMap::new();
+            self.thread_pos(forking_tid).map(|i| self.threads[i].call_stack().to_vec()).unwrap_or_default();
         let mut main = Thread::new(child_main_tid, "main", forking_stack.clone());
         main.set_call_stack(forking_stack.clone());
-        threads.insert(child_main_tid.0, main);
+        let threads = vec![main];
         Process {
             pid: child_pid,
             ppid: Some(self.pid),
