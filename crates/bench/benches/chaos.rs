@@ -1,0 +1,54 @@
+//! Chaos campaign: seeded fault schedules over the enumerated site space.
+//!
+//! Runs [`ChaosSpec::smoke`] — >= 200 schedules spanning phase-boundary,
+//! n-th-transfer-object and n-th-syscall sites, across both scheduler cores
+//! and pre-copy on/off — and asserts, per configuration:
+//!
+//! * every fired schedule rolled back to a byte-identical kernel
+//!   fingerprint (zero divergences, zero re-run mismatches);
+//! * the supervisor converged to a committed update on every recoverable
+//!   schedule, with commits recorded per degradation tier;
+//! * the give-up and watchdog drills ended cleanly.
+//!
+//! Emits the `BENCH_chaos.json` document (rows + totals) on stdout; the CI
+//! smoke step re-asserts the same properties from the JSON.
+
+use mcr_bench::{chaos_json, chaos_render, run_campaign, ChaosSpec};
+
+fn main() {
+    let spec = ChaosSpec::smoke();
+    let rows = run_campaign(&spec);
+    eprint!("{}", chaos_render(&rows));
+
+    let total_schedules: usize = rows.iter().map(|r| r.schedules).sum();
+    assert!(total_schedules >= 200, "campaign too small: {total_schedules} schedules");
+    for r in &rows {
+        let label = r.config.label();
+        assert!(r.catalog.total_sites() > 0, "{label}: empty site catalog");
+        assert!(r.catalog.syscalls > 0, "{label}: no syscall sites enumerated");
+        assert!(r.catalog.transfer_objects > 0, "{label}: no object sites enumerated");
+        assert_eq!(r.divergences, 0, "{label}: rollback divergence — repros: {:?}", r.repros);
+        assert_eq!(r.unexpected_commits, 0, "{label}: schedules never fired: {:?}", r.repros);
+        assert_eq!(r.rerun_mismatches, 0, "{label}: nondeterministic rollback: {:?}", r.repros);
+        assert_eq!(
+            r.supervisor_committed, r.supervisor_runs,
+            "{label}: supervisor failed to converge — repros: {:?}",
+            r.repros
+        );
+        assert!(
+            r.tier_commits[1] > 0 && r.tier_commits[2] > 0,
+            "{label}: degradation ladder not exercised: {:?}",
+            r.tier_commits
+        );
+        assert!(r.give_up_clean, "{label}: give-up drill left the old version unserving");
+        assert!(r.watchdog_clean, "{label}: watchdog drill did not roll back cleanly");
+        assert!(r.sites_injected > 0 && r.coverage_ratio() > 0.0, "{label}: nothing injected");
+    }
+    // Pre-copy configurations must enumerate pre-copy round copies as a
+    // sub-range of the object-write space.
+    for r in rows.iter().filter(|r| r.config.precopy) {
+        assert!(r.catalog.precopy_copies > 0, "{}: no precopy copy sites", r.config.label());
+    }
+
+    println!("{}", chaos_json(&spec, &rows).render());
+}

@@ -1,0 +1,605 @@
+//! Chaos-campaign harness: enumerate fault sites, inject seeded schedules,
+//! verify byte-identical rollback, and drive the self-healing supervisor.
+//!
+//! The campaign runs one update scenario under every combination of
+//! scheduler core × pre-copy switch. Per configuration it:
+//!
+//! 1. performs a clean dry run and derives the [`FaultCatalog`] (every phase
+//!    boundary, transfer-object write and pipeline syscall is a site);
+//! 2. builds a schedule list — every boundary, evenly spread n-th-object and
+//!    n-th-syscall sweeps (capped and logged), plus seeded random schedules
+//!    from [`random_plan`];
+//! 3. for each schedule asserts the *safety* property: the injected fault
+//!    rolls the update back to a kernel whose [`kernel_fingerprint`] is
+//!    byte-identical to the pre-update one (a subsample is re-run to check
+//!    the rollback is also deterministic: same conflicts, same fingerprint);
+//! 4. for each schedule asserts the *liveness* property: a supervised update
+//!    with the fault injected into the early attempt(s) converges to a
+//!    committed update on the [`DegradationTier`] ladder;
+//! 5. runs a give-up drill (persistent fault, bounded attempts — the old
+//!    version must keep accepting) and a watchdog drill (1 ns phase budgets
+//!    — every phase overruns, the pipeline must roll back cleanly).
+//!
+//! Any divergence is shrunk to a minimal reproducer with
+//! [`shrink_schedule`]; the reproducer plus the campaign seed is everything
+//! needed to replay the failure.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use mcr_core::runtime::{
+    random_plan, shrink_schedule, supervised_update, time_to_recovery, ChaosPlan, ChaosRng, DegradationTier,
+    FaultCatalog, FaultSite, PrecopyOptions, SchedulerMode, SupervisorPolicy, UpdateOptions, UpdateOutcome,
+    UpdatePipeline,
+};
+use mcr_core::{Conflict, McrInstance, PhaseName};
+use mcr_procsim::{Kernel, SimDuration};
+use mcr_servers::program_by_name;
+use mcr_typemeta::InstrumentationConfig;
+use mcr_workload::{open_idle_connections, workload_for};
+
+use crate::{boot_program, kernel_fingerprint, run_standard_workload, Json};
+
+/// One campaign configuration: a scheduler core and the pre-copy switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Scheduling core both instances run on during the update.
+    pub scheduler: SchedulerMode,
+    /// Whether the pipeline runs concurrent pre-copy rounds.
+    pub precopy: bool,
+}
+
+impl ChaosConfig {
+    /// Stable label for logs and JSON rows.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}",
+            match self.scheduler {
+                SchedulerMode::EventDriven => "event-driven",
+                SchedulerMode::FullScan => "full-scan",
+            },
+            if self.precopy { "precopy" } else { "stop-the-world" }
+        )
+    }
+}
+
+/// Every configuration the campaign sweeps: both scheduler cores, with and
+/// without pre-copy.
+pub const CONFIGS: [ChaosConfig; 4] = [
+    ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: false },
+    ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: true },
+    ChaosConfig { scheduler: SchedulerMode::FullScan, precopy: false },
+    ChaosConfig { scheduler: SchedulerMode::FullScan, precopy: true },
+];
+
+/// Campaign sizing: scenario, schedule counts and determinism-check cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Program under chaos (one of the evaluated server models).
+    pub program: &'static str,
+    /// Standard-workload requests run before the update.
+    pub requests: u64,
+    /// Idle connections open at update time.
+    pub open_connections: usize,
+    /// Seeded random schedules per configuration, on top of the directed
+    /// boundary/object/syscall sweeps.
+    pub random_schedules: usize,
+    /// Cap on the directed n-th-object sweep (evenly spread when capped).
+    pub max_object_sites: usize,
+    /// Cap on the directed n-th-syscall sweep (evenly spread when capped).
+    pub max_syscall_sites: usize,
+    /// Campaign seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Every n-th schedule is run twice to check rollback determinism.
+    pub rerun_every: usize,
+    /// Every n-th fired schedule also gets a supervised (self-healing) run;
+    /// 1 supervises every schedule (the smoke setting).
+    pub supervise_every: usize,
+}
+
+impl ChaosSpec {
+    /// The release-profile campaign the bench binary and CI smoke run
+    /// (>= 200 schedules across the four configurations).
+    pub fn smoke() -> Self {
+        ChaosSpec {
+            program: "vsftpd",
+            requests: 3,
+            open_connections: 6,
+            random_schedules: 32,
+            max_object_sites: 8,
+            max_syscall_sites: 8,
+            seed: 0xC4A0_5EED,
+            rerun_every: 8,
+            supervise_every: 1,
+        }
+    }
+
+    /// A bounded campaign sized for debug-build test runs.
+    pub fn quick() -> Self {
+        ChaosSpec {
+            program: "vsftpd",
+            requests: 2,
+            open_connections: 3,
+            random_schedules: 3,
+            max_object_sites: 2,
+            max_syscall_sites: 2,
+            seed: 0xC4A0_5EED,
+            rerun_every: 5,
+            supervise_every: 2,
+        }
+    }
+}
+
+/// Everything one configuration's sweep measured.
+#[derive(Debug, Clone)]
+pub struct ConfigOutcome {
+    /// The configuration swept.
+    pub config: ChaosConfig,
+    /// The enumerated site space of the clean dry run.
+    pub catalog: FaultCatalog,
+    /// Schedules injected.
+    pub schedules: usize,
+    /// Schedules whose fault actually fired (rolled the update back).
+    pub fired: usize,
+    /// Schedules that unexpectedly committed (armed site never reached).
+    pub unexpected_commits: usize,
+    /// Rollbacks whose post-rollback fingerprint diverged from the
+    /// pre-update one. The campaign's safety assertion is that this is 0.
+    pub divergences: usize,
+    /// Re-run subsample disagreements (conflicts or fingerprint) — rollback
+    /// nondeterminism.
+    pub rerun_mismatches: usize,
+    /// Minimal reproducers (shrunk schedules) for any divergence.
+    pub repros: Vec<String>,
+    /// Distinct sites armed by schedules that fired.
+    pub sites_injected: usize,
+    /// Directed sweeps that could not cover their whole dimension.
+    pub capped: Vec<String>,
+    /// Supervised runs performed / converged to a committed update.
+    pub supervisor_runs: usize,
+    /// See `supervisor_runs`; the liveness assertion is equality.
+    pub supervisor_committed: usize,
+    /// Commits per degradation tier: `[full, no-precopy, serial]`.
+    pub tier_commits: [usize; 3],
+    /// Mean time-to-recovery (virtual ns) over committed supervised runs.
+    pub mttr_mean_ns: f64,
+    /// The persistent-fault give-up drill ended with the old version still
+    /// accepting connections.
+    pub give_up_clean: bool,
+    /// The 1 ns phase-budget drill rolled back with a watchdog conflict and
+    /// an identical fingerprint.
+    pub watchdog_clean: bool,
+}
+
+impl ConfigOutcome {
+    /// Fraction of the enumerated site space some fired schedule armed.
+    pub fn coverage_ratio(&self) -> f64 {
+        let total = self.catalog.total_sites();
+        if total == 0 {
+            return 0.0;
+        }
+        self.sites_injected as f64 / total as f64
+    }
+
+    /// True when every safety and liveness assertion of this configuration
+    /// held.
+    pub fn clean(&self) -> bool {
+        self.divergences == 0
+            && self.unexpected_commits == 0
+            && self.rerun_mismatches == 0
+            && self.supervisor_committed == self.supervisor_runs
+            && self.give_up_clean
+            && self.watchdog_clean
+    }
+}
+
+fn options_for(config: ChaosConfig) -> UpdateOptions {
+    UpdateOptions {
+        scheduler: config.scheduler,
+        // One worker gives a deterministic object-write order, which is what
+        // makes n-th-object sites stable across runs of the same schedule.
+        transfer_workers: 1,
+        precopy: if config.precopy {
+            PrecopyOptions { rounds: 2, convergence_bytes: 0, serve_rounds: 1 }
+        } else {
+            PrecopyOptions::disabled()
+        },
+        ..Default::default()
+    }
+}
+
+/// Boots the scenario to the exact pre-update state every campaign run
+/// starts from (same seed state — the virtual kernel is deterministic).
+fn setup(spec: &ChaosSpec, config: ChaosConfig) -> (Kernel, McrInstance) {
+    let (mut kernel, mut v1) = boot_program(spec.program, 1, InstrumentationConfig::full());
+    run_standard_workload(&mut kernel, &mut v1, spec.program, spec.requests);
+    let port = workload_for(spec.program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, spec.open_connections).expect("idle connections");
+    v1.sched.mode = config.scheduler;
+    (kernel, v1)
+}
+
+/// Clean dry run: commits and yields the configuration's [`FaultCatalog`].
+pub fn enumerate_sites(spec: &ChaosSpec, config: ChaosConfig) -> FaultCatalog {
+    let opts = options_for(config);
+    let (mut kernel, v1) = setup(spec, config);
+    let (_v2, outcome) = UpdatePipeline::for_options(&opts).run(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(spec.program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    assert!(
+        outcome.is_committed(),
+        "{}: clean dry run must commit: {:?}",
+        config.label(),
+        outcome.conflicts()
+    );
+    FaultCatalog::from_report(outcome.report())
+}
+
+/// What one injected schedule did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyResult {
+    /// The armed fault fired and the update rolled back.
+    pub fired: bool,
+    /// Post-rollback kernel fingerprint differed from the pre-update one.
+    pub diverged: bool,
+    /// Rollback conflicts (debug-rendered, stable across identical runs).
+    pub conflicts: Vec<String>,
+}
+
+/// Runs one schedule and checks the byte-identical-rollback property.
+pub fn verify_rollback(spec: &ChaosSpec, config: ChaosConfig, plan: &ChaosPlan) -> VerifyResult {
+    let opts = options_for(config);
+    let (mut kernel, v1) = setup(spec, config);
+    let before = kernel_fingerprint(&kernel);
+    let (_survivor, outcome) = UpdatePipeline::for_options(&opts).with_fault_plan(plan.clone()).run(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(spec.program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    match outcome {
+        UpdateOutcome::Committed(_) => VerifyResult { fired: false, diverged: false, conflicts: Vec::new() },
+        UpdateOutcome::RolledBack { conflicts, .. } => VerifyResult {
+            fired: true,
+            diverged: kernel_fingerprint(&kernel) != before,
+            conflicts: conflicts.iter().map(|c| format!("{c:?}")).collect(),
+        },
+    }
+}
+
+/// One supervised (self-healing) run against a schedule.
+#[derive(Debug, Clone)]
+pub struct SupervisedResult {
+    /// The ladder converged to a committed update.
+    pub committed: bool,
+    /// Attempts taken.
+    pub attempts: usize,
+    /// Tier the committing attempt ran at (`None` if it gave up).
+    pub tier: Option<DegradationTier>,
+    /// Virtual time from first attempt to commit.
+    pub mttr_ns: Option<u64>,
+}
+
+/// Supervised update with `plan` injected into the first `faulty_attempts`
+/// attempts and later attempts clean.
+pub fn supervised_run(
+    spec: &ChaosSpec,
+    config: ChaosConfig,
+    plan: &ChaosPlan,
+    faulty_attempts: usize,
+    policy: &SupervisorPolicy,
+) -> SupervisedResult {
+    let opts = options_for(config);
+    let (mut kernel, v1) = setup(spec, config);
+    let program = spec.program;
+    let plan = plan.clone();
+    let (_survivor, outcome) = supervised_update(
+        &mut kernel,
+        v1,
+        || Box::new(program_by_name(program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+        policy,
+        move |attempt| if attempt <= faulty_attempts { plan.clone() } else { ChaosPlan::none() },
+    );
+    let report = outcome.report();
+    SupervisedResult {
+        committed: outcome.is_committed(),
+        attempts: report.attempts.len(),
+        tier: report.attempts.iter().find(|a| a.committed).map(|a| a.tier),
+        mttr_ns: time_to_recovery(report).map(|d| d.0),
+    }
+}
+
+/// Persistent-fault drill: every attempt dies at the commit boundary with a
+/// bounded ladder; the supervisor must give up and leave the old version
+/// accepting connections.
+fn give_up_drill(spec: &ChaosSpec, config: ChaosConfig) -> bool {
+    let opts = options_for(config);
+    let (mut kernel, v1) = setup(spec, config);
+    let program = spec.program;
+    let policy = SupervisorPolicy { max_attempts: 2, ..SupervisorPolicy::default() };
+    let (mut survivor, outcome) = supervised_update(
+        &mut kernel,
+        v1,
+        || Box::new(program_by_name(program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+        &policy,
+        |_| ChaosPlan::at_boundaries([PhaseName::Commit]),
+    );
+    if outcome.is_committed() || outcome.report().attempts.len() != 2 {
+        return false;
+    }
+    let port = workload_for(spec.program, 1).port;
+    let Ok(conn) = kernel.client_connect(port) else { return false };
+    let _ = mcr_core::runtime::run_rounds(&mut kernel, &mut survivor, 3);
+    kernel.client_is_accepted(conn)
+}
+
+/// Watchdog drill: 1 ns phase budgets make the very first phase overrun;
+/// the pipeline must roll back with a watchdog conflict and an identical
+/// fingerprint.
+fn watchdog_drill(spec: &ChaosSpec, config: ChaosConfig) -> bool {
+    let opts = options_for(config);
+    let (mut kernel, v1) = setup(spec, config);
+    let before = kernel_fingerprint(&kernel);
+    let (_survivor, outcome) =
+        UpdatePipeline::for_options(&opts).with_uniform_phase_deadline(SimDuration(1)).run(
+            &mut kernel,
+            v1,
+            Box::new(program_by_name(spec.program, 2)),
+            InstrumentationConfig::full(),
+            &opts,
+        );
+    !outcome.is_committed()
+        && outcome.conflicts().iter().any(|c| matches!(c, Conflict::WatchdogExpired { .. }))
+        && kernel_fingerprint(&kernel) == before
+}
+
+/// Evenly spread 1-based indices over `[1, total]`, at most `max` of them.
+/// The bool is true when the dimension had to be capped.
+fn spread(total: u64, max: usize) -> (Vec<u64>, bool) {
+    if total == 0 || max == 0 {
+        return (Vec::new(), total > 0);
+    }
+    if total <= max as u64 {
+        return ((1..=total).collect(), false);
+    }
+    let max = max.max(2) as u64;
+    let mut picks: Vec<u64> = (0..max).map(|i| 1 + i * (total - 1) / (max - 1)).collect();
+    picks.dedup();
+    (picks, true)
+}
+
+fn plan_sites(plan: &ChaosPlan) -> Vec<FaultSite> {
+    let mut sites: Vec<FaultSite> = plan.boundaries().iter().map(|&p| FaultSite::Boundary(p)).collect();
+    if let Some(n) = plan.at_transfer_object() {
+        sites.push(FaultSite::TransferObject(n));
+    }
+    if let Some(n) = plan.at_syscall() {
+        sites.push(FaultSite::Syscall(n));
+    }
+    sites
+}
+
+/// Runs the full sweep for one configuration.
+pub fn run_config(spec: &ChaosSpec, config: ChaosConfig, config_index: u64) -> ConfigOutcome {
+    let catalog = enumerate_sites(spec, config);
+    let mut capped = Vec::new();
+
+    // Directed schedules: every boundary, spread object and syscall sweeps.
+    let mut schedules: Vec<ChaosPlan> =
+        catalog.boundaries.iter().map(|&b| FaultSite::Boundary(b).plan()).collect();
+    let (objects, objects_capped) = spread(catalog.transfer_objects, spec.max_object_sites);
+    if objects_capped {
+        capped.push(format!(
+            "transfer-object sweep capped: {} of {} sites",
+            objects.len(),
+            catalog.transfer_objects
+        ));
+    }
+    schedules.extend(objects.into_iter().map(|n| FaultSite::TransferObject(n).plan()));
+    let (syscalls, syscalls_capped) = spread(catalog.syscalls, spec.max_syscall_sites);
+    if syscalls_capped {
+        capped.push(format!("syscall sweep capped: {} of {} sites", syscalls.len(), catalog.syscalls));
+    }
+    schedules.extend(syscalls.into_iter().map(|n| FaultSite::Syscall(n).plan()));
+
+    // Seeded random schedules (possibly multi-trigger).
+    let mut rng = ChaosRng::new(spec.seed ^ (config_index.wrapping_mul(0x9E37_79B9)));
+    for _ in 0..spec.random_schedules {
+        let plan = random_plan(&mut rng, &catalog);
+        if !plan.is_empty() {
+            schedules.push(plan);
+        }
+    }
+
+    let mut fired = 0;
+    let mut supervisor_runs = 0;
+    let mut unexpected_commits = 0;
+    let mut divergences = 0;
+    let mut rerun_mismatches = 0;
+    let mut repros = Vec::new();
+    let mut injected: BTreeSet<String> = BTreeSet::new();
+    let mut supervisor_committed = 0;
+    let mut tier_commits = [0usize; 3];
+    let mut mttr_sum = 0u64;
+    let policy = SupervisorPolicy::default();
+
+    for (i, plan) in schedules.iter().enumerate() {
+        let result = verify_rollback(spec, config, plan);
+        if !result.fired {
+            unexpected_commits += 1;
+            repros.push(format!("never fired: {plan:?}"));
+            continue;
+        }
+        fired += 1;
+        for site in plan_sites(plan) {
+            injected.insert(site.to_string());
+        }
+        if result.diverged {
+            divergences += 1;
+            let minimal =
+                shrink_schedule(plan, |candidate| verify_rollback(spec, config, candidate).diverged);
+            repros.push(format!("divergence: {minimal:?} (seed {:#x})", spec.seed));
+        }
+        if spec.rerun_every > 0 && i % spec.rerun_every == 0 {
+            let again = verify_rollback(spec, config, plan);
+            if again != result {
+                rerun_mismatches += 1;
+                repros.push(format!("nondeterministic rollback: {plan:?}"));
+            }
+        }
+
+        // Liveness: the supervisor must converge once the fault clears.
+        // Every third schedule keeps faulting through attempt 2, pushing the
+        // ladder all the way down to the serial tier.
+        if spec.supervise_every > 0 && i % spec.supervise_every == 0 {
+            supervisor_runs += 1;
+            let faulty_attempts = if i % 3 == 2 { 2 } else { 1 };
+            let supervised = supervised_run(spec, config, plan, faulty_attempts, &policy);
+            if supervised.committed {
+                supervisor_committed += 1;
+                if let Some(tier) = supervised.tier {
+                    tier_commits[match tier {
+                        DegradationTier::Full => 0,
+                        DegradationTier::NoPrecopy => 1,
+                        DegradationTier::Serial => 2,
+                    }] += 1;
+                }
+                mttr_sum += supervised.mttr_ns.unwrap_or(0);
+            } else {
+                repros.push(format!("supervisor failed to converge: {plan:?}"));
+            }
+        }
+    }
+
+    ConfigOutcome {
+        config,
+        catalog,
+        schedules: schedules.len(),
+        fired,
+        unexpected_commits,
+        divergences,
+        rerun_mismatches,
+        repros,
+        sites_injected: injected.len(),
+        capped,
+        supervisor_runs,
+        supervisor_committed,
+        tier_commits,
+        mttr_mean_ns: if supervisor_committed > 0 {
+            mttr_sum as f64 / supervisor_committed as f64
+        } else {
+            0.0
+        },
+        give_up_clean: give_up_drill(spec, config),
+        watchdog_clean: watchdog_drill(spec, config),
+    }
+}
+
+/// Runs the campaign over every configuration in [`CONFIGS`].
+pub fn run_campaign(spec: &ChaosSpec) -> Vec<ConfigOutcome> {
+    CONFIGS.iter().enumerate().map(|(i, &config)| run_config(spec, config, i as u64)).collect()
+}
+
+/// Renders the campaign as a human-readable table.
+pub fn chaos_render(rows: &[ConfigOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} | {:>6} {:>6} {:>5} {:>4} | {:>6} {:>7} | {:>11} {:>12} | {:>5}",
+        "config", "sites", "sched", "fired", "div", "sup-ok", "sup-run", "tiers f/n/s", "mttr(ns)", "cover"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<26} | {:>6} {:>6} {:>5} {:>4} | {:>6} {:>7} | {:>3}/{:>3}/{:>3} | {:>12.0} | {:>4.1}%",
+            r.config.label(),
+            r.catalog.total_sites(),
+            r.schedules,
+            r.fired,
+            r.divergences,
+            r.supervisor_committed,
+            r.supervisor_runs,
+            r.tier_commits[0],
+            r.tier_commits[1],
+            r.tier_commits[2],
+            r.mttr_mean_ns,
+            r.coverage_ratio() * 100.0,
+        );
+        for line in &r.capped {
+            let _ = writeln!(out, "    [capped] {line}");
+        }
+        for line in &r.repros {
+            let _ = writeln!(out, "    [repro] {line}");
+        }
+    }
+    out
+}
+
+/// Renders the campaign as the `BENCH_chaos.json` document.
+pub fn chaos_json(spec: &ChaosSpec, rows: &[ConfigOutcome]) -> Json {
+    let totals = Json::obj([
+        ("schedules", rows.iter().map(|r| r.schedules).sum::<usize>().into()),
+        ("fired", rows.iter().map(|r| r.fired).sum::<usize>().into()),
+        ("divergences", rows.iter().map(|r| r.divergences).sum::<usize>().into()),
+        ("rerun_mismatches", rows.iter().map(|r| r.rerun_mismatches).sum::<usize>().into()),
+        ("unexpected_commits", rows.iter().map(|r| r.unexpected_commits).sum::<usize>().into()),
+        ("supervisor_runs", rows.iter().map(|r| r.supervisor_runs).sum::<usize>().into()),
+        ("supervisor_committed", rows.iter().map(|r| r.supervisor_committed).sum::<usize>().into()),
+        ("all_clean", Json::Bool(rows.iter().all(ConfigOutcome::clean))),
+    ]);
+    Json::obj([
+        ("experiment", Json::str("chaos_campaign")),
+        ("program", Json::str(spec.program)),
+        ("seed", Json::str(format!("{:#x}", spec.seed))),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("config", Json::str(r.config.label())),
+                            ("precopy", Json::Bool(r.config.precopy)),
+                            ("sites_enumerated", r.catalog.total_sites().into()),
+                            ("boundary_sites", (r.catalog.boundaries.len() as u64).into()),
+                            ("transfer_object_sites", r.catalog.transfer_objects.into()),
+                            ("precopy_copy_sites", r.catalog.precopy_copies.into()),
+                            ("syscall_sites", r.catalog.syscalls.into()),
+                            ("schedules", r.schedules.into()),
+                            ("fired", r.fired.into()),
+                            ("unexpected_commits", r.unexpected_commits.into()),
+                            ("divergences", r.divergences.into()),
+                            ("rerun_mismatches", r.rerun_mismatches.into()),
+                            ("sites_injected", r.sites_injected.into()),
+                            ("site_coverage_ratio", Json::Num(r.coverage_ratio())),
+                            ("capped", Json::Arr(r.capped.iter().map(|s| Json::str(s.clone())).collect())),
+                            ("supervisor_runs", r.supervisor_runs.into()),
+                            ("supervisor_committed", r.supervisor_committed.into()),
+                            (
+                                "tier_commits",
+                                Json::obj([
+                                    ("full", r.tier_commits[0].into()),
+                                    ("no_precopy", r.tier_commits[1].into()),
+                                    ("serial", r.tier_commits[2].into()),
+                                ]),
+                            ),
+                            ("mttr_mean_ns", Json::Num(r.mttr_mean_ns)),
+                            ("give_up_clean", Json::Bool(r.give_up_clean)),
+                            ("watchdog_clean", Json::Bool(r.watchdog_clean)),
+                            ("repros", Json::Arr(r.repros.iter().map(|s| Json::str(s.clone())).collect())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("totals", totals),
+    ])
+}

@@ -12,13 +12,17 @@
 //!
 //! # Sessions survive live updates
 //!
-//! The slot → descriptor map is mirrored in a simulated-memory global
-//! (`conn_fds`, `fd + 1` per 4-byte slot, 0 = empty), the same pattern the
-//! simulated sshd uses for its listen socket: descriptor numbers are
-//! transferred verbatim by the update pipeline and the global's bytes are
-//! migrated by state transfer, so the *new* program version looks its
-//! sessions up from transferred memory and keeps serving them — which is
-//! what lets the latency bench measure request tails *through* an update.
+//! The slot → descriptor map is mirrored in simulated memory (`fd + 1` per
+//! 4-byte slot, 0 = empty): a `conn_fds` pointer global names a
+//! heap-allocated session table sized for the fleet. Descriptor numbers are
+//! transferred verbatim by the update pipeline, the table is migrated (and
+//! its pointer relocated) by state transfer, so the *new* program version
+//! looks its sessions up from transferred memory and keeps serving them —
+//! which is what lets the latency bench measure request tails *through* an
+//! update. The table lives on the heap (16MB, ~4M slots) rather than in the
+//! 1MB static region, so large-fleet chaos campaigns don't silently cap at
+//! ~262k surviving sessions; accessors re-read the table pointer through
+//! the global on every access, because state transfer rewrites it.
 
 use mcr_core::error::{McrError, McrResult};
 use mcr_core::program::{Program, ProgramEnv, StepOutcome, WaitInterest};
@@ -35,9 +39,12 @@ pub struct FleetServer {
     listen_fd: Option<Fd>,
     /// Connection slot → descriptor, filled by the acceptor in arrival order.
     conns: Vec<Option<Fd>>,
-    /// Base of the `conn_fds` global mirroring `conns` in simulated memory
-    /// (`None` when the fleet is too large for the static region — such
-    /// fleets still serve, their sessions just do not survive an update).
+    /// Address of the `conn_fds` pointer global naming the heap-allocated
+    /// session table (`None` when the fleet exceeds even the heap's capacity
+    /// — such fleets still serve, their sessions just do not survive an
+    /// update). The table base is deliberately *not* cached here: state
+    /// transfer rewrites the pointer, so accessors dereference the global on
+    /// every access.
     conn_fds: Option<Addr>,
     accepted: usize,
     handled: u64,
@@ -68,14 +75,25 @@ impl FleetServer {
         self.handled
     }
 
+    /// Resolves the session-table base by dereferencing the `conn_fds`
+    /// pointer global. Re-read on every access: after a live update the
+    /// global holds the *relocated* address of the transferred table, and a
+    /// Rust-side cache of the startup-time allocation would be stale.
+    fn table_base(&self, env: &ProgramEnv<'_>) -> Option<Addr> {
+        let global = self.conn_fds?;
+        let base = env.read_ptr(global).ok()?;
+        (base.0 != 0).then_some(base)
+    }
+
     /// Resolves a slot's descriptor: the in-struct cache first, then the
-    /// `conn_fds` global (the path a freshly updated version takes — its
-    /// cache is empty but the transferred memory still names every fd).
+    /// heap table behind the `conn_fds` global (the path a freshly updated
+    /// version takes — its cache is empty but the transferred memory still
+    /// names every fd).
     fn slot_fd(&mut self, env: &ProgramEnv<'_>, slot: usize) -> Option<Fd> {
         if let Some(fd) = self.conns.get(slot).copied().flatten() {
             return Some(fd);
         }
-        let base = self.conn_fds?;
+        let base = self.table_base(env)?;
         let raw = env.read_u32(base.offset(4 * slot as u64)).ok()?;
         if raw == 0 {
             return None;
@@ -94,7 +112,7 @@ impl FleetServer {
             self.conns.resize(slot + 1, None);
         }
         self.conns[slot] = Some(fd);
-        if let Some(base) = self.conn_fds {
+        if let Some(base) = self.table_base(env) {
             env.write_u32(base.offset(4 * slot as u64), fd.0 as u32 + 1)?;
         }
         Ok(())
@@ -175,6 +193,9 @@ impl Program for FleetServer {
 
     fn register_types(&mut self, types: &mut TypeRegistry) {
         let _ = types.int("int", 4);
+        // The session table: one u32 per slot, sized for the whole fleet.
+        let table = types.opaque("conn_fd_table", 4 * self.sessions.max(1) as u64);
+        let _ = types.pointer("conn_fd_table*", table);
     }
 
     fn startup(&mut self, env: &mut ProgramEnv<'_>) -> McrResult<()> {
@@ -187,10 +208,18 @@ impl Program for FleetServer {
             env.syscall(Syscall::Bind { fd, port: FLEET_PORT })?;
             env.syscall(Syscall::Listen { fd })?;
             self.listen_fd = Some(fd);
-            // The update-surviving session map: 4 bytes per slot in the
-            // static region. Fleets beyond the region's capacity simply skip
-            // the mirror (they still serve; only update survival is lost).
-            self.conn_fds = env.define_global_opaque("conn_fds", 4 * sessions as u64).ok();
+            // The update-surviving session map: a heap-allocated table of 4
+            // bytes per slot, reached through a pointer global so state
+            // transfer can relocate it. Fleets beyond the heap's capacity
+            // simply skip the mirror (they still serve; only update survival
+            // is lost).
+            self.conn_fds = (|| {
+                let global = env.define_global("conn_fds", "conn_fd_table*")?;
+                let table = env.alloc("conn_fd_table", "server_init:conn_fd_table")?;
+                env.write_ptr(global, table)?;
+                McrResult::Ok(global)
+            })()
+            .ok();
             env.scoped("spawn_sessions", |env| {
                 for i in 0..sessions {
                     env.spawn_thread(&format!("conn-{i}"))?;
@@ -287,6 +316,31 @@ mod tests {
             wait_quiescence(&mut kernel, &mut instance, 10).unwrap();
             assert!(all_quiesced(&kernel, &instance), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn conn_fds_table_is_heap_allocated_and_outgrows_the_static_region() {
+        // 300k sessions need a ~1.2MB table — more than the whole 1MB
+        // static region the map used to live in. Boot only (the table is
+        // allocated during startup); no clients, no rounds.
+        let sessions = 300_000;
+        let mut kernel = Kernel::new();
+        let _instance =
+            boot(&mut kernel, Box::new(FleetServer::new(sessions)), &BootOptions::default()).unwrap();
+        let pid = kernel.pids()[0];
+        let proc = kernel.process(pid).unwrap();
+        let layout = proc.layout();
+        // `conn_fds` is the first global the server defines, so the pointer
+        // global sits at the base of the static region; the table it names
+        // must be a heap address.
+        let table = proc.space().read_u64(layout.static_base).unwrap();
+        assert!(
+            table >= layout.heap_base.0,
+            "session table at {table:#x} should be on the heap (>= {:#x})",
+            layout.heap_base.0
+        );
+        let end = proc.space().read_u32(mcr_procsim::Addr(table).offset(4 * (sessions as u64 - 1)));
+        assert!(end.is_ok(), "the full {sessions}-slot table is mapped");
     }
 
     #[test]

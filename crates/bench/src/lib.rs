@@ -37,10 +37,15 @@ use mcr_servers::{
 use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
 use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
 
+pub mod chaos;
 pub mod fleet;
 pub mod json;
 pub mod microbench;
 
+pub use chaos::{
+    chaos_json, chaos_render, enumerate_sites, run_campaign, run_config, supervised_run, verify_rollback,
+    ChaosConfig, ChaosSpec, ConfigOutcome, SupervisedResult, VerifyResult, CONFIGS,
+};
 pub use fleet::{FleetServer, FLEET_PORT};
 pub use json::Json;
 pub use microbench::{percentile_of, BenchGroup, BenchResult};

@@ -76,6 +76,16 @@ pub enum Conflict {
         /// Label of the phase at whose boundary the fault fired.
         phase: String,
     },
+    /// The update supervisor's watchdog fired: a pipeline phase overran its
+    /// sim-time deadline budget and the attempt was aborted and rolled back.
+    WatchdogExpired {
+        /// Label of the overrunning phase.
+        phase: String,
+        /// The configured budget, in simulated nanoseconds.
+        budget_ns: u64,
+        /// The sim time the phase actually spent, in nanoseconds.
+        spent_ns: u64,
+    },
 }
 
 impl fmt::Display for Conflict {
@@ -105,6 +115,9 @@ impl fmt::Display for Conflict {
             Conflict::HandlerRequested { message } => write!(f, "handler requested rollback: {message}"),
             Conflict::FaultInjected { phase } => {
                 write!(f, "fault injected at the {phase} phase boundary")
+            }
+            Conflict::WatchdogExpired { phase, budget_ns, spent_ns } => {
+                write!(f, "watchdog expired: {phase} spent {spent_ns}ns against a {budget_ns}ns budget")
             }
         }
     }

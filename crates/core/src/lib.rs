@@ -88,8 +88,9 @@ pub use log::{LogEntry, StartupLog};
 pub use program::{InstanceState, Program, ProgramEnv, StepOutcome, WaitInterest};
 pub use quiescence::{QuiescenceProfiler, QuiescenceReport, QuiescentPoint};
 pub use runtime::{
-    boot, live_update, BootOptions, FaultPlan, McrInstance, MemoryReport, Phase, PhaseName, PhaseRecord,
-    PhaseTrace, RoundStats, Scheduler, SchedulerMode, UpdateCtx, UpdateOptions, UpdateOutcome,
+    boot, live_update, supervised_update, AttemptSummary, BootOptions, ChaosPlan, ChaosRng, DegradationTier,
+    FaultCatalog, FaultPlan, FaultSite, McrInstance, MemoryReport, Phase, PhaseName, PhaseRecord, PhaseTrace,
+    RoundStats, Scheduler, SchedulerMode, SupervisorPolicy, UpdateCtx, UpdateOptions, UpdateOutcome,
     UpdatePipeline, UpdateReport,
 };
 pub use tracing::{ObjectGraph, TraceOptions, TracingStats};

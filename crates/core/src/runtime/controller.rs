@@ -436,7 +436,7 @@ mod tests {
         serve_clients(&mut kernel, &mut v1, 2);
 
         let pipeline =
-            UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_before(PhaseName::Commit));
+            UpdatePipeline::standard().with_fault_plan(FaultPlan::at_boundaries([PhaseName::Commit]));
         let (mut still_v1, outcome) = pipeline.run(
             &mut kernel,
             v1,

@@ -6,20 +6,27 @@
 //! [`UpdatePipeline`] lets callers inject faults at phase boundaries or
 //! assemble custom phase lists.
 
+pub mod chaos;
 pub mod controller;
 pub mod pipeline;
 pub mod report;
 pub mod scheduler;
+pub mod supervisor;
 
+pub use chaos::{random_plan, shrink_schedule, ChaosRng, FaultCatalog, FaultSite};
 pub use controller::{live_update, PrecopyOptions, UpdateOptions, UpdateOutcome};
 pub use pipeline::{
-    FaultPlan, PairPrecopyState, Phase, PhaseName, PrecopyHook, PrecopyPhase, UpdateCtx, UpdatePipeline,
+    ChaosPlan, FaultPlan, PairPrecopyState, Phase, PhaseName, PrecopyHook, PrecopyPhase, UpdateCtx,
+    UpdatePipeline,
 };
 pub use report::{MemoryReport, PhaseRecord, PhaseTrace, PrecopySummary, UpdateReport, UpdateTimings};
 pub use scheduler::{
     all_quiesced, boot, create_instance, request_quiescence, resume, run_round, run_round_full_scan,
     run_rounds, run_startup, running_thread_count, step_thread, wait_quiescence, wake_all_threads,
     BootOptions, McrInstance, RoundStats, Scheduler, SchedulerMode,
+};
+pub use supervisor::{
+    supervised_update, time_to_recovery, AttemptSummary, DegradationTier, SupervisorPolicy,
 };
 
 /// Minimal MCR-enabled server programs used by the crate's own tests.

@@ -113,6 +113,52 @@
 //! makes directly measurable (`benches/precopy_downtime.rs` sweeps it).
 //! With pre-copy disabled (`precopy.rounds == 0`, the default) the classic
 //! five-phase stop-the-world order is used unchanged.
+//!
+//! # Fault injection and chaos testing
+//!
+//! A [`ChaosPlan`] (the type [`FaultPlan`] now aliases) arms up to three
+//! kinds of triggers on one run, and the first trigger reached fires:
+//!
+//! * **phase boundaries** — [`ChaosPlan::at_boundaries`] fails the run
+//!   right before each listed phase executes (multi-boundary plans arm
+//!   several; the earliest in pipeline order fires);
+//! * **n-th transfer-object write** — [`ChaosPlan::failing_at_transfer_object`]
+//!   fails the n-th object write the transfer engine performs, counted
+//!   across pairs, shards and pre-copy rounds (use
+//!   `transfer_workers = 1` for a deterministic write order);
+//! * **n-th syscall** — [`ChaosPlan::failing_at_syscall`] arms
+//!   [`Kernel::arm_syscall_fault`]: the n-th kernel syscall issued after
+//!   the pipeline starts is suppressed and fails with
+//!   `SimError::FaultInjected`, wherever it lands (replay, serving rounds,
+//!   pre-copy traffic).
+//!
+//! Independent of fault plans, [`UpdatePipeline::with_phase_deadline`] and
+//! [`with_uniform_phase_deadline`](UpdatePipeline::with_uniform_phase_deadline)
+//! attach sim-clock watchdog budgets: a phase (other than `Commit`, past
+//! which there is no rollback) that overruns its budget aborts the update
+//! with [`Conflict::WatchdogExpired`] and rolls back.
+//!
+//! Every failure, injected or organic, funnels through the same rollback
+//! guard, which is what the chaos engine verifies at scale:
+//!
+//! 1. **Enumerate** — run the pipeline once fault-free; the committed
+//!    report's [`object_writes`](crate::runtime::report::UpdateReport) and
+//!    `update_syscalls` counters plus its phase records become a
+//!    [`FaultCatalog`](crate::runtime::chaos::FaultCatalog) of every
+//!    injectable site.
+//! 2. **Campaign** — draw seeded schedules over the catalog with
+//!    [`random_plan`](crate::runtime::chaos::random_plan) and
+//!    [`ChaosRng`](crate::runtime::chaos::ChaosRng) (deterministic
+//!    xorshift64*: a seed fully reproduces a campaign), asserting that
+//!    every fired schedule rolls back to a byte-identical old instance and
+//!    that [`supervised_update`](crate::runtime::supervisor::supervised_update)
+//!    then converges to a commit once the fault clears
+//!    (`benches/chaos.rs` runs the full grid, `tests/chaos.rs` a bounded
+//!    one).
+//! 3. **Reproduce** — a failing schedule is reduced with
+//!    [`shrink_schedule`](crate::runtime::chaos::shrink_schedule) to a
+//!    1-minimal reproducer; that plan plus the campaign seed replays the
+//!    failure exactly (same virtual kernel, same schedule, same outcome).
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -120,7 +166,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use mcr_procsim::{
-    Fd, FdPlacement, Kernel, Pid, Process, SimDuration, Syscall, SyscallPort, ThreadState, PAGE_SIZE,
+    Fd, FdPlacement, Kernel, Pid, Process, SimDuration, SimError, Syscall, SyscallPort, ThreadState,
+    PAGE_SIZE,
 };
 use mcr_typemeta::InstrumentationConfig;
 
@@ -309,29 +356,54 @@ pub trait Phase {
     fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()>;
 }
 
-/// Forces failures at phase boundaries — and, for the mid-phase trigger, in
-/// the middle of state transfer — for rollback testing and chaos-style
-/// drills. A fault "after phase P" is expressed as a fault before the next
-/// phase; there is deliberately no way to inject one after `Commit`, because
-/// commit is the pipeline's atomic point — nothing is reversible beyond it.
-#[derive(Debug, Clone, Default)]
-pub struct FaultPlan {
+/// A chaos schedule: forces failures at phase boundaries, in the middle of
+/// state transfer (n-th object write), or at the n-th kernel syscall issued
+/// while the update is in flight. A fault "after phase P" is expressed as a
+/// fault before the next phase; there is deliberately no way to inject one
+/// after `Commit`, because commit is the pipeline's atomic point — nothing
+/// is reversible beyond it.
+///
+/// Plans compose: one schedule may arm several boundary faults plus both
+/// mid-phase triggers; the *first* site reached fires (each trigger is
+/// one-shot, so a supervisor retry that re-runs the pipeline with the same
+/// plan re-arms it). Schedules over an enumerated site catalog — including
+/// randomized campaigns and shrinking — live in
+/// [`chaos`](crate::runtime::chaos).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
     before: Vec<PhaseName>,
     /// Mid-phase trigger: abort right before the n-th (1-based) object
     /// write the transfer engine would perform, counted across every pair
     /// and every pre-copy round.
     at_transfer_object: Option<u64>,
+    /// Mid-phase trigger: the n-th (1-based) kernel syscall issued after
+    /// the pipeline starts fails with `SimError::FaultInjected` instead of
+    /// executing (armed via `Kernel::arm_syscall_fault`).
+    at_syscall: Option<u64>,
 }
 
-impl FaultPlan {
+/// Former name of [`ChaosPlan`], kept as an alias for older call sites.
+pub type FaultPlan = ChaosPlan;
+
+impl ChaosPlan {
     /// A plan that injects no faults.
     pub fn none() -> Self {
-        FaultPlan::default()
+        ChaosPlan::default()
     }
 
     /// A plan that fails the update at the boundary right before `phase`.
+    #[deprecated(
+        since = "0.7.0",
+        note = "chaos schedules are multi-boundary; use `ChaosPlan::at_boundaries([phase])`"
+    )]
     pub fn failing_before(phase: PhaseName) -> Self {
-        FaultPlan { before: vec![phase], at_transfer_object: None }
+        Self::at_boundaries([phase])
+    }
+
+    /// A plan that fails the update at the boundary right before each of
+    /// the given phases — the first one the pipeline reaches fires.
+    pub fn at_boundaries(phases: impl IntoIterator<Item = PhaseName>) -> Self {
+        ChaosPlan { before: phases.into_iter().collect(), ..ChaosPlan::default() }
     }
 
     /// A plan that fails the update right before its `nth` (1-based) object
@@ -345,7 +417,16 @@ impl FaultPlan {
     /// either way); use `transfer_workers: 1` when the fault site must be
     /// reproducible.
     pub fn failing_at_transfer_object(nth: u64) -> Self {
-        FaultPlan { before: Vec::new(), at_transfer_object: Some(nth) }
+        ChaosPlan { at_transfer_object: Some(nth), ..ChaosPlan::default() }
+    }
+
+    /// A plan that fails the `nth` (1-based) kernel syscall issued after
+    /// the pipeline starts — wherever it lands: a serving round inside
+    /// quiesce, a pre-copy round's traffic, or the new version's startup
+    /// replay. The syscall is suppressed (no state change) and the error
+    /// funnels through the pipeline's single rollback guard.
+    pub fn failing_at_syscall(nth: u64) -> Self {
+        ChaosPlan { at_syscall: Some(nth), ..ChaosPlan::default() }
     }
 
     /// Adds another boundary fault to the plan.
@@ -362,9 +443,21 @@ impl FaultPlan {
         self
     }
 
+    /// Adds (or replaces) the mid-update n-th-syscall trigger.
+    #[must_use]
+    pub fn and_at_syscall(mut self, nth: u64) -> Self {
+        self.at_syscall = Some(nth);
+        self
+    }
+
     /// Whether a fault fires at the boundary before `phase`.
     pub fn fires_before(&self, phase: PhaseName) -> bool {
         self.before.contains(&phase)
+    }
+
+    /// The armed boundary faults, in insertion order.
+    pub fn boundaries(&self) -> &[PhaseName] {
+        &self.before
     }
 
     /// The armed n-th-object-write trigger, if any.
@@ -372,16 +465,56 @@ impl FaultPlan {
         self.at_transfer_object
     }
 
+    /// The armed n-th-syscall trigger, if any.
+    pub fn at_syscall(&self) -> Option<u64> {
+        self.at_syscall
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
-        self.before.is_empty() && self.at_transfer_object.is_none()
+        self.before.is_empty() && self.at_transfer_object.is_none() && self.at_syscall.is_none()
+    }
+
+    /// Number of armed triggers (boundaries + mid-phase), used by the
+    /// shrinker to order candidates.
+    pub fn arm_count(&self) -> usize {
+        self.before.len()
+            + usize::from(self.at_transfer_object.is_some())
+            + usize::from(self.at_syscall.is_some())
+    }
+
+    /// Removes the boundary fault at `idx` (shrinker support).
+    #[must_use]
+    pub(crate) fn without_boundary(&self, idx: usize) -> Self {
+        let mut plan = self.clone();
+        plan.before.remove(idx);
+        plan
+    }
+
+    /// Clears the n-th-object trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_transfer_object(&self) -> Self {
+        ChaosPlan { at_transfer_object: None, ..self.clone() }
+    }
+
+    /// Clears the n-th-syscall trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_syscall(&self) -> Self {
+        ChaosPlan { at_syscall: None, ..self.clone() }
     }
 }
 
-/// An ordered sequence of [`Phase`]s plus an optional [`FaultPlan`].
+/// An ordered sequence of [`Phase`]s plus an optional [`ChaosPlan`].
 pub struct UpdatePipeline {
     phases: Vec<Box<dyn Phase>>,
-    fault_plan: FaultPlan,
+    fault_plan: ChaosPlan,
+    /// Watchdog budgets: a phase (other than `Commit`) whose sim-time
+    /// duration exceeds its budget aborts the update with
+    /// [`Conflict::WatchdogExpired`] and rolls back. Budgets are evaluated
+    /// on the virtual clock when the phase returns — simulated phases
+    /// always terminate, so "at phase end" is the honest simulated
+    /// equivalent of a wall-clock watchdog interrupt.
+    phase_deadlines: Vec<(PhaseName, SimDuration)>,
     /// Between-rounds callback handed to the pre-copy phase (taken once per
     /// `run`).
     precopy_hook: RefCell<Option<PrecopyHook>>,
@@ -392,6 +525,7 @@ impl std::fmt::Debug for UpdatePipeline {
         f.debug_struct("UpdatePipeline")
             .field("phases", &self.phase_names())
             .field("fault_plan", &self.fault_plan)
+            .field("phase_deadlines", &self.phase_deadlines)
             .finish()
     }
 }
@@ -414,7 +548,8 @@ impl UpdatePipeline {
                 Box::new(TraceAndTransferPhase),
                 Box::new(CommitPhase),
             ],
-            fault_plan: FaultPlan::none(),
+            fault_plan: ChaosPlan::none(),
+            phase_deadlines: Vec::new(),
             precopy_hook: RefCell::new(None),
         }
     }
@@ -432,7 +567,8 @@ impl UpdatePipeline {
                 Box::new(TraceAndTransferPhase),
                 Box::new(CommitPhase),
             ],
-            fault_plan: FaultPlan::none(),
+            fault_plan: ChaosPlan::none(),
+            phase_deadlines: Vec::new(),
             precopy_hook: RefCell::new(None),
         }
     }
@@ -449,9 +585,37 @@ impl UpdatePipeline {
 
     /// Replaces the pipeline's fault plan.
     #[must_use]
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+    pub fn with_fault_plan(mut self, plan: ChaosPlan) -> Self {
         self.fault_plan = plan;
         self
+    }
+
+    /// Sets a watchdog budget for one phase: if the phase's sim-time
+    /// duration exceeds `budget`, the update aborts with
+    /// [`Conflict::WatchdogExpired`] and rolls back. `Commit` budgets are
+    /// ignored — commit is the point of no return, a rollback past it would
+    /// be a lie.
+    #[must_use]
+    pub fn with_phase_deadline(mut self, phase: PhaseName, budget: SimDuration) -> Self {
+        self.phase_deadlines.retain(|&(p, _)| p != phase);
+        self.phase_deadlines.push((phase, budget));
+        self
+    }
+
+    /// Sets the same watchdog budget for every phase except `Commit`.
+    #[must_use]
+    pub fn with_uniform_phase_deadline(mut self, budget: SimDuration) -> Self {
+        for phase in self.phase_names() {
+            if phase != PhaseName::Commit {
+                self = self.with_phase_deadline(phase, budget);
+            }
+        }
+        self
+    }
+
+    /// The watchdog budget configured for `phase`, if any.
+    fn deadline_for(&self, phase: PhaseName) -> Option<SimDuration> {
+        self.phase_deadlines.iter().find(|&&(p, _)| p == phase).map(|&(_, d)| d)
     }
 
     /// Installs a between-rounds callback for the pre-copy phase: it runs
@@ -489,12 +653,21 @@ impl UpdatePipeline {
         ctx.fault = self.fault_plan.clone();
         ctx.precopy_hook = self.precopy_hook.borrow_mut().take();
         let t_total = ctx.kernel.now();
+        let syscalls_before = ctx.kernel.syscall_count();
+        // Arm the n-th-syscall chaos trigger inside the simulated kernel for
+        // the duration of this attempt; both exit paths disarm it below, so
+        // a fault armed for one attempt can never leak into steady-state
+        // serving or a later supervisor retry.
+        if let Some(nth) = self.fault_plan.at_syscall() {
+            ctx.kernel.arm_syscall_fault(nth);
+        }
         // Everything from the start of the quiescence barrier onwards is
         // stop-the-world; phases executed before it (reinit/replay, match,
         // pre-copy) ran while the old version could still serve.
         let mut pre_quiesce = SimDuration(0);
         let mut quiesce_seen = false;
         let mut failure: Option<McrError> = None;
+        let mut failing_phase: Option<PhaseName> = None;
         for phase in &self.phases {
             let name = phase.name();
             if self.fault_plan.fires_before(name) {
@@ -513,8 +686,33 @@ impl UpdatePipeline {
             }
             if let Err(e) = result {
                 failure = Some(e);
+                failing_phase = Some(name);
                 break;
             }
+            // Watchdog: a completed phase that overran its sim-time budget
+            // aborts the attempt. Commit is exempt — it already happened,
+            // and nothing past commit is reversible.
+            if name != PhaseName::Commit {
+                if let Some(budget) = self.deadline_for(name) {
+                    if duration > budget {
+                        failure = Some(
+                            Conflict::WatchdogExpired {
+                                phase: name.label().into(),
+                                budget_ns: budget.0,
+                                spent_ns: duration.0,
+                            }
+                            .into(),
+                        );
+                        failing_phase = Some(name);
+                        break;
+                    }
+                }
+            }
+        }
+        ctx.kernel.disarm_syscall_fault();
+        ctx.report.update_syscalls = ctx.kernel.syscall_count() - syscalls_before;
+        if let Some(plan) = &ctx.plan {
+            ctx.report.object_writes = plan.writes_performed();
         }
         ctx.report.timings.total = ctx.kernel.now().duration_since(t_total);
         ctx.report.timings.downtime = if quiesce_seen {
@@ -541,6 +739,15 @@ impl UpdatePipeline {
             Some(error) => {
                 let conflicts = match error {
                     McrError::Conflicts(cs) => cs,
+                    // A fired n-th-syscall trigger surfaces as an injected
+                    // fault attributed to the phase it landed in.
+                    McrError::Sim(SimError::FaultInjected { nth }) => {
+                        let phase = match failing_phase {
+                            Some(p) => format!("syscall#{nth}@{}", p.label()),
+                            None => format!("syscall#{nth}"),
+                        };
+                        vec![Conflict::FaultInjected { phase }]
+                    }
                     other => vec![Conflict::StartupFailure {
                         syscall: "<runtime>".into(),
                         error: other.to_string(),

@@ -190,6 +190,20 @@ pub struct UpdateReport {
     pub old_startup: SimDuration,
     /// Startup time of the new version under mutable reinitialization.
     pub new_startup: SimDuration,
+    /// Kernel syscalls issued while the pipeline was in flight (serving
+    /// rounds, startup replay, pre-copy traffic). After a clean run this is
+    /// the chaos engine's n-th-syscall fault-site count.
+    pub update_syscalls: u64,
+    /// Object writes the transfer engine performed (across every pair,
+    /// shard and pre-copy round). After a clean run this is the chaos
+    /// engine's n-th-object-write fault-site count.
+    pub object_writes: u64,
+    /// Attempt history recorded by the update supervisor: one entry per
+    /// pipeline attempt, in order. Empty for a bare (unsupervised)
+    /// pipeline run; on a supervised update the *final* outcome's report
+    /// carries the whole ladder (see
+    /// [`supervised_update`](crate::runtime::supervisor::supervised_update)).
+    pub attempts: Vec<crate::runtime::supervisor::AttemptSummary>,
 }
 
 impl UpdateReport {

@@ -1,0 +1,369 @@
+//! The self-healing update supervisor: retry, deterministic backoff,
+//! configuration degradation, and watchdog deadlines around
+//! [`UpdatePipeline`].
+//!
+//! MCR's safety claim is that a failed update is never fatal — it rolls
+//! back. The supervisor turns that into a *liveness* property: a rolled-back
+//! update is retried with exponential backoff on the virtual clock (the old
+//! instance keeps serving between attempts), the configuration degrades on
+//! repeated failure (pre-copy → stop-the-world, parallel transfer →
+//! serial), every phase can carry a sim-time watchdog budget
+//! ([`UpdatePipeline::with_uniform_phase_deadline`]), and after
+//! [`SupervisorPolicy::max_attempts`] the supervisor gives up cleanly with
+//! the full attempt history embedded in the final
+//! [`UpdateReport::attempts`].
+//!
+//! Everything is driven by the simulated clock, so a supervised update is
+//! exactly as deterministic as a bare pipeline run: same kernel, same
+//! per-attempt fault plans, same outcome, byte for byte.
+
+use mcr_procsim::{Kernel, SimDuration, SimInstant};
+use mcr_typemeta::InstrumentationConfig;
+
+use crate::error::Conflict;
+use crate::program::Program;
+use crate::runtime::controller::{PrecopyOptions, UpdateOptions, UpdateOutcome};
+use crate::runtime::pipeline::{ChaosPlan, UpdatePipeline};
+use crate::runtime::report::UpdateReport;
+use crate::runtime::scheduler::{run_rounds, McrInstance};
+
+/// How far the supervisor has degraded the update configuration.
+///
+/// The ladder trades update speed for simplicity: each rung disables the
+/// most concurrency-hungry mechanism left, on the theory that a fault that
+/// bit a complex schedule may spare a simpler one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationTier {
+    /// The configuration as requested (attempt 1).
+    Full,
+    /// Pre-copy disabled — classic stop-the-world pipeline (attempt 2).
+    NoPrecopy,
+    /// Stop-the-world *and* fully serial: one transfer worker, one
+    /// intra-pair shard (attempt 3 and later).
+    Serial,
+}
+
+impl DegradationTier {
+    /// The tier used for 1-based attempt number `attempt`.
+    pub fn for_attempt(attempt: usize) -> Self {
+        match attempt {
+            0 | 1 => DegradationTier::Full,
+            2 => DegradationTier::NoPrecopy,
+            _ => DegradationTier::Serial,
+        }
+    }
+
+    /// Stable label for reports and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationTier::Full => "full",
+            DegradationTier::NoPrecopy => "no-precopy",
+            DegradationTier::Serial => "serial",
+        }
+    }
+
+    /// The options this tier actually runs with, derived from the
+    /// requested configuration.
+    pub fn apply(&self, requested: &UpdateOptions) -> UpdateOptions {
+        let mut opts = *requested;
+        match self {
+            DegradationTier::Full => {}
+            DegradationTier::NoPrecopy => {
+                opts.precopy = PrecopyOptions::disabled();
+            }
+            DegradationTier::Serial => {
+                opts.precopy = PrecopyOptions::disabled();
+                opts.transfer_workers = 1;
+                opts.intra_pair_shards = 1;
+            }
+        }
+        opts
+    }
+}
+
+impl std::fmt::Display for DegradationTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What one supervised pipeline attempt did, recorded in
+/// [`UpdateReport::attempts`].
+#[derive(Debug, Clone)]
+pub struct AttemptSummary {
+    /// 1-based attempt number.
+    pub attempt: usize,
+    /// The degradation tier the attempt ran at.
+    pub tier: DegradationTier,
+    /// Whether the attempt committed (true only for the last entry).
+    pub committed: bool,
+    /// The conflicts that rolled the attempt back (empty on commit).
+    pub conflicts: Vec<Conflict>,
+    /// Virtual-clock instants bracketing the pipeline run.
+    pub started_at: SimInstant,
+    /// See `started_at`.
+    pub finished_at: SimInstant,
+    /// The deterministic backoff slept *after* this attempt (zero for the
+    /// committed or final attempt).
+    pub backoff: SimDuration,
+}
+
+/// Retry/backoff/degradation policy of [`supervised_update`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorPolicy {
+    /// Give up (returning the last rollback) after this many attempts.
+    pub max_attempts: usize,
+    /// Backoff before retry `k+1` is `base_backoff << (k-1)` on the virtual
+    /// clock — deterministic, no host time involved.
+    pub base_backoff: SimDuration,
+    /// Scheduler rounds the old instance serves between attempts, so
+    /// clients keep getting answers while the supervisor waits.
+    pub serve_rounds_between_attempts: usize,
+    /// Optional per-phase watchdog budget applied to every attempt (see
+    /// [`UpdatePipeline::with_uniform_phase_deadline`]).
+    pub phase_deadline: Option<SimDuration>,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration(1_000_000), // 1 simulated millisecond
+            serve_rounds_between_attempts: 2,
+            phase_deadline: None,
+        }
+    }
+}
+
+/// Runs a live update under supervision: retries rolled-back attempts with
+/// deterministic backoff, degrades the configuration along the
+/// [`DegradationTier`] ladder, and gives up after
+/// [`SupervisorPolicy::max_attempts`].
+///
+/// `new_program` is a factory because every attempt consumes a fresh boxed
+/// program (the pipeline boots it under replay). `fault_for_attempt` maps
+/// the 1-based attempt number to that attempt's [`ChaosPlan`] — chaos
+/// campaigns inject into early attempts and leave later ones clean to model
+/// transient faults; pass `|_| ChaosPlan::none()` outside of drills.
+///
+/// The returned outcome is the last attempt's, with
+/// [`UpdateReport::attempts`] rewritten to the full ladder history. Between
+/// attempts the old instance serves
+/// [`SupervisorPolicy::serve_rounds_between_attempts`] scheduler rounds, so
+/// traffic keeps flowing across failures.
+pub fn supervised_update(
+    kernel: &mut Kernel,
+    old: McrInstance,
+    mut new_program: impl FnMut() -> Box<dyn Program>,
+    config: InstrumentationConfig,
+    opts: &UpdateOptions,
+    policy: &SupervisorPolicy,
+    mut fault_for_attempt: impl FnMut(usize) -> ChaosPlan,
+) -> (McrInstance, UpdateOutcome) {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempts: Vec<AttemptSummary> = Vec::new();
+    let mut instance = old;
+    for attempt in 1..=max_attempts {
+        let tier = DegradationTier::for_attempt(attempt);
+        let tier_opts = tier.apply(opts);
+        let mut pipeline =
+            UpdatePipeline::for_options(&tier_opts).with_fault_plan(fault_for_attempt(attempt));
+        if let Some(budget) = policy.phase_deadline {
+            pipeline = pipeline.with_uniform_phase_deadline(budget);
+        }
+        let started_at = kernel.now();
+        let (next_instance, outcome) = pipeline.run(kernel, instance, new_program(), config, &tier_opts);
+        instance = next_instance;
+        let finished_at = kernel.now();
+        match outcome {
+            UpdateOutcome::Committed(mut report) => {
+                attempts.push(AttemptSummary {
+                    attempt,
+                    tier,
+                    committed: true,
+                    conflicts: Vec::new(),
+                    started_at,
+                    finished_at,
+                    backoff: SimDuration(0),
+                });
+                report.attempts = attempts;
+                return (instance, UpdateOutcome::Committed(report));
+            }
+            UpdateOutcome::RolledBack { conflicts, report } => {
+                let giving_up = attempt == max_attempts;
+                let backoff = if giving_up {
+                    SimDuration(0)
+                } else {
+                    SimDuration(policy.base_backoff.0 << (attempt - 1))
+                };
+                attempts.push(AttemptSummary {
+                    attempt,
+                    tier,
+                    committed: false,
+                    conflicts: conflicts.clone(),
+                    started_at,
+                    finished_at,
+                    backoff,
+                });
+                if giving_up {
+                    let mut report = report;
+                    report.attempts = attempts;
+                    return (instance, UpdateOutcome::RolledBack { conflicts, report });
+                }
+                // Deterministic backoff on the virtual clock, with the old
+                // instance serving: rollback restored it, so clients see
+                // answers (from the old version) across the whole ladder.
+                kernel.advance_clock(backoff);
+                let _ = run_rounds(kernel, &mut instance, policy.serve_rounds_between_attempts);
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt");
+}
+
+/// Mean time to recovery of a supervised update: virtual time from the
+/// first attempt's start to the committing attempt's end (`None` when the
+/// history is empty or never committed).
+pub fn time_to_recovery(report: &UpdateReport) -> Option<SimDuration> {
+    let first = report.attempts.first()?;
+    let committed = report.attempts.iter().find(|a| a.committed)?;
+    Some(committed.finished_at.duration_since(first.started_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::pipeline::PhaseName;
+    use crate::runtime::scheduler::{boot, BootOptions};
+    use crate::runtime::testprog::TinyServer;
+
+    fn booted(kernel: &mut Kernel) -> McrInstance {
+        kernel.add_file("/etc/tiny.conf", b"workers=2\n".to_vec());
+        boot(kernel, Box::new(TinyServer::new(1)), &BootOptions::default()).expect("boot v1")
+    }
+
+    fn drive_traffic(kernel: &mut Kernel, instance: &mut McrInstance, n: usize) {
+        for _ in 0..n {
+            let conn = kernel.client_connect(8080).expect("connect");
+            kernel.client_send(conn, b"ping".to_vec()).expect("send");
+            let _ = run_rounds(kernel, instance, 2);
+        }
+    }
+
+    #[test]
+    fn supervisor_commits_first_try_without_faults() {
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 3);
+        let (instance, outcome) = supervised_update(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &SupervisorPolicy::default(),
+            |_| ChaosPlan::none(),
+        );
+        assert!(outcome.is_committed());
+        let report = outcome.report();
+        assert_eq!(report.attempts.len(), 1);
+        assert!(report.attempts[0].committed);
+        assert_eq!(report.attempts[0].tier, DegradationTier::Full);
+        assert!(time_to_recovery(report).is_some());
+        assert_eq!(instance.state.version, "2.0");
+    }
+
+    #[test]
+    fn supervisor_retries_through_transient_faults_and_records_the_ladder() {
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 2);
+        // Attempts 1 and 2 are sabotaged at different sites; attempt 3 is
+        // clean — a transient fault the ladder must climb over.
+        let (instance, outcome) = supervised_update(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &SupervisorPolicy::default(),
+            |attempt| match attempt {
+                1 => ChaosPlan::at_boundaries([PhaseName::Commit]),
+                2 => ChaosPlan::failing_at_transfer_object(1),
+                _ => ChaosPlan::none(),
+            },
+        );
+        assert!(outcome.is_committed(), "third attempt commits: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert_eq!(report.attempts.len(), 3);
+        assert_eq!(
+            report.attempts.iter().map(|a| a.tier).collect::<Vec<_>>(),
+            vec![DegradationTier::Full, DegradationTier::NoPrecopy, DegradationTier::Serial]
+        );
+        assert_eq!(report.attempts.iter().map(|a| a.committed).collect::<Vec<_>>(), vec![false, false, true]);
+        // Exponential, deterministic backoff on the virtual clock.
+        assert_eq!(report.attempts[0].backoff.0 * 2, report.attempts[1].backoff.0);
+        assert_eq!(report.attempts[2].backoff.0, 0);
+        assert!(!report.attempts[0].conflicts.is_empty());
+        let mttr = time_to_recovery(report).expect("committed ladder has an MTTR");
+        assert!(mttr.0 > 0);
+        assert_eq!(instance.state.version, "2.0");
+    }
+
+    #[test]
+    fn supervisor_gives_up_cleanly_and_old_version_still_serves() {
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 2);
+        let policy = SupervisorPolicy { max_attempts: 2, ..SupervisorPolicy::default() };
+        let (mut instance, outcome) = supervised_update(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &policy,
+            // Every attempt dies at the commit boundary: unrecoverable.
+            |_| ChaosPlan::at_boundaries([PhaseName::Commit]),
+        );
+        assert!(!outcome.is_committed());
+        let report = outcome.report();
+        assert_eq!(report.attempts.len(), 2);
+        assert!(report.attempts.iter().all(|a| !a.committed));
+        assert!(time_to_recovery(report).is_none());
+        assert_eq!(instance.state.version, "1.0", "old version resumed");
+        // The resumed old instance still answers traffic.
+        let conn = kernel.client_connect(8080).expect("connect after give-up");
+        kernel.client_send(conn, b"ping".to_vec()).expect("send");
+        let _ = run_rounds(&mut kernel, &mut instance, 3);
+        assert_eq!(kernel.client_recv(conn).expect("reply"), b"hello from v1".to_vec());
+    }
+
+    #[test]
+    fn watchdog_budget_aborts_and_rolls_back() {
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 2);
+        let policy = SupervisorPolicy {
+            max_attempts: 1,
+            phase_deadline: Some(SimDuration(1)), // nothing fits in 1ns
+            ..SupervisorPolicy::default()
+        };
+        let (instance, outcome) = supervised_update(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &policy,
+            |_| ChaosPlan::none(),
+        );
+        assert!(!outcome.is_committed());
+        assert!(
+            outcome.conflicts().iter().any(|c| matches!(c, Conflict::WatchdogExpired { .. })),
+            "watchdog conflict reported: {:?}",
+            outcome.conflicts()
+        );
+        assert_eq!(instance.state.version, "1.0");
+    }
+}

@@ -158,11 +158,21 @@ impl TransferContext {
     }
 
     /// Counts one object write; true when the armed fault must fire now.
+    /// The counter runs whether or not a fault is armed, so a clean run's
+    /// total doubles as the chaos engine's n-th-object-write site count
+    /// (see [`writes_performed`](Self::writes_performed)).
     fn object_write_fires_fault(&self) -> bool {
-        match self.object_fault {
-            None => false,
-            Some(n) => self.writes.fetch_add(1, Ordering::Relaxed) + 1 == n,
-        }
+        let nth = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        self.object_fault == Some(nth)
+    }
+
+    /// Total object writes counted through this context so far — across
+    /// every pair, shard and pre-copy round. After a clean (fault-free)
+    /// update this is the number of injectable n-th-object-write fault
+    /// sites; the pipeline copies it into
+    /// [`UpdateReport::object_writes`](crate::runtime::report::UpdateReport).
+    pub fn writes_performed(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
     }
 
     /// The bridge for an old-version type id, if the type is registered.

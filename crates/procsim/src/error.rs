@@ -51,6 +51,10 @@ pub enum SimError {
     /// The simulated program aborted (used by servers that detect a
     /// conflicting running instance, mirroring Apache httpd's behaviour).
     Aborted(String),
+    /// A chaos-engine fault armed with [`crate::Kernel::arm_syscall_fault`]
+    /// fired: the n-th syscall after arming was suppressed and failed with
+    /// this error instead of executing.
+    FaultInjected { nth: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +84,9 @@ impl fmt::Display for SimError {
             SimError::NoSuchFile(p) => write!(f, "no such file: {p}"),
             SimError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             SimError::Aborted(m) => write!(f, "program aborted: {m}"),
+            SimError::FaultInjected { nth } => {
+                write!(f, "injected fault at syscall {nth} after arming")
+            }
         }
     }
 }

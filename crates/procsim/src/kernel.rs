@@ -387,6 +387,10 @@ pub struct Kernel {
     pending_client_data: BTreeMap<u64, VecDeque<Vec<u8>>>,
     /// Total syscalls executed (statistics).
     syscall_count: u64,
+    /// Armed chaos fault: `(remaining, nth)` — the countdown until the next
+    /// syscall fails with [`SimError::FaultInjected`], and the original
+    /// n-th value for the error report. `None` when disarmed.
+    syscall_fault: Option<(u64, u64)>,
     /// Readiness substrate: wait queues, timer wheel, wake queue.
     wait: WaitState,
 }
@@ -408,6 +412,7 @@ impl Kernel {
             clients: BTreeMap::new(),
             pending_client_data: BTreeMap::new(),
             syscall_count: 0,
+            syscall_fault: None,
             wait: WaitState::default(),
         }
     }
@@ -563,6 +568,30 @@ impl Kernel {
     /// Number of syscalls executed so far.
     pub fn syscall_count(&self) -> u64 {
         self.syscall_count
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos fault injection
+    // ------------------------------------------------------------------
+
+    /// Arms a one-shot syscall fault: the `nth` syscall issued after this
+    /// call (1-based) fails with [`SimError::FaultInjected`] *instead of*
+    /// executing, leaving kernel and process state untouched. The fault
+    /// disarms itself after firing; `nth == 0` is treated as disarm.
+    pub fn arm_syscall_fault(&mut self, nth: u64) {
+        self.syscall_fault = (nth > 0).then_some((nth, nth));
+    }
+
+    /// Disarms any pending syscall fault (idempotent). Called by update
+    /// drivers on both the commit and rollback paths so a fault armed for
+    /// one update attempt can never leak into steady-state serving.
+    pub fn disarm_syscall_fault(&mut self) {
+        self.syscall_fault = None;
+    }
+
+    /// Remaining syscalls before an armed fault fires, if one is armed.
+    pub fn syscall_fault_remaining(&self) -> Option<u64> {
+        self.syscall_fault.map(|(rem, _)| rem)
     }
 
     // ------------------------------------------------------------------
@@ -1171,6 +1200,18 @@ impl SyscallPort for Kernel {
             return Err(SimError::NoSuchProcess(pid));
         }
         self.syscall_count += 1;
+        // Chaos hook: an armed fault counts down and, at zero, suppresses
+        // the syscall entirely — no memory write, no clock charge, no wait
+        // registration — so the caller observes a clean mid-operation
+        // failure with all kernel state exactly as it was before the call.
+        if let Some((remaining, nth)) = self.syscall_fault.as_mut() {
+            *remaining -= 1;
+            if *remaining == 0 {
+                let nth = *nth;
+                self.syscall_fault = None;
+                return Err(SimError::FaultInjected { nth });
+            }
+        }
         self.advance_clock(Self::syscall_cost(&call));
         let wait_fd = call.blocking_fd();
         let result = self.exec_syscall(pid, tid, call);
@@ -1614,5 +1655,80 @@ mod tests {
         assert_eq!(batch, vec![(pid, tid), (pid, survivors[0]), (pid, survivors[1])]);
         assert_eq!(k.waiting_thread_count(), 0);
         assert_eq!(k.pending_wakeup_count(), 0);
+    }
+
+    #[test]
+    fn armed_syscall_fault_fires_once_and_leaves_state_untouched() {
+        let (mut k, pid, tid) = booted();
+        k.arm_syscall_fault(3);
+        assert_eq!(k.syscall_fault_remaining(), Some(3));
+        k.syscall(pid, tid, Syscall::Getpid).unwrap();
+        k.syscall(pid, tid, Syscall::Getpid).unwrap();
+        assert_eq!(k.syscall_fault_remaining(), Some(1));
+        let before_clock = k.now();
+        // The doomed syscall would otherwise create a socket: it must not.
+        let fd_count_before = k.process(pid).unwrap().fds().len();
+        assert!(matches!(k.syscall(pid, tid, Syscall::Socket), Err(SimError::FaultInjected { nth: 3 })));
+        assert_eq!(k.now(), before_clock, "suppressed syscall charges no time");
+        assert_eq!(k.process(pid).unwrap().fds().len(), fd_count_before);
+        assert_eq!(k.waiting_thread_count(), 0, "no wait registration from the fault");
+        // Fault disarmed itself: the next syscall executes normally.
+        assert_eq!(k.syscall_fault_remaining(), None);
+        k.syscall(pid, tid, Syscall::Socket).unwrap();
+        // Counting includes the suppressed call.
+        assert_eq!(k.syscall_count(), 4);
+    }
+
+    #[test]
+    fn syscall_fault_arm_zero_and_disarm_are_inert() {
+        let (mut k, pid, tid) = booted();
+        k.arm_syscall_fault(0);
+        assert_eq!(k.syscall_fault_remaining(), None);
+        k.arm_syscall_fault(2);
+        k.disarm_syscall_fault();
+        k.disarm_syscall_fault(); // idempotent
+        k.syscall(pid, tid, Syscall::Getpid).unwrap();
+        k.syscall(pid, tid, Syscall::Getpid).unwrap();
+        k.syscall(pid, tid, Syscall::Getpid).unwrap();
+    }
+
+    #[test]
+    fn timer_cancel_then_reregister_same_deadline_wakes_exactly_once() {
+        let (mut k, pid, tid) = booted();
+        let deadline = SimInstant(k.now().0 + 4_000);
+        // Park, lazily cancel (the wheel entry stays), re-park at the *same*
+        // deadline: the stale entry's seq no longer matches the slot, so
+        // only the live registration may fire.
+        k.wait_until(pid, tid, deadline);
+        k.cancel_wait(pid, tid);
+        k.wait_until(pid, tid, deadline);
+        assert_eq!(k.waiting_thread_count(), 1);
+        assert_eq!(k.next_timer_deadline(), Some(deadline), "stale entry invisible to lookup");
+        k.advance_clock(SimDuration(4_000));
+        assert_eq!(k.pending_wakeup_count(), 1, "exactly one wake despite two wheel entries");
+        assert_eq!(k.drain_wakeups_where(|_| true), vec![(pid, tid)]);
+        // No second wake materializes later from the stale entry.
+        k.advance_clock(SimDuration(1_000_000));
+        assert_eq!(k.pending_wakeup_count(), 0);
+    }
+
+    #[test]
+    fn timer_cancelled_in_the_tick_it_would_fire_stays_cancelled() {
+        let (mut k, pid, tid) = booted();
+        let deadline = SimInstant(k.now().0 + 2_000);
+        k.wait_until(pid, tid, deadline);
+        k.cancel_wait(pid, tid);
+        assert_eq!(k.waiting_thread_count(), 0);
+        assert_eq!(k.next_timer_deadline(), None);
+        // The advance that passes the cancelled deadline must not wake the
+        // thread: `timer_entry_valid` filters the stale (seq, target) entry
+        // in the same `fire_due_timers` pass.
+        k.advance_clock(SimDuration(10_000));
+        assert_eq!(k.pending_wakeup_count(), 0, "cancelled timer never fires");
+        // A fresh registration by the same thread still works afterwards.
+        let later = SimInstant(k.now().0 + 500);
+        k.wait_until(pid, tid, later);
+        k.advance_clock(SimDuration(500));
+        assert_eq!(k.drain_wakeups_where(|_| true), vec![(pid, tid)]);
     }
 }

@@ -354,7 +354,7 @@ fn injected_fault_at_every_phase_boundary_rolls_back_cleanly() {
         let old_pids = v1.state.processes.clone();
         let connections_before = kernel.open_connection_count();
 
-        let pipeline = UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_before(boundary));
+        let pipeline = UpdatePipeline::standard().with_fault_plan(FaultPlan::at_boundaries([boundary]));
         let (mut survivor, outcome) = pipeline.run(
             &mut kernel,
             v1,
@@ -418,7 +418,7 @@ fn injected_fault_at_every_phase_boundary_rolls_back_cleanly() {
 fn rolled_back_report_traces_executed_prefix() {
     let (mut kernel, v1) = booted("vsftpd");
     let pipeline =
-        UpdatePipeline::standard().with_fault_plan(FaultPlan::failing_before(PhaseName::TraceAndTransfer));
+        UpdatePipeline::standard().with_fault_plan(FaultPlan::at_boundaries([PhaseName::TraceAndTransfer]));
     let (_survivor, outcome) = pipeline.run(
         &mut kernel,
         v1,

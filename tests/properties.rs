@@ -561,7 +561,7 @@ fn precopy_and_stop_the_world_updates_are_identical() {
 #[test]
 fn precopy_and_stop_the_world_rollbacks_are_identical() {
     for mode in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
-        let fault = || Some(FaultPlan::failing_before(PhaseName::Commit));
+        let fault = || Some(FaultPlan::at_boundaries([PhaseName::Commit]));
         let (stw_fp, stw_conflicts, stw) =
             precopied_or_stw_update("nginx", 3, 2, 3, 2, false, mode, fault(), 0x0ff);
         let (pre_fp, pre_conflicts, pre) =
