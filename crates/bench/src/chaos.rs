@@ -371,7 +371,12 @@ fn spread(total: u64, max: usize) -> (Vec<u64>, bool) {
     if total <= max as u64 {
         return ((1..=total).collect(), false);
     }
-    let max = max.max(2) as u64;
+    if max == 1 {
+        // A single pick: take the midpoint — the endpoints are the least
+        // representative samples of a long sweep.
+        return (vec![1 + (total - 1) / 2], true);
+    }
+    let max = max as u64;
     let mut picks: Vec<u64> = (0..max).map(|i| 1 + i * (total - 1) / (max - 1)).collect();
     picks.dedup();
     (picks, true)
@@ -602,4 +607,22 @@ pub fn chaos_json(spec: &ChaosSpec, rows: &[ConfigOutcome]) -> Json {
         ),
         ("totals", totals),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::spread;
+
+    #[test]
+    fn spread_honors_a_cap_of_one_and_spans_larger_sweeps() {
+        // Regression: a cap of 1 used to be bumped to 2 picks.
+        assert_eq!(spread(10, 1), (vec![5], true));
+        assert_eq!(spread(2, 1), (vec![1], true));
+        assert_eq!(spread(1, 1), (vec![1], false));
+        assert_eq!(spread(0, 3), (vec![], false));
+        assert_eq!(spread(5, 0), (vec![], true));
+        assert_eq!(spread(3, 5), (vec![1, 2, 3], false));
+        let (picks, capped) = spread(100, 4);
+        assert_eq!((picks, capped), (vec![1, 34, 67, 100], true));
+    }
 }

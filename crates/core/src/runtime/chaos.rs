@@ -208,7 +208,14 @@ pub fn shrink_schedule(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bo
                 b += 1;
             }
         }
-        for candidate in [current.without_transfer_object(), current.without_syscall()] {
+        // Each candidate must be derived from the *current* plan at the time
+        // it is tried: a snapshot taken before the loop would re-add a
+        // trigger the previous iteration just dropped, and the shrinker
+        // would oscillate forever.
+        let drops: [fn(&ChaosPlan) -> ChaosPlan; 2] =
+            [ChaosPlan::without_transfer_object, ChaosPlan::without_syscall];
+        for drop_trigger in drops {
+            let candidate = drop_trigger(&current);
             if candidate != current && fails(&candidate) {
                 current = candidate;
                 shrunk = true;
@@ -318,6 +325,21 @@ mod tests {
 
         let passing = ChaosPlan::failing_at_syscall(2);
         assert_eq!(shrink_schedule(&passing, |_| false), passing, "non-failing plan untouched");
+    }
+
+    #[test]
+    fn shrinker_terminates_when_a_dropped_trigger_is_redundant() {
+        // Regression: the failure only needs the boundary, so both the
+        // object and the syscall trigger are redundant. A shrinker that
+        // derives drop candidates from a stale snapshot re-adds one of them
+        // every pass and never terminates.
+        let fails = |p: &ChaosPlan| p.fires_before(PhaseName::Quiesce);
+        let noisy = ChaosPlan::at_boundaries([PhaseName::Quiesce]).and_at_transfer_object(9);
+        assert_eq!(shrink_schedule(&noisy, fails), ChaosPlan::at_boundaries([PhaseName::Quiesce]));
+
+        let noisier =
+            ChaosPlan::at_boundaries([PhaseName::Quiesce]).and_at_transfer_object(9).and_at_syscall(4);
+        assert_eq!(shrink_schedule(&noisier, fails), ChaosPlan::at_boundaries([PhaseName::Quiesce]));
     }
 
     #[test]

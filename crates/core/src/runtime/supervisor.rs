@@ -108,13 +108,28 @@ pub struct AttemptSummary {
     pub backoff: SimDuration,
 }
 
+/// Ceiling on a single inter-attempt backoff: one simulated minute. Deep
+/// retry ladders plateau here instead of overflowing the `<<` doubling (a
+/// shift past 63 panics in debug, and value bits wrap long before that) or
+/// stalling the virtual clock for geological spans.
+pub const MAX_BACKOFF: SimDuration = SimDuration(60_000_000_000);
+
+/// Exponential backoff slept after the 1-based `attempt`:
+/// `base << (attempt - 1)`, saturating and clamped to [`MAX_BACKOFF`] so
+/// the ladder stays monotone for arbitrarily large attempt counts.
+fn backoff_for_attempt(base: SimDuration, attempt: usize) -> SimDuration {
+    let exp = attempt.saturating_sub(1).min(63) as u32;
+    SimDuration(base.0.saturating_mul(1u64 << exp).min(MAX_BACKOFF.0))
+}
+
 /// Retry/backoff/degradation policy of [`supervised_update`].
 #[derive(Debug, Clone, Copy)]
 pub struct SupervisorPolicy {
     /// Give up (returning the last rollback) after this many attempts.
     pub max_attempts: usize,
     /// Backoff before retry `k+1` is `base_backoff << (k-1)` on the virtual
-    /// clock — deterministic, no host time involved.
+    /// clock — deterministic, no host time involved — capped at
+    /// [`MAX_BACKOFF`].
     pub base_backoff: SimDuration,
     /// Scheduler rounds the old instance serves between attempts, so
     /// clients keep getting answers while the supervisor waits.
@@ -194,7 +209,7 @@ pub fn supervised_update(
                 let backoff = if giving_up {
                     SimDuration(0)
                 } else {
-                    SimDuration(policy.base_backoff.0 << (attempt - 1))
+                    backoff_for_attempt(policy.base_backoff, attempt)
                 };
                 attempts.push(AttemptSummary {
                     attempt,
@@ -248,6 +263,21 @@ mod tests {
             kernel.client_send(conn, b"ping".to_vec()).expect("send");
             let _ = run_rounds(kernel, instance, 2);
         }
+    }
+
+    #[test]
+    fn backoff_doubles_then_saturates_at_the_cap_without_overflow() {
+        let base = SimDuration(1_000_000); // the default 1 ms
+        assert_eq!(backoff_for_attempt(base, 1), base);
+        assert_eq!(backoff_for_attempt(base, 2), SimDuration(2_000_000));
+        assert_eq!(backoff_for_attempt(base, 5), SimDuration(16_000_000));
+        // Deep ladders plateau at the cap instead of wrapping (~attempt 45
+        // with a 1 ms base) or panicking on a >= 64-bit shift (attempt 65+).
+        assert_eq!(backoff_for_attempt(base, 45), MAX_BACKOFF);
+        assert_eq!(backoff_for_attempt(base, 65), MAX_BACKOFF);
+        assert_eq!(backoff_for_attempt(base, usize::MAX), MAX_BACKOFF);
+        assert_eq!(backoff_for_attempt(SimDuration(u64::MAX), 2), MAX_BACKOFF);
+        assert_eq!(backoff_for_attempt(SimDuration(0), 100), SimDuration(0));
     }
 
     #[test]
