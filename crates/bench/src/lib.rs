@@ -26,13 +26,14 @@
 use std::fmt::Write as _;
 
 use mcr_core::runtime::{
-    boot, live_update, BootOptions, McrInstance, MemoryReport, PrecopyOptions, SchedulerMode, UpdateOptions,
-    UpdateOutcome, UpdatePipeline,
+    boot, live_update, BootOptions, McrInstance, MemoryReport, PrecopyOptions, SchedulerMode, TransferMode,
+    UpdateOptions, UpdateOutcome, UpdatePipeline,
 };
 use mcr_core::{QuiescenceProfiler, TraceOptions, TracingStats};
 use mcr_procsim::Kernel;
 use mcr_servers::{
-    apply_scenario_writes, install_standard_files, paper_catalog, program_by_name, PrecopyScenario,
+    apply_scenario_writes, install_standard_files, paper_catalog, program_by_name, stamp_request_scratch,
+    PrecopyScenario,
 };
 use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
 use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
@@ -223,6 +224,125 @@ pub fn precopy_update(
         InstrumentationConfig::full(),
         &opts,
     );
+    (kernel_fingerprint(&kernel), outcome)
+}
+
+/// `request_buf` u32 slots stamped per process by the adaptive-transfer
+/// sweep's write workloads (pre-quiesce rounds make the scratch page part
+/// of the stale residual; post-resume rounds then trap on it under
+/// post-copy).
+pub const SCRATCH_WORDS: usize = 8;
+
+/// One pre-quiesce write batch of the adaptive-transfer sweep: the
+/// scenario's connection/cache writes plus a scratch-page stamp, so every
+/// mode enters the commit with the same stale residual, scratch page
+/// included.
+fn adaptive_mutate_batch(
+    kernel: &mut Kernel,
+    instance: &McrInstance,
+    scenario: &PrecopyScenario,
+    round: usize,
+) {
+    let stamp = 0xC0DE_0000u32 + round as u32;
+    apply_scenario_writes(kernel, instance, scenario, stamp);
+    stamp_request_scratch(kernel, instance, SCRATCH_WORDS, stamp);
+}
+
+/// Runs one sweep point of the adaptive-transfer bench under the given
+/// [`TransferMode`] and returns the post-update kernel fingerprint plus the
+/// outcome.
+///
+/// Every mode applies the *same* deterministic write schedule, so all four
+/// must converge to byte-identical kernel state and only the downtime split
+/// may differ:
+///
+/// * three pre-quiesce batches ([`adaptive_mutate_batch`]) — between the
+///   concurrent rounds for the pre-copy-enabled modes (`Precopy`,
+///   `Adaptive`), all up front for the windowed ones (`StopTheWorld`,
+///   `Postcopy`), exactly like [`precopy_update`];
+/// * three post-resume scratch stamps ([`stamp_request_scratch`]) — during
+///   the drain (via the post-copy hook, where they trap on parked pages and
+///   are replayed by the fault handler) for the post-copy pipelines, after
+///   the pipeline returns for the synchronous ones. Each batch overwrites
+///   the same slots, so the final bytes depend only on the last stamp, not
+///   on when a batch landed.
+///
+/// # Panics
+///
+/// Panics if the server fails to boot or the workload cannot run.
+pub fn adaptive_update(
+    scenario: &PrecopyScenario,
+    size_factor: u64,
+    mode: TransferMode,
+    scheduler: SchedulerMode,
+) -> (u64, UpdateOutcome) {
+    const MUTATE_ROUNDS: usize = 3;
+    const POST_ROUNDS: usize = 3;
+    let precopy_rounds = match mode {
+        TransferMode::Precopy | TransferMode::Adaptive => 3,
+        TransferMode::StopTheWorld | TransferMode::Postcopy => 0,
+    };
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(program_by_name(scenario.program, 1)), &BootOptions::default())
+        .expect("scenario server boots");
+    run_workload(&mut kernel, &mut v1, &workload_for(scenario.program, scenario.requests * size_factor))
+        .expect("workload runs");
+    let port = workload_for(scenario.program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, scenario.open_connections * size_factor as usize)
+        .expect("idle connections");
+    v1.sched.mode = scheduler;
+    let opts = UpdateOptions {
+        scheduler,
+        mode,
+        precopy: if precopy_rounds > 0 {
+            PrecopyOptions { rounds: precopy_rounds, convergence_bytes: 0, serve_rounds: 1 }
+        } else {
+            PrecopyOptions::disabled()
+        },
+        ..Default::default()
+    };
+    let mut pipeline = UpdatePipeline::for_options(&opts);
+    if precopy_rounds > 0 {
+        let scenario = *scenario;
+        pipeline = pipeline.with_precopy_hook(Box::new(
+            move |kernel: &mut Kernel, old: &mut McrInstance, round: usize| {
+                adaptive_mutate_batch(kernel, old, &scenario, round);
+            },
+        ));
+    } else {
+        for round in 1..=MUTATE_ROUNDS {
+            adaptive_mutate_batch(&mut kernel, &v1, scenario, round);
+        }
+    }
+    let post_stamp = |round: usize| 0xD0D0_0000u32 + round as u32;
+    let delivered = std::rc::Rc::new(std::cell::Cell::new(0usize));
+    if matches!(mode, TransferMode::Postcopy | TransferMode::Adaptive) {
+        let delivered = std::rc::Rc::clone(&delivered);
+        pipeline = pipeline.with_postcopy_hook(Box::new(
+            move |kernel: &mut Kernel, new_instance: &mut McrInstance, _round: usize| {
+                let done = delivered.get();
+                if done < POST_ROUNDS {
+                    stamp_request_scratch(kernel, new_instance, SCRATCH_WORDS, post_stamp(done + 1));
+                    delivered.set(done + 1);
+                }
+            },
+        ));
+    }
+    let (survivor, outcome) = pipeline.run(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(scenario.program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    // Post-resume batches the drain did not consume (all of them, for the
+    // synchronous modes) land on the committed new instance now.
+    if outcome.is_committed() {
+        for round in delivered.get() + 1..=POST_ROUNDS {
+            stamp_request_scratch(&mut kernel, &survivor, SCRATCH_WORDS, post_stamp(round));
+        }
+    }
     (kernel_fingerprint(&kernel), outcome)
 }
 

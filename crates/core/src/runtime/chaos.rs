@@ -33,6 +33,15 @@ pub enum FaultSite {
     /// The n-th (1-based) kernel syscall issued while the pipeline is in
     /// flight (serving rounds, startup replay, pre-copy traffic).
     Syscall(u64),
+    /// The n-th (1-based) parked object a post-copy update applies after
+    /// resume, counted across trap service and background drain batches.
+    /// Fires while the *new* version is already serving — the commit-side
+    /// rollback guarantee is exercised from the far side of the resume.
+    FaultIn(u64),
+    /// The n-th (1-based) background drain batch the post-copy drain loop
+    /// starts (a commit-boundary class site: the batch fails before it
+    /// applies anything).
+    DrainStep(u64),
 }
 
 impl FaultSite {
@@ -42,6 +51,8 @@ impl FaultSite {
             FaultSite::Boundary(phase) => ChaosPlan::at_boundaries([phase]),
             FaultSite::TransferObject(nth) => ChaosPlan::failing_at_transfer_object(nth),
             FaultSite::Syscall(nth) => ChaosPlan::failing_at_syscall(nth),
+            FaultSite::FaultIn(nth) => ChaosPlan::failing_at_fault_in(nth),
+            FaultSite::DrainStep(nth) => ChaosPlan::failing_at_drain_step(nth),
         }
     }
 
@@ -51,6 +62,8 @@ impl FaultSite {
             FaultSite::Boundary(_) => "boundary",
             FaultSite::TransferObject(_) => "transfer-object",
             FaultSite::Syscall(_) => "syscall",
+            FaultSite::FaultIn(_) => "fault-in",
+            FaultSite::DrainStep(_) => "drain-step",
         }
     }
 }
@@ -61,6 +74,8 @@ impl std::fmt::Display for FaultSite {
             FaultSite::Boundary(p) => write!(f, "boundary:{p}"),
             FaultSite::TransferObject(n) => write!(f, "transfer-object:{n}"),
             FaultSite::Syscall(n) => write!(f, "syscall:{n}"),
+            FaultSite::FaultIn(n) => write!(f, "fault-in:{n}"),
+            FaultSite::DrainStep(n) => write!(f, "drain-step:{n}"),
         }
     }
 }
@@ -86,6 +101,12 @@ pub struct FaultCatalog {
     /// Number of n-th-syscall sites (syscalls the clean run issued while
     /// the pipeline was in flight).
     pub syscalls: u64,
+    /// Number of n-th-fault-in sites: parked objects a post-copy run
+    /// applied after resume (zero for synchronous modes).
+    pub fault_ins: u64,
+    /// Number of n-th-drain-step sites: background drain batches the
+    /// post-copy drain loop started (zero for synchronous modes).
+    pub drain_steps: u64,
 }
 
 impl FaultCatalog {
@@ -98,12 +119,18 @@ impl FaultCatalog {
             transfer_objects: report.object_writes,
             precopy_copies: report.precopy.precopied_objects(),
             syscalls: report.update_syscalls,
+            fault_ins: report.postcopy.deferred_objects,
+            drain_steps: report.postcopy.drain_steps,
         }
     }
 
     /// Total number of injectable sites.
     pub fn total_sites(&self) -> u64 {
-        self.boundaries.len() as u64 + self.transfer_objects + self.syscalls
+        self.boundaries.len() as u64
+            + self.transfer_objects
+            + self.syscalls
+            + self.fault_ins
+            + self.drain_steps
     }
 
     /// The site behind dense index `index` (see the type docs for the
@@ -118,7 +145,15 @@ impl FaultCatalog {
             return Some(FaultSite::TransferObject(index + 1));
         }
         let index = index - self.transfer_objects;
-        (index < self.syscalls).then_some(FaultSite::Syscall(index + 1))
+        if index < self.syscalls {
+            return Some(FaultSite::Syscall(index + 1));
+        }
+        let index = index - self.syscalls;
+        if index < self.fault_ins {
+            return Some(FaultSite::FaultIn(index + 1));
+        }
+        let index = index - self.fault_ins;
+        (index < self.drain_steps).then_some(FaultSite::DrainStep(index + 1))
     }
 
     /// Draws one site uniformly over the whole space (`None` if the space
@@ -177,6 +212,8 @@ pub fn random_plan(rng: &mut ChaosRng, catalog: &FaultCatalog) -> ChaosPlan {
             FaultSite::Boundary(_) => plan,
             FaultSite::TransferObject(n) => plan.and_at_transfer_object(n),
             FaultSite::Syscall(n) => plan.and_at_syscall(n),
+            FaultSite::FaultIn(n) => plan.and_at_fault_in(n),
+            FaultSite::DrainStep(n) => plan.and_at_drain_step(n),
         };
     }
     plan
@@ -212,8 +249,12 @@ pub fn shrink_schedule(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bo
         // it is tried: a snapshot taken before the loop would re-add a
         // trigger the previous iteration just dropped, and the shrinker
         // would oscillate forever.
-        let drops: [fn(&ChaosPlan) -> ChaosPlan; 2] =
-            [ChaosPlan::without_transfer_object, ChaosPlan::without_syscall];
+        let drops: [fn(&ChaosPlan) -> ChaosPlan; 4] = [
+            ChaosPlan::without_transfer_object,
+            ChaosPlan::without_syscall,
+            ChaosPlan::without_fault_in,
+            ChaosPlan::without_drain_step,
+        ];
         for drop_trigger in drops {
             let candidate = drop_trigger(&current);
             if candidate != current && fails(&candidate) {
@@ -246,6 +287,30 @@ pub fn shrink_schedule(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bo
                 }
             }
         }
+        if let Some(n) = current.at_fault_in() {
+            for smaller in [1, n / 2, n - 1] {
+                if smaller > 0 && smaller < n {
+                    let candidate = current.clone().and_at_fault_in(smaller);
+                    if fails(&candidate) {
+                        current = candidate;
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(n) = current.at_drain_step() {
+            for smaller in [1, n / 2, n - 1] {
+                if smaller > 0 && smaller < n {
+                    let candidate = current.clone().and_at_drain_step(smaller);
+                    if fails(&candidate) {
+                        current = candidate;
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
         if !shrunk {
             return current;
         }
@@ -262,20 +327,26 @@ mod tests {
             transfer_objects: 10,
             precopy_copies: 4,
             syscalls: 20,
+            fault_ins: 5,
+            drain_steps: 3,
         }
     }
 
     #[test]
     fn dense_site_indexing_covers_the_space_exactly() {
         let c = catalog();
-        assert_eq!(c.total_sites(), 33);
+        assert_eq!(c.total_sites(), 41);
         assert_eq!(c.site(0), Some(FaultSite::Boundary(PhaseName::Quiesce)));
         assert_eq!(c.site(2), Some(FaultSite::Boundary(PhaseName::Commit)));
         assert_eq!(c.site(3), Some(FaultSite::TransferObject(1)));
         assert_eq!(c.site(12), Some(FaultSite::TransferObject(10)));
         assert_eq!(c.site(13), Some(FaultSite::Syscall(1)));
         assert_eq!(c.site(32), Some(FaultSite::Syscall(20)));
-        assert_eq!(c.site(33), None);
+        assert_eq!(c.site(33), Some(FaultSite::FaultIn(1)));
+        assert_eq!(c.site(37), Some(FaultSite::FaultIn(5)));
+        assert_eq!(c.site(38), Some(FaultSite::DrainStep(1)));
+        assert_eq!(c.site(40), Some(FaultSite::DrainStep(3)));
+        assert_eq!(c.site(41), None);
     }
 
     #[test]
@@ -301,6 +372,27 @@ mod tests {
         assert_eq!(FaultSite::Syscall(9).plan().at_syscall(), Some(9));
         assert_eq!(FaultSite::Syscall(9).kind(), "syscall");
         assert_eq!(FaultSite::Syscall(9).to_string(), "syscall:9");
+        assert_eq!(FaultSite::FaultIn(4).plan().at_fault_in(), Some(4));
+        assert_eq!(FaultSite::FaultIn(4).kind(), "fault-in");
+        assert_eq!(FaultSite::FaultIn(4).to_string(), "fault-in:4");
+        assert_eq!(FaultSite::DrainStep(2).plan().at_drain_step(), Some(2));
+        assert_eq!(FaultSite::DrainStep(2).kind(), "drain-step");
+        assert_eq!(FaultSite::DrainStep(2).to_string(), "drain-step:2");
+    }
+
+    #[test]
+    fn shrinker_reduces_postcopy_triggers() {
+        // Synthetic failure: reproduces iff a fault-in trigger >= 3 is armed.
+        let fails = |p: &ChaosPlan| p.at_fault_in().is_some_and(|n| n >= 3);
+        let noisy =
+            ChaosPlan::at_boundaries([PhaseName::PostcopyCommit]).and_at_fault_in(40).and_at_drain_step(7);
+        let minimal = shrink_schedule(&noisy, fails);
+        assert_eq!(minimal, ChaosPlan::failing_at_fault_in(3), "1-minimal reproducer");
+
+        // And a drain-step-only failure sheds the fault-in arm.
+        let fails = |p: &ChaosPlan| p.at_drain_step().is_some();
+        let noisy = ChaosPlan::failing_at_fault_in(2).and_at_drain_step(9);
+        assert_eq!(shrink_schedule(&noisy, fails), ChaosPlan::failing_at_drain_step(1));
     }
 
     #[test]

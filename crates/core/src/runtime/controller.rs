@@ -68,6 +68,105 @@ impl Default for PrecopyOptions {
     }
 }
 
+/// Which transfer strategy drives the update pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TransferMode {
+    /// The historical selection: the pre-copy pipeline when
+    /// [`UpdateOptions::precopy`] enables rounds, the classic stop-the-world
+    /// pipeline otherwise.
+    #[default]
+    StopTheWorld,
+    /// Force the pre-copy pipeline (a named sweep point; behaves like
+    /// `StopTheWorld` with `precopy` enabled).
+    Precopy,
+    /// Post-copy: quiesce only long enough to commit control state and park
+    /// the stale residual behind access traps, resume the new version
+    /// immediately, and fault in / background-drain the residual afterwards.
+    Postcopy,
+    /// Per-process-pair adaptive selection: each pair's residual is either
+    /// synced inside the commit window (converged pairs) or deferred to
+    /// post-copy (diverging pairs), decided by [`TransferPolicy`] from the
+    /// pre-copy round history and the pair's residual size.
+    Adaptive,
+}
+
+/// Knobs of the post-copy drain loop that runs after the new version has
+/// resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostcopyOptions {
+    /// Parked objects the background drainer applies per pair per drain
+    /// round (clamped to at least 1 so the drain always terminates).
+    pub drain_batch: usize,
+    /// Scheduler rounds the already-resumed new instance serves between
+    /// drain batches.
+    pub serve_rounds: usize,
+}
+
+impl Default for PostcopyOptions {
+    fn default() -> Self {
+        PostcopyOptions { drain_batch: 32, serve_rounds: 1 }
+    }
+}
+
+/// The adaptive transfer controller's per-pair decision rule
+/// ([`TransferMode::Adaptive`]).
+///
+/// At post-copy commit time every pair's residual (the objects still stale
+/// at quiesce) is known exactly, and the pre-copy round history says whether
+/// the workload was converging (each round re-dirtied less than the one
+/// before) or diverging (the writer outpaces the copier). The policy picks,
+/// per pair:
+///
+/// * **sync** — apply the residual inside the commit window, exactly like a
+///   pre-copy (or stop-the-world) update. Right when the residual is small
+///   or shrinking: the synchronous copy costs less than exposing the
+///   resumed instance to access-trap latency.
+/// * **defer** — park the residual behind access traps and resume
+///   immediately. Right when the dirty rate matches or exceeds the copy
+///   rate, where pre-copy provably cannot converge and a synchronous pass
+///   would pay O(working set) downtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPolicy {
+    /// A residual at or below this many bytes is always synced inside the
+    /// window: the copy is cheaper than one access-trap round trip.
+    pub sync_residual_bytes: u64,
+    /// Convergence test on the last two pre-copy rounds: if the final
+    /// round's copied bytes are at most this percentage of the previous
+    /// round's, the dirty rate is dropping and the pair is synced.
+    pub converging_percent: u64,
+}
+
+impl Default for TransferPolicy {
+    fn default() -> Self {
+        TransferPolicy { sync_residual_bytes: 2 * mcr_procsim::PAGE_SIZE, converging_percent: 60 }
+    }
+}
+
+impl TransferPolicy {
+    /// The per-pair decision: `true` defers the pair's residual to
+    /// post-copy, `false` syncs it inside the commit window. `rounds` is the
+    /// pre-copy round history of this update (empty without pre-copy) and
+    /// `residual_bytes` the pair's stale bytes at quiesce.
+    pub fn should_defer(
+        &self,
+        rounds: &[crate::transfer::engine::PrecopyRoundReport],
+        residual_bytes: u64,
+    ) -> bool {
+        if residual_bytes <= self.sync_residual_bytes {
+            return false;
+        }
+        if let [.., prev, last] = rounds {
+            // Dirty rate dropping round over round: pre-copy was converging,
+            // so one more synchronous pass is small. A flat or growing rate
+            // means the residual never shrinks — defer it.
+            if last.bytes_copied * 100 <= prev.bytes_copied * self.converging_percent {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Options for one live-update attempt.
 #[derive(Debug, Clone, Copy)]
 pub struct UpdateOptions {
@@ -119,6 +218,14 @@ pub struct UpdateOptions {
     /// residual dirty delta — shrinking downtime from O(heap) to O(working
     /// set). Disabled by default (the paper's stop-the-world pipeline).
     pub precopy: PrecopyOptions,
+    /// Which transfer strategy to run (stop-the-world / pre-copy /
+    /// post-copy / per-pair adaptive). The default honors `precopy` the way
+    /// older callers expect.
+    pub mode: TransferMode,
+    /// Post-copy drain knobs (used by `Postcopy` and `Adaptive` modes).
+    pub postcopy: PostcopyOptions,
+    /// The adaptive per-pair sync-vs-defer decision rule (`Adaptive` mode).
+    pub policy: TransferPolicy,
 }
 
 impl UpdateOptions {
@@ -161,6 +268,9 @@ impl Default for UpdateOptions {
             intra_pair_shards: 1,
             scheduler: SchedulerMode::default(),
             precopy: PrecopyOptions::default(),
+            mode: TransferMode::default(),
+            postcopy: PostcopyOptions::default(),
+            policy: TransferPolicy::default(),
         }
     }
 }
@@ -227,7 +337,7 @@ mod tests {
     use crate::runtime::pipeline::{FaultPlan, PhaseName, UpdatePipeline};
     use crate::runtime::scheduler::{boot, run_round, run_rounds, BootOptions};
     use crate::runtime::testprog::{FaultyServer, TinyServer};
-    use mcr_procsim::Addr;
+    use mcr_procsim::{Addr, SimDuration};
 
     fn booted_v1(kernel: &mut Kernel) -> McrInstance {
         kernel.add_file("/etc/tiny.conf", b"workers=1\n".to_vec());
@@ -463,5 +573,134 @@ mod tests {
         kernel.client_send(c, b"GET /".to_vec()).unwrap();
         run_rounds(&mut kernel, &mut still_v1, 2).unwrap();
         assert!(String::from_utf8_lossy(&kernel.client_recv(c).unwrap()).contains("v1"));
+    }
+
+    fn list_values(kernel: &Kernel, instance: &McrInstance) -> Vec<u32> {
+        let list_addr = instance.state.statics.lookup("list").unwrap().addr;
+        let space = kernel.process(instance.init_pid().unwrap()).unwrap().space();
+        let mut values = Vec::new();
+        let mut node = Addr(space.read_u64(list_addr.offset(8)).unwrap());
+        while !node.is_null() && values.len() < 64 {
+            values.push(space.read_u32(node).unwrap());
+            node = Addr(space.read_u64(node.offset(8)).unwrap());
+        }
+        values
+    }
+
+    #[test]
+    fn postcopy_update_commits_with_identical_state() {
+        // Run the same update stop-the-world and post-copy; the transferred
+        // heap must come out identical and the post-copy run must record
+        // deferred work that drained to completion.
+        let mut reference: Option<Vec<u32>> = None;
+        for mode in [TransferMode::StopTheWorld, TransferMode::Postcopy] {
+            let mut kernel = Kernel::new();
+            let mut v1 = booted_v1(&mut kernel);
+            serve_clients(&mut kernel, &mut v1, 4);
+            let opts = UpdateOptions { mode, ..Default::default() };
+            let (mut v2, outcome) = live_update(
+                &mut kernel,
+                v1,
+                Box::new(TinyServer::new(2)),
+                InstrumentationConfig::full(),
+                &opts,
+            );
+            assert!(outcome.is_committed(), "{mode:?}: {:?}", outcome.conflicts());
+            let report = outcome.report();
+            let values = list_values(&kernel, &v2);
+            assert_eq!(values.len(), 4, "{mode:?} preserved the list");
+            match &reference {
+                None => reference = Some(values),
+                Some(expected) => assert_eq!(&values, expected, "modes agree byte-for-byte"),
+            }
+            if mode == TransferMode::Postcopy {
+                assert!(report.postcopy.enabled);
+                assert_eq!(report.postcopy.deferred_pairs, 1);
+                assert!(report.postcopy.deferred_objects > 0);
+                assert!(report.postcopy.drained_objects + report.postcopy.trap_objects > 0);
+                let executed: Vec<PhaseName> = report.phases.records().iter().map(|r| r.name).collect();
+                assert_eq!(executed, PhaseName::POSTCOPY_ALL);
+            }
+            // Either way the new version serves clients afterwards.
+            let c = kernel.client_connect(8080).unwrap();
+            kernel.client_send(c, b"GET /".to_vec()).unwrap();
+            run_rounds(&mut kernel, &mut v2, 2).unwrap();
+            assert!(String::from_utf8_lossy(&kernel.client_recv(c).unwrap()).contains("v2"));
+        }
+    }
+
+    #[test]
+    fn adaptive_mode_syncs_small_residuals() {
+        // TinyServer's residual is tiny, so the adaptive policy syncs it in
+        // the window: no deferred pairs, no traps, and downtime no worse
+        // than the forced post-copy run.
+        let mut kernel = Kernel::new();
+        let mut v1 = booted_v1(&mut kernel);
+        serve_clients(&mut kernel, &mut v1, 2);
+        let opts = UpdateOptions { mode: TransferMode::Adaptive, ..Default::default() };
+        let (_v2, outcome) =
+            live_update(&mut kernel, v1, Box::new(TinyServer::new(2)), InstrumentationConfig::full(), &opts);
+        assert!(outcome.is_committed(), "{:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert!(report.postcopy.enabled);
+        assert_eq!(report.postcopy.synced_pairs, 1);
+        assert_eq!(report.postcopy.deferred_pairs, 0);
+        assert_eq!(report.postcopy.traps, 0);
+        assert_eq!(report.timings.trap_service, SimDuration(0));
+    }
+
+    #[test]
+    fn mid_drain_fault_rolls_back_to_old_version() {
+        let mut kernel = Kernel::new();
+        let mut v1 = booted_v1(&mut kernel);
+        serve_clients(&mut kernel, &mut v1, 3);
+        let reference = {
+            // Snapshot the old heap before the attempt.
+            let mut probe = Vec::new();
+            let list_addr = v1.state.statics.lookup("list").unwrap().addr;
+            let space = kernel.process(v1.init_pid().unwrap()).unwrap().space();
+            let mut node = Addr(space.read_u64(list_addr.offset(8)).unwrap());
+            while !node.is_null() && probe.len() < 64 {
+                probe.push(space.read_u32(node).unwrap());
+                node = Addr(space.read_u64(node.offset(8)).unwrap());
+            }
+            probe
+        };
+
+        let opts = UpdateOptions { mode: TransferMode::Postcopy, ..Default::default() };
+        let pipeline = UpdatePipeline::for_options(&opts)
+            .with_fault_plan(crate::runtime::pipeline::ChaosPlan::failing_at_drain_step(1));
+        let (mut still_v1, outcome) =
+            pipeline.run(&mut kernel, v1, Box::new(TinyServer::new(2)), InstrumentationConfig::full(), &opts);
+        assert!(!outcome.is_committed(), "drain fault must abort the update");
+        assert!(outcome
+            .conflicts()
+            .iter()
+            .any(|c| matches!(c, Conflict::FaultInjected { phase } if phase == "drain-step")));
+        // The old version survived with its heap intact and keeps serving.
+        assert_eq!(still_v1.state.version, "1.0");
+        assert_eq!(list_values(&kernel, &still_v1), reference);
+        let c = kernel.client_connect(8080).unwrap();
+        kernel.client_send(c, b"GET /".to_vec()).unwrap();
+        run_rounds(&mut kernel, &mut still_v1, 2).unwrap();
+        assert!(String::from_utf8_lossy(&kernel.client_recv(c).unwrap()).contains("v1"));
+    }
+
+    #[test]
+    fn fault_in_chaos_site_aborts_postcopy() {
+        let mut kernel = Kernel::new();
+        let mut v1 = booted_v1(&mut kernel);
+        serve_clients(&mut kernel, &mut v1, 3);
+        let opts = UpdateOptions { mode: TransferMode::Postcopy, ..Default::default() };
+        let pipeline = UpdatePipeline::for_options(&opts)
+            .with_fault_plan(crate::runtime::pipeline::ChaosPlan::failing_at_fault_in(1));
+        let (still_v1, outcome) =
+            pipeline.run(&mut kernel, v1, Box::new(TinyServer::new(2)), InstrumentationConfig::full(), &opts);
+        assert!(!outcome.is_committed());
+        assert!(outcome
+            .conflicts()
+            .iter()
+            .any(|c| matches!(c, Conflict::FaultInjected { phase } if phase == "fault-in")));
+        assert_eq!(still_v1.state.version, "1.0");
     }
 }

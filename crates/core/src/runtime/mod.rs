@@ -14,12 +14,16 @@ pub mod scheduler;
 pub mod supervisor;
 
 pub use chaos::{random_plan, shrink_schedule, ChaosRng, FaultCatalog, FaultSite};
-pub use controller::{live_update, PrecopyOptions, UpdateOptions, UpdateOutcome};
-pub use pipeline::{
-    ChaosPlan, FaultPlan, PairPrecopyState, Phase, PhaseName, PrecopyHook, PrecopyPhase, UpdateCtx,
-    UpdatePipeline,
+pub use controller::{
+    live_update, PostcopyOptions, PrecopyOptions, TransferMode, TransferPolicy, UpdateOptions, UpdateOutcome,
 };
-pub use report::{MemoryReport, PhaseRecord, PhaseTrace, PrecopySummary, UpdateReport, UpdateTimings};
+pub use pipeline::{
+    ChaosPlan, FaultPlan, PairPostcopyState, PairPrecopyState, Phase, PhaseName, PostcopyHook, PrecopyHook,
+    PrecopyPhase, UpdateCtx, UpdatePipeline, TRAP_SERVICE_LATENCY,
+};
+pub use report::{
+    MemoryReport, PhaseRecord, PhaseTrace, PostcopySummary, PrecopySummary, UpdateReport, UpdateTimings,
+};
 pub use scheduler::{
     all_quiesced, boot, create_instance, request_quiescence, resume, run_round, run_round_full_scan,
     run_rounds, run_startup, running_thread_count, step_thread, wait_quiescence, wake_all_threads,

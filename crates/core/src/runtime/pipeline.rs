@@ -114,9 +114,52 @@
 //! With pre-copy disabled (`precopy.rounds == 0`, the default) the classic
 //! five-phase stop-the-world order is used unchanged.
 //!
+//! # Post-copy: moving the *apply* pass out of the window too
+//!
+//! Pre-copy is beaten by its own assumption on write-heavy heaps: when every
+//! round re-dirties everything, the residual never shrinks and the window
+//! still pays for a full copy. [`TransferMode::Postcopy`] inverts the idea —
+//! commit *first*, transfer *later*:
+//!
+//! 1. [`PhaseName::ReinitReplay`] / 2. [`PhaseName::MatchProcesses`] /
+//!    3. [`PhaseName::Precopy`] — exactly as above (pre-copy rounds are
+//!    optional and compose with post-copy).
+//! 4. [`PhaseName::Quiesce`] — the world stops.
+//! 5. [`PhaseName::PostcopyCommit`] — the final delta retrace runs and the
+//!    transfer *plan* is computed, but for deferred pairs the prepared
+//!    writes are **parked** instead of applied: their target pages are
+//!    write-protected in the new process
+//!    ([`AddressSpace::protect_range`](mcr_procsim::AddressSpace)) and the
+//!    new version resumes immediately. The window pays for trace + planning
+//!    only, not for the copy.
+//! 6. [`PhaseName::PostcopyDrain`] — concurrent with the resumed new
+//!    version: each round lets the new instance serve, services any **access
+//!    traps** (a store to a still-parked page parks as a
+//!    [`PendingTrap`](mcr_procsim::PendingTrap); the handler faults in the
+//!    touched objects via [`fault_in_at`](crate::transfer::fault_in_at),
+//!    then replays the trapped store), and pushes one
+//!    [`PostcopyOptions::drain_batch`](crate::runtime::controller::PostcopyOptions)-sized
+//!    background [`drain_step`](crate::transfer::drain_step) per pair —
+//!    skipping anything a trap already serviced, so every deferred object is
+//!    applied exactly once. When the last pair drains, the old processes are
+//!    removed and the update is committed (the point of no return moves from
+//!    phase 5 to the end of phase 6: a fault mid-drain still rolls back to
+//!    the old version).
+//!
+//! [`TransferMode::Adaptive`] chooses per pair at commit time: a pair whose
+//! residual is at most
+//! [`TransferPolicy::sync_residual_bytes`](crate::runtime::controller::TransferPolicy),
+//! or whose pre-copy rounds are still converging (last-round dirty bytes ≤
+//! `converging_percent` of the previous round's), applies synchronously as
+//! in pre-copy; everything else defers. The result is measured by
+//! `benches/adaptive_transfer.rs`: adaptive downtime ≤ the best static mode
+//! on every sweep point, and all modes converge to byte-identical kernel
+//! fingerprints (`tests/properties.rs` proves the equivalence, including
+//! rollback from mid-drain faults).
+//!
 //! # Fault injection and chaos testing
 //!
-//! A [`ChaosPlan`] (the type [`FaultPlan`] now aliases) arms up to three
+//! A [`ChaosPlan`] (the type [`FaultPlan`] now aliases) arms up to five
 //! kinds of triggers on one run, and the first trigger reached fires:
 //!
 //! * **phase boundaries** — [`ChaosPlan::at_boundaries`] fails the run
@@ -130,7 +173,15 @@
 //!   [`Kernel::arm_syscall_fault`]: the n-th kernel syscall issued after
 //!   the pipeline starts is suppressed and fails with
 //!   `SimError::FaultInjected`, wherever it lands (replay, serving rounds,
-//!   pre-copy traffic).
+//!   pre-copy traffic);
+//! * **n-th post-copy fault-in** — [`ChaosPlan::failing_at_fault_in`] fails
+//!   the n-th object faulted in after the post-copy resume, whether a trap
+//!   handler or a background drain batch pulled it (counted across pairs
+//!   and drain rounds);
+//! * **n-th drain batch** — [`ChaosPlan::failing_at_drain_step`] fails the
+//!   n-th background drain batch of the [`PhaseName::PostcopyDrain`] phase,
+//!   which is the only fault site *after* the new version has resumed but
+//!   *before* the point of no return.
 //!
 //! Independent of fault plans, [`UpdatePipeline::with_phase_deadline`] and
 //! [`with_uniform_phase_deadline`](UpdatePipeline::with_uniform_phase_deadline)
@@ -166,8 +217,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use mcr_procsim::{
-    Fd, FdPlacement, Kernel, Pid, Process, SimDuration, SimError, Syscall, SyscallPort, ThreadState,
-    PAGE_SIZE,
+    Fd, FdPlacement, Kernel, PendingTrap, Pid, Process, SimDuration, SimError, Syscall, SyscallPort,
+    ThreadState, PAGE_SIZE,
 };
 use mcr_typemeta::InstrumentationConfig;
 
@@ -175,7 +226,7 @@ use crate::callstack::CallStackId;
 use crate::error::{Conflict, McrError, McrResult};
 use crate::interpose::Interposer;
 use crate::program::{InstanceState, Program, ThreadRosterEntry};
-use crate::runtime::controller::{UpdateOptions, UpdateOutcome};
+use crate::runtime::controller::{TransferMode, TransferPolicy, UpdateOptions, UpdateOutcome};
 use crate::runtime::report::UpdateReport;
 use crate::runtime::scheduler::{
     create_instance, resume, run_round, run_startup, wait_quiescence, BootOptions, McrInstance,
@@ -183,8 +234,9 @@ use crate::runtime::scheduler::{
 use crate::tracing::stats::TracingStats;
 use crate::tracing::tracer::{TraceOptions, TraceResult, Tracer};
 use crate::transfer::engine::{
-    list_schedule_makespan, precopy_transfer_round, transfer_residual, DeltaPlan, ProcessTransferReport,
-    ResidualStats, TransferContext,
+    drain_step, fault_in_at, list_schedule_makespan, postcopy_commit, precopy_transfer_round,
+    transfer_residual, DeltaPlan, PostcopyResidual, PrecopyRoundReport, ProcessTransferReport, ResidualStats,
+    TransferContext,
 };
 
 /// Identifies one stage of the live-update pipeline.
@@ -200,6 +252,13 @@ pub enum PhaseName {
     Precopy,
     /// Mutable tracing and state transfer of every matched pair.
     TraceAndTransfer,
+    /// Post-copy commit: final delta retrace, control-state commit, parked
+    /// residual armed behind access traps, new version resumed immediately.
+    PostcopyCommit,
+    /// Post-copy drain: the resumed new version serves while traps are
+    /// serviced and the background drainer retires the parked residual;
+    /// ends by terminating the old version (point of no return).
+    PostcopyDrain,
     /// Resume the new version, terminate the old (point of no return).
     Commit,
 }
@@ -228,6 +287,21 @@ impl PhaseName {
         PhaseName::Commit,
     ];
 
+    /// Every phase of the post-copy pipeline, in execution order: like
+    /// pre-copy up to the quiescence barrier (the `Precopy` phase no-ops
+    /// when zero rounds are configured — pure post-copy), then the world
+    /// stops only long enough for [`PhaseName::PostcopyCommit`] to commit
+    /// control state and park the residual, and [`PhaseName::PostcopyDrain`]
+    /// retires the parked objects while the *new* version serves.
+    pub const POSTCOPY_ALL: [PhaseName; 6] = [
+        PhaseName::ReinitReplay,
+        PhaseName::MatchProcesses,
+        PhaseName::Precopy,
+        PhaseName::Quiesce,
+        PhaseName::PostcopyCommit,
+        PhaseName::PostcopyDrain,
+    ];
+
     /// Stable human-readable label (used in reports and conflict messages).
     pub fn label(self) -> &'static str {
         match self {
@@ -236,6 +310,8 @@ impl PhaseName {
             PhaseName::MatchProcesses => "match-processes",
             PhaseName::Precopy => "precopy",
             PhaseName::TraceAndTransfer => "trace-and-transfer",
+            PhaseName::PostcopyCommit => "postcopy-commit",
+            PhaseName::PostcopyDrain => "postcopy-drain",
             PhaseName::Commit => "commit",
         }
     }
@@ -254,6 +330,21 @@ impl std::fmt::Display for PhaseName {
 /// round number that just finished.
 pub type PrecopyHook = Box<dyn FnMut(&mut Kernel, &mut McrInstance, usize)>;
 
+/// A callback the post-copy drain phase invokes after the serving rounds of
+/// every drain iteration, with the *new* version already resumed and
+/// serving. Benchmarks and property tests use it to model post-commit
+/// traffic writing into not-yet-transferred pages (the access-trap path);
+/// the argument is the 1-based drain round that just served.
+pub type PostcopyHook = Box<dyn FnMut(&mut Kernel, &mut McrInstance, usize)>;
+
+/// Simulated cost of one access-trap round trip (the userfaultfd-style
+/// kernel bounce), charged to
+/// [`UpdateTimings::trap_service`](crate::runtime::report::UpdateTimings)
+/// *on top of* the faulted-in objects' apply cost: the faulting thread is
+/// blocked for the whole service, so this is downtime even though the
+/// instance as a whole keeps running.
+pub const TRAP_SERVICE_LATENCY: SimDuration = SimDuration(10_000);
+
 /// Per-pair resumable pre-copy state: the traced object graph maintained
 /// incrementally across rounds plus the engine's [`DeltaPlan`].
 pub struct PairPrecopyState {
@@ -261,6 +352,17 @@ pub struct PairPrecopyState {
     pub delta: DeltaPlan,
     /// The incrementally maintained trace (None until the first round).
     pub trace: Option<TraceResult>,
+}
+
+/// Per-pair post-copy state built by the commit phase and consumed by the
+/// drain phase, aligned with `UpdateCtx::pairs`.
+pub struct PairPostcopyState {
+    /// The pair's delta plan, kept alive so the placement and copied-at
+    /// bookkeeping outlives the commit window while the residual drains.
+    pub delta: DeltaPlan,
+    /// The parked residual (already drained for a pair the adaptive policy
+    /// synced inside the window).
+    pub residual: PostcopyResidual,
 }
 
 /// Shared state threaded through every phase of one update attempt.
@@ -286,11 +388,16 @@ pub struct UpdateCtx<'k> {
     /// Per-pair pre-copy state, aligned with `pairs`; empty when no
     /// pre-copy rounds ran.
     pub pair_precopy: Vec<PairPrecopyState>,
+    /// Per-pair post-copy state, aligned with `pairs`; filled by
+    /// `PostcopyCommit`, drained (and emptied of work) by `PostcopyDrain`.
+    pub pair_postcopy: Vec<PairPostcopyState>,
     /// The fault plan of the pipeline (mid-phase triggers are armed on the
     /// transfer context when it is built).
     pub fault: FaultPlan,
     /// Between-rounds callback of the pre-copy phase.
     pub precopy_hook: Option<PrecopyHook>,
+    /// Between-rounds callback of the post-copy drain phase.
+    pub postcopy_hook: Option<PostcopyHook>,
     /// The program to boot, consumed by `ReinitReplay`.
     new_program: Option<Box<dyn Program>>,
     /// Set by `Commit`; decides between committed and rolled-back outcomes.
@@ -316,8 +423,10 @@ impl<'k> UpdateCtx<'k> {
             report,
             plan: None,
             pair_precopy: Vec::new(),
+            pair_postcopy: Vec::new(),
             fault: FaultPlan::none(),
             precopy_hook: None,
+            postcopy_hook: None,
             new_program: Some(new_program),
             committed: false,
         }
@@ -380,6 +489,14 @@ pub struct ChaosPlan {
     /// the pipeline starts fails with `SimError::FaultInjected` instead of
     /// executing (armed via `Kernel::arm_syscall_fault`).
     at_syscall: Option<u64>,
+    /// Post-copy trigger: abort right before the n-th (1-based) parked
+    /// object is applied after the new version resumed, whether by trap
+    /// service or by the background drainer, counted across pairs and drain
+    /// rounds.
+    at_fault_in: Option<u64>,
+    /// Post-copy trigger: abort right before the n-th (1-based) background
+    /// drain batch executes, counted across pairs and drain rounds.
+    at_drain_step: Option<u64>,
 }
 
 /// Former name of [`ChaosPlan`], kept as an alias for older call sites.
@@ -429,6 +546,22 @@ impl ChaosPlan {
         ChaosPlan { at_syscall: Some(nth), ..ChaosPlan::default() }
     }
 
+    /// A plan that fails the update right before the `nth` (1-based) parked
+    /// object is applied after a post-copy commit — a fault *inside the
+    /// fault handler*, with the new version already resumed and serving.
+    /// Fires for trap-service and background-drain applies alike. The old
+    /// version is still intact at that point (nothing was removed), so the
+    /// rollback guard restores it byte-identically.
+    pub fn failing_at_fault_in(nth: u64) -> Self {
+        ChaosPlan { at_fault_in: Some(nth), ..ChaosPlan::default() }
+    }
+
+    /// A plan that fails the update right before the `nth` (1-based)
+    /// background drain batch of the post-copy drain loop.
+    pub fn failing_at_drain_step(nth: u64) -> Self {
+        ChaosPlan { at_drain_step: Some(nth), ..ChaosPlan::default() }
+    }
+
     /// Adds another boundary fault to the plan.
     #[must_use]
     pub fn and_before(mut self, phase: PhaseName) -> Self {
@@ -447,6 +580,20 @@ impl ChaosPlan {
     #[must_use]
     pub fn and_at_syscall(mut self, nth: u64) -> Self {
         self.at_syscall = Some(nth);
+        self
+    }
+
+    /// Adds (or replaces) the post-copy n-th-fault-in trigger.
+    #[must_use]
+    pub fn and_at_fault_in(mut self, nth: u64) -> Self {
+        self.at_fault_in = Some(nth);
+        self
+    }
+
+    /// Adds (or replaces) the post-copy n-th-drain-step trigger.
+    #[must_use]
+    pub fn and_at_drain_step(mut self, nth: u64) -> Self {
+        self.at_drain_step = Some(nth);
         self
     }
 
@@ -470,9 +617,23 @@ impl ChaosPlan {
         self.at_syscall
     }
 
+    /// The armed post-copy n-th-fault-in trigger, if any.
+    pub fn at_fault_in(&self) -> Option<u64> {
+        self.at_fault_in
+    }
+
+    /// The armed post-copy n-th-drain-step trigger, if any.
+    pub fn at_drain_step(&self) -> Option<u64> {
+        self.at_drain_step
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
-        self.before.is_empty() && self.at_transfer_object.is_none() && self.at_syscall.is_none()
+        self.before.is_empty()
+            && self.at_transfer_object.is_none()
+            && self.at_syscall.is_none()
+            && self.at_fault_in.is_none()
+            && self.at_drain_step.is_none()
     }
 
     /// Number of armed triggers (boundaries + mid-phase), used by the
@@ -481,6 +642,8 @@ impl ChaosPlan {
         self.before.len()
             + usize::from(self.at_transfer_object.is_some())
             + usize::from(self.at_syscall.is_some())
+            + usize::from(self.at_fault_in.is_some())
+            + usize::from(self.at_drain_step.is_some())
     }
 
     /// Removes the boundary fault at `idx` (shrinker support).
@@ -502,6 +665,18 @@ impl ChaosPlan {
     pub(crate) fn without_syscall(&self) -> Self {
         ChaosPlan { at_syscall: None, ..self.clone() }
     }
+
+    /// Clears the post-copy n-th-fault-in trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_fault_in(&self) -> Self {
+        ChaosPlan { at_fault_in: None, ..self.clone() }
+    }
+
+    /// Clears the post-copy n-th-drain-step trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_drain_step(&self) -> Self {
+        ChaosPlan { at_drain_step: None, ..self.clone() }
+    }
 }
 
 /// An ordered sequence of [`Phase`]s plus an optional [`ChaosPlan`].
@@ -518,6 +693,9 @@ pub struct UpdatePipeline {
     /// Between-rounds callback handed to the pre-copy phase (taken once per
     /// `run`).
     precopy_hook: RefCell<Option<PrecopyHook>>,
+    /// Between-rounds callback handed to the post-copy drain phase (taken
+    /// once per `run`).
+    postcopy_hook: RefCell<Option<PostcopyHook>>,
 }
 
 impl std::fmt::Debug for UpdatePipeline {
@@ -551,6 +729,7 @@ impl UpdatePipeline {
             fault_plan: ChaosPlan::none(),
             phase_deadlines: Vec::new(),
             precopy_hook: RefCell::new(None),
+            postcopy_hook: RefCell::new(None),
         }
     }
 
@@ -570,16 +749,48 @@ impl UpdatePipeline {
             fault_plan: ChaosPlan::none(),
             phase_deadlines: Vec::new(),
             precopy_hook: RefCell::new(None),
+            postcopy_hook: RefCell::new(None),
         }
     }
 
-    /// The pipeline the options call for: [`UpdatePipeline::precopy`] when
-    /// pre-copy rounds are enabled, [`UpdatePipeline::standard`] otherwise.
+    /// The post-copy pipeline ([`PhaseName::POSTCOPY_ALL`]): quiesce only
+    /// long enough to commit control state and park the stale residual
+    /// behind access traps, resume the new version immediately, and retire
+    /// the residual afterwards (traps + background drain) while it serves.
+    /// Optional pre-copy rounds still run before the barrier — that is the
+    /// adaptive controller's hybrid.
+    pub fn postcopy() -> Self {
+        UpdatePipeline {
+            phases: vec![
+                Box::new(ReinitReplayPhase),
+                Box::new(MatchProcessesPhase),
+                Box::new(PrecopyPhase),
+                Box::new(QuiescePhase),
+                Box::new(PostcopyCommitPhase),
+                Box::new(PostcopyDrainPhase),
+            ],
+            fault_plan: ChaosPlan::none(),
+            phase_deadlines: Vec::new(),
+            precopy_hook: RefCell::new(None),
+            postcopy_hook: RefCell::new(None),
+        }
+    }
+
+    /// The pipeline the options call for: [`UpdatePipeline::postcopy`] in
+    /// `Postcopy`/`Adaptive` mode, otherwise [`UpdatePipeline::precopy`]
+    /// when pre-copy rounds are enabled and [`UpdatePipeline::standard`] as
+    /// the classic default.
     pub fn for_options(opts: &UpdateOptions) -> Self {
-        if opts.precopy.is_enabled() {
-            Self::precopy()
-        } else {
-            Self::standard()
+        match opts.mode {
+            TransferMode::Postcopy | TransferMode::Adaptive => Self::postcopy(),
+            TransferMode::Precopy => Self::precopy(),
+            TransferMode::StopTheWorld => {
+                if opts.precopy.is_enabled() {
+                    Self::precopy()
+                } else {
+                    Self::standard()
+                }
+            }
         }
     }
 
@@ -602,11 +813,13 @@ impl UpdatePipeline {
         self
     }
 
-    /// Sets the same watchdog budget for every phase except `Commit`.
+    /// Sets the same watchdog budget for every phase except `Commit` and
+    /// `PostcopyDrain` — both end past the point of no return, so a
+    /// watchdog "abort" there would promise a rollback that cannot happen.
     #[must_use]
     pub fn with_uniform_phase_deadline(mut self, budget: SimDuration) -> Self {
         for phase in self.phase_names() {
-            if phase != PhaseName::Commit {
+            if phase != PhaseName::Commit && phase != PhaseName::PostcopyDrain {
                 self = self.with_phase_deadline(phase, budget);
             }
         }
@@ -625,6 +838,16 @@ impl UpdatePipeline {
     #[must_use]
     pub fn with_precopy_hook(self, hook: PrecopyHook) -> Self {
         *self.precopy_hook.borrow_mut() = Some(hook);
+        self
+    }
+
+    /// Installs a between-rounds callback for the post-copy drain phase: it
+    /// runs after the serving rounds of every drain iteration, with the new
+    /// version already resumed. Benchmarks and property tests use it to
+    /// model post-commit traffic hitting not-yet-transferred pages.
+    #[must_use]
+    pub fn with_postcopy_hook(self, hook: PostcopyHook) -> Self {
+        *self.postcopy_hook.borrow_mut() = Some(hook);
         self
     }
 
@@ -652,6 +875,7 @@ impl UpdatePipeline {
         let mut ctx = UpdateCtx::new(kernel, old, new_program, config, opts);
         ctx.fault = self.fault_plan.clone();
         ctx.precopy_hook = self.precopy_hook.borrow_mut().take();
+        ctx.postcopy_hook = self.postcopy_hook.borrow_mut().take();
         let t_total = ctx.kernel.now();
         let syscalls_before = ctx.kernel.syscall_count();
         // Arm the n-th-syscall chaos trigger inside the simulated kernel for
@@ -663,8 +887,13 @@ impl UpdatePipeline {
         }
         // Everything from the start of the quiescence barrier onwards is
         // stop-the-world; phases executed before it (reinit/replay, match,
-        // pre-copy) ran while the old version could still serve.
+        // pre-copy) ran while the old version could still serve. The
+        // post-copy drain runs after the *new* version resumed, so its
+        // duration is background time too — except the trap-service share,
+        // which the phase records separately and the downtime formula adds
+        // back (a faulting thread is blocked for the whole service).
         let mut pre_quiesce = SimDuration(0);
+        let mut post_resume = SimDuration(0);
         let mut quiesce_seen = false;
         let mut failure: Option<McrError> = None;
         let mut failing_phase: Option<PhaseName> = None;
@@ -683,6 +912,8 @@ impl UpdatePipeline {
                 quiesce_seen = true;
             } else if !quiesce_seen {
                 pre_quiesce = pre_quiesce.saturating_add(duration);
+            } else if name == PhaseName::PostcopyDrain {
+                post_resume = post_resume.saturating_add(duration);
             }
             if let Err(e) = result {
                 failure = Some(e);
@@ -716,13 +947,22 @@ impl UpdatePipeline {
         }
         ctx.report.timings.total = ctx.kernel.now().duration_since(t_total);
         ctx.report.timings.downtime = if quiesce_seen {
-            SimDuration(ctx.report.timings.total.0.saturating_sub(pre_quiesce.0))
+            SimDuration(
+                ctx.report
+                    .timings
+                    .total
+                    .0
+                    .saturating_sub(pre_quiesce.0)
+                    .saturating_sub(post_resume.0)
+                    .saturating_add(ctx.report.timings.trap_service.0),
+            )
         } else {
             SimDuration(0)
         };
-        // Hand the hook back so a reused pipeline serves its rounds again on
-        // the next run.
+        // Hand the hooks back so a reused pipeline serves its rounds again
+        // on the next run.
         *self.precopy_hook.borrow_mut() = ctx.precopy_hook.take();
+        *self.postcopy_hook.borrow_mut() = ctx.postcopy_hook.take();
         if ctx.committed {
             // Commit is the point of no return: the old version's processes
             // are gone, so even if a custom post-commit phase failed we must
@@ -1000,6 +1240,79 @@ impl PrecopyJob<'_> {
         )?;
         self.state.delta.traced_upto = self.upto;
         Ok(round)
+    }
+}
+
+/// The work unit of the post-copy commit phase: final delta retrace plus
+/// [`postcopy_commit`] (every stale write parks instead of landing), then
+/// the per-pair adaptive decision — sync the parked residual inside the
+/// window, or leave it parked for the drain phase.
+struct PostcopyPairJob<'a> {
+    old_proc: &'a Process,
+    new_proc: &'a mut Process,
+    old_state: &'a InstanceState,
+    new_state: &'a InstanceState,
+    plan: &'a TransferContext,
+    trace: TraceOptions,
+    /// Worker threads for the within-pair passes (see [`PairJob::shards`]).
+    shards: usize,
+    /// Resumable pre-copy state, when pre-copy rounds ran for this pair.
+    precopy: Option<&'a mut PairPrecopyState>,
+    /// `Postcopy` mode defers unconditionally; `Adaptive` asks the policy.
+    force_defer: bool,
+    policy: TransferPolicy,
+    /// The update's pre-copy round history (the policy's convergence
+    /// signal; empty without pre-copy).
+    rounds: &'a [PrecopyRoundReport],
+}
+
+/// What one [`PostcopyPairJob`] produced.
+struct PostcopyPairOutcome {
+    stats: TracingStats,
+    report: ProcessTransferReport,
+    /// Stale-at-quiesce bookkeeping; `cost` is only the share applied
+    /// *inside* the window (zero for a fully deferred pair).
+    residual: ResidualStats,
+    state: PairPostcopyState,
+    deferred: bool,
+}
+
+impl PostcopyPairJob<'_> {
+    fn run(self) -> McrResult<PostcopyPairOutcome> {
+        let tracer = Tracer::for_process(self.old_proc, self.old_state, self.trace).with_shards(self.shards);
+        let (mut delta, trace) = match self.precopy {
+            None => (DeltaPlan::new(), tracer.trace()),
+            Some(state) => {
+                let mut trace = state.trace.take().expect("pre-copy rounds traced this pair");
+                trace.stats = trace.graph.retrace_dirty(&tracer, state.delta.traced_upto);
+                (std::mem::take(&mut state.delta), trace)
+            }
+        };
+        let (report, mut residual, mut parked) = postcopy_commit(
+            self.plan,
+            &mut delta,
+            self.old_proc,
+            self.old_state,
+            self.new_proc,
+            self.new_state,
+            &trace,
+        )?;
+        let defer = self.force_defer || self.policy.should_defer(self.rounds, residual.bytes);
+        if !defer && !parked.is_drained() {
+            // Converged pair: apply the residual synchronously, inside the
+            // commit window — exactly what a pre-copy update would do, and
+            // cheaper than exposing the resumed instance to trap latency.
+            let sync = drain_step(self.plan, &mut parked, self.old_proc, self.new_proc, usize::MAX, None)?;
+            residual.cost = sync.cost;
+        }
+        let deferred = !parked.is_drained();
+        Ok(PostcopyPairOutcome {
+            stats: trace.stats,
+            report,
+            residual,
+            state: PairPostcopyState { delta, residual: parked },
+            deferred,
+        })
     }
 }
 
@@ -1315,6 +1628,260 @@ impl Phase for CommitPhase {
                 new_instance.as_mut().ok_or_else(|| McrError::InvalidState("nothing to commit".into()))?;
             resume(kernel, new_instance);
         }
+        for &pid in &ctx.old.state.processes {
+            let _ = ctx.kernel.remove_process(pid);
+        }
+        ctx.committed = true;
+        Ok(())
+    }
+}
+
+/// Post-copy phase 5 — commit: final delta retrace and transfer for every
+/// pair with the stale residual *parked* instead of copied, the per-pair
+/// sync-vs-defer decision, descriptor inheritance, access traps armed over
+/// every parked range, and the new version resumed.
+///
+/// The old version's processes are deliberately **not** removed here: the
+/// parked residual still reads the frozen old address spaces, and a drain
+/// failure must roll back to an intact old instance. The phase is therefore
+/// still reversible — [`PostcopyDrainPhase`] holds the point of no return.
+pub struct PostcopyCommitPhase;
+
+impl Phase for PostcopyCommitPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::PostcopyCommit
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        ctx.report.postcopy.enabled = true;
+        if ctx.pairs.is_empty() {
+            ctx.report.timings.state_transfer = SimDuration(0);
+            let UpdateCtx { kernel, new_instance, .. } = ctx;
+            let new_instance =
+                new_instance.as_mut().ok_or_else(|| McrError::InvalidState("nothing to commit".into()))?;
+            resume(kernel, new_instance);
+            return Ok(());
+        }
+        let workers = ctx.opts.effective_transfer_workers(ctx.pairs.len());
+        ctx.ensure_plan()?;
+        let rounds: Vec<PrecopyRoundReport> = ctx.report.precopy.rounds.clone();
+
+        let wall = Instant::now();
+        let outcomes = {
+            let UpdateCtx { kernel, old, new_instance, opts, pairs, plan, pair_precopy, .. } = ctx;
+            let new_instance = new_instance.as_mut().expect("matched pairs imply an instance");
+            let old_state = &old.state;
+            let new_state = &new_instance.state;
+            let plan = plan.as_ref().expect("ensured above");
+            let split = kernel.split_pairs(pairs).map_err(McrError::Sim)?;
+            let mut precopy_states: Vec<Option<&mut PairPrecopyState>> = if pair_precopy.is_empty() {
+                (0..pairs.len()).map(|_| None).collect()
+            } else {
+                pair_precopy.iter_mut().map(Some).collect()
+            };
+            let shards = opts.effective_intra_pair_shards();
+            let force_defer = opts.mode == TransferMode::Postcopy;
+            let policy = opts.policy;
+            let rounds = rounds.as_slice();
+            let jobs: Vec<PostcopyPairJob<'_>> = split
+                .into_iter()
+                .zip(precopy_states.iter_mut())
+                .map(|((old_proc, new_proc), precopy)| PostcopyPairJob {
+                    old_proc,
+                    new_proc,
+                    old_state,
+                    new_state,
+                    plan,
+                    trace: opts.trace,
+                    shards,
+                    precopy: precopy.take(),
+                    force_defer,
+                    policy,
+                    rounds,
+                })
+                .collect();
+            run_jobs(jobs, workers, PostcopyPairJob::run)
+        };
+        let host_wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        // Merge deterministically, in pair order — identical bookkeeping to
+        // the stop-the-world phase, so reports and conflicts stay
+        // byte-identical across modes. Only the *charged* cost differs: a
+        // deferred pair contributes nothing to the window (its applies are
+        // charged when they happen, after resume).
+        let mut any_conflicts = false;
+        let mut failure: Option<McrError> = None;
+        let mut pair_costs: Vec<SimDuration> = Vec::with_capacity(ctx.pairs.len());
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+                Ok(PostcopyPairOutcome { stats, report, residual, state, deferred }) => {
+                    let (old_pid, new_pid) = ctx.pairs[index];
+                    ctx.report.tracing.merge(&stats);
+                    ctx.kernel.advance_clock(residual.cost);
+                    pair_costs.push(residual.cost);
+                    ctx.report.precopy.absorb_residual(&residual);
+                    if deferred {
+                        ctx.report.postcopy.deferred_pairs += 1;
+                        ctx.report.postcopy.deferred_objects += state.residual.remaining();
+                        ctx.report.postcopy.deferred_bytes += state.residual.remaining_bytes();
+                    } else {
+                        ctx.report.postcopy.synced_pairs += 1;
+                    }
+                    any_conflicts |= !report.conflicts.is_empty();
+                    ctx.report.transfer.push(report);
+                    ctx.pair_postcopy.push(state);
+                    inherit_connection_fds(ctx.kernel, old_pid, new_pid);
+                }
+            }
+        }
+        ctx.report.transfer.workers = workers;
+        ctx.report.transfer.host_wall_ns = host_wall_ns;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        if any_conflicts {
+            return Err(McrError::Conflicts(ctx.report.transfer.conflicts().cloned().collect()));
+        }
+        ctx.report.timings.state_transfer = list_schedule_makespan(&pair_costs, workers);
+
+        // Arm the access traps over every parked range, then resume the new
+        // version immediately — from here on the residual retires in the
+        // background while the new instance serves.
+        for (index, &(_, new_pid)) in ctx.pairs.iter().enumerate() {
+            let state = &ctx.pair_postcopy[index];
+            if !state.residual.is_drained() {
+                let proc = ctx.kernel.process_mut(new_pid).map_err(McrError::Sim)?;
+                state.residual.arm(proc)?;
+            }
+        }
+        let UpdateCtx { kernel, new_instance, .. } = ctx;
+        let new_instance = new_instance.as_mut().expect("matched pairs imply an instance");
+        resume(kernel, new_instance);
+        Ok(())
+    }
+}
+
+/// Translates the chaos plan's *global* 1-based n-th-fault-in trigger into
+/// the per-pair counter the engine checks: with `global_done` applies
+/// already performed across the attempt and `pair_done` in this pair, the
+/// pair's next apply is global number `global_done + 1`.
+fn shifted_fault_in(global: Option<u64>, global_done: u64, pair_done: u64) -> Option<u64> {
+    match global {
+        Some(n) if n > global_done => Some(pair_done + (n - global_done)),
+        _ => None,
+    }
+}
+
+/// Post-copy phase 6 — drain: the resumed new version serves while the
+/// parked residual retires two ways. *Access traps*: a store into a
+/// not-yet-transferred page parked in the kernel; the handler faults in
+/// every parked object on the touched pages, replays the store on the
+/// transferred content (so final bytes match a stop-the-world run exactly),
+/// and charges [`TRAP_SERVICE_LATENCY`] plus the apply cost as downtime —
+/// the faulting thread was blocked. *Background drainer*: up to
+/// [`PostcopyOptions::drain_batch`](crate::runtime::controller::PostcopyOptions)
+/// objects per pair per round, in deterministic address order, charged as
+/// concurrent time. Once every pair is drained the old version is
+/// terminated — the phase's last act is the point of no return, so a
+/// failure anywhere in the loop still rolls back to the intact old
+/// instance.
+pub struct PostcopyDrainPhase;
+
+impl Phase for PostcopyDrainPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::PostcopyDrain
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        let serve_rounds = ctx.opts.postcopy.serve_rounds;
+        let batch = ctx.opts.postcopy.drain_batch.max(1);
+        let workers = ctx.opts.effective_transfer_workers(ctx.pairs.len());
+        let fault_in = ctx.fault.at_fault_in();
+        let drain_fault = ctx.fault.at_drain_step();
+        let mut fault_in_done = 0u64;
+        let mut round = 0usize;
+        while ctx.pair_postcopy.iter().any(|s| !s.residual.is_drained()) {
+            round += 1;
+            // The new version serves while the drainer works (pending
+            // traffic, timers, plus whatever the hook injects).
+            {
+                let UpdateCtx { kernel, new_instance, postcopy_hook, .. } = ctx;
+                let new_instance = new_instance.as_mut().expect("post-copy commit resumed the new version");
+                for _ in 0..serve_rounds {
+                    let _ = run_round(kernel, new_instance)?;
+                }
+                if let Some(hook) = postcopy_hook.as_mut() {
+                    hook(kernel, new_instance, round);
+                }
+            }
+            // Collect the access traps the serving rounds parked.
+            let mut trap_sets: Vec<Vec<PendingTrap>> = Vec::with_capacity(ctx.pairs.len());
+            for &(_, new_pid) in ctx.pairs.iter() {
+                trap_sets.push(ctx.kernel.take_pending_traps(new_pid).map_err(McrError::Sim)?);
+            }
+            let mut trap_cost = SimDuration(0);
+            let mut drain_costs = vec![SimDuration(0); ctx.pairs.len()];
+            {
+                let UpdateCtx { kernel, pairs, plan, pair_postcopy, report, .. } = ctx;
+                let plan = plan.as_ref().expect("post-copy commit built the plan");
+                let split = kernel.split_pairs(pairs).map_err(McrError::Sim)?;
+                for (i, ((old_proc, new_proc), state)) in
+                    split.into_iter().zip(pair_postcopy.iter_mut()).enumerate()
+                {
+                    // Service this pair's traps first: each trapped store
+                    // blocked its thread until the parked objects on the
+                    // touched pages were faulted in, then replayed in
+                    // program order on the transferred content.
+                    for trap in &trap_sets[i] {
+                        let before = state.residual.faulted_in();
+                        let trigger = shifted_fault_in(fault_in, fault_in_done, before);
+                        let stats = fault_in_at(
+                            plan,
+                            &mut state.residual,
+                            old_proc,
+                            new_proc,
+                            trap.addr,
+                            trap.bytes.len().max(1),
+                            trigger,
+                        )?;
+                        fault_in_done += state.residual.faulted_in() - before;
+                        report.postcopy.traps += 1;
+                        report.postcopy.trap_objects += stats.objects;
+                        trap_cost = trap_cost.saturating_add(TRAP_SERVICE_LATENCY).saturating_add(stats.cost);
+                        new_proc
+                            .space_mut()
+                            .write_bytes_through(trap.addr, &trap.bytes)
+                            .map_err(McrError::Sim)?;
+                    }
+                    // One background drain batch for this pair.
+                    if !state.residual.is_drained() {
+                        report.postcopy.drain_steps += 1;
+                        if drain_fault == Some(report.postcopy.drain_steps) {
+                            return Err(Conflict::FaultInjected { phase: "drain-step".into() }.into());
+                        }
+                        let before = state.residual.faulted_in();
+                        let trigger = shifted_fault_in(fault_in, fault_in_done, before);
+                        let stats =
+                            drain_step(plan, &mut state.residual, old_proc, new_proc, batch, trigger)?;
+                        fault_in_done += state.residual.faulted_in() - before;
+                        report.postcopy.drained_objects += stats.objects;
+                        drain_costs[i] = stats.cost;
+                    }
+                }
+            }
+            // Trap service is downtime (the faulting threads were blocked);
+            // the drain batches ran concurrently with serving.
+            ctx.report.timings.trap_service = ctx.report.timings.trap_service.saturating_add(trap_cost);
+            ctx.kernel.advance_clock(trap_cost);
+            ctx.kernel.advance_clock(list_schedule_makespan(&drain_costs, workers));
+        }
+        ctx.report.postcopy.drain_rounds = round as u64;
+        // Every parked object is applied — nothing can fault on the old
+        // space any more. Terminate the old version: the point of no return.
         for &pid in &ctx.old.state.processes {
             let _ = ctx.kernel.remove_process(pid);
         }

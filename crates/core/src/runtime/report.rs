@@ -90,6 +90,15 @@ pub struct UpdateTimings {
     /// State-transfer time if processes were transferred sequentially
     /// (ablation of the parallel strategy).
     pub state_transfer_serial: SimDuration,
+    /// Time the post-copy drain loop spent after the new version resumed
+    /// (background serving + fault-in + drain batches). This is *not*
+    /// downtime — only the `trap_service` share of it is.
+    pub postcopy_drain: SimDuration,
+    /// Access-trap service latency charged back to downtime: every trap the
+    /// resumed new version took on a not-yet-transferred page blocked the
+    /// faulting thread for the fault-in (plus a fixed trap round-trip), so
+    /// post-copy downtime is the commit window plus this.
+    pub trap_service: SimDuration,
     /// Total time the program was unavailable.
     pub total: SimDuration,
 }
@@ -104,12 +113,13 @@ impl UpdateTimings {
             PhaseName::Precopy => self.precopy = d,
             PhaseName::Quiesce => self.quiescence = d,
             PhaseName::ReinitReplay => self.control_migration = d,
-            PhaseName::TraceAndTransfer => {
+            PhaseName::TraceAndTransfer | PhaseName::PostcopyCommit => {
                 // The serial wall time spans process matching plus the
                 // sequential per-process trace/transfer loop.
                 let matching = phases.duration_of(PhaseName::MatchProcesses).unwrap_or_default();
                 self.state_transfer_serial = matching.saturating_add(d);
             }
+            PhaseName::PostcopyDrain => self.postcopy_drain = d,
             PhaseName::MatchProcesses | PhaseName::Commit => {}
         }
     }
@@ -162,6 +172,42 @@ impl PrecopySummary {
     }
 }
 
+/// Observability record of the post-copy phases of one update
+/// ([`TransferMode::Postcopy`](crate::runtime::controller::TransferMode) and
+/// `Adaptive`).
+///
+/// Like [`PrecopySummary`], the counters here are *excluded* from the
+/// determinism comparisons across configurations: post-copy moves work
+/// around in time (traps vs. background drain) while the logical transfer
+/// reports and post-drain memory stay byte-identical to a stop-the-world
+/// run. The counters also size the chaos engine's post-copy fault windows:
+/// after a clean run, `deferred_objects` is the n-th-fault-in site count and
+/// `drain_steps` the n-th-drain-step site count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostcopySummary {
+    /// Whether a post-copy commit ran at all.
+    pub enabled: bool,
+    /// Pairs whose residual was synced inside the commit window (the
+    /// adaptive controller judged them converged).
+    pub synced_pairs: usize,
+    /// Pairs whose residual was parked behind access traps.
+    pub deferred_pairs: usize,
+    /// Objects parked at commit (the post-copy fault-in site count).
+    pub deferred_objects: u64,
+    /// Bytes parked at commit.
+    pub deferred_bytes: u64,
+    /// Access traps the resumed new version took on parked pages.
+    pub traps: u64,
+    /// Parked objects applied by trap service (fault-in).
+    pub trap_objects: u64,
+    /// Parked objects applied by the background drainer.
+    pub drained_objects: u64,
+    /// Background drain batches executed (the n-th-drain-step site count).
+    pub drain_steps: u64,
+    /// Drain-loop rounds (serve + trap service + drain batch) executed.
+    pub drain_rounds: u64,
+}
+
 /// Everything MCR measured while performing (or attempting) one live update.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateReport {
@@ -170,6 +216,9 @@ pub struct UpdateReport {
     /// Pre-copy observability (rounds executed, residual left for the
     /// stop-the-world window).
     pub precopy: PrecopySummary,
+    /// Post-copy observability (pairs deferred, traps taken, drain
+    /// progress).
+    pub postcopy: PostcopySummary,
     /// Per-phase execution trace (which phases ran, for how long, and
     /// whether they completed).
     pub phases: PhaseTrace,

@@ -22,7 +22,7 @@ use mcr_typemeta::InstrumentationConfig;
 
 use crate::error::Conflict;
 use crate::program::Program;
-use crate::runtime::controller::{PrecopyOptions, UpdateOptions, UpdateOutcome};
+use crate::runtime::controller::{PrecopyOptions, TransferMode, UpdateOptions, UpdateOutcome};
 use crate::runtime::pipeline::{ChaosPlan, UpdatePipeline};
 use crate::runtime::report::UpdateReport;
 use crate::runtime::scheduler::{run_rounds, McrInstance};
@@ -70,9 +70,15 @@ impl DegradationTier {
             DegradationTier::Full => {}
             DegradationTier::NoPrecopy => {
                 opts.precopy = PrecopyOptions::disabled();
+                // Post-copy (forced or adaptive) is the other concurrent
+                // transfer mechanism: a fault that bit a drain schedule is
+                // retried with the residual applied synchronously inside
+                // the window, where rollback needs no trap machinery.
+                opts.mode = TransferMode::StopTheWorld;
             }
             DegradationTier::Serial => {
                 opts.precopy = PrecopyOptions::disabled();
+                opts.mode = TransferMode::StopTheWorld;
                 opts.transfer_workers = 1;
                 opts.intra_pair_shards = 1;
             }
@@ -367,6 +373,53 @@ mod tests {
         kernel.client_send(conn, b"ping".to_vec()).expect("send");
         let _ = run_rounds(&mut kernel, &mut instance, 3);
         assert_eq!(kernel.client_recv(conn).expect("reply"), b"hello from v1".to_vec());
+    }
+
+    #[test]
+    fn postcopy_drain_fault_degrades_to_synchronous_retry() {
+        // Attempt 1 runs forced post-copy and dies applying a parked object
+        // after the new version already resumed; the supervisor must roll
+        // back to the intact old instance and retry stop-the-world, which
+        // commits. This is the fallback ladder for the trap machinery.
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 3);
+        let opts = UpdateOptions { mode: TransferMode::Postcopy, ..UpdateOptions::default() };
+        let (instance, outcome) = supervised_update(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &opts,
+            &SupervisorPolicy::default(),
+            |attempt| match attempt {
+                1 => ChaosPlan::failing_at_fault_in(1),
+                _ => ChaosPlan::none(),
+            },
+        );
+        assert!(outcome.is_committed(), "degraded retry commits: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert_eq!(report.attempts.len(), 2);
+        assert!(!report.attempts[0].committed);
+        assert!(report.attempts[0]
+            .conflicts
+            .iter()
+            .any(|c| matches!(c, Conflict::FaultInjected { phase } if phase == "fault-in")));
+        // The retry ran without the trap machinery: stop-the-world tier.
+        assert_eq!(report.attempts[1].tier, DegradationTier::NoPrecopy);
+        assert!(report.attempts[1].committed);
+        assert_eq!(report.postcopy.deferred_pairs, 0, "committing attempt deferred nothing");
+        assert_eq!(instance.state.version, "2.0");
+    }
+
+    #[test]
+    fn degradation_ladder_strips_postcopy_modes() {
+        let requested = UpdateOptions { mode: TransferMode::Adaptive, ..UpdateOptions::default() };
+        assert_eq!(DegradationTier::Full.apply(&requested).mode, TransferMode::Adaptive);
+        assert_eq!(DegradationTier::NoPrecopy.apply(&requested).mode, TransferMode::StopTheWorld);
+        let serial = DegradationTier::Serial.apply(&requested);
+        assert_eq!(serial.mode, TransferMode::StopTheWorld);
+        assert_eq!(serial.transfer_workers, 1);
     }
 
     #[test]

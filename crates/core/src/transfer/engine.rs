@@ -35,6 +35,26 @@
 //! are byte-identical to the no-pre-copy baseline — but it *charges* only
 //! the residual set that was still stale when the world stopped, which is
 //! what shrinks downtime from O(heap) to O(working set).
+//!
+//! # Post-copy fault-in transfer
+//!
+//! When the write rate outruns the copy rate the residual never converges
+//! and pre-copy degenerates to stop-the-world. The complementary mode
+//! commits *first* and moves the residual afterwards:
+//! [`postcopy_commit`] runs the same passes as [`transfer_residual`] —
+//! identical placements, conflicts and logical report — but instead of
+//! applying the stale writes inside the stop-the-world window it snapshots
+//! and transforms them (the sharded prepare pass runs as usual, against the
+//! now-frozen old space) and parks them in a [`PostcopyResidual`]. The new
+//! version resumes immediately with access traps armed over the parked
+//! ranges ([`PostcopyResidual::arm`]); a store into a not-yet-transferred
+//! page parks in the kernel's trap queue, [`fault_in_at`] services it by
+//! applying every parked object on the touched pages (and only then do the
+//! parked program stores replay), and [`drain_step`] retires the remainder
+//! in deterministic address order between scheduler rounds. Because the
+//! prepared bytes were computed at quiesce time and program stores replay
+//! after fault-in, the final memory is byte-identical to a stop-the-world
+//! transfer of the same graph.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -265,6 +285,210 @@ impl DeltaPlan {
     }
 }
 
+/// One stale object whose contents were prepared at post-copy commit time
+/// (snapshot + transform + pointer rewrite against the frozen old space) but
+/// not yet applied to the new version.
+#[derive(Debug)]
+struct PendingObject {
+    old_base: Addr,
+    new_base: Addr,
+    /// Clamped apply length (what the stop-the-world pass would have
+    /// written).
+    len: usize,
+    /// Transformed contents, or `None` for the verbatim space-to-space copy
+    /// fast path.
+    bytes: Option<Vec<u8>>,
+    applied: bool,
+}
+
+/// The parked residual of one pair's post-copy transfer: every stale object,
+/// in deterministic address order, plus the page bookkeeping that decides
+/// when a page's access trap can be disarmed.
+#[derive(Debug, Default)]
+pub struct PostcopyResidual {
+    pending: Vec<PendingObject>,
+    /// Drain cursor into `pending`.
+    next: usize,
+    /// Unapplied objects still alive.
+    live: usize,
+    /// New-space page base → number of unapplied objects touching the page;
+    /// the trap is disarmed when the count reaches zero.
+    page_refs: BTreeMap<u64, u32>,
+    /// New-space page base → indices of the pending objects touching it.
+    page_index: BTreeMap<u64, Vec<usize>>,
+    /// Objects faulted in / drained so far (the chaos engine's
+    /// n-th-fault-in site counter).
+    faulted_in: u64,
+}
+
+fn pages_of(base: Addr, len: usize) -> impl Iterator<Item = u64> {
+    let first = base.page_base().0;
+    let last = Addr(base.0 + len.max(1) as u64 - 1).page_base().0;
+    (first..=last).step_by(mcr_procsim::PAGE_SIZE as usize)
+}
+
+impl PostcopyResidual {
+    fn build(pending: Vec<PendingObject>) -> Self {
+        let mut page_refs: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut page_index: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (idx, p) in pending.iter().enumerate() {
+            for page in pages_of(p.new_base, p.len) {
+                *page_refs.entry(page).or_insert(0) += 1;
+                page_index.entry(page).or_default().push(idx);
+            }
+        }
+        let live = pending.len();
+        PostcopyResidual { pending, next: 0, live, page_refs, page_index, faulted_in: 0 }
+    }
+
+    /// Arms access traps in the new process over every parked range. Called
+    /// once, right before the new version resumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (a parked range must be mapped — it was
+    /// placed by the commit pass).
+    pub fn arm(&self, new_proc: &mut Process) -> McrResult<()> {
+        for p in self.pending.iter().filter(|p| !p.applied) {
+            new_proc.space_mut().protect_range(p.new_base, p.len.max(1) as u64).map_err(McrError::Sim)?;
+        }
+        Ok(())
+    }
+
+    /// Unapplied objects still parked.
+    pub fn remaining(&self) -> u64 {
+        self.live as u64
+    }
+
+    /// Bytes still parked.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.pending.iter().filter(|p| !p.applied).map(|p| p.len as u64).sum()
+    }
+
+    /// True once every parked object has been applied.
+    pub fn is_drained(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Objects faulted in / drained so far.
+    pub fn faulted_in(&self) -> u64 {
+        self.faulted_in
+    }
+}
+
+/// Applies one parked object (if still unapplied), releasing the access
+/// traps of every page whose parked set drained. Never double-applies.
+fn apply_pending(
+    plan: &TransferContext,
+    residual: &mut PostcopyResidual,
+    idx: usize,
+    old_proc: &Process,
+    new_proc: &mut Process,
+    fault_at: Option<u64>,
+    stats: &mut ResidualStats,
+) -> McrResult<()> {
+    if residual.pending[idx].applied {
+        return Ok(());
+    }
+    if plan.object_write_fires_fault() {
+        return Err(Conflict::FaultInjected { phase: "fault-in-object".into() }.into());
+    }
+    if fault_at == Some(residual.faulted_in + 1) {
+        return Err(Conflict::FaultInjected { phase: "fault-in".into() }.into());
+    }
+    let bytes = residual.pending[idx].bytes.take();
+    let (old_base, new_base, len) = {
+        let p = &residual.pending[idx];
+        (p.old_base, p.new_base, p.len)
+    };
+    match bytes {
+        None => new_proc
+            .space_mut()
+            .copy_range(new_base, old_proc.space(), old_base, len)
+            .map_err(McrError::Sim)?,
+        Some(b) => new_proc.space_mut().write_bytes_through(new_base, &b[..len]).map_err(McrError::Sim)?,
+    }
+    residual.pending[idx].applied = true;
+    residual.live -= 1;
+    residual.faulted_in += 1;
+    stats.objects += 1;
+    stats.bytes += len as u64;
+    stats.cost = stats.cost.saturating_add(SimDuration(2_000 + 2 * len as u64));
+    for page in pages_of(new_base, len) {
+        if let Some(refs) = residual.page_refs.get_mut(&page) {
+            *refs -= 1;
+            if *refs == 0 {
+                new_proc
+                    .space_mut()
+                    .unprotect_range(Addr(page), mcr_procsim::PAGE_SIZE)
+                    .map_err(McrError::Sim)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Services an access trap: applies every parked object on the pages covered
+/// by `[addr, addr+len)` so the trapped store can replay on transferred
+/// content. A page with no parked objects left is a no-op — a second trap on
+/// the same range never double-applies. The returned stats are the
+/// trap-service latency the caller charges as downtime.
+///
+/// # Errors
+///
+/// Returns simulator errors for unexpected memory failures and the armed
+/// fault triggers ([`TransferContext::with_object_fault`] or `fault_at`, the
+/// 1-based n-th fault-in counter shared with [`drain_step`]).
+pub fn fault_in_at(
+    plan: &TransferContext,
+    residual: &mut PostcopyResidual,
+    old_proc: &Process,
+    new_proc: &mut Process,
+    addr: Addr,
+    len: usize,
+    fault_at: Option<u64>,
+) -> McrResult<ResidualStats> {
+    let mut stats = ResidualStats::default();
+    for page in pages_of(addr, len) {
+        let Some(idxs) = residual.page_index.get(&page).cloned() else { continue };
+        for idx in idxs {
+            apply_pending(plan, residual, idx, old_proc, new_proc, fault_at, &mut stats)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// One background drainer step: applies up to `batch` parked objects in
+/// deterministic address order (skipping anything a trap already serviced).
+/// The returned cost is charged concurrently — the new version is serving.
+///
+/// # Errors
+///
+/// Returns simulator errors for unexpected memory failures and the armed
+/// fault triggers (see [`fault_in_at`]).
+pub fn drain_step(
+    plan: &TransferContext,
+    residual: &mut PostcopyResidual,
+    old_proc: &Process,
+    new_proc: &mut Process,
+    batch: usize,
+    fault_at: Option<u64>,
+) -> McrResult<ResidualStats> {
+    let mut stats = ResidualStats::default();
+    let mut applied = 0usize;
+    while applied < batch.max(1) && residual.next < residual.pending.len() {
+        let idx = residual.next;
+        if residual.pending[idx].applied {
+            residual.next += 1;
+            continue;
+        }
+        apply_pending(plan, residual, idx, old_proc, new_proc, fault_at, &mut stats)?;
+        residual.next += 1;
+        applied += 1;
+    }
+    Ok(stats)
+}
+
 /// Whether a core run copies only the stale delta (a concurrent pre-copy
 /// round) or re-emits everything for the stop-the-world window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +500,11 @@ enum CopyMode {
     /// Stop-the-world: write every transferable object (byte-identical
     /// memory and reports to a no-pre-copy run) but charge only the residual.
     Final,
+    /// Post-copy commit: identical placements, conflicts and logical report
+    /// to `Final`, but the stale writes are prepared and *parked* in a
+    /// [`PostcopyResidual`] instead of applied — the new version resumes and
+    /// the drainer/fault handler lands them afterwards.
+    Deferred,
 }
 
 /// Per-process state-transfer report.
@@ -364,6 +593,7 @@ struct TransferOutcome {
     report: ProcessTransferReport,
     residual: ResidualStats,
     round: PrecopyRoundReport,
+    pending: PostcopyResidual,
 }
 
 /// The deterministic makespan of the shared-work-queue execution model: each
@@ -538,6 +768,33 @@ pub fn transfer_residual(
     Ok((outcome.report, outcome.residual))
 }
 
+/// The commit pass of a post-copy transfer: runs the same passes over the
+/// final (quiescent) object graph as [`transfer_residual`] — identical
+/// placements, conflicts and logical [`ProcessTransferReport`] — but parks
+/// the stale writes in the returned [`PostcopyResidual`] instead of applying
+/// them, so the new version can resume immediately. The [`ResidualStats`]
+/// describe the parked set; its cost is retired later by [`drain_step`] /
+/// [`fault_in_at`] while the new version serves.
+///
+/// # Errors
+///
+/// Returns simulator errors for unexpected memory failures; conflicts land
+/// in the report (and, non-empty, mean the caller must roll back *before*
+/// resuming the new version).
+pub fn postcopy_commit(
+    plan: &TransferContext,
+    delta: &mut DeltaPlan,
+    old_proc: &Process,
+    old_state: &InstanceState,
+    new_proc: &mut Process,
+    new_state: &InstanceState,
+    trace: &TraceResult,
+) -> McrResult<(ProcessTransferReport, ResidualStats, PostcopyResidual)> {
+    let outcome =
+        run_transfer(plan, delta, CopyMode::Deferred, old_proc, old_state, new_proc, new_state, trace)?;
+    Ok((outcome.report, outcome.residual, outcome.pending))
+}
+
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_transfer(
     plan: &TransferContext,
@@ -552,7 +809,12 @@ fn run_transfer(
     let mut report = ProcessTransferReport::default();
     let mut residual = ResidualStats::default();
     let mut round = PrecopyRoundReport::default();
-    let final_mode = mode == CopyMode::Final;
+    let mut pending: Vec<PendingObject> = Vec::new();
+    // The deferred (post-copy commit) pass behaves like the stop-the-world
+    // pass everywhere except pass 5, where stale writes park instead of
+    // landing.
+    let final_mode = mode != CopyMode::Round;
+    let deferred = mode == CopyMode::Deferred;
     let graph = &trace.graph;
 
     // ------------------------------------------------------------------
@@ -918,6 +1180,43 @@ fn run_transfer(
         if matches!(outcome, Prepared::Skip) {
             continue;
         }
+        if deferred && p.stale {
+            // Post-copy commit: park the stale write — count it exactly as
+            // the stop-the-world pass would (the logical report stays
+            // byte-identical), but do not land the bytes and do not tick the
+            // fault counter: both happen when the drainer/fault handler
+            // applies the object.
+            let writable = new_proc
+                .space()
+                .region_containing(new_base)
+                .map(|r| (r.end().0 - new_base.0) as usize)
+                .unwrap_or(0);
+            if writable == 0 {
+                report.conflicts.push(Conflict::ImmutablePlacementFailed {
+                    object: format!("object at {}", p.old_base),
+                    detail: format!("target address {new_base} not mapped in the new version"),
+                });
+                continue;
+            }
+            let (len, bytes) = match outcome {
+                Prepared::Skip => unreachable!("skipped above"),
+                Prepared::Direct => ((p.size.max(1) as usize).min(writable), None),
+                Prepared::Bytes(out) => {
+                    let len = out.len().min(writable);
+                    (len, Some(out[..len].to_vec()))
+                }
+            };
+            report.objects_transferred += 1;
+            report.bytes_transferred += len as u64;
+            residual.objects += 1;
+            residual.bytes += len as u64;
+            // No cost lands in `shard_residual`: the apply cost is charged
+            // when the object is faulted in or drained, after the new
+            // version has resumed — moving that work off the downtime
+            // window is the point of post-copy.
+            pending.push(PendingObject { old_base: p.old_base, new_base, len, bytes, applied: false });
+            continue;
+        }
         if plan.object_write_fires_fault() {
             return Err(Conflict::FaultInjected { phase: "transfer-object".into() }.into());
         }
@@ -980,7 +1279,7 @@ fn run_transfer(
     report.duration = SimDuration(report.objects_transferred * 2_000 + report.bytes_transferred * 2);
     residual.cost = list_schedule_makespan(&shard_residual, shards);
     round.cost = list_schedule_makespan(&shard_round, shards);
-    Ok(TransferOutcome { report, residual, round })
+    Ok(TransferOutcome { report, residual, round, pending: PostcopyResidual::build(pending) })
 }
 
 /// Rewrites the pointer slots of a transformed element: each old pointer

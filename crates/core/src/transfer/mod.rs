@@ -6,7 +6,8 @@ pub mod engine;
 pub mod transform;
 
 pub use engine::{
-    precopy_transfer_round, transfer_between, transfer_process, transfer_residual, DeltaPlan,
-    PrecopyRoundReport, ProcessTransferReport, ResidualStats, TransferContext, TransferSummary, TypeBridge,
+    drain_step, fault_in_at, postcopy_commit, precopy_transfer_round, transfer_between, transfer_process,
+    transfer_residual, DeltaPlan, PostcopyResidual, PrecopyRoundReport, ProcessTransferReport, ResidualStats,
+    TransferContext, TransferSummary, TypeBridge,
 };
 pub use transform::{apply_field_map, compute_field_map, FieldMap};

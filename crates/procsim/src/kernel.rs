@@ -749,6 +749,66 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Post-copy fault barrier (per-process page protection + trap queue)
+    // ------------------------------------------------------------------
+
+    /// Arms post-copy access traps over `[base, base+len)` in `pid`'s
+    /// address space (see [`crate::AddressSpace::protect_range`]). The
+    /// post-copy commit phase calls this over every not-yet-transferred
+    /// object before resuming the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown, or the
+    /// underlying mapping error for a bad range.
+    pub fn protect_range(&mut self, pid: Pid, base: Addr, len: u64) -> SimResult<()> {
+        self.process_mut(pid)?.space_mut().protect_range(base, len)
+    }
+
+    /// Removes post-copy protection from `[base, base+len)` in `pid`'s
+    /// address space once the content has been faulted in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown, or the
+    /// underlying mapping error for a bad range.
+    pub fn unprotect_range(&mut self, pid: Pid, base: Addr, len: u64) -> SimResult<()> {
+        self.process_mut(pid)?.space_mut().unprotect_range(base, len)
+    }
+
+    /// Drops every protection stamp in `pid`'s address space (drain
+    /// complete, or rollback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn clear_protection(&mut self, pid: Pid) -> SimResult<()> {
+        self.process_mut(pid)?.space_mut().clear_protection();
+        Ok(())
+    }
+
+    /// Number of pages still protected in `pid`'s address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn protected_page_count(&self, pid: Pid) -> SimResult<usize> {
+        Ok(self.process(pid)?.space().protected_page_count())
+    }
+
+    /// Takes the stores parked by `pid`'s trap barrier, in program order
+    /// (see [`crate::AddressSpace::take_pending_traps`]). The drainer
+    /// services these with priority: fault in the touched objects, then
+    /// replay the stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchProcess`] if the pid is unknown.
+    pub fn take_pending_traps(&mut self, pid: Pid) -> SimResult<Vec<crate::memory::PendingTrap>> {
+        Ok(self.process_mut(pid)?.space_mut().take_pending_traps())
+    }
+
+    // ------------------------------------------------------------------
     // Borrow splitting (parallel per-process state transfer)
     // ------------------------------------------------------------------
 

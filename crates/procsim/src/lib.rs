@@ -86,7 +86,7 @@ pub use error::{SimError, SimResult};
 pub use fd::{FdEntry, FdTable};
 pub use ids::{ConnId, Fd, ObjId, Pid, Tid, RESERVED_FD_BASE};
 pub use kernel::{FdPlacement, Kernel};
-pub use memory::{Addr, AddressSpace, DirtyRange, MemoryRegion, RegionKind, PAGE_SIZE};
+pub use memory::{Addr, AddressSpace, DirtyRange, MemoryRegion, PendingTrap, RegionKind, PAGE_SIZE};
 pub use objects::{KernelObject, ObjectTable, UnixMessage};
 pub use process::{MemoryLayout, Process, Thread, ThreadState};
 pub use syscall::{Syscall, SyscallPort, SyscallRet};

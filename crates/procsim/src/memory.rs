@@ -8,6 +8,24 @@
 //! afterwards marks it dirty. Mutable tracing later uses the dirty state to
 //! restrict state transfer to objects modified after startup.
 //!
+//! # Access traps (the post-copy fault barrier)
+//!
+//! Post-copy state transfer commits the new program version *before* its
+//! state has arrived and pulls stale objects in on demand. The mechanism
+//! here mirrors `userfaultfd`-style page protection: the update runtime arms
+//! per-page protection stamps over the not-yet-transferred ranges
+//! ([`AddressSpace::protect_range`]), and a store that hits a protected page
+//! does not land — it is parked in a pending-trap buffer
+//! ([`AddressSpace::take_pending_traps`]) exactly as a faulting thread would
+//! block on the missing page. The fault handler (the drainer in
+//! `mcr-core`) transfers the object, removes the protection
+//! ([`AddressSpace::unprotect_range`]) and replays the parked store, so the
+//! final bytes are written in the same order as a stop-the-world transfer:
+//! quiesce-time content first, post-commit stores second. Loads are not
+//! intercepted (the simulator's workloads are store-driven); the
+//! [`AddressSpace::access_trap`] query lets callers check a range before a
+//! read if they need the read barrier too.
+//!
 //! # Write epochs (the pre-copy write barrier)
 //!
 //! Instead of a boolean per page, each page stores the address space's
@@ -121,6 +139,9 @@ pub struct MemoryRegion {
     /// last store, `0` when the page is clean since the last
     /// `clear_soft_dirty`.
     dirty_epoch: Vec<u64>,
+    /// Per-page post-copy protection stamp: `true` while the page's content
+    /// has not been transferred yet and any store must trap.
+    protected: Vec<bool>,
     /// Total number of write syscalls/stores into the region (instrumentation
     /// statistics, not part of the paper's kernel interface).
     write_count: u64,
@@ -145,6 +166,7 @@ impl MemoryRegion {
             data: vec![0; size as usize],
             // Freshly mapped pages are dirty: they were just created.
             dirty_epoch: vec![epoch; pages],
+            protected: vec![false; pages],
             write_count: 0,
         }
     }
@@ -216,6 +238,38 @@ impl MemoryRegion {
         self.write_count
     }
 
+    /// Whether the page containing `addr` is post-copy protected.
+    pub fn page_is_protected(&self, addr: Addr) -> bool {
+        let idx = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
+        self.protected.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Number of protected pages in the region.
+    pub fn protected_page_count(&self) -> usize {
+        self.protected.iter().filter(|&&p| p).count()
+    }
+
+    fn page_span(&self, addr: Addr, len: u64) -> std::ops::RangeInclusive<usize> {
+        let start = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
+        let end = ((addr.0 - self.base.0 + len.max(1) - 1) / PAGE_SIZE) as usize;
+        start..=end.min(self.protected.len().saturating_sub(1))
+    }
+
+    fn set_protected(&mut self, addr: Addr, len: u64, value: bool) -> isize {
+        let mut delta = 0isize;
+        for page in self.page_span(addr, len) {
+            if self.protected[page] != value {
+                delta += if value { 1 } else { -1 };
+                self.protected[page] = value;
+            }
+        }
+        delta
+    }
+
+    fn span_is_protected(&self, addr: Addr, len: u64) -> bool {
+        self.page_span(addr, len).any(|page| self.protected[page])
+    }
+
     fn mark_dirty(&mut self, addr: Addr, len: usize, epoch: u64) {
         let start = ((addr.0 - self.base.0) / PAGE_SIZE) as usize;
         let end = ((addr.0 - self.base.0 + len.max(1) as u64 - 1) / PAGE_SIZE) as usize;
@@ -242,6 +296,16 @@ pub struct DirtyRange {
     pub kind: RegionKind,
 }
 
+/// A store that hit a post-copy protected page and is parked until the
+/// fault handler transfers the page's content and replays it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingTrap {
+    /// Destination address of the parked store.
+    pub addr: Addr,
+    /// The bytes the store would have written.
+    pub bytes: Vec<u8>,
+}
+
 /// A full simulated virtual address space.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
@@ -249,11 +313,24 @@ pub struct AddressSpace {
     /// The stamp given to pages written from now on; bumped once per
     /// pre-copy round by [`AddressSpace::advance_write_epoch`].
     write_epoch: u64,
+    /// Total protected pages across all regions (fast-path guard so the
+    /// store barrier costs nothing while post-copy is not in progress).
+    protected_pages: usize,
+    /// Stores parked by the access-trap barrier, in program order.
+    pending_traps: Vec<PendingTrap>,
+    /// Total stores ever parked (instrumentation).
+    traps_taken: u64,
 }
 
 impl Default for AddressSpace {
     fn default() -> Self {
-        AddressSpace { regions: BTreeMap::new(), write_epoch: 1 }
+        AddressSpace {
+            regions: BTreeMap::new(),
+            write_epoch: 1,
+            protected_pages: 0,
+            pending_traps: Vec::new(),
+            traps_taken: 0,
+        }
     }
 }
 
@@ -394,6 +471,9 @@ impl AddressSpace {
     /// through an intermediate `Vec`. This is the range-copy fast path the
     /// transfer engine uses for verbatim (untyped / non-updatable) objects.
     ///
+    /// Like [`AddressSpace::write_bytes_through`], this is a transfer-engine
+    /// store path and bypasses post-copy access traps.
+    ///
     /// # Errors
     ///
     /// Fails if the source range is unmapped or out of bounds, or if the
@@ -421,10 +501,43 @@ impl AddressSpace {
 
     /// Writes `bytes` starting at `addr`, marking touched pages soft-dirty.
     ///
+    /// If any touched page is post-copy protected, the store does not land:
+    /// it is parked as a [`PendingTrap`] (the simulated thread "faults" on
+    /// the missing page) and `Ok` is returned. The fault handler retrieves
+    /// parked stores with [`AddressSpace::take_pending_traps`], transfers
+    /// the page content, unprotects, and replays them.
+    ///
     /// # Errors
     ///
     /// Fails if the range is unmapped, read-only, or out of bounds.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
+        if self.protected_pages > 0 {
+            let region = self.region_containing(addr).ok_or(SimError::UnmappedAddress(addr))?;
+            if !region.is_writable() {
+                return Err(SimError::ReadOnlyRegion(addr));
+            }
+            let off = (addr.0 - region.base().0) as usize;
+            if off + bytes.len() > region.data.len() {
+                return Err(SimError::OutOfBounds { addr, len: bytes.len() });
+            }
+            if region.span_is_protected(addr, bytes.len().max(1) as u64) {
+                self.pending_traps.push(PendingTrap { addr, bytes: bytes.to_vec() });
+                self.traps_taken += 1;
+                return Ok(());
+            }
+        }
+        self.write_bytes_through(addr, bytes)
+    }
+
+    /// Writes `bytes` starting at `addr`, bypassing the post-copy access
+    /// traps — the store path of the fault handler itself, which must land
+    /// quiesce-time content on still-protected pages before replaying the
+    /// parked program stores.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped, read-only, or out of bounds.
+    pub fn write_bytes_through(&mut self, addr: Addr, bytes: &[u8]) -> SimResult<()> {
         let epoch = self.write_epoch;
         let region = self.region_containing_mut(addr).ok_or(SimError::UnmappedAddress(addr))?;
         if !region.is_writable() {
@@ -617,6 +730,108 @@ impl AddressSpace {
     pub fn total_page_count(&self) -> usize {
         self.regions.values().map(|r| r.page_count()).sum()
     }
+
+    // ------------------------------------------------------------------
+    // Post-copy access traps (the userfaultfd analogue)
+    // ------------------------------------------------------------------
+
+    /// Arms post-copy protection over the pages covering `[base, base+len)`:
+    /// until [`AddressSpace::unprotect_range`] removes it, any
+    /// [`AddressSpace::write_bytes`] store touching these pages is parked as
+    /// a [`PendingTrap`] instead of landing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or crosses the end of its region.
+    pub fn protect_range(&mut self, base: Addr, len: u64) -> SimResult<()> {
+        self.set_protection(base, len, true)
+    }
+
+    /// Removes post-copy protection from the pages covering
+    /// `[base, base+len)` — called by the fault handler once the pages'
+    /// content has been transferred.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or crosses the end of its region.
+    pub fn unprotect_range(&mut self, base: Addr, len: u64) -> SimResult<()> {
+        self.set_protection(base, len, false)
+    }
+
+    fn set_protection(&mut self, base: Addr, len: u64, value: bool) -> SimResult<()> {
+        let region = self
+            .regions
+            .range_mut(..=base.0)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(base))
+            .ok_or(SimError::UnmappedAddress(base))?;
+        if base.0 + len > region.end().0 {
+            return Err(SimError::OutOfBounds { addr: base, len: len as usize });
+        }
+        let delta = region.set_protected(base, len, value);
+        self.protected_pages = (self.protected_pages as isize + delta) as usize;
+        Ok(())
+    }
+
+    /// Drops every protection stamp in the address space (post-copy drain
+    /// finished, or the update rolled back).
+    pub fn clear_protection(&mut self) {
+        for region in self.regions.values_mut() {
+            for page in &mut region.protected {
+                *page = false;
+            }
+        }
+        self.protected_pages = 0;
+    }
+
+    /// Whether the page containing `addr` is post-copy protected.
+    pub fn is_protected(&self, addr: Addr) -> bool {
+        self.protected_pages > 0
+            && self.region_containing(addr).map(|r| r.page_is_protected(addr)).unwrap_or(false)
+    }
+
+    /// The base address of the first protected page covering
+    /// `[addr, addr+len)`, if any — the read-barrier query for callers that
+    /// need to check a load against the trap state.
+    pub fn access_trap(&self, addr: Addr, len: u64) -> Option<Addr> {
+        if self.protected_pages == 0 {
+            return None;
+        }
+        let mut page = addr.page_base();
+        let end = addr.0 + len.max(1);
+        while page.0 < end {
+            if let Some(r) = self.region_containing(page) {
+                if r.page_is_protected(page) {
+                    return Some(page);
+                }
+            }
+            page = page.offset(PAGE_SIZE);
+        }
+        None
+    }
+
+    /// Total number of protected pages across all regions.
+    pub fn protected_page_count(&self) -> usize {
+        self.protected_pages
+    }
+
+    /// Number of parked stores awaiting fault-in service.
+    pub fn pending_trap_count(&self) -> usize {
+        self.pending_traps.len()
+    }
+
+    /// Takes the parked stores, in program order, leaving the buffer empty.
+    /// The fault handler transfers the touched objects, unprotects their
+    /// pages, and replays these stores in order.
+    pub fn take_pending_traps(&mut self) -> Vec<PendingTrap> {
+        std::mem::take(&mut self.pending_traps)
+    }
+
+    /// Total number of stores ever parked by the trap barrier.
+    pub fn traps_taken(&self) -> u64 {
+        self.traps_taken
+    }
 }
 
 #[cfg(test)]
@@ -751,6 +966,47 @@ mod tests {
         space.clear_soft_dirty();
         assert_eq!(space.dirty_page_count(), 0);
         assert_eq!(space.write_epoch(), e1 + 1);
+    }
+
+    #[test]
+    fn access_traps_park_and_replay_stores() {
+        let mut space = space_with_region();
+        space.clear_soft_dirty();
+        space.write_u64(Addr(0x10000), 0x1111).unwrap();
+        // Arm protection over the second page.
+        space.protect_range(Addr(0x10000 + PAGE_SIZE), PAGE_SIZE).unwrap();
+        assert_eq!(space.protected_page_count(), 1);
+        assert!(space.is_protected(Addr(0x10000 + PAGE_SIZE + 8)));
+        assert!(!space.is_protected(Addr(0x10000)));
+        assert_eq!(space.access_trap(Addr(0x10000), 2 * PAGE_SIZE), Some(Addr(0x10000 + PAGE_SIZE)));
+        assert_eq!(space.access_trap(Addr(0x10000), 8), None);
+        // A store to an unprotected page lands as usual.
+        space.write_u64(Addr(0x10008), 0x2222).unwrap();
+        assert_eq!(space.read_u64(Addr(0x10008)).unwrap(), 0x2222);
+        // A store to the protected page parks instead of landing.
+        space.write_u64(Addr(0x10000 + PAGE_SIZE), 0x3333).unwrap();
+        assert_eq!(space.read_u64(Addr(0x10000 + PAGE_SIZE)).unwrap(), 0);
+        assert_eq!(space.pending_trap_count(), 1);
+        assert_eq!(space.traps_taken(), 1);
+        // The fault handler lands content through the barrier, unprotects,
+        // and replays the parked store — final bytes as if transfer had
+        // happened before the program store.
+        space.write_bytes_through(Addr(0x10000 + PAGE_SIZE), &[9u8; 16]).unwrap();
+        space.unprotect_range(Addr(0x10000 + PAGE_SIZE), PAGE_SIZE).unwrap();
+        assert_eq!(space.protected_page_count(), 0);
+        for trap in space.take_pending_traps() {
+            space.write_bytes(trap.addr, &trap.bytes).unwrap();
+        }
+        assert_eq!(space.pending_trap_count(), 0);
+        assert_eq!(space.read_u64(Addr(0x10000 + PAGE_SIZE)).unwrap(), 0x3333);
+        assert_eq!(space.read_u64(Addr(0x10000 + PAGE_SIZE + 8)).unwrap(), 0x0909_0909_0909_0909);
+        // Error paths and idempotent re-protection.
+        assert!(space.protect_range(Addr(0x1), 8).is_err());
+        space.protect_range(Addr(0x10000), PAGE_SIZE).unwrap();
+        space.protect_range(Addr(0x10000), PAGE_SIZE).unwrap();
+        assert_eq!(space.protected_page_count(), 1);
+        space.clear_protection();
+        assert_eq!(space.protected_page_count(), 0);
     }
 
     #[test]

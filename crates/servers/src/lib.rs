@@ -35,7 +35,7 @@ pub use cache::{cache_entry_nodes, dirty_cache_records, CacheServer, CACHE_BUCKE
 pub use generic::{programs, GenericServer};
 pub use scenarios::{
     apply_scenario_writes, connection_nodes, dirty_cache_entries, dirty_connection_nodes, precopy_scenarios,
-    PrecopyScenario,
+    stamp_request_scratch, PrecopyScenario,
 };
 pub use spec::{AllocatorModel, ProcessModel, ServerSpec};
 pub use updates::{generations_for, paper_catalog, totals, CatalogTotals, UpdateCatalogEntry};

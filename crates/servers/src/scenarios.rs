@@ -119,6 +119,43 @@ pub fn apply_scenario_writes(
         + dirty_cache_entries(kernel, instance, scenario.cache_writes_per_round, stamp)
 }
 
+/// The post-resume write workload of the adaptive-transfer sweep: stamps
+/// `words` u32 slots of every process's `request_buf` scratch global with
+/// `stamp`, returning the number of stores issued.
+///
+/// The target addresses come from the statics table, never from reads of
+/// program memory — deliberately, because a post-copy instance may still
+/// have not-yet-transferred pages whose *reads* return unapplied bytes. A
+/// write-only workload with precomputed targets produces the same final
+/// bytes whether its stores land directly (synchronous modes) or trap on a
+/// parked page and are replayed by the fault handler (post-copy modes),
+/// which is what lets the sweep assert byte-identical fingerprints across
+/// every transfer mode.
+///
+/// Stamping starts at offset 8: the first word of `request_buf` is where
+/// the server's type-unsafe idiom stashes a raw connection pointer, and
+/// overwriting it would flip the conservative tracer's pinning decision for
+/// the pointed-to node depending on *when* the stamp lands relative to a
+/// trace round — exactly the cross-mode divergence this workload must not
+/// introduce.
+pub fn stamp_request_scratch(kernel: &mut Kernel, instance: &McrInstance, words: usize, stamp: u32) -> usize {
+    let Some(buf) = instance.state.statics.lookup("request_buf") else {
+        return 0;
+    };
+    const STASH_WORDS: u64 = 2;
+    let slots = (buf.size / 4 - STASH_WORDS).min(words as u64);
+    let mut written = 0;
+    for &pid in &instance.state.processes {
+        let Ok(proc) = kernel.process_mut(pid) else { continue };
+        for i in 0..slots {
+            if proc.space_mut().write_u32(buf.addr.offset((STASH_WORDS + i) * 4), stamp).is_ok() {
+                written += 1;
+            }
+        }
+    }
+    written
+}
+
 /// Collects, per process of the instance, the addresses of the `conn_s`
 /// nodes on the process's own copy of the global `conn_list` (every
 /// generation lays the list head pointer out at offset 8 of the

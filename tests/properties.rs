@@ -5,11 +5,14 @@
 //! drive the same invariants with a small deterministic xorshift generator:
 //! every case is reproducible from its printed seed.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use mcr_bench::kernel_fingerprint;
 use mcr_core::callstack::CallStackId;
 use mcr_core::runtime::{
-    boot, live_update, BootOptions, FaultPlan, PhaseName, PrecopyOptions, SchedulerMode, UpdateOptions,
-    UpdatePipeline, UpdateReport,
+    boot, live_update, BootOptions, FaultPlan, PhaseName, PrecopyOptions, SchedulerMode, TransferMode,
+    UpdateOptions, UpdatePipeline, UpdateReport,
 };
 use mcr_core::transfer::{apply_field_map, compute_field_map};
 use mcr_procsim::{
@@ -17,8 +20,8 @@ use mcr_procsim::{
     PtMalloc, RegionKind, TypeTag, PAGE_SIZE, RESERVED_FD_BASE,
 };
 use mcr_servers::{
-    dirty_cache_records, dirty_connection_nodes, install_standard_files, program_by_name, CacheServer,
-    CACHE_PORT,
+    dirty_cache_records, dirty_connection_nodes, install_standard_files, program_by_name,
+    stamp_request_scratch, CacheServer, CACHE_PORT,
 };
 use mcr_typemeta::{Field, InstrumentationConfig, TypeRegistry};
 use mcr_workload::{open_idle_connections, run_workload, workload_for};
@@ -986,6 +989,260 @@ fn fd_table_slab_matches_the_ordered_map_model() {
             assert_eq!(got, expected, "seed {seed}: iteration diverged from the ordered model");
         }
     }
+}
+
+/// Scratch stamps applied after resume, per test case of the post-copy
+/// property suite.
+const POST_STAMP_ROUNDS: usize = 3;
+
+/// Boots `program`, serves traffic, applies three seeded write batches to
+/// the connection records *before* the update (so every transfer mode sees
+/// the same final old-version memory image), then updates gen-1 → gen-2
+/// under the given transfer `mode`, scheduler core and intra-pair shard
+/// count. A post-resume write workload — [`POST_STAMP_ROUNDS`] seeded
+/// write-only scratch stamps — is injected through the post-copy drain hook
+/// when the mode defers work, and applied to the survivor after the
+/// pipeline otherwise: the targets are precomputed from the statics table
+/// and the final value wins, so stores that land directly and stores that
+/// trap on a parked page and get replayed by the fault handler converge to
+/// the same bytes by design.
+#[allow(clippy::too_many_arguments)]
+fn postcopy_or_stw_update(
+    program: &str,
+    requests: u64,
+    open: usize,
+    writes: usize,
+    mode: TransferMode,
+    sched: SchedulerMode,
+    shards: usize,
+    fault: Option<FaultPlan>,
+    seed: u64,
+) -> (u64, Vec<mcr_core::Conflict>, UpdateReport) {
+    let mut kernel = Kernel::new();
+    install_standard_files(&mut kernel);
+    let mut v1 = boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+    run_workload(&mut kernel, &mut v1, &workload_for(program, requests)).unwrap();
+    let port = workload_for(program, 1).port;
+    open_idle_connections(&mut kernel, &mut v1, port, open).unwrap();
+    // Flip the scheduling core only now: every configuration enters the
+    // pipeline with byte-identical kernel and instance state.
+    v1.sched.mode = sched;
+    let mut rng = Rng::new(seed ^ 0x9057_c09e);
+    for _ in 0..3 {
+        dirty_connection_nodes(&mut kernel, &v1, writes, rng.next() as u32);
+    }
+    let post_stamps: Vec<u32> = (0..POST_STAMP_ROUNDS).map(|_| rng.next() as u32).collect();
+    let opts = UpdateOptions {
+        scheduler: sched,
+        mode,
+        intra_pair_shards: shards,
+        precopy: PrecopyOptions::disabled(),
+        ..Default::default()
+    };
+    let mut pipeline = UpdatePipeline::for_options(&opts);
+    let delivered = Rc::new(Cell::new(0usize));
+    if mode != TransferMode::StopTheWorld {
+        let stamps = post_stamps.clone();
+        let delivered = Rc::clone(&delivered);
+        pipeline = pipeline.with_postcopy_hook(Box::new(move |kernel, new_instance, _round| {
+            let done = delivered.get();
+            if done < stamps.len() {
+                stamp_request_scratch(kernel, new_instance, 8, stamps[done]);
+                delivered.set(done + 1);
+            }
+        }));
+    }
+    if let Some(fault) = fault {
+        pipeline = pipeline.with_fault_plan(fault);
+    }
+    let (survivor, outcome) = pipeline.run(
+        &mut kernel,
+        v1,
+        Box::new(program_by_name(program, 2)),
+        InstrumentationConfig::full(),
+        &opts,
+    );
+    if outcome.is_committed() {
+        for stamp in post_stamps.into_iter().skip(delivered.get()) {
+            stamp_request_scratch(&mut kernel, &survivor, 8, stamp);
+        }
+    }
+    (kernel_fingerprint(&kernel), outcome.conflicts().to_vec(), outcome.report().clone())
+}
+
+/// Post-copy commit is byte-identical to stop-the-world: with the same
+/// seeded pre-update writes and the same post-resume scratch stamps, the
+/// forced post-copy and adaptive modes converge to the stop-the-world
+/// kernel fingerprint, tracing statistics and per-process transfer reports
+/// across both scheduler cores and intra-pair shard counts ∈ {1, 2}. The
+/// forced post-copy run must actually defer work and retire every deferred
+/// object before declaring the update done.
+#[test]
+fn postcopy_commits_are_byte_identical_to_stop_the_world() {
+    let programs = ["vsftpd", "nginx", "httpd"];
+    for seed in 0..3u64 {
+        let mut rng = Rng::new(seed + 0xdefe7);
+        let program = programs[seed as usize % programs.len()];
+        let requests = rng.range(2, 5);
+        let open = rng.range(1, 4) as usize;
+        let writes = rng.range(1, 3) as usize;
+        let mut fingerprints = Vec::new();
+        for sched in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
+            for shards in [1usize, 2] {
+                let ctx =
+                    |label: &str| format!("seed {seed} ({program}, {sched:?}, {shards} shards, {label})");
+                let (stw_fp, stw_conflicts, stw) = postcopy_or_stw_update(
+                    program,
+                    requests,
+                    open,
+                    writes,
+                    TransferMode::StopTheWorld,
+                    sched,
+                    shards,
+                    None,
+                    seed,
+                );
+                assert!(stw_conflicts.is_empty(), "{}: {stw_conflicts:?}", ctx("stop-the-world"));
+                for mode in [TransferMode::Postcopy, TransferMode::Adaptive] {
+                    let (fp, conflicts, report) = postcopy_or_stw_update(
+                        program, requests, open, writes, mode, sched, shards, None, seed,
+                    );
+                    let ctx = ctx(&format!("{mode:?}"));
+                    assert!(conflicts.is_empty(), "{ctx}: {conflicts:?}");
+                    assert_eq!(fp, stw_fp, "{ctx}: post-commit kernel state diverged");
+                    assert_eq!(report.tracing, stw.tracing, "{ctx}: tracing stats diverged");
+                    assert_eq!(
+                        report.transfer.per_process, stw.transfer.per_process,
+                        "{ctx}: per-process transfer reports diverged"
+                    );
+                    if mode == TransferMode::Postcopy {
+                        // The forced run really took the deferred path and
+                        // fully drained it.
+                        assert!(report.postcopy.deferred_pairs >= 1, "{ctx}: nothing deferred");
+                        assert_eq!(
+                            report.postcopy.trap_objects + report.postcopy.drained_objects,
+                            report.postcopy.deferred_objects,
+                            "{ctx}: deferred-object accounting does not add up"
+                        );
+                    }
+                }
+                fingerprints.push(stw_fp);
+            }
+        }
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed} ({program}): cores / shard counts diverged: {fingerprints:x?}"
+        );
+    }
+}
+
+/// A fault injected mid-drain (or at the first post-resume fault-in) rolls
+/// the update back to the old version byte-identically: the post-rollback
+/// kernel fingerprint equals the no-update baseline that applied the same
+/// pre-update writes and never entered the pipeline, and the conflict list
+/// and per-process reports agree across scheduler cores and shard counts.
+#[test]
+fn mid_drain_faults_roll_back_byte_identically() {
+    let (program, requests, open, writes, seed) = ("vsftpd", 3u64, 2usize, 2usize, 0x0d1eu64);
+
+    // The no-update baseline: identical boot, traffic and seeded pre-update
+    // writes, no pipeline. (The post-resume stamps never run on a rollback
+    // path — the fault fires before the first one is delivered.)
+    let baseline_fp = {
+        let mut kernel = Kernel::new();
+        install_standard_files(&mut kernel);
+        let mut v1 =
+            boot(&mut kernel, Box::new(program_by_name(program, 1)), &BootOptions::default()).unwrap();
+        run_workload(&mut kernel, &mut v1, &workload_for(program, requests)).unwrap();
+        let port = workload_for(program, 1).port;
+        open_idle_connections(&mut kernel, &mut v1, port, open).unwrap();
+        let mut rng = Rng::new(seed ^ 0x9057_c09e);
+        for _ in 0..3 {
+            dirty_connection_nodes(&mut kernel, &v1, writes, rng.next() as u32);
+        }
+        kernel_fingerprint(&kernel)
+    };
+
+    for (fault, kind) in
+        [(FaultPlan::failing_at_drain_step(1), "drain-step"), (FaultPlan::failing_at_fault_in(1), "fault-in")]
+    {
+        let mut runs = Vec::new();
+        for sched in [SchedulerMode::EventDriven, SchedulerMode::FullScan] {
+            for shards in [1usize, 2] {
+                let (fp, conflicts, report) = postcopy_or_stw_update(
+                    program,
+                    requests,
+                    open,
+                    writes,
+                    TransferMode::Postcopy,
+                    sched,
+                    shards,
+                    Some(fault.clone()),
+                    seed,
+                );
+                let ctx = format!("{kind} ({sched:?}, {shards} shards)");
+                assert!(
+                    conflicts.iter().any(
+                        |c| matches!(c, mcr_core::Conflict::FaultInjected { phase, .. } if phase == kind)
+                    ),
+                    "{ctx}: the armed fault did not fire: {conflicts:?}"
+                );
+                assert_eq!(fp, baseline_fp, "{ctx}: rollback did not restore the pre-update kernel state");
+                runs.push((conflicts, report));
+            }
+        }
+        let (base_conflicts, base_report) = &runs[0];
+        for (conflicts, report) in &runs {
+            assert_eq!(conflicts, base_conflicts, "{kind}: conflict lists diverged across configurations");
+            assert_eq!(
+                report.transfer.per_process, base_report.transfer.per_process,
+                "{kind}: per-process reports diverged across configurations"
+            );
+        }
+    }
+}
+
+/// Regression: a store that traps on a parked page mid-drain services
+/// exactly the touched objects through the fault handler and never
+/// double-applies — every deferred object is retired exactly once, either
+/// by a trap or by a drain batch, and the final bytes equal the
+/// stop-the-world run's (which applied the same stamps directly).
+#[test]
+fn drain_traps_service_each_deferred_object_exactly_once() {
+    let (program, requests, open, writes, seed) = ("vsftpd", 4u64, 3usize, 2usize, 0x7a9u64);
+    let (stw_fp, stw_conflicts, _) = postcopy_or_stw_update(
+        program,
+        requests,
+        open,
+        writes,
+        TransferMode::StopTheWorld,
+        SchedulerMode::EventDriven,
+        1,
+        None,
+        seed,
+    );
+    assert!(stw_conflicts.is_empty(), "{stw_conflicts:?}");
+    let (fp, conflicts, report) = postcopy_or_stw_update(
+        program,
+        requests,
+        open,
+        writes,
+        TransferMode::Postcopy,
+        SchedulerMode::EventDriven,
+        1,
+        None,
+        seed,
+    );
+    assert!(conflicts.is_empty(), "{conflicts:?}");
+    assert!(report.postcopy.traps >= 1, "the post-resume stamps never trapped");
+    assert!(report.postcopy.trap_objects >= 1);
+    assert_eq!(
+        report.postcopy.trap_objects + report.postcopy.drained_objects,
+        report.postcopy.deferred_objects,
+        "every deferred object must be applied exactly once (trap xor drain)"
+    );
+    assert!(report.timings.trap_service.0 > 0, "trap service time must be charged");
+    assert_eq!(fp, stw_fp, "trap replay double-applied or dropped a store");
 }
 
 /// Identity transformations round-trip arbitrary byte patterns.
