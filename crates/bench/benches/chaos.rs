@@ -1,8 +1,10 @@
 //! Chaos campaign: seeded fault schedules over the enumerated site space.
 //!
 //! Runs [`ChaosSpec::smoke`] — >= 200 schedules spanning phase-boundary,
-//! n-th-transfer-object and n-th-syscall sites, across both scheduler cores
-//! and pre-copy on/off — and asserts, per configuration:
+//! n-th-transfer-object, n-th-syscall, n-th-fault-in and n-th-drain-step
+//! sites, across both scheduler cores and all three transfer modes
+//! (stop-the-world, pre-copy, post-copy: a 2 × 3 grid) — and asserts, per
+//! configuration:
 //!
 //! * every fired schedule rolled back to a byte-identical kernel
 //!   fingerprint (zero divergences, zero re-run mismatches);
@@ -13,13 +15,14 @@
 //! Emits the `BENCH_chaos.json` document (rows + totals) on stdout; the CI
 //! smoke step re-asserts the same properties from the JSON.
 
-use mcr_bench::{chaos_json, chaos_render, run_campaign, ChaosSpec};
+use mcr_bench::{chaos_json, chaos_render, run_campaign, ChaosMode, ChaosSpec};
 
 fn main() {
     let spec = ChaosSpec::smoke();
     let rows = run_campaign(&spec);
     eprint!("{}", chaos_render(&rows));
 
+    assert_eq!(rows.len(), 6, "campaign grid is scheduler (2) x transfer mode (3)");
     let total_schedules: usize = rows.iter().map(|r| r.schedules).sum();
     assert!(total_schedules >= 200, "campaign too small: {total_schedules} schedules");
     for r in &rows {
@@ -46,8 +49,14 @@ fn main() {
     }
     // Pre-copy configurations must enumerate pre-copy round copies as a
     // sub-range of the object-write space.
-    for r in rows.iter().filter(|r| r.config.precopy) {
+    for r in rows.iter().filter(|r| r.config.precopy()) {
         assert!(r.catalog.precopy_copies > 0, "{}: no precopy copy sites", r.config.label());
+    }
+    // Post-copy configurations must enumerate the commit-far-side site
+    // classes: parked-object fault-ins and background drain batches.
+    for r in rows.iter().filter(|r| r.config.mode == ChaosMode::Postcopy) {
+        assert!(r.catalog.fault_ins > 0, "{}: no fault-in sites", r.config.label());
+        assert!(r.catalog.drain_steps > 0, "{}: no drain-step sites", r.config.label());
     }
 
     println!("{}", chaos_json(&spec, &rows).render());

@@ -17,6 +17,14 @@
 //! * `post`     — requests served by v2 after the update (session descriptors
 //!   recovered from the transferred `conn_fds` global).
 //!
+//! A second update (v2 → v3) is then forced through the *post-copy*
+//! pipeline: the commit parks the session table's residual, and the drain
+//! hook stores precomputed slot values into the parked table — every store
+//! traps and blocks until the touched objects fault in. The per-trap
+//! service latencies (`PostcopySummary::trap_service_ns`) feed a
+//! `trap_service` percentile row: the tail post-copy trades the blackout
+//! window for.
+//!
 //! Every phase reports p50/p99/p99.9 (nearest rank, exact over the recorded
 //! samples), plus host wall nanoseconds per steady request — the per-event
 //! cost the CI smoke step asserts stays flat (within 2x) across fleet sizes.
@@ -33,8 +41,8 @@ use std::time::Instant;
 
 use mcr_bench::{percentile_of, FleetServer, Json, FLEET_PORT};
 use mcr_core::runtime::{
-    boot, run_round, run_rounds, BootOptions, McrInstance, PrecopyOptions, SchedulerMode, UpdateOptions,
-    UpdatePipeline,
+    boot, run_round, run_rounds, BootOptions, McrInstance, PrecopyOptions, SchedulerMode, TransferMode,
+    UpdateOptions, UpdatePipeline,
 };
 use mcr_procsim::{ConnId, Kernel, SimDuration};
 use mcr_typemeta::InstrumentationConfig;
@@ -53,6 +61,10 @@ const BLACKOUT_REQUESTS: usize = 50;
 const POST_REQUESTS: usize = 500;
 /// Stride walking the fleet so consecutive requests hit distant sessions.
 const SLOT_STRIDE: usize = 9973;
+/// Strided session-table slots the post-copy drain hook rewrites: each
+/// store targets the parked table, trapping on a not-yet-transferred page
+/// (the trap-service latency source).
+const TRAP_REWRITES: usize = 64;
 
 fn fleet_sizes() -> Vec<usize> {
     match std::env::var("FLEET_LATENCY_SIZES") {
@@ -94,6 +106,7 @@ fn phase_json(name: &str, samples: &[f64]) -> (&'static str, Json) {
         "steady" => ("steady", json),
         "update" => ("update", json),
         "blackout" => ("blackout", json),
+        "trap_service" => ("trap_service", json),
         _ => ("post", json),
     }
 }
@@ -176,17 +189,89 @@ fn run_size(threads: usize) -> Json {
         post.push(timed_request(&mut kernel, &mut v2, conn));
     }
 
+    // Trap-service phase: a second update (v2 → v3) forced through the
+    // post-copy pipeline. The commit parks the session table's residual
+    // behind access traps; during the drain, the hook stores into the
+    // parked table — each store blocks until the parked objects on the
+    // touched pages are faulted in, and the per-trap service latency (fixed
+    // trap entry cost + fault-in apply cost) is the tail post-copy trades
+    // the blackout window for. The stored values are precomputed from the
+    // still-serving v2 table (reads of parked pages return unapplied bytes,
+    // so the hook must not read-modify-write): rewriting the exact slot
+    // values the transfer applies anyway leaves every session intact while
+    // the stores still trap.
+    let conn_fds_addr = v2.state.statics.lookup("conn_fds").expect("fleet server defines conn_fds").addr;
+    let trap_writes: Vec<(u64, u32)> = {
+        let pid = v2.state.processes[0];
+        let space = kernel.process(pid).expect("v2 process").space();
+        let base = space.read_ptr(conn_fds_addr).expect("conn_fds points at the table");
+        (0..TRAP_REWRITES.min(threads))
+            .map(|i| {
+                let slot = (i * SLOT_STRIDE) % threads;
+                let off = 4 * slot as u64;
+                (off, space.read_u32(base.offset(off)).expect("slot read"))
+            })
+            .collect()
+    };
+    let fired = Rc::new(RefCell::new(false));
+    let hook_fired = Rc::clone(&fired);
+    let drain_hook = Box::new(move |kernel: &mut Kernel, new: &mut McrInstance, _round: usize| {
+        if std::mem::replace(&mut *hook_fired.borrow_mut(), true) {
+            return;
+        }
+        for &pid in &new.state.processes {
+            let Ok(proc) = kernel.process_mut(pid) else { continue };
+            let Ok(base) = proc.space().read_ptr(conn_fds_addr) else { continue };
+            for &(off, val) in &trap_writes {
+                proc.space_mut().write_u32(base.offset(off), val).expect("trap rewrite");
+            }
+        }
+    });
+    let postcopy_opts = UpdateOptions {
+        scheduler: SchedulerMode::EventDriven,
+        mode: TransferMode::Postcopy,
+        precopy: PrecopyOptions::disabled(),
+        ..Default::default()
+    };
+    let pipeline = UpdatePipeline::for_options(&postcopy_opts).with_postcopy_hook(drain_hook);
+    let (mut v3, outcome2) = pipeline.run(
+        &mut kernel,
+        v2,
+        Box::new(FleetServer::with_version(threads, 3)),
+        InstrumentationConfig::full(),
+        &postcopy_opts,
+    );
+    assert!(outcome2.is_committed(), "{threads}: post-copy update commits: {:?}", outcome2.conflicts());
+    let pc = &outcome2.report().postcopy;
+    assert!(pc.enabled && pc.deferred_objects > 0, "{threads}: nothing was parked at commit");
+    assert!(
+        !pc.trap_service_ns.is_empty(),
+        "{threads}: drain rewrites never trapped on the parked session table"
+    );
+    let trap_service: Vec<f64> = pc.trap_service_ns.iter().map(|&ns| ns as f64 / 1e6).collect();
+
+    // The original fleet still answers on v3 after the drain.
+    let mut post2 = Vec::with_capacity(50);
+    for i in 0..50 {
+        let conn = conns[(4 + i * SLOT_STRIDE) % threads];
+        post2.push(timed_request(&mut kernel, &mut v3, conn));
+    }
+    assert!(post2.iter().all(|&ms| ms > 0.0));
+
     let update = update_samples.borrow();
     assert_eq!(update.len(), UPDATE_REQUESTS, "{threads}: pre-copy rounds served the update batch");
     eprintln!(
         "threads {threads:>7}: steady p50 {:.4} ms p99 {:.4} ms | update p99 {:.4} ms | \
-         blackout p99 {:.3} ms | post p99 {:.4} ms | update total {update_total_ms:.3} ms | \
-         {wall_per_event_ns:.0} ns/event",
+         blackout p99 {:.3} ms | post p99 {:.4} ms | trap p50 {:.4} ms p99 {:.4} ms ({} traps) | \
+         update total {update_total_ms:.3} ms | {wall_per_event_ns:.0} ns/event",
         percentile_of(&steady, 50.0),
         percentile_of(&steady, 99.0),
         percentile_of(&update, 99.0),
         percentile_of(&blackout, 99.0),
         percentile_of(&post, 99.0),
+        percentile_of(&trap_service, 50.0),
+        percentile_of(&trap_service, 99.0),
+        trap_service.len(),
     );
 
     Json::obj([
@@ -196,6 +281,10 @@ fn run_size(threads: usize) -> Json {
         phase_json("update", &update),
         phase_json("blackout", &blackout),
         phase_json("post", &post),
+        phase_json("trap_service", &trap_service),
+        ("traps", pc.traps.into()),
+        ("trap_objects", pc.trap_objects.into()),
+        ("drained_objects", pc.drained_objects.into()),
         ("update_total_ms", Json::Num(update_total_ms)),
         ("update_committed", true.into()),
         ("wall_per_event_ns", Json::Num(wall_per_event_ns)),

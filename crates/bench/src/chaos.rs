@@ -2,7 +2,8 @@
 //! verify byte-identical rollback, and drive the self-healing supervisor.
 //!
 //! The campaign runs one update scenario under every combination of
-//! scheduler core × pre-copy switch. Per configuration it:
+//! scheduler core × transfer mode (stop-the-world, pre-copy, post-copy).
+//! Per configuration it:
 //!
 //! 1. performs a clean dry run and derives the [`FaultCatalog`] (every phase
 //!    boundary, transfer-object write and pipeline syscall is a site);
@@ -29,8 +30,8 @@ use std::fmt::Write as _;
 
 use mcr_core::runtime::{
     random_plan, shrink_schedule, supervised_update, time_to_recovery, ChaosPlan, ChaosRng, DegradationTier,
-    FaultCatalog, FaultSite, PrecopyOptions, SchedulerMode, SupervisorPolicy, UpdateOptions, UpdateOutcome,
-    UpdatePipeline,
+    FaultCatalog, FaultSite, PrecopyOptions, SchedulerMode, SupervisorPolicy, TransferMode, UpdateOptions,
+    UpdateOutcome, UpdatePipeline,
 };
 use mcr_core::{Conflict, McrInstance, PhaseName};
 use mcr_procsim::{Kernel, SimDuration};
@@ -40,13 +41,36 @@ use mcr_workload::{open_idle_connections, workload_for};
 
 use crate::{boot_program, kernel_fingerprint, run_standard_workload, Json};
 
-/// One campaign configuration: a scheduler core and the pre-copy switch.
+/// The transfer mode a campaign cell runs the update pipeline in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Classic synchronous pipeline: quiesce, transfer everything, commit.
+    StopTheWorld,
+    /// Concurrent pre-copy rounds before the barrier, residual inside it.
+    Precopy,
+    /// Post-copy: commit early, retire the residual behind traps while the
+    /// new version serves (exercises fault-in and drain-step sites).
+    Postcopy,
+}
+
+impl ChaosMode {
+    /// Stable label for logs and JSON rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosMode::StopTheWorld => "stop-the-world",
+            ChaosMode::Precopy => "precopy",
+            ChaosMode::Postcopy => "postcopy",
+        }
+    }
+}
+
+/// One campaign configuration: a scheduler core and a transfer mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaosConfig {
     /// Scheduling core both instances run on during the update.
     pub scheduler: SchedulerMode,
-    /// Whether the pipeline runs concurrent pre-copy rounds.
-    pub precopy: bool,
+    /// Transfer mode of the pipeline under chaos.
+    pub mode: ChaosMode,
 }
 
 impl ChaosConfig {
@@ -58,18 +82,25 @@ impl ChaosConfig {
                 SchedulerMode::EventDriven => "event-driven",
                 SchedulerMode::FullScan => "full-scan",
             },
-            if self.precopy { "precopy" } else { "stop-the-world" }
+            self.mode.label()
         )
+    }
+
+    /// Whether this cell runs concurrent pre-copy rounds.
+    pub fn precopy(&self) -> bool {
+        self.mode == ChaosMode::Precopy
     }
 }
 
-/// Every configuration the campaign sweeps: both scheduler cores, with and
-/// without pre-copy.
-pub const CONFIGS: [ChaosConfig; 4] = [
-    ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: false },
-    ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: true },
-    ChaosConfig { scheduler: SchedulerMode::FullScan, precopy: false },
-    ChaosConfig { scheduler: SchedulerMode::FullScan, precopy: true },
+/// Every configuration the campaign sweeps: both scheduler cores crossed
+/// with all three transfer modes (a 2 × 3 grid).
+pub const CONFIGS: [ChaosConfig; 6] = [
+    ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::StopTheWorld },
+    ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::Precopy },
+    ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::Postcopy },
+    ChaosConfig { scheduler: SchedulerMode::FullScan, mode: ChaosMode::StopTheWorld },
+    ChaosConfig { scheduler: SchedulerMode::FullScan, mode: ChaosMode::Precopy },
+    ChaosConfig { scheduler: SchedulerMode::FullScan, mode: ChaosMode::Postcopy },
 ];
 
 /// Campaign sizing: scenario, schedule counts and determinism-check cadence.
@@ -88,6 +119,10 @@ pub struct ChaosSpec {
     pub max_object_sites: usize,
     /// Cap on the directed n-th-syscall sweep (evenly spread when capped).
     pub max_syscall_sites: usize,
+    /// Cap on the directed n-th-fault-in sweep (post-copy cells only).
+    pub max_fault_in_sites: usize,
+    /// Cap on the directed n-th-drain-step sweep (post-copy cells only).
+    pub max_drain_step_sites: usize,
     /// Campaign seed; the whole campaign is a pure function of it.
     pub seed: u64,
     /// Every n-th schedule is run twice to check rollback determinism.
@@ -99,7 +134,7 @@ pub struct ChaosSpec {
 
 impl ChaosSpec {
     /// The release-profile campaign the bench binary and CI smoke run
-    /// (>= 200 schedules across the four configurations).
+    /// (>= 200 schedules across the six grid cells).
     pub fn smoke() -> Self {
         ChaosSpec {
             program: "vsftpd",
@@ -108,6 +143,8 @@ impl ChaosSpec {
             random_schedules: 32,
             max_object_sites: 8,
             max_syscall_sites: 8,
+            max_fault_in_sites: 4,
+            max_drain_step_sites: 4,
             seed: 0xC4A0_5EED,
             rerun_every: 8,
             supervise_every: 1,
@@ -123,6 +160,8 @@ impl ChaosSpec {
             random_schedules: 3,
             max_object_sites: 2,
             max_syscall_sites: 2,
+            max_fault_in_sites: 1,
+            max_drain_step_sites: 1,
             seed: 0xC4A0_5EED,
             rerun_every: 5,
             supervise_every: 2,
@@ -194,17 +233,22 @@ impl ConfigOutcome {
 }
 
 fn options_for(config: ChaosConfig) -> UpdateOptions {
-    UpdateOptions {
+    let base = UpdateOptions {
         scheduler: config.scheduler,
         // One worker gives a deterministic object-write order, which is what
         // makes n-th-object sites stable across runs of the same schedule.
         transfer_workers: 1,
-        precopy: if config.precopy {
-            PrecopyOptions { rounds: 2, convergence_bytes: 0, serve_rounds: 1 }
-        } else {
-            PrecopyOptions::disabled()
-        },
         ..Default::default()
+    };
+    match config.mode {
+        ChaosMode::StopTheWorld => UpdateOptions { precopy: PrecopyOptions::disabled(), ..base },
+        ChaosMode::Precopy => UpdateOptions {
+            precopy: PrecopyOptions { rounds: 2, convergence_bytes: 0, serve_rounds: 1 },
+            ..base
+        },
+        ChaosMode::Postcopy => {
+            UpdateOptions { mode: TransferMode::Postcopy, precopy: PrecopyOptions::disabled(), ..base }
+        }
     }
 }
 
@@ -318,7 +362,8 @@ pub fn supervised_run(
 
 /// Persistent-fault drill: every attempt dies at the commit boundary with a
 /// bounded ladder; the supervisor must give up and leave the old version
-/// accepting connections.
+/// accepting connections. Post-copy pipelines commit at `PostcopyCommit`
+/// (there is no `Commit` phase to fault), so the drill targets both.
 fn give_up_drill(spec: &ChaosSpec, config: ChaosConfig) -> bool {
     let opts = options_for(config);
     let (mut kernel, v1) = setup(spec, config);
@@ -331,7 +376,7 @@ fn give_up_drill(spec: &ChaosSpec, config: ChaosConfig) -> bool {
         InstrumentationConfig::full(),
         &opts,
         &policy,
-        |_| ChaosPlan::at_boundaries([PhaseName::Commit]),
+        |_| ChaosPlan::at_boundaries([PhaseName::Commit, PhaseName::PostcopyCommit]),
     );
     if outcome.is_committed() || outcome.report().attempts.len() != 2 {
         return false;
@@ -364,7 +409,7 @@ fn watchdog_drill(spec: &ChaosSpec, config: ChaosConfig) -> bool {
 
 /// Evenly spread 1-based indices over `[1, total]`, at most `max` of them.
 /// The bool is true when the dimension had to be capped.
-fn spread(total: u64, max: usize) -> (Vec<u64>, bool) {
+pub(crate) fn spread(total: u64, max: usize) -> (Vec<u64>, bool) {
     if total == 0 || max == 0 {
         return (Vec::new(), total > 0);
     }
@@ -389,6 +434,21 @@ fn plan_sites(plan: &ChaosPlan) -> Vec<FaultSite> {
     }
     if let Some(n) = plan.at_syscall() {
         sites.push(FaultSite::Syscall(n));
+    }
+    if let Some(n) = plan.at_fault_in() {
+        sites.push(FaultSite::FaultIn(n));
+    }
+    if let Some(n) = plan.at_drain_step() {
+        sites.push(FaultSite::DrainStep(n));
+    }
+    if let Some(n) = plan.at_manifest_write() {
+        sites.push(FaultSite::ManifestWrite(n));
+    }
+    if let Some(n) = plan.at_torn_write() {
+        sites.push(FaultSite::TornWrite(n));
+    }
+    if let Some(n) = plan.at_restore_step() {
+        sites.push(FaultSite::RestoreStep(n));
     }
     sites
 }
@@ -415,6 +475,19 @@ pub fn run_config(spec: &ChaosSpec, config: ChaosConfig, config_index: u64) -> C
         capped.push(format!("syscall sweep capped: {} of {} sites", syscalls.len(), catalog.syscalls));
     }
     schedules.extend(syscalls.into_iter().map(|n| FaultSite::Syscall(n).plan()));
+    // Post-copy cells also sweep the commit-far-side sites: parked-object
+    // fault-ins and background drain batches (both zero for synchronous
+    // modes, so these sweeps are empty there).
+    let (fault_ins, fault_ins_capped) = spread(catalog.fault_ins, spec.max_fault_in_sites);
+    if fault_ins_capped {
+        capped.push(format!("fault-in sweep capped: {} of {} sites", fault_ins.len(), catalog.fault_ins));
+    }
+    schedules.extend(fault_ins.into_iter().map(|n| FaultSite::FaultIn(n).plan()));
+    let (drains, drains_capped) = spread(catalog.drain_steps, spec.max_drain_step_sites);
+    if drains_capped {
+        capped.push(format!("drain-step sweep capped: {} of {} sites", drains.len(), catalog.drain_steps));
+    }
+    schedules.extend(drains.into_iter().map(|n| FaultSite::DrainStep(n).plan()));
 
     // Seeded random schedules (possibly multi-trigger).
     let mut rng = ChaosRng::new(spec.seed ^ (config_index.wrapping_mul(0x9E37_79B9)));
@@ -572,12 +645,15 @@ pub fn chaos_json(spec: &ChaosSpec, rows: &[ConfigOutcome]) -> Json {
                     .map(|r| {
                         Json::obj([
                             ("config", Json::str(r.config.label())),
-                            ("precopy", Json::Bool(r.config.precopy)),
+                            ("mode", Json::str(r.config.mode.label())),
+                            ("precopy", Json::Bool(r.config.precopy())),
                             ("sites_enumerated", r.catalog.total_sites().into()),
                             ("boundary_sites", (r.catalog.boundaries.len() as u64).into()),
                             ("transfer_object_sites", r.catalog.transfer_objects.into()),
                             ("precopy_copy_sites", r.catalog.precopy_copies.into()),
                             ("syscall_sites", r.catalog.syscalls.into()),
+                            ("fault_in_sites", r.catalog.fault_ins.into()),
+                            ("drain_step_sites", r.catalog.drain_steps.into()),
                             ("schedules", r.schedules.into()),
                             ("fired", r.fired.into()),
                             ("unexpected_commits", r.unexpected_commits.into()),

@@ -1,0 +1,623 @@
+//! Crash-consistency campaign for the durable checkpoint subsystem.
+//!
+//! Where `chaos.rs` attacks the *update pipeline*, this campaign attacks
+//! the *durability layer* underneath it: the versioned, checksummed
+//! checkpoint manifests of `mcr_core::transfer::checkpoint` and the restore
+//! path that revives a kernel from them. Against one real server model it
+//! proves, end to end:
+//!
+//! 1. **Roundtrip fidelity** — a checkpoint of the live server restores
+//!    into a scratch kernel whose [`kernel_fingerprint`] is byte-identical
+//!    to the checkpointed one, and the restored instance still serves.
+//! 2. **Crash consistency** — for *every* store block a checkpoint writes,
+//!    crashing at that block ([`WriteFault::CrashAt`]) or tearing it
+//!    ([`WriteFault::TornAt`]) leaves the store in a state from which
+//!    restore lands on a byte-identical image of *some* durable version
+//!    (the interrupted one if its manifest made it down, else the previous
+//!    one) — never a partial or merged state — while the serving instance
+//!    keeps answering.
+//! 3. **Restore-path robustness** — an injected failure at each of the
+//!    [`RESTORE_STEPS`] surfaces as the typed
+//!    [`RestoreError::FaultInjected`] and perturbs neither the store nor
+//!    the serving side.
+//! 4. **Corruption rejection** — torn shards, flipped manifest bytes,
+//!    truncation, format skew and total-store corruption are rejected with
+//!    typed errors; valid older versions are used when one exists.
+//! 5. **Supervised recovery** — [`supervised_update_durable`] revives a
+//!    crashed old instance from the latest durable checkpoint and still
+//!    commits the update.
+//!
+//! Every deviation is recorded as a repro string; the campaign is fully
+//! deterministic (simulated kernel, seeded by construction), so a repro
+//! replays by rerunning the same drill.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use mcr_core::runtime::{
+    resume, supervised_update_durable, wait_quiescence, ChaosPlan, McrInstance, SupervisorPolicy,
+    UpdateOptions,
+};
+use mcr_core::transfer::checkpoint::{
+    checkpoint_now, list_versions, restore_latest, write_checkpoint, CheckpointOptions, CheckpointSummary,
+    RestoreError, RESTORE_STEPS,
+};
+use mcr_core::{PhaseName, Program};
+use mcr_procsim::{Kernel, MemStore, Store, WriteFault};
+use mcr_servers::program_by_name;
+use mcr_typemeta::InstrumentationConfig;
+use mcr_workload::{open_idle_connections, run_workload, workload_for};
+
+use crate::chaos::spread;
+use crate::{boot_program, kernel_fingerprint, Json};
+
+/// Quiescence budget (barrier passes) for the campaign's own barriers.
+const QUIESCE_ROUNDS: usize = 64;
+
+/// Campaign sizing.
+///
+/// The program must have a *startup-determined* process topology (httpd,
+/// nginx: master/worker, workers forked inside startup) — restore re-boots
+/// the program deterministically, so session-per-connection programs
+/// (vsftpd, sshd) with live sessions are rejected at `validate-topology`
+/// by design.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointSpec {
+    /// Server model under test.
+    pub program: &'static str,
+    /// Standard-workload requests before the first checkpoint.
+    pub requests: u64,
+    /// Extra requests between checkpoint versions (makes v1 and v2 differ).
+    pub extra_requests: u64,
+    /// Idle connections open at checkpoint time.
+    pub open_connections: usize,
+    /// Parallel shard writers per checkpoint.
+    pub shard_writers: usize,
+    /// Cap on crash/torn points swept per fault kind (0 = every block).
+    pub max_crash_points: usize,
+}
+
+impl CheckpointSpec {
+    /// The release-profile campaign the bench binary and CI smoke run:
+    /// every store block is a crash point and a torn point.
+    pub fn smoke() -> Self {
+        CheckpointSpec {
+            program: "nginx",
+            requests: 4,
+            extra_requests: 3,
+            open_connections: 4,
+            shard_writers: 4,
+            max_crash_points: 0,
+        }
+    }
+
+    /// A bounded campaign sized for debug-build test runs.
+    pub fn quick() -> Self {
+        CheckpointSpec {
+            program: "nginx",
+            requests: 2,
+            extra_requests: 1,
+            open_connections: 2,
+            shard_writers: 2,
+            max_crash_points: 3,
+        }
+    }
+
+    fn options(&self) -> CheckpointOptions {
+        CheckpointOptions { shard_writers: self.shard_writers, ..CheckpointOptions::default() }
+    }
+}
+
+/// Everything the campaign measured.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointOutcome {
+    /// Program under test.
+    pub program: String,
+    /// Store blocks one checkpoint writes — the crash-point space.
+    pub blocks: u64,
+    /// Reference checkpoint summary (second version, post-traffic).
+    pub checkpoint: CheckpointSummary,
+    /// The baseline roundtrip restored a byte-identical kernel.
+    pub fingerprint_identical: bool,
+    /// The restored instance answered the standard workload.
+    pub restored_serves: bool,
+    /// Crash-at-block drills run.
+    pub crash_drills: usize,
+    /// Torn-block drills run.
+    pub torn_drills: usize,
+    /// Drills whose recovery landed on the interrupted (newest) version.
+    pub recovered_durable: usize,
+    /// Drills whose recovery fell back to the previous version.
+    pub recovered_fallback: usize,
+    /// Any drill that broke the safety property (wrong fingerprint, old
+    /// instance stopped serving, fault failed to fire, restore failed).
+    pub divergences: usize,
+    /// Restore-step fault drills run (== [`RESTORE_STEPS`] length).
+    pub restore_step_drills: usize,
+    /// Restore-step drills that surfaced the typed `FaultInjected` error.
+    pub restore_step_typed: usize,
+    /// Direct-corruption drills run (torn shard, flipped byte, truncation,
+    /// format skew, every-version-corrupt).
+    pub corruption_drills: usize,
+    /// Corruption drills that fell back to a valid older version.
+    pub corruption_fallbacks: usize,
+    /// Corruption drills with no valid version left that were rejected with
+    /// the expected typed error (no partial restore).
+    pub corruption_typed: usize,
+    /// Supervised-recovery drills run (one per crashed pipeline phase).
+    pub supervisor_drills: usize,
+    /// Drills where the supervisor revived the crashed old instance from
+    /// the durable checkpoint.
+    pub supervisor_recovered: usize,
+    /// Drills where the recovered ladder still committed the update and the
+    /// new version serves.
+    pub supervisor_committed: usize,
+    /// Retention kept exactly the configured number of newest versions.
+    pub retention_ok: bool,
+    /// Serial-over-parallel speedup of the reference checkpoint's shard
+    /// writeback.
+    pub writer_speedup: f64,
+    /// Capped sweep dimensions (empty when every block was swept).
+    pub capped: Vec<String>,
+    /// Human-readable reproducers for every deviation.
+    pub repros: Vec<String>,
+}
+
+impl CheckpointOutcome {
+    /// True when every drill upheld its property.
+    pub fn clean(&self) -> bool {
+        self.divergences == 0 && self.repros.is_empty()
+    }
+}
+
+/// Boots the server, runs the standard workload and opens idle connections
+/// — the deterministic pre-checkpoint state every drill starts from.
+fn setup(spec: &CheckpointSpec) -> (Kernel, McrInstance) {
+    let (mut kernel, mut v1) = boot_program(spec.program, 1, InstrumentationConfig::full());
+    let wl = workload_for(spec.program, spec.requests);
+    run_workload(&mut kernel, &mut v1, &wl).expect("standard workload runs");
+    open_idle_connections(&mut kernel, &mut v1, wl.port, spec.open_connections)
+        .expect("idle connections open");
+    (kernel, v1)
+}
+
+/// Whether the instance still answers the standard workload.
+fn serves(kernel: &mut Kernel, instance: &mut McrInstance, program: &str) -> bool {
+    run_workload(kernel, instance, &workload_for(program, 1)).is_ok()
+}
+
+/// Program factory for restore (same generation that was checkpointed).
+fn gen1(spec: &CheckpointSpec) -> impl FnMut() -> Box<dyn Program> + '_ {
+    move || Box::new(program_by_name(spec.program, 1))
+}
+
+/// FNV-1a over a byte slice (manifest checksum algorithm; used by the
+/// format-skew drill to re-seal a deliberately skewed manifest).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One crash-point drill: checkpoint v1, mutate, then attempt v2 with a
+/// write fault armed at the `n`-th block of the new checkpoint. Asserts the
+/// old instance keeps serving and recovery lands on a byte-identical image
+/// of v1 or (if its manifest became durable before the crash) v2.
+fn crash_drill(spec: &CheckpointSpec, n: u64, torn: bool, out: &mut CheckpointOutcome) {
+    let what = if torn { "torn" } else { "crash" };
+    let opts = spec.options();
+    let (mut kernel, mut instance) = setup(spec);
+    let mut store = MemStore::new();
+    checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("v1 checkpoint");
+    let fp1 = kernel_fingerprint(&kernel);
+    run_workload(&mut kernel, &mut instance, &workload_for(spec.program, spec.extra_requests))
+        .expect("extra traffic");
+    // Quiesce by hand so the fingerprint of the interrupted version is
+    // captured at its exact snapshot point.
+    wait_quiescence(&mut kernel, &mut instance, QUIESCE_ROUNDS).expect("quiesce for v2");
+    let fp2 = kernel_fingerprint(&kernel);
+    let at = store.blocks_written() + n;
+    store.arm_write_fault(if torn { WriteFault::TornAt(at) } else { WriteFault::CrashAt(at) });
+    let result = write_checkpoint(&mut kernel, &instance, &mut store, &opts);
+    store.disarm_write_fault();
+    resume(&mut kernel, &mut instance);
+    if torn {
+        out.torn_drills += 1;
+    } else {
+        out.crash_drills += 1;
+    }
+    if result.is_ok() {
+        out.divergences += 1;
+        out.repros.push(format!("{what}:{n}: fault never fired (checkpoint succeeded)"));
+        return;
+    }
+    if !serves(&mut kernel, &mut instance, spec.program) {
+        out.divergences += 1;
+        out.repros.push(format!("{what}:{n}: old instance stopped serving after failed checkpoint"));
+        return;
+    }
+    // Remount the (possibly torn) store and recover.
+    store.recover();
+    match restore_latest(&store, &mut gen1(spec), None) {
+        Ok(restored) => {
+            let fp = kernel_fingerprint(&restored.kernel);
+            if fp == fp2 {
+                out.recovered_durable += 1;
+            } else if fp == fp1 {
+                out.recovered_fallback += 1;
+            } else {
+                out.divergences += 1;
+                out.repros.push(format!(
+                    "{what}:{n}: restored v{} fingerprint {fp:#x} matches neither snapshot",
+                    restored.report.version
+                ));
+            }
+        }
+        Err(e) => {
+            out.divergences += 1;
+            out.repros.push(format!("{what}:{n}: recovery failed: {e}"));
+        }
+    }
+}
+
+/// Restore-step fault drills: each enumerated step must fail typed without
+/// touching the store or the serving instance.
+fn restore_step_drills(spec: &CheckpointSpec, out: &mut CheckpointOutcome) {
+    let opts = spec.options();
+    let (mut kernel, mut instance) = setup(spec);
+    let mut store = MemStore::new();
+    checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("v1 checkpoint");
+    let fp1 = kernel_fingerprint(&kernel);
+    for step in 1..=RESTORE_STEPS.len() as u64 {
+        out.restore_step_drills += 1;
+        match restore_latest(&store, &mut gen1(spec), Some(step)) {
+            Err(RestoreError::FaultInjected { step: s, .. }) if s == step => {
+                out.restore_step_typed += 1;
+            }
+            Err(e) => out.repros.push(format!("restore-step:{step}: wrong error: {e}")),
+            Ok(_) => out.repros.push(format!("restore-step:{step}: fault never fired")),
+        }
+    }
+    // The drills were read-only: a clean restore still revives v1 exactly,
+    // and the serving side never noticed.
+    match restore_latest(&store, &mut gen1(spec), None) {
+        Ok(restored) if kernel_fingerprint(&restored.kernel) == fp1 => {}
+        Ok(_) => {
+            out.divergences += 1;
+            out.repros.push("restore-step: post-drill restore diverged from v1".into());
+        }
+        Err(e) => {
+            out.divergences += 1;
+            out.repros.push(format!("restore-step: post-drill restore failed: {e}"));
+        }
+    }
+    if !serves(&mut kernel, &mut instance, spec.program) {
+        out.divergences += 1;
+        out.repros.push("restore-step: serving instance perturbed by restore drills".into());
+    }
+}
+
+/// Direct-corruption drills against a store holding two valid versions.
+fn corruption_drills(spec: &CheckpointSpec, out: &mut CheckpointOutcome) {
+    let opts = spec.options();
+    let (mut kernel, mut instance) = setup(spec);
+    let mut store = MemStore::new();
+    checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("v1 checkpoint");
+    let fp1 = kernel_fingerprint(&kernel);
+    run_workload(&mut kernel, &mut instance, &workload_for(spec.program, spec.extra_requests))
+        .expect("extra traffic");
+    checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("v2 checkpoint");
+
+    let manifests: Vec<String> = store.list().into_iter().filter(|n| n.ends_with("/MANIFEST")).collect();
+    assert_eq!(manifests.len(), 2, "two versions retained");
+    let (m1, m2) = (manifests[0].clone(), manifests[1].clone());
+    let v2_dir = m2.trim_end_matches("MANIFEST").to_string();
+    let s2 = store
+        .list()
+        .into_iter()
+        .find(|n| n.starts_with(&v2_dir) && n.contains("shard-"))
+        .expect("v2 shard blob");
+    let pristine_m2 = store.read_blob(&m2).expect("v2 manifest readable");
+
+    // Falls back to v1 with a byte-identical image, or the drill diverged.
+    let expect_fallback = |store: &MemStore, label: &str, out: &mut CheckpointOutcome| {
+        out.corruption_drills += 1;
+        match restore_latest(store, &mut gen1(spec), None) {
+            Ok(restored)
+                if restored.report.version == 1
+                    && restored.report.versions_rejected >= 1
+                    && kernel_fingerprint(&restored.kernel) == fp1 =>
+            {
+                out.corruption_fallbacks += 1;
+            }
+            Ok(restored) => {
+                out.divergences += 1;
+                out.repros.push(format!(
+                    "corruption:{label}: restored v{} instead of falling back to an intact v1",
+                    restored.report.version
+                ));
+            }
+            Err(e) => {
+                out.divergences += 1;
+                out.repros.push(format!("corruption:{label}: no fallback, restore failed: {e}"));
+            }
+        }
+    };
+
+    // 1. Torn shard payload: manifest valid, shard checksum mismatch.
+    store.corrupt_byte(&s2, 0).expect("corrupt shard");
+    expect_fallback(&store, "shard-byte", out);
+    // 2. Flipped manifest body byte.
+    store.corrupt_byte(&m2, pristine_m2.len() / 2).expect("corrupt manifest");
+    expect_fallback(&store, "manifest-byte", out);
+    // 3. Truncated manifest (below the framing minimum).
+    store.truncate_blob(&m2, 4).expect("truncate manifest");
+    expect_fallback(&store, "manifest-truncated", out);
+
+    // 4. Every version corrupt: v2 stays truncated, v1's checksum trailer
+    // is flipped — restore must reject everything with a typed error, not
+    // revive a partial image.
+    let m1_len = store.read_blob(&m1).expect("v1 manifest readable").len();
+    store.corrupt_byte(&m1, m1_len - 1).expect("corrupt v1 trailer");
+    out.corruption_drills += 1;
+    match restore_latest(&store, &mut gen1(spec), None) {
+        Err(RestoreError::ChecksumMismatch { .. } | RestoreError::Truncated { .. }) => {
+            out.corruption_typed += 1;
+        }
+        Err(e) => {
+            out.divergences += 1;
+            out.repros.push(format!("corruption:all-corrupt: wrong error class: {e}"));
+        }
+        Ok(restored) => {
+            out.divergences += 1;
+            out.repros.push(format!(
+                "corruption:all-corrupt: restored v{} from a fully corrupt store",
+                restored.report.version
+            ));
+        }
+    }
+
+    // 5. Format skew: re-seal v2's manifest with a flipped format field and
+    // a *valid* checksum — the restorer must refuse with `VersionSkew`
+    // (checksum passes, so this is not mere corruption).
+    let mut skewed = pristine_m2;
+    skewed[8] ^= 0xFF;
+    let body_len = skewed.len() - 8;
+    let sum = fnv1a(&skewed[..body_len]);
+    skewed[body_len..].copy_from_slice(&sum.to_le_bytes());
+    store.write_blob(&m2, &skewed).expect("write skewed manifest");
+    out.corruption_drills += 1;
+    match restore_latest(&store, &mut gen1(spec), None) {
+        Err(RestoreError::VersionSkew { .. }) => out.corruption_typed += 1,
+        Err(e) => {
+            out.divergences += 1;
+            out.repros.push(format!("corruption:format-skew: wrong error class: {e}"));
+        }
+        Ok(_) => {
+            out.divergences += 1;
+            out.repros.push("corruption:format-skew: skewed manifest restored".into());
+        }
+    }
+
+    // None of the above touched the serving side.
+    if !serves(&mut kernel, &mut instance, spec.program) {
+        out.divergences += 1;
+        out.repros.push("corruption: serving instance perturbed by corruption drills".into());
+    }
+}
+
+/// Supervised-recovery drills: the old instance crashes before a pipeline
+/// phase; the durable supervisor must revive it from the latest checkpoint
+/// and still commit the update.
+fn supervisor_drills(spec: &CheckpointSpec, out: &mut CheckpointOutcome) {
+    for phase in [PhaseName::TraceAndTransfer, PhaseName::Commit] {
+        let (mut kernel, instance) = setup(spec);
+        let store: Rc<RefCell<MemStore>> = Rc::new(RefCell::new(MemStore::new()));
+        let (mut survivor, outcome) = supervised_update_durable(
+            &mut kernel,
+            instance,
+            gen1(spec),
+            || Box::new(program_by_name(spec.program, 2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &SupervisorPolicy::default(),
+            store.clone() as Rc<RefCell<dyn Store>>,
+            spec.options(),
+            move |attempt| {
+                if attempt == 1 {
+                    ChaosPlan::crashing_old_before(phase)
+                } else {
+                    ChaosPlan::none()
+                }
+            },
+        );
+        out.supervisor_drills += 1;
+        let label = phase.label();
+        if outcome.report().attempts.iter().any(|a| a.recovered) {
+            out.supervisor_recovered += 1;
+        } else {
+            out.divergences += 1;
+            out.repros.push(format!("supervisor:{label}: crash was never recovered from"));
+        }
+        if outcome.is_committed() && serves(&mut kernel, &mut survivor, spec.program) {
+            out.supervisor_committed += 1;
+        } else {
+            out.divergences += 1;
+            out.repros.push(format!(
+                "supervisor:{label}: recovered ladder did not commit a serving update: {:?}",
+                outcome.conflicts()
+            ));
+        }
+    }
+}
+
+/// Runs the whole campaign.
+pub fn run_checkpoint_campaign(spec: &CheckpointSpec) -> CheckpointOutcome {
+    let opts = spec.options();
+    let mut out = CheckpointOutcome { program: spec.program.to_string(), ..CheckpointOutcome::default() };
+
+    // Reference run: baseline roundtrip (v1), then a second checkpoint that
+    // sizes the crash-point space and measures the parallel writeback.
+    let (mut kernel, mut instance) = setup(spec);
+    let mut store = MemStore::new();
+    checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("v1 checkpoint");
+    let fp1 = kernel_fingerprint(&kernel);
+    match restore_latest(&store, &mut gen1(spec), None) {
+        Ok(restored) => {
+            out.fingerprint_identical = kernel_fingerprint(&restored.kernel) == fp1;
+            let mut rk = restored.kernel;
+            let mut ri = restored.instance;
+            resume(&mut rk, &mut ri);
+            out.restored_serves = serves(&mut rk, &mut ri, spec.program);
+        }
+        Err(e) => out.repros.push(format!("baseline: restore failed: {e}")),
+    }
+    run_workload(&mut kernel, &mut instance, &workload_for(spec.program, spec.extra_requests))
+        .expect("extra traffic");
+    let reference = checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("v2 checkpoint");
+    out.blocks = reference.blocks;
+    out.checkpoint = reference;
+    out.writer_speedup = reference.speedup();
+
+    // Crash-consistency sweep: every block of a checkpoint write is a crash
+    // point and a torn point (evenly spread when capped).
+    let (points, capped) =
+        spread(out.blocks, if spec.max_crash_points == 0 { usize::MAX } else { spec.max_crash_points });
+    if capped {
+        out.capped.push(format!("crash-points:{}/{}", points.len(), out.blocks));
+    }
+    for &n in &points {
+        crash_drill(spec, n, false, &mut out);
+        crash_drill(spec, n, true, &mut out);
+    }
+
+    restore_step_drills(spec, &mut out);
+    corruption_drills(spec, &mut out);
+    supervisor_drills(spec, &mut out);
+
+    // Retention: four checkpoints with `retain = 2` keep exactly the newest
+    // two versions.
+    let (mut kernel, mut instance) = setup(spec);
+    let mut store = MemStore::new();
+    for _ in 0..4 {
+        run_workload(&mut kernel, &mut instance, &workload_for(spec.program, 1)).expect("retention traffic");
+        checkpoint_now(&mut kernel, &mut instance, &mut store, &opts).expect("retention checkpoint");
+    }
+    out.retention_ok = list_versions(&store) == vec![3, 4];
+    if !out.retention_ok {
+        out.repros.push(format!("retention: kept versions {:?}", list_versions(&store)));
+    }
+
+    out
+}
+
+/// Renders the campaign outcome as the human-readable report.
+pub fn checkpoint_render(out: &CheckpointOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "checkpoint crash campaign — {}", out.program);
+    let _ = writeln!(
+        s,
+        "  checkpoint: {} blocks, {} shards, {} deltas ({} B), writer speedup {:.2}x",
+        out.blocks,
+        out.checkpoint.shards,
+        out.checkpoint.page_deltas,
+        out.checkpoint.delta_bytes,
+        out.writer_speedup
+    );
+    let _ = writeln!(
+        s,
+        "  roundtrip: fingerprint-identical={} restored-serves={}",
+        out.fingerprint_identical, out.restored_serves
+    );
+    let _ = writeln!(
+        s,
+        "  crash points: {} crash + {} torn drills → {} durable / {} fallback recoveries",
+        out.crash_drills, out.torn_drills, out.recovered_durable, out.recovered_fallback
+    );
+    let _ = writeln!(
+        s,
+        "  restore steps: {}/{} typed | corruption: {} drills, {} fallbacks, {} typed rejections",
+        out.restore_step_typed,
+        out.restore_step_drills,
+        out.corruption_drills,
+        out.corruption_fallbacks,
+        out.corruption_typed
+    );
+    let _ = writeln!(
+        s,
+        "  supervisor: {}/{} recovered, {}/{} committed | retention ok: {}",
+        out.supervisor_recovered,
+        out.supervisor_drills,
+        out.supervisor_committed,
+        out.supervisor_drills,
+        out.retention_ok
+    );
+    if !out.capped.is_empty() {
+        let _ = writeln!(s, "  capped sweeps: {}", out.capped.join(", "));
+    }
+    let _ = writeln!(s, "  divergences: {}", out.divergences);
+    for repro in &out.repros {
+        let _ = writeln!(s, "    repro: {repro}");
+    }
+    s
+}
+
+/// Renders the campaign outcome as the `BENCH_checkpoint.json` document.
+pub fn checkpoint_json(spec: &CheckpointSpec, out: &CheckpointOutcome) -> Json {
+    Json::obj([
+        ("experiment", Json::str("checkpoint_crash")),
+        ("program", Json::str(&out.program)),
+        ("requests", spec.requests.into()),
+        ("open_connections", spec.open_connections.into()),
+        ("shard_writers", spec.shard_writers.into()),
+        ("blocks", out.blocks.into()),
+        ("page_deltas", out.checkpoint.page_deltas.into()),
+        ("delta_bytes", out.checkpoint.delta_bytes.into()),
+        ("fingerprint_identical", Json::Bool(out.fingerprint_identical)),
+        ("restored_serves", Json::Bool(out.restored_serves)),
+        ("crash_drills", out.crash_drills.into()),
+        ("torn_drills", out.torn_drills.into()),
+        ("recovered_durable", out.recovered_durable.into()),
+        ("recovered_fallback", out.recovered_fallback.into()),
+        ("divergences", out.divergences.into()),
+        ("restore_step_drills", out.restore_step_drills.into()),
+        ("restore_step_typed", out.restore_step_typed.into()),
+        ("corruption_drills", out.corruption_drills.into()),
+        ("corruption_fallbacks", out.corruption_fallbacks.into()),
+        ("corruption_typed", out.corruption_typed.into()),
+        ("supervisor_drills", out.supervisor_drills.into()),
+        ("supervisor_recovered", out.supervisor_recovered.into()),
+        ("supervisor_committed", out.supervisor_committed.into()),
+        ("retention_ok", Json::Bool(out.retention_ok)),
+        ("writer_speedup", Json::Num(out.writer_speedup)),
+        ("capped", Json::Arr(out.capped.iter().map(Json::str).collect())),
+        ("repros", Json::Arr(out.repros.iter().map(Json::str).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_is_clean() {
+        let spec = CheckpointSpec::quick();
+        let out = run_checkpoint_campaign(&spec);
+        assert!(out.clean(), "campaign diverged:\n{}", checkpoint_render(&out));
+        assert!(out.fingerprint_identical, "baseline roundtrip not byte-identical");
+        assert!(out.restored_serves, "restored instance does not serve");
+        assert_eq!(out.restore_step_typed, out.restore_step_drills);
+        assert_eq!(out.corruption_fallbacks, 3);
+        assert_eq!(out.corruption_typed, 2);
+        assert_eq!(out.supervisor_recovered, out.supervisor_drills);
+        assert!(out.retention_ok);
+        assert!(out.crash_drills > 0 && out.torn_drills > 0);
+        let doc = checkpoint_json(&spec, &out).render();
+        assert!(doc.starts_with("{\"experiment\":\"checkpoint_crash\""));
+        assert!(doc.contains("\"divergences\":0"));
+    }
+}

@@ -39,13 +39,17 @@ use mcr_typemeta::{InstrumentationConfig, InstrumentationLevel};
 use mcr_workload::{open_idle_connections, run_alloc_bench, run_workload, workload_for, AllocBenchSpec};
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod fleet;
 pub mod json;
 pub mod microbench;
 
 pub use chaos::{
     chaos_json, chaos_render, enumerate_sites, run_campaign, run_config, supervised_run, verify_rollback,
-    ChaosConfig, ChaosSpec, ConfigOutcome, SupervisedResult, VerifyResult, CONFIGS,
+    ChaosConfig, ChaosMode, ChaosSpec, ConfigOutcome, SupervisedResult, VerifyResult, CONFIGS,
+};
+pub use checkpoint::{
+    checkpoint_json, checkpoint_render, run_checkpoint_campaign, CheckpointOutcome, CheckpointSpec,
 };
 pub use fleet::{FleetServer, FLEET_PORT};
 pub use json::Json;

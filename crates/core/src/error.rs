@@ -76,6 +76,20 @@ pub enum Conflict {
         /// Label of the phase at whose boundary the fault fired.
         phase: String,
     },
+    /// Writing the durable checkpoint failed (store error, injected torn
+    /// write, or a quiescence problem); the update aborts and rolls back
+    /// rather than proceed without a recovery point.
+    CheckpointFailed {
+        /// The underlying checkpoint error.
+        error: String,
+    },
+    /// The old instance's processes died mid-update (crash injection or a
+    /// real fault). Rollback cannot resume it; a restore-aware supervisor
+    /// recovers from the last durable checkpoint instead.
+    OldInstanceCrashed {
+        /// Label of the phase the crash landed before.
+        phase: String,
+    },
     /// The update supervisor's watchdog fired: a pipeline phase overran its
     /// sim-time deadline budget and the attempt was aborted and rolled back.
     WatchdogExpired {
@@ -115,6 +129,12 @@ impl fmt::Display for Conflict {
             Conflict::HandlerRequested { message } => write!(f, "handler requested rollback: {message}"),
             Conflict::FaultInjected { phase } => {
                 write!(f, "fault injected at the {phase} phase boundary")
+            }
+            Conflict::CheckpointFailed { error } => {
+                write!(f, "durable checkpoint failed: {error}")
+            }
+            Conflict::OldInstanceCrashed { phase } => {
+                write!(f, "old instance crashed before the {phase} phase")
             }
             Conflict::WatchdogExpired { phase, budget_ns, spent_ns } => {
                 write!(f, "watchdog expired: {phase} spent {spent_ns}ns against a {budget_ns}ns budget")

@@ -42,6 +42,21 @@ pub enum FaultSite {
     /// starts (a commit-boundary class site: the batch fails before it
     /// applies anything).
     DrainStep(u64),
+    /// A crash of the checkpoint store after the n-th (1-based) block this
+    /// attempt writes: the block lands, everything after is lost, and every
+    /// later store call fails until the store is remounted. Exercises the
+    /// shards-before-manifest commit protocol.
+    ManifestWrite(u64),
+    /// A torn write at the n-th (1-based) block this attempt writes: the
+    /// block is half-persisted (first half only), then the store crashes.
+    /// The nastier sibling of `ManifestWrite` — a checksum must catch the
+    /// mangled block on restore.
+    TornWrite(u64),
+    /// A crash at the n-th (1-based) step of a checkpoint restore (see
+    /// [`RESTORE_STEPS`](crate::transfer::checkpoint::RESTORE_STEPS)). In a
+    /// campaign this is a *drill* against a live system: the restore must
+    /// fail with a typed error and leave the serving instance untouched.
+    RestoreStep(u64),
 }
 
 impl FaultSite {
@@ -53,6 +68,9 @@ impl FaultSite {
             FaultSite::Syscall(nth) => ChaosPlan::failing_at_syscall(nth),
             FaultSite::FaultIn(nth) => ChaosPlan::failing_at_fault_in(nth),
             FaultSite::DrainStep(nth) => ChaosPlan::failing_at_drain_step(nth),
+            FaultSite::ManifestWrite(nth) => ChaosPlan::failing_at_manifest_write(nth),
+            FaultSite::TornWrite(nth) => ChaosPlan::failing_at_torn_write(nth),
+            FaultSite::RestoreStep(nth) => ChaosPlan::failing_at_restore_step(nth),
         }
     }
 
@@ -64,6 +82,9 @@ impl FaultSite {
             FaultSite::Syscall(_) => "syscall",
             FaultSite::FaultIn(_) => "fault-in",
             FaultSite::DrainStep(_) => "drain-step",
+            FaultSite::ManifestWrite(_) => "manifest-write",
+            FaultSite::TornWrite(_) => "torn-write",
+            FaultSite::RestoreStep(_) => "restore-step",
         }
     }
 }
@@ -76,6 +97,9 @@ impl std::fmt::Display for FaultSite {
             FaultSite::Syscall(n) => write!(f, "syscall:{n}"),
             FaultSite::FaultIn(n) => write!(f, "fault-in:{n}"),
             FaultSite::DrainStep(n) => write!(f, "drain-step:{n}"),
+            FaultSite::ManifestWrite(n) => write!(f, "manifest-write:{n}"),
+            FaultSite::TornWrite(n) => write!(f, "torn-write:{n}"),
+            FaultSite::RestoreStep(n) => write!(f, "restore-step:{n}"),
         }
     }
 }
@@ -107,6 +131,14 @@ pub struct FaultCatalog {
     /// Number of n-th-drain-step sites: background drain batches the
     /// post-copy drain loop started (zero for synchronous modes).
     pub drain_steps: u64,
+    /// Number of store blocks the clean run's checkpoint phase wrote (zero
+    /// when the pipeline ran without a checkpoint). Each block is both a
+    /// crash site (`ManifestWrite`) and a torn-write site (`TornWrite`).
+    pub checkpoint_blocks: u64,
+    /// Number of restore steps drillable against this scenario
+    /// ([`RESTORE_STEPS`](crate::transfer::checkpoint::RESTORE_STEPS) when a
+    /// checkpoint exists, zero otherwise).
+    pub restore_steps: u64,
 }
 
 impl FaultCatalog {
@@ -121,6 +153,10 @@ impl FaultCatalog {
             syscalls: report.update_syscalls,
             fault_ins: report.postcopy.deferred_objects,
             drain_steps: report.postcopy.drain_steps,
+            checkpoint_blocks: report.checkpoint.map_or(0, |c| c.blocks),
+            restore_steps: report
+                .checkpoint
+                .map_or(0, |_| crate::transfer::checkpoint::RESTORE_STEPS.len() as u64),
         }
     }
 
@@ -131,6 +167,8 @@ impl FaultCatalog {
             + self.syscalls
             + self.fault_ins
             + self.drain_steps
+            + self.checkpoint_blocks * 2
+            + self.restore_steps
     }
 
     /// The site behind dense index `index` (see the type docs for the
@@ -153,7 +191,19 @@ impl FaultCatalog {
             return Some(FaultSite::FaultIn(index + 1));
         }
         let index = index - self.fault_ins;
-        (index < self.drain_steps).then_some(FaultSite::DrainStep(index + 1))
+        if index < self.drain_steps {
+            return Some(FaultSite::DrainStep(index + 1));
+        }
+        let index = index - self.drain_steps;
+        if index < self.checkpoint_blocks {
+            return Some(FaultSite::ManifestWrite(index + 1));
+        }
+        let index = index - self.checkpoint_blocks;
+        if index < self.checkpoint_blocks {
+            return Some(FaultSite::TornWrite(index + 1));
+        }
+        let index = index - self.checkpoint_blocks;
+        (index < self.restore_steps).then_some(FaultSite::RestoreStep(index + 1))
     }
 
     /// Draws one site uniformly over the whole space (`None` if the space
@@ -214,6 +264,9 @@ pub fn random_plan(rng: &mut ChaosRng, catalog: &FaultCatalog) -> ChaosPlan {
             FaultSite::Syscall(n) => plan.and_at_syscall(n),
             FaultSite::FaultIn(n) => plan.and_at_fault_in(n),
             FaultSite::DrainStep(n) => plan.and_at_drain_step(n),
+            FaultSite::ManifestWrite(n) => plan.and_at_manifest_write(n),
+            FaultSite::TornWrite(n) => plan.and_at_torn_write(n),
+            FaultSite::RestoreStep(n) => plan.and_at_restore_step(n),
         };
     }
     plan
@@ -249,11 +302,15 @@ pub fn shrink_schedule(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bo
         // it is tried: a snapshot taken before the loop would re-add a
         // trigger the previous iteration just dropped, and the shrinker
         // would oscillate forever.
-        let drops: [fn(&ChaosPlan) -> ChaosPlan; 4] = [
+        let drops: [fn(&ChaosPlan) -> ChaosPlan; 8] = [
             ChaosPlan::without_transfer_object,
             ChaosPlan::without_syscall,
             ChaosPlan::without_fault_in,
             ChaosPlan::without_drain_step,
+            ChaosPlan::without_manifest_write,
+            ChaosPlan::without_torn_write,
+            ChaosPlan::without_restore_step,
+            ChaosPlan::without_crash_old,
         ];
         for drop_trigger in drops {
             let candidate = drop_trigger(&current);
@@ -311,6 +368,42 @@ pub fn shrink_schedule(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bo
                 }
             }
         }
+        if let Some(n) = current.at_manifest_write() {
+            for smaller in [1, n / 2, n - 1] {
+                if smaller > 0 && smaller < n {
+                    let candidate = current.clone().and_at_manifest_write(smaller);
+                    if fails(&candidate) {
+                        current = candidate;
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(n) = current.at_torn_write() {
+            for smaller in [1, n / 2, n - 1] {
+                if smaller > 0 && smaller < n {
+                    let candidate = current.clone().and_at_torn_write(smaller);
+                    if fails(&candidate) {
+                        current = candidate;
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(n) = current.at_restore_step() {
+            for smaller in [1, n / 2, n - 1] {
+                if smaller > 0 && smaller < n {
+                    let candidate = current.clone().and_at_restore_step(smaller);
+                    if fails(&candidate) {
+                        current = candidate;
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
         if !shrunk {
             return current;
         }
@@ -329,13 +422,15 @@ mod tests {
             syscalls: 20,
             fault_ins: 5,
             drain_steps: 3,
+            checkpoint_blocks: 4,
+            restore_steps: 15,
         }
     }
 
     #[test]
     fn dense_site_indexing_covers_the_space_exactly() {
         let c = catalog();
-        assert_eq!(c.total_sites(), 41);
+        assert_eq!(c.total_sites(), 64);
         assert_eq!(c.site(0), Some(FaultSite::Boundary(PhaseName::Quiesce)));
         assert_eq!(c.site(2), Some(FaultSite::Boundary(PhaseName::Commit)));
         assert_eq!(c.site(3), Some(FaultSite::TransferObject(1)));
@@ -346,7 +441,13 @@ mod tests {
         assert_eq!(c.site(37), Some(FaultSite::FaultIn(5)));
         assert_eq!(c.site(38), Some(FaultSite::DrainStep(1)));
         assert_eq!(c.site(40), Some(FaultSite::DrainStep(3)));
-        assert_eq!(c.site(41), None);
+        assert_eq!(c.site(41), Some(FaultSite::ManifestWrite(1)));
+        assert_eq!(c.site(44), Some(FaultSite::ManifestWrite(4)));
+        assert_eq!(c.site(45), Some(FaultSite::TornWrite(1)));
+        assert_eq!(c.site(48), Some(FaultSite::TornWrite(4)));
+        assert_eq!(c.site(49), Some(FaultSite::RestoreStep(1)));
+        assert_eq!(c.site(63), Some(FaultSite::RestoreStep(15)));
+        assert_eq!(c.site(64), None);
     }
 
     #[test]
@@ -378,6 +479,15 @@ mod tests {
         assert_eq!(FaultSite::DrainStep(2).plan().at_drain_step(), Some(2));
         assert_eq!(FaultSite::DrainStep(2).kind(), "drain-step");
         assert_eq!(FaultSite::DrainStep(2).to_string(), "drain-step:2");
+        assert_eq!(FaultSite::ManifestWrite(3).plan().at_manifest_write(), Some(3));
+        assert_eq!(FaultSite::ManifestWrite(3).kind(), "manifest-write");
+        assert_eq!(FaultSite::ManifestWrite(3).to_string(), "manifest-write:3");
+        assert_eq!(FaultSite::TornWrite(1).plan().at_torn_write(), Some(1));
+        assert_eq!(FaultSite::TornWrite(1).kind(), "torn-write");
+        assert_eq!(FaultSite::TornWrite(1).to_string(), "torn-write:1");
+        assert_eq!(FaultSite::RestoreStep(8).plan().at_restore_step(), Some(8));
+        assert_eq!(FaultSite::RestoreStep(8).kind(), "restore-step");
+        assert_eq!(FaultSite::RestoreStep(8).to_string(), "restore-step:8");
     }
 
     #[test]
@@ -393,6 +503,24 @@ mod tests {
         let fails = |p: &ChaosPlan| p.at_drain_step().is_some();
         let noisy = ChaosPlan::failing_at_fault_in(2).and_at_drain_step(9);
         assert_eq!(shrink_schedule(&noisy, fails), ChaosPlan::failing_at_drain_step(1));
+    }
+
+    #[test]
+    fn shrinker_reduces_checkpoint_and_restore_triggers() {
+        // Synthetic failure: reproduces iff a torn-write trigger >= 2 is armed.
+        let fails = |p: &ChaosPlan| p.at_torn_write().is_some_and(|n| n >= 2);
+        let noisy = ChaosPlan::failing_at_manifest_write(9).and_at_torn_write(30).and_at_restore_step(6);
+        assert_eq!(shrink_schedule(&noisy, fails), ChaosPlan::failing_at_torn_write(2));
+
+        // A restore-step-only failure sheds both write triggers.
+        let fails = |p: &ChaosPlan| p.at_restore_step().is_some();
+        let noisy = ChaosPlan::failing_at_manifest_write(2).and_at_restore_step(11);
+        assert_eq!(shrink_schedule(&noisy, fails), ChaosPlan::failing_at_restore_step(1));
+
+        // A crash-old arm that does not matter is dropped.
+        let fails = |p: &ChaosPlan| p.at_manifest_write().is_some();
+        let noisy = ChaosPlan::crashing_old_before(PhaseName::Commit).and_at_manifest_write(5);
+        assert_eq!(shrink_schedule(&noisy, fails), ChaosPlan::failing_at_manifest_write(1));
     }
 
     #[test]

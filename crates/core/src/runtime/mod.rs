@@ -18,8 +18,8 @@ pub use controller::{
     live_update, PostcopyOptions, PrecopyOptions, TransferMode, TransferPolicy, UpdateOptions, UpdateOutcome,
 };
 pub use pipeline::{
-    ChaosPlan, FaultPlan, PairPostcopyState, PairPrecopyState, Phase, PhaseName, PostcopyHook, PrecopyHook,
-    PrecopyPhase, UpdateCtx, UpdatePipeline, TRAP_SERVICE_LATENCY,
+    ChaosPlan, CheckpointPhase, FaultPlan, PairPostcopyState, PairPrecopyState, Phase, PhaseName,
+    PostcopyHook, PrecopyHook, PrecopyPhase, UpdateCtx, UpdatePipeline, TRAP_SERVICE_LATENCY,
 };
 pub use report::{
     MemoryReport, PhaseRecord, PhaseTrace, PostcopySummary, PrecopySummary, UpdateReport, UpdateTimings,
@@ -30,7 +30,8 @@ pub use scheduler::{
     BootOptions, McrInstance, RoundStats, Scheduler, SchedulerMode,
 };
 pub use supervisor::{
-    supervised_update, time_to_recovery, AttemptSummary, DegradationTier, SupervisorPolicy,
+    supervised_update, supervised_update_durable, time_to_recovery, AttemptSummary, DegradationTier,
+    SupervisorPolicy,
 };
 
 /// Minimal MCR-enabled server programs used by the crate's own tests.

@@ -157,10 +157,34 @@
 //! fingerprints (`tests/properties.rs` proves the equivalence, including
 //! rollback from mid-drain faults).
 //!
+//! # Durable checkpoints: surviving crashes, not just aborts
+//!
+//! Rollback only helps while the old instance is alive. For crashes of the
+//! serving version itself,
+//! [`with_checkpoint`](UpdatePipeline::with_checkpoint) inserts a
+//! [`PhaseName::Checkpoint`] phase right after the quiescence barrier: with
+//! every old-version thread parked, the instance's full recoverable state
+//! is serialized through parallel shard writers to a
+//! [`Store`](mcr_procsim::Store) as a versioned, checksummed manifest
+//! (shards synced strictly before the `MANIFEST` blob that names them, so
+//! an interrupted write is never visible as a durable version). The
+//! crash-recovery flow is owned by
+//! [`supervised_update_durable`](crate::runtime::supervisor::supervised_update_durable):
+//! checkpoint before each attempt; if the old instance dies mid-update
+//! (the [`ChaosPlan::crashing_old_before`] site), restore the newest intact
+//! checkpoint with
+//! [`restore_latest`](crate::transfer::checkpoint::restore_latest) — a
+//! fresh kernel, a re-boot of the checkpointed generation, and a typed
+//! 15-step reconcile ending in a digest self-check — then retry the update
+//! on the revived instance. Corrupt or torn versions are rejected by
+//! checksum and fall back to the next older one; `benches/checkpoint.rs`
+//! sweeps every block-level crash point and asserts fingerprint-identical
+//! recovery or clean rejection for each.
+//!
 //! # Fault injection and chaos testing
 //!
-//! A [`ChaosPlan`] (the type [`FaultPlan`] now aliases) arms up to five
-//! kinds of triggers on one run, and the first trigger reached fires:
+//! A [`ChaosPlan`] (the type [`FaultPlan`] now aliases) arms triggers of
+//! the following kinds on one run, and the first trigger reached fires:
 //!
 //! * **phase boundaries** — [`ChaosPlan::at_boundaries`] fails the run
 //!   right before each listed phase executes (multi-boundary plans arm
@@ -181,7 +205,19 @@
 //! * **n-th drain batch** — [`ChaosPlan::failing_at_drain_step`] fails the
 //!   n-th background drain batch of the [`PhaseName::PostcopyDrain`] phase,
 //!   which is the only fault site *after* the new version has resumed but
-//!   *before* the point of no return.
+//!   *before* the point of no return;
+//! * **n-th checkpoint block** — [`ChaosPlan::failing_at_manifest_write`]
+//!   crashes the checkpoint store before the n-th block the
+//!   [`PhaseName::Checkpoint`] phase writes;
+//!   [`ChaosPlan::failing_at_torn_write`] additionally leaves that block torn
+//!   (half old bytes, half garbage), so only checksum validation can
+//!   reject it;
+//! * **n-th restore step** — [`ChaosPlan::failing_at_restore_step`] fails
+//!   the n-th step of a checkpoint restore attempt (consumed by the
+//!   restore-aware supervisor, not the pipeline itself);
+//! * **old-instance crash** — [`ChaosPlan::crashing_old_before`] kills the
+//!   serving version's processes right before the given phase: rollback
+//!   cannot resume it, recovery needs a durable checkpoint.
 //!
 //! Independent of fault plans, [`UpdatePipeline::with_phase_deadline`] and
 //! [`with_uniform_phase_deadline`](UpdatePipeline::with_uniform_phase_deadline)
@@ -213,12 +249,13 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use mcr_procsim::{
-    Fd, FdPlacement, Kernel, PendingTrap, Pid, Process, SimDuration, SimError, Syscall, SyscallPort,
-    ThreadState, PAGE_SIZE,
+    Fd, FdPlacement, Kernel, PendingTrap, Pid, Process, SimDuration, SimError, Store, Syscall, SyscallPort,
+    ThreadState, WriteFault, PAGE_SIZE,
 };
 use mcr_typemeta::InstrumentationConfig;
 
@@ -233,6 +270,7 @@ use crate::runtime::scheduler::{
 };
 use crate::tracing::stats::TracingStats;
 use crate::tracing::tracer::{TraceOptions, TraceResult, Tracer};
+use crate::transfer::checkpoint::{write_checkpoint, CheckpointOptions};
 use crate::transfer::engine::{
     drain_step, fault_in_at, list_schedule_makespan, postcopy_commit, precopy_transfer_round,
     transfer_residual, DeltaPlan, PostcopyResidual, PrecopyRoundReport, ProcessTransferReport, ResidualStats,
@@ -244,6 +282,12 @@ use crate::transfer::engine::{
 pub enum PhaseName {
     /// Park the old version at its quiescent points (checkpoint).
     Quiesce,
+    /// Write a durable checkpoint of the quiesced old instance to a
+    /// [`Store`] (optional; inserted after `Quiesce` by
+    /// [`UpdatePipeline::with_checkpoint`]). A crash of the old instance
+    /// later in the update recovers from this durable version via
+    /// [`restore_latest`](crate::transfer::checkpoint::restore_latest).
+    Checkpoint,
     /// Boot the new version under mutable reinitialization (record/replay).
     ReinitReplay,
     /// Pair old processes with new-version counterparts.
@@ -306,6 +350,7 @@ impl PhaseName {
     pub fn label(self) -> &'static str {
         match self {
             PhaseName::Quiesce => "quiesce",
+            PhaseName::Checkpoint => "checkpoint",
             PhaseName::ReinitReplay => "reinit-replay",
             PhaseName::MatchProcesses => "match-processes",
             PhaseName::Precopy => "precopy",
@@ -497,6 +542,26 @@ pub struct ChaosPlan {
     /// Post-copy trigger: abort right before the n-th (1-based) background
     /// drain batch executes, counted across pairs and drain rounds.
     at_drain_step: Option<u64>,
+    /// Checkpoint trigger: the checkpoint store crashes after the n-th
+    /// (1-based) block written by this attempt's [`PhaseName::Checkpoint`]
+    /// phase — everything past the crash point is lost, everything before
+    /// it persists (possibly a truncated blob).
+    at_manifest_write: Option<u64>,
+    /// Checkpoint trigger: like `at_manifest_write`, but the crashing block
+    /// itself is *torn* — half old bytes, half garbage — so only checksum
+    /// validation can reject it.
+    at_torn_write: Option<u64>,
+    /// Restore trigger: the n-th (1-based) step of a checkpoint restore
+    /// attempt fails (see
+    /// [`RESTORE_STEPS`](crate::transfer::checkpoint::RESTORE_STEPS)).
+    /// Consumed by the restore-aware supervisor's recovery path, not by the
+    /// pipeline itself.
+    at_restore_step: Option<u64>,
+    /// Crash trigger: the old instance's processes are killed right before
+    /// the given phase executes — modelling a crash of the *serving*
+    /// version mid-update. Rollback cannot resume it; recovery needs a
+    /// durable checkpoint.
+    crash_old_before: Option<PhaseName>,
 }
 
 /// Former name of [`ChaosPlan`], kept as an alias for older call sites.
@@ -562,6 +627,30 @@ impl ChaosPlan {
         ChaosPlan { at_drain_step: Some(nth), ..ChaosPlan::default() }
     }
 
+    /// A plan that crashes the checkpoint store after the `nth` (1-based)
+    /// block the [`PhaseName::Checkpoint`] phase writes.
+    pub fn failing_at_manifest_write(nth: u64) -> Self {
+        ChaosPlan { at_manifest_write: Some(nth), ..ChaosPlan::default() }
+    }
+
+    /// A plan that tears the `nth` (1-based) block the checkpoint phase
+    /// writes (half-written block persists) and crashes the store there.
+    pub fn failing_at_torn_write(nth: u64) -> Self {
+        ChaosPlan { at_torn_write: Some(nth), ..ChaosPlan::default() }
+    }
+
+    /// A plan that fails the `nth` (1-based) step of a checkpoint restore
+    /// attempt (supervisor recovery drills).
+    pub fn failing_at_restore_step(nth: u64) -> Self {
+        ChaosPlan { at_restore_step: Some(nth), ..ChaosPlan::default() }
+    }
+
+    /// A plan that kills the old instance's processes right before `phase`
+    /// executes — the crash a restore-aware supervisor must recover from.
+    pub fn crashing_old_before(phase: PhaseName) -> Self {
+        ChaosPlan { crash_old_before: Some(phase), ..ChaosPlan::default() }
+    }
+
     /// Adds another boundary fault to the plan.
     #[must_use]
     pub fn and_before(mut self, phase: PhaseName) -> Self {
@@ -597,9 +686,42 @@ impl ChaosPlan {
         self
     }
 
+    /// Adds (or replaces) the checkpoint n-th-block crash trigger.
+    #[must_use]
+    pub fn and_at_manifest_write(mut self, nth: u64) -> Self {
+        self.at_manifest_write = Some(nth);
+        self
+    }
+
+    /// Adds (or replaces) the checkpoint n-th-block torn-write trigger.
+    #[must_use]
+    pub fn and_at_torn_write(mut self, nth: u64) -> Self {
+        self.at_torn_write = Some(nth);
+        self
+    }
+
+    /// Adds (or replaces) the restore n-th-step trigger.
+    #[must_use]
+    pub fn and_at_restore_step(mut self, nth: u64) -> Self {
+        self.at_restore_step = Some(nth);
+        self
+    }
+
+    /// Adds (or replaces) the old-instance crash trigger.
+    #[must_use]
+    pub fn and_crashing_old_before(mut self, phase: PhaseName) -> Self {
+        self.crash_old_before = Some(phase);
+        self
+    }
+
     /// Whether a fault fires at the boundary before `phase`.
     pub fn fires_before(&self, phase: PhaseName) -> bool {
         self.before.contains(&phase)
+    }
+
+    /// Whether the old instance crashes right before `phase`.
+    pub fn crashes_old_before(&self, phase: PhaseName) -> bool {
+        self.crash_old_before == Some(phase)
     }
 
     /// The armed boundary faults, in insertion order.
@@ -627,6 +749,26 @@ impl ChaosPlan {
         self.at_drain_step
     }
 
+    /// The armed checkpoint n-th-block crash trigger, if any.
+    pub fn at_manifest_write(&self) -> Option<u64> {
+        self.at_manifest_write
+    }
+
+    /// The armed checkpoint n-th-block torn-write trigger, if any.
+    pub fn at_torn_write(&self) -> Option<u64> {
+        self.at_torn_write
+    }
+
+    /// The armed restore n-th-step trigger, if any.
+    pub fn at_restore_step(&self) -> Option<u64> {
+        self.at_restore_step
+    }
+
+    /// The armed old-instance crash phase, if any.
+    pub fn crash_old_phase(&self) -> Option<PhaseName> {
+        self.crash_old_before
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
         self.before.is_empty()
@@ -634,6 +776,10 @@ impl ChaosPlan {
             && self.at_syscall.is_none()
             && self.at_fault_in.is_none()
             && self.at_drain_step.is_none()
+            && self.at_manifest_write.is_none()
+            && self.at_torn_write.is_none()
+            && self.at_restore_step.is_none()
+            && self.crash_old_before.is_none()
     }
 
     /// Number of armed triggers (boundaries + mid-phase), used by the
@@ -644,6 +790,10 @@ impl ChaosPlan {
             + usize::from(self.at_syscall.is_some())
             + usize::from(self.at_fault_in.is_some())
             + usize::from(self.at_drain_step.is_some())
+            + usize::from(self.at_manifest_write.is_some())
+            + usize::from(self.at_torn_write.is_some())
+            + usize::from(self.at_restore_step.is_some())
+            + usize::from(self.crash_old_before.is_some())
     }
 
     /// Removes the boundary fault at `idx` (shrinker support).
@@ -676,6 +826,30 @@ impl ChaosPlan {
     #[must_use]
     pub(crate) fn without_drain_step(&self) -> Self {
         ChaosPlan { at_drain_step: None, ..self.clone() }
+    }
+
+    /// Clears the checkpoint n-th-block crash trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_manifest_write(&self) -> Self {
+        ChaosPlan { at_manifest_write: None, ..self.clone() }
+    }
+
+    /// Clears the checkpoint torn-write trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_torn_write(&self) -> Self {
+        ChaosPlan { at_torn_write: None, ..self.clone() }
+    }
+
+    /// Clears the restore n-th-step trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_restore_step(&self) -> Self {
+        ChaosPlan { at_restore_step: None, ..self.clone() }
+    }
+
+    /// Clears the old-instance crash trigger (shrinker support).
+    #[must_use]
+    pub(crate) fn without_crash_old(&self) -> Self {
+        ChaosPlan { crash_old_before: None, ..self.clone() }
     }
 }
 
@@ -801,6 +975,20 @@ impl UpdatePipeline {
         self
     }
 
+    /// Inserts a durable-checkpoint phase right after the quiescence
+    /// barrier (or first, for custom pipelines without one): with every
+    /// old-version thread parked, the old instance's full recoverable state
+    /// is serialized to `store` as a versioned, checksummed manifest, so a
+    /// crash later in the update — or of the process itself — can be
+    /// recovered from a consistent image. Checkpoint time lands inside the
+    /// stop-the-world window and therefore counts as downtime.
+    #[must_use]
+    pub fn with_checkpoint(mut self, store: Rc<RefCell<dyn Store>>, opts: CheckpointOptions) -> Self {
+        let pos = self.phases.iter().position(|p| p.name() == PhaseName::Quiesce).map(|i| i + 1).unwrap_or(0);
+        self.phases.insert(pos, Box::new(CheckpointPhase { store, opts }));
+        self
+    }
+
     /// Sets a watchdog budget for one phase: if the phase's sim-time
     /// duration exceeds `budget`, the update aborts with
     /// [`Conflict::WatchdogExpired`] and rolls back. `Commit` budgets are
@@ -899,6 +1087,19 @@ impl UpdatePipeline {
         let mut failing_phase: Option<PhaseName> = None;
         for phase in &self.phases {
             let name = phase.name();
+            if self.fault_plan.crashes_old_before(name) {
+                // Crash injection: the old instance's processes die outright
+                // before this phase. The rollback guard still runs (it tears
+                // down whatever exists of the new version), but it cannot
+                // revive what no longer exists — a restore-aware supervisor
+                // recovers from the last durable checkpoint instead.
+                let UpdateCtx { kernel, old, .. } = &mut ctx;
+                for &pid in &old.state.processes {
+                    let _ = kernel.remove_process(pid);
+                }
+                failure = Some(Conflict::OldInstanceCrashed { phase: name.label().into() }.into());
+                break;
+            }
             if self.fault_plan.fires_before(name) {
                 failure = Some(Conflict::FaultInjected { phase: name.label().into() }.into());
                 break;
@@ -1031,6 +1232,50 @@ impl Phase for QuiescePhase {
         wait_quiescence(ctx.kernel, &mut ctx.old, ctx.opts.max_quiesce_rounds)?;
         ctx.report.open_connections = ctx.kernel.open_connection_count();
         Ok(())
+    }
+}
+
+/// Optional phase — durable checkpoint: with the old version quiesced,
+/// serialize its full recoverable state (boot recipe, object graph,
+/// placements, page deltas) to a [`Store`] as a versioned, checksummed
+/// manifest. A failure here aborts the attempt with
+/// [`Conflict::CheckpointFailed`] — once a checkpoint was requested, the
+/// update never proceeds without a recovery point.
+///
+/// The pipeline's [`ChaosPlan`] can arm torn-write/crash faults against the
+/// store (`at_manifest_write` / `at_torn_write`), counted relative to the
+/// blocks already written. The phase "remounts" the store on entry
+/// ([`Store::recover`]) so a crash injected in one attempt never wedges the
+/// store for a supervisor retry.
+pub struct CheckpointPhase {
+    store: Rc<RefCell<dyn Store>>,
+    opts: CheckpointOptions,
+}
+
+impl Phase for CheckpointPhase {
+    fn name(&self) -> PhaseName {
+        PhaseName::Checkpoint
+    }
+
+    fn run(&self, ctx: &mut UpdateCtx<'_>) -> McrResult<()> {
+        let mut store = self.store.borrow_mut();
+        store.recover();
+        if let Some(n) = ctx.fault.at_manifest_write() {
+            let at = store.blocks_written() + n;
+            store.arm_write_fault(WriteFault::CrashAt(at));
+        } else if let Some(n) = ctx.fault.at_torn_write() {
+            let at = store.blocks_written() + n;
+            store.arm_write_fault(WriteFault::TornAt(at));
+        }
+        let result = write_checkpoint(ctx.kernel, &ctx.old, &mut *store, &self.opts);
+        store.disarm_write_fault();
+        match result {
+            Ok(summary) => {
+                ctx.report.checkpoint = Some(summary);
+                Ok(())
+            }
+            Err(e) => Err(Conflict::CheckpointFailed { error: e.to_string() }.into()),
+        }
     }
 }
 
@@ -1851,7 +2096,9 @@ impl Phase for PostcopyDrainPhase {
                         fault_in_done += state.residual.faulted_in() - before;
                         report.postcopy.traps += 1;
                         report.postcopy.trap_objects += stats.objects;
-                        trap_cost = trap_cost.saturating_add(TRAP_SERVICE_LATENCY).saturating_add(stats.cost);
+                        let service = TRAP_SERVICE_LATENCY.saturating_add(stats.cost);
+                        report.postcopy.trap_service_ns.push(service.0);
+                        trap_cost = trap_cost.saturating_add(service);
                         new_proc
                             .space_mut()
                             .write_bytes_through(trap.addr, &trap.bytes)

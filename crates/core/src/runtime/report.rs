@@ -99,6 +99,11 @@ pub struct UpdateTimings {
     /// faulting thread for the fault-in (plus a fixed trap round-trip), so
     /// post-copy downtime is the commit window plus this.
     pub trap_service: SimDuration,
+    /// Time the optional [`PhaseName::Checkpoint`] phase spent writing the
+    /// durable checkpoint (parallel shard-writer makespan plus manifest
+    /// commit). Runs inside the quiescence window, so it is downtime; zero
+    /// when no checkpoint phase is configured.
+    pub checkpoint_write: SimDuration,
     /// Total time the program was unavailable.
     pub total: SimDuration,
 }
@@ -120,6 +125,7 @@ impl UpdateTimings {
                 self.state_transfer_serial = matching.saturating_add(d);
             }
             PhaseName::PostcopyDrain => self.postcopy_drain = d,
+            PhaseName::Checkpoint => self.checkpoint_write = d,
             PhaseName::MatchProcesses | PhaseName::Commit => {}
         }
     }
@@ -183,7 +189,7 @@ impl PrecopySummary {
 /// run. The counters also size the chaos engine's post-copy fault windows:
 /// after a clean run, `deferred_objects` is the n-th-fault-in site count and
 /// `drain_steps` the n-th-drain-step site count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PostcopySummary {
     /// Whether a post-copy commit ran at all.
     pub enabled: bool,
@@ -206,6 +212,11 @@ pub struct PostcopySummary {
     pub drain_steps: u64,
     /// Drain-loop rounds (serve + trap service + drain batch) executed.
     pub drain_rounds: u64,
+    /// Per-trap service latency samples, nanoseconds: the fixed trap entry
+    /// cost plus the fault-in apply cost the blocked thread waited for.
+    /// One entry per trap, in service order — percentile material for the
+    /// fleet tail-latency bench.
+    pub trap_service_ns: Vec<u64>,
 }
 
 /// Everything MCR measured while performing (or attempting) one live update.
@@ -219,6 +230,10 @@ pub struct UpdateReport {
     /// Post-copy observability (pairs deferred, traps taken, drain
     /// progress).
     pub postcopy: PostcopySummary,
+    /// What the optional durable-checkpoint phase wrote (`None` when the
+    /// pipeline ran without [`PhaseName::Checkpoint`] or the phase never
+    /// executed).
+    pub checkpoint: Option<crate::transfer::checkpoint::CheckpointSummary>,
     /// Per-phase execution trace (which phases ran, for how long, and
     /// whether they completed).
     pub phases: PhaseTrace,

@@ -17,7 +17,10 @@
 //! exactly as deterministic as a bare pipeline run: same kernel, same
 //! per-attempt fault plans, same outcome, byte for byte.
 
-use mcr_procsim::{Kernel, SimDuration, SimInstant};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mcr_procsim::{Kernel, SimDuration, SimInstant, Store};
 use mcr_typemeta::InstrumentationConfig;
 
 use crate::error::Conflict;
@@ -25,7 +28,8 @@ use crate::program::Program;
 use crate::runtime::controller::{PrecopyOptions, TransferMode, UpdateOptions, UpdateOutcome};
 use crate::runtime::pipeline::{ChaosPlan, UpdatePipeline};
 use crate::runtime::report::UpdateReport;
-use crate::runtime::scheduler::{run_rounds, McrInstance};
+use crate::runtime::scheduler::{resume, run_rounds, McrInstance};
+use crate::transfer::checkpoint::{checkpoint_now, restore_latest, CheckpointOptions, RestoreError};
 
 /// How far the supervisor has degraded the update configuration.
 ///
@@ -112,6 +116,10 @@ pub struct AttemptSummary {
     /// The deterministic backoff slept *after* this attempt (zero for the
     /// committed or final attempt).
     pub backoff: SimDuration,
+    /// Whether the old instance crashed during this attempt and had to be
+    /// revived from the latest durable checkpoint before the ladder could
+    /// continue (only ever true under [`supervised_update_durable`]).
+    pub recovered: bool,
 }
 
 /// Ceiling on a single inter-attempt backoff: one simulated minute. Deep
@@ -206,6 +214,7 @@ pub fn supervised_update(
                     started_at,
                     finished_at,
                     backoff: SimDuration(0),
+                    recovered: false,
                 });
                 report.attempts = attempts;
                 return (instance, UpdateOutcome::Committed(report));
@@ -225,6 +234,7 @@ pub fn supervised_update(
                     started_at,
                     finished_at,
                     backoff,
+                    recovered: false,
                 });
                 if giving_up {
                     let mut report = report;
@@ -240,6 +250,175 @@ pub fn supervised_update(
         }
     }
     unreachable!("loop returns on the final attempt");
+}
+
+/// A [`supervised_update`] whose retry ladder survives a crash of the *old
+/// instance itself*.
+///
+/// Every attempt inserts a durable-checkpoint phase right after the
+/// quiescence barrier ([`UpdatePipeline::with_checkpoint`]), and one extra
+/// checkpoint is taken up front so even a crash inside the very first
+/// attempt has a recovery point. When an attempt fails with
+/// [`Conflict::OldInstanceCrashed`] — rollback cannot resume processes that
+/// no longer exist — the supervisor remounts the store and revives the old
+/// version from the latest durable checkpoint ([`restore_latest`]), then
+/// continues the ladder with the revived instance serving between attempts.
+/// The attempt that crashed is recorded with
+/// [`AttemptSummary::recovered`] set.
+///
+/// `old_program` is the factory for the *old* version's program — restore
+/// re-boots it deterministically from the manifest's boot recipe —
+/// while `new_program` is the per-attempt factory for the update target, as
+/// in [`supervised_update`]. A restore killed by an injected
+/// [`ChaosPlan::at_restore_step`] fault is retried once without the fault
+/// (the transient-fault model of the chaos campaigns); any other restore
+/// failure ends the ladder, and the returned instance then has no live
+/// processes — the caller is facing a real outage, not a rolled-back update.
+///
+/// The virtual clock never runs backwards across a recovery: the restored
+/// kernel boots with the checkpoint's clock and is fast-forwarded to the
+/// crashed kernel's `now` before the ladder continues.
+#[allow(clippy::too_many_arguments)]
+pub fn supervised_update_durable(
+    kernel: &mut Kernel,
+    old: McrInstance,
+    mut old_program: impl FnMut() -> Box<dyn Program>,
+    mut new_program: impl FnMut() -> Box<dyn Program>,
+    config: InstrumentationConfig,
+    opts: &UpdateOptions,
+    policy: &SupervisorPolicy,
+    store: Rc<RefCell<dyn Store>>,
+    ckpt_opts: CheckpointOptions,
+    mut fault_for_attempt: impl FnMut(usize) -> ChaosPlan,
+) -> (McrInstance, UpdateOutcome) {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempts: Vec<AttemptSummary> = Vec::new();
+    let mut instance = old;
+    // Checkpoint #0: a recovery point that predates the first attempt. A
+    // store failure here is not retried — the per-attempt checkpoint phase
+    // remounts the store and tries again — but the store is recovered so a
+    // half-written version directory cannot wedge that phase.
+    {
+        let mut store = store.borrow_mut();
+        if checkpoint_now(kernel, &mut instance, &mut *store, &ckpt_opts).is_err() {
+            store.recover();
+        }
+    }
+    for attempt in 1..=max_attempts {
+        let tier = DegradationTier::for_attempt(attempt);
+        let tier_opts = tier.apply(opts);
+        let plan = fault_for_attempt(attempt);
+        let restore_fault = plan.at_restore_step();
+        let mut pipeline = UpdatePipeline::for_options(&tier_opts)
+            .with_fault_plan(plan)
+            .with_checkpoint(Rc::clone(&store), ckpt_opts);
+        if let Some(budget) = policy.phase_deadline {
+            pipeline = pipeline.with_uniform_phase_deadline(budget);
+        }
+        let started_at = kernel.now();
+        let (next_instance, outcome) = pipeline.run(kernel, instance, new_program(), config, &tier_opts);
+        instance = next_instance;
+        let finished_at = kernel.now();
+        match outcome {
+            UpdateOutcome::Committed(mut report) => {
+                attempts.push(AttemptSummary {
+                    attempt,
+                    tier,
+                    committed: true,
+                    conflicts: Vec::new(),
+                    started_at,
+                    finished_at,
+                    backoff: SimDuration(0),
+                    recovered: false,
+                });
+                report.attempts = attempts;
+                return (instance, UpdateOutcome::Committed(report));
+            }
+            UpdateOutcome::RolledBack { conflicts, report } => {
+                let crashed = conflicts.iter().any(|c| matches!(c, Conflict::OldInstanceCrashed { .. }));
+                let mut recovered = false;
+                if crashed {
+                    match revive_from_checkpoint(kernel, &store, &mut old_program, restore_fault) {
+                        Ok(revived) => {
+                            instance = revived;
+                            recovered = true;
+                        }
+                        Err(_) => {
+                            // Nothing left to serve and nothing restorable:
+                            // give up with the crash conflicts on record.
+                            attempts.push(AttemptSummary {
+                                attempt,
+                                tier,
+                                committed: false,
+                                conflicts: conflicts.clone(),
+                                started_at,
+                                finished_at,
+                                backoff: SimDuration(0),
+                                recovered: false,
+                            });
+                            let mut report = report;
+                            report.attempts = attempts;
+                            return (instance, UpdateOutcome::RolledBack { conflicts, report });
+                        }
+                    }
+                }
+                let giving_up = attempt == max_attempts;
+                let backoff = if giving_up {
+                    SimDuration(0)
+                } else {
+                    backoff_for_attempt(policy.base_backoff, attempt)
+                };
+                attempts.push(AttemptSummary {
+                    attempt,
+                    tier,
+                    committed: false,
+                    conflicts: conflicts.clone(),
+                    started_at,
+                    finished_at,
+                    backoff,
+                    recovered,
+                });
+                if giving_up {
+                    let mut report = report;
+                    report.attempts = attempts;
+                    return (instance, UpdateOutcome::RolledBack { conflicts, report });
+                }
+                kernel.advance_clock(backoff);
+                let _ = run_rounds(kernel, &mut instance, policy.serve_rounds_between_attempts);
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt");
+}
+
+/// Revives the old version from the latest durable checkpoint: remounts the
+/// store, restores into a scratch kernel, fast-forwards its clock so virtual
+/// time stays monotone, swaps it in, and resumes the revived instance. A
+/// restore killed by an injected `at_restore_step` fault is retried once
+/// without the fault.
+fn revive_from_checkpoint(
+    kernel: &mut Kernel,
+    store: &Rc<RefCell<dyn Store>>,
+    old_program: &mut dyn FnMut() -> Box<dyn Program>,
+    restore_fault: Option<u64>,
+) -> Result<McrInstance, RestoreError> {
+    store.borrow_mut().recover();
+    let store_ref = store.borrow();
+    let restored = match restore_latest(&*store_ref, old_program, restore_fault) {
+        Ok(r) => r,
+        Err(RestoreError::FaultInjected { .. }) => restore_latest(&*store_ref, old_program, None)?,
+        Err(e) => return Err(e),
+    };
+    drop(store_ref);
+    let now_before = kernel.now();
+    *kernel = restored.kernel;
+    let now_restored = kernel.now();
+    if now_restored.0 < now_before.0 {
+        kernel.advance_clock(SimDuration(now_before.0 - now_restored.0));
+    }
+    let mut instance = restored.instance;
+    resume(kernel, &mut instance);
+    Ok(instance)
 }
 
 /// Mean time to recovery of a supervised update: virtual time from the
@@ -420,6 +599,121 @@ mod tests {
         let serial = DegradationTier::Serial.apply(&requested);
         assert_eq!(serial.mode, TransferMode::StopTheWorld);
         assert_eq!(serial.transfer_workers, 1);
+    }
+
+    #[test]
+    fn durable_supervisor_recovers_from_old_instance_crash_and_commits() {
+        use mcr_procsim::MemStore;
+
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 3);
+        let store: Rc<RefCell<MemStore>> = Rc::new(RefCell::new(MemStore::new()));
+        // Attempt 1: the old instance's processes die right before commit —
+        // after this attempt's own checkpoint phase ran, so the latest
+        // durable image is fresh. Attempt 2 is clean.
+        let (mut instance, outcome) = supervised_update_durable(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(1)),
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &SupervisorPolicy::default(),
+            store.clone() as Rc<RefCell<dyn Store>>,
+            CheckpointOptions::default(),
+            |attempt| match attempt {
+                1 => ChaosPlan::crashing_old_before(PhaseName::Commit),
+                _ => ChaosPlan::none(),
+            },
+        );
+        assert!(outcome.is_committed(), "recovered ladder commits: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert_eq!(report.attempts.len(), 2);
+        assert!(!report.attempts[0].committed);
+        assert!(report.attempts[0].recovered, "crash attempt was revived from the checkpoint");
+        assert!(report.attempts[0]
+            .conflicts
+            .iter()
+            .any(|c| matches!(c, Conflict::OldInstanceCrashed { phase } if phase == "commit")));
+        assert!(report.attempts[1].committed);
+        assert!(!report.attempts[1].recovered);
+        // The committing attempt re-checkpointed inside its own window.
+        assert!(report.checkpoint.is_some());
+        assert_eq!(instance.state.version, "2.0");
+        // The updated instance serves on the restored kernel.
+        let conn = kernel.client_connect(8080).expect("connect after recovery");
+        kernel.client_send(conn, b"ping".to_vec()).expect("send");
+        let _ = run_rounds(&mut kernel, &mut instance, 3);
+        assert_eq!(kernel.client_recv(conn).expect("reply"), b"hello from v2".to_vec());
+    }
+
+    #[test]
+    fn durable_supervisor_retries_a_fault_injected_restore_once() {
+        use mcr_procsim::MemStore;
+
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 2);
+        let store: Rc<RefCell<MemStore>> = Rc::new(RefCell::new(MemStore::new()));
+        // Attempt 1 crashes the old instance *and* sabotages the recovery
+        // restore at step 5; the supervisor retries the restore without the
+        // fault (transient model) and the ladder still commits.
+        let (instance, outcome) = supervised_update_durable(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(1)),
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &SupervisorPolicy::default(),
+            store as Rc<RefCell<dyn Store>>,
+            CheckpointOptions::default(),
+            |attempt| match attempt {
+                1 => ChaosPlan::crashing_old_before(PhaseName::TraceAndTransfer).and_at_restore_step(5),
+                _ => ChaosPlan::none(),
+            },
+        );
+        assert!(outcome.is_committed(), "retried restore commits: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert!(report.attempts[0].recovered);
+        assert_eq!(instance.state.version, "2.0");
+    }
+
+    #[test]
+    fn durable_supervisor_survives_torn_checkpoint_write_and_retries() {
+        use mcr_procsim::MemStore;
+
+        let mut kernel = Kernel::new();
+        let mut instance = booted(&mut kernel);
+        drive_traffic(&mut kernel, &mut instance, 2);
+        let store: Rc<RefCell<MemStore>> = Rc::new(RefCell::new(MemStore::new()));
+        // Attempt 1's checkpoint write dies mid-block (torn write): the
+        // attempt aborts with CheckpointFailed and rolls back — the old
+        // instance never stopped existing — and attempt 2 remounts the
+        // store, checkpoints cleanly, and commits.
+        let (instance, outcome) = supervised_update_durable(
+            &mut kernel,
+            instance,
+            || Box::new(TinyServer::new(1)),
+            || Box::new(TinyServer::new(2)),
+            InstrumentationConfig::full(),
+            &UpdateOptions::default(),
+            &SupervisorPolicy::default(),
+            store.clone() as Rc<RefCell<dyn Store>>,
+            CheckpointOptions::default(),
+            |attempt| match attempt {
+                1 => ChaosPlan::failing_at_torn_write(2),
+                _ => ChaosPlan::none(),
+            },
+        );
+        assert!(outcome.is_committed(), "retry after torn write commits: {:?}", outcome.conflicts());
+        let report = outcome.report();
+        assert_eq!(report.attempts.len(), 2);
+        assert!(report.attempts[0].conflicts.iter().any(|c| matches!(c, Conflict::CheckpointFailed { .. })));
+        assert!(!report.attempts[0].recovered, "rollback sufficed; no restore needed");
+        assert!(report.attempts[1].committed);
+        assert_eq!(instance.state.version, "2.0");
     }
 
     #[test]

@@ -615,7 +615,7 @@ pub fn list_schedule_makespan(costs: &[SimDuration], workers: usize) -> SimDurat
 /// to `shards` contiguous ranges of roughly equal cumulative cost. Returns
 /// the shard id per object; deterministic, so the shard assignment — and
 /// with it the charged makespan — never depends on host scheduling.
-fn partition_contiguous(costs: &[u64], shards: usize) -> Vec<usize> {
+pub(crate) fn partition_contiguous(costs: &[u64], shards: usize) -> Vec<usize> {
     let shards = shards.max(1);
     let total: u64 = costs.iter().sum();
     let mut out = Vec::with_capacity(costs.len());

@@ -2,9 +2,14 @@
 //! (paper §6), including on-the-fly type transformations, pointer rewriting
 //! and pinning of conservatively-traced immutable objects.
 
+pub mod checkpoint;
 pub mod engine;
 pub mod transform;
 
+pub use checkpoint::{
+    checkpoint_now, list_versions, restore_latest, write_checkpoint, CheckpointError, CheckpointOptions,
+    CheckpointSummary, RestoreError, RestoreReport, RestoredInstance, FORMAT_VERSION, RESTORE_STEPS,
+};
 pub use engine::{
     drain_step, fault_in_at, postcopy_commit, precopy_transfer_round, transfer_between, transfer_process,
     transfer_residual, DeltaPlan, PostcopyResidual, PrecopyRoundReport, ProcessTransferReport, ResidualStats,

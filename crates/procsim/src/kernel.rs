@@ -69,6 +69,25 @@ struct ClientConn {
     closed: bool,
 }
 
+/// Serializable snapshot of one client-side connection endpoint, exported
+/// for checkpointing and re-installed on restore (see
+/// [`Kernel::export_clients`] / [`Kernel::restore_clients`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSnapshot {
+    /// Workload connection id.
+    pub conn: u64,
+    /// Server port the connection was opened against.
+    pub port: u16,
+    /// Whether a server process has accepted the connection.
+    pub accepted: bool,
+    /// Whether the client closed its side.
+    pub closed: bool,
+    /// Server responses not yet consumed by the client.
+    pub from_server: Vec<Vec<u8>>,
+    /// Request bytes sent before the connection was accepted.
+    pub pending_to_server: Vec<Vec<u8>>,
+}
+
 /// Slot-index sentinel ("none" / list end) shared by the kernel's intrusive
 /// structures.
 const NIL: u32 = u32::MAX;
@@ -998,6 +1017,81 @@ impl Kernel {
             .iter()
             .filter(|(_, o)| matches!(o, KernelObject::Connection { peer_closed: false, .. }))
             .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint-restore support
+    // ------------------------------------------------------------------
+
+    /// Exports the client-side connection endpoints (ascending connection
+    /// id) for checkpoint serialization.
+    pub fn export_clients(&self) -> Vec<ClientSnapshot> {
+        self.clients
+            .iter()
+            .map(|(&conn, c)| ClientSnapshot {
+                conn,
+                port: c.port,
+                accepted: c.accepted,
+                closed: c.closed,
+                from_server: c.from_server.iter().cloned().collect(),
+                pending_to_server: self
+                    .pending_client_data
+                    .get(&conn)
+                    .map(|q| q.iter().cloned().collect())
+                    .unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    /// Replaces the client-side connection tables wholesale from a
+    /// checkpoint manifest (restore path).
+    pub fn restore_clients(&mut self, snapshots: Vec<ClientSnapshot>) {
+        self.clients.clear();
+        self.pending_client_data.clear();
+        for snap in snapshots {
+            if !snap.pending_to_server.is_empty() {
+                self.pending_client_data.insert(snap.conn, snap.pending_to_server.into_iter().collect());
+            }
+            self.clients.insert(
+                snap.conn,
+                ClientConn {
+                    port: snap.port,
+                    from_server: snap.from_server.into_iter().collect(),
+                    accepted: snap.accepted,
+                    closed: snap.closed,
+                },
+            );
+        }
+    }
+
+    /// The next workload connection id the kernel will hand out.
+    pub fn next_conn_id(&self) -> u64 {
+        self.next_conn
+    }
+
+    /// Forces the next workload connection id (restore path; never lowered
+    /// below the current value, so ids stay unique).
+    pub fn set_next_conn_id(&mut self, next: u64) {
+        self.next_conn = self.next_conn.max(next);
+    }
+
+    /// Paths of every file in the simulated file system, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Removes a simulated file; returns whether it existed (restore path:
+    /// files created by the deterministic re-boot but absent from the
+    /// manifest are dropped).
+    pub fn remove_file(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Exclusive access to the kernel object table (checkpoint restore —
+    /// programs go through descriptors, and the restore path is the only
+    /// caller that may force ids and refcounts).
+    pub fn objects_mut(&mut self) -> &mut ObjectTable {
+        &mut self.objects
     }
 
     // ------------------------------------------------------------------

@@ -76,6 +76,7 @@ pub mod kernel;
 pub mod memory;
 pub mod objects;
 pub mod process;
+pub mod store;
 pub mod syscall;
 
 pub use alloc::{
@@ -85,8 +86,9 @@ pub use clock::{SimDuration, SimInstant, VirtualClock};
 pub use error::{SimError, SimResult};
 pub use fd::{FdEntry, FdTable};
 pub use ids::{ConnId, Fd, ObjId, Pid, Tid, RESERVED_FD_BASE};
-pub use kernel::{FdPlacement, Kernel};
+pub use kernel::{ClientSnapshot, FdPlacement, Kernel};
 pub use memory::{Addr, AddressSpace, DirtyRange, MemoryRegion, PendingTrap, RegionKind, PAGE_SIZE};
 pub use objects::{KernelObject, ObjectTable, UnixMessage};
 pub use process::{MemoryLayout, Process, Thread, ThreadState};
+pub use store::{FsStore, MemStore, Store, StoreError, WriteFault, BLOCK_SIZE};
 pub use syscall::{Syscall, SyscallPort, SyscallRet};

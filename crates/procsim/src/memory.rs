@@ -644,6 +644,31 @@ impl AddressSpace {
         self.write_epoch
     }
 
+    /// Forces the space's write epoch (checkpoint restore: the restored
+    /// space must resume counting where the checkpointed one left off).
+    pub fn set_write_epoch(&mut self, epoch: u64) {
+        self.write_epoch = epoch.max(1);
+    }
+
+    /// Rewrites the per-page dirty stamps of the region starting at `base`:
+    /// every stamp is cleared, then the given `(page_index, epoch)` pairs
+    /// are applied. Checkpoint restore uses this to reproduce the exact
+    /// soft-dirty state after its reconcile writes transiently stamped
+    /// pages the checkpointed instance never dirtied.
+    pub fn restore_page_epochs(&mut self, base: Addr, stamps: &[(u32, u64)]) -> SimResult<()> {
+        let region = self.regions.get_mut(&base.0).ok_or(SimError::UnmappedAddress(base))?;
+        for e in region.dirty_epoch.iter_mut() {
+            *e = 0;
+        }
+        for &(idx, epoch) in stamps {
+            let slot = region.dirty_epoch.get_mut(idx as usize).ok_or_else(|| {
+                SimError::InvalidArgument(format!("page index {idx} outside region at {base:?}"))
+            })?;
+            *slot = epoch;
+        }
+        Ok(())
+    }
+
     /// Starts a new write epoch and returns the previous one — the highest
     /// stamp any already-written page can carry. A pre-copy round calls this
     /// before copying, so the *next* round can ask for exactly the pages

@@ -174,22 +174,7 @@ impl ObjectTable {
     pub fn insert(&mut self, obj: KernelObject) -> ObjId {
         let id = ObjId(self.next_id);
         self.next_id += 1;
-        match &obj {
-            KernelObject::Connection { conn, .. } => {
-                let idx = conn.0 as usize;
-                if idx >= self.conn_to_id.len() {
-                    self.conn_to_id.resize(idx + 1, 0);
-                }
-                self.conn_to_id[idx] = id.0;
-            }
-            KernelObject::UnixChannel { name, .. } => {
-                self.unix_names.entry(name.clone()).or_default().push(id.0);
-            }
-            KernelObject::Listener { port, .. } if *port != 0 => {
-                self.ports.entry(*port).or_default().push(id.0);
-            }
-            _ => {}
-        }
+        self.index_payload(id, &obj);
         let slot = match self.free.pop() {
             Some(s) => {
                 let old_tail = self.order_tail;
@@ -353,6 +338,129 @@ impl ObjectTable {
     /// ids are monotonic and never reused, is exactly ascending-id order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjId, &KernelObject)> {
         OrderIter { table: self, cursor: self.order_head }
+    }
+
+    /// Adds `id` to the payload-kind lookup indexes (connection, port,
+    /// channel-name). Shared by [`ObjectTable::insert`] and the restore path.
+    fn index_payload(&mut self, id: ObjId, obj: &KernelObject) {
+        match obj {
+            KernelObject::Connection { conn, .. } => {
+                let idx = conn.0 as usize;
+                if idx >= self.conn_to_id.len() {
+                    self.conn_to_id.resize(idx + 1, 0);
+                }
+                self.conn_to_id[idx] = id.0;
+            }
+            KernelObject::UnixChannel { name, .. } => {
+                self.unix_names.entry(name.clone()).or_default().push(id.0);
+            }
+            KernelObject::Listener { port, .. } if *port != 0 => {
+                self.ports.entry(*port).or_default().push(id.0);
+            }
+            _ => {}
+        }
+    }
+
+    /// Removes `id` from the payload-kind lookup indexes for `obj`.
+    fn unindex_payload(&mut self, id: ObjId, obj: &KernelObject) {
+        match obj {
+            KernelObject::Connection { conn, .. } => {
+                let idx = conn.0 as usize;
+                if idx < self.conn_to_id.len() && self.conn_to_id[idx] == id.0 {
+                    self.conn_to_id[idx] = 0;
+                }
+            }
+            KernelObject::Listener { port, .. } if *port != 0 => {
+                if let Some(bucket) = self.ports.get_mut(port) {
+                    bucket.retain(|&i| i != id.0);
+                    if bucket.is_empty() {
+                        self.ports.remove(port);
+                    }
+                }
+            }
+            KernelObject::UnixChannel { name, .. } => {
+                if let Some(bucket) = self.unix_names.get_mut(name) {
+                    bucket.retain(|&i| i != id.0);
+                    if bucket.is_empty() {
+                        self.unix_names.remove(name);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-creates an object at a *specific* id with a *specific* reference
+    /// count — the checkpoint-restore path, which must reproduce the
+    /// checkpointed table exactly (ids are embedded in descriptor tables and
+    /// in the kernel fingerprint). Fails if the id is already live or zero.
+    ///
+    /// The slot position in the slab may differ from the original table;
+    /// only ids, payloads and refcounts are part of the restored contract
+    /// (no public API exposes slot indices or insertion order besides
+    /// ascending-id iteration of [`ObjectTable::iter`], which stays correct
+    /// because restore inserts in ascending-id order).
+    pub fn restore_insert(&mut self, id: ObjId, obj: KernelObject, rc: u32) -> Result<(), String> {
+        if id.0 == 0 {
+            return Err("object id 0 is reserved".into());
+        }
+        if self.slot_of(id).is_some() {
+            return Err(format!("object id {} already live", id.0));
+        }
+        self.index_payload(id, &obj);
+        let old_tail = self.order_tail;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Slot { id: id.0, obj, rc, prev: old_tail, next: NIL };
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot { id: id.0, obj, rc, prev: old_tail, next: NIL });
+                s
+            }
+        };
+        if self.order_tail != NIL {
+            self.slots[self.order_tail as usize].next = slot;
+        } else {
+            self.order_head = slot;
+        }
+        self.order_tail = slot;
+        let idx = id.0 as usize;
+        if idx >= self.id_to_slot.len() {
+            self.id_to_slot.resize(idx + 1, NIL);
+        }
+        self.id_to_slot[idx] = slot;
+        self.live += 1;
+        self.next_id = self.next_id.max(id.0 + 1);
+        Ok(())
+    }
+
+    /// Replaces a live object's payload wholesale, keeping id and refcount
+    /// and re-synchronizing the kind indexes (restore path).
+    pub fn restore_payload(&mut self, id: ObjId, obj: KernelObject) -> Result<(), String> {
+        let Some(s) = self.slot_of(id) else {
+            return Err(format!("object id {} not live", id.0));
+        };
+        let old = std::mem::replace(&mut self.slots[s as usize].obj, obj.clone());
+        self.unindex_payload(id, &old);
+        self.index_payload(id, &obj);
+        self.slots[s as usize].obj = obj;
+        Ok(())
+    }
+
+    /// Forces a live object's reference count (restore path: descriptor
+    /// tables are rebuilt without increfs, then counts are set from the
+    /// manifest).
+    pub fn set_refcount(&mut self, id: ObjId, rc: u32) -> Result<(), String> {
+        if rc == 0 {
+            return Err("refcount 0 would leak a live slot; use decref".into());
+        }
+        let Some(s) = self.slot_of(id) else {
+            return Err(format!("object id {} not live", id.0));
+        };
+        self.slots[s as usize].rc = rc;
+        Ok(())
     }
 
     /// Finds the listener bound to `port`, if any. With several candidates

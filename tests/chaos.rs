@@ -7,7 +7,7 @@
 //! properties on a smaller schedule budget, plus the catalog/shrinker
 //! plumbing end to end against a real server scenario.
 
-use mcr_bench::{enumerate_sites, run_config, verify_rollback, ChaosConfig, ChaosSpec, CONFIGS};
+use mcr_bench::{enumerate_sites, run_config, verify_rollback, ChaosConfig, ChaosMode, ChaosSpec, CONFIGS};
 use mcr_core::runtime::{shrink_schedule, ChaosPlan, FaultPlan, SchedulerMode};
 use mcr_core::PhaseName;
 
@@ -15,9 +15,9 @@ use mcr_core::PhaseName;
 fn bounded_campaign_rolls_back_byte_identical_and_supervisor_converges() {
     let spec = ChaosSpec::quick();
     // One configuration per axis value: event-driven stop-the-world and
-    // full-scan pre-copy together cover both scheduler cores and both
-    // pre-copy settings.
-    for (i, config) in [CONFIGS[0], CONFIGS[3]].into_iter().enumerate() {
+    // full-scan pre-copy together cover both scheduler cores and two of the
+    // three transfer modes (the post-copy cells run in the release grid).
+    for (i, config) in [CONFIGS[0], CONFIGS[4]].into_iter().enumerate() {
         let outcome = run_config(&spec, config, i as u64);
         let label = config.label();
         assert!(outcome.schedules > 0 && outcome.fired == outcome.schedules, "{label}: all fire");
@@ -34,7 +34,7 @@ fn bounded_campaign_rolls_back_byte_identical_and_supervisor_converges() {
 #[test]
 fn fault_site_enumeration_covers_all_three_dimensions() {
     let spec = ChaosSpec::quick();
-    let stw = ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: false };
+    let stw = ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::StopTheWorld };
     let catalog = enumerate_sites(&spec, stw);
     let labels: Vec<&str> = catalog.boundaries.iter().map(|b| b.label()).collect();
     assert_eq!(
@@ -50,7 +50,7 @@ fn fault_site_enumeration_covers_all_three_dimensions() {
         catalog.boundaries.len() as u64 + catalog.transfer_objects + catalog.syscalls
     );
 
-    let pre = ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: true };
+    let pre = ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::Precopy };
     let precopy_catalog = enumerate_sites(&spec, pre);
     assert!(precopy_catalog.precopy_copies > 0, "precopy run enumerates round copies");
     assert!(
@@ -62,7 +62,7 @@ fn fault_site_enumeration_covers_all_three_dimensions() {
 #[test]
 fn shrinker_reduces_a_noisy_schedule_against_the_real_pipeline() {
     let spec = ChaosSpec::quick();
-    let config = ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: false };
+    let config = ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::StopTheWorld };
     // The observed "failure": the run rolls back blaming the injected
     // syscall fault. The boundary and object arms are noise the shrinker
     // must discard, and the syscall index must come down to 1.
@@ -82,7 +82,7 @@ fn deprecated_single_boundary_constructor_still_rolls_back() {
     let plan = FaultPlan::failing_before(PhaseName::Commit);
     assert_eq!(plan, ChaosPlan::at_boundaries([PhaseName::Commit]));
     let spec = ChaosSpec::quick();
-    let config = ChaosConfig { scheduler: SchedulerMode::EventDriven, precopy: false };
+    let config = ChaosConfig { scheduler: SchedulerMode::EventDriven, mode: ChaosMode::StopTheWorld };
     let result = verify_rollback(&spec, config, &plan);
     assert!(result.fired && !result.diverged, "legacy plans keep the rollback guarantee");
 }
